@@ -1,0 +1,135 @@
+// Ablation of the §6.3 work-reduction optimizations, beyond what the paper
+// plots directly:
+//   * version-cache read caching (proxy dedup of repeated reads)
+//   * dummiless writes (write batches that skip the ORAM read)
+//   * the INSECURE cache-everything variant, to quantify how much performance
+//     the security argument of §6.3 gives up (it also demonstrates the skew
+//     the paper warns about — see the security tests).
+#include "bench/bench_common.h"
+
+namespace obladi {
+namespace {
+
+// Measure writes with/without the dummiless-write optimization by comparing
+// a WriteBatch (dummiless) against read-then-write (what a generic ORAM
+// would do: every write costs a physical path read).
+void DummilessWrites(double scale, double seconds) {
+  uint64_t n = 20000;
+  RingOramOptions options;
+  options.parallel = true;
+  options.defer_writes = true;
+  options.io_threads = 192;
+
+  Table table("Ablation — dummiless writes (write ops/s)");
+  table.Columns({"backend", "read+write(generic ORAM)", "dummiless(Obladi)", "speedup"});
+  for (const std::string backend : {"server", "server_wan"}) {
+    double results[2] = {0, 0};
+    for (int dummiless = 0; dummiless < 2; ++dummiless) {
+      auto env = MakeMicroOram(backend, n, 16, 128, options, scale);
+      Rng rng(21);
+      Bytes value(64, 0x77);
+      uint64_t start = NowMicros();
+      uint64_t deadline = start + static_cast<uint64_t>(seconds * 1e6);
+      uint64_t ops = 0;
+      std::vector<uint8_t> used(n, 0);
+      while (NowMicros() < deadline) {
+        std::vector<BlockId> ids;
+        while (ids.size() < 200) {
+          BlockId id = rng.Uniform(n);
+          if (!used[id]) {
+            used[id] = 1;
+            ids.push_back(id);
+          }
+        }
+        for (BlockId id : ids) {
+          used[id] = 0;
+        }
+        if (dummiless == 0) {
+          // Generic ORAM write = physical read of the path, then update.
+          auto r = env.oram->ReadBatch(ids);
+          if (!r.ok()) {
+            std::abort();
+          }
+        }
+        std::vector<std::pair<BlockId, Bytes>> writes;
+        writes.reserve(ids.size());
+        for (BlockId id : ids) {
+          writes.emplace_back(id, value);
+        }
+        if (!env.oram->WriteBatch(writes, ids.size()).ok()) {
+          std::abort();
+        }
+        (void)env.oram->FinishEpoch();
+        ops += ids.size();
+      }
+      results[dummiless] =
+          static_cast<double>(ops) / (static_cast<double>(NowMicros() - start) / 1e6);
+    }
+    table.Row({backend, Fmt(results[0]), Fmt(results[1]), Fmt(results[1] / results[0], 2)});
+  }
+  table.Print();
+}
+
+// Quantify what the secure stash-caching rule costs versus the insecure
+// cache-everything variant on a skewed workload.
+void StashCachingRule(double scale, double seconds) {
+  uint64_t n = 20000;
+  Table table("Ablation — §6.3 stash caching rule (hot workload, ops/s)");
+  table.Columns({"backend", "secure(dummy reads)", "insecure(cache all)", "insecure_gain"});
+  for (const std::string backend : {"server", "server_wan"}) {
+    double results[2] = {0, 0};
+    for (int insecure = 0; insecure < 2; ++insecure) {
+      RingOramOptions options;
+      options.parallel = true;
+      options.defer_writes = true;
+      options.io_threads = 192;
+      options.cache_all_stash = insecure == 1;
+      auto env = MakeMicroOram(backend, n, 16, 128, options, scale);
+      Rng rng(31);
+      uint64_t start = NowMicros();
+      uint64_t deadline = start + static_cast<uint64_t>(seconds * 1e6);
+      uint64_t ops = 0;
+      while (NowMicros() < deadline) {
+        // 64 hot blocks hammered: with cache_all_stash, most accesses skip
+        // physical reads entirely (and leak the skew).
+        std::vector<BlockId> ids;
+        std::vector<uint8_t> used(64, 0);
+        while (ids.size() < 32) {
+          BlockId id = rng.Uniform(64);
+          if (!used[id]) {
+            used[id] = 1;
+            ids.push_back(id);
+          }
+        }
+        auto r = env.oram->ReadBatch(ids);
+        if (!r.ok()) {
+          std::abort();
+        }
+        (void)env.oram->FinishEpoch();
+        ops += ids.size();
+      }
+      results[insecure] =
+          static_cast<double>(ops) / (static_cast<double>(NowMicros() - start) / 1e6);
+    }
+    table.Row({backend, Fmt(results[0]), Fmt(results[1]), Fmt(results[1] / results[0], 2)});
+  }
+  table.Print();
+  std::printf("note: the insecure variant skews the observable leaf distribution; see "
+              "RingOramSecurityTest.CacheAllStashAblationSkipsPhysicalReads\n");
+}
+
+void Run() {
+  double scale = BenchScale();
+  double seconds = BenchSeconds();
+  DummilessWrites(scale, seconds);
+  StashCachingRule(scale, seconds);
+}
+
+}  // namespace
+}  // namespace obladi
+
+int main() {
+  obladi::TuneAllocatorForBenchmarks();
+  obladi::Run();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Shared application-benchmark setup: builds Obladi / NoPriv / 2PL stacks
+// sized for the three paper workloads.
+#ifndef OBLADI_BENCH_BENCH_APPS_COMMON_H_
+#define OBLADI_BENCH_BENCH_APPS_COMMON_H_
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/baseline/nopriv_store.h"
+#include "src/baseline/twopl_store.h"
+#include "src/proxy/obladi_store.h"
+#include "src/workload/driver.h"
+#include "src/workload/freehealth.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+
+namespace obladi {
+
+enum class AppKind { kTpcc, kSmallBank, kFreeHealth };
+
+inline std::unique_ptr<Workload> MakeAppWorkload(AppKind kind, bool full) {
+  switch (kind) {
+    case AppKind::kTpcc: {
+      TpccConfig cfg;  // "lite" scale; PaperScale() when full
+      if (full) {
+        cfg = TpccConfig::PaperScale();
+      } else {
+        cfg.num_warehouses = 2;
+        cfg.districts_per_warehouse = 4;
+        cfg.customers_per_district = 100;
+        cfg.num_items = 2000;
+        cfg.initial_orders_per_district = 20;
+        cfg.stock_level_orders = 2;
+        cfg.max_order_lines = 8;
+      }
+      return std::make_unique<TpccWorkload>(cfg);
+    }
+    case AppKind::kSmallBank: {
+      SmallBankConfig cfg;
+      cfg.num_accounts = full ? 1000000 : 20000;
+      return std::make_unique<SmallBankWorkload>(cfg);
+    }
+    case AppKind::kFreeHealth: {
+      FreeHealthConfig cfg;
+      cfg.num_patients = full ? 20000 : 2000;
+      cfg.num_users = full ? 500 : 100;
+      cfg.num_drugs = 500;
+      return std::make_unique<FreeHealthWorkload>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+// Epoch parameters tuned per application, following §6.4: TPC-C needs many
+// read batches (long transactions) and a large write batch; SmallBank is
+// short and homogeneous; FreeHealth is read-heavy with a small write batch.
+inline ObladiConfig AppObladiConfig(AppKind kind, uint64_t capacity) {
+  ObladiConfig cfg = ObladiConfig::ForCapacity(capacity, /*z=*/16, /*payload=*/512);
+  cfg.timed_mode = true;
+  cfg.recovery.enabled = false;
+  cfg.oram_options.io_threads = 128;
+  switch (kind) {
+    case AppKind::kTpcc:
+      // Long transactions: many read batches and a large write batch (the
+      // paper used b_write = 2000 at 10-warehouse scale).
+      cfg.read_batches_per_epoch = 28;
+      cfg.read_batch_size = 64;
+      cfg.write_batch_size = 512;
+      cfg.batch_interval_us = 300;
+      break;
+    case AppKind::kSmallBank:
+      cfg.read_batches_per_epoch = 8;
+      cfg.read_batch_size = 64;
+      cfg.write_batch_size = 160;
+      cfg.batch_interval_us = 300;
+      break;
+    case AppKind::kFreeHealth:
+      // Read-heavy: small write batch (paper: 200 vs TPC-C's 2000).
+      cfg.read_batches_per_epoch = 8;
+      cfg.read_batch_size = 64;
+      cfg.write_batch_size = 64;
+      cfg.batch_interval_us = 300;
+      break;
+  }
+  return cfg;
+}
+
+struct ObladiApp {
+  std::shared_ptr<MemoryBucketStore> store;
+  std::unique_ptr<ObladiStore> proxy;
+};
+
+inline ObladiApp MakeObladiApp(AppKind kind, Workload& workload, LatencyProfile profile,
+                               ObladiConfig* config_out = nullptr) {
+  auto records = workload.InitialRecords();
+  // Leave headroom for keys created at runtime (orders, history rows, ...).
+  uint64_t capacity = records.size() + records.size() / 2 + 4096;
+  ObladiConfig config = AppObladiConfig(kind, capacity);
+  ObladiApp app;
+  // Keep only the two latest bucket versions (recovery is off here).
+  auto base = std::make_shared<MemoryBucketStore>(config.oram.num_buckets(),
+                                                  config.oram.slots_per_bucket(),
+                                                  /*max_versions=*/2);
+  auto latency = std::make_shared<LatencyBucketStore>(base, profile);
+  latency->SetBypass(true);
+  app.store = base;
+  app.proxy = std::make_unique<ObladiStore>(config, latency, nullptr);
+  Status st = app.proxy->Load(records);
+  latency->SetBypass(false);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Obladi load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  if (config_out != nullptr) {
+    *config_out = config;
+  }
+  return app;
+}
+
+inline DriverResult RunObladiApp(AppKind kind, LatencyProfile profile, Workload& workload,
+                                 double seconds, size_t threads = 96) {
+  auto app = MakeObladiApp(kind, workload, profile);
+  app.proxy->Start();
+  DriverOptions opts;
+  opts.num_threads = threads;
+  opts.duration_ms = static_cast<uint64_t>(seconds * 1000);
+  opts.warmup_ms = static_cast<uint64_t>(seconds * 250);
+  DriverResult result = RunWorkload(*app.proxy, workload, opts);
+  app.proxy->Stop();
+  return result;
+}
+
+template <typename StoreT>
+inline DriverResult RunBaselineApp(Workload& workload, LatencyProfile profile, double seconds,
+                                   size_t threads = 0) {
+  if (threads == 0) {
+    // High-latency backends need more closed-loop clients to reach the same
+    // offered load (the paper drives hundreds of clients).
+    threads = profile.read_latency_us >= 1000 ? 64 : 24;
+  }
+  auto storage = std::make_shared<RemoteKv>(profile);
+  StoreT store(storage);
+  Status st = store.Load(workload.InitialRecords());
+  if (!st.ok()) {
+    std::fprintf(stderr, "baseline load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  DriverOptions opts;
+  opts.num_threads = threads;
+  opts.duration_ms = static_cast<uint64_t>(seconds * 1000);
+  opts.warmup_ms = static_cast<uint64_t>(seconds * 250);
+  return RunWorkload(store, workload, opts);
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_BENCH_BENCH_APPS_COMMON_H_

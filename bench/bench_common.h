@@ -1,0 +1,183 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Environment knobs (every bench honours these):
+//   OBLADI_BENCH_SCALE    latency scale factor vs. the paper's testbed
+//                         (default 0.1: local 30us, WAN 1ms, Dynamo 100/300us)
+//   OBLADI_BENCH_SECONDS  target measurement seconds per data point (default 1.0)
+//   OBLADI_BENCH_FULL     1 = paper-scale parameters (slower, closer numbers)
+#ifndef OBLADI_BENCH_BENCH_COMMON_H_
+#define OBLADI_BENCH_BENCH_COMMON_H_
+
+#include <malloc.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/crypto/encryptor.h"
+#include "src/harness/table.h"
+#include "src/oram/ring_oram.h"
+#include "src/storage/latency_store.h"
+#include "src/storage/memory_store.h"
+
+namespace obladi {
+
+// Keep freed memory in the process instead of returning it to the OS: the
+// write phase allocates megabytes of fresh ciphertext per epoch, and on
+// virtualized hosts re-faulting those pages costs far more than the crypto.
+// After a couple of warmup epochs the buffers recycle.
+inline void TuneAllocatorForBenchmarks() {
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+  mallopt(M_MMAP_THRESHOLD, 1 << 24);
+}
+
+inline double BenchScale() {
+  const char* env = std::getenv("OBLADI_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 0.1;
+}
+
+inline double BenchSeconds() {
+  const char* env = std::getenv("OBLADI_BENCH_SECONDS");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+inline bool BenchFull() {
+  const char* env = std::getenv("OBLADI_BENCH_FULL");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+inline LatencyProfile ProfileByName(const std::string& name, double scale) {
+  if (name == "dummy") {
+    return LatencyProfile::Dummy();
+  }
+  if (name == "server") {
+    return LatencyProfile::LocalServer(scale);
+  }
+  if (name == "server_wan") {
+    return LatencyProfile::WanServer(scale);
+  }
+  return LatencyProfile::Dynamo(scale);
+}
+
+struct MicroOram {
+  RingOramConfig config;
+  std::shared_ptr<LatencyBucketStore> store;
+  std::unique_ptr<RingOram> oram;
+};
+
+// Build an ORAM over the named backend and bulk-load it (latency bypassed
+// during loading). The "dummy" backend stores nothing; decoded-id
+// verification is disabled for it.
+inline MicroOram MakeMicroOram(const std::string& backend, uint64_t n, uint32_t z,
+                               size_t payload, RingOramOptions options, double scale,
+                               uint64_t seed = 1) {
+  MicroOram env;
+  env.config = RingOramConfig::ForCapacity(n, z, payload);
+  std::shared_ptr<BucketStore> base;
+  if (backend == "dummy") {
+    Encryptor sizer = Encryptor::FromMasterKey(BytesFromString("k"), false, 1);
+    base = std::make_shared<DummyBucketStore>(env.config.num_buckets(),
+                                              env.config.slot_plaintext_size() +
+                                                  sizer.Overhead());
+    options.verify_decoded_ids = false;
+  } else {
+    // Keep only the two latest versions: the figure benches never recover
+    // from a crash mid-run, so deeper shadow-paging history is dead weight.
+    base = std::make_shared<MemoryBucketStore>(env.config.num_buckets(),
+                                               env.config.slots_per_bucket(),
+                                               /*max_versions=*/2);
+  }
+  env.store = std::make_shared<LatencyBucketStore>(base, ProfileByName(backend, scale));
+  auto encryptor = std::make_shared<Encryptor>(
+      Encryptor::FromMasterKey(BytesFromString("bench-key"), false, seed));
+  env.oram = std::make_unique<RingOram>(env.config, options, env.store, encryptor, seed);
+
+  env.store->SetBypass(true);
+  std::vector<Bytes> values(n);  // empty payloads: content is irrelevant here
+  Status st = env.oram->Initialize(values);
+  if (!st.ok()) {
+    std::fprintf(stderr, "ORAM init failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  env.store->SetBypass(false);
+  return env;
+}
+
+struct BatchRunResult {
+  double ops_per_sec = 0;
+  double mean_batch_latency_us = 0;
+  uint64_t ops = 0;
+  double physical_reqs_per_op = 0;
+};
+
+// Drive read batches of `batch_size` distinct uniform keys; finish an epoch
+// every `batches_per_epoch` batches; run for ~`seconds`.
+inline BatchRunResult RunReadBatches(RingOram& oram, uint64_t n, size_t batch_size,
+                                     size_t batches_per_epoch, double seconds,
+                                     uint64_t seed = 42) {
+  Rng rng(seed);
+  oram.ResetStats();
+  uint64_t start = NowMicros();
+  uint64_t deadline = start + static_cast<uint64_t>(seconds * 1e6);
+  uint64_t ops = 0;
+  uint64_t batch_latency_total = 0;
+  uint64_t batches = 0;
+  size_t in_epoch = 0;
+  std::vector<uint8_t> used(n, 0);
+  while (NowMicros() < deadline) {
+    std::vector<BlockId> ids;
+    ids.reserve(batch_size);
+    // Distinct ids within a batch (the proxy's dedup guarantees this).
+    while (ids.size() < batch_size) {
+      BlockId id = rng.Uniform(n);
+      if (!used[id]) {
+        used[id] = 1;
+        ids.push_back(id);
+      }
+    }
+    for (BlockId id : ids) {
+      used[id] = 0;
+    }
+    Stopwatch sw;
+    auto result = oram.ReadBatch(ids);
+    if (!result.ok()) {
+      std::fprintf(stderr, "ReadBatch failed: %s\n", result.status().ToString().c_str());
+      std::abort();
+    }
+    batch_latency_total += sw.ElapsedMicros();
+    ++batches;
+    ops += batch_size;
+    if (++in_epoch >= batches_per_epoch) {
+      Status st = oram.FinishEpoch();
+      if (!st.ok()) {
+        std::fprintf(stderr, "FinishEpoch failed: %s\n", st.ToString().c_str());
+        std::abort();
+      }
+      in_epoch = 0;
+    }
+  }
+  uint64_t elapsed = NowMicros() - start;
+  if (in_epoch > 0) {
+    (void)oram.FinishEpoch();
+  }
+  BatchRunResult out;
+  out.ops = ops;
+  out.ops_per_sec = static_cast<double>(ops) / (static_cast<double>(elapsed) / 1e6);
+  out.mean_batch_latency_us =
+      batches > 0 ? static_cast<double>(batch_latency_total) / static_cast<double>(batches) : 0;
+  auto stats = oram.stats();
+  if (stats.logical_accesses > 0) {
+    out.physical_reqs_per_op =
+        static_cast<double>(stats.physical_slot_reads + stats.physical_bucket_writes) /
+        static_cast<double>(stats.logical_accesses);
+  }
+  return out;
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_BENCH_BENCH_COMMON_H_

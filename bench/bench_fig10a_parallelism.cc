@@ -1,0 +1,55 @@
+// Figure 10a: ORAM throughput (ops/s) for Sequential vs Parallel vs
+// ParallelCrypto executors across the four storage backends, batch size 500.
+//
+// Expected shape (paper): parallelism *hurts* on the zero-latency dummy
+// backend (coordination overhead on a CPU-bound workload) and helps more the
+// higher the storage latency — 12x on the local server, ~50x on Dynamo, and
+// hundreds-of-x on the WAN backend.
+#include "bench/bench_common.h"
+
+namespace obladi {
+namespace {
+
+void Run() {
+  double scale = BenchScale();
+  double seconds = BenchSeconds();
+  bool full = BenchFull();
+  uint64_t n = full ? 100000 : 20000;
+  uint32_t z = 16;  // (A=20, S=28): 11 tree levels at 20K, like the paper's setup
+  size_t batch = 500;
+
+  Table table("Figure 10a — Parallelism (batch size 500, ops/s)");
+  table.Columns({"backend", "Sequential", "Parallel", "ParallelCrypto",
+                 "par_speedup", "crypto_speedup"});
+
+  for (const std::string backend : {"dummy", "server", "server_wan", "dynamo"}) {
+    double results[3] = {0, 0, 0};
+    for (int mode = 0; mode < 3; ++mode) {
+      RingOramOptions options;
+      options.parallel = mode != 0;
+      options.defer_writes = mode != 0;
+      options.parallel_crypto = mode == 2;
+      options.io_threads = 192;
+      auto env = MakeMicroOram(backend, n, z, /*payload=*/128, options, scale);
+      // Sequential on high-latency backends is extremely slow; give it a
+      // smaller batch budget but the same per-point wall time.
+      double secs = mode == 0 && backend != "dummy" ? seconds * 2 : seconds;
+      auto result = RunReadBatches(*env.oram, n, batch, /*batches_per_epoch=*/1, secs);
+      results[mode] = result.ops_per_sec;
+    }
+    table.Row({backend, Fmt(results[0]), Fmt(results[1]), Fmt(results[2]),
+               Fmt(results[1] / results[0], 2), Fmt(results[2] / results[0], 2)});
+  }
+  table.Print();
+  std::printf("paper shape: dummy slows down under parallelism; speedup grows with "
+              "storage latency (server < dynamo < WAN)\n");
+}
+
+}  // namespace
+}  // namespace obladi
+
+int main() {
+  obladi::TuneAllocatorForBenchmarks();
+  obladi::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 10e: epoch size impact at the ORAM level — relative throughput
+// increase as the number of batches per epoch grows (batch size 500).
+//
+// Expected shape (paper): near-logarithmic growth — longer epochs buffer more
+// buckets at the proxy, so more reads are served locally and duplicate bucket
+// writes collapse; metadata computation eventually bottlenecks the dummy
+// backend. The paper reports 41 physical requests per logical op with one
+// batch per epoch, dropping to 24 with eight; we print the same metric.
+#include "bench/bench_common.h"
+
+namespace obladi {
+namespace {
+
+void Run() {
+  double scale = BenchScale();
+  double seconds = BenchSeconds();
+  bool full = BenchFull();
+  uint64_t n = full ? 100000 : 20000;
+  uint32_t z = 16;
+  size_t batch = 500;
+
+  std::vector<size_t> epoch_sizes = {1, 2, 8, 32, 128};
+
+  Table table("Figure 10e — Epoch size impact (relative throughput vs 1 batch/epoch)");
+  std::vector<std::string> headers = {"batches/epoch"};
+  for (const std::string backend : {"dummy", "server", "server_wan", "dynamo"}) {
+    headers.push_back(backend);
+  }
+  headers.push_back("phys_reqs/op(server)");
+  table.Columns(headers);
+
+  std::map<std::string, double> baselines;
+  std::map<size_t, std::map<std::string, double>> tput;
+  std::map<size_t, double> reqs_per_op;
+
+  for (const std::string backend : {"dummy", "server", "server_wan", "dynamo"}) {
+    RingOramOptions options;
+    options.parallel = true;
+    options.defer_writes = true;
+    options.io_threads = 192;
+    auto env = MakeMicroOram(backend, n, z, 128, options, scale);
+    for (size_t epoch : epoch_sizes) {
+      auto result = RunReadBatches(*env.oram, n, batch, epoch, seconds, epoch * 13 + 7);
+      tput[epoch][backend] = result.ops_per_sec;
+      if (backend == "server") {
+        reqs_per_op[epoch] = result.physical_reqs_per_op;
+      }
+    }
+    baselines[backend] = tput[1][backend];
+  }
+
+  for (size_t epoch : epoch_sizes) {
+    std::vector<std::string> row = {FmtInt(epoch)};
+    for (const std::string backend : {"dummy", "server", "server_wan", "dynamo"}) {
+      row.push_back(Fmt(tput[epoch][backend] / baselines[backend], 2));
+    }
+    row.push_back(Fmt(reqs_per_op[epoch], 1));
+    table.Row(row);
+  }
+  table.Print();
+  std::printf("paper shape: throughput grows ~logarithmically with epoch size; physical "
+              "requests per logical op fall (paper: 41 -> 24 from 1 to 8 batches)\n");
+}
+
+}  // namespace
+}  // namespace obladi
+
+int main() {
+  obladi::TuneAllocatorForBenchmarks();
+  obladi::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 10f: epoch size impact at the proxy level — application throughput
+// as a function of epoch duration for SmallBank, FreeHealth, and TPC-C.
+//
+// Expected shape (paper): unimodal. Epochs too short starve long transactions
+// (they straddle epoch boundaries and repeatedly abort); epochs too long
+// leave the system idle waiting for the epoch to close.
+#include "bench/bench_apps_common.h"
+
+namespace obladi {
+namespace {
+
+void Run() {
+  // Application benches run at the paper's absolute latencies by default
+  // (local 300us, WAN 10ms) — i.e. 10x the microbench scale factor.
+  double scale = BenchScale() * 10;
+  double seconds = BenchSeconds();
+  bool full = BenchFull();
+  LatencyProfile local = LatencyProfile::LocalServer(scale);
+
+  std::vector<uint64_t> intervals_us = {100, 200, 400, 800, 1600, 3200};
+
+  Table table("Figure 10f — Epoch size impact on application throughput (txn/s)");
+  table.Columns({"batch_interval_us", "epoch_ms(SB)", "SmallBank", "FreeHealth", "TPC-C"});
+
+  for (uint64_t interval : intervals_us) {
+    std::vector<std::string> row = {FmtInt(interval)};
+    bool first = true;
+    for (AppKind kind : {AppKind::kSmallBank, AppKind::kFreeHealth, AppKind::kTpcc}) {
+      auto workload = MakeAppWorkload(kind, full);
+      auto records_probe = workload->InitialRecords();
+      uint64_t capacity = records_probe.size() + records_probe.size() / 2 + 4096;
+      ObladiConfig config = AppObladiConfig(kind, capacity);
+      config.batch_interval_us = interval;
+      auto base = std::make_shared<MemoryBucketStore>(config.oram.num_buckets(),
+                                                      config.oram.slots_per_bucket(), 2);
+      auto latency = std::make_shared<LatencyBucketStore>(base, local);
+      latency->SetBypass(true);
+      ObladiStore proxy(config, latency, nullptr);
+      Status st = proxy.Load(records_probe);
+      latency->SetBypass(false);
+      if (!st.ok()) {
+        std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+        std::abort();
+      }
+      if (first) {
+        double epoch_ms = static_cast<double>(interval) *
+                          static_cast<double>(config.read_batches_per_epoch) / 1000.0;
+        row.push_back(Fmt(epoch_ms, 1));
+        first = false;
+      }
+      proxy.Start();
+      DriverOptions opts;
+      opts.num_threads = 96;
+      opts.duration_ms = static_cast<uint64_t>(seconds * 1000);
+      opts.warmup_ms = 200;
+      DriverResult result = RunWorkload(proxy, *workload, opts);
+      proxy.Stop();
+      row.push_back(Fmt(result.throughput_tps));
+    }
+    table.Row(row);
+  }
+  table.Print();
+  std::printf("paper shape: unimodal — too-short epochs abort long transactions, "
+              "too-long epochs idle\n");
+}
+
+}  // namespace
+}  // namespace obladi
+
+int main() {
+  obladi::TuneAllocatorForBenchmarks();
+  obladi::Run();
+  return 0;
+}

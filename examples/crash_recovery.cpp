@@ -1,0 +1,101 @@
+// Durability walkthrough (§8): commit data, kill the proxy (all volatile
+// state — position map, stash, version cache — is lost), recover from the
+// write-ahead log, and verify epoch fate sharing: committed epochs survive,
+// the in-flight epoch vanishes, and the logged read paths are replayed so the
+// post-crash trace leaks nothing.
+//
+//   ./build/examples/crash_recovery
+#include <cstdio>
+#include <thread>
+
+#include "src/proxy/obladi_store.h"
+#include "src/storage/memory_store.h"
+
+using namespace obladi;
+
+namespace {
+
+Status CommitOne(ObladiStore& store, const Key& key, const std::string& value) {
+  std::atomic<bool> done{false};
+  Status result;
+  std::thread client([&] {
+    result = RunTransaction(store, [&](Txn& txn) { return txn.Write(key, value); });
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    (void)store.FinishEpochNow();
+  }
+  client.join();
+  return result;
+}
+
+std::string ReadOne(ObladiStore& store, const Key& key) {
+  std::string out = "<error>";
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    (void)RunTransaction(store, [&](Txn& txn) -> Status {
+      auto v = txn.Read(key);
+      if (!v.ok()) {
+        return v.status();
+      }
+      out = *v;
+      return Status::Ok();
+    });
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    (void)store.FinishEpochNow();
+  }
+  client.join();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  ObladiConfig config = ObladiConfig::ForCapacity(512, 4, 128);
+  config.read_batches_per_epoch = 2;
+  config.read_batch_size = 8;
+  config.write_batch_size = 8;
+  config.recovery.enabled = true;
+  config.recovery.full_checkpoint_interval = 4;
+
+  auto tree = std::make_shared<MemoryBucketStore>(config.oram.num_buckets(),
+                                                  config.oram.slots_per_bucket());
+  auto log = std::make_shared<MemoryLogStore>();
+  ObladiStore store(config, tree, log);
+  if (!store.Load({{"chart:42", "dx=flu"}, {"chart:77", "dx=ok"}}).ok()) {
+    return 1;
+  }
+
+  std::printf("1. committing an update to chart:42 ...\n");
+  Status st = CommitOne(store, "chart:42", "dx=flu;rx=oseltamivir");
+  std::printf("   commit: %s\n", st.ToString().c_str());
+
+  std::printf("2. starting another update — but the proxy will die mid-epoch\n");
+  Timestamp doomed = store.Begin();
+  (void)store.Write(doomed, "chart:77", "dx=SHOULD-NOT-SURVIVE");
+
+  std::printf("3. proxy crash: position map, stash, version cache all gone\n");
+  store.SimulateCrash();
+
+  std::printf("4. recovering from the write-ahead log ...\n");
+  RecoveryBreakdown breakdown;
+  st = store.RecoverFromCrash(&breakdown);
+  if (!st.ok()) {
+    std::fprintf(stderr, "   recovery failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("   recovered in %.1f ms (%zu log records, %zu replayed batches)\n",
+              static_cast<double>(breakdown.total_us) / 1000.0, breakdown.log_records,
+              breakdown.replayed_batches);
+
+  std::printf("5. epoch fate sharing:\n");
+  std::printf("   chart:42 = %s   (committed epoch survived)\n",
+              ReadOne(store, "chart:42").c_str());
+  std::printf("   chart:77 = %s   (in-flight epoch rolled back)\n",
+              ReadOne(store, "chart:77").c_str());
+  return 0;
+}

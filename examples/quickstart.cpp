@@ -1,0 +1,77 @@
+// Quickstart: stand up an Obladi store, run a few serializable transactions,
+// and peek at what the untrusted storage provider actually observes.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/proxy/obladi_store.h"
+#include "src/storage/memory_store.h"
+
+using namespace obladi;  // examples only; library code spells the namespace out
+
+int main() {
+  // 1. Configure: a small ORAM (capacity 4096 blocks) with 2 read batches of
+  //    16 requests per epoch, paced every 2ms, durability enabled.
+  ObladiConfig config = ObladiConfig::ForCapacity(4096, /*z=*/8, /*payload=*/256);
+  config.read_batches_per_epoch = 2;
+  config.read_batch_size = 16;
+  config.write_batch_size = 16;
+  config.batch_interval_us = 2000;
+  config.timed_mode = true;
+  config.recovery.enabled = true;
+
+  // 2. Untrusted storage: the ORAM tree + the write-ahead log. In production
+  //    these live in the cloud; here they are in-process stand-ins.
+  auto tree = std::make_shared<MemoryBucketStore>(config.oram.num_buckets(),
+                                                  config.oram.slots_per_bucket());
+  auto log = std::make_shared<MemoryLogStore>();
+
+  // 3. The trusted proxy.
+  ObladiStore store(config, tree, log);
+  Status st = store.Load({
+      {"alice", "balance=100"},
+      {"bob", "balance=250"},
+      {"carol", "balance=75"},
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  store.Start();  // epoch pacer
+
+  // 4. A serializable read-modify-write transaction, with automatic retry on
+  //    conflict. The commit decision arrives only when the epoch ends.
+  st = RunTransaction(store, [&](Txn& txn) -> Status {
+    auto alice = txn.Read("alice");
+    if (!alice.ok()) {
+      return alice.status();
+    }
+    std::printf("alice's record: %s\n", alice->c_str());
+    OBLADI_RETURN_IF_ERROR(txn.Write("alice", "balance=90"));
+    return txn.Write("bob", "balance=260");
+  });
+  std::printf("transfer committed: %s\n", st.ToString().c_str());
+
+  // 5. Read it back in a second transaction.
+  st = RunTransaction(store, [&](Txn& txn) -> Status {
+    auto alice = txn.Read("alice");
+    auto bob = txn.Read("bob");
+    if (!alice.ok() || !bob.ok()) {
+      return Status::Aborted("retry");
+    }
+    std::printf("after transfer: alice=%s bob=%s\n", alice->c_str(), bob->c_str());
+    return Status::Ok();
+  });
+  std::printf("audit committed: %s\n", st.ToString().c_str());
+  store.Stop();
+
+  // 6. What did the adversary see? Only fixed-shape batches of uniformly
+  //    distributed path reads and deterministic bucket writes.
+  auto stats = store.oram()->stats();
+  std::printf("\nadversary-visible work: %llu physical slot reads, %llu bucket writes\n",
+              static_cast<unsigned long long>(stats.physical_slot_reads),
+              static_cast<unsigned long long>(stats.physical_bucket_writes));
+  std::printf("logical accesses hidden inside them: %llu (incl. padding)\n",
+              static_cast<unsigned long long>(stats.logical_accesses));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// NoPriv baseline (§10): the same MVTSO concurrency control as Obladi, but a
+// non-private data handler. No batching, no delayed commits: reads that miss
+// the local version cache fetch synchronously from remote storage; writes
+// buffer at the proxy and flush at commit; commit happens as soon as the
+// transaction's dependencies are decided.
+#ifndef OBLADI_SRC_BASELINE_NOPRIV_STORE_H_
+#define OBLADI_SRC_BASELINE_NOPRIV_STORE_H_
+
+#include <memory>
+
+#include "src/baseline/remote_kv.h"
+#include "src/txn/kv_interface.h"
+#include "src/txn/mvtso.h"
+
+namespace obladi {
+
+class NoPrivStore : public TransactionalKv {
+ public:
+  explicit NoPrivStore(std::shared_ptr<RemoteKv> storage) : storage_(std::move(storage)) {}
+
+  Status Load(const std::vector<std::pair<Key, std::string>>& records) {
+    for (const auto& [key, value] : records) {
+      storage_->LoadDirect(key, value);
+    }
+    return Status::Ok();
+  }
+
+  Timestamp Begin() override { return engine_.Begin(); }
+
+  StatusOr<std::string> Read(Timestamp txn, const Key& key) override {
+    for (;;) {
+      ReadOutcome outcome = engine_.Read(txn, key);
+      if (outcome.kind == ReadOutcome::kAborted) {
+        return Status::Aborted("transaction aborted");
+      }
+      if (outcome.kind == ReadOutcome::kValue) {
+        return outcome.value;
+      }
+      auto base = storage_->Get(key);
+      if (!base.ok()) {
+        return base.status();
+      }
+      engine_.InstallBase(key, std::move(*base));
+    }
+  }
+
+  Status Write(Timestamp txn, const Key& key, std::string value) override {
+    return engine_.Write(txn, key, std::move(value));
+  }
+
+  Status Commit(Timestamp txn) override {
+    // Capture the write set before the record can be pruned.
+    auto writes = engine_.WritesOf(txn);
+    OBLADI_RETURN_IF_ERROR(engine_.TryCommitImmediate(txn));
+    // Flush buffered writes; last-writer-wins versioning on the storage side
+    // keeps concurrent flushes correct without extra ordering.
+    for (auto& [key, value] : writes) {
+      OBLADI_RETURN_IF_ERROR(storage_->Put(key, std::move(value), txn));
+    }
+    return Status::Ok();
+  }
+
+  void Abort(Timestamp txn) override { engine_.Abort(txn); }
+
+  MvtsoStats txn_stats() const { return engine_.stats(); }
+
+ private:
+  std::shared_ptr<RemoteKv> storage_;
+  MvtsoEngine engine_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_BASELINE_NOPRIV_STORE_H_

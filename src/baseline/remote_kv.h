@@ -1,0 +1,75 @@
+// Non-private remote key-value storage used by the baselines. Models the
+// paper's NoPriv backend: plain (encrypted-at-rest, but access-pattern-
+// revealing) storage behind the same latency profiles as the ORAM backends.
+//
+// Puts carry the writer's timestamp and apply last-writer-wins, so committed
+// transactions can flush their write sets concurrently without serializing
+// on storage round trips.
+#ifndef OBLADI_SRC_BASELINE_REMOTE_KV_H_
+#define OBLADI_SRC_BASELINE_REMOTE_KV_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/storage/latency_store.h"
+
+namespace obladi {
+
+class RemoteKv {
+ public:
+  explicit RemoteKv(LatencyProfile profile) : profile_(std::move(profile)) {}
+
+  StatusOr<std::string> Get(const std::string& key) {
+    PreciseSleepMicros(profile_.read_latency_us);
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+      return Status::NotFound("no such key");
+    }
+    return it->second.value;
+  }
+
+  Status Put(const std::string& key, std::string value, Timestamp version) {
+    PreciseSleepMicros(profile_.write_latency_us);
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& entry = data_[key];
+    if (version >= entry.version) {
+      entry.value = std::move(value);
+      entry.version = version;
+    }
+    return Status::Ok();
+  }
+
+  // Bulk load without latency (setup path).
+  void LoadDirect(const std::string& key, std::string value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    data_[key] = Entry{std::move(value), 0};
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return data_.size();
+  }
+
+ private:
+  struct Entry {
+    std::string value;
+    Timestamp version = 0;
+  };
+
+  LatencyProfile profile_;
+  NetworkStats stats_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> data_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_BASELINE_REMOTE_KV_H_

@@ -1,0 +1,144 @@
+#include "src/baseline/twopl_store.h"
+
+namespace obladi {
+
+Timestamp TwoPlStore::Begin() {
+  Timestamp ts = next_ts_.fetch_add(1);
+  std::lock_guard<std::mutex> lk(mu_);
+  txns_[ts] = TxnRec{};
+  stats_.begun++;
+  return ts;
+}
+
+Status TwoPlStore::AcquireLocked(std::unique_lock<std::mutex>& lk, Timestamp ts, const Key& key,
+                                 LockMode mode) {
+  for (;;) {
+    auto rec_it = txns_.find(ts);
+    if (rec_it == txns_.end() || !rec_it->second.active) {
+      return Status::Aborted("transaction not active");
+    }
+    LockEntry& entry = locks_[key];
+
+    bool grantable;
+    Timestamp blocker = 0;
+    if (mode == LockMode::kShared) {
+      grantable = entry.exclusive_holder == 0 || entry.exclusive_holder == ts;
+      blocker = entry.exclusive_holder;
+    } else {
+      grantable = (entry.exclusive_holder == 0 || entry.exclusive_holder == ts) &&
+                  (entry.shared_holders.empty() ||
+                   (entry.shared_holders.size() == 1 && entry.shared_holders.count(ts) == 1));
+      if (entry.exclusive_holder != 0 && entry.exclusive_holder != ts) {
+        blocker = entry.exclusive_holder;
+      } else {
+        for (Timestamp h : entry.shared_holders) {
+          if (h != ts) {
+            blocker = std::max(blocker, h);
+          }
+        }
+      }
+    }
+
+    if (grantable) {
+      if (mode == LockMode::kShared) {
+        entry.shared_holders.insert(ts);
+      } else {
+        entry.shared_holders.erase(ts);
+        entry.exclusive_holder = ts;
+      }
+      rec_it->second.locks_held.insert(key);
+      return Status::Ok();
+    }
+
+    // Wait-die: only wait for *younger* (larger-ts) holders if we are older;
+    // otherwise die so the older transaction can make progress.
+    if (ts > blocker && blocker != 0) {
+      stats_.aborts_deadlock++;
+      rec_it->second.active = false;
+      ReleaseAllLocked(ts, rec_it->second);
+      txns_.erase(rec_it);
+      lock_cv_.notify_all();
+      return Status::Aborted("wait-die victim");
+    }
+    lock_cv_.wait(lk);
+  }
+}
+
+void TwoPlStore::ReleaseAllLocked(Timestamp ts, TxnRec& rec) {
+  for (const Key& key : rec.locks_held) {
+    auto it = locks_.find(key);
+    if (it == locks_.end()) {
+      continue;
+    }
+    it->second.shared_holders.erase(ts);
+    if (it->second.exclusive_holder == ts) {
+      it->second.exclusive_holder = 0;
+    }
+    if (it->second.shared_holders.empty() && it->second.exclusive_holder == 0) {
+      locks_.erase(it);
+    }
+  }
+  rec.locks_held.clear();
+}
+
+StatusOr<std::string> TwoPlStore::Read(Timestamp txn, const Key& key) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    OBLADI_RETURN_IF_ERROR(AcquireLocked(lk, txn, key, LockMode::kShared));
+    // Read-your-own-writes from the buffer.
+    auto rec_it = txns_.find(txn);
+    auto w = rec_it->second.writes.find(key);
+    if (w != rec_it->second.writes.end()) {
+      return w->second;
+    }
+  }
+  return storage_->Get(key);  // storage latency outside the lock table mutex
+}
+
+Status TwoPlStore::Write(Timestamp txn, const Key& key, std::string value) {
+  std::unique_lock<std::mutex> lk(mu_);
+  OBLADI_RETURN_IF_ERROR(AcquireLocked(lk, txn, key, LockMode::kExclusive));
+  txns_[txn].writes[key] = std::move(value);
+  return Status::Ok();
+}
+
+Status TwoPlStore::Commit(Timestamp txn) {
+  std::unordered_map<Key, std::string> writes;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end() || !it->second.active) {
+      return Status::Aborted("transaction not active");
+    }
+    writes = std::move(it->second.writes);
+  }
+  // Strict 2PL: flush while still holding every lock. The commit sequence
+  // number reflects lock order, making last-writer-wins on storage correct.
+  Timestamp commit_version = commit_seq_.fetch_add(1);
+  for (auto& [key, value] : writes) {
+    OBLADI_RETURN_IF_ERROR(storage_->Put(key, std::move(value), commit_version));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::Aborted("transaction vanished during flush");
+  }
+  ReleaseAllLocked(txn, it->second);
+  txns_.erase(it);
+  stats_.committed++;
+  lock_cv_.notify_all();
+  return Status::Ok();
+}
+
+void TwoPlStore::Abort(Timestamp txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return;
+  }
+  ReleaseAllLocked(txn, it->second);
+  txns_.erase(it);
+  lock_cv_.notify_all();
+}
+
+}  // namespace obladi

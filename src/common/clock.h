@@ -1,0 +1,57 @@
+// Monotonic time helpers.
+#ifndef OBLADI_SRC_COMMON_CLOCK_H_
+#define OBLADI_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace obladi {
+
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Hybrid wait. Virtualized timers on this class of machine make nanosleep
+// overshoot sub-millisecond deadlines by ~1 ms, which would swamp the latency
+// model, so short waits spin on the clock (callers keep the number of
+// concurrent spinners near the core count) and only long waits sleep.
+inline void PreciseSleepMicros(uint64_t micros) {
+  if (micros == 0) {
+    return;
+  }
+  if (micros <= 500) {
+    uint64_t deadline = NowNanos() + micros * 1000;
+    while (NowNanos() < deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    return;
+  }
+  std::this_thread::sleep_until(std::chrono::steady_clock::now() +
+                                std::chrono::microseconds(micros));
+}
+
+// Simple scoped stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  uint64_t ElapsedMicros() const { return NowMicros() - start_; }
+  void Restart() { start_ = NowMicros(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,78 @@
+// Latency/throughput statistics for the benchmark harness and tests.
+#ifndef OBLADI_SRC_COMMON_HISTOGRAM_H_
+#define OBLADI_SRC_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace obladi {
+
+// Thread-safe collection of sample values (microseconds, counts, ...).
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    samples_.push_back(value);
+    sum_ += value;
+  }
+
+  void Merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk2(other.mu_);
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sum_ += other.sum_;
+  }
+
+  size_t Count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return samples_.size();
+  }
+
+  double Mean() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    return static_cast<double>(sum_) / static_cast<double>(samples_.size());
+  }
+
+  // q in [0, 1]; e.g. 0.5 for median, 0.99 for p99.
+  uint64_t Percentile(double q) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    std::vector<uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    if (idx >= sorted.size()) {
+      idx = sorted.size() - 1;
+    }
+    return sorted[idx];
+  }
+
+  uint64_t Max() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    samples_.clear();
+    sum_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> samples_;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,134 @@
+// Fast non-cryptographic PRNG (xoshiro256**) plus workload-generation helpers
+// (uniform ints, Fisher-Yates shuffle, YCSB-style scrambled zipfian). Crypto-
+// sensitive randomness (path remapping, permutations, nonces) uses
+// crypto/csprng.h instead.
+#ifndef OBLADI_SRC_COMMON_RNG_H_
+#define OBLADI_SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace obladi {
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x0b1ad1d00dull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) {
+      w = SplitMix64(sm);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Debiased via rejection.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  double UniformDouble() {  // [0, 1)
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// YCSB-style zipfian generator over [0, n) with scrambling so that hot keys
+// are spread across the keyspace.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99) : n_(n), theta_(theta) {
+    assert(n > 0);
+    zetan_ = Zeta(n, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Rng& rng) {
+    double u = rng.UniformDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    auto rank = static_cast<uint64_t>(static_cast<double>(n_) *
+                                      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_) {
+      rank = n_ - 1;
+    }
+    return rank;
+  }
+
+  // Scrambled variant: spreads the popular ranks over the keyspace via a hash.
+  uint64_t NextScrambled(Rng& rng) {
+    uint64_t rank = Next(rng);
+    uint64_t h = rank;
+    return (SplitMix64(h)) % n_;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_COMMON_RNG_H_

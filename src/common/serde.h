@@ -1,0 +1,138 @@
+// Little-endian binary serialization used for block payloads, WAL records, and
+// checkpoint images. Deliberately schema-free: callers read fields in the
+// order they wrote them.
+#ifndef OBLADI_SRC_COMMON_SERDE_H_
+#define OBLADI_SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  explicit BinaryWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLe(v); }
+  void PutU32(uint32_t v) { PutLe(v); }
+  void PutU64(uint64_t v) { PutLe(v); }
+  void PutI64(int64_t v) { PutLe(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLe(bits);
+  }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  // Length-prefixed byte string.
+  void PutBytes(const Bytes& b) {
+    PutU32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  // Raw bytes, no length prefix (fixed-size fields).
+  void PutRaw(const uint8_t* data, size_t n) { buf_.insert(buf_.end(), data, data + n); }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t GetU8() { return GetLe<uint8_t>(); }
+  uint16_t GetU16() { return GetLe<uint16_t>(); }
+  uint32_t GetU32() { return GetLe<uint32_t>(); }
+  uint64_t GetU64() { return GetLe<uint64_t>(); }
+  int64_t GetI64() { return static_cast<int64_t>(GetLe<uint64_t>()); }
+  double GetDouble() {
+    uint64_t bits = GetLe<uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool GetBool() { return GetU8() != 0; }
+
+  Bytes GetBytes() {
+    uint32_t n = GetU32();
+    if (!Check(n)) {
+      return {};
+    }
+    Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::string GetString() {
+    uint32_t n = GetU32();
+    if (!Check(n)) {
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+  void GetRaw(uint8_t* out, size_t n) {
+    if (!Check(n)) {
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+ private:
+  template <typename T>
+  T GetLe() {
+    if (!Check(sizeof(T))) {
+      return T{};
+    }
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool Check(size_t n) {
+    if (pos_ + n > size_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_COMMON_SERDE_H_

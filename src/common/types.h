@@ -1,0 +1,48 @@
+// Core scalar types shared across the Obladi codebase.
+#ifndef OBLADI_SRC_COMMON_TYPES_H_
+#define OBLADI_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace obladi {
+
+// Logical identifier of a data block stored in the ORAM. Application keys are
+// mapped to BlockIds by the proxy's KeyDirectory.
+using BlockId = uint64_t;
+inline constexpr BlockId kInvalidBlockId = std::numeric_limits<BlockId>::max();
+
+// A leaf of the ORAM tree; a block mapped to leaf l lives on the root→l path.
+using Leaf = uint32_t;
+inline constexpr Leaf kInvalidLeaf = std::numeric_limits<Leaf>::max();
+
+// Index of a bucket in the heap-ordered ORAM tree (root = 0).
+using BucketIndex = uint32_t;
+
+// Physical slot index inside a bucket (0 .. Z+S-1).
+using SlotIndex = uint32_t;
+inline constexpr SlotIndex kInvalidSlot = std::numeric_limits<SlotIndex>::max();
+
+// MVTSO transaction timestamp; also serves as the transaction id.
+using Timestamp = uint64_t;
+inline constexpr Timestamp kInvalidTimestamp = 0;
+
+// Identifier of an epoch (monotonically increasing).
+using EpochId = uint64_t;
+
+// Raw byte buffer used for block payloads, ciphertexts, and log records.
+using Bytes = std::vector<uint8_t>;
+
+inline Bytes BytesFromString(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string StringFromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_COMMON_TYPES_H_

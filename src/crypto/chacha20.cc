@@ -1,0 +1,113 @@
+#include "src/crypto/chacha20.h"
+
+#include <cstring>
+
+namespace obladi {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const uint8_t key[kKeySize], const uint8_t nonce[kNonceSize],
+                   uint32_t counter) {
+  static const uint8_t kSigma[16] = {'e', 'x', 'p', 'a', 'n', 'd', ' ', '3',
+                                     '2', '-', 'b', 'y', 't', 'e', ' ', 'k'};
+  state_[0] = LoadLe32(kSigma);
+  state_[1] = LoadLe32(kSigma + 4);
+  state_[2] = LoadLe32(kSigma + 8);
+  state_[3] = LoadLe32(kSigma + 12);
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = LoadLe32(key + 4 * i);
+  }
+  state_[12] = counter;
+  state_[13] = LoadLe32(nonce);
+  state_[14] = LoadLe32(nonce + 4);
+  state_[15] = LoadLe32(nonce + 8);
+}
+
+void ChaCha20::NextBlock() {
+  uint32_t x[16];
+  std::memcpy(x, state_, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    StoreLe32(block_ + 4 * i, x[i] + state_[i]);
+  }
+  state_[12]++;  // block counter
+  block_pos_ = 0;
+}
+
+void ChaCha20::Crypt(uint8_t* data, size_t len) {
+  size_t i = 0;
+  while (i < len) {
+    if (block_pos_ == 64) {
+      NextBlock();
+    }
+    size_t take = 64 - block_pos_;
+    if (take > len - i) {
+      take = len - i;
+    }
+    // Chunked XOR; the inner loop auto-vectorizes.
+    const uint8_t* ks = block_ + block_pos_;
+    for (size_t j = 0; j < take; ++j) {
+      data[i + j] ^= ks[j];
+    }
+    block_pos_ += take;
+    i += take;
+  }
+}
+
+void ChaCha20::Keystream(uint8_t* out, size_t len) {
+  size_t i = 0;
+  while (i < len) {
+    if (block_pos_ == 64) {
+      NextBlock();
+    }
+    size_t take = 64 - block_pos_;
+    if (take > len - i) {
+      take = len - i;
+    }
+    std::memcpy(out + i, block_ + block_pos_, take);
+    block_pos_ += take;
+    i += take;
+  }
+}
+
+}  // namespace obladi

@@ -1,0 +1,93 @@
+#include "src/crypto/csprng.h"
+
+#include <chrono>
+#include <cstring>
+#include <random>
+
+#include "src/crypto/sha256.h"
+
+namespace obladi {
+
+namespace {
+
+ChaCha20 CipherFromSeed(uint64_t seed) {
+  // Derive a 32-byte key from the seed via SHA-256; zero nonce (each Csprng
+  // instance has a distinct key, so streams never collide).
+  uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  Sha256::Digest key = Sha256::Hash(seed_bytes, sizeof(seed_bytes));
+  uint8_t nonce[ChaCha20::kNonceSize] = {0};
+  return ChaCha20(key.data(), nonce);
+}
+
+}  // namespace
+
+Csprng::Csprng(uint64_t seed) : cipher_(CipherFromSeed(seed)), pos_(sizeof(buf_)) {}
+
+Csprng Csprng::FromEntropy() {
+  std::random_device rd;
+  uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  seed ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return Csprng(seed);
+}
+
+void Csprng::Refill() {
+  cipher_.Keystream(buf_, sizeof(buf_));
+  pos_ = 0;
+}
+
+void Csprng::FillBytes(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (pos_ == sizeof(buf_)) {
+      Refill();
+    }
+    size_t take = sizeof(buf_) - pos_;
+    if (take > len) {
+      take = len;
+    }
+    std::memcpy(out, buf_ + pos_, take);
+    pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+Bytes Csprng::RandomBytes(size_t len) {
+  Bytes out(len);
+  FillBytes(out.data(), len);
+  return out;
+}
+
+uint64_t Csprng::NextU64() {
+  uint64_t v;
+  FillBytes(reinterpret_cast<uint8_t*>(&v), sizeof(v));
+  return v;
+}
+
+uint64_t Csprng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::vector<uint32_t> Csprng::RandomPermutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = static_cast<uint32_t>(Uniform(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace obladi

@@ -1,0 +1,45 @@
+// ChaCha20-based deterministic random bit generator. Used for every security-
+// relevant random choice in the system: leaf remapping, bucket permutations,
+// dummy payloads, and encryption nonces. Seedable for reproducible tests.
+#ifndef OBLADI_SRC_CRYPTO_CSPRNG_H_
+#define OBLADI_SRC_CRYPTO_CSPRNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/crypto/chacha20.h"
+
+namespace obladi {
+
+class Csprng {
+ public:
+  // Seeded construction (deterministic). Use FromEntropy() for fresh streams.
+  explicit Csprng(uint64_t seed = 1);
+
+  static Csprng FromEntropy();
+
+  void FillBytes(uint8_t* out, size_t len);
+  Bytes RandomBytes(size_t len);
+
+  uint64_t NextU64();
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64()); }
+
+  // Uniform in [0, bound), rejection-sampled.
+  uint64_t Uniform(uint64_t bound);
+
+  // Fisher-Yates over [0, n): returns a uniformly random permutation.
+  std::vector<uint32_t> RandomPermutation(uint32_t n);
+
+ private:
+  void Refill();
+
+  ChaCha20 cipher_;
+  uint8_t buf_[4096];
+  size_t pos_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_CRYPTO_CSPRNG_H_

@@ -1,0 +1,83 @@
+#include "src/crypto/encryptor.h"
+
+#include <cstring>
+
+#include "src/crypto/sha256.h"
+
+namespace obladi {
+
+namespace {
+
+Bytes NormalizeKey(const Bytes& key) {
+  Sha256::Digest d = Sha256::Hash(key);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+Encryptor::Encryptor(Bytes encryption_key, Bytes mac_key, bool authenticated, uint64_t nonce_seed)
+    : enc_key_(NormalizeKey(encryption_key)),
+      mac_key_(NormalizeKey(mac_key)),
+      authenticated_(authenticated) {
+  Csprng salt_rng(nonce_seed);
+  nonce_salt_ = salt_rng.NextU32();
+}
+
+Encryptor Encryptor::FromMasterKey(const Bytes& master, bool authenticated, uint64_t nonce_seed) {
+  Bytes enc = master;
+  enc.push_back('e');
+  Bytes mac = master;
+  mac.push_back('m');
+  return Encryptor(std::move(enc), std::move(mac), authenticated, nonce_seed);
+}
+
+Bytes Encryptor::Encrypt(const Bytes& plaintext, const Bytes& aad) {
+  uint8_t nonce[kNonceSize];
+  uint64_t counter = nonce_counter_.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(nonce, &nonce_salt_, 4);
+  std::memcpy(nonce + 4, &counter, 8);
+
+  Bytes out(kNonceSize + plaintext.size() + (authenticated_ ? kTagSize : 0));
+  std::memcpy(out.data(), nonce, kNonceSize);
+  std::memcpy(out.data() + kNonceSize, plaintext.data(), plaintext.size());
+
+  ChaCha20 cipher(enc_key_.data(), nonce, /*counter=*/1);
+  cipher.Crypt(out.data() + kNonceSize, plaintext.size());
+
+  if (authenticated_) {
+    HmacSha256 mac(mac_key_);
+    mac.Update(out.data(), kNonceSize + plaintext.size());
+    mac.Update(aad);
+    HmacSha256::Tag tag = mac.Finalize();
+    std::memcpy(out.data() + kNonceSize + plaintext.size(), tag.data(), kTagSize);
+  }
+  return out;
+}
+
+StatusOr<Bytes> Encryptor::Decrypt(const Bytes& ciphertext, const Bytes& aad) {
+  size_t overhead = Overhead();
+  if (ciphertext.size() < overhead) {
+    return Status::InvalidArgument("ciphertext shorter than overhead");
+  }
+  size_t pt_len = ciphertext.size() - overhead;
+
+  if (authenticated_) {
+    HmacSha256 mac(mac_key_);
+    mac.Update(ciphertext.data(), kNonceSize + pt_len);
+    mac.Update(aad);
+    HmacSha256::Tag expected = mac.Finalize();
+    HmacSha256::Tag provided;
+    std::memcpy(provided.data(), ciphertext.data() + kNonceSize + pt_len, kTagSize);
+    if (!HmacSha256::Equal(expected, provided)) {
+      return Status::IntegrityViolation("bucket MAC mismatch");
+    }
+  }
+
+  Bytes out(pt_len);
+  std::memcpy(out.data(), ciphertext.data() + kNonceSize, pt_len);
+  ChaCha20 cipher(enc_key_.data(), ciphertext.data(), /*counter=*/1);
+  cipher.Crypt(out.data(), pt_len);
+  return out;
+}
+
+}  // namespace obladi

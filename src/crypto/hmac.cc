@@ -1,0 +1,47 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace obladi {
+
+HmacSha256::HmacSha256(const uint8_t* key, size_t key_len) {
+  uint8_t key_block[64];
+  std::memset(key_block, 0, sizeof(key_block));
+  if (key_len > 64) {
+    Sha256::Digest d = Sha256::Hash(key, key_len);
+    std::memcpy(key_block, d.data(), d.size());
+  } else {
+    std::memcpy(key_block, key, key_len);
+  }
+
+  uint8_t ipad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad_key_[i] = key_block[i] ^ 0x5c;
+  }
+  inner_.Update(ipad, sizeof(ipad));
+}
+
+HmacSha256::Tag HmacSha256::Finalize() {
+  Sha256::Digest inner_digest = inner_.Finalize();
+  Sha256 outer;
+  outer.Update(opad_key_, sizeof(opad_key_));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finalize();
+}
+
+HmacSha256::Tag HmacSha256::Compute(const Bytes& key, const Bytes& message) {
+  HmacSha256 h(key);
+  h.Update(message);
+  return h.Finalize();
+}
+
+bool HmacSha256::Equal(const Tag& a, const Tag& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kTagSize; ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace obladi

@@ -1,0 +1,38 @@
+// HMAC-SHA256 (RFC 2104) used for bucket MACs and freshness tags (Appendix A).
+#ifndef OBLADI_SRC_CRYPTO_HMAC_H_
+#define OBLADI_SRC_CRYPTO_HMAC_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/crypto/sha256.h"
+
+namespace obladi {
+
+class HmacSha256 {
+ public:
+  static constexpr size_t kTagSize = 32;
+  using Tag = std::array<uint8_t, kTagSize>;
+
+  HmacSha256(const uint8_t* key, size_t key_len);
+  explicit HmacSha256(const Bytes& key) : HmacSha256(key.data(), key.size()) {}
+
+  void Update(const uint8_t* data, size_t len) { inner_.Update(data, len); }
+  void Update(const Bytes& data) { inner_.Update(data); }
+  Tag Finalize();
+
+  static Tag Compute(const Bytes& key, const Bytes& message);
+
+  // Constant-time comparison.
+  static bool Equal(const Tag& a, const Tag& b);
+
+ private:
+  Sha256 inner_;
+  uint8_t opad_key_[64];
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,38 @@
+// FIPS 180-4 SHA-256, implemented from scratch (no external crypto deps).
+#ifndef OBLADI_SRC_CRYPTO_SHA256_H_
+#define OBLADI_SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace obladi {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  Digest Finalize();
+
+  static Digest Hash(const uint8_t* data, size_t len);
+  static Digest Hash(const Bytes& data) { return Hash(data.data(), data.size()); }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,72 @@
+// Tiny fixed-width table printer for benchmark output. Each bench binary
+// prints the same rows/series the paper's figure or table reports.
+#ifndef OBLADI_SRC_HARNESS_TABLE_H_
+#define OBLADI_SRC_HARNESS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace obladi {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& Columns(std::vector<std::string> headers) {
+    headers_ = std::move(headers);
+    return *this;
+  }
+
+  Table& Row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) {
+          widths[c] = row[c].size();
+        }
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), headers_[c].c_str());
+    }
+    std::printf("\n");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s  ", std::string(widths[c], '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < headers_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_HARNESS_TABLE_H_

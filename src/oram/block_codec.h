@@ -1,0 +1,52 @@
+// Fixed-size slot plaintext encoding and deterministic dummy payloads.
+//
+// Slot plaintext layout: block id (u64) | leaf at write time (u32) | payload.
+// Dummy slots and empty real slots carry id = kInvalidBlockId and a
+// pseudo-random payload derived from (bucket, version, slot), so generating
+// them is lock-free and costs one keystream pass — the same CPU work a real
+// encryption pays, which keeps the simulated crypto cost honest.
+#ifndef OBLADI_SRC_ORAM_BLOCK_CODEC_H_
+#define OBLADI_SRC_ORAM_BLOCK_CODEC_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/oram/config.h"
+
+namespace obladi {
+
+struct DecodedBlock {
+  BlockId id = kInvalidBlockId;
+  Leaf leaf = kInvalidLeaf;
+  Bytes payload;
+};
+
+class BlockCodec {
+ public:
+  explicit BlockCodec(const RingOramConfig& config, Bytes dummy_seed_key);
+
+  size_t plaintext_size() const { return plaintext_size_; }
+
+  // Encode a real block. The payload is zero-padded / truncated to the
+  // configured payload size.
+  Bytes EncodeBlock(BlockId id, Leaf leaf, const Bytes& payload) const;
+
+  DecodedBlock DecodeBlock(const Bytes& plaintext) const;
+
+  // Deterministic filler plaintext for dummy slots and empty real slots.
+  Bytes DummyPlaintext(BucketIndex bucket, uint32_t version, SlotIndex slot) const;
+
+  // Associated data binding a slot ciphertext to its location and version
+  // (freshness; used in authenticated mode, Appendix A).
+  static Bytes MakeAad(BucketIndex bucket, uint32_t version, SlotIndex slot);
+
+ private:
+  size_t payload_size_;
+  size_t plaintext_size_;
+  Bytes dummy_key_;  // 32-byte key for the dummy-payload PRF
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_BLOCK_CODEC_H_

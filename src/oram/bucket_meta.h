@@ -1,0 +1,95 @@
+// Client-side per-bucket metadata (the "permutation map" of §4/§8).
+//
+// Each bucket has Z logical real slots and S logical dummy slots; `perm` maps
+// logical slot -> physical slot and is re-drawn uniformly at every bucket
+// write, which is what makes physical slot choices unlinkable across writes
+// (the bucket invariant). `valid` tracks which physical slots have been read
+// since the last write; Ring ORAM never reads a physical slot twice between
+// writes.
+#ifndef OBLADI_SRC_ORAM_BUCKET_META_H_
+#define OBLADI_SRC_ORAM_BUCKET_META_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+struct BucketMeta {
+  // Logical slots [0, z) are real, [z, z+s) are dummies.
+  std::vector<SlotIndex> perm;     // logical -> physical
+  std::vector<uint8_t> valid;      // per physical slot; 1 = unread since write
+  std::vector<BlockId> real_ids;   // per logical real slot; kInvalidBlockId = empty
+  std::vector<Leaf> real_leaves;   // leaf of the block in each logical real slot
+  uint32_t reads_since_write = 0;  // physical reads since last write (early-reshuffle trigger)
+  uint32_t dummies_used = 0;       // logical dummy slots consumed since last write
+  uint32_t write_count = 0;        // server-side version of the last write
+
+  void Init(uint32_t z, uint32_t s) {
+    perm.assign(z + s, 0);
+    for (uint32_t i = 0; i < z + s; ++i) {
+      perm[i] = i;
+    }
+    valid.assign(z + s, 1);
+    real_ids.assign(z, kInvalidBlockId);
+    real_leaves.assign(z, kInvalidLeaf);
+    reads_since_write = 0;
+    dummies_used = 0;
+    write_count = 0;
+  }
+
+  uint32_t z() const { return static_cast<uint32_t>(real_ids.size()); }
+  uint32_t num_slots() const { return static_cast<uint32_t>(perm.size()); }
+
+  void Serialize(BinaryWriter& w) const {
+    w.PutU32(static_cast<uint32_t>(real_ids.size()));
+    w.PutU32(num_slots() - static_cast<uint32_t>(real_ids.size()));
+    for (SlotIndex p : perm) {
+      w.PutU16(static_cast<uint16_t>(p));
+    }
+    for (uint8_t v : valid) {
+      w.PutU8(v);
+    }
+    for (BlockId id : real_ids) {
+      w.PutU64(id);
+    }
+    for (Leaf l : real_leaves) {
+      w.PutU32(l);
+    }
+    w.PutU32(reads_since_write);
+    w.PutU32(dummies_used);
+    w.PutU32(write_count);
+  }
+
+  static BucketMeta Deserialize(BinaryReader& r) {
+    BucketMeta m;
+    uint32_t z = r.GetU32();
+    uint32_t s = r.GetU32();
+    m.perm.resize(z + s);
+    for (auto& p : m.perm) {
+      p = r.GetU16();
+    }
+    m.valid.resize(z + s);
+    for (auto& v : m.valid) {
+      v = r.GetU8();
+    }
+    m.real_ids.resize(z);
+    for (auto& id : m.real_ids) {
+      id = r.GetU64();
+    }
+    m.real_leaves.resize(z);
+    for (auto& l : m.real_leaves) {
+      l = r.GetU32();
+    }
+    m.reads_since_write = r.GetU32();
+    m.dummies_used = r.GetU32();
+    m.write_count = r.GetU32();
+    return m;
+  }
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_BUCKET_META_H_

@@ -1,0 +1,67 @@
+#include "src/oram/config.h"
+
+namespace obladi {
+
+void RingOramConfig::ParametersForZ(uint32_t z, uint32_t* a, uint32_t* s) {
+  // Published (Z, A, S) points from the Ring ORAM analytic model; Obladi's
+  // evaluation uses Z=100 -> (A=168, S=196).
+  struct Point {
+    uint32_t z, a, s;
+  };
+  static const Point kTable[] = {
+      {2, 1, 4}, {4, 3, 6}, {8, 8, 14}, {16, 20, 28}, {32, 46, 60}, {100, 168, 196},
+  };
+  for (const Point& p : kTable) {
+    if (p.z == z) {
+      *a = p.a;
+      *s = p.s;
+      return;
+    }
+  }
+  // Large-Z asymptotics: A ≈ 1.68 Z, S ≈ 1.96 Z. Clamp A >= 1.
+  uint32_t a_est = static_cast<uint32_t>(1.68 * z);
+  *a = a_est == 0 ? 1 : a_est;
+  *s = static_cast<uint32_t>(1.96 * z) + 1;
+}
+
+RingOramConfig RingOramConfig::ForCapacity(uint64_t n, uint32_t z, size_t payload_size) {
+  RingOramConfig cfg;
+  cfg.capacity = n;
+  cfg.z = z;
+  ParametersForZ(z, &cfg.a, &cfg.s);
+  cfg.block_payload_size = payload_size;
+
+  // Smallest L with 2^(L-1) * A >= N (at least 2 levels).
+  uint32_t levels = 2;
+  while ((static_cast<uint64_t>(1) << (levels - 1)) * cfg.a < n && levels < 31) {
+    ++levels;
+  }
+  cfg.num_levels = levels;
+
+  // Stash overflow bound for padding/logging. Ring ORAM's stash is O(1) in N
+  // w.h.p.; a multiple of Z plus per-level slack is comfortably above the
+  // empirical occupancy and is what we pad durability checkpoints to.
+  cfg.max_stash_blocks = 4 * static_cast<size_t>(z) + 2 * levels + 32;
+  return cfg;
+}
+
+Status RingOramConfig::Validate() const {
+  if (capacity == 0) {
+    return Status::InvalidArgument("capacity must be > 0");
+  }
+  if (z == 0 || s == 0 || a == 0) {
+    return Status::InvalidArgument("Z, S, A must all be > 0");
+  }
+  if (num_levels < 2 || num_levels > 31) {
+    return Status::InvalidArgument("num_levels out of range");
+  }
+  if (block_payload_size == 0) {
+    return Status::InvalidArgument("block payload size must be > 0");
+  }
+  if (capacity > static_cast<uint64_t>(num_leaves()) * a) {
+    return Status::InvalidArgument("tree too small for capacity (need 2^(L-1)*A >= N)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace obladi

@@ -1,0 +1,55 @@
+// Ring ORAM configuration and the analytic parameter model (§6.4, [Ren+15]).
+//
+// A Ring ORAM instance is parameterized by:
+//   N (capacity)  – number of real blocks
+//   Z             – real slots per bucket
+//   S             – dummy slots per bucket
+//   A             – evict-path frequency (one eviction per A accesses)
+//   L (num_levels)– buckets per root→leaf path; the tree has 2^(L-1) leaves
+//
+// The tree is sized so that the eviction rate keeps the stash bounded:
+// one block enters the stash per access and each eviction (every A accesses)
+// can flush ~A blocks, requiring 2^(L-1) >= N / A. This rule reproduces the
+// paper's Table 11b: (10K, Z=100) -> 7 levels, (100K) -> 11, (1M) -> 14.
+#ifndef OBLADI_SRC_ORAM_CONFIG_H_
+#define OBLADI_SRC_ORAM_CONFIG_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+struct RingOramConfig {
+  uint64_t capacity = 0;          // N
+  uint32_t z = 4;                 // real slots per bucket
+  uint32_t s = 5;                 // dummy slots per bucket
+  uint32_t a = 3;                 // evict path every A accesses
+  uint32_t num_levels = 0;        // L (root..leaf inclusive)
+  size_t block_payload_size = 256;
+  size_t max_stash_blocks = 0;    // checkpoint padding bound; 0 = derived
+  bool authenticated = false;     // Appendix A MAC + freshness mode
+
+  uint32_t num_leaves() const { return 1u << (num_levels - 1); }
+  uint32_t num_buckets() const { return (1u << num_levels) - 1; }
+  uint32_t slots_per_bucket() const { return z + s; }
+
+  // Plaintext slot size: block header (id u64 + leaf u32) + payload.
+  size_t slot_plaintext_size() const { return 12 + block_payload_size; }
+
+  // Build a configuration for N blocks with bucket parameter Z, choosing
+  // (S, A, L, stash bound) from the analytic model.
+  static RingOramConfig ForCapacity(uint64_t n, uint32_t z, size_t payload_size);
+
+  // (A, S) for a given Z, following the Ring ORAM analytic model: A ~ 1.68 Z,
+  // S ~ 1.96 Z at large Z, with the published small-Z points.
+  static void ParametersForZ(uint32_t z, uint32_t* a, uint32_t* s);
+
+  Status Validate() const;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_CONFIG_H_

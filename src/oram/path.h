@@ -1,0 +1,89 @@
+// Tree geometry helpers for the heap-ordered ORAM tree.
+//
+// Buckets are numbered heap-style: root = 0, children of i are 2i+1 / 2i+2.
+// A leaf l in [0, 2^(L-1)) names the path root → leaf; the bucket at level
+// `level` (root = level 0) on that path has in-level index (l >> (L-1-level)).
+#ifndef OBLADI_SRC_ORAM_PATH_H_
+#define OBLADI_SRC_ORAM_PATH_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace obladi {
+
+// Bucket index at `level` on the path to `leaf` in a tree with `num_levels`.
+inline BucketIndex PathBucket(Leaf leaf, uint32_t level, uint32_t num_levels) {
+  uint32_t in_level = leaf >> (num_levels - 1 - level);
+  return ((1u << level) - 1) + in_level;
+}
+
+inline uint32_t LevelOfBucket(BucketIndex bucket) {
+  uint32_t level = 0;
+  while ((1u << (level + 1)) - 1 <= bucket) {
+    ++level;
+  }
+  return level;
+}
+
+// Does the path to `leaf` pass through `bucket`?
+inline bool PathContains(Leaf leaf, BucketIndex bucket, uint32_t num_levels) {
+  uint32_t level = LevelOfBucket(bucket);
+  return PathBucket(leaf, level, num_levels) == bucket;
+}
+
+// Length of the common prefix (in levels) of the paths to leaves a and b;
+// i.e. the deepest level whose bucket both paths share, plus one. Result is
+// in [1, num_levels] (paths always share the root).
+inline uint32_t CommonPathLevels(Leaf a, Leaf b, uint32_t num_levels) {
+  uint32_t shared = 1;  // root
+  for (uint32_t level = 1; level < num_levels; ++level) {
+    if ((a >> (num_levels - 1 - level)) != (b >> (num_levels - 1 - level))) {
+      break;
+    }
+    ++shared;
+  }
+  return shared;
+}
+
+// Reverse-lexicographic eviction order (Ring ORAM): the g-th eviction targets
+// leaf bit_reverse(g mod 2^(L-1)). This spreads consecutive evictions across
+// the tree deterministically.
+inline Leaf EvictionLeaf(uint64_t evict_counter, uint32_t num_levels) {
+  uint32_t bits = num_levels - 1;
+  uint32_t g = static_cast<uint32_t>(evict_counter & ((1u << bits) - 1));
+  uint32_t reversed = 0;
+  for (uint32_t i = 0; i < bits; ++i) {
+    reversed = (reversed << 1) | ((g >> i) & 1);
+  }
+  return reversed;
+}
+
+// Number of evictions among the first `evict_count` that touched `bucket`.
+// Used by tests to validate the shadow-paging version determinism argument.
+inline uint64_t EvictionTouchCount(uint64_t evict_count, BucketIndex bucket,
+                                   [[maybe_unused]] uint32_t num_levels) {
+  uint32_t level = LevelOfBucket(bucket);
+  if (level == 0) {
+    return evict_count;  // every eviction passes through the root
+  }
+  uint32_t in_level = bucket - ((1u << level) - 1);
+  // Eviction e touches this bucket iff the low `level` bits of e, reversed,
+  // equal in_level (see EvictionLeaf).
+  uint32_t r = 0;
+  for (uint32_t i = 0; i < level; ++i) {
+    r = (r << 1) | ((in_level >> i) & 1);
+  }
+  uint64_t period = 1u << level;
+  if (evict_count == 0) {
+    return 0;
+  }
+  if (evict_count <= r) {
+    return 0;
+  }
+  return (evict_count - r - 1) / period + 1;
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_PATH_H_

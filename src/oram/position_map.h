@@ -1,0 +1,85 @@
+// Position map: block id -> leaf. Block ids are dense (the proxy's key
+// directory allocates them), so this is a flat array. Tracks dirty entries
+// between checkpoints for the delta-checkpoint optimization (§8).
+#ifndef OBLADI_SRC_ORAM_POSITION_MAP_H_
+#define OBLADI_SRC_ORAM_POSITION_MAP_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+class PositionMap {
+ public:
+  explicit PositionMap(uint64_t capacity = 0) : leaves_(capacity, kInvalidLeaf) {}
+
+  uint64_t capacity() const { return leaves_.size(); }
+
+  Leaf Get(BlockId id) const { return leaves_[id]; }
+
+  void Set(BlockId id, Leaf leaf) {
+    leaves_[id] = leaf;
+    dirty_.insert(id);
+  }
+
+  bool Contains(BlockId id) const { return id < leaves_.size() && leaves_[id] != kInvalidLeaf; }
+
+  // --- checkpointing ---
+  size_t dirty_count() const { return dirty_.size(); }
+
+  // Serialize dirty entries (id, leaf pairs) and clear the dirty set.
+  Bytes SerializeDelta() {
+    BinaryWriter w;
+    w.PutU32(static_cast<uint32_t>(dirty_.size()));
+    for (BlockId id : dirty_) {
+      w.PutU64(id);
+      w.PutU32(leaves_[id]);
+    }
+    dirty_.clear();
+    return w.Take();
+  }
+
+  void ApplyDelta(const Bytes& delta) {
+    BinaryReader r(delta);
+    uint32_t n = r.GetU32();
+    for (uint32_t i = 0; i < n; ++i) {
+      BlockId id = r.GetU64();
+      Leaf leaf = r.GetU32();
+      if (id < leaves_.size()) {  // padding entries carry kInvalidBlockId
+        leaves_[id] = leaf;
+      }
+    }
+  }
+
+  Bytes SerializeFull() const {
+    BinaryWriter w(leaves_.size() * 4 + 8);
+    w.PutU64(leaves_.size());
+    for (Leaf l : leaves_) {
+      w.PutU32(l);
+    }
+    return w.Take();
+  }
+
+  static PositionMap DeserializeFull(const Bytes& data) {
+    BinaryReader r(data);
+    uint64_t n = r.GetU64();
+    PositionMap m(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      m.leaves_[i] = r.GetU32();
+    }
+    return m;
+  }
+
+  void ClearDirty() { dirty_.clear(); }
+
+ private:
+  std::vector<Leaf> leaves_;
+  std::unordered_set<BlockId> dirty_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_POSITION_MAP_H_

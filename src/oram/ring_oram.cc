@@ -1,0 +1,991 @@
+#include "src/oram/ring_oram.h"
+
+#include <cassert>
+
+#include "src/common/clock.h"
+
+#include "src/oram/path.h"
+
+namespace obladi {
+
+RingOram::RingOram(RingOramConfig config, RingOramOptions options,
+                   std::shared_ptr<BucketStore> store, std::shared_ptr<Encryptor> encryptor,
+                   uint64_t seed)
+    : config_(config),
+      options_(options),
+      store_(std::move(store)),
+      encryptor_(std::move(encryptor)),
+      codec_(config, Bytes{'d', 'u', 'm', 'm', 'y'}),
+      rng_(seed),
+      position_map_(config.capacity),
+      loc_(config.capacity) {
+  assert(config_.Validate().ok());
+  if (!options_.parallel) {
+    options_.defer_writes = false;
+  }
+  meta_.resize(config_.num_buckets());
+  for (auto& m : meta_) {
+    m.Init(config_.z, config_.s);
+  }
+  if (options_.enable_trace) {
+    trace_.Enable();
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.parallel ? options_.io_threads : 1);
+  size_t cores = std::thread::hardware_concurrency();
+  if (cores == 0) {
+    cores = 8;
+  }
+  size_t crypto_threads = options_.parallel ? std::min(options_.io_threads, cores) : 1;
+  crypto_pool_ = std::make_unique<ThreadPool>(crypto_threads);
+}
+
+RingOram::~RingOram() {
+  // Ensure no worker task outlives the object.
+  WaitOutstandingReads();
+}
+
+void RingOram::SetBatchPlannedHook(std::function<Status(const BatchPlan&)> hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  planned_hook_ = std::move(hook);
+}
+
+RingOramStats RingOram::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void RingOram::ResetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = RingOramStats{};
+}
+
+std::vector<BucketIndex> RingOram::TakeDirtyBuckets() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<BucketIndex> out(dirty_buckets_.begin(), dirty_buckets_.end());
+  dirty_buckets_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Initialization
+// ---------------------------------------------------------------------------
+
+Status RingOram::Initialize(const std::vector<Bytes>& values) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (values.size() > config_.capacity) {
+    return Status::InvalidArgument("more initial values than ORAM capacity");
+  }
+
+  // Assign uniform leaves, then pack bottom-up: each bucket takes up to Z of
+  // the blocks whose paths pass through it, deepest placement first. This is
+  // the densest valid packing; any residue at the root goes to the stash.
+  uint32_t leaves = config_.num_leaves();
+  std::vector<std::vector<PlannedBlock>> carry(leaves);
+  for (BlockId id = 0; id < values.size(); ++id) {
+    Leaf leaf = RandomLeaf();
+    position_map_.Set(id, leaf);
+    carry[leaf].push_back(PlannedBlock{id, leaf, values[id]});
+  }
+
+  for (uint32_t level = config_.num_levels; level-- > 0;) {
+    uint32_t nodes = 1u << level;
+    std::vector<std::vector<PlannedBlock>> next(level == 0 ? 1 : nodes / 2);
+    for (uint32_t j = 0; j < nodes; ++j) {
+      BucketIndex bucket = (nodes - 1) + j;
+      auto& blocks = carry[j];
+      std::vector<PlannedBlock> placed;
+      while (!blocks.empty() && placed.size() < config_.z) {
+        placed.push_back(std::move(blocks.back()));
+        blocks.pop_back();
+      }
+      BucketMeta& mb = meta_[bucket];
+      for (size_t i = 0; i < placed.size(); ++i) {
+        mb.real_ids[i] = placed[i].id;
+        mb.real_leaves[i] = placed[i].leaf;
+        loc_[placed[i].id] = BlockLoc{bucket, static_cast<uint32_t>(i)};
+      }
+      mb.perm = rng_.RandomPermutation(config_.slots_per_bucket());
+      buffered_[bucket].rewrite_planned = true;
+      buffered_[bucket].blocks = std::move(placed);
+      if (level > 0) {
+        auto& up = next[j / 2];
+        for (auto& b : blocks) {
+          up.push_back(std::move(b));
+        }
+      } else {
+        for (auto& b : blocks) {
+          StashEntry e;
+          e.leaf = b.leaf;
+          e.value = std::move(b.value);
+          e.value_ready = true;
+          stash_.Put(b.id, std::move(e));
+          loc_[b.id] = BlockLoc{kLocStash, 0};
+        }
+      }
+      blocks.clear();
+    }
+    carry = std::move(next);
+  }
+
+  // Materialize every bucket at version 0, in parallel.
+  std::vector<std::pair<BucketIndex, const std::vector<PlannedBlock>*>> all;
+  all.reserve(buffered_.size());
+  for (auto& [bucket, bb] : buffered_) {
+    all.emplace_back(bucket, &bb.blocks);
+  }
+  crypto_pool_->ParallelFor(all.size(), [&](size_t i) {
+    MaterializeBucket(all[i].first, *all[i].second, /*via_pool=*/true);
+  });
+  FlushPendingImages();
+  buffered_.clear();
+  position_map_.ClearDirty();
+  dirty_buckets_.clear();
+  {
+    std::lock_guard<std::mutex> elk(err_mu_);
+    OBLADI_RETURN_IF_ERROR(first_error_);
+  }
+  return Status::Ok();
+}
+
+Status RingOram::RestoreState(PositionMap position_map, std::vector<BucketMeta> metas,
+                              Stash stash, uint64_t access_count, uint64_t evict_count,
+                              EpochId epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (metas.size() != meta_.size() || position_map.capacity() != config_.capacity) {
+    return Status::InvalidArgument("restored state shape mismatch");
+  }
+  position_map_ = std::move(position_map);
+  meta_ = std::move(metas);
+  stash_ = std::move(stash);
+  access_count_ = access_count;
+  evict_count_ = evict_count;
+  epoch_ = epoch;
+  batch_in_epoch_ = 0;
+  buffered_.clear();
+  deferred_ops_.clear();
+  pending_reads_.clear();
+  dirty_buckets_.clear();
+  position_map_.ClearDirty();
+
+  // Rebuild the block location index from the recovered components.
+  loc_.assign(config_.capacity, BlockLoc{});
+  for (BucketIndex b = 0; b < meta_.size(); ++b) {
+    const BucketMeta& mb = meta_[b];
+    for (uint32_t i = 0; i < mb.z(); ++i) {
+      if (mb.real_ids[i] != kInvalidBlockId) {
+        loc_[mb.real_ids[i]] = BlockLoc{b, i};
+      }
+    }
+  }
+  for (const auto& [id, entry] : stash_.entries()) {
+    loc_[id] = BlockLoc{kLocStash, 0};
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Physical IO
+// ---------------------------------------------------------------------------
+
+void RingOram::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (first_error_.ok()) {
+    first_error_ = status;
+  }
+}
+
+void RingOram::ExecuteReadNow(const PendingRead& read) {
+  ProcessCiphertext(read, store_->ReadSlot(read.bucket, read.version, read.slot));
+}
+
+void RingOram::ProcessCiphertext(const PendingRead& read, StatusOr<Bytes> ciphertext) {
+  if (!ciphertext.ok()) {
+    RecordError(ciphertext.status());
+    return;
+  }
+  StatusOr<Bytes> pt = Status::Internal("uninitialized");
+  Bytes aad = config_.authenticated
+                  ? BlockCodec::MakeAad(read.bucket, read.version, read.slot)
+                  : Bytes{};
+  if (options_.parallel && !options_.parallel_crypto) {
+    std::lock_guard<std::mutex> lk(crypto_mu_);
+    pt = encryptor_->Decrypt(*ciphertext, aad);
+  } else {
+    pt = encryptor_->Decrypt(*ciphertext, aad);
+  }
+  if (!pt.ok()) {
+    RecordError(pt.status());
+    return;
+  }
+  if (read.deposit_id == kInvalidBlockId) {
+    return;  // dummy slot: content discarded
+  }
+  DecodedBlock decoded = codec_.DecodeBlock(*pt);
+  if (options_.verify_decoded_ids && decoded.id != read.deposit_id) {
+    RecordError(Status::IntegrityViolation("decoded block id mismatch"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(deposit_mu_);
+    if (read.entry != nullptr && read.entry->gen == read.entry_gen &&
+        !read.entry->value_ready) {
+      read.entry->value = decoded.payload;
+      read.entry->value_ready = true;
+    }
+    if (read.results != nullptr) {
+      (*read.results)[read.result_slot] = decoded.payload;
+    }
+  }
+}
+
+void RingOram::EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit_id,
+                        StashEntry* entry, std::vector<Bytes>* results, size_t result_slot,
+                        uint32_t entry_gen) {
+  PendingRead read;
+  read.bucket = bucket;
+  read.version = meta_[bucket].write_count;
+  read.slot = phys_slot;
+  read.deposit_id = deposit_id;
+  read.entry = entry;
+  read.results = results;
+  read.result_slot = result_slot;
+  read.entry_gen = entry_gen;
+  trace_.Record(PhysicalOpType::kReadSlot, read.bucket, read.version, read.slot);
+  stats_.physical_slot_reads++;
+
+  if (!options_.parallel) {
+    ExecuteReadNow(read);
+    return;
+  }
+  if (options_.defer_writes) {
+    pending_reads_.push_back(read);
+    return;
+  }
+  // Eager mode (immediate write phases): dispatch each read as it is planned
+  // so eviction barriers have something to wait on.
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    ++outstanding_reads_;
+  }
+  pool_->Enqueue([this, read] {
+    ExecuteReadNow(read);
+    {
+      std::lock_guard<std::mutex> lk(io_mu_);
+      --outstanding_reads_;
+    }
+    io_cv_.notify_all();
+  });
+}
+
+void RingOram::DispatchPendingReads() {
+  if (pending_reads_.empty()) {
+    return;
+  }
+  // Split the batch's reads into ~2x-core-count chunks, each issued as one
+  // batched storage request: inter- and intra-request parallelism with a
+  // bounded number of in-flight RPCs.
+  size_t max_chunks = 2 * crypto_pool_->num_threads();
+  size_t chunk = (pending_reads_.size() + max_chunks - 1) / max_chunks;
+  size_t num_chunks = (pending_reads_.size() + chunk - 1) / chunk;
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    outstanding_reads_ += num_chunks;
+  }
+  for (size_t start = 0; start < pending_reads_.size(); start += chunk) {
+    size_t end = std::min(start + chunk, pending_reads_.size());
+    std::vector<PendingRead> group(pending_reads_.begin() + static_cast<ptrdiff_t>(start),
+                                   pending_reads_.begin() + static_cast<ptrdiff_t>(end));
+    pool_->Enqueue([this, group = std::move(group)] {
+      std::vector<SlotRef> refs;
+      refs.reserve(group.size());
+      for (const PendingRead& read : group) {
+        refs.push_back(SlotRef{read.bucket, read.version, read.slot});
+      }
+      auto ciphertexts = store_->ReadSlotsBatch(refs);
+      for (size_t i = 0; i < group.size(); ++i) {
+        ProcessCiphertext(group[i], std::move(ciphertexts[i]));
+      }
+      {
+        std::lock_guard<std::mutex> lk(io_mu_);
+        --outstanding_reads_;
+      }
+      io_cv_.notify_all();
+    });
+  }
+  pending_reads_.clear();
+}
+
+void RingOram::WaitOutstandingReads() {
+  std::unique_lock<std::mutex> lk(io_mu_);
+  io_cv_.wait(lk, [&] { return outstanding_reads_ == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// Access planning
+// ---------------------------------------------------------------------------
+
+Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPlan& plan,
+                            std::vector<Bytes>* results, size_t result_slot) {
+  bool is_real = id != kInvalidBlockId;
+  Leaf path_leaf;
+  BucketIndex target_bucket = kLocNone;
+  uint32_t target_slot = 0;
+  StashEntry* entry = nullptr;
+
+  if (is_real) {
+    if (id >= config_.capacity) {
+      return Status::InvalidArgument("block id out of range");
+    }
+    if (!position_map_.Contains(id)) {
+      return Status::NotFound("block was never written");
+    }
+    path_leaf = position_map_.Get(id);
+    if (forced_leaf.has_value() && *forced_leaf != path_leaf) {
+      return Status::Internal("replay leaf does not match restored position map");
+    }
+
+    BlockLoc loc = loc_[id];
+    if (loc.bucket == kLocStash) {
+      entry = stash_.Find(id);
+      assert(entry != nullptr);
+    } else if (loc.bucket == kLocNone) {
+      return Status::NotFound("block has no physical location");
+    } else {
+      target_bucket = loc.bucket;
+      target_slot = loc.slot;
+    }
+
+    // Remap to a fresh uniform leaf (path invariant).
+    Leaf new_leaf = RandomLeaf();
+    position_map_.Set(id, new_leaf);
+
+    if (entry != nullptr) {
+      // Stash-resident block. Physically this is a dummy path read along the
+      // old leaf; logically the entry is now the product of a logical access.
+      entry->leaf = new_leaf;
+      entry->from_logical_access = true;
+      if (results != nullptr) {
+        if (entry->value_ready) {
+          (*results)[result_slot] = entry->value;
+        } else {
+          // Value still in flight (pulled by an earlier eviction); copy it out
+          // after the next read barrier, before any flush can move it.
+          lazy_results_.push_back(LazyResult{id, results, result_slot});
+        }
+      }
+    } else {
+      // Block lives in the tree: pull it into the stash (value in flight).
+      StashEntry fresh;
+      fresh.leaf = new_leaf;
+      fresh.value_ready = false;
+      fresh.from_logical_access = true;
+      entry = stash_.Put(id, std::move(fresh));
+      loc_[id] = BlockLoc{kLocStash, 0};
+      BucketMeta& mb = meta_[target_bucket];
+      assert(mb.real_ids[target_slot] == id);
+      mb.real_ids[target_slot] = kInvalidBlockId;
+      mb.real_leaves[target_slot] = kInvalidLeaf;
+      dirty_buckets_.insert(target_bucket);
+    }
+  } else {
+    path_leaf = forced_leaf.has_value() ? *forced_leaf : RandomLeaf();
+  }
+
+  plan.requests.push_back(PlannedRequest{id, path_leaf});
+  stats_.logical_accesses++;
+
+  bool skip_physical = options_.cache_all_stash && is_real && target_bucket == kLocNone;
+  if (skip_physical) {
+    // INSECURE ablation (§6.3): serving stash-resident blocks without a dummy
+    // path read skews the observable leaf distribution.
+    stats_.stash_cache_skips++;
+  } else {
+    std::vector<BucketIndex> reshuffle_candidates;
+    for (uint32_t level = 0; level < config_.num_levels; ++level) {
+      BucketIndex bucket = PathBucket(path_leaf, level, config_.num_levels);
+      if (options_.defer_writes) {
+        auto it = buffered_.find(bucket);
+        if (it != buffered_.end() && it->second.fully_read) {
+          // Already consumed by an eviction/reshuffle this epoch: served from
+          // the proxy's buffered copy, no physical read (Lemma 2).
+          stats_.buffered_bucket_skips++;
+          continue;
+        }
+      }
+      BucketMeta& mb = meta_[bucket];
+      SlotIndex phys;
+      BlockId deposit = kInvalidBlockId;
+      uint32_t gen = 0;
+      if (bucket == target_bucket) {
+        phys = mb.perm[target_slot];
+        assert(mb.valid[phys]);
+        deposit = id;
+        gen = entry->gen;
+      } else {
+        assert(mb.dummies_used < config_.s);
+        phys = mb.perm[config_.z + mb.dummies_used];
+        assert(mb.valid[phys]);
+        mb.dummies_used++;
+      }
+      mb.valid[phys] = 0;
+      mb.reads_since_write++;
+      dirty_buckets_.insert(bucket);
+      EmitRead(bucket, phys, deposit, deposit != kInvalidBlockId ? entry : nullptr,
+               deposit != kInvalidBlockId ? results : nullptr, result_slot, gen);
+      if (mb.reads_since_write >= config_.s) {
+        reshuffle_candidates.push_back(bucket);
+      }
+    }
+    for (BucketIndex bucket : reshuffle_candidates) {
+      ScheduleReshuffle(bucket);
+    }
+  }
+
+  BumpAccessCounter();
+  return Status::Ok();
+}
+
+void RingOram::BumpAccessCounter() {
+  ++access_count_;
+  if (access_count_ % config_.a == 0) {
+    ScheduleEviction();
+  }
+}
+
+void RingOram::BucketReadPhase(BucketIndex bucket) {
+  BucketMeta& mb = meta_[bucket];
+  uint32_t reads = 0;
+  for (uint32_t i = 0; i < config_.z; ++i) {
+    BlockId id = mb.real_ids[i];
+    if (id == kInvalidBlockId) {
+      continue;
+    }
+    SlotIndex phys = mb.perm[i];
+    assert(mb.valid[phys]);
+    mb.valid[phys] = 0;
+
+    // Move the block to the stash *without* remapping (this is not a logical
+    // access); value arrives with the physical read.
+    StashEntry fresh;
+    fresh.leaf = mb.real_leaves[i];
+    fresh.value_ready = false;
+    fresh.from_logical_access = false;
+    StashEntry* entry = stash_.Put(id, std::move(fresh));
+    loc_[id] = BlockLoc{kLocStash, 0};
+    mb.real_ids[i] = kInvalidBlockId;
+    mb.real_leaves[i] = kInvalidLeaf;
+    EmitRead(bucket, phys, id, entry, nullptr, 0, entry->gen);
+    ++reads;
+  }
+  // Pad with valid dummies up to Z total reads (canonical Ring ORAM).
+  while (reads < config_.z && mb.dummies_used < config_.s) {
+    SlotIndex phys = mb.perm[config_.z + mb.dummies_used];
+    if (!mb.valid[phys]) {
+      mb.dummies_used++;
+      continue;
+    }
+    mb.valid[phys] = 0;
+    mb.dummies_used++;
+    EmitRead(bucket, phys, kInvalidBlockId, nullptr, nullptr, 0, 0);
+    ++reads;
+  }
+  dirty_buckets_.insert(bucket);
+}
+
+void RingOram::ScheduleReshuffle(BucketIndex bucket) {
+  if (options_.defer_writes) {
+    auto& bb = buffered_[bucket];
+    if (bb.fully_read) {
+      return;  // already consumed this epoch; its rewrite is already planned
+    }
+    BucketReadPhase(bucket);
+    bb.fully_read = true;
+    deferred_ops_.push_back(DeferredOp{DeferredOpType::kReshuffle, kInvalidLeaf, bucket});
+  } else {
+    BucketReadPhase(bucket);
+    WaitOutstandingReads();
+    ResolveLazyResults();
+    FlushBucket(bucket);
+    // Materialize immediately (write phase at the trigger point).
+    auto it = buffered_.find(bucket);
+    if (it != buffered_.end() && it->second.rewrite_planned) {
+      trace_.Record(PhysicalOpType::kWriteBucket, bucket, meta_[bucket].write_count,
+                    kInvalidSlot);
+      stats_.physical_bucket_writes++;
+      MaterializeBucket(bucket, it->second.blocks, /*via_pool=*/false);
+      buffered_.erase(it);
+    }
+  }
+  stats_.early_reshuffles++;
+}
+
+void RingOram::ScheduleEviction() {
+  Leaf leaf = EvictionLeaf(evict_count_, config_.num_levels);
+  ++evict_count_;
+  stats_.evictions++;
+
+  // Read phase: pull every remaining valid real block on the path into the
+  // stash (buckets already consumed this epoch are skipped — their blocks are
+  // in the stash or in planned buckets already).
+  for (uint32_t level = 0; level < config_.num_levels; ++level) {
+    BucketIndex bucket = PathBucket(leaf, level, config_.num_levels);
+    if (options_.defer_writes) {
+      auto& bb = buffered_[bucket];
+      if (bb.fully_read) {
+        stats_.buffered_bucket_skips++;
+        continue;
+      }
+      BucketReadPhase(bucket);
+      bb.fully_read = true;
+    } else {
+      BucketReadPhase(bucket);
+    }
+  }
+
+  if (options_.defer_writes) {
+    deferred_ops_.push_back(DeferredOp{DeferredOpType::kEvictPath, leaf, 0});
+  } else {
+    WaitOutstandingReads();
+    ResolveLazyResults();
+    FlushPath(leaf);
+    // Materialize the rewritten path immediately.
+    std::vector<std::pair<BucketIndex, const std::vector<PlannedBlock>*>> to_write;
+    for (auto& [bucket, bb] : buffered_) {
+      if (bb.rewrite_planned) {
+        to_write.emplace_back(bucket, &bb.blocks);
+      }
+    }
+    for (const auto& [bucket, blocks] : to_write) {
+      trace_.Record(PhysicalOpType::kWriteBucket, bucket, meta_[bucket].write_count,
+                    kInvalidSlot);
+      stats_.physical_bucket_writes++;
+    }
+    if (options_.parallel) {
+      crypto_pool_->ParallelFor(to_write.size(), [&](size_t i) {
+        MaterializeBucket(to_write[i].first, *to_write[i].second, /*via_pool=*/true);
+      });
+      FlushPendingImages();
+    } else {
+      for (const auto& [bucket, blocks] : to_write) {
+        MaterializeBucket(bucket, *blocks, /*via_pool=*/false);
+      }
+    }
+    buffered_.clear();
+  }
+}
+
+void RingOram::ResolveLazyResults() {
+  for (auto it = lazy_results_.begin(); it != lazy_results_.end();) {
+    StashEntry* entry = stash_.Find(it->id);
+    if (entry != nullptr && entry->value_ready) {
+      (*it->results)[it->slot] = entry->value;
+      it = lazy_results_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flushing (eviction/reshuffle write phases)
+// ---------------------------------------------------------------------------
+
+void RingOram::PullPlannedBlocks(BucketIndex bucket) {
+  auto it = buffered_.find(bucket);
+  if (it == buffered_.end() || !it->second.rewrite_planned) {
+    return;
+  }
+  BucketMeta& mb = meta_[bucket];
+  for (auto& blk : it->second.blocks) {
+    StashEntry e;
+    e.leaf = blk.leaf;
+    e.value = std::move(blk.value);
+    e.value_ready = true;
+    stash_.Put(blk.id, std::move(e));
+    loc_[blk.id] = BlockLoc{kLocStash, 0};
+  }
+  it->second.blocks.clear();
+  it->second.rewrite_planned = false;
+  mb.real_ids.assign(config_.z, kInvalidBlockId);
+  mb.real_leaves.assign(config_.z, kInvalidLeaf);
+}
+
+std::vector<RingOram::PlannedBlock> RingOram::SelectStashBlocksFor(BucketIndex bucket,
+                                                                   Leaf target_leaf,
+                                                                   uint32_t level) {
+  std::vector<PlannedBlock> out;
+  for (auto& [id, entry] : stash_.entries()) {
+    if (out.size() >= config_.z) {
+      break;
+    }
+    if (!entry.value_ready) {
+      continue;  // should not happen after the pre-flush barrier
+    }
+    bool fits;
+    if (target_leaf == kInvalidLeaf) {
+      fits = PathContains(entry.leaf, bucket, config_.num_levels);
+    } else {
+      fits = CommonPathLevels(entry.leaf, target_leaf, config_.num_levels) > level;
+    }
+    if (fits) {
+      out.push_back(PlannedBlock{id, entry.leaf, entry.value});
+    }
+  }
+  for (const auto& blk : out) {
+    stash_.Erase(blk.id);
+  }
+  return out;
+}
+
+void RingOram::PlaceAndRewrite(BucketIndex bucket, std::vector<PlannedBlock> blocks) {
+  BucketMeta& mb = meta_[bucket];
+  mb.real_ids.assign(config_.z, kInvalidBlockId);
+  mb.real_leaves.assign(config_.z, kInvalidLeaf);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    mb.real_ids[i] = blocks[i].id;
+    mb.real_leaves[i] = blocks[i].leaf;
+    loc_[blocks[i].id] = BlockLoc{bucket, static_cast<uint32_t>(i)};
+  }
+  mb.perm = rng_.RandomPermutation(config_.slots_per_bucket());
+  mb.valid.assign(config_.slots_per_bucket(), 1);
+  mb.reads_since_write = 0;
+  mb.dummies_used = 0;
+  mb.write_count++;
+  dirty_buckets_.insert(bucket);
+  stats_.planned_bucket_rewrites++;
+
+  auto& bb = buffered_[bucket];
+  bb.rewrite_planned = true;
+  bb.blocks = std::move(blocks);
+}
+
+void RingOram::FlushPath(Leaf leaf) {
+  // A bucket rewritten earlier this epoch contributes its planned blocks back
+  // to the stash so this flush can repack them (write deduplication).
+  for (uint32_t level = 0; level < config_.num_levels; ++level) {
+    PullPlannedBlocks(PathBucket(leaf, level, config_.num_levels));
+  }
+  // Deepest-first placement maximizes how far blocks descend.
+  for (uint32_t level = config_.num_levels; level-- > 0;) {
+    BucketIndex bucket = PathBucket(leaf, level, config_.num_levels);
+    PlaceAndRewrite(bucket, SelectStashBlocksFor(bucket, leaf, level));
+  }
+}
+
+void RingOram::FlushBucket(BucketIndex bucket) {
+  PullPlannedBlocks(bucket);
+  PlaceAndRewrite(bucket, SelectStashBlocksFor(bucket, kInvalidLeaf, 0));
+}
+
+void RingOram::MaterializeBucket(BucketIndex bucket, const std::vector<PlannedBlock>& blocks,
+                                 bool via_pool) {
+  const BucketMeta& mb = meta_[bucket];
+  uint32_t version = mb.write_count;
+  uint32_t num_slots = config_.slots_per_bucket();
+  std::vector<Bytes> slots(num_slots);
+  for (uint32_t logical = 0; logical < num_slots; ++logical) {
+    SlotIndex phys = mb.perm[logical];
+    Bytes plaintext;
+    if (logical < config_.z && mb.real_ids[logical] != kInvalidBlockId) {
+      assert(logical < blocks.size());
+      plaintext = codec_.EncodeBlock(blocks[logical].id, blocks[logical].leaf,
+                                     blocks[logical].value);
+    } else {
+      plaintext = codec_.DummyPlaintext(bucket, version, phys);
+    }
+    Bytes aad = config_.authenticated ? BlockCodec::MakeAad(bucket, version, phys) : Bytes{};
+    if (via_pool && options_.parallel && !options_.parallel_crypto) {
+      std::lock_guard<std::mutex> lk(crypto_mu_);
+      slots[phys] = encryptor_->Encrypt(plaintext, aad);
+    } else {
+      slots[phys] = encryptor_->Encrypt(plaintext, aad);
+    }
+  }
+  // Buffer the encrypted image; the caller flushes all images of this write
+  // phase as one batched storage request (the physical analogue of the
+  // paper's parallel write-back).
+  if (via_pool && options_.parallel) {
+    std::lock_guard<std::mutex> lk(images_mu_);
+    pending_images_.push_back(BucketImage{bucket, version, std::move(slots)});
+    return;
+  }
+  Status st = store_->WriteBucket(bucket, version, std::move(slots));
+  if (!st.ok()) {
+    RecordError(st);
+  }
+}
+
+void RingOram::FlushPendingImages() {
+  std::vector<BucketImage> images;
+  {
+    std::lock_guard<std::mutex> lk(images_mu_);
+    images.swap(pending_images_);
+  }
+  if (images.empty()) {
+    return;
+  }
+  Status st = store_->WriteBucketsBatch(std::move(images));
+  if (!st.ok()) {
+    RecordError(st);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched operations
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<Bytes>> RingOram::RunReadBatch(const std::vector<BlockId>& ids,
+                                                    const BatchPlan* replay_plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Bytes> results(ids.size());
+  BatchPlan plan;
+  plan.epoch = epoch_;
+  plan.batch_index = batch_in_epoch_++;
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::optional<Leaf> forced;
+    if (replay_plan != nullptr) {
+      forced = replay_plan->requests[i].leaf;
+    }
+    Status st = PlanAccess(ids[i], forced, plan, &results, i);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+
+  if (planned_hook_ && replay_plan == nullptr) {
+    OBLADI_RETURN_IF_ERROR(planned_hook_(plan));
+  }
+  DispatchPendingReads();
+  WaitOutstandingReads();
+  ResolveLazyResults();
+
+  {
+    std::lock_guard<std::mutex> elk(err_mu_);
+    if (!first_error_.ok()) {
+      Status err = first_error_;
+      first_error_ = Status::Ok();
+      return err;
+    }
+  }
+  return results;
+}
+
+StatusOr<std::vector<Bytes>> RingOram::ReadBatch(const std::vector<BlockId>& ids) {
+  return RunReadBatch(ids, nullptr);
+}
+
+StatusOr<std::vector<Bytes>> RingOram::ReplayReadBatch(const BatchPlan& plan) {
+  std::vector<BlockId> ids;
+  ids.reserve(plan.requests.size());
+  for (const auto& req : plan.requests) {
+    ids.push_back(req.id);
+  }
+  return RunReadBatch(ids, &plan);
+}
+
+Status RingOram::WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& writes,
+                            size_t padded_size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [id, value] : writes) {
+    if (id >= config_.capacity) {
+      return Status::InvalidArgument("block id out of range");
+    }
+    // Dummiless write (§6.3): place the new version directly in the stash.
+    BlockLoc loc = loc_[id];
+    if (loc.bucket != kLocStash && loc.bucket != kLocNone) {
+      // Drop the stale tree copy; its slot becomes an unreferenced real slot
+      // that the next rewrite of that bucket discards.
+      BucketMeta& mb = meta_[loc.bucket];
+      assert(mb.real_ids[loc.slot] == id);
+      mb.real_ids[loc.slot] = kInvalidBlockId;
+      mb.real_leaves[loc.slot] = kInvalidLeaf;
+      dirty_buckets_.insert(loc.bucket);
+      // Defensive: if this bucket has a planned-but-unmaterialized rewrite
+      // naming the id (cannot happen mid-epoch by construction), keep the
+      // block list aligned with the logical slots.
+      auto it = buffered_.find(loc.bucket);
+      if (it != buffered_.end() && it->second.rewrite_planned) {
+        auto& blks = it->second.blocks;
+        for (size_t i = 0; i < blks.size(); ++i) {
+          if (blks[i].id == id) {
+            blks.erase(blks.begin() + static_cast<ptrdiff_t>(i));
+            mb.real_ids.assign(config_.z, kInvalidBlockId);
+            mb.real_leaves.assign(config_.z, kInvalidLeaf);
+            for (size_t j = 0; j < blks.size(); ++j) {
+              mb.real_ids[j] = blks[j].id;
+              mb.real_leaves[j] = blks[j].leaf;
+              loc_[blks[j].id] = BlockLoc{loc.bucket, static_cast<uint32_t>(j)};
+            }
+            break;
+          }
+        }
+      }
+    }
+    Leaf new_leaf = RandomLeaf();
+    position_map_.Set(id, new_leaf);
+    {
+      std::lock_guard<std::mutex> dlk(deposit_mu_);
+      StashEntry* entry = stash_.Find(id);
+      if (entry != nullptr) {
+        entry->leaf = new_leaf;
+        entry->value = value;
+        entry->value_ready = true;
+        entry->from_logical_access = true;
+        entry->gen++;  // invalidate any in-flight physical deposit
+      } else {
+        StashEntry fresh;
+        fresh.leaf = new_leaf;
+        fresh.value = value;
+        fresh.value_ready = true;
+        fresh.from_logical_access = true;
+        stash_.Put(id, std::move(fresh));
+      }
+    }
+    loc_[id] = BlockLoc{kLocStash, 0};
+    stats_.logical_accesses++;
+    BumpAccessCounter();
+  }
+  // Padding writes advance the eviction schedule only, so the adversary sees
+  // a fixed-size write batch regardless of the workload.
+  for (size_t i = writes.size(); i < padded_size; ++i) {
+    BumpAccessCounter();
+  }
+  DispatchPendingReads();
+  return Status::Ok();
+}
+
+Status RingOram::FinishEpoch() {
+  std::lock_guard<std::mutex> lk(mu_);
+  DispatchPendingReads();
+  WaitOutstandingReads();
+
+  if (options_.defer_writes) {
+    // Replay the deferred write phases in order; repeated touches of a bucket
+    // repack it in place, so each bucket materializes exactly once below.
+    uint64_t plan_start = NowMicros();
+    for (const DeferredOp& op : deferred_ops_) {
+      if (op.type == DeferredOpType::kEvictPath) {
+        FlushPath(op.leaf);
+      } else {
+        FlushBucket(op.bucket);
+      }
+    }
+    deferred_ops_.clear();
+    stats_.flush_plan_us += NowMicros() - plan_start;
+
+    std::vector<std::pair<BucketIndex, const std::vector<PlannedBlock>*>> to_write;
+    for (auto& [bucket, bb] : buffered_) {
+      if (bb.rewrite_planned) {
+        to_write.emplace_back(bucket, &bb.blocks);
+      }
+    }
+    for (const auto& [bucket, blocks] : to_write) {
+      trace_.Record(PhysicalOpType::kWriteBucket, bucket, meta_[bucket].write_count,
+                    kInvalidSlot);
+      stats_.physical_bucket_writes++;
+    }
+    uint64_t mat_start = NowMicros();
+    if (options_.parallel) {
+      crypto_pool_->ParallelFor(to_write.size(), [&](size_t i) {
+        MaterializeBucket(to_write[i].first, *to_write[i].second, /*via_pool=*/true);
+      });
+      uint64_t drain_start = NowMicros();
+      FlushPendingImages();
+      stats_.write_drain_us += NowMicros() - drain_start;
+    } else {
+      for (const auto& [bucket, blocks] : to_write) {
+        MaterializeBucket(bucket, *blocks, /*via_pool=*/false);
+      }
+    }
+    stats_.materialize_us += NowMicros() - mat_start;
+    buffered_.clear();
+  }
+
+  stash_.ClearLogicalAccessFlags();
+  ++epoch_;
+  batch_in_epoch_ = 0;
+
+  {
+    std::lock_guard<std::mutex> elk(err_mu_);
+    if (!first_error_.ok()) {
+      Status err = first_error_;
+      first_error_ = Status::Ok();
+      return err;
+    }
+  }
+  return Status::Ok();
+}
+
+Status RingOram::TruncateStaleVersions() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (BucketIndex b = 0; b < meta_.size(); ++b) {
+    OBLADI_RETURN_IF_ERROR(store_->TruncateBucket(b, meta_[b].write_count));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (tests)
+// ---------------------------------------------------------------------------
+
+Status RingOram::CheckInvariants() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Per-bucket checks.
+  for (BucketIndex b = 0; b < meta_.size(); ++b) {
+    const BucketMeta& mb = meta_[b];
+    if (mb.perm.size() != config_.slots_per_bucket()) {
+      return Status::Internal("bucket perm has wrong size");
+    }
+    std::vector<bool> seen(mb.perm.size(), false);
+    for (SlotIndex p : mb.perm) {
+      if (p >= mb.perm.size() || seen[p]) {
+        return Status::Internal("bucket perm is not a permutation");
+      }
+      seen[p] = true;
+    }
+    if (mb.dummies_used > config_.s) {
+      return Status::Internal("more dummies consumed than exist");
+    }
+    for (uint32_t i = 0; i < config_.z; ++i) {
+      if (mb.real_ids[i] == kInvalidBlockId) {
+        continue;
+      }
+      if (!mb.valid[mb.perm[i]]) {
+        return Status::Internal("occupied real slot marked invalid");
+      }
+      BlockId id = mb.real_ids[i];
+      if (loc_[id].bucket != b || loc_[id].slot != i) {
+        return Status::Internal("location index out of sync with bucket contents");
+      }
+    }
+  }
+  // Per-block checks: path invariant.
+  for (BlockId id = 0; id < config_.capacity; ++id) {
+    if (!position_map_.Contains(id)) {
+      continue;
+    }
+    Leaf leaf = position_map_.Get(id);
+    BlockLoc loc = loc_[id];
+    if (loc.bucket == kLocStash) {
+      if (!stash_.Contains(id)) {
+        return Status::Internal("stash-located block missing from stash");
+      }
+    } else if (loc.bucket == kLocNone) {
+      return Status::Internal("mapped block has no location");
+    } else {
+      if (meta_[loc.bucket].real_ids[loc.slot] != id) {
+        return Status::Internal("tree-located block missing from bucket");
+      }
+      if (meta_[loc.bucket].real_leaves[loc.slot] != leaf) {
+        return Status::Internal("bucket leaf tag disagrees with position map");
+      }
+      if (!PathContains(leaf, loc.bucket, config_.num_levels)) {
+        return Status::Internal("path invariant violated: block off its mapped path");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obladi

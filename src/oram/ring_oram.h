@@ -1,0 +1,290 @@
+// Ring ORAM with Obladi's epoch-parallel executor (§4, §6.3, §7).
+//
+// One class supports three execution modes, selected by RingOramOptions:
+//
+//  * Sequential     (parallel=false): canonical Ring ORAM. Every physical read
+//    and every eviction/reshuffle write executes synchronously, one at a time.
+//    This is the "Sequential" series of Figure 10a.
+//
+//  * Parallel, immediate writes (parallel=true, defer_writes=false): physical
+//    reads of a batch run concurrently on an I/O pool, but each evict-path /
+//    early-reshuffle still performs its write phase at its trigger point,
+//    which forces a barrier (all in-flight reads must land before the stash
+//    can be flushed — the timing-channel argument of §7). This is the
+//    "Normal" series of Figure 10d.
+//
+//  * Parallel, deferred writes (both true): Obladi's design. Within an epoch
+//    only reads touch the server; eviction and reshuffle *read phases* run at
+//    their scheduled points, while all write phases are planned and flushed
+//    at FinishEpoch with per-bucket deduplication (a bucket rewritten k times
+//    in an epoch is physically written once, at its k-th version). Buckets
+//    already consumed by an eviction are served from the proxy buffer for the
+//    rest of the epoch (Lemma 2's "read exactly once").
+//
+// Security-relevant behaviours implemented here:
+//  * every access remaps its block to a fresh uniform leaf (path invariant);
+//  * no physical slot is read twice between bucket writes (bucket invariant);
+//  * dummy requests (id == kInvalidBlockId) read a full random path;
+//  * writes are "dummiless" (§6.3): they update the stash directly and only
+//    advance the eviction schedule;
+//  * blocks resident in the stash still trigger full dummy path reads, unless
+//    the insecure cache_all_stash ablation is enabled (used by tests to
+//    demonstrate the §6.3 skew).
+#ifndef OBLADI_SRC_ORAM_RING_ORAM_H_
+#define OBLADI_SRC_ORAM_RING_ORAM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/common/types.h"
+#include "src/crypto/csprng.h"
+#include "src/crypto/encryptor.h"
+#include "src/oram/block_codec.h"
+#include "src/oram/bucket_meta.h"
+#include "src/oram/config.h"
+#include "src/oram/position_map.h"
+#include "src/oram/stash.h"
+#include "src/oram/trace.h"
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+struct RingOramOptions {
+  bool parallel = true;
+  bool defer_writes = true;      // delayed visibility (§7); requires parallel
+  bool parallel_crypto = true;   // decrypt/encrypt on pool workers vs. one at a time
+  bool cache_all_stash = false;  // INSECURE ablation for the §6.3 skew demonstration
+  bool verify_decoded_ids = true;  // disable when running on DummyBucketStore
+  bool enable_trace = false;       // record the adversary-visible physical trace
+  size_t io_threads = 32;
+};
+
+struct RingOramStats {
+  uint64_t logical_accesses = 0;
+  uint64_t physical_slot_reads = 0;
+  uint64_t physical_bucket_writes = 0;
+  uint64_t planned_bucket_rewrites = 0;  // pre-dedup rewrite count
+  uint64_t evictions = 0;
+  uint64_t early_reshuffles = 0;
+  uint64_t buffered_bucket_skips = 0;  // path levels served from the epoch buffer
+  uint64_t stash_cache_skips = 0;      // accesses skipped by cache_all_stash (ablation)
+  uint64_t flush_plan_us = 0;          // FinishEpoch: planning deferred write phases
+  uint64_t materialize_us = 0;         // FinishEpoch: encrypt + write buckets
+  uint64_t write_drain_us = 0;         // FinishEpoch: waiting on handed-off writes
+};
+
+class RingOram {
+ public:
+  RingOram(RingOramConfig config, RingOramOptions options, std::shared_ptr<BucketStore> store,
+           std::shared_ptr<Encryptor> encryptor, uint64_t seed);
+  ~RingOram();
+
+  RingOram(const RingOram&) = delete;
+  RingOram& operator=(const RingOram&) = delete;
+
+  const RingOramConfig& config() const { return config_; }
+  const RingOramOptions& options() const { return options_; }
+
+  // Bulk-load initial block values; values[i] is the payload of BlockId i.
+  // Buckets are packed bottom-up and written at version 0.
+  Status Initialize(const std::vector<Bytes>& values);
+
+  // Execute a batch of logical reads. Entries equal to kInvalidBlockId are
+  // padding requests (a full random-path dummy read). Returns payloads
+  // aligned with ids (empty for padding). Blocks until all values arrived.
+  StatusOr<std::vector<Bytes>> ReadBatch(const std::vector<BlockId>& ids);
+
+  // Recovery replay (§8): re-executes a logged batch. Padding requests reuse
+  // the logged leaves; real requests must match the restored position map.
+  StatusOr<std::vector<Bytes>> ReplayReadBatch(const BatchPlan& plan);
+
+  // Dummiless buffered writes. The batch is padded (by counter bumps) to
+  // padded_size so the eviction schedule is workload independent.
+  Status WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& writes, size_t padded_size);
+
+  // Flush deferred eviction/reshuffle write phases and all buffered bucket
+  // writes (deduplicated); advances to the next epoch.
+  Status FinishEpoch();
+
+  // Drop superseded bucket versions on the server. The proxy calls this only
+  // after the epoch's checkpoint is durable (recovery may still need the old
+  // versions before that).
+  Status TruncateStaleVersions();
+
+  // --- durability interface (§8) ---
+  // Called with each read batch's plan before any of its physical reads are
+  // issued (requires parallel + defer_writes). A failing status aborts the
+  // batch.
+  void SetBatchPlannedHook(std::function<Status(const BatchPlan&)> hook);
+
+  // State accessors for checkpointing; call only between batches/epochs.
+  PositionMap& position_map() { return position_map_; }
+  const std::vector<BucketMeta>& bucket_metas() const { return meta_; }
+  Stash& stash() { return stash_; }
+  uint64_t access_count() const { return access_count_; }
+  uint64_t evict_count() const { return evict_count_; }
+  EpochId epoch() const { return epoch_; }
+  void SetEpoch(EpochId e) { epoch_ = e; }
+
+  // Buckets whose metadata changed since the last TakeDirtyBuckets call.
+  std::vector<BucketIndex> TakeDirtyBuckets();
+
+  // Rebuild in-memory state from recovered components (used by the recovery
+  // manager instead of Initialize).
+  Status RestoreState(PositionMap position_map, std::vector<BucketMeta> metas, Stash stash,
+                      uint64_t access_count, uint64_t evict_count, EpochId epoch);
+
+  RingOramStats stats() const;
+  void ResetStats();
+  TraceRecorder& trace() { return trace_; }
+
+  // Test hooks: invariant checks (O(N + buckets)).
+  Status CheckInvariants() const;
+
+ private:
+  struct BlockLoc {
+    uint32_t bucket = kLocNone;  // kLocStash / kLocNone sentinels below
+    uint32_t slot = 0;           // logical real slot when in a bucket
+  };
+  static constexpr uint32_t kLocStash = 0xFFFFFFFFu;
+  static constexpr uint32_t kLocNone = 0xFFFFFFFEu;
+
+  struct PlannedBlock {
+    BlockId id;
+    Leaf leaf;
+    Bytes value;
+  };
+  struct BufferedBucket {
+    bool fully_read = false;      // all future reads served from the proxy buffer
+    bool rewrite_planned = false; // FlushPath/FlushBucket assigned new contents
+    std::vector<PlannedBlock> blocks;
+  };
+  enum class DeferredOpType { kEvictPath, kReshuffle };
+  struct DeferredOp {
+    DeferredOpType type;
+    Leaf leaf = kInvalidLeaf;
+    BucketIndex bucket = 0;
+  };
+
+  // A physical slot read planned but not yet executed. `entry` is the
+  // (node-stable) stash entry to deposit the decrypted value into, captured
+  // at planning time; nullptr for dummy-slot reads.
+  struct PendingRead {
+    BucketIndex bucket = 0;
+    uint32_t version = 0;
+    SlotIndex slot = 0;
+    BlockId deposit_id = kInvalidBlockId;
+    StashEntry* entry = nullptr;
+    std::vector<Bytes>* results = nullptr;
+    size_t result_slot = 0;
+    uint32_t entry_gen = 0;
+  };
+
+  // --- planning (all under mu_) ---
+  Status PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPlan& plan,
+                    std::vector<Bytes>* results, size_t result_slot);
+  void EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit_id, StashEntry* entry,
+                std::vector<Bytes>* results, size_t result_slot, uint32_t entry_gen);
+  void BumpAccessCounter();
+  void ScheduleEviction();
+  void ScheduleReshuffle(BucketIndex bucket);
+  // Shared read phase of evictions/reshuffles for one bucket: move all valid
+  // real blocks into the stash and pad with dummy reads up to Z total.
+  void BucketReadPhase(BucketIndex bucket);
+
+  // --- flushing ---
+  void FlushPath(Leaf leaf);
+  void FlushBucket(BucketIndex bucket);
+  void PullPlannedBlocks(BucketIndex bucket);
+  // Assign up to Z stash blocks to `bucket` (deepest-first is achieved by the
+  // caller's level order); records placement or materializes immediately.
+  void PlaceAndRewrite(BucketIndex bucket, std::vector<PlannedBlock> blocks);
+  void MaterializeBucket(BucketIndex bucket, const std::vector<PlannedBlock>& blocks,
+                         bool via_pool);
+  std::vector<PlannedBlock> SelectStashBlocksFor(BucketIndex bucket, Leaf target_leaf,
+                                                 uint32_t level);
+
+  // --- physical IO ---
+  // Fetch + decode one read on the calling thread (sequential/eager modes).
+  void ExecuteReadNow(const PendingRead& read);
+  // Decrypt, verify, and deposit one fetched ciphertext.
+  void ProcessCiphertext(const PendingRead& read, StatusOr<Bytes> ciphertext);
+  void DispatchPendingReads();
+  void WaitOutstandingReads();
+  // Issue all buffered bucket images as one batched storage write.
+  void FlushPendingImages();
+  void RecordError(const Status& status);
+  StatusOr<std::vector<Bytes>> RunReadBatch(const std::vector<BlockId>& ids,
+                                            const BatchPlan* replay_plan);
+  // Copy stash values into batch result slots registered for blocks whose
+  // physical read was still in flight at planning time. Must run after a
+  // read barrier and before any flush can move those blocks out of the stash.
+  void ResolveLazyResults();
+
+  Leaf RandomLeaf() { return static_cast<Leaf>(rng_.Uniform(config_.num_leaves())); }
+
+  RingOramConfig config_;
+  RingOramOptions options_;
+  std::shared_ptr<BucketStore> store_;
+  std::shared_ptr<Encryptor> encryptor_;
+  BlockCodec codec_;
+  Csprng rng_;
+  // I/O pool: sized for latency hiding (threads mostly sleep in the storage
+  // layer). Crypto pool: sized to the hardware for the CPU-bound
+  // encrypt-and-write phase — oversubscribing it hurts badly.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> crypto_pool_;
+
+  mutable std::mutex mu_;  // guards all metadata below
+  PositionMap position_map_;
+  std::vector<BucketMeta> meta_;
+  Stash stash_;
+  std::vector<BlockLoc> loc_;
+  uint64_t access_count_ = 0;
+  uint64_t evict_count_ = 0;
+  EpochId epoch_ = 0;
+  uint32_t batch_in_epoch_ = 0;
+
+  // Epoch-local state (parallel + deferred mode).
+  std::unordered_map<BucketIndex, BufferedBucket> buffered_;
+  std::vector<DeferredOp> deferred_ops_;
+  std::vector<PendingRead> pending_reads_;
+  std::unordered_set<BucketIndex> dirty_buckets_;
+  uint32_t committed_version_floor_ = 0;  // min version still needed (for truncation)
+
+  struct LazyResult {
+    BlockId id;
+    std::vector<Bytes>* results;
+    size_t slot;
+  };
+  std::vector<LazyResult> lazy_results_;
+
+  std::function<Status(const BatchPlan&)> planned_hook_;
+  TraceRecorder trace_;
+
+  // Cross-thread read completion tracking.
+  std::mutex io_mu_;
+  std::condition_variable io_cv_;
+  size_t outstanding_reads_ = 0;
+  std::mutex deposit_mu_;   // guards stash value deposits
+  std::mutex crypto_mu_;    // serializes crypto when !parallel_crypto
+  std::mutex images_mu_;    // guards the buffered bucket images below
+  std::vector<BucketImage> pending_images_;
+  std::mutex err_mu_;
+  Status first_error_;
+
+  RingOramStats stats_;  // updated under mu_ at planning time
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_RING_ORAM_H_

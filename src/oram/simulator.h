@@ -1,0 +1,121 @@
+// The ideal-functionality simulator from the security proof (Appendix B).
+//
+// The UC argument shows Obladi secure by exhibiting a simulator S_A that,
+// knowing only the epoch *shape* (batch counts and sizes — information F_Ob
+// deliberately leaks), produces an adversary view indistinguishable from the
+// real protocol's. This header makes that simulator executable: it generates
+// the storage-visible request schedule for an epoch from the configuration
+// alone — no workload, no data. Tests compare its statistics against the real
+// ORAM's recorded trace; a detectable divergence would falsify the proof's
+// premise for this implementation.
+#ifndef OBLADI_SRC_ORAM_SIMULATOR_H_
+#define OBLADI_SRC_ORAM_SIMULATOR_H_
+
+#include <vector>
+
+#include "src/crypto/csprng.h"
+#include "src/oram/config.h"
+#include "src/oram/path.h"
+#include "src/oram/trace.h"
+
+namespace obladi {
+
+struct SimulatedEpoch {
+  // Per read batch: the uniformly random leaves whose paths are read.
+  std::vector<std::vector<Leaf>> batch_leaves;
+  // Leaves of the deterministic evictions scheduled by the epoch's accesses.
+  std::vector<Leaf> eviction_leaves;
+  uint64_t access_count_after = 0;
+  uint64_t evict_count_after = 0;
+};
+
+class IdealTraceSimulator {
+ public:
+  IdealTraceSimulator(const RingOramConfig& config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  // Simulate one epoch of R read batches of size b_read plus a write batch of
+  // size b_write, starting from the given counters. Knows nothing about the
+  // workload: every request is a uniformly random path; evictions follow the
+  // fixed reverse-lexicographic schedule.
+  SimulatedEpoch SimulateEpoch(size_t read_batches, size_t read_batch_size,
+                               size_t write_batch_size, uint64_t access_count,
+                               uint64_t evict_count) {
+    SimulatedEpoch epoch;
+    for (size_t b = 0; b < read_batches; ++b) {
+      std::vector<Leaf> leaves(read_batch_size);
+      for (auto& leaf : leaves) {
+        leaf = static_cast<Leaf>(rng_.Uniform(config_.num_leaves()));
+        if (++access_count % config_.a == 0) {
+          epoch.eviction_leaves.push_back(EvictionLeaf(evict_count++, config_.num_levels));
+        }
+      }
+      epoch.batch_leaves.push_back(std::move(leaves));
+    }
+    // Dummiless writes: no path reads, but the eviction clock still ticks.
+    for (size_t w = 0; w < write_batch_size; ++w) {
+      if (++access_count % config_.a == 0) {
+        epoch.eviction_leaves.push_back(EvictionLeaf(evict_count++, config_.num_levels));
+      }
+    }
+    epoch.access_count_after = access_count;
+    epoch.evict_count_after = evict_count;
+    return epoch;
+  }
+
+  // Histogram of leaf frequencies over many simulated epochs — the reference
+  // distribution tests compare real traces against.
+  std::vector<uint64_t> LeafHistogram(size_t epochs, size_t read_batches,
+                                      size_t read_batch_size, size_t write_batch_size) {
+    std::vector<uint64_t> counts(config_.num_leaves(), 0);
+    uint64_t access = 0;
+    uint64_t evict = 0;
+    for (size_t e = 0; e < epochs; ++e) {
+      SimulatedEpoch epoch =
+          SimulateEpoch(read_batches, read_batch_size, write_batch_size, access, evict);
+      for (const auto& batch : epoch.batch_leaves) {
+        for (Leaf leaf : batch) {
+          counts[leaf]++;
+        }
+      }
+      access = epoch.access_count_after;
+      evict = epoch.evict_count_after;
+    }
+    return counts;
+  }
+
+ private:
+  RingOramConfig config_;
+  Csprng rng_;
+};
+
+// Two-sample chi-square statistic between leaf histograms (same total mass
+// not required; both are normalized). Used by tests with a generous
+// threshold: the statistic concentrates around the degrees of freedom when
+// the distributions match.
+inline double ChiSquareDistance(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  double total_a = 0;
+  double total_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total_a += static_cast<double>(a[i]);
+    total_b += static_cast<double>(b[i]);
+  }
+  if (total_a == 0 || total_b == 0) {
+    return 0;
+  }
+  double chi2 = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double pa = static_cast<double>(a[i]) / total_a;
+    double pb = static_cast<double>(b[i]) / total_b;
+    double expected = (pa + pb) / 2;
+    if (expected > 0) {
+      chi2 += (pa - expected) * (pa - expected) / expected +
+              (pb - expected) * (pb - expected) / expected;
+    }
+  }
+  return chi2 * (total_a + total_b) / 2;
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_SIMULATOR_H_

@@ -1,0 +1,104 @@
+// The client-side stash: blocks that have been logically removed from the
+// tree and not yet evicted back. Unlike a cache, the stash is part of Ring
+// ORAM's correctness argument — a block is always either in the tree on its
+// mapped path, or here.
+//
+// Entries distinguish *why* a block is present (§6.3): blocks here because of
+// a logical access this epoch are mapped to fresh uniform paths and may be
+// served from the proxy's version cache without skewing the observable path
+// distribution; blocks left over because eviction could not flush them skew
+// away from recently evicted paths and must still trigger dummy path reads.
+#ifndef OBLADI_SRC_ORAM_STASH_H_
+#define OBLADI_SRC_ORAM_STASH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+struct StashEntry {
+  Leaf leaf = kInvalidLeaf;
+  Bytes value;                      // block payload (plaintext)
+  bool value_ready = false;         // false while the physical read is in flight
+  bool from_logical_access = false; // §6.3 distinction
+  // Bumped when a buffered write supersedes the entry's value; an in-flight
+  // physical read captured the old generation and must not clobber the write.
+  uint32_t gen = 0;
+};
+
+class Stash {
+ public:
+  using Map = std::unordered_map<BlockId, StashEntry>;
+
+  bool Contains(BlockId id) const { return entries_.count(id) != 0; }
+
+  StashEntry* Find(BlockId id) {
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  // Inserts or overwrites; returns the (stable) entry pointer.
+  StashEntry* Put(BlockId id, StashEntry entry) {
+    return &(entries_[id] = std::move(entry));
+  }
+
+  void Erase(BlockId id) { entries_.erase(id); }
+
+  size_t size() const { return entries_.size(); }
+  Map& entries() { return entries_; }
+  const Map& entries() const { return entries_; }
+
+  // Mark every entry as an eviction leftover (run at epoch boundaries).
+  void ClearLogicalAccessFlags() {
+    for (auto& [id, e] : entries_) {
+      e.from_logical_access = false;
+    }
+  }
+
+  // Serialize, padded to max_blocks entries so the ciphertext length leaks
+  // nothing about occupancy (§8). Values must all be ready.
+  Bytes SerializePadded(size_t max_blocks, size_t payload_size) const {
+    BinaryWriter w;
+    w.PutU32(static_cast<uint32_t>(entries_.size()));
+    for (const auto& [id, e] : entries_) {
+      w.PutU64(id);
+      w.PutU32(e.leaf);
+      Bytes padded = e.value;
+      padded.resize(payload_size, 0);
+      w.PutBytes(padded);
+    }
+    size_t pad = max_blocks > entries_.size() ? max_blocks - entries_.size() : 0;
+    for (size_t i = 0; i < pad; ++i) {
+      w.PutU64(kInvalidBlockId);
+      w.PutU32(kInvalidLeaf);
+      w.PutBytes(Bytes(payload_size, 0));
+    }
+    return w.Take();
+  }
+
+  static Stash Deserialize(const Bytes& data) {
+    Stash s;
+    BinaryReader r(data);
+    uint32_t n = r.GetU32();
+    for (uint32_t i = 0; i < n; ++i) {
+      BlockId id = r.GetU64();
+      StashEntry e;
+      e.leaf = r.GetU32();
+      e.value = r.GetBytes();
+      e.value_ready = true;
+      e.from_logical_access = false;
+      s.entries_[id] = std::move(e);
+    }
+    return s;
+  }
+
+ private:
+  Map entries_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_STASH_H_

@@ -1,0 +1,96 @@
+// Adversary-visible trace structures.
+//
+// BatchPlan is what the data handler commits to durable storage *before*
+// issuing a read batch (§8): the logical request list (block id + path leaf)
+// in batch order. Slot-level choices are a deterministic function of the
+// metadata state, so recovery can replay the identical physical accesses from
+// this plan alone.
+//
+// TraceRecorder captures the physical operations the storage server observes,
+// in planning (deterministic) order; tests use it to check workload
+// independence and replay determinism.
+#ifndef OBLADI_SRC_ORAM_TRACE_H_
+#define OBLADI_SRC_ORAM_TRACE_H_
+
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+struct PlannedRequest {
+  BlockId id = kInvalidBlockId;  // kInvalidBlockId = padding request
+  Leaf leaf = kInvalidLeaf;      // path that was (or will be) read
+};
+
+struct BatchPlan {
+  EpochId epoch = 0;
+  uint32_t batch_index = 0;
+  std::vector<PlannedRequest> requests;
+
+  Bytes Serialize() const {
+    BinaryWriter w;
+    w.PutU64(epoch);
+    w.PutU32(batch_index);
+    w.PutU32(static_cast<uint32_t>(requests.size()));
+    for (const auto& req : requests) {
+      w.PutU64(req.id);
+      w.PutU32(req.leaf);
+    }
+    return w.Take();
+  }
+
+  static BatchPlan Deserialize(const Bytes& data) {
+    BatchPlan p;
+    BinaryReader r(data);
+    p.epoch = r.GetU64();
+    p.batch_index = r.GetU32();
+    uint32_t n = r.GetU32();
+    p.requests.resize(n);
+    for (auto& req : p.requests) {
+      req.id = r.GetU64();
+      req.leaf = r.GetU32();
+    }
+    return p;
+  }
+};
+
+enum class PhysicalOpType : uint8_t {
+  kReadSlot = 0,
+  kWriteBucket = 1,
+};
+
+struct PhysicalOp {
+  PhysicalOpType type;
+  BucketIndex bucket;
+  uint32_t version;
+  SlotIndex slot;  // kInvalidSlot for bucket writes
+
+  bool operator==(const PhysicalOp&) const = default;
+};
+
+class TraceRecorder {
+ public:
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Record(PhysicalOpType type, BucketIndex bucket, uint32_t version, SlotIndex slot) {
+    if (enabled_) {
+      ops_.push_back(PhysicalOp{type, bucket, version, slot});
+    }
+  }
+
+  const std::vector<PhysicalOp>& ops() const { return ops_; }
+  std::vector<PhysicalOp> Take() { return std::move(ops_); }
+  void Clear() { ops_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<PhysicalOp> ops_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_ORAM_TRACE_H_

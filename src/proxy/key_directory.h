@@ -1,0 +1,127 @@
+// Application key -> dense BlockId mapping, kept at the trusted proxy.
+//
+// Dense ids let the position map be a flat array. The directory is part of
+// the proxy's recoverable state: it grows append-only (ids are never reused),
+// so per-epoch checkpoints carry only the new entries (padded by the caller)
+// and full checkpoints carry the whole table.
+#ifndef OBLADI_SRC_PROXY_KEY_DIRECTORY_H_
+#define OBLADI_SRC_PROXY_KEY_DIRECTORY_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+class KeyDirectory {
+ public:
+  explicit KeyDirectory(uint64_t capacity) : capacity_(capacity) {}
+
+  StatusOr<BlockId> Lookup(const std::string& key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = ids_.find(key);
+    if (it == ids_.end()) {
+      return Status::NotFound("unknown key");
+    }
+    return it->second;
+  }
+
+  StatusOr<BlockId> GetOrCreate(const std::string& key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) {
+      return it->second;
+    }
+    if (next_id_ >= capacity_) {
+      return Status::ResourceExhausted("key directory at ORAM capacity");
+    }
+    BlockId id = next_id_++;
+    ids_.emplace(key, id);
+    keys_by_id_.push_back(key);
+    return id;
+  }
+
+  uint64_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_id_;
+  }
+  uint64_t capacity() const { return capacity_; }
+
+  Bytes SerializeFull() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    BinaryWriter w;
+    w.PutU64(next_id_);
+    for (const auto& key : keys_by_id_) {
+      w.PutString(key);
+    }
+    return w.Take();
+  }
+
+  // Entries added since the last Serialize* call.
+  Bytes SerializeDelta() {
+    std::lock_guard<std::mutex> lk(mu_);
+    BinaryWriter w;
+    w.PutU64(watermark_);
+    w.PutU64(next_id_ - watermark_);
+    for (uint64_t i = watermark_; i < next_id_; ++i) {
+      w.PutString(keys_by_id_[i]);
+    }
+    watermark_ = next_id_;
+    return w.Take();
+  }
+
+  void MarkCheckpointed() {
+    std::lock_guard<std::mutex> lk(mu_);
+    watermark_ = next_id_;
+  }
+
+  void ApplyFull(const Bytes& data) {
+    std::lock_guard<std::mutex> lk(mu_);
+    BinaryReader r(data);
+    uint64_t n = r.GetU64();
+    ids_.clear();
+    keys_by_id_.clear();
+    keys_by_id_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string key = r.GetString();
+      ids_.emplace(key, i);
+      keys_by_id_.push_back(std::move(key));
+    }
+    next_id_ = n;
+    watermark_ = n;
+  }
+
+  void ApplyDelta(const Bytes& data) {
+    std::lock_guard<std::mutex> lk(mu_);
+    BinaryReader r(data);
+    uint64_t from = r.GetU64();
+    uint64_t count = r.GetU64();
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string key = r.GetString();
+      uint64_t id = from + i;
+      if (id >= next_id_) {
+        ids_.emplace(key, id);
+        keys_by_id_.push_back(std::move(key));
+        next_id_ = id + 1;
+      }
+    }
+    watermark_ = next_id_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t capacity_;
+  uint64_t next_id_ = 0;
+  uint64_t watermark_ = 0;
+  std::unordered_map<std::string, BlockId> ids_;
+  std::vector<std::string> keys_by_id_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_PROXY_KEY_DIRECTORY_H_

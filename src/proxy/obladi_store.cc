@@ -1,0 +1,420 @@
+#include "src/proxy/obladi_store.h"
+
+#include <unordered_set>
+
+#include "src/common/clock.h"
+#include "src/common/serde.h"
+
+namespace obladi {
+
+namespace {
+
+// Block payloads are fixed size; values are length-prefixed inside them.
+Bytes EncodeValue(const std::string& value) {
+  BinaryWriter w(value.size() + 4);
+  w.PutString(value);
+  return w.Take();
+}
+
+std::string DecodeValue(const Bytes& payload) {
+  if (payload.size() < 4) {
+    return "";
+  }
+  BinaryReader r(payload);
+  return r.GetString();
+}
+
+}  // namespace
+
+ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
+                         std::shared_ptr<LogStore> log)
+    : cfg_(cfg),
+      store_(std::move(store)),
+      log_(std::move(log)),
+      directory_(cfg.oram.capacity) {
+  encryptor_ = std::make_shared<Encryptor>(
+      Encryptor::FromMasterKey(Bytes{'o', 'b', 'l', 'a', 'd', 'i'}, cfg_.oram.authenticated,
+                               cfg_.seed ^ 0x9e3779b97f4a7c15ull));
+  oram_ = std::make_unique<RingOram>(cfg_.oram, cfg_.oram_options, store_, encryptor_,
+                                     cfg_.seed);
+
+  if (cfg_.recovery.enabled) {
+    cfg_.recovery.posmap_delta_pad_entries =
+        cfg_.read_batches_per_epoch * cfg_.read_batch_size + cfg_.write_batch_size;
+    recovery_ = std::make_unique<RecoveryUnit>(cfg_.recovery, log_, encryptor_);
+    recovery_->SetMetadataProviders(
+        [this] { return directory_.SerializeFull(); },
+        [this] {
+          // Pad the directory delta so its size does not reveal how many new
+          // keys an epoch created (at most b_write writes can create keys).
+          Bytes delta = directory_.SerializeDelta();
+          size_t pad = cfg_.write_batch_size * 64 + 16;
+          if (delta.size() < pad) {
+            delta.resize(pad, 0);
+          }
+          return delta;
+        });
+    oram_->SetBatchPlannedHook(
+        [this](const BatchPlan& plan) { return recovery_->LogReadBatchPlan(plan); });
+  }
+  epoch_batches_.resize(cfg_.read_batches_per_epoch);
+}
+
+ObladiStore::~ObladiStore() { Stop(); }
+
+Status ObladiStore::Load(const std::vector<std::pair<Key, std::string>>& records) {
+  std::lock_guard<std::mutex> dlk(dispatch_mu_);
+  std::vector<Bytes> values(cfg_.oram.capacity);
+  for (const auto& [key, value] : records) {
+    auto id = directory_.GetOrCreate(key);
+    if (!id.ok()) {
+      return id.status();
+    }
+    values[*id] = EncodeValue(value);
+  }
+  OBLADI_RETURN_IF_ERROR(oram_->Initialize(values));
+  if (recovery_) {
+    OBLADI_RETURN_IF_ERROR(recovery_->LogFullCheckpoint(*oram_));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  loaded_ = true;
+  return Status::Ok();
+}
+
+Timestamp ObladiStore::Begin() { return engine_.Begin(); }
+
+StatusOr<std::shared_future<Status>> ObladiStore::EnqueueFetch(const Key& key, BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (crashed_) {
+    return Status::Unavailable("proxy crashed");
+  }
+  auto it = inflight_fetches_.find(key);
+  if (it != inflight_fetches_.end()) {
+    stats_.fetch_dedups++;
+    return it->second;
+  }
+  for (size_t b = next_dispatch_; b < epoch_batches_.size(); ++b) {
+    if (epoch_batches_[b].size() < cfg_.read_batch_size) {
+      PendingFetch fetch;
+      fetch.id = id;
+      fetch.key = key;
+      fetch.done = std::make_shared<std::promise<Status>>();
+      std::shared_future<Status> fut = fetch.done->get_future().share();
+      epoch_batches_[b].push_back(std::move(fetch));
+      inflight_fetches_.emplace(key, fut);
+      stats_.oram_fetches++;
+      return fut;
+    }
+  }
+  return Status::ResourceExhausted("all read batches in this epoch are full");
+}
+
+StatusOr<std::string> ObladiStore::Read(Timestamp txn, const Key& key) {
+  for (;;) {
+    ReadOutcome outcome = engine_.Read(txn, key);
+    if (outcome.kind == ReadOutcome::kAborted) {
+      return Status::Aborted("transaction aborted");
+    }
+    if (outcome.kind == ReadOutcome::kValue) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.cache_hits++;
+      }
+      return outcome.value;
+    }
+    // kNeedBase: fetch through the ORAM via the epoch's read batches.
+    auto id = directory_.Lookup(key);
+    if (!id.ok()) {
+      return id.status();  // unknown key
+    }
+    auto fut = EnqueueFetch(key, *id);
+    if (!fut.ok()) {
+      if (fut.status().code() == StatusCode::kResourceExhausted) {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.batch_overflow_aborts++;
+      }
+      engine_.Abort(txn);
+      return Status::Aborted(fut.status().message());
+    }
+    Status st = fut->get();
+    if (!st.ok()) {
+      engine_.Abort(txn);
+      return Status::Aborted("base fetch failed: " + st.message());
+    }
+    // Base installed; retry against the version cache.
+  }
+}
+
+Status ObladiStore::Write(Timestamp txn, const Key& key, std::string value) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_) {
+      return Status::Unavailable("proxy crashed");
+    }
+  }
+  if (value.size() + 4 > cfg_.oram.block_payload_size) {
+    return Status::InvalidArgument("value exceeds block payload size");
+  }
+  auto id = directory_.GetOrCreate(key);
+  if (!id.ok()) {
+    return id.status();
+  }
+  return engine_.Write(txn, key, std::move(value));
+}
+
+Status ObladiStore::Commit(Timestamp txn) {
+  std::shared_ptr<std::promise<Status>> waiter;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_) {
+      return Status::Unavailable("proxy crashed");
+    }
+    waiter = std::make_shared<std::promise<Status>>();
+    commit_waiters_[txn] = waiter;
+  }
+  std::shared_future<Status> fut = waiter->get_future().share();
+  Status st = engine_.Finish(txn);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    commit_waiters_.erase(txn);
+    return st;
+  }
+  return fut.get();
+}
+
+void ObladiStore::Abort(Timestamp txn) { engine_.Abort(txn); }
+
+Status ObladiStore::DispatchBatch(std::vector<PendingFetch> batch) {
+  std::vector<BlockId> ids(cfg_.read_batch_size, kInvalidBlockId);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ids[i] = batch[i].id;
+  }
+  auto results = oram_->ReadBatch(ids);
+  if (!results.ok()) {
+    for (auto& fetch : batch) {
+      fetch.done->set_value(results.status());
+    }
+    return results.status();
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    engine_.InstallBase(batch[i].key, DecodeValue((*results)[i]));
+    batch[i].done->set_value(Status::Ok());
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.read_batches++;
+  return Status::Ok();
+}
+
+Status ObladiStore::StepReadBatch() {
+  std::lock_guard<std::mutex> dlk(dispatch_mu_);
+  std::vector<PendingFetch> batch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_) {
+      return Status::Unavailable("proxy crashed");
+    }
+    if (next_dispatch_ >= epoch_batches_.size()) {
+      return Status::FailedPrecondition("all read batches dispatched; finish the epoch");
+    }
+    batch = std::move(epoch_batches_[next_dispatch_]);
+    ++next_dispatch_;
+  }
+  return DispatchBatch(std::move(batch));
+}
+
+Status ObladiStore::FinishEpochNow() {
+  std::lock_guard<std::mutex> dlk(dispatch_mu_);
+  // Dispatch any remaining read batches so every epoch has the same shape.
+  for (;;) {
+    std::vector<PendingFetch> batch;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (crashed_) {
+        return Status::Unavailable("proxy crashed");
+      }
+      if (next_dispatch_ >= epoch_batches_.size()) {
+        break;
+      }
+      batch = std::move(epoch_batches_[next_dispatch_]);
+      ++next_dispatch_;
+    }
+    OBLADI_RETURN_IF_ERROR(DispatchBatch(std::move(batch)));
+  }
+
+  EpochOutcome outcome = engine_.EndEpoch(cfg_.write_batch_size);
+
+  std::vector<std::pair<BlockId, Bytes>> writes;
+  writes.reserve(outcome.final_writes.size());
+  for (const auto& [key, value] : outcome.final_writes) {
+    auto id = directory_.Lookup(key);
+    if (!id.ok()) {
+      return Status::Internal("committed write for unknown key");
+    }
+    writes.emplace_back(*id, EncodeValue(value));
+  }
+  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch(writes, cfg_.write_batch_size));
+  OBLADI_RETURN_IF_ERROR(oram_->FinishEpoch());
+  if (recovery_) {
+    OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(*oram_));
+    OBLADI_RETURN_IF_ERROR(oram_->TruncateStaleVersions());
+  }
+
+  // Epoch fate sharing: only now do clients learn the decisions.
+  std::unordered_set<Timestamp> committed(outcome.committed.begin(), outcome.committed.end());
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [ts, waiter] : commit_waiters_) {
+    if (committed.count(ts) != 0) {
+      waiter->set_value(Status::Ok());
+    } else {
+      waiter->set_value(Status::Aborted("epoch decision: aborted"));
+    }
+  }
+  commit_waiters_.clear();
+  epoch_batches_.assign(cfg_.read_batches_per_epoch, {});
+  next_dispatch_ = 0;
+  inflight_fetches_.clear();
+  stats_.epochs++;
+  return Status::Ok();
+}
+
+void ObladiStore::Start() {
+  if (!cfg_.timed_mode || pacer_running_.exchange(true)) {
+    return;
+  }
+  pacer_ = std::thread([this] { PacerLoop(); });
+}
+
+void ObladiStore::Stop() {
+  if (pacer_running_.exchange(false) && pacer_.joinable()) {
+    pacer_.join();
+  }
+}
+
+void ObladiStore::PacerLoop() {
+  while (pacer_running_.load()) {
+    for (size_t i = 0; i < cfg_.read_batches_per_epoch && pacer_running_.load(); ++i) {
+      PreciseSleepMicros(cfg_.batch_interval_us);
+      Status st = StepReadBatch();
+      if (!st.ok() && st.code() != StatusCode::kFailedPrecondition) {
+        return;  // storage failure: stop pacing (clients observe aborts)
+      }
+    }
+    if (!pacer_running_.load()) {
+      return;
+    }
+    if (!FinishEpochNow().ok()) {
+      return;
+    }
+  }
+}
+
+void ObladiStore::FailAllWaiters() {
+  for (auto& batch : epoch_batches_) {
+    for (auto& fetch : batch) {
+      fetch.done->set_value(Status::Aborted("proxy crashed"));
+    }
+    batch.clear();
+  }
+  for (auto& [ts, waiter] : commit_waiters_) {
+    waiter->set_value(Status::Aborted("proxy crashed"));
+  }
+  commit_waiters_.clear();
+  inflight_fetches_.clear();
+}
+
+void ObladiStore::SimulateCrash() {
+  Stop();
+  std::lock_guard<std::mutex> dlk(dispatch_mu_);
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_ = true;
+  FailAllWaiters();
+  engine_.Reset();
+  // All volatile ORAM metadata is gone with the proxy.
+  oram_.reset();
+}
+
+Status ObladiStore::CompleteCrashEpoch(size_t replayed_batches) {
+  // Per the security proof (Appendix B, H4): after replaying the aborted
+  // epoch's logged batches, complete the epoch's fixed structure with fresh
+  // dummy batches and an empty write batch, then commit it.
+  std::vector<BlockId> dummies(cfg_.read_batch_size, kInvalidBlockId);
+  for (size_t b = replayed_batches; b < cfg_.read_batches_per_epoch; ++b) {
+    auto result = oram_->ReadBatch(dummies);
+    if (!result.ok()) {
+      return result.status();
+    }
+  }
+  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch({}, cfg_.write_batch_size));
+  OBLADI_RETURN_IF_ERROR(oram_->FinishEpoch());
+  OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(*oram_));
+  return oram_->TruncateStaleVersions();
+}
+
+Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
+  std::lock_guard<std::mutex> dlk(dispatch_mu_);
+  if (!recovery_) {
+    return Status::FailedPrecondition("recovery is not enabled");
+  }
+  auto recovered = recovery_->Recover();
+  if (!recovered.ok()) {
+    return recovered.status();
+  }
+  if (!recovered->has_state) {
+    return Status::DataLoss("no durable state to recover");
+  }
+
+  uint64_t salt = recovered->epoch * 7919 + 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    salt += stats_.recoveries * 104729;
+  }
+  oram_ = std::make_unique<RingOram>(cfg_.oram, cfg_.oram_options, store_, encryptor_,
+                                     cfg_.seed ^ salt);
+  OBLADI_RETURN_IF_ERROR(oram_->RestoreState(
+      std::move(recovered->position_map), std::move(recovered->metas),
+      std::move(recovered->stash), recovered->access_count, recovered->evict_count,
+      recovered->epoch));
+  oram_->SetBatchPlannedHook(
+      [this](const BatchPlan& plan) { return recovery_->LogReadBatchPlan(plan); });
+
+  if (!recovered->metadata_full.empty()) {
+    directory_.ApplyFull(recovered->metadata_full);
+  }
+  for (const Bytes& delta : recovered->metadata_deltas) {
+    directory_.ApplyDelta(delta);
+  }
+
+  // Replay the aborted epoch's logged read batches so the adversary observes
+  // the same paths again (§8), then complete the crash-recovery epoch.
+  Stopwatch replay;
+  for (const BatchPlan& plan : recovered->pending_plans) {
+    auto result = oram_->ReplayReadBatch(plan);
+    if (!result.ok()) {
+      return result.status();
+    }
+  }
+  OBLADI_RETURN_IF_ERROR(CompleteCrashEpoch(recovered->pending_plans.size()));
+  recovered->breakdown.path_replay_us = replay.ElapsedMicros();
+  recovered->breakdown.total_us += recovered->breakdown.path_replay_us;
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    crashed_ = false;
+    loaded_ = true;
+    epoch_batches_.assign(cfg_.read_batches_per_epoch, {});
+    next_dispatch_ = 0;
+    inflight_fetches_.clear();
+    stats_.recoveries++;
+  }
+  if (breakdown != nullptr) {
+    *breakdown = recovered->breakdown;
+  }
+  return Status::Ok();
+}
+
+ObladiStats ObladiStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace obladi

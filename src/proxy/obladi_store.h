@@ -1,0 +1,148 @@
+// The Obladi proxy (§5, §6): the trusted component that turns client
+// transactions into an oblivious, fixed-shape request stream against
+// untrusted storage.
+//
+// Epoch pipeline (per §6.2):
+//   * Client reads that miss the epoch's version cache are assigned to the
+//     next unfilled of the epoch's R read batches (deduplicated by key); each
+//     batch is padded to b_read with dummy requests and executed by the
+//     parallel Ring ORAM.
+//   * Writes are buffered in the version cache (the MVTSO version chains) and
+//     visible to concurrent transactions immediately.
+//   * At epoch end: unfinished transactions abort; finished transactions
+//     commit in timestamp order (capped by the write batch size); the last
+//     committed version of each written key forms the b_write-padded
+//     dummiless write batch; deferred bucket writes flush; the recovery unit
+//     logs the epoch's delta checkpoint; only then do clients learn commit
+//     decisions (epoch fate sharing).
+//
+// Pacing: in timed mode a background thread dispatches the R read batches at
+// fixed intervals and then runs the epoch change, so the request stream's
+// timing is workload independent. Tests use manual mode and call
+// StepReadBatch / FinishEpochNow directly.
+#ifndef OBLADI_SRC_PROXY_OBLADI_STORE_H_
+#define OBLADI_SRC_PROXY_OBLADI_STORE_H_
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/oram/ring_oram.h"
+#include "src/proxy/key_directory.h"
+#include "src/recovery/recovery_unit.h"
+#include "src/storage/bucket_store.h"
+#include "src/txn/kv_interface.h"
+#include "src/txn/mvtso.h"
+
+namespace obladi {
+
+struct ObladiConfig {
+  RingOramConfig oram;
+  RingOramOptions oram_options;
+  size_t read_batches_per_epoch = 4;  // R
+  size_t read_batch_size = 32;        // b_read
+  size_t write_batch_size = 32;       // b_write
+  uint64_t batch_interval_us = 2000;  // Δ (timed mode)
+  bool timed_mode = false;
+  RecoveryConfig recovery;
+  uint64_t seed = 0x0b1ad1;
+
+  // Convenience constructor with derived ORAM parameters.
+  static ObladiConfig ForCapacity(uint64_t capacity, uint32_t z = 8, size_t payload = 256) {
+    ObladiConfig cfg;
+    cfg.oram = RingOramConfig::ForCapacity(capacity, z, payload);
+    return cfg;
+  }
+};
+
+struct ObladiStats {
+  uint64_t epochs = 0;
+  uint64_t read_batches = 0;
+  uint64_t cache_hits = 0;      // reads served from the version cache
+  uint64_t oram_fetches = 0;    // deduplicated batch slots used
+  uint64_t fetch_dedups = 0;    // reads coalesced onto an in-flight fetch
+  uint64_t batch_overflow_aborts = 0;
+  uint64_t recoveries = 0;
+};
+
+class ObladiStore : public TransactionalKv {
+ public:
+  // `log` may be nullptr when cfg.recovery.enabled is false.
+  ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
+              std::shared_ptr<LogStore> log);
+  ~ObladiStore() override;
+
+  // Bulk-load the initial database and write the base checkpoint. Must be
+  // called once before any transaction.
+  Status Load(const std::vector<std::pair<Key, std::string>>& records);
+
+  // --- TransactionalKv ---
+  Timestamp Begin() override;
+  StatusOr<std::string> Read(Timestamp txn, const Key& key) override;
+  Status Write(Timestamp txn, const Key& key, std::string value) override;
+  Status Commit(Timestamp txn) override;
+  void Abort(Timestamp txn) override;
+
+  // --- pacing ---
+  void Start();  // timed mode: launch the epoch pacer thread
+  void Stop();
+  Status StepReadBatch();   // dispatch + execute the next read batch
+  Status FinishEpochNow();  // run the epoch change (dispatches remaining batches)
+
+  // --- crash & recovery (§8) ---
+  // Drop all volatile proxy state, as if the proxy process died. In-flight
+  // client operations fail with kAborted.
+  void SimulateCrash();
+  // Rebuild from the write-ahead log: restore the last committed epoch,
+  // replay the aborted epoch's logged read batches, complete the
+  // crash-recovery epoch, and resume service. Fills `breakdown` if non-null.
+  Status RecoverFromCrash(RecoveryBreakdown* breakdown = nullptr);
+
+  ObladiStats stats() const;
+  MvtsoStats txn_stats() const { return engine_.stats(); }
+  RingOram* oram() { return oram_.get(); }
+  const ObladiConfig& config() const { return cfg_; }
+
+ private:
+  struct PendingFetch {
+    BlockId id;
+    Key key;
+    std::shared_ptr<std::promise<Status>> done;
+  };
+
+  StatusOr<std::shared_future<Status>> EnqueueFetch(const Key& key, BlockId id);
+  Status DispatchBatch(std::vector<PendingFetch> batch);
+  void PacerLoop();
+  Status CompleteCrashEpoch(size_t replayed_batches);
+  void FailAllWaiters();
+
+  ObladiConfig cfg_;
+  std::shared_ptr<BucketStore> store_;
+  std::shared_ptr<LogStore> log_;
+  std::shared_ptr<Encryptor> encryptor_;
+  std::unique_ptr<RingOram> oram_;
+  std::unique_ptr<RecoveryUnit> recovery_;
+  KeyDirectory directory_;
+  MvtsoEngine engine_;
+
+  mutable std::mutex mu_;  // guards epoch/batch structures below
+  bool loaded_ = false;
+  bool crashed_ = false;
+  std::vector<std::vector<PendingFetch>> epoch_batches_;
+  size_t next_dispatch_ = 0;
+  std::unordered_map<Key, std::shared_future<Status>> inflight_fetches_;
+  std::unordered_map<Timestamp, std::shared_ptr<std::promise<Status>>> commit_waiters_;
+  ObladiStats stats_;
+
+  std::mutex dispatch_mu_;  // serializes batch dispatch / epoch change
+  std::thread pacer_;
+  std::atomic<bool> pacer_running_{false};
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_PROXY_OBLADI_STORE_H_

@@ -1,0 +1,144 @@
+// Durability and crash recovery (§8).
+//
+// Obladi recovers to the last committed epoch using three ingredients:
+//
+//  1. Read-path logging: before a read batch's physical requests are issued,
+//     its plan (block id + path leaf per request, padding included) is
+//     appended to the write-ahead log and synced. After a crash the recovery
+//     logic *replays* these paths so the adversary always observes the
+//     aborted epoch's paths repeated — re-accessing the same objects after
+//     recovery therefore leaks nothing.
+//
+//  2. Per-epoch delta checkpoints: at each epoch commit the proxy logs the
+//     position-map delta (padded to the worst-case number of changed entries,
+//     R*b_read + b_write, so its size leaks nothing), the metadata of every
+//     bucket touched this epoch (permutations + valid maps + version
+//     counters), the full stash (padded to its analytic maximum), and the
+//     access/evict counters. Everything sensitive is encrypted.
+//
+//  3. Shadow paging: bucket writes create new versions keyed by the bucket's
+//     write count, so recovery simply reads buckets at their checkpointed
+//     versions; versions from the aborted epoch are ignored and later
+//     garbage collected.
+//
+// Every full_checkpoint_interval epochs a full checkpoint (complete position
+// map + all bucket metadata) supersedes the accumulated deltas and lets the
+// log be truncated.
+#ifndef OBLADI_SRC_RECOVERY_RECOVERY_UNIT_H_
+#define OBLADI_SRC_RECOVERY_RECOVERY_UNIT_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/crypto/encryptor.h"
+#include "src/oram/ring_oram.h"
+#include "src/oram/trace.h"
+#include "src/storage/bucket_store.h"
+#include "src/storage/trusted_counter.h"
+
+namespace obladi {
+
+struct RecoveryConfig {
+  bool enabled = true;
+  size_t full_checkpoint_interval = 16;  // epochs between full checkpoints
+  // Worst-case changed position-map entries per epoch (R*b_read + b_write);
+  // the delta is padded to this many entries.
+  size_t posmap_delta_pad_entries = 0;
+};
+
+// Timing/size breakdown of one recovery, mirroring Table 11b's columns.
+struct RecoveryBreakdown {
+  uint64_t total_us = 0;
+  uint64_t log_fetch_us = 0;    // reading the WAL back
+  uint64_t pos_us = 0;          // decrypt + rebuild position map
+  uint64_t perm_us = 0;         // decrypt + rebuild bucket metadata
+  uint64_t stash_us = 0;        // decrypt + rebuild stash
+  uint64_t path_replay_us = 0;  // re-executing logged read batches (set by caller)
+  size_t replayed_batches = 0;
+  size_t log_records = 0;
+};
+
+class RecoveryUnit {
+ public:
+  RecoveryUnit(RecoveryConfig config, std::shared_ptr<LogStore> log,
+               std::shared_ptr<Encryptor> encryptor);
+
+  const RecoveryConfig& config() const { return config_; }
+
+  // §8: called (via RingOram's batch-planned hook) before a read batch's
+  // physical requests are issued. Appends the encrypted plan and syncs.
+  Status LogReadBatchPlan(const BatchPlan& plan);
+
+  // Log the epoch's delta (or periodic full) checkpoint from the ORAM's
+  // current state and sync. Call after RingOram::FinishEpoch.
+  Status LogEpochCommit(RingOram& oram);
+
+  // Force the next LogEpochCommit to be a full checkpoint (used right after
+  // Initialize so recovery always has a base image).
+  Status LogFullCheckpoint(RingOram& oram);
+
+  // Optional proxy metadata (e.g. the key directory) carried inside the
+  // checkpoints. The delta provider should pad its output to a fixed size if
+  // its natural size is workload dependent.
+  void SetMetadataProviders(std::function<Bytes()> full, std::function<Bytes()> delta) {
+    metadata_full_ = std::move(full);
+    metadata_delta_ = std::move(delta);
+  }
+
+  // Appendix A: bind every log record to a monotonically increasing sequence
+  // number (as AAD, so a MAC-mode encryptor authenticates it) and mirror the
+  // sequence into a trusted counter that survives crashes. Recovery then
+  // rejects a log that a malicious server rolled back or truncated.
+  void SetTrustedCounter(std::shared_ptr<TrustedCounter> counter) {
+    trusted_counter_ = std::move(counter);
+  }
+
+  struct RecoveredState {
+    bool has_state = false;
+    PositionMap position_map{0};
+    std::vector<BucketMeta> metas;
+    Stash stash;
+    uint64_t access_count = 0;
+    uint64_t evict_count = 0;
+    EpochId epoch = 0;
+    // Read batches logged after the last committed epoch: the aborted
+    // epoch's prefix, which recovery must replay.
+    std::vector<BatchPlan> pending_plans;
+    // Proxy metadata: the last full image plus newer deltas, in order.
+    Bytes metadata_full;
+    std::vector<Bytes> metadata_deltas;
+    RecoveryBreakdown breakdown;
+  };
+
+  // Rebuild the last committed state from the log.
+  StatusOr<RecoveredState> Recover();
+
+ private:
+  enum RecordType : uint8_t {
+    kReadBatchPlan = 1,
+    kEpochDelta = 2,
+    kFullCheckpoint = 3,
+  };
+
+  Bytes BuildDeltaPayload(RingOram& oram);
+  Bytes BuildFullPayload(RingOram& oram);
+  Status AppendRecord(RecordType type, const Bytes& plaintext_payload);
+
+  RecoveryConfig config_;
+  std::shared_ptr<LogStore> log_;
+  std::shared_ptr<Encryptor> encryptor_;
+  std::shared_ptr<TrustedCounter> trusted_counter_;
+  std::function<Bytes()> metadata_full_;
+  std::function<Bytes()> metadata_delta_;
+  std::mutex mu_;
+  size_t epochs_since_full_ = 0;
+  uint64_t last_full_lsn_ = 0;
+  uint64_t record_seq_ = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_RECOVERY_RECOVERY_UNIT_H_

@@ -1,0 +1,100 @@
+// Interfaces to the untrusted cloud storage.
+//
+// The ORAM tree lives in a BucketStore: a heap-ordered array of buckets, each
+// holding Z+S fixed-size slot ciphertexts. Writes are shadow-paged (§8): every
+// bucket write creates a new *version* instead of updating in place, and the
+// version number of a bucket is a deterministic function of the number of
+// prior evict-path operations, which lets recovery revert to the last
+// committed epoch by simply reading buckets at their committed versions.
+//
+// The recovery unit's write-ahead log lives in a LogStore.
+#ifndef OBLADI_SRC_STORAGE_BUCKET_STORE_H_
+#define OBLADI_SRC_STORAGE_BUCKET_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+struct SlotAddress {
+  BucketIndex bucket = 0;
+  SlotIndex slot = 0;
+
+  bool operator==(const SlotAddress&) const = default;
+};
+
+struct SlotRef {
+  BucketIndex bucket = 0;
+  uint32_t version = 0;
+  SlotIndex slot = 0;
+};
+
+struct BucketImage {
+  BucketIndex bucket = 0;
+  uint32_t version = 0;
+  std::vector<Bytes> slots;
+};
+
+class BucketStore {
+ public:
+  virtual ~BucketStore() = default;
+
+  // Read one slot ciphertext of the given bucket version.
+  virtual StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) = 0;
+
+  // Write a complete bucket (all slot ciphertexts) as the given version.
+  // Writing an existing version overwrites it (recovery replays do this).
+  virtual Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) = 0;
+
+  // Batched forms: one request carrying many independent slot reads / bucket
+  // writes, as a real remote store's batched RPC would. Latency decorators
+  // charge round trips per *request*, which is what lets the parallel ORAM
+  // overlap an entire batch's I/O (§7). Defaults loop over the unary forms.
+  virtual std::vector<StatusOr<Bytes>> ReadSlotsBatch(const std::vector<SlotRef>& refs) {
+    std::vector<StatusOr<Bytes>> out;
+    out.reserve(refs.size());
+    for (const SlotRef& ref : refs) {
+      out.push_back(ReadSlot(ref.bucket, ref.version, ref.slot));
+    }
+    return out;
+  }
+  virtual Status WriteBucketsBatch(std::vector<BucketImage> images) {
+    for (auto& image : images) {
+      OBLADI_RETURN_IF_ERROR(WriteBucket(image.bucket, image.version, std::move(image.slots)));
+    }
+    return Status::Ok();
+  }
+
+  // Garbage-collect versions strictly below `keep_from_version`. Called after
+  // an epoch commits: only the committed version (and newer) must survive.
+  virtual Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) = 0;
+
+  virtual size_t num_buckets() const = 0;
+};
+
+// Append-only durable log used by the recovery unit (§8).
+class LogStore {
+ public:
+  virtual ~LogStore() = default;
+
+  // Append a record; returns its log sequence number.
+  virtual StatusOr<uint64_t> Append(Bytes record) = 0;
+
+  // Force all appended records to durable storage.
+  virtual Status Sync() = 0;
+
+  // Read every record in append order (recovery).
+  virtual StatusOr<std::vector<Bytes>> ReadAll() = 0;
+
+  // Drop records with LSN < upto (after a full checkpoint supersedes them).
+  virtual Status Truncate(uint64_t upto_lsn) = 0;
+
+  virtual uint64_t NextLsn() const = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_STORAGE_BUCKET_STORE_H_

@@ -1,0 +1,40 @@
+// File-backed LogStore: length-prefixed records appended to a single file,
+// fsync'd on Sync(). Used by the durability examples and crash tests that
+// survive process boundaries; the in-memory variant is used elsewhere.
+#ifndef OBLADI_SRC_STORAGE_FILE_LOG_STORE_H_
+#define OBLADI_SRC_STORAGE_FILE_LOG_STORE_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+class FileLogStore : public LogStore {
+ public:
+  // Opens (creating if needed) the log file at `path` and scans it to find
+  // the next LSN.
+  explicit FileLogStore(std::string path);
+  ~FileLogStore() override;
+
+  StatusOr<uint64_t> Append(Bytes record) override;
+  Status Sync() override;
+  StatusOr<std::vector<Bytes>> ReadAll() override;
+  Status Truncate(uint64_t upto_lsn) override;
+  uint64_t NextLsn() const override;
+
+ private:
+  Status RewriteFromRecords(const std::vector<std::pair<uint64_t, Bytes>>& records);
+  StatusOr<std::vector<std::pair<uint64_t, Bytes>>> ScanAll();
+
+  std::string path_;
+  mutable std::mutex mu_;
+  FILE* file_ = nullptr;
+  uint64_t next_lsn_ = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_STORAGE_FILE_LOG_STORE_H_

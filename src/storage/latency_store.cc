@@ -1,0 +1,130 @@
+#include "src/storage/latency_store.h"
+
+#include "src/common/clock.h"
+
+namespace obladi {
+
+LatencyBucketStore::LatencyBucketStore(std::shared_ptr<BucketStore> base, LatencyProfile profile)
+    : base_(std::move(base)), profile_(std::move(profile)) {}
+
+void LatencyBucketStore::AcquireSlot() {
+  if (profile_.max_inflight == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lk(inflight_mu_);
+  inflight_cv_.wait(lk, [&] { return inflight_ < profile_.max_inflight; });
+  ++inflight_;
+}
+
+void LatencyBucketStore::ReleaseSlot() {
+  if (profile_.max_inflight == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    --inflight_;
+  }
+  inflight_cv_.notify_one();
+}
+
+StatusOr<Bytes> LatencyBucketStore::ReadSlot(BucketIndex bucket, uint32_t version,
+                                             SlotIndex slot) {
+  if (bypass_.load(std::memory_order_relaxed)) {
+    return base_->ReadSlot(bucket, version, slot);
+  }
+  AcquireSlot();
+  PreciseSleepMicros(profile_.read_latency_us);
+  auto result = base_->ReadSlot(bucket, version, slot);
+  ReleaseSlot();
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) {
+    stats_.bytes_read.fetch_add(result->size(), std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Status LatencyBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
+                                       std::vector<Bytes> slots) {
+  if (bypass_.load(std::memory_order_relaxed)) {
+    return base_->WriteBucket(bucket, version, std::move(slots));
+  }
+  size_t bytes = 0;
+  for (const auto& s : slots) {
+    bytes += s.size();
+  }
+  AcquireSlot();
+  PreciseSleepMicros(profile_.write_latency_us);
+  Status st = base_->WriteBucket(bucket, version, std::move(slots));
+  ReleaseSlot();
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  return st;
+}
+
+std::vector<StatusOr<Bytes>> LatencyBucketStore::ReadSlotsBatch(
+    const std::vector<SlotRef>& refs) {
+  if (!bypass_.load(std::memory_order_relaxed) && !refs.empty()) {
+    uint64_t waves = 1;
+    if (profile_.max_inflight > 0) {
+      waves = (refs.size() + profile_.max_inflight - 1) / profile_.max_inflight;
+    }
+    PreciseSleepMicros(profile_.read_latency_us * waves);
+  }
+  auto out = base_->ReadSlotsBatch(refs);
+  stats_.reads.fetch_add(refs.size(), std::memory_order_relaxed);
+  for (const auto& r : out) {
+    if (r.ok()) {
+      stats_.bytes_read.fetch_add(r->size(), std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+Status LatencyBucketStore::WriteBucketsBatch(std::vector<BucketImage> images) {
+  size_t bytes = 0;
+  for (const auto& image : images) {
+    for (const auto& s : image.slots) {
+      bytes += s.size();
+    }
+  }
+  if (!bypass_.load(std::memory_order_relaxed) && !images.empty()) {
+    uint64_t waves = 1;
+    if (profile_.max_inflight > 0) {
+      waves = (images.size() + profile_.max_inflight - 1) / profile_.max_inflight;
+    }
+    PreciseSleepMicros(profile_.write_latency_us * waves);
+  }
+  stats_.writes.fetch_add(images.size(), std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  return base_->WriteBucketsBatch(std::move(images));
+}
+
+Status LatencyBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) {
+  return base_->TruncateBucket(bucket, keep_from_version);
+}
+
+StatusOr<uint64_t> LatencyLogStore::Append(Bytes record) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(record.size(), std::memory_order_relaxed);
+  return base_->Append(std::move(record));
+}
+
+Status LatencyLogStore::Sync() {
+  // One durable round trip per sync, matching a remote WAL.
+  PreciseSleepMicros(profile_.write_latency_us);
+  return base_->Sync();
+}
+
+StatusOr<std::vector<Bytes>> LatencyLogStore::ReadAll() {
+  PreciseSleepMicros(profile_.read_latency_us);
+  auto all = base_->ReadAll();
+  if (all.ok()) {
+    stats_.reads.fetch_add(all->size(), std::memory_order_relaxed);
+    for (const auto& r : *all) {
+      stats_.bytes_read.fetch_add(r.size(), std::memory_order_relaxed);
+    }
+  }
+  return all;
+}
+
+}  // namespace obladi

@@ -1,0 +1,119 @@
+// Latency-injecting decorators that model the paper's four storage backends
+// (§11.2): dummy (0 latency), local server (0.3 ms), WAN server (10 ms), and
+// DynamoDB (1 ms reads / 3 ms writes behind a blocking HTTP client pool).
+//
+// Latencies are injected on the calling thread, so concurrency behaves like a
+// real remote store: N outstanding requests overlap if issued from N threads.
+// `scale` lets benchmarks shrink all latencies proportionally so runs finish
+// quickly while preserving relative shapes; scale=1.0 reproduces the paper's
+// absolute latencies.
+#ifndef OBLADI_SRC_STORAGE_LATENCY_STORE_H_
+#define OBLADI_SRC_STORAGE_LATENCY_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+struct LatencyProfile {
+  std::string name = "dummy";
+  uint64_t read_latency_us = 0;
+  uint64_t write_latency_us = 0;
+  // Max concurrently-served requests; 0 = unlimited. Models Dynamo's blocking
+  // HTTP connection pool, which caps effective parallelism.
+  size_t max_inflight = 0;
+
+  static LatencyProfile Dummy() { return LatencyProfile{"dummy", 0, 0, 0}; }
+  static LatencyProfile LocalServer(double scale = 1.0) {
+    return LatencyProfile{"server", Scale(300, scale), Scale(300, scale), 0};
+  }
+  static LatencyProfile WanServer(double scale = 1.0) {
+    return LatencyProfile{"server_wan", Scale(10000, scale), Scale(10000, scale), 0};
+  }
+  static LatencyProfile Dynamo(double scale = 1.0) {
+    return LatencyProfile{"dynamo", Scale(1000, scale), Scale(3000, scale), 64};
+  }
+
+ private:
+  static uint64_t Scale(uint64_t us, double scale) {
+    return static_cast<uint64_t>(static_cast<double>(us) * scale);
+  }
+};
+
+// Request/byte accounting, shared by the bucket and log decorators.
+struct NetworkStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  void Reset() {
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+};
+
+class LatencyBucketStore : public BucketStore {
+ public:
+  LatencyBucketStore(std::shared_ptr<BucketStore> base, LatencyProfile profile);
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override;
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override;
+  // Batched requests pay one round trip per max_inflight-sized wave (one
+  // round trip total when in-flight requests are unlimited).
+  std::vector<StatusOr<Bytes>> ReadSlotsBatch(const std::vector<SlotRef>& refs) override;
+  Status WriteBucketsBatch(std::vector<BucketImage> images) override;
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
+  size_t num_buckets() const override { return base_->num_buckets(); }
+
+  const NetworkStats& stats() const { return stats_; }
+  NetworkStats& mutable_stats() { return stats_; }
+  const LatencyProfile& profile() const { return profile_; }
+
+  // Disable latency injection temporarily (bulk loading in benchmarks).
+  void SetBypass(bool bypass) { bypass_.store(bypass, std::memory_order_relaxed); }
+
+ private:
+  class InflightGuard;
+  void AcquireSlot();
+  void ReleaseSlot();
+
+  std::shared_ptr<BucketStore> base_;
+  LatencyProfile profile_;
+  NetworkStats stats_;
+  std::atomic<bool> bypass_{false};
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
+};
+
+class LatencyLogStore : public LogStore {
+ public:
+  LatencyLogStore(std::shared_ptr<LogStore> base, LatencyProfile profile)
+      : base_(std::move(base)), profile_(std::move(profile)) {}
+
+  StatusOr<uint64_t> Append(Bytes record) override;
+  Status Sync() override;
+  StatusOr<std::vector<Bytes>> ReadAll() override;
+  Status Truncate(uint64_t upto_lsn) override { return base_->Truncate(upto_lsn); }
+  uint64_t NextLsn() const override { return base_->NextLsn(); }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<LogStore> base_;
+  LatencyProfile profile_;
+  NetworkStats stats_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_STORAGE_LATENCY_STORE_H_

@@ -1,0 +1,104 @@
+#include "src/storage/memory_store.h"
+
+namespace obladi {
+
+MemoryBucketStore::MemoryBucketStore(size_t num_buckets, size_t slots_per_bucket,
+                                     size_t max_versions)
+    : buckets_(num_buckets), slots_per_bucket_(slots_per_bucket), max_versions_(max_versions) {}
+
+StatusOr<Bytes> MemoryBucketStore::ReadSlot(BucketIndex bucket, uint32_t version,
+                                            SlotIndex slot) {
+  if (bucket >= buckets_.size() || slot >= slots_per_bucket_) {
+    return Status::InvalidArgument("slot address out of range");
+  }
+  std::lock_guard<std::mutex> lk(locks_[bucket % kStripes]);
+  const auto& versions = buckets_[bucket].versions;
+  auto it = versions.find(version);
+  if (it == versions.end()) {
+    return Status::NotFound("bucket version not present");
+  }
+  return it->second[slot];
+}
+
+Status MemoryBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
+                                      std::vector<Bytes> slots) {
+  if (bucket >= buckets_.size()) {
+    return Status::InvalidArgument("bucket out of range");
+  }
+  if (slots.size() != slots_per_bucket_) {
+    return Status::InvalidArgument("bucket image has wrong slot count");
+  }
+  std::lock_guard<std::mutex> lk(locks_[bucket % kStripes]);
+  auto& versions = buckets_[bucket].versions;
+  versions[version] = std::move(slots);
+  if (max_versions_ > 0) {
+    while (versions.size() > max_versions_) {
+      versions.erase(versions.begin());
+    }
+  }
+  return Status::Ok();
+}
+
+Status MemoryBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) {
+  if (bucket >= buckets_.size()) {
+    return Status::InvalidArgument("bucket out of range");
+  }
+  std::lock_guard<std::mutex> lk(locks_[bucket % kStripes]);
+  auto& versions = buckets_[bucket].versions;
+  versions.erase(versions.begin(), versions.lower_bound(keep_from_version));
+  return Status::Ok();
+}
+
+size_t MemoryBucketStore::TotalVersions() const {
+  size_t total = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    std::lock_guard<std::mutex> lk(locks_[b % kStripes]);
+    total += buckets_[b].versions.size();
+  }
+  return total;
+}
+
+StatusOr<uint64_t> MemoryLogStore::Append(Bytes record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t lsn = next_lsn_++;
+  records_.emplace_back(lsn, std::move(record));
+  return lsn;
+}
+
+Status MemoryLogStore::Sync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++sync_count_;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Bytes>> MemoryLogStore::ReadAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Bytes> out;
+  out.reserve(records_.size());
+  for (const auto& [lsn, rec] : records_) {
+    out.push_back(rec);
+  }
+  return out;
+}
+
+Status MemoryLogStore::Truncate(uint64_t upto_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t keep_from = 0;
+  while (keep_from < records_.size() && records_[keep_from].first < upto_lsn) {
+    ++keep_from;
+  }
+  records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(keep_from));
+  return Status::Ok();
+}
+
+uint64_t MemoryLogStore::NextLsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_lsn_;
+}
+
+size_t MemoryLogStore::SyncCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sync_count_;
+}
+
+}  // namespace obladi

@@ -1,0 +1,87 @@
+// In-memory implementations of the storage interfaces.
+//
+// MemoryBucketStore keeps, per bucket, a short version history (shadow
+// paging). To bound memory for large trees it stores only the slots that were
+// actually written; buckets are written whole, so this is simply the bucket
+// image per version.
+//
+// DummyBucketStore models the paper's "dummy" backend: it stores nothing,
+// answers every read with a static ciphertext-sized value, and ignores
+// writes. The ORAM's control flow is entirely client-metadata-driven, so it
+// runs correctly on top of it (values read back are garbage, which the
+// microbenchmarks do not inspect).
+#ifndef OBLADI_SRC_STORAGE_MEMORY_STORE_H_
+#define OBLADI_SRC_STORAGE_MEMORY_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+class MemoryBucketStore : public BucketStore {
+ public:
+  // max_versions > 0 bounds the retained version history per bucket (oldest
+  // dropped on write). Two versions suffice when at most one epoch is ever
+  // uncommitted; 0 keeps everything until explicit truncation.
+  MemoryBucketStore(size_t num_buckets, size_t slots_per_bucket, size_t max_versions = 0);
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override;
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override;
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
+  size_t num_buckets() const override { return buckets_.size(); }
+
+  // Test hook: total retained bucket versions across the store.
+  size_t TotalVersions() const;
+
+ private:
+  struct BucketVersions {
+    // version -> full bucket image. Ordered so Truncate can erase a prefix.
+    std::map<uint32_t, std::vector<Bytes>> versions;
+  };
+
+  // Striped locking: bucket i is guarded by locks_[i % kStripes].
+  static constexpr size_t kStripes = 64;
+  mutable std::mutex locks_[kStripes];
+  std::vector<BucketVersions> buckets_;
+  size_t slots_per_bucket_;
+  size_t max_versions_;
+};
+
+class DummyBucketStore : public BucketStore {
+ public:
+  DummyBucketStore(size_t num_buckets, size_t slot_ciphertext_size)
+      : num_buckets_(num_buckets), static_value_(slot_ciphertext_size, 0xd0) {}
+
+  StatusOr<Bytes> ReadSlot(BucketIndex, uint32_t, SlotIndex) override { return static_value_; }
+  Status WriteBucket(BucketIndex, uint32_t, std::vector<Bytes>) override { return Status::Ok(); }
+  Status TruncateBucket(BucketIndex, uint32_t) override { return Status::Ok(); }
+  size_t num_buckets() const override { return num_buckets_; }
+
+ private:
+  size_t num_buckets_;
+  Bytes static_value_;
+};
+
+class MemoryLogStore : public LogStore {
+ public:
+  StatusOr<uint64_t> Append(Bytes record) override;
+  Status Sync() override;
+  StatusOr<std::vector<Bytes>> ReadAll() override;
+  Status Truncate(uint64_t upto_lsn) override;
+  uint64_t NextLsn() const override;
+
+  size_t SyncCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<uint64_t, Bytes>> records_;
+  uint64_t next_lsn_ = 0;
+  size_t sync_count_ = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_STORAGE_MEMORY_STORE_H_

@@ -1,0 +1,95 @@
+// Trusted monotonic counter (Appendix A's F_epc).
+//
+// Against a fully malicious storage server, MACs alone cannot stop rollback:
+// the server can serve a stale-but-validly-MAC'd log prefix. Appendix A fixes
+// this with a small trusted counter that persists across proxy crashes (e.g.
+// a few bytes of local NVM): the proxy bumps it after each durable write, and
+// recovery refuses any log whose record count lags the counter.
+#ifndef OBLADI_SRC_STORAGE_TRUSTED_COUNTER_H_
+#define OBLADI_SRC_STORAGE_TRUSTED_COUNTER_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace obladi {
+
+class TrustedCounter {
+ public:
+  virtual ~TrustedCounter() = default;
+  // Durably advance to `value` (monotonic; lower values are ignored).
+  virtual Status Advance(uint64_t value) = 0;
+  virtual StatusOr<uint64_t> Read() = 0;
+};
+
+// In-memory counter that survives proxy "crashes" (which lose the proxy
+// object, not the process) — the moral equivalent of local NVM in tests.
+class MemoryTrustedCounter : public TrustedCounter {
+ public:
+  Status Advance(uint64_t value) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (value > value_) {
+      value_ = value;
+    }
+    return Status::Ok();
+  }
+  StatusOr<uint64_t> Read() override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return value_;
+  }
+
+ private:
+  std::mutex mu_;
+  uint64_t value_ = 0;
+};
+
+// File-backed counter for cross-process durability.
+class FileTrustedCounter : public TrustedCounter {
+ public:
+  explicit FileTrustedCounter(std::string path) : path_(std::move(path)) {}
+
+  Status Advance(uint64_t value) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto current = ReadLocked();
+    if (current.ok() && *current >= value) {
+      return Status::Ok();
+    }
+    FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Unavailable("cannot open trusted counter file");
+    }
+    std::fwrite(&value, sizeof(value), 1, f);
+    std::fflush(f);
+    std::fclose(f);
+    return Status::Ok();
+  }
+
+  StatusOr<uint64_t> Read() override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ReadLocked();
+  }
+
+ private:
+  StatusOr<uint64_t> ReadLocked() {
+    FILE* f = std::fopen(path_.c_str(), "rb");
+    if (f == nullptr) {
+      return static_cast<uint64_t>(0);  // never written yet
+    }
+    uint64_t value = 0;
+    size_t n = std::fread(&value, sizeof(value), 1, f);
+    std::fclose(f);
+    if (n != 1) {
+      return Status::DataLoss("trusted counter file corrupt");
+    }
+    return value;
+  }
+
+  std::mutex mu_;
+  std::string path_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_STORAGE_TRUSTED_COUNTER_H_

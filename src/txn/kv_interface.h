@@ -1,0 +1,90 @@
+// The transactional key-value interface shared by Obladi and the non-private
+// baselines (NoPriv, two-phase locking). Workloads and benchmarks are written
+// against this interface only.
+#ifndef OBLADI_SRC_TXN_KV_INTERFACE_H_
+#define OBLADI_SRC_TXN_KV_INTERFACE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace obladi {
+
+using Key = std::string;
+
+class TransactionalKv {
+ public:
+  virtual ~TransactionalKv() = default;
+
+  // Start a transaction; the returned timestamp doubles as its handle and
+  // determines its position in the serialization order (MVTSO).
+  virtual Timestamp Begin() = 0;
+
+  // Read `key` as of this transaction. May block (Obladi: until the read
+  // batch containing the request executes). Errors:
+  //   kAborted   – the transaction was aborted (conflict, cascade, or epoch end)
+  //   kNotFound  – no such key
+  virtual StatusOr<std::string> Read(Timestamp txn, const Key& key) = 0;
+
+  // Buffer a write. Visible to concurrent transactions per MVTSO; durable
+  // only after Commit succeeds.
+  virtual Status Write(Timestamp txn, const Key& key, std::string value) = 0;
+
+  // Request commit and block until the decision. Obladi defers the decision
+  // to the end of the transaction's epoch (§6).
+  virtual Status Commit(Timestamp txn) = 0;
+
+  // Abort explicitly; safe to call on an already-decided transaction.
+  virtual void Abort(Timestamp txn) = 0;
+};
+
+// Ergonomic wrapper passed to transaction bodies.
+class Txn {
+ public:
+  Txn(TransactionalKv& kv, Timestamp ts) : kv_(kv), ts_(ts) {}
+
+  Timestamp ts() const { return ts_; }
+  StatusOr<std::string> Read(const Key& key) { return kv_.Read(ts_, key); }
+  Status Write(const Key& key, std::string value) {
+    return kv_.Write(ts_, key, std::move(value));
+  }
+
+ private:
+  TransactionalKv& kv_;
+  Timestamp ts_;
+};
+
+// Body returns OK to request commit or an error to abort. kAborted results
+// (from the body or from Commit) are retried up to max_attempts times.
+inline Status RunTransaction(TransactionalKv& kv, const std::function<Status(Txn&)>& body,
+                             int max_attempts = 100) {
+  Status last = Status::Aborted("no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Timestamp ts = kv.Begin();
+    Txn txn(kv, ts);
+    Status st = body(txn);
+    if (!st.ok()) {
+      kv.Abort(ts);
+      if (st.code() == StatusCode::kAborted) {
+        last = st;
+        continue;  // conflict: retry
+      }
+      return st;  // application error: do not retry
+    }
+    st = kv.Commit(ts);
+    if (st.ok()) {
+      return st;
+    }
+    last = st;
+    if (st.code() != StatusCode::kAborted) {
+      return st;
+    }
+  }
+  return last;
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_TXN_KV_INTERFACE_H_

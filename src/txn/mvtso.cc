@@ -1,0 +1,347 @@
+#include "src/txn/mvtso.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace obladi {
+
+Timestamp MvtsoEngine::Begin() {
+  Timestamp ts = next_ts_.fetch_add(1);
+  std::lock_guard<std::mutex> lk(mu_);
+  txns_[ts] = TxnRecord{};
+  stats_.begun++;
+  // Immediate-commit mode never calls EndEpoch, so decided records must be
+  // garbage collected here: drop decided transactions older than the oldest
+  // live one (nobody can still depend on their state once all dependents are
+  // decided, and cascades resolve at abort time).
+  if (txns_.size() > 8192) {
+    Timestamp oldest_live = ts;
+    for (const auto& [t, rec] : txns_) {
+      if (rec.state == TxnState::kActive || rec.state == TxnState::kFinished) {
+        oldest_live = t;
+        break;
+      }
+    }
+    for (auto it = txns_.begin(); it != txns_.end() && it->first < oldest_live;) {
+      it = txns_.erase(it);
+    }
+  }
+  return ts;
+}
+
+MvtsoEngine::TxnRecord* MvtsoEngine::FindTxn(Timestamp ts) {
+  auto it = txns_.find(ts);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+const MvtsoEngine::TxnRecord* MvtsoEngine::FindTxn(Timestamp ts) const {
+  auto it = txns_.find(ts);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+ReadOutcome MvtsoEngine::Read(Timestamp ts, const Key& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TxnRecord* rec = FindTxn(ts);
+  if (rec == nullptr || rec->state == TxnState::kAborted) {
+    return ReadOutcome{ReadOutcome::kAborted, ""};
+  }
+  auto cit = chains_.find(key);
+  if (cit == chains_.end() || cit->second.versions.empty()) {
+    return ReadOutcome{ReadOutcome::kNeedBase, ""};
+  }
+  Chain& chain = cit->second;
+  // Latest version with writer <= ts.
+  Version* visible = nullptr;
+  for (auto& v : chain.versions) {
+    if (v.writer <= ts) {
+      visible = &v;
+    } else {
+      break;
+    }
+  }
+  if (visible == nullptr) {
+    if (chain.pruned_floor > ts) {
+      // The version this reader needed has been garbage collected.
+      AbortLocked(ts, AbortReason::kWriteConflict);
+      return ReadOutcome{ReadOutcome::kAborted, ""};
+    }
+    return ReadOutcome{ReadOutcome::kNeedBase, ""};
+  }
+  visible->max_read = std::max(visible->max_read, ts);
+  if (visible->writer != 0 && visible->writer != ts) {
+    TxnRecord* writer = FindTxn(visible->writer);
+    if (writer != nullptr && writer->state != TxnState::kCommitted) {
+      rec->deps.insert(visible->writer);
+      writer->dependents.insert(ts);
+    }
+  }
+  return ReadOutcome{ReadOutcome::kValue, visible->value};
+}
+
+Status MvtsoEngine::Write(Timestamp ts, const Key& key, std::string value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TxnRecord* rec = FindTxn(ts);
+  if (rec == nullptr || rec->state == TxnState::kAborted) {
+    return Status::Aborted("transaction not active");
+  }
+  Chain& chain = chains_[key];
+  if (chain.pruned_floor > ts) {
+    // The predecessor version (and its read marker) was garbage collected;
+    // admitting this old write would be unsound.
+    AbortLocked(ts, AbortReason::kWriteConflict);
+    return Status::Aborted("MVTSO write too old: predecessor pruned");
+  }
+  // Locate predecessor (latest version with writer <= ts).
+  size_t insert_at = 0;
+  Version* predecessor = nullptr;
+  for (size_t i = 0; i < chain.versions.size(); ++i) {
+    if (chain.versions[i].writer <= ts) {
+      predecessor = &chain.versions[i];
+      insert_at = i + 1;
+    } else {
+      break;
+    }
+  }
+  if (predecessor != nullptr && predecessor->writer == ts) {
+    // Overwriting our own earlier write.
+    predecessor->value = value;
+    rec->writes[key] = std::move(value);
+    return Status::Ok();
+  }
+  if (predecessor != nullptr && predecessor->max_read > ts) {
+    // A later-timestamped transaction already read the predecessor: admitting
+    // this write would make that read non-serializable. Abort the writer.
+    AbortLocked(ts, AbortReason::kWriteConflict);
+    return Status::Aborted("MVTSO write conflict: predecessor read by later transaction");
+  }
+  Version v;
+  v.writer = ts;
+  v.value = value;
+  chain.versions.insert(chain.versions.begin() + static_cast<ptrdiff_t>(insert_at),
+                        std::move(v));
+  rec->writes[key] = std::move(value);
+  return Status::Ok();
+}
+
+void MvtsoEngine::InstallBase(const Key& key, std::string value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Chain& chain = chains_[key];
+  if (!chain.versions.empty() && chain.versions.front().writer == 0) {
+    return;  // base already installed by a concurrent fetch
+  }
+  Version v;
+  v.writer = 0;
+  v.value = std::move(value);
+  chain.versions.insert(chain.versions.begin(), std::move(v));
+}
+
+bool MvtsoEngine::HasAnyVersion(const Key& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = chains_.find(key);
+  return it != chains_.end() && !it->second.versions.empty();
+}
+
+void MvtsoEngine::RemoveVersionsOf(Timestamp ts, const TxnRecord& rec) {
+  for (const auto& [key, value] : rec.writes) {
+    auto it = chains_.find(key);
+    if (it == chains_.end()) {
+      continue;
+    }
+    auto& versions = it->second.versions;
+    versions.erase(std::remove_if(versions.begin(), versions.end(),
+                                  [&](const Version& v) { return v.writer == ts; }),
+                   versions.end());
+  }
+}
+
+void MvtsoEngine::AbortLocked(Timestamp ts, AbortReason reason) {
+  TxnRecord* rec = FindTxn(ts);
+  if (rec == nullptr || rec->state == TxnState::kAborted) {
+    return;
+  }
+  assert(rec->state != TxnState::kCommitted && "cannot abort a committed transaction");
+  rec->state = TxnState::kAborted;
+  switch (reason) {
+    case AbortReason::kWriteConflict: stats_.aborts_write_conflict++; break;
+    case AbortReason::kCascade: stats_.aborts_cascade++; break;
+    case AbortReason::kUnfinishedEpoch: stats_.aborts_unfinished_epoch++; break;
+    case AbortReason::kBatchOverflow: stats_.aborts_batch_overflow++; break;
+    case AbortReason::kExplicit: stats_.aborts_explicit++; break;
+  }
+  RemoveVersionsOf(ts, *rec);
+  // Cascade: everyone who observed our uncommitted writes must abort too.
+  std::vector<Timestamp> dependents(rec->dependents.begin(), rec->dependents.end());
+  for (Timestamp d : dependents) {
+    AbortLocked(d, AbortReason::kCascade);
+  }
+  decided_cv_.notify_all();
+}
+
+void MvtsoEngine::AbortWithReason(Timestamp ts, AbortReason reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  AbortLocked(ts, reason);
+}
+
+Status MvtsoEngine::Finish(Timestamp ts) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TxnRecord* rec = FindTxn(ts);
+  if (rec == nullptr || rec->state == TxnState::kAborted) {
+    return Status::Aborted("transaction already aborted");
+  }
+  rec->state = TxnState::kFinished;
+  return Status::Ok();
+}
+
+Status MvtsoEngine::TryCommitImmediate(Timestamp ts) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    TxnRecord* rec = FindTxn(ts);
+    if (rec == nullptr || rec->state == TxnState::kAborted) {
+      return Status::Aborted("transaction aborted");
+    }
+    // Dependencies have strictly smaller timestamps (reads only observe
+    // versions with writer < reader), so waiting cannot deadlock.
+    bool pending = false;
+    bool dep_aborted = false;
+    for (Timestamp d : rec->deps) {
+      const TxnRecord* dep = FindTxn(d);
+      if (dep == nullptr) {
+        // Dependency record pruned after commit: treat as committed.
+        continue;
+      }
+      if (dep->state == TxnState::kAborted) {
+        dep_aborted = true;
+        break;
+      }
+      if (dep->state != TxnState::kCommitted) {
+        pending = true;
+      }
+    }
+    if (dep_aborted) {
+      AbortLocked(ts, AbortReason::kCascade);
+      return Status::Aborted("dependency aborted");
+    }
+    if (!pending) {
+      rec->state = TxnState::kCommitted;
+      stats_.committed++;
+      // Prune superseded committed versions of the written keys.
+      for (const auto& [key, value] : rec->writes) {
+        Chain& chain = chains_[key];
+        auto& versions = chain.versions;
+        versions.erase(
+            std::remove_if(versions.begin(), versions.end(),
+                           [&](const Version& v) {
+                             if (v.writer >= ts) {
+                               return false;
+                             }
+                             // Only drop decided-committed predecessors/base.
+                             if (v.writer == 0) {
+                               return true;
+                             }
+                             const TxnRecord* w = FindTxn(v.writer);
+                             return w == nullptr || w->state == TxnState::kCommitted;
+                           }),
+            versions.end());
+        chain.pruned_floor = std::max(chain.pruned_floor, ts);
+      }
+      decided_cv_.notify_all();
+      return Status::Ok();
+    }
+    decided_cv_.wait(lk);
+  }
+}
+
+EpochOutcome MvtsoEngine::EndEpoch(size_t max_write_keys) {
+  std::lock_guard<std::mutex> lk(mu_);
+  EpochOutcome out;
+  std::unordered_set<Key> write_keys;
+  std::map<Key, std::string> final_writes;
+
+  for (auto& [ts, rec] : txns_) {
+    if (rec.state == TxnState::kCommitted || rec.state == TxnState::kAborted) {
+      if (rec.state == TxnState::kAborted) {
+        out.aborted.push_back(ts);
+      }
+      continue;
+    }
+    if (rec.state == TxnState::kActive) {
+      // Transactions never span epochs (§6).
+      AbortLocked(ts, AbortReason::kUnfinishedEpoch);
+      out.aborted.push_back(ts);
+      continue;
+    }
+    // kFinished: commit iff every dependency committed (dependencies have
+    // smaller timestamps, so they were decided earlier in this loop).
+    bool dep_failed = false;
+    for (Timestamp d : rec.deps) {
+      const TxnRecord* dep = FindTxn(d);
+      if (dep == nullptr || dep->state != TxnState::kCommitted) {
+        dep_failed = true;
+        break;
+      }
+    }
+    if (dep_failed) {
+      AbortLocked(ts, AbortReason::kCascade);
+      out.aborted.push_back(ts);
+      continue;
+    }
+    // Enforce the fixed-size write batch: if this transaction's writes don't
+    // fit, it aborts (the paper's "batch filling up" aborts).
+    if (max_write_keys != 0) {
+      size_t new_keys = 0;
+      for (const auto& [key, value] : rec.writes) {
+        if (write_keys.count(key) == 0) {
+          ++new_keys;
+        }
+      }
+      if (write_keys.size() + new_keys > max_write_keys) {
+        AbortLocked(ts, AbortReason::kBatchOverflow);
+        out.aborted.push_back(ts);
+        continue;
+      }
+    }
+    rec.state = TxnState::kCommitted;
+    stats_.committed++;
+    out.committed.push_back(ts);
+    for (const auto& [key, value] : rec.writes) {
+      write_keys.insert(key);
+      final_writes[key] = value;  // ascending ts order => last writer wins
+    }
+  }
+
+  out.final_writes.assign(final_writes.begin(), final_writes.end());
+  chains_.clear();
+  txns_.clear();
+  decided_cv_.notify_all();
+  return out;
+}
+
+TxnState MvtsoEngine::GetState(Timestamp ts) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const TxnRecord* rec = FindTxn(ts);
+  return rec == nullptr ? TxnState::kAborted : rec->state;
+}
+
+std::vector<std::pair<Key, std::string>> MvtsoEngine::WritesOf(Timestamp ts) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const TxnRecord* rec = FindTxn(ts);
+  std::vector<std::pair<Key, std::string>> out;
+  if (rec != nullptr) {
+    out.assign(rec->writes.begin(), rec->writes.end());
+  }
+  return out;
+}
+
+MvtsoStats MvtsoEngine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void MvtsoEngine::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  txns_.clear();
+  chains_.clear();
+  decided_cv_.notify_all();
+}
+
+}  // namespace obladi

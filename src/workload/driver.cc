@@ -1,0 +1,62 @@
+#include "src/workload/driver.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace obladi {
+
+DriverResult RunWorkload(TransactionalKv& kv, Workload& workload,
+                         const DriverOptions& options) {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> running{true};
+  Histogram latencies;
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.num_threads);
+  for (size_t t = 0; t < options.num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(options.seed * 1000003 + t);
+      while (running.load(std::memory_order_relaxed)) {
+        Stopwatch sw;
+        Status st = workload.RunOne(kv, rng);
+        if (!measuring.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        if (st.ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+          latencies.Record(sw.ElapsedMicros());
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.warmup_ms));
+  measuring.store(true);
+  uint64_t start = NowMicros();
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
+  measuring.store(false);
+  uint64_t elapsed_us = NowMicros() - start;
+  running.store(false);
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  DriverResult result;
+  result.committed = committed.load();
+  result.failed = failed.load();
+  result.throughput_tps =
+      static_cast<double>(result.committed) / (static_cast<double>(elapsed_us) / 1e6);
+  result.mean_latency_us = latencies.Mean();
+  result.p50_latency_us = latencies.Percentile(0.5);
+  result.p99_latency_us = latencies.Percentile(0.99);
+  return result;
+}
+
+}  // namespace obladi

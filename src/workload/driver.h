@@ -1,0 +1,35 @@
+// Closed-loop multi-threaded workload driver with throughput/latency stats.
+#ifndef OBLADI_SRC_WORKLOAD_DRIVER_H_
+#define OBLADI_SRC_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+
+#include "src/common/histogram.h"
+#include "src/txn/kv_interface.h"
+#include "src/workload/workload.h"
+
+namespace obladi {
+
+struct DriverOptions {
+  size_t num_threads = 8;
+  uint64_t duration_ms = 2000;
+  uint64_t warmup_ms = 200;
+  uint64_t seed = 7;
+};
+
+struct DriverResult {
+  double throughput_tps = 0;
+  uint64_t committed = 0;
+  uint64_t failed = 0;  // transactions that exhausted retries
+  double mean_latency_us = 0;
+  uint64_t p50_latency_us = 0;
+  uint64_t p99_latency_us = 0;
+};
+
+// Runs `workload` against `kv` from num_threads closed-loop clients for
+// duration_ms (after warmup_ms of unmeasured warmup).
+DriverResult RunWorkload(TransactionalKv& kv, Workload& workload, const DriverOptions& options);
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_WORKLOAD_DRIVER_H_

@@ -1,0 +1,420 @@
+#include "src/workload/freehealth.h"
+
+#include <sstream>
+
+namespace obladi {
+
+std::string FhCounters::Encode() const {
+  return std::to_string(episodes) + "|" + std::to_string(prescriptions) + "|" +
+         std::to_string(pmh);
+}
+
+FhCounters FhCounters::Decode(const std::string& value) {
+  FhCounters c;
+  if (value.empty()) {
+    return c;
+  }
+  std::istringstream in(value);
+  std::string field;
+  std::getline(in, field, '|');
+  c.episodes = static_cast<uint32_t>(std::stoul(field));
+  std::getline(in, field, '|');
+  c.prescriptions = static_cast<uint32_t>(std::stoul(field));
+  std::getline(in, field, '|');
+  c.pmh = static_cast<uint32_t>(std::stoul(field));
+  return c;
+}
+
+std::vector<std::pair<Key, std::string>> FreeHealthWorkload::InitialRecords() {
+  std::vector<std::pair<Key, std::string>> out;
+  Rng rng(0xf4ee);
+
+  for (uint32_t u = 0; u < cfg_.num_users; ++u) {
+    out.emplace_back(UserKey(u), "doctor|login" + std::to_string(u) + "|active");
+    out.emplace_back(UserLoginIndexKey("login" + std::to_string(u)), std::to_string(u));
+  }
+  for (uint32_t d = 0; d < cfg_.num_drugs; ++d) {
+    // "name|interactions" where interactions is a comma list of drug ids.
+    std::string interactions;
+    for (int i = 0; i < 3; ++i) {
+      interactions += std::to_string(rng.Uniform(cfg_.num_drugs)) + ",";
+    }
+    out.emplace_back(DrugKey(d), "drug" + std::to_string(d) + "|" + interactions);
+  }
+  for (uint32_t p = 0; p < cfg_.num_patients; ++p) {
+    out.emplace_back(PatientKey(p),
+                     PatientName(p) + "|creator" + std::to_string(rng.Uniform(cfg_.num_users)) +
+                         "|active");
+    out.emplace_back(PatientNameIndexKey(PatientName(p)), std::to_string(p));
+    FhCounters counters;
+    counters.episodes = cfg_.episodes_per_patient;
+    counters.prescriptions = cfg_.prescriptions_per_patient;
+    counters.pmh = 1;
+    out.emplace_back(PatientCountersKey(p), counters.Encode());
+    for (uint32_t e = 0; e < cfg_.episodes_per_patient; ++e) {
+      out.emplace_back(EpisodeKey(p, e), "episode|open|" + std::to_string(e));
+      out.emplace_back(EpisodeContentKey(p, e, 0), "<xml>initial consultation</xml>");
+    }
+    for (uint32_t rx = 0; rx < cfg_.prescriptions_per_patient; ++rx) {
+      out.emplace_back(PrescriptionKey(p, rx),
+                       std::to_string(rng.Uniform(cfg_.num_drugs)) + "|active");
+    }
+    out.emplace_back(PmhKey(p, 0), "history|none");
+  }
+  return out;
+}
+
+Status FreeHealthWorkload::RunType(FreeHealthTxn type, TransactionalKv& kv, Rng& rng) {
+  uint32_t p = PickPatient(rng);
+  uint32_t user = static_cast<uint32_t>(rng.Uniform(cfg_.num_users));
+  uint32_t drug = static_cast<uint32_t>(rng.Uniform(cfg_.num_drugs));
+
+  Status st;
+  switch (type) {
+    case FreeHealthTxn::kCreatePatient: {
+      uint32_t new_id = cfg_.num_patients + static_cast<uint32_t>(rng.Uniform(1u << 20));
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        OBLADI_RETURN_IF_ERROR(txn.Write(
+            PatientKey(new_id), PatientName(new_id) + "|creator" + std::to_string(user) +
+                                    "|active"));
+        OBLADI_RETURN_IF_ERROR(
+            txn.Write(PatientNameIndexKey(PatientName(new_id)), std::to_string(new_id)));
+        return txn.Write(PatientCountersKey(new_id), FhCounters{}.Encode());
+      });
+      break;
+    }
+    case FreeHealthTxn::kGetPatient: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto v = txn.Read(PatientKey(p));
+        return v.ok() ? Status::Ok() : v.status();
+      });
+      break;
+    }
+    case FreeHealthTxn::kSearchPatientByName: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto id_raw = txn.Read(PatientNameIndexKey(PatientName(p)));
+        if (!id_raw.ok()) {
+          return id_raw.status();
+        }
+        auto v = txn.Read(PatientKey(static_cast<uint32_t>(std::stoul(*id_raw))));
+        return v.ok() ? Status::Ok() : v.status();
+      });
+      break;
+    }
+    case FreeHealthTxn::kUpdatePatientMetadata: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto v = txn.Read(PatientKey(p));
+        if (!v.ok()) {
+          return v.status();
+        }
+        return txn.Write(PatientKey(p), *v + "|updated");
+      });
+      break;
+    }
+    case FreeHealthTxn::kDeactivatePatient: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto v = txn.Read(PatientKey(p));
+        if (!v.ok()) {
+          return v.status();
+        }
+        return txn.Write(PatientKey(p), PatientName(p) + "|creator0|inactive");
+      });
+      break;
+    }
+    case FreeHealthTxn::kGetUser: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto v = txn.Read(UserKey(user));
+        return v.ok() ? Status::Ok() : v.status();
+      });
+      break;
+    }
+    case FreeHealthTxn::kAuthenticateUser: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto id_raw = txn.Read(UserLoginIndexKey("login" + std::to_string(user)));
+        if (!id_raw.ok()) {
+          return id_raw.status();
+        }
+        auto v = txn.Read(UserKey(static_cast<uint32_t>(std::stoul(*id_raw))));
+        return v.ok() ? Status::Ok() : v.status();
+      });
+      break;
+    }
+    case FreeHealthTxn::kUpdateUserMetadata: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto v = txn.Read(UserKey(user));
+        if (!v.ok()) {
+          return v.status();
+        }
+        return txn.Write(UserKey(user), *v + "|seen");
+      });
+      break;
+    }
+    case FreeHealthTxn::kCreateEpisode: {
+      // The paper's contention point: bumps the patient's episode counter.
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        uint32_t e = counters.episodes++;
+        OBLADI_RETURN_IF_ERROR(txn.Write(PatientCountersKey(p), counters.Encode()));
+        OBLADI_RETURN_IF_ERROR(
+            txn.Write(EpisodeKey(p, e), "episode|open|" + std::to_string(e)));
+        return txn.Write(EpisodeContentKey(p, e, 0), "<xml>new episode</xml>");
+      });
+      break;
+    }
+    case FreeHealthTxn::kGetEpisode: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        if (counters.episodes == 0) {
+          return Status::Ok();
+        }
+        auto v = txn.Read(EpisodeKey(p, static_cast<uint32_t>(rng.Uniform(counters.episodes))));
+        return v.ok() ? Status::Ok() : v.status();
+      });
+      break;
+    }
+    case FreeHealthTxn::kListPatientEpisodes: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        uint32_t limit = std::min(counters.episodes, 5u);
+        for (uint32_t e = 0; e < limit; ++e) {
+          auto v = txn.Read(EpisodeKey(p, e));
+          if (!v.ok()) {
+            return v.status();
+          }
+        }
+        return Status::Ok();
+      });
+      break;
+    }
+    case FreeHealthTxn::kAddEpisodeContent: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        if (counters.episodes == 0) {
+          return Status::Ok();
+        }
+        uint32_t e = static_cast<uint32_t>(rng.Uniform(counters.episodes));
+        uint32_t c = static_cast<uint32_t>(rng.UniformInt(1, 8));
+        return txn.Write(EpisodeContentKey(p, e, c), "<xml>follow-up note</xml>");
+      });
+      break;
+    }
+    case FreeHealthTxn::kGetEpisodeContent: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        if (counters.episodes == 0) {
+          return Status::Ok();
+        }
+        auto v = txn.Read(
+            EpisodeContentKey(p, static_cast<uint32_t>(rng.Uniform(counters.episodes)), 0));
+        return v.ok() ? Status::Ok() : v.status();
+      });
+      break;
+    }
+    case FreeHealthTxn::kValidateEpisode: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        if (counters.episodes == 0) {
+          return Status::Ok();
+        }
+        uint32_t e = static_cast<uint32_t>(rng.Uniform(counters.episodes));
+        auto v = txn.Read(EpisodeKey(p, e));
+        if (!v.ok()) {
+          return v.status();
+        }
+        return txn.Write(EpisodeKey(p, e), "episode|validated|" + std::to_string(e));
+      });
+      break;
+    }
+    case FreeHealthTxn::kCreatePrescription: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        uint32_t rx = counters.prescriptions++;
+        OBLADI_RETURN_IF_ERROR(txn.Write(PatientCountersKey(p), counters.Encode()));
+        auto drug_raw = txn.Read(DrugKey(drug));
+        if (!drug_raw.ok()) {
+          return drug_raw.status();
+        }
+        return txn.Write(PrescriptionKey(p, rx), std::to_string(drug) + "|active");
+      });
+      break;
+    }
+    case FreeHealthTxn::kGetPrescriptions: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        uint32_t limit = std::min(counters.prescriptions, 5u);
+        for (uint32_t rx = 0; rx < limit; ++rx) {
+          auto v = txn.Read(PrescriptionKey(p, rx));
+          if (!v.ok()) {
+            return v.status();
+          }
+        }
+        return Status::Ok();
+      });
+      break;
+    }
+    case FreeHealthTxn::kRenewPrescription: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        if (counters.prescriptions == 0) {
+          return Status::Ok();
+        }
+        uint32_t rx = static_cast<uint32_t>(rng.Uniform(counters.prescriptions));
+        auto v = txn.Read(PrescriptionKey(p, rx));
+        if (!v.ok()) {
+          return v.status();
+        }
+        return txn.Write(PrescriptionKey(p, rx), *v + "|renewed");
+      });
+      break;
+    }
+    case FreeHealthTxn::kGetDrug: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto v = txn.Read(DrugKey(drug));
+        return v.ok() ? Status::Ok() : v.status();
+      });
+      break;
+    }
+    case FreeHealthTxn::kCheckDrugInteractions: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto drug_raw = txn.Read(DrugKey(drug));
+        if (!drug_raw.ok()) {
+          return drug_raw.status();
+        }
+        // Read the listed interaction partners.
+        size_t bar = drug_raw->find('|');
+        std::string list = bar == std::string::npos ? "" : drug_raw->substr(bar + 1);
+        std::istringstream in(list);
+        std::string id;
+        int checked = 0;
+        while (std::getline(in, id, ',') && checked < 3) {
+          if (id.empty()) {
+            continue;
+          }
+          auto v = txn.Read(DrugKey(static_cast<uint32_t>(std::stoul(id))));
+          if (!v.ok()) {
+            return v.status();
+          }
+          ++checked;
+        }
+        return Status::Ok();
+      });
+      break;
+    }
+    case FreeHealthTxn::kAddPmhEntry: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        uint32_t entry = counters.pmh++;
+        OBLADI_RETURN_IF_ERROR(txn.Write(PatientCountersKey(p), counters.Encode()));
+        return txn.Write(PmhKey(p, entry), "history|chronic condition");
+      });
+      break;
+    }
+    case FreeHealthTxn::kGetPmh: {
+      st = RunTransaction(kv, [&](Txn& txn) -> Status {
+        auto counters_raw = txn.Read(PatientCountersKey(p));
+        if (!counters_raw.ok()) {
+          return counters_raw.status();
+        }
+        FhCounters counters = FhCounters::Decode(*counters_raw);
+        uint32_t limit = std::min(counters.pmh, 3u);
+        for (uint32_t entry = 0; entry < limit; ++entry) {
+          auto v = txn.Read(PmhKey(p, entry));
+          if (!v.ok()) {
+            return v.status();
+          }
+        }
+        return Status::Ok();
+      });
+      break;
+    }
+    case FreeHealthTxn::kNumTxnTypes:
+      return Status::InvalidArgument("not a transaction type");
+  }
+  if (st.ok()) {
+    Bump(type);
+  }
+  return st;
+}
+
+Status FreeHealthWorkload::RunOne(TransactionalKv& kv, Rng& rng) {
+  // Read-heavy mix (~75% reads): weights per transaction type, in enum order.
+  static const int kWeights[] = {
+      2,   // CreatePatient
+      10,  // GetPatient
+      8,   // SearchPatientByName
+      2,   // UpdatePatientMetadata
+      1,   // DeactivatePatient
+      4,   // GetUser
+      6,   // AuthenticateUser
+      1,   // UpdateUserMetadata
+      6,   // CreateEpisode
+      10,  // GetEpisode
+      8,   // ListPatientEpisodes
+      4,   // AddEpisodeContent
+      6,   // GetEpisodeContent
+      2,   // ValidateEpisode
+      4,   // CreatePrescription
+      8,   // GetPrescriptions
+      2,   // RenewPrescription
+      6,   // GetDrug
+      6,   // CheckDrugInteractions
+      2,   // AddPmhEntry
+      2,   // GetPmh
+  };
+  static_assert(sizeof(kWeights) / sizeof(kWeights[0]) ==
+                static_cast<size_t>(FreeHealthTxn::kNumTxnTypes));
+  int total = 0;
+  for (int w : kWeights) {
+    total += w;
+  }
+  int dice = static_cast<int>(rng.Uniform(total));
+  for (size_t i = 0; i < static_cast<size_t>(FreeHealthTxn::kNumTxnTypes); ++i) {
+    dice -= kWeights[i];
+    if (dice < 0) {
+      return RunType(static_cast<FreeHealthTxn>(i), kv, rng);
+    }
+  }
+  return RunType(FreeHealthTxn::kGetPatient, kv, rng);
+}
+
+}  // namespace obladi

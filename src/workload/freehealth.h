@@ -1,0 +1,116 @@
+// FreeHealth (§11): a port of the cloud EHR application's storage layer,
+// following the Figure 8 schema — Users, Patients, Episodes, EpisodeContents,
+// Prescriptions, Drugs, and PMH (past medical history) — with the 21
+// transaction types doctors use to create patients and look up medical
+// history, prescriptions, and drug interactions.
+//
+// The workload is read-heavy (the paper exploits this with a small write
+// batch), and its main write contention point is episode creation, which
+// bumps the per-patient episode counter — "the core units of EHR systems".
+#ifndef OBLADI_SRC_WORKLOAD_FREEHEALTH_H_
+#define OBLADI_SRC_WORKLOAD_FREEHEALTH_H_
+
+#include <mutex>
+#include <string>
+
+#include "src/workload/workload.h"
+
+namespace obladi {
+
+struct FreeHealthConfig {
+  uint32_t num_patients = 2000;
+  uint32_t num_users = 100;       // doctors/nurses
+  uint32_t num_drugs = 500;
+  uint32_t episodes_per_patient = 4;       // initial
+  uint32_t prescriptions_per_patient = 2;  // initial
+};
+
+// The 21 transaction types (indices used by tests and the mix table).
+enum class FreeHealthTxn : int {
+  kCreatePatient = 0,
+  kGetPatient,
+  kSearchPatientByName,
+  kUpdatePatientMetadata,
+  kDeactivatePatient,
+  kGetUser,
+  kAuthenticateUser,
+  kUpdateUserMetadata,
+  kCreateEpisode,
+  kGetEpisode,
+  kListPatientEpisodes,
+  kAddEpisodeContent,
+  kGetEpisodeContent,
+  kValidateEpisode,
+  kCreatePrescription,
+  kGetPrescriptions,
+  kRenewPrescription,
+  kGetDrug,
+  kCheckDrugInteractions,
+  kAddPmhEntry,
+  kGetPmh,
+  kNumTxnTypes,
+};
+
+class FreeHealthWorkload : public Workload {
+ public:
+  explicit FreeHealthWorkload(FreeHealthConfig cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "freehealth"; }
+  std::vector<std::pair<Key, std::string>> InitialRecords() override;
+  Status RunOne(TransactionalKv& kv, Rng& rng) override;
+
+  // Run one specific transaction type (tests drive these directly).
+  Status RunType(FreeHealthTxn type, TransactionalKv& kv, Rng& rng);
+
+  uint64_t CountOf(FreeHealthTxn type) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return counts_[static_cast<size_t>(type)];
+  }
+
+  // --- keys (Figure 8 tables) ---
+  static Key PatientKey(uint32_t p) { return "fh:p:" + std::to_string(p); }
+  static Key PatientNameIndexKey(const std::string& name) { return "fh:pi:" + name; }
+  static Key UserKey(uint32_t u) { return "fh:u:" + std::to_string(u); }
+  static Key UserLoginIndexKey(const std::string& login) { return "fh:ui:" + login; }
+  static Key EpisodeKey(uint32_t p, uint32_t e) {
+    return "fh:e:" + std::to_string(p) + ":" + std::to_string(e);
+  }
+  static Key EpisodeContentKey(uint32_t p, uint32_t e, uint32_t c) {
+    return "fh:ec:" + std::to_string(p) + ":" + std::to_string(e) + ":" + std::to_string(c);
+  }
+  static Key PrescriptionKey(uint32_t p, uint32_t rx) {
+    return "fh:rx:" + std::to_string(p) + ":" + std::to_string(rx);
+  }
+  static Key DrugKey(uint32_t d) { return "fh:drug:" + std::to_string(d); }
+  static Key PmhKey(uint32_t p, uint32_t entry) {
+    return "fh:pmh:" + std::to_string(p) + ":" + std::to_string(entry);
+  }
+  // Per-patient counters (episode/prescription/pmh sequence numbers).
+  static Key PatientCountersKey(uint32_t p) { return "fh:pc:" + std::to_string(p); }
+
+  static std::string PatientName(uint32_t p) { return "patient" + std::to_string(p % 977); }
+
+ private:
+  void Bump(FreeHealthTxn type) {
+    std::lock_guard<std::mutex> lk(mu_);
+    counts_[static_cast<size_t>(type)]++;
+  }
+  uint32_t PickPatient(Rng& rng) { return static_cast<uint32_t>(rng.Uniform(cfg_.num_patients)); }
+
+  FreeHealthConfig cfg_;
+  mutable std::mutex mu_;
+  uint64_t counts_[static_cast<size_t>(FreeHealthTxn::kNumTxnTypes)] = {};
+};
+
+// Patient counters record: "episodes|prescriptions|pmh".
+struct FhCounters {
+  uint32_t episodes = 0;
+  uint32_t prescriptions = 0;
+  uint32_t pmh = 0;
+  std::string Encode() const;
+  static FhCounters Decode(const std::string& value);
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_WORKLOAD_FREEHEALTH_H_

@@ -1,0 +1,169 @@
+#include "src/workload/smallbank.h"
+
+namespace obladi {
+
+std::string SmallBankWorkload::EncodeBalance(int64_t cents) { return std::to_string(cents); }
+
+int64_t SmallBankWorkload::DecodeBalance(const std::string& value) {
+  if (value.empty()) {
+    return 0;
+  }
+  return std::stoll(value);
+}
+
+std::vector<std::pair<Key, std::string>> SmallBankWorkload::InitialRecords() {
+  std::vector<std::pair<Key, std::string>> out;
+  out.reserve(cfg_.num_accounts * 2);
+  for (uint64_t a = 0; a < cfg_.num_accounts; ++a) {
+    out.emplace_back(SavingsKey(a), EncodeBalance(kInitialBalanceCents));
+    out.emplace_back(CheckingKey(a), EncodeBalance(kInitialBalanceCents));
+  }
+  return out;
+}
+
+uint64_t SmallBankWorkload::PickAccount(Rng& rng) {
+  if (cfg_.hotspot_fraction > 0 && rng.Bernoulli(cfg_.hotspot_probability)) {
+    auto hot = static_cast<uint64_t>(static_cast<double>(cfg_.num_accounts) *
+                                     cfg_.hotspot_fraction);
+    return rng.Uniform(hot == 0 ? 1 : hot);
+  }
+  return rng.Uniform(cfg_.num_accounts);
+}
+
+Status SmallBankWorkload::Balance(TransactionalKv& kv, uint64_t account) {
+  return RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto savings = txn.Read(SavingsKey(account));
+    if (!savings.ok()) {
+      return savings.status();
+    }
+    auto checking = txn.Read(CheckingKey(account));
+    return checking.ok() ? Status::Ok() : checking.status();
+  });
+}
+
+Status SmallBankWorkload::DepositChecking(TransactionalKv& kv, uint64_t account,
+                                          int64_t amount) {
+  return RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto checking = txn.Read(CheckingKey(account));
+    if (!checking.ok()) {
+      return checking.status();
+    }
+    return txn.Write(CheckingKey(account), EncodeBalance(DecodeBalance(*checking) + amount));
+  });
+}
+
+Status SmallBankWorkload::TransactSavings(TransactionalKv& kv, uint64_t account,
+                                          int64_t amount) {
+  return RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto savings = txn.Read(SavingsKey(account));
+    if (!savings.ok()) {
+      return savings.status();
+    }
+    int64_t balance = DecodeBalance(*savings) + amount;
+    if (balance < 0) {
+      return Status::Ok();  // insufficient funds: no-op per the benchmark spec
+    }
+    return txn.Write(SavingsKey(account), EncodeBalance(balance));
+  });
+}
+
+Status SmallBankWorkload::Amalgamate(TransactionalKv& kv, uint64_t from, uint64_t to) {
+  return RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto savings = txn.Read(SavingsKey(from));
+    if (!savings.ok()) {
+      return savings.status();
+    }
+    auto checking = txn.Read(CheckingKey(from));
+    if (!checking.ok()) {
+      return checking.status();
+    }
+    auto to_checking = txn.Read(CheckingKey(to));
+    if (!to_checking.ok()) {
+      return to_checking.status();
+    }
+    int64_t moved = DecodeBalance(*savings) + DecodeBalance(*checking);
+    OBLADI_RETURN_IF_ERROR(txn.Write(SavingsKey(from), EncodeBalance(0)));
+    OBLADI_RETURN_IF_ERROR(txn.Write(CheckingKey(from), EncodeBalance(0)));
+    return txn.Write(CheckingKey(to), EncodeBalance(DecodeBalance(*to_checking) + moved));
+  });
+}
+
+Status SmallBankWorkload::WriteCheck(TransactionalKv& kv, uint64_t account, int64_t amount) {
+  return RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto savings = txn.Read(SavingsKey(account));
+    if (!savings.ok()) {
+      return savings.status();
+    }
+    auto checking = txn.Read(CheckingKey(account));
+    if (!checking.ok()) {
+      return checking.status();
+    }
+    int64_t total = DecodeBalance(*savings) + DecodeBalance(*checking);
+    // Overdraft penalty per the SmallBank spec.
+    int64_t deducted = total < amount ? amount + 100 : amount;
+    return txn.Write(CheckingKey(account), EncodeBalance(DecodeBalance(*checking) - deducted));
+  });
+}
+
+Status SmallBankWorkload::SendPayment(TransactionalKv& kv, uint64_t from, uint64_t to,
+                                      int64_t amount) {
+  return RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto from_checking = txn.Read(CheckingKey(from));
+    if (!from_checking.ok()) {
+      return from_checking.status();
+    }
+    int64_t balance = DecodeBalance(*from_checking);
+    if (balance < amount) {
+      return Status::Ok();  // insufficient funds: no-op
+    }
+    auto to_checking = txn.Read(CheckingKey(to));
+    if (!to_checking.ok()) {
+      return to_checking.status();
+    }
+    OBLADI_RETURN_IF_ERROR(txn.Write(CheckingKey(from), EncodeBalance(balance - amount)));
+    return txn.Write(CheckingKey(to), EncodeBalance(DecodeBalance(*to_checking) + amount));
+  });
+}
+
+StatusOr<int64_t> SmallBankWorkload::TotalBalance(TransactionalKv& kv,
+                                                  uint64_t sample_accounts) {
+  int64_t total = 0;
+  Status st = RunTransaction(kv, [&](Txn& txn) -> Status {
+    total = 0;
+    for (uint64_t a = 0; a < sample_accounts && a < cfg_.num_accounts; ++a) {
+      auto savings = txn.Read(SavingsKey(a));
+      if (!savings.ok()) {
+        return savings.status();
+      }
+      auto checking = txn.Read(CheckingKey(a));
+      if (!checking.ok()) {
+        return checking.status();
+      }
+      total += DecodeBalance(*savings) + DecodeBalance(*checking);
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    return st;
+  }
+  return total;
+}
+
+Status SmallBankWorkload::RunOne(TransactionalKv& kv, Rng& rng) {
+  uint64_t a = PickAccount(rng);
+  uint64_t b = PickAccount(rng);
+  if (b == a) {
+    b = (a + 1) % cfg_.num_accounts;
+  }
+  int64_t amount = rng.UniformInt(1, 10000);
+  switch (rng.Uniform(100)) {
+    case 0 ... 14:  return Balance(kv, a);
+    case 15 ... 29: return DepositChecking(kv, a, amount);
+    case 30 ... 44: return TransactSavings(kv, a, amount);
+    case 45 ... 59: return Amalgamate(kv, a, b);
+    case 60 ... 74: return WriteCheck(kv, a, amount);
+    default:        return SendPayment(kv, a, b, amount);
+  }
+}
+
+}  // namespace obladi

@@ -1,0 +1,55 @@
+// SmallBank benchmark (§11): a simple banking application with six short
+// transaction types over savings and checking accounts. Transactions are
+// homogeneous (3-6 operations), which is why the paper can run it with small
+// epochs.
+#ifndef OBLADI_SRC_WORKLOAD_SMALLBANK_H_
+#define OBLADI_SRC_WORKLOAD_SMALLBANK_H_
+
+#include <string>
+
+#include "src/workload/workload.h"
+
+namespace obladi {
+
+struct SmallBankConfig {
+  uint64_t num_accounts = 100000;  // paper: 1M
+  // Fraction of accounts forming a contended hotspot (OLTP-Bench style).
+  double hotspot_fraction = 0.0;
+  double hotspot_probability = 0.0;
+};
+
+class SmallBankWorkload : public Workload {
+ public:
+  explicit SmallBankWorkload(SmallBankConfig cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "smallbank"; }
+  std::vector<std::pair<Key, std::string>> InitialRecords() override;
+  Status RunOne(TransactionalKv& kv, Rng& rng) override;
+
+  // Transaction bodies (public so tests can target them directly).
+  Status Balance(TransactionalKv& kv, uint64_t account);
+  Status DepositChecking(TransactionalKv& kv, uint64_t account, int64_t amount);
+  Status TransactSavings(TransactionalKv& kv, uint64_t account, int64_t amount);
+  Status Amalgamate(TransactionalKv& kv, uint64_t from, uint64_t to);
+  Status WriteCheck(TransactionalKv& kv, uint64_t account, int64_t amount);
+  Status SendPayment(TransactionalKv& kv, uint64_t from, uint64_t to, int64_t amount);
+
+  // Invariant check support: total money in the bank (single big read txn).
+  StatusOr<int64_t> TotalBalance(TransactionalKv& kv, uint64_t sample_accounts);
+
+  static Key SavingsKey(uint64_t account) { return "sb:s:" + std::to_string(account); }
+  static Key CheckingKey(uint64_t account) { return "sb:c:" + std::to_string(account); }
+  static std::string EncodeBalance(int64_t cents);
+  static int64_t DecodeBalance(const std::string& value);
+
+  static constexpr int64_t kInitialBalanceCents = 1000000;
+
+ private:
+  uint64_t PickAccount(Rng& rng);
+
+  SmallBankConfig cfg_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_WORKLOAD_SMALLBANK_H_

@@ -1,0 +1,637 @@
+#include "src/workload/tpcc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace obladi {
+
+namespace {
+
+std::string BytesToString(Bytes b) { return std::string(b.begin(), b.end()); }
+
+Bytes StringToBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+Key TpccWorkload::WarehouseKey(uint32_t w) { return "tpcc:w:" + std::to_string(w); }
+Key TpccWorkload::DistrictKey(uint32_t w, uint32_t d) {
+  return "tpcc:d:" + std::to_string(w) + ":" + std::to_string(d);
+}
+Key TpccWorkload::CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  return "tpcc:c:" + std::to_string(w) + ":" + std::to_string(d) + ":" + std::to_string(c);
+}
+Key TpccWorkload::CustomerNameIndexKey(uint32_t w, uint32_t d, const std::string& last) {
+  return "tpcc:ci:" + std::to_string(w) + ":" + std::to_string(d) + ":" + last;
+}
+Key TpccWorkload::LatestOrderIndexKey(uint32_t w, uint32_t d, uint32_t c) {
+  return "tpcc:lo:" + std::to_string(w) + ":" + std::to_string(d) + ":" + std::to_string(c);
+}
+Key TpccWorkload::ItemKey(uint32_t i) { return "tpcc:i:" + std::to_string(i); }
+Key TpccWorkload::StockKey(uint32_t w, uint32_t i) {
+  return "tpcc:s:" + std::to_string(w) + ":" + std::to_string(i);
+}
+Key TpccWorkload::OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return "tpcc:o:" + std::to_string(w) + ":" + std::to_string(d) + ":" + std::to_string(o);
+}
+Key TpccWorkload::OrderLineKey(uint32_t w, uint32_t d, uint32_t o, uint32_t line) {
+  return "tpcc:ol:" + std::to_string(w) + ":" + std::to_string(d) + ":" + std::to_string(o) +
+         ":" + std::to_string(line);
+}
+Key TpccWorkload::NewOrderQueueKey(uint32_t w, uint32_t d) {
+  return "tpcc:noq:" + std::to_string(w) + ":" + std::to_string(d);
+}
+Key TpccWorkload::HistoryKey(uint32_t w, uint32_t d, uint64_t seq) {
+  return "tpcc:h:" + std::to_string(w) + ":" + std::to_string(d) + ":" + std::to_string(seq);
+}
+
+// ---------------------------------------------------------------------------
+// Row codecs
+// ---------------------------------------------------------------------------
+
+std::string TpccDistrict::Encode() const {
+  BinaryWriter w;
+  w.PutI64(tax_bp);
+  w.PutI64(ytd_cents);
+  w.PutU32(next_o_id);
+  return BytesToString(w.Take());
+}
+TpccDistrict TpccDistrict::Decode(const std::string& value) {
+  Bytes b = StringToBytes(value);
+  BinaryReader r(b);
+  TpccDistrict d;
+  d.tax_bp = r.GetI64();
+  d.ytd_cents = r.GetI64();
+  d.next_o_id = r.GetU32();
+  return d;
+}
+
+std::string TpccCustomer::Encode() const {
+  BinaryWriter w;
+  w.PutString(first);
+  w.PutString(last);
+  w.PutI64(balance_cents);
+  w.PutI64(ytd_payment_cents);
+  w.PutU32(payment_count);
+  w.PutU32(delivery_count);
+  return BytesToString(w.Take());
+}
+TpccCustomer TpccCustomer::Decode(const std::string& value) {
+  Bytes b = StringToBytes(value);
+  BinaryReader r(b);
+  TpccCustomer c;
+  c.first = r.GetString();
+  c.last = r.GetString();
+  c.balance_cents = r.GetI64();
+  c.ytd_payment_cents = r.GetI64();
+  c.payment_count = r.GetU32();
+  c.delivery_count = r.GetU32();
+  return c;
+}
+
+std::string TpccStock::Encode() const {
+  BinaryWriter w;
+  w.PutI64(quantity);
+  w.PutI64(ytd);
+  w.PutU32(order_count);
+  return BytesToString(w.Take());
+}
+TpccStock TpccStock::Decode(const std::string& value) {
+  Bytes b = StringToBytes(value);
+  BinaryReader r(b);
+  TpccStock s;
+  s.quantity = r.GetI64();
+  s.ytd = r.GetI64();
+  s.order_count = r.GetU32();
+  return s;
+}
+
+std::string TpccOrder::Encode() const {
+  BinaryWriter w;
+  w.PutU32(customer);
+  w.PutU64(entry_ts);
+  w.PutU32(carrier);
+  w.PutU32(line_count);
+  return BytesToString(w.Take());
+}
+TpccOrder TpccOrder::Decode(const std::string& value) {
+  Bytes b = StringToBytes(value);
+  BinaryReader r(b);
+  TpccOrder o;
+  o.customer = r.GetU32();
+  o.entry_ts = r.GetU64();
+  o.carrier = r.GetU32();
+  o.line_count = r.GetU32();
+  return o;
+}
+
+std::string TpccOrderLine::Encode() const {
+  BinaryWriter w;
+  w.PutU32(item);
+  w.PutU32(supply_warehouse);
+  w.PutU32(quantity);
+  w.PutI64(amount_cents);
+  w.PutU64(delivery_ts);
+  return BytesToString(w.Take());
+}
+TpccOrderLine TpccOrderLine::Decode(const std::string& value) {
+  Bytes b = StringToBytes(value);
+  BinaryReader r(b);
+  TpccOrderLine l;
+  l.item = r.GetU32();
+  l.supply_warehouse = r.GetU32();
+  l.quantity = r.GetU32();
+  l.amount_cents = r.GetI64();
+  l.delivery_ts = r.GetU64();
+  return l;
+}
+
+std::string EncodeIdList(const std::vector<uint32_t>& ids) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(ids.size()));
+  for (uint32_t id : ids) {
+    w.PutU32(id);
+  }
+  return BytesToString(w.Take());
+}
+std::vector<uint32_t> DecodeIdList(const std::string& value) {
+  if (value.empty()) {
+    return {};
+  }
+  Bytes b = StringToBytes(value);
+  BinaryReader r(b);
+  uint32_t n = r.GetU32();
+  std::vector<uint32_t> ids(n);
+  for (auto& id : ids) {
+    id = r.GetU32();
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Random helpers
+// ---------------------------------------------------------------------------
+
+std::string TpccWorkload::LastName(uint32_t num) {
+  static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI",   "PRES",
+                                     "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+  return std::string(kSyllables[(num / 100) % 10]) + kSyllables[(num / 10) % 10] +
+         kSyllables[num % 10];
+}
+
+uint32_t TpccWorkload::NuRand(Rng& rng, uint32_t a, uint32_t x, uint32_t y) {
+  uint32_t c = a / 2;  // fixed run constant
+  uint32_t r1 = static_cast<uint32_t>(rng.Uniform(a + 1));
+  uint32_t r2 = x + static_cast<uint32_t>(rng.Uniform(y - x + 1));
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+void TpccWorkload::Bump(uint64_t TpccStats::* field) {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_.*field += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<Key, std::string>> TpccWorkload::InitialRecords() {
+  std::vector<std::pair<Key, std::string>> out;
+  Rng rng(0x79cc);
+
+  for (uint32_t i = 0; i < cfg_.num_items; ++i) {
+    BinaryWriter w;
+    w.PutString("item-" + std::to_string(i));
+    w.PutI64(rng.UniformInt(100, 10000));  // price in cents
+    out.emplace_back(ItemKey(i), BytesToString(w.Take()));
+  }
+
+  for (uint32_t w_id = 0; w_id < cfg_.num_warehouses; ++w_id) {
+    {
+      BinaryWriter w;
+      w.PutString("warehouse-" + std::to_string(w_id));
+      w.PutI64(rng.UniformInt(0, 2000));  // tax bp
+      w.PutI64(0);                        // ytd
+      out.emplace_back(WarehouseKey(w_id), BytesToString(w.Take()));
+    }
+    for (uint32_t i = 0; i < cfg_.num_items; ++i) {
+      TpccStock s;
+      s.quantity = rng.UniformInt(10, 100);
+      out.emplace_back(StockKey(w_id, i), s.Encode());
+    }
+    for (uint32_t d_id = 0; d_id < cfg_.districts_per_warehouse; ++d_id) {
+      TpccDistrict d;
+      d.tax_bp = rng.UniformInt(0, 2000);
+      d.next_o_id = cfg_.initial_orders_per_district;
+      out.emplace_back(DistrictKey(w_id, d_id), d.Encode());
+
+      std::vector<std::vector<uint32_t>> by_name(1000);
+      for (uint32_t c_id = 0; c_id < cfg_.customers_per_district; ++c_id) {
+        TpccCustomer c;
+        c.first = "first-" + std::to_string(c_id);
+        uint32_t name_num = c_id < 1000 ? c_id : NuRand(rng, 255, 0, 999);
+        c.last = LastName(name_num);
+        c.balance_cents = -1000;
+        out.emplace_back(CustomerKey(w_id, d_id, c_id), c.Encode());
+        by_name[name_num].push_back(c_id);
+      }
+      for (uint32_t n = 0; n < 1000; ++n) {
+        if (!by_name[n].empty()) {
+          out.emplace_back(CustomerNameIndexKey(w_id, d_id, LastName(n)),
+                           EncodeIdList(by_name[n]));
+        }
+      }
+
+      std::vector<uint32_t> undelivered;
+      for (uint32_t o_id = 0; o_id < cfg_.initial_orders_per_district; ++o_id) {
+        TpccOrder o;
+        o.customer = static_cast<uint32_t>(rng.Uniform(cfg_.customers_per_district));
+        o.entry_ts = o_id;
+        o.line_count = static_cast<uint32_t>(
+            rng.UniformInt(std::min(5u, cfg_.max_order_lines), cfg_.max_order_lines));
+        // The most recent ~1/3 of orders are undelivered per the spec.
+        bool delivered = o_id < cfg_.initial_orders_per_district * 2 / 3;
+        o.carrier = delivered ? static_cast<uint32_t>(rng.UniformInt(1, 10)) : 0;
+        out.emplace_back(OrderKey(w_id, d_id, o_id), o.Encode());
+        out.emplace_back(LatestOrderIndexKey(w_id, d_id, o.customer),
+                         EncodeIdList({o_id}));
+        for (uint32_t l = 0; l < o.line_count; ++l) {
+          TpccOrderLine line;
+          line.item = static_cast<uint32_t>(rng.Uniform(cfg_.num_items));
+          line.supply_warehouse = w_id;
+          line.quantity = 5;
+          line.amount_cents = delivered ? 0 : rng.UniformInt(1, 999999);
+          line.delivery_ts = delivered ? 1 : 0;
+          out.emplace_back(OrderLineKey(w_id, d_id, o_id, l), line.Encode());
+        }
+        if (!delivered) {
+          undelivered.push_back(o_id);
+        }
+      }
+      out.emplace_back(NewOrderQueueKey(w_id, d_id), EncodeIdList(undelivered));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::NewOrder(TransactionalKv& kv, Rng& rng) {
+  uint32_t w_id = static_cast<uint32_t>(rng.Uniform(cfg_.num_warehouses));
+  uint32_t d_id = static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));
+  uint32_t c_id = RandomCustomer(rng);
+  uint32_t ol_cnt = static_cast<uint32_t>(
+      rng.UniformInt(std::min(5u, cfg_.max_order_lines), cfg_.max_order_lines));
+  bool rollback = rng.Uniform(100) == 0;  // 1% user rollback per the spec
+
+  struct Line {
+    uint32_t item;
+    uint32_t supply_w;
+    uint32_t quantity;
+  };
+  std::vector<Line> lines(ol_cnt);
+  for (auto& l : lines) {
+    l.item = RandomItem(rng);
+    // 1% remote warehouse when there is more than one.
+    l.supply_w = (cfg_.num_warehouses > 1 && rng.Uniform(100) == 0)
+                     ? static_cast<uint32_t>(rng.Uniform(cfg_.num_warehouses))
+                     : w_id;
+    l.quantity = static_cast<uint32_t>(rng.UniformInt(1, 10));
+  }
+
+  Status st = RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto warehouse = txn.Read(WarehouseKey(w_id));
+    if (!warehouse.ok()) {
+      return warehouse.status();
+    }
+    auto district_raw = txn.Read(DistrictKey(w_id, d_id));
+    if (!district_raw.ok()) {
+      return district_raw.status();
+    }
+    TpccDistrict district = TpccDistrict::Decode(*district_raw);
+    uint32_t o_id = district.next_o_id;
+    district.next_o_id++;
+    OBLADI_RETURN_IF_ERROR(txn.Write(DistrictKey(w_id, d_id), district.Encode()));
+
+    auto customer = txn.Read(CustomerKey(w_id, d_id, c_id));
+    if (!customer.ok()) {
+      return customer.status();
+    }
+
+    int64_t total = 0;
+    for (uint32_t l = 0; l < lines.size(); ++l) {
+      auto item_raw = txn.Read(ItemKey(lines[l].item));
+      if (!item_raw.ok()) {
+        return item_raw.status();
+      }
+      if (rollback && l == lines.size() - 1) {
+        // Simulated invalid item: the spec requires a user-initiated rollback.
+        return Status::InvalidArgument("unused item number");
+      }
+      Bytes item_bytes(item_raw->begin(), item_raw->end());
+      BinaryReader ir(item_bytes);
+      ir.GetString();  // name
+      int64_t price = ir.GetI64();
+
+      auto stock_raw = txn.Read(StockKey(lines[l].supply_w, lines[l].item));
+      if (!stock_raw.ok()) {
+        return stock_raw.status();
+      }
+      TpccStock stock = TpccStock::Decode(*stock_raw);
+      if (stock.quantity >= lines[l].quantity + 10) {
+        stock.quantity -= lines[l].quantity;
+      } else {
+        stock.quantity = stock.quantity - lines[l].quantity + 91;
+      }
+      stock.ytd += lines[l].quantity;
+      stock.order_count++;
+      OBLADI_RETURN_IF_ERROR(
+          txn.Write(StockKey(lines[l].supply_w, lines[l].item), stock.Encode()));
+
+      TpccOrderLine ol;
+      ol.item = lines[l].item;
+      ol.supply_warehouse = lines[l].supply_w;
+      ol.quantity = lines[l].quantity;
+      ol.amount_cents = price * lines[l].quantity;
+      total += ol.amount_cents;
+      OBLADI_RETURN_IF_ERROR(txn.Write(OrderLineKey(w_id, d_id, o_id, l), ol.Encode()));
+    }
+
+    TpccOrder order;
+    order.customer = c_id;
+    order.entry_ts = txn.ts();
+    order.line_count = static_cast<uint32_t>(lines.size());
+    OBLADI_RETURN_IF_ERROR(txn.Write(OrderKey(w_id, d_id, o_id), order.Encode()));
+    OBLADI_RETURN_IF_ERROR(
+        txn.Write(LatestOrderIndexKey(w_id, d_id, c_id), EncodeIdList({o_id})));
+
+    auto queue_raw = txn.Read(NewOrderQueueKey(w_id, d_id));
+    if (!queue_raw.ok()) {
+      return queue_raw.status();
+    }
+    std::vector<uint32_t> queue = DecodeIdList(*queue_raw);
+    queue.push_back(o_id);
+    return txn.Write(NewOrderQueueKey(w_id, d_id), EncodeIdList(queue));
+  });
+
+  if (!st.ok() && st.code() == StatusCode::kInvalidArgument) {
+    Bump(&TpccStats::user_rollbacks);
+    return Status::Ok();  // expected 1% rollback counts as a completed request
+  }
+  if (st.ok()) {
+    Bump(&TpccStats::new_order);
+  }
+  return st;
+}
+
+Status TpccWorkload::Payment(TransactionalKv& kv, Rng& rng) {
+  uint32_t w_id = static_cast<uint32_t>(rng.Uniform(cfg_.num_warehouses));
+  uint32_t d_id = static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));
+  bool by_name = rng.Uniform(100) < 60;
+  uint32_t c_id = RandomCustomer(rng);
+  std::string last = LastName(NuRand(rng, 255, 0, 999));
+  int64_t amount = rng.UniformInt(100, 500000);
+
+  Status st = RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto warehouse_raw = txn.Read(WarehouseKey(w_id));
+    if (!warehouse_raw.ok()) {
+      return warehouse_raw.status();
+    }
+    Bytes wb(warehouse_raw->begin(), warehouse_raw->end());
+    BinaryReader wr(wb);
+    std::string w_name = wr.GetString();
+    int64_t w_tax = wr.GetI64();
+    int64_t w_ytd = wr.GetI64() + amount;
+    BinaryWriter ww;
+    ww.PutString(w_name);
+    ww.PutI64(w_tax);
+    ww.PutI64(w_ytd);
+    OBLADI_RETURN_IF_ERROR(
+        txn.Write(WarehouseKey(w_id), std::string(ww.bytes().begin(), ww.bytes().end())));
+
+    auto district_raw = txn.Read(DistrictKey(w_id, d_id));
+    if (!district_raw.ok()) {
+      return district_raw.status();
+    }
+    TpccDistrict district = TpccDistrict::Decode(*district_raw);
+    district.ytd_cents += amount;
+    OBLADI_RETURN_IF_ERROR(txn.Write(DistrictKey(w_id, d_id), district.Encode()));
+
+    uint32_t customer_id = c_id;
+    if (by_name) {
+      auto index_raw = txn.Read(CustomerNameIndexKey(w_id, d_id, last));
+      if (index_raw.ok()) {
+        std::vector<uint32_t> matches = DecodeIdList(*index_raw);
+        if (!matches.empty()) {
+          customer_id = matches[matches.size() / 2];  // spec: middle match
+        }
+      } else if (index_raw.status().code() != StatusCode::kNotFound) {
+        return index_raw.status();
+      }
+      // A missing index entry means no customer carries this last name at
+      // the current scale: fall back to lookup by id.
+    }
+    auto customer_raw = txn.Read(CustomerKey(w_id, d_id, customer_id));
+    if (!customer_raw.ok()) {
+      return customer_raw.status();
+    }
+    TpccCustomer customer = TpccCustomer::Decode(*customer_raw);
+    customer.balance_cents -= amount;
+    customer.ytd_payment_cents += amount;
+    customer.payment_count++;
+    OBLADI_RETURN_IF_ERROR(
+        txn.Write(CustomerKey(w_id, d_id, customer_id), customer.Encode()));
+
+    BinaryWriter h;
+    h.PutU32(customer_id);
+    h.PutI64(amount);
+    return txn.Write(HistoryKey(w_id, d_id, txn.ts()),
+                     std::string(h.bytes().begin(), h.bytes().end()));
+  });
+  if (st.ok()) {
+    Bump(&TpccStats::payment);
+  }
+  return st;
+}
+
+Status TpccWorkload::OrderStatus(TransactionalKv& kv, Rng& rng) {
+  uint32_t w_id = static_cast<uint32_t>(rng.Uniform(cfg_.num_warehouses));
+  uint32_t d_id = static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));
+  bool by_name = rng.Uniform(100) < 60;
+  uint32_t c_id = RandomCustomer(rng);
+  std::string last = LastName(NuRand(rng, 255, 0, 999));
+
+  Status st = RunTransaction(kv, [&](Txn& txn) -> Status {
+    uint32_t customer_id = c_id;
+    if (by_name) {
+      auto index_raw = txn.Read(CustomerNameIndexKey(w_id, d_id, last));
+      if (index_raw.ok()) {
+        std::vector<uint32_t> matches = DecodeIdList(*index_raw);
+        if (!matches.empty()) {
+          customer_id = matches[matches.size() / 2];
+        }
+      } else if (index_raw.status().code() != StatusCode::kNotFound) {
+        return index_raw.status();
+      }
+    }
+    auto customer = txn.Read(CustomerKey(w_id, d_id, customer_id));
+    if (!customer.ok()) {
+      return customer.status();
+    }
+    auto latest_raw = txn.Read(LatestOrderIndexKey(w_id, d_id, customer_id));
+    if (!latest_raw.ok()) {
+      if (latest_raw.status().code() == StatusCode::kNotFound) {
+        return Status::Ok();  // customer has never ordered
+      }
+      return latest_raw.status();
+    }
+    std::vector<uint32_t> latest = DecodeIdList(*latest_raw);
+    if (latest.empty()) {
+      return Status::Ok();  // customer has no orders yet
+    }
+    auto order_raw = txn.Read(OrderKey(w_id, d_id, latest[0]));
+    if (!order_raw.ok()) {
+      return order_raw.status();
+    }
+    TpccOrder order = TpccOrder::Decode(*order_raw);
+    for (uint32_t l = 0; l < order.line_count; ++l) {
+      auto line = txn.Read(OrderLineKey(w_id, d_id, latest[0], l));
+      if (!line.ok()) {
+        return line.status();
+      }
+    }
+    return Status::Ok();
+  });
+  if (st.ok()) {
+    Bump(&TpccStats::order_status);
+  }
+  return st;
+}
+
+Status TpccWorkload::Delivery(TransactionalKv& kv, Rng& rng) {
+  uint32_t w_id = static_cast<uint32_t>(rng.Uniform(cfg_.num_warehouses));
+  uint32_t carrier = static_cast<uint32_t>(rng.UniformInt(1, 10));
+
+  Status st = RunTransaction(kv, [&](Txn& txn) -> Status {
+    for (uint32_t d_id = 0; d_id < cfg_.districts_per_warehouse; ++d_id) {
+      auto queue_raw = txn.Read(NewOrderQueueKey(w_id, d_id));
+      if (!queue_raw.ok()) {
+        return queue_raw.status();
+      }
+      std::vector<uint32_t> queue = DecodeIdList(*queue_raw);
+      if (queue.empty()) {
+        continue;
+      }
+      uint32_t o_id = queue.front();
+      queue.erase(queue.begin());
+      OBLADI_RETURN_IF_ERROR(txn.Write(NewOrderQueueKey(w_id, d_id), EncodeIdList(queue)));
+
+      auto order_raw = txn.Read(OrderKey(w_id, d_id, o_id));
+      if (!order_raw.ok()) {
+        return order_raw.status();
+      }
+      TpccOrder order = TpccOrder::Decode(*order_raw);
+      order.carrier = carrier;
+      OBLADI_RETURN_IF_ERROR(txn.Write(OrderKey(w_id, d_id, o_id), order.Encode()));
+
+      int64_t total = 0;
+      for (uint32_t l = 0; l < order.line_count; ++l) {
+        auto line_raw = txn.Read(OrderLineKey(w_id, d_id, o_id, l));
+        if (!line_raw.ok()) {
+          return line_raw.status();
+        }
+        TpccOrderLine line = TpccOrderLine::Decode(*line_raw);
+        line.delivery_ts = txn.ts();
+        total += line.amount_cents;
+        OBLADI_RETURN_IF_ERROR(txn.Write(OrderLineKey(w_id, d_id, o_id, l), line.Encode()));
+      }
+
+      auto customer_raw = txn.Read(CustomerKey(w_id, d_id, order.customer));
+      if (!customer_raw.ok()) {
+        return customer_raw.status();
+      }
+      TpccCustomer customer = TpccCustomer::Decode(*customer_raw);
+      customer.balance_cents += total;
+      customer.delivery_count++;
+      OBLADI_RETURN_IF_ERROR(
+          txn.Write(CustomerKey(w_id, d_id, order.customer), customer.Encode()));
+    }
+    return Status::Ok();
+  });
+  if (st.ok()) {
+    Bump(&TpccStats::delivery);
+  }
+  return st;
+}
+
+Status TpccWorkload::StockLevel(TransactionalKv& kv, Rng& rng) {
+  uint32_t w_id = static_cast<uint32_t>(rng.Uniform(cfg_.num_warehouses));
+  uint32_t d_id = static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));
+  int64_t threshold = rng.UniformInt(10, 20);
+
+  Status st = RunTransaction(kv, [&](Txn& txn) -> Status {
+    auto district_raw = txn.Read(DistrictKey(w_id, d_id));
+    if (!district_raw.ok()) {
+      return district_raw.status();
+    }
+    TpccDistrict district = TpccDistrict::Decode(*district_raw);
+    uint32_t from = district.next_o_id > cfg_.stock_level_orders
+                        ? district.next_o_id - cfg_.stock_level_orders
+                        : 0;
+    std::unordered_set<uint32_t> items;
+    for (uint32_t o_id = from; o_id < district.next_o_id; ++o_id) {
+      auto order_raw = txn.Read(OrderKey(w_id, d_id, o_id));
+      if (!order_raw.ok()) {
+        return order_raw.status();
+      }
+      TpccOrder order = TpccOrder::Decode(*order_raw);
+      for (uint32_t l = 0; l < order.line_count; ++l) {
+        auto line_raw = txn.Read(OrderLineKey(w_id, d_id, o_id, l));
+        if (!line_raw.ok()) {
+          return line_raw.status();
+        }
+        items.insert(TpccOrderLine::Decode(*line_raw).item);
+      }
+    }
+    int low = 0;
+    for (uint32_t item : items) {
+      auto stock_raw = txn.Read(StockKey(w_id, item));
+      if (!stock_raw.ok()) {
+        return stock_raw.status();
+      }
+      if (TpccStock::Decode(*stock_raw).quantity < threshold) {
+        ++low;
+      }
+    }
+    (void)low;  // the count is the query's result; nothing to persist
+    return Status::Ok();
+  });
+  if (st.ok()) {
+    Bump(&TpccStats::stock_level);
+  }
+  return st;
+}
+
+Status TpccWorkload::RunOne(TransactionalKv& kv, Rng& rng) {
+  uint64_t dice = rng.Uniform(100);
+  if (dice < 45) {
+    return NewOrder(kv, rng);
+  }
+  if (dice < 88) {
+    return Payment(kv, rng);
+  }
+  if (dice < 92) {
+    return OrderStatus(kv, rng);
+  }
+  if (dice < 96) {
+    return Delivery(kv, rng);
+  }
+  return StockLevel(kv, rng);
+}
+
+}  // namespace obladi

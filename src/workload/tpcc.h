@@ -1,0 +1,152 @@
+// TPC-C (§11): the standard OLTP benchmark, with the five canonical
+// transaction types (new-order 45%, payment 43%, order-status 4%, delivery
+// 4%, stock-level 4%), NURand skew, and the two secondary indices the paper
+// calls out (customers by last name, customer's latest order).
+//
+// Scale knobs default to a "lite" configuration so benchmarks load fast;
+// TpccConfig::PaperScale() reproduces the paper's 10-warehouse setup.
+#ifndef OBLADI_SRC_WORKLOAD_TPCC_H_
+#define OBLADI_SRC_WORKLOAD_TPCC_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/workload/workload.h"
+
+namespace obladi {
+
+struct TpccConfig {
+  uint32_t num_warehouses = 2;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 300;    // spec: 3000
+  uint32_t num_items = 10000;               // spec: 100000
+  uint32_t initial_orders_per_district = 30;
+  uint32_t stock_level_orders = 5;          // spec: 20
+  uint32_t max_order_lines = 15;
+
+  static TpccConfig PaperScale() {
+    TpccConfig cfg;
+    cfg.num_warehouses = 10;
+    cfg.customers_per_district = 3000;
+    cfg.num_items = 100000;
+    cfg.stock_level_orders = 20;
+    return cfg;
+  }
+};
+
+struct TpccStats {
+  uint64_t new_order = 0;
+  uint64_t payment = 0;
+  uint64_t order_status = 0;
+  uint64_t delivery = 0;
+  uint64_t stock_level = 0;
+  uint64_t user_rollbacks = 0;  // 1% new-order invalid-item rollbacks
+};
+
+class TpccWorkload : public Workload {
+ public:
+  explicit TpccWorkload(TpccConfig cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "tpcc"; }
+  std::vector<std::pair<Key, std::string>> InitialRecords() override;
+  Status RunOne(TransactionalKv& kv, Rng& rng) override;
+
+  Status NewOrder(TransactionalKv& kv, Rng& rng);
+  Status Payment(TransactionalKv& kv, Rng& rng);
+  Status OrderStatus(TransactionalKv& kv, Rng& rng);
+  Status Delivery(TransactionalKv& kv, Rng& rng);
+  Status StockLevel(TransactionalKv& kv, Rng& rng);
+
+  TpccStats stats() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+  }
+
+  const TpccConfig& config() const { return cfg_; }
+
+  // --- keys ---
+  static Key WarehouseKey(uint32_t w);
+  static Key DistrictKey(uint32_t w, uint32_t d);
+  static Key CustomerKey(uint32_t w, uint32_t d, uint32_t c);
+  static Key CustomerNameIndexKey(uint32_t w, uint32_t d, const std::string& last_name);
+  static Key LatestOrderIndexKey(uint32_t w, uint32_t d, uint32_t c);
+  static Key ItemKey(uint32_t i);
+  static Key StockKey(uint32_t w, uint32_t i);
+  static Key OrderKey(uint32_t w, uint32_t d, uint32_t o);
+  static Key OrderLineKey(uint32_t w, uint32_t d, uint32_t o, uint32_t line);
+  static Key NewOrderQueueKey(uint32_t w, uint32_t d);
+  static Key HistoryKey(uint32_t w, uint32_t d, uint64_t seq);
+
+  // TPC-C last-name generation from a 3-digit number.
+  static std::string LastName(uint32_t num);
+  // Non-uniform random per the spec.
+  static uint32_t NuRand(Rng& rng, uint32_t a, uint32_t x, uint32_t y);
+
+ private:
+  uint32_t RandomCustomer(Rng& rng) {
+    return NuRand(rng, 1023, 0, cfg_.customers_per_district - 1);
+  }
+  uint32_t RandomItem(Rng& rng) { return NuRand(rng, 8191, 0, cfg_.num_items - 1); }
+  void Bump(uint64_t TpccStats::* field);
+
+  TpccConfig cfg_;
+  mutable std::mutex stats_mu_;
+  TpccStats stats_;
+};
+
+// --- row codecs (exposed for tests) ---
+struct TpccDistrict {
+  int64_t tax_bp = 0;       // basis points
+  int64_t ytd_cents = 0;
+  uint32_t next_o_id = 0;
+  std::string Encode() const;
+  static TpccDistrict Decode(const std::string& value);
+};
+
+struct TpccCustomer {
+  std::string first;
+  std::string last;
+  int64_t balance_cents = 0;
+  int64_t ytd_payment_cents = 0;
+  uint32_t payment_count = 0;
+  uint32_t delivery_count = 0;
+  std::string Encode() const;
+  static TpccCustomer Decode(const std::string& value);
+};
+
+struct TpccStock {
+  int64_t quantity = 0;
+  int64_t ytd = 0;
+  uint32_t order_count = 0;
+  std::string Encode() const;
+  static TpccStock Decode(const std::string& value);
+};
+
+struct TpccOrder {
+  uint32_t customer = 0;
+  uint64_t entry_ts = 0;
+  uint32_t carrier = 0;  // 0 = undelivered
+  uint32_t line_count = 0;
+  std::string Encode() const;
+  static TpccOrder Decode(const std::string& value);
+};
+
+struct TpccOrderLine {
+  uint32_t item = 0;
+  uint32_t supply_warehouse = 0;
+  uint32_t quantity = 0;
+  int64_t amount_cents = 0;
+  uint64_t delivery_ts = 0;  // 0 = undelivered
+  std::string Encode() const;
+  static TpccOrderLine Decode(const std::string& value);
+};
+
+// Variable-length u32 list used by both indices and the new-order queue.
+std::string EncodeIdList(const std::vector<uint32_t>& ids);
+std::vector<uint32_t> DecodeIdList(const std::string& value);
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_WORKLOAD_TPCC_H_

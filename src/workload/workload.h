@@ -1,0 +1,32 @@
+// Abstract workload: initial database + a stream of transactions. Workloads
+// are written against TransactionalKv, so the same code drives Obladi,
+// NoPriv, and the 2PL baseline.
+#ifndef OBLADI_SRC_WORKLOAD_WORKLOAD_H_
+#define OBLADI_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/txn/kv_interface.h"
+
+namespace obladi {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  // Records to bulk-load before the run.
+  virtual std::vector<std::pair<Key, std::string>> InitialRecords() = 0;
+
+  // Execute one transaction (with internal retry on conflicts). Returns the
+  // final outcome: OK = committed.
+  virtual Status RunOne(TransactionalKv& kv, Rng& rng) = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,97 @@
+// YCSB-style key/operation generator (§11 microbenchmarks) plus a
+// transactional wrapper. The microbenchmarks drive the ORAM with raw block
+// ids; the transactional form issues small read/write transactions through
+// the TransactionalKv interface.
+#ifndef OBLADI_SRC_WORKLOAD_YCSB_H_
+#define OBLADI_SRC_WORKLOAD_YCSB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/workload/workload.h"
+
+namespace obladi {
+
+struct YcsbConfig {
+  uint64_t num_objects = 100000;
+  double read_fraction = 0.5;
+  double zipf_theta = 0.0;  // 0 = uniform
+  size_t value_size = 100;
+  size_t ops_per_txn = 4;   // transactional form only
+};
+
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(const YcsbConfig& cfg) : cfg_(cfg) {
+    if (cfg_.zipf_theta > 0) {
+      zipf_ = std::make_unique<ZipfianGenerator>(cfg_.num_objects, cfg_.zipf_theta);
+    }
+  }
+
+  BlockId NextKey(Rng& rng) {
+    if (zipf_ != nullptr) {
+      return zipf_->NextScrambled(rng);
+    }
+    return rng.Uniform(cfg_.num_objects);
+  }
+
+  bool NextIsRead(Rng& rng) { return rng.Bernoulli(cfg_.read_fraction); }
+
+  const YcsbConfig& config() const { return cfg_; }
+
+ private:
+  YcsbConfig cfg_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+};
+
+class YcsbWorkload : public Workload {
+ public:
+  explicit YcsbWorkload(YcsbConfig cfg) : cfg_(cfg), gen_(cfg) {}
+
+  std::string name() const override { return "ycsb"; }
+
+  std::vector<std::pair<Key, std::string>> InitialRecords() override {
+    std::vector<std::pair<Key, std::string>> out;
+    out.reserve(cfg_.num_objects);
+    for (uint64_t i = 0; i < cfg_.num_objects; ++i) {
+      out.emplace_back(MakeKey(i), std::string(cfg_.value_size, 'v'));
+    }
+    return out;
+  }
+
+  Status RunOne(TransactionalKv& kv, Rng& rng) override {
+    // Pre-draw the op list so retries replay the same logical transaction.
+    std::vector<std::pair<BlockId, bool>> ops;
+    ops.reserve(cfg_.ops_per_txn);
+    for (size_t i = 0; i < cfg_.ops_per_txn; ++i) {
+      ops.emplace_back(gen_.NextKey(rng), gen_.NextIsRead(rng));
+    }
+    return RunTransaction(kv, [&](Txn& txn) -> Status {
+      for (const auto& [id, is_read] : ops) {
+        Key key = MakeKey(id);
+        if (is_read) {
+          auto v = txn.Read(key);
+          if (!v.ok()) {
+            return v.status();
+          }
+        } else {
+          OBLADI_RETURN_IF_ERROR(txn.Write(key, std::string(cfg_.value_size, 'w')));
+        }
+      }
+      return Status::Ok();
+    });
+  }
+
+  static Key MakeKey(BlockId id) { return "ycsb:" + std::to_string(id); }
+
+ private:
+  YcsbConfig cfg_;
+  YcsbGenerator gen_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/baseline/nopriv_store.h"
+#include "src/baseline/twopl_store.h"
+#include "src/common/rng.h"
+
+namespace obladi {
+namespace {
+
+std::vector<std::pair<Key, std::string>> SimpleRecords(int n) {
+  std::vector<std::pair<Key, std::string>> records;
+  for (int i = 0; i < n; ++i) {
+    records.emplace_back("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  return records;
+}
+
+template <typename StoreT>
+std::unique_ptr<StoreT> MakeStore() {
+  auto storage = std::make_shared<RemoteKv>(LatencyProfile::Dummy());
+  auto store = std::make_unique<StoreT>(storage);
+  EXPECT_TRUE(store->Load(SimpleRecords(50)).ok());
+  return store;
+}
+
+template <typename StoreT>
+class BaselineTest : public testing::Test {};
+
+using StoreTypes = testing::Types<NoPrivStore, TwoPlStore>;
+TYPED_TEST_SUITE(BaselineTest, StoreTypes);
+
+TYPED_TEST(BaselineTest, ReadCommittedData) {
+  auto store = MakeStore<TypeParam>();
+  Status st = RunTransaction(*store, [&](Txn& txn) -> Status {
+    auto v = txn.Read("key7");
+    if (!v.ok()) {
+      return v.status();
+    }
+    EXPECT_EQ(*v, "value7");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TYPED_TEST(BaselineTest, WriteThenReadBack) {
+  auto store = MakeStore<TypeParam>();
+  ASSERT_TRUE(RunTransaction(*store, [&](Txn& txn) -> Status {
+                return txn.Write("key3", "updated");
+              }).ok());
+  Status st = RunTransaction(*store, [&](Txn& txn) -> Status {
+    auto v = txn.Read("key3");
+    if (!v.ok()) {
+      return v.status();
+    }
+    EXPECT_EQ(*v, "updated");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TYPED_TEST(BaselineTest, ReadYourOwnWrite) {
+  auto store = MakeStore<TypeParam>();
+  Status st = RunTransaction(*store, [&](Txn& txn) -> Status {
+    OBLADI_RETURN_IF_ERROR(txn.Write("key1", "mine"));
+    auto v = txn.Read("key1");
+    if (!v.ok()) {
+      return v.status();
+    }
+    EXPECT_EQ(*v, "mine");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TYPED_TEST(BaselineTest, AbortDiscardsWrites) {
+  auto store = MakeStore<TypeParam>();
+  Timestamp t = store->Begin();
+  ASSERT_TRUE(store->Write(t, "key2", "discarded").ok());
+  store->Abort(t);
+  Status st = RunTransaction(*store, [&](Txn& txn) -> Status {
+    auto v = txn.Read("key2");
+    if (!v.ok()) {
+      return v.status();
+    }
+    EXPECT_EQ(*v, "value2");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+// Counter increments from many threads must all be preserved (lost-update
+// freedom = serializability on this schedule) for both baselines.
+TYPED_TEST(BaselineTest, ConcurrentCountersAreSerializable) {
+  auto storage = std::make_shared<RemoteKv>(LatencyProfile::Dummy());
+  TypeParam store(storage);
+  ASSERT_TRUE(store.Load({{"counter:a", "0"}, {"counter:b", "0"}}).ok());
+
+  const int kThreads = 8;
+  const int kIncrementsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> committed{0};
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      Rng rng(th + 7);
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        std::string key = rng.Bernoulli(0.5) ? "counter:a" : "counter:b";
+        Status st = RunTransaction(
+            store,
+            [&](Txn& txn) -> Status {
+              auto v = txn.Read(key);
+              if (!v.ok()) {
+                return v.status();
+              }
+              return txn.Write(key, std::to_string(std::stoll(*v) + 1));
+            },
+            /*max_attempts=*/1000);
+        if (st.ok()) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  int64_t total = 0;
+  ASSERT_TRUE(RunTransaction(store, [&](Txn& txn) -> Status {
+                auto a = txn.Read("counter:a");
+                auto b = txn.Read("counter:b");
+                if (!a.ok() || !b.ok()) {
+                  return Status::Aborted("retry");
+                }
+                total = std::stoll(*a) + std::stoll(*b);
+                return Status::Ok();
+              }).ok());
+  EXPECT_EQ(total, committed.load());
+  EXPECT_EQ(committed.load(), kThreads * kIncrementsPerThread);
+}
+
+TEST(NoPrivTest, DependencyCommitOrderIsRespected) {
+  auto storage = std::make_shared<RemoteKv>(LatencyProfile::Dummy());
+  NoPrivStore store(storage);
+  ASSERT_TRUE(store.Load({{"x", "base"}}).ok());
+
+  Timestamp t1 = store.Begin();
+  ASSERT_TRUE(store.Write(t1, "x", "from-t1").ok());
+  Timestamp t2 = store.Begin();
+  auto v = store.Read(t2, "x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "from-t1");  // uncommitted write visible (MVTSO)
+
+  std::thread c1([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(store.Commit(t1).ok());
+  });
+  EXPECT_TRUE(store.Commit(t2).ok());  // waits for t1
+  c1.join();
+}
+
+TEST(TwoPlTest, WaitDieBreaksDeadlocks) {
+  auto storage = std::make_shared<RemoteKv>(LatencyProfile::Dummy());
+  TwoPlStore store(storage);
+  ASSERT_TRUE(store.Load({{"a", "1"}, {"b", "2"}}).ok());
+
+  // Classic crossing writers; wait-die guarantees someone aborts and both
+  // threads terminate.
+  std::atomic<int> done{0};
+  std::thread t1([&] {
+    RunTransaction(store, [&](Txn& txn) -> Status {
+      OBLADI_RETURN_IF_ERROR(txn.Write("a", "t1"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      OBLADI_RETURN_IF_ERROR(txn.Write("b", "t1"));
+      return Status::Ok();
+    });
+    done.fetch_add(1);
+  });
+  std::thread t2([&] {
+    RunTransaction(store, [&](Txn& txn) -> Status {
+      OBLADI_RETURN_IF_ERROR(txn.Write("b", "t2"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      OBLADI_RETURN_IF_ERROR(txn.Write("a", "t2"));
+      return Status::Ok();
+    });
+    done.fetch_add(1);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(TwoPlTest, SharedLocksAllowConcurrentReaders) {
+  auto storage = std::make_shared<RemoteKv>(LatencyProfile::Dummy());
+  TwoPlStore store(storage);
+  ASSERT_TRUE(store.Load({{"k", "v"}}).ok());
+  Timestamp t1 = store.Begin();
+  Timestamp t2 = store.Begin();
+  EXPECT_TRUE(store.Read(t1, "k").ok());
+  EXPECT_TRUE(store.Read(t2, "k").ok());  // no blocking
+  EXPECT_TRUE(store.Commit(t1).ok());
+  EXPECT_TRUE(store.Commit(t2).ok());
+}
+
+TEST(RemoteKvTest, VersionedPutsAreLastWriterWins) {
+  RemoteKv kv(LatencyProfile::Dummy());
+  ASSERT_TRUE(kv.Put("k", "newer", 10).ok());
+  ASSERT_TRUE(kv.Put("k", "older", 5).ok());  // applied out of order
+  auto v = kv.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "newer");
+}
+
+TEST(RemoteKvTest, MissingKeyIsNotFound) {
+  RemoteKv kv(LatencyProfile::Dummy());
+  EXPECT_EQ(kv.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace obladi

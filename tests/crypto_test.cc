@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/csprng.h"
+#include "src/crypto/encryptor.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+
+namespace obladi {
+namespace {
+
+std::string HexOf(const uint8_t* data, size_t n) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  return out;
+}
+
+// FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  auto d = Sha256::Hash(nullptr, 0);
+  EXPECT_EQ(HexOf(d.data(), d.size()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  Bytes msg = BytesFromString("abc");
+  auto d = Sha256::Hash(msg);
+  EXPECT_EQ(HexOf(d.data(), d.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  Bytes msg = BytesFromString("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  auto d = Sha256::Hash(msg);
+  EXPECT_EQ(HexOf(d.data(), d.size()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes msg;
+  for (int i = 0; i < 1000; ++i) {
+    msg.push_back(static_cast<uint8_t>(i * 7));
+  }
+  Sha256 h;
+  h.Update(msg.data(), 100);
+  h.Update(msg.data() + 100, 900);
+  auto incremental = h.Finalize();
+  auto oneshot = Sha256::Hash(msg);
+  EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  auto d = h.Finalize();
+  EXPECT_EQ(HexOf(d.data(), d.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes msg = BytesFromString("Hi There");
+  auto tag = HmacSha256::Compute(key, msg);
+  EXPECT_EQ(HexOf(tag.data(), tag.size()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = BytesFromString("Jefe");
+  Bytes msg = BytesFromString("what do ya want for nothing?");
+  auto tag = HmacSha256::Compute(key, msg);
+  EXPECT_EQ(HexOf(tag.data(), tag.size()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (0xaa key, 0xdd data).
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  auto tag = HmacSha256::Compute(key, msg);
+  EXPECT_EQ(HexOf(tag.data(), tag.size()),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes key(131, 0xaa);
+  Bytes msg = BytesFromString("Test Using Larger Than Block-Size Key - Hash Key First");
+  auto tag = HmacSha256::Compute(key, msg);
+  EXPECT_EQ(HexOf(tag.data(), tag.size()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, ConstantTimeEqual) {
+  HmacSha256::Tag a{}, b{};
+  EXPECT_TRUE(HmacSha256::Equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(HmacSha256::Equal(a, b));
+}
+
+// RFC 7539 §2.4.2 test vector.
+TEST(ChaCha20Test, Rfc7539Encryption) {
+  uint8_t key[32];
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  uint8_t nonce[12] = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Bytes data(plaintext.begin(), plaintext.end());
+  ChaCha20 cipher(key, nonce, /*counter=*/1);
+  cipher.Crypt(data.data(), data.size());
+  EXPECT_EQ(HexOf(data.data(), 16), "6e2e359a2568f98041ba0728dd0d6981");
+  // Decryption = encryption.
+  ChaCha20 cipher2(key, nonce, 1);
+  cipher2.Crypt(data.data(), data.size());
+  EXPECT_EQ(std::string(data.begin(), data.end()), plaintext);
+}
+
+TEST(CsprngTest, DeterministicForSameSeed) {
+  Csprng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(CsprngTest, UniformBoundRespected) {
+  Csprng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(CsprngTest, RandomPermutationIsPermutation) {
+  Csprng rng(9);
+  auto perm = rng.RandomPermutation(257);
+  std::vector<bool> seen(257, false);
+  for (uint32_t v : perm) {
+    ASSERT_LT(v, 257u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(CsprngTest, PermutationsDiffer) {
+  Csprng rng(10);
+  EXPECT_NE(rng.RandomPermutation(64), rng.RandomPermutation(64));
+}
+
+TEST(EncryptorTest, RoundTrip) {
+  Encryptor enc = Encryptor::FromMasterKey(BytesFromString("secret"), false, 1);
+  Bytes pt = BytesFromString("hello oblivious world");
+  Bytes ct = enc.Encrypt(pt);
+  EXPECT_EQ(ct.size(), pt.size() + enc.Overhead());
+  auto back = enc.Decrypt(ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pt);
+}
+
+TEST(EncryptorTest, RandomizedEncryption) {
+  Encryptor enc = Encryptor::FromMasterKey(BytesFromString("secret"), false, 1);
+  Bytes pt(128, 0x42);
+  EXPECT_NE(enc.Encrypt(pt), enc.Encrypt(pt));
+}
+
+TEST(EncryptorTest, AuthenticatedModeDetectsTampering) {
+  Encryptor enc = Encryptor::FromMasterKey(BytesFromString("secret"), true, 1);
+  Bytes pt = BytesFromString("patient record");
+  Bytes ct = enc.Encrypt(pt);
+  ct[enc.Overhead() / 2] ^= 0x01;
+  auto back = enc.Decrypt(ct);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST(EncryptorTest, AuthenticatedModeBindsAad) {
+  Encryptor enc = Encryptor::FromMasterKey(BytesFromString("secret"), true, 1);
+  Bytes pt = BytesFromString("bucket contents");
+  Bytes aad1 = BytesFromString("bucket=1,version=7");
+  Bytes aad2 = BytesFromString("bucket=1,version=8");
+  Bytes ct = enc.Encrypt(pt, aad1);
+  EXPECT_TRUE(enc.Decrypt(ct, aad1).ok());
+  // Replaying a stale version under a different freshness tag must fail.
+  EXPECT_EQ(enc.Decrypt(ct, aad2).status().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST(EncryptorTest, UnauthenticatedModeHasNoTag) {
+  Encryptor plain = Encryptor::FromMasterKey(BytesFromString("k"), false, 1);
+  Encryptor authed = Encryptor::FromMasterKey(BytesFromString("k"), true, 1);
+  EXPECT_EQ(plain.Overhead(), Encryptor::kNonceSize);
+  EXPECT_EQ(authed.Overhead(), Encryptor::kNonceSize + Encryptor::kTagSize);
+}
+
+TEST(EncryptorTest, DecryptRejectsShortCiphertext) {
+  Encryptor enc = Encryptor::FromMasterKey(BytesFromString("k"), false, 1);
+  EXPECT_FALSE(enc.Decrypt(Bytes(4, 0)).ok());
+}
+
+}  // namespace
+}  // namespace obladi

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/txn/mvtso.h"
+
+namespace obladi {
+namespace {
+
+TEST(MvtsoTest, ReadNeedsBaseUntilInstalled) {
+  MvtsoEngine engine;
+  Timestamp t = engine.Begin();
+  EXPECT_EQ(engine.Read(t, "k").kind, ReadOutcome::kNeedBase);
+  engine.InstallBase("k", "base");
+  auto outcome = engine.Read(t, "k");
+  EXPECT_EQ(outcome.kind, ReadOutcome::kValue);
+  EXPECT_EQ(outcome.value, "base");
+}
+
+TEST(MvtsoTest, ReadYourOwnWrites) {
+  MvtsoEngine engine;
+  Timestamp t = engine.Begin();
+  ASSERT_TRUE(engine.Write(t, "k", "mine").ok());
+  auto outcome = engine.Read(t, "k");
+  EXPECT_EQ(outcome.kind, ReadOutcome::kValue);
+  EXPECT_EQ(outcome.value, "mine");
+}
+
+TEST(MvtsoTest, UncommittedWritesVisibleToLaterTransactions) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "k", "from-t1").ok());
+  auto outcome = engine.Read(t2, "k");
+  EXPECT_EQ(outcome.kind, ReadOutcome::kValue);
+  EXPECT_EQ(outcome.value, "from-t1");
+}
+
+TEST(MvtsoTest, EarlierTransactionDoesNotSeeLaterWrite) {
+  MvtsoEngine engine;
+  engine.InstallBase("k", "base");
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t2, "k", "future").ok());
+  auto outcome = engine.Read(t1, "k");
+  EXPECT_EQ(outcome.kind, ReadOutcome::kValue);
+  EXPECT_EQ(outcome.value, "base");
+}
+
+TEST(MvtsoTest, WriteAbortsWhenPredecessorReadByLaterTxn) {
+  // The Figure 5 scenario: t3 reads d0, then t2's write to d must abort.
+  MvtsoEngine engine;
+  engine.InstallBase("d", "d0");
+  Timestamp t2 = engine.Begin();
+  Timestamp t3 = engine.Begin();
+  EXPECT_EQ(engine.Read(t3, "d").kind, ReadOutcome::kValue);
+  Status st = engine.Write(t2, "d", "d2");
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_EQ(engine.GetState(t2), TxnState::kAborted);
+  EXPECT_EQ(engine.GetState(t3), TxnState::kActive);
+}
+
+TEST(MvtsoTest, CascadingAbort) {
+  // t3 reads t1's uncommitted write; aborting t1 must abort t3 (Figure 5).
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t3 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "a", "a1").ok());
+  EXPECT_EQ(engine.Read(t3, "a").value, "a1");
+  engine.Abort(t1);
+  EXPECT_EQ(engine.GetState(t3), TxnState::kAborted);
+  EXPECT_GE(engine.stats().aborts_cascade, 1u);
+}
+
+TEST(MvtsoTest, CascadeIsTransitive) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  Timestamp t3 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "x", "v1").ok());
+  EXPECT_EQ(engine.Read(t2, "x").value, "v1");
+  ASSERT_TRUE(engine.Write(t2, "y", "v2").ok());
+  EXPECT_EQ(engine.Read(t3, "y").value, "v2");
+  engine.Abort(t1);
+  EXPECT_EQ(engine.GetState(t2), TxnState::kAborted);
+  EXPECT_EQ(engine.GetState(t3), TxnState::kAborted);
+}
+
+TEST(MvtsoTest, AbortRemovesVersions) {
+  MvtsoEngine engine;
+  engine.InstallBase("k", "base");
+  Timestamp t1 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "k", "dirty").ok());
+  engine.Abort(t1);
+  Timestamp t2 = engine.Begin();
+  EXPECT_EQ(engine.Read(t2, "k").value, "base");
+}
+
+TEST(MvtsoTest, EpochCommitInTimestampOrderWithDependencies) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "a", "a1").ok());
+  EXPECT_EQ(engine.Read(t2, "a").value, "a1");
+  ASSERT_TRUE(engine.Write(t2, "b", "b2").ok());
+  ASSERT_TRUE(engine.Finish(t1).ok());
+  ASSERT_TRUE(engine.Finish(t2).ok());
+  EpochOutcome outcome = engine.EndEpoch(0);
+  EXPECT_EQ(outcome.committed.size(), 2u);
+  ASSERT_EQ(outcome.final_writes.size(), 2u);
+}
+
+TEST(MvtsoTest, DependentAbortsWhenDependencyUnfinished) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "a", "a1").ok());
+  EXPECT_EQ(engine.Read(t2, "a").value, "a1");
+  ASSERT_TRUE(engine.Finish(t2).ok());
+  // t1 never finishes: it aborts at epoch end, cascading to t2.
+  EpochOutcome outcome = engine.EndEpoch(0);
+  EXPECT_TRUE(outcome.committed.empty());
+  EXPECT_EQ(outcome.aborted.size(), 2u);
+  EXPECT_GE(engine.stats().aborts_unfinished_epoch, 1u);
+}
+
+TEST(MvtsoTest, EpochWriteCapAbortsOverflowingTransactions) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "k1", "v").ok());
+  ASSERT_TRUE(engine.Write(t1, "k2", "v").ok());
+  ASSERT_TRUE(engine.Write(t2, "k3", "v").ok());
+  ASSERT_TRUE(engine.Write(t2, "k4", "v").ok());
+  ASSERT_TRUE(engine.Finish(t1).ok());
+  ASSERT_TRUE(engine.Finish(t2).ok());
+  EpochOutcome outcome = engine.EndEpoch(/*max_write_keys=*/3);
+  ASSERT_EQ(outcome.committed.size(), 1u);
+  EXPECT_EQ(outcome.committed[0], t1);  // earlier timestamp wins the batch space
+  EXPECT_EQ(outcome.final_writes.size(), 2u);
+  EXPECT_GE(engine.stats().aborts_batch_overflow, 1u);
+}
+
+TEST(MvtsoTest, FinalWritesTakeLastCommittedVersion) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "k", "v1").ok());
+  // t2 must observe t1's write before overwriting, else MVTSO admits both
+  // orders; reading first creates the dependency chain the epoch needs.
+  EXPECT_EQ(engine.Read(t2, "k").value, "v1");
+  ASSERT_TRUE(engine.Write(t2, "k", "v2").ok());
+  ASSERT_TRUE(engine.Finish(t1).ok());
+  ASSERT_TRUE(engine.Finish(t2).ok());
+  EpochOutcome outcome = engine.EndEpoch(0);
+  ASSERT_EQ(outcome.final_writes.size(), 1u);
+  EXPECT_EQ(outcome.final_writes[0].second, "v2");
+}
+
+TEST(MvtsoTest, EpochEndClearsVersionCache) {
+  MvtsoEngine engine;
+  engine.InstallBase("k", "base");
+  engine.EndEpoch(0);
+  Timestamp t = engine.Begin();
+  EXPECT_EQ(engine.Read(t, "k").kind, ReadOutcome::kNeedBase);
+}
+
+TEST(MvtsoTest, ImmediateCommitWaitsForDependency) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "a", "a1").ok());
+  EXPECT_EQ(engine.Read(t2, "a").value, "a1");
+
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(engine.TryCommitImmediate(t1).ok());
+  });
+  // t2 blocks until t1 commits.
+  EXPECT_TRUE(engine.TryCommitImmediate(t2).ok());
+  committer.join();
+}
+
+TEST(MvtsoTest, ImmediateCommitCascadeOnDependencyAbort) {
+  MvtsoEngine engine;
+  Timestamp t1 = engine.Begin();
+  Timestamp t2 = engine.Begin();
+  ASSERT_TRUE(engine.Write(t1, "a", "a1").ok());
+  EXPECT_EQ(engine.Read(t2, "a").value, "a1");
+  engine.Abort(t1);
+  EXPECT_EQ(engine.TryCommitImmediate(t2).code(), StatusCode::kAborted);
+}
+
+TEST(MvtsoTest, TooOldWriterAbortsAfterPruning) {
+  MvtsoEngine engine;
+  engine.InstallBase("k", "base");
+  Timestamp t_old = engine.Begin();
+  Timestamp t_new = engine.Begin();
+  ASSERT_TRUE(engine.Write(t_new, "k", "new").ok());
+  ASSERT_TRUE(engine.TryCommitImmediate(t_new).ok());
+  // t_old's predecessor version (and read markers) were pruned at commit.
+  EXPECT_EQ(engine.Write(t_old, "k", "old").code(), StatusCode::kAborted);
+}
+
+TEST(MvtsoTest, OperationsOnDecidedTransactionsFail) {
+  MvtsoEngine engine;
+  Timestamp t = engine.Begin();
+  engine.Abort(t);
+  EXPECT_EQ(engine.Read(t, "k").kind, ReadOutcome::kAborted);
+  EXPECT_EQ(engine.Write(t, "k", "v").code(), StatusCode::kAborted);
+  EXPECT_EQ(engine.Finish(t).code(), StatusCode::kAborted);
+}
+
+TEST(MvtsoTest, ResetDropsEverything) {
+  MvtsoEngine engine;
+  engine.InstallBase("k", "base");
+  Timestamp t = engine.Begin();
+  ASSERT_TRUE(engine.Write(t, "k", "v").ok());
+  engine.Reset();
+  EXPECT_EQ(engine.GetState(t), TxnState::kAborted);
+  Timestamp t2 = engine.Begin();
+  EXPECT_GT(t2, t);  // timestamps keep advancing across the crash
+  EXPECT_EQ(engine.Read(t2, "k").kind, ReadOutcome::kNeedBase);
+}
+
+// Direct serializability property of the MVTSO schedule: a read of version w
+// by transaction r is only valid if no committed writer w2 of the same key
+// has w < w2 < r. We encode writer timestamps in values and check after a
+// randomized concurrent run.
+TEST(MvtsoTest, RandomizedEpochScheduleIsSerializable) {
+  MvtsoEngine engine;
+  const int kKeys = 8;
+  for (int k = 0; k < kKeys; ++k) {
+    engine.InstallBase("k" + std::to_string(k), "0");
+  }
+
+  struct ReadObs {
+    Timestamp reader;
+    std::string key;
+    Timestamp observed_writer;
+  };
+  std::mutex obs_mu;
+  std::vector<ReadObs> observations;
+  std::map<std::pair<std::string, Timestamp>, bool> committed_writes;  // (key, ts)
+
+  std::vector<std::thread> threads;
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th] {
+      Rng rng(th + 100);
+      for (int i = 0; i < 50; ++i) {
+        Timestamp ts = engine.Begin();
+        bool ok = true;
+        std::vector<ReadObs> local_reads;
+        std::vector<std::string> local_writes;
+        for (int op = 0; op < 4 && ok; ++op) {
+          std::string key = "k" + std::to_string(rng.Uniform(kKeys));
+          if (rng.Bernoulli(0.5)) {
+            auto outcome = engine.Read(ts, key);
+            if (outcome.kind != ReadOutcome::kValue) {
+              ok = false;
+              break;
+            }
+            local_reads.push_back(
+                ReadObs{ts, key, static_cast<Timestamp>(std::stoull(outcome.value))});
+          } else {
+            if (!engine.Write(ts, key, std::to_string(ts)).ok()) {
+              ok = false;
+              break;
+            }
+            local_writes.push_back(key);
+          }
+        }
+        if (ok) {
+          engine.Finish(ts);
+          std::lock_guard<std::mutex> lk(obs_mu);
+          for (auto& r : local_reads) {
+            observations.push_back(r);
+          }
+          for (auto& w : local_writes) {
+            committed_writes[{w, ts}] = false;  // decided at epoch end
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EpochOutcome outcome = engine.EndEpoch(0);
+  std::set<Timestamp> committed(outcome.committed.begin(), outcome.committed.end());
+
+  for (auto& [key_ts, unused] : committed_writes) {
+    if (committed.count(key_ts.second)) {
+      committed_writes[key_ts] = true;
+    }
+  }
+  size_t checked = 0;
+  for (const ReadObs& obs : observations) {
+    if (!committed.count(obs.reader)) {
+      continue;  // aborted reader: its observations don't matter
+    }
+    // Observed writer must be committed (or the base, ts 0).
+    if (obs.observed_writer != 0) {
+      EXPECT_TRUE(committed.count(obs.observed_writer))
+          << "committed txn " << obs.reader << " observed aborted write";
+    }
+    // No committed write to the same key strictly between writer and reader.
+    for (const auto& [key_ts, is_committed] : committed_writes) {
+      if (!is_committed || key_ts.first != obs.key) {
+        continue;
+      }
+      bool between = key_ts.second > obs.observed_writer && key_ts.second < obs.reader;
+      EXPECT_FALSE(between) << "reader " << obs.reader << " of key " << obs.key
+                            << " skipped committed version " << key_ts.second;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 20u) << "too few committed reads to be meaningful";
+}
+
+}  // namespace
+}  // namespace obladi

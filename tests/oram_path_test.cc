@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/oram/config.h"
+#include "src/oram/path.h"
+
+namespace obladi {
+namespace {
+
+TEST(PathTest, RootAndLeaves) {
+  // 3 levels: buckets 0 | 1 2 | 3 4 5 6 ; leaves 0..3.
+  EXPECT_EQ(PathBucket(0, 0, 3), 0u);
+  EXPECT_EQ(PathBucket(3, 0, 3), 0u);
+  EXPECT_EQ(PathBucket(0, 2, 3), 3u);
+  EXPECT_EQ(PathBucket(3, 2, 3), 6u);
+  EXPECT_EQ(PathBucket(2, 1, 3), 2u);
+  EXPECT_EQ(PathBucket(1, 1, 3), 1u);
+}
+
+TEST(PathTest, LevelOfBucket) {
+  EXPECT_EQ(LevelOfBucket(0), 0u);
+  EXPECT_EQ(LevelOfBucket(1), 1u);
+  EXPECT_EQ(LevelOfBucket(2), 1u);
+  EXPECT_EQ(LevelOfBucket(3), 2u);
+  EXPECT_EQ(LevelOfBucket(6), 2u);
+  EXPECT_EQ(LevelOfBucket(7), 3u);
+}
+
+TEST(PathTest, PathContains) {
+  EXPECT_TRUE(PathContains(2, 0, 3));   // root on every path
+  EXPECT_TRUE(PathContains(2, 2, 3));   // right inner node on leaf 2's path
+  EXPECT_FALSE(PathContains(2, 1, 3));
+  EXPECT_TRUE(PathContains(2, 5, 3));
+  EXPECT_FALSE(PathContains(2, 6, 3));
+}
+
+TEST(PathTest, CommonPathLevels) {
+  EXPECT_EQ(CommonPathLevels(0, 0, 3), 3u);
+  EXPECT_EQ(CommonPathLevels(0, 1, 3), 2u);  // share root + level-1 node
+  EXPECT_EQ(CommonPathLevels(0, 3, 3), 1u);  // only the root
+}
+
+TEST(PathTest, EvictionOrderIsReverseLexicographic) {
+  // 4 leaves => order of low bits reversed: 0,2,1,3,0,2,...
+  EXPECT_EQ(EvictionLeaf(0, 3), 0u);
+  EXPECT_EQ(EvictionLeaf(1, 3), 2u);
+  EXPECT_EQ(EvictionLeaf(2, 3), 1u);
+  EXPECT_EQ(EvictionLeaf(3, 3), 3u);
+  EXPECT_EQ(EvictionLeaf(4, 3), 0u);
+}
+
+TEST(PathTest, EvictionOrderCoversAllLeavesEachCycle) {
+  uint32_t levels = 5;
+  uint32_t leaves = 1u << (levels - 1);
+  std::vector<bool> seen(leaves, false);
+  for (uint64_t g = 0; g < leaves; ++g) {
+    Leaf leaf = EvictionLeaf(g, levels);
+    ASSERT_LT(leaf, leaves);
+    EXPECT_FALSE(seen[leaf]);
+    seen[leaf] = true;
+  }
+}
+
+TEST(PathTest, EvictionTouchCountMatchesSimulation) {
+  uint32_t levels = 4;
+  uint32_t buckets = (1u << levels) - 1;
+  const uint64_t kEvictions = 133;
+  std::vector<uint64_t> touched(buckets, 0);
+  for (uint64_t g = 0; g < kEvictions; ++g) {
+    Leaf leaf = EvictionLeaf(g, levels);
+    for (uint32_t level = 0; level < levels; ++level) {
+      touched[PathBucket(leaf, level, levels)]++;
+    }
+  }
+  for (BucketIndex b = 0; b < buckets; ++b) {
+    EXPECT_EQ(EvictionTouchCount(kEvictions, b, levels), touched[b]) << "bucket " << b;
+  }
+}
+
+TEST(ConfigTest, PaperTreeSizes) {
+  // Table 11b: with Z=100 (A=168), 10K objects -> 7 levels, 100K -> 11,
+  // 1M -> 14.
+  EXPECT_EQ(RingOramConfig::ForCapacity(10000, 100, 256).num_levels, 7u);
+  EXPECT_EQ(RingOramConfig::ForCapacity(100000, 100, 256).num_levels, 11u);
+  EXPECT_EQ(RingOramConfig::ForCapacity(1000000, 100, 256).num_levels, 14u);
+}
+
+TEST(ConfigTest, ParameterTable) {
+  uint32_t a, s;
+  RingOramConfig::ParametersForZ(100, &a, &s);
+  EXPECT_EQ(a, 168u);  // the paper's configuration
+  EXPECT_EQ(s, 196u);
+  RingOramConfig::ParametersForZ(4, &a, &s);
+  EXPECT_EQ(a, 3u);
+  EXPECT_EQ(s, 6u);
+}
+
+TEST(ConfigTest, ValidateCatchesBadConfigs) {
+  RingOramConfig cfg = RingOramConfig::ForCapacity(1000, 4, 64);
+  EXPECT_TRUE(cfg.Validate().ok());
+  RingOramConfig bad = cfg;
+  bad.z = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = cfg;
+  bad.num_levels = 1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = cfg;
+  bad.capacity = 1u << 30;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(ConfigTest, SlotSizesDeriveFromPayload) {
+  RingOramConfig cfg = RingOramConfig::ForCapacity(100, 4, 128);
+  EXPECT_EQ(cfg.slot_plaintext_size(), 140u);
+  EXPECT_EQ(cfg.slots_per_bucket(), cfg.z + cfg.s);
+  EXPECT_EQ(cfg.num_buckets(), (1u << cfg.num_levels) - 1);
+}
+
+}  // namespace
+}  // namespace obladi

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/proxy/obladi_store.h"
+#include "src/storage/memory_store.h"
+
+namespace obladi {
+namespace {
+
+struct ProxyEnv {
+  ObladiConfig config;
+  std::shared_ptr<MemoryBucketStore> store;
+  std::shared_ptr<MemoryLogStore> log;
+  std::unique_ptr<ObladiStore> proxy;
+};
+
+ProxyEnv MakeProxy(uint64_t capacity = 256, bool recovery = true) {
+  ProxyEnv env;
+  env.config = ObladiConfig::ForCapacity(capacity, /*z=*/4, /*payload=*/128);
+  env.config.read_batches_per_epoch = 3;
+  env.config.read_batch_size = 8;
+  env.config.write_batch_size = 8;
+  env.config.recovery.enabled = recovery;
+  env.config.recovery.full_checkpoint_interval = 4;
+  env.config.oram_options.io_threads = 8;
+  env.store = std::make_shared<MemoryBucketStore>(env.config.oram.num_buckets(),
+                                                  env.config.oram.slots_per_bucket());
+  env.log = std::make_shared<MemoryLogStore>();
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, env.log);
+  return env;
+}
+
+std::vector<std::pair<Key, std::string>> SimpleRecords(int n) {
+  std::vector<std::pair<Key, std::string>> records;
+  for (int i = 0; i < n; ++i) {
+    records.emplace_back("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  return records;
+}
+
+// Run a client function on a thread while the main thread paces epochs until
+// the client finishes.
+void RunWithPacing(ObladiStore& proxy, const std::function<void()>& client) {
+  std::atomic<bool> done{false};
+  std::thread client_thread([&] {
+    client();
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(proxy.FinishEpochNow().ok());
+  }
+  client_thread.join();
+}
+
+TEST(ObladiStoreTest, LoadAndReadCommitted) {
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(50)).ok());
+
+  RunWithPacing(*env.proxy, [&] {
+    Status st = RunTransaction(*env.proxy, [&](Txn& txn) -> Status {
+      auto v = txn.Read("key7");
+      if (!v.ok()) {
+        return v.status();
+      }
+      EXPECT_EQ(*v, "value7");
+      return Status::Ok();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+}
+
+TEST(ObladiStoreTest, WriteCommitReadBack) {
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(50)).ok());
+
+  RunWithPacing(*env.proxy, [&] {
+    Status st = RunTransaction(*env.proxy, [&](Txn& txn) -> Status {
+      return txn.Write("key3", "updated3");
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    st = RunTransaction(*env.proxy, [&](Txn& txn) -> Status {
+      auto v = txn.Read("key3");
+      if (!v.ok()) {
+        return v.status();
+      }
+      EXPECT_EQ(*v, "updated3");
+      return Status::Ok();
+    });
+    EXPECT_TRUE(st.ok());
+  });
+}
+
+TEST(ObladiStoreTest, UnknownKeyIsNotFound) {
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(5)).ok());
+  Timestamp t = env.proxy->Begin();
+  auto v = env.proxy->Read(t, "no-such-key");
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  env.proxy->Abort(t);
+}
+
+TEST(ObladiStoreTest, BlindWriteCreatesKey) {
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(5)).ok());
+  RunWithPacing(*env.proxy, [&] {
+    Status st = RunTransaction(
+        *env.proxy, [&](Txn& txn) -> Status { return txn.Write("fresh-key", "fresh"); });
+    ASSERT_TRUE(st.ok());
+    st = RunTransaction(*env.proxy, [&](Txn& txn) -> Status {
+      auto v = txn.Read("fresh-key");
+      if (!v.ok()) {
+        return v.status();
+      }
+      EXPECT_EQ(*v, "fresh");
+      return Status::Ok();
+    });
+    EXPECT_TRUE(st.ok());
+  });
+}
+
+TEST(ObladiStoreTest, CommitDecisionArrivesOnlyAtEpochEnd) {
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(10)).ok());
+
+  std::atomic<bool> committed{false};
+  std::thread client([&] {
+    Timestamp t = env.proxy->Begin();
+    ASSERT_TRUE(env.proxy->Write(t, "key1", "epoch-write").ok());
+    Status st = env.proxy->Commit(t);  // blocks until the epoch ends
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    committed.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(committed.load()) << "commit decision leaked before epoch end";
+  ASSERT_TRUE(env.proxy->FinishEpochNow().ok());
+  client.join();
+  EXPECT_TRUE(committed.load());
+}
+
+TEST(ObladiStoreTest, VersionCacheServesRepeatedReadsWithoutNewFetches) {
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(20)).ok());
+
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    // Two transactions in the same epoch read the same key; the second read
+    // must be served from the version cache (one ORAM fetch total).
+    Timestamp t1 = env.proxy->Begin();
+    Timestamp t2 = env.proxy->Begin();
+    auto v1 = env.proxy->Read(t1, "key5");
+    ASSERT_TRUE(v1.ok());
+    auto v2 = env.proxy->Read(t2, "key5");
+    ASSERT_TRUE(v2.ok());
+    env.proxy->Abort(t1);
+    env.proxy->Abort(t2);
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(env.proxy->StepReadBatch().ok() ||
+                true);  // keep stepping; FailedPrecondition is fine
+  }
+  client.join();
+  auto stats = env.proxy->stats();
+  EXPECT_EQ(stats.oram_fetches, 1u);
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+TEST(ObladiStoreTest, ConflictingWritersOneAborts) {
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(10)).ok());
+
+  RunWithPacing(*env.proxy, [&] {
+    // t_old writes after t_new read the same key's base: per MVTSO, a write
+    // whose predecessor was read by a later transaction aborts.
+    Timestamp t_old = env.proxy->Begin();
+    Timestamp t_new = env.proxy->Begin();
+    auto v = env.proxy->Read(t_new, "key2");
+    ASSERT_TRUE(v.ok());
+    Status st = env.proxy->Write(t_old, "key2", "conflict");
+    EXPECT_EQ(st.code(), StatusCode::kAborted);
+    env.proxy->Abort(t_new);
+  });
+}
+
+TEST(ObladiStoreTest, EpochFateSharing) {
+  // Two committed transactions in one epoch: both must be durable together.
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(20)).ok());
+
+  std::atomic<int> commits{0};
+  std::thread c1([&] {
+    if (RunTransaction(*env.proxy,
+                       [&](Txn& txn) { return txn.Write("key1", "a"); })
+            .ok()) {
+      commits.fetch_add(1);
+    }
+  });
+  std::thread c2([&] {
+    if (RunTransaction(*env.proxy,
+                       [&](Txn& txn) { return txn.Write("key2", "b"); })
+            .ok()) {
+      commits.fetch_add(1);
+    }
+  });
+  while (commits.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_TRUE(env.proxy->FinishEpochNow().ok());
+  }
+  c1.join();
+  c2.join();
+  EXPECT_EQ(commits.load(), 2);
+}
+
+TEST(ObladiStoreTest, ReadBatchOverflowAbortsTransaction) {
+  // Tiny epoch: 1 batch of 2 slots; the third distinct fetch cannot be
+  // scheduled this epoch and must abort its transaction.
+  ObladiConfig config = ObladiConfig::ForCapacity(64, 4, 128);
+  config.read_batches_per_epoch = 1;
+  config.read_batch_size = 2;
+  config.recovery.enabled = false;
+  auto store = std::make_shared<MemoryBucketStore>(config.oram.num_buckets(),
+                                                   config.oram.slots_per_bucket());
+  ObladiStore proxy(config, store, nullptr);
+  ASSERT_TRUE(proxy.Load(SimpleRecords(10)).ok());
+
+  Timestamp ta = proxy.Begin();
+  Timestamp tb = proxy.Begin();
+  Timestamp tc = proxy.Begin();
+  std::thread f1([&] { (void)proxy.Read(ta, "key1"); });
+  std::thread f2([&] { (void)proxy.Read(tb, "key2"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Both slots taken: this fetch fails immediately with an abort.
+  auto v = proxy.Read(tc, "key3");
+  EXPECT_EQ(v.status().code(), StatusCode::kAborted);
+  ASSERT_TRUE(proxy.FinishEpochNow().ok());
+  f1.join();
+  f2.join();
+  EXPECT_GE(proxy.stats().batch_overflow_aborts, 1u);
+}
+
+TEST(ObladiStoreTest, TimedModeMakesProgressWithoutManualPacing) {
+  auto env = MakeProxy();
+  env.config.timed_mode = true;
+  env.config.batch_interval_us = 500;
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, env.log);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(30)).ok());
+  env.proxy->Start();
+
+  Status st = RunTransaction(*env.proxy, [&](Txn& txn) -> Status {
+    auto v = txn.Read("key4");
+    if (!v.ok()) {
+      return v.status();
+    }
+    return txn.Write("key4", *v + "+1");
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  env.proxy->Stop();
+}
+
+TEST(ObladiStoreTest, ManyConcurrentClientsTimedMode) {
+  auto env = MakeProxy(512);
+  env.config.timed_mode = true;
+  env.config.batch_interval_us = 300;
+  env.config.read_batch_size = 16;
+  env.config.write_batch_size = 16;
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, env.log);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(100)).ok());
+  env.proxy->Start();
+
+  std::atomic<int> committed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(c + 1);
+      for (int i = 0; i < 5; ++i) {
+        std::string key = "key" + std::to_string(rng.Uniform(100));
+        Status st = RunTransaction(*env.proxy, [&](Txn& txn) -> Status {
+          auto v = txn.Read(key);
+          if (!v.ok()) {
+            return v.status();
+          }
+          return txn.Write(key, *v + "!");
+        });
+        if (st.ok()) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  env.proxy->Stop();
+  EXPECT_GT(committed.load(), 30);
+  EXPECT_TRUE(env.proxy->oram()->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace obladi

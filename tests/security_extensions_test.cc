@@ -1,0 +1,205 @@
+// Tests for the Appendix A trusted-counter hardening and the Appendix B
+// ideal-functionality simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/crypto/encryptor.h"
+#include "src/oram/ring_oram.h"
+#include "src/oram/simulator.h"
+#include "src/recovery/recovery_unit.h"
+#include "src/storage/memory_store.h"
+#include "src/storage/trusted_counter.h"
+
+namespace obladi {
+namespace {
+
+TEST(TrustedCounterTest, MemoryCounterIsMonotonic) {
+  MemoryTrustedCounter counter;
+  EXPECT_EQ(*counter.Read(), 0u);
+  ASSERT_TRUE(counter.Advance(5).ok());
+  ASSERT_TRUE(counter.Advance(3).ok());  // lower values ignored
+  EXPECT_EQ(*counter.Read(), 5u);
+}
+
+TEST(TrustedCounterTest, FileCounterSurvivesReopen) {
+  std::string path = testing::TempDir() + "/obladi_counter_test.bin";
+  std::remove(path.c_str());
+  {
+    FileTrustedCounter counter(path);
+    ASSERT_TRUE(counter.Advance(42).ok());
+  }
+  FileTrustedCounter counter(path);
+  EXPECT_EQ(*counter.Read(), 42u);
+  std::remove(path.c_str());
+}
+
+struct RecoverySetup {
+  RingOramConfig config = RingOramConfig::ForCapacity(64, 4, 32);
+  std::shared_ptr<MemoryBucketStore> store;
+  std::shared_ptr<Encryptor> encryptor;
+  std::shared_ptr<MemoryLogStore> log;
+  std::shared_ptr<MemoryTrustedCounter> counter;
+  std::unique_ptr<RingOram> oram;
+  std::unique_ptr<RecoveryUnit> recovery;
+};
+
+RecoverySetup MakeDurableOram(bool authenticated) {
+  RecoverySetup s;
+  s.config.authenticated = authenticated;
+  RingOramOptions options;
+  options.io_threads = 4;
+  s.store = std::make_shared<MemoryBucketStore>(s.config.num_buckets(),
+                                                s.config.slots_per_bucket());
+  s.encryptor = std::make_shared<Encryptor>(
+      Encryptor::FromMasterKey(BytesFromString("k"), authenticated, 11));
+  s.log = std::make_shared<MemoryLogStore>();
+  s.counter = std::make_shared<MemoryTrustedCounter>();
+  s.oram = std::make_unique<RingOram>(s.config, options, s.store, s.encryptor, 11);
+  EXPECT_TRUE(s.oram->Initialize(std::vector<Bytes>(64)).ok());
+  RecoveryConfig rcfg;
+  rcfg.full_checkpoint_interval = 100;
+  rcfg.posmap_delta_pad_entries = 8;
+  s.recovery = std::make_unique<RecoveryUnit>(rcfg, s.log, s.encryptor);
+  s.recovery->SetTrustedCounter(s.counter);
+  EXPECT_TRUE(s.recovery->LogFullCheckpoint(*s.oram).ok());
+  return s;
+}
+
+TEST(TrustedCounterTest, RolledBackLogIsRejected) {
+  auto s = MakeDurableOram(/*authenticated=*/true);
+  s.oram->SetBatchPlannedHook(
+      [&](const BatchPlan& plan) { return s.recovery->LogReadBatchPlan(plan); });
+  ASSERT_TRUE(s.oram->ReadBatch({1, 2}).ok());
+  ASSERT_TRUE(s.oram->FinishEpoch().ok());
+  ASSERT_TRUE(s.recovery->LogEpochCommit(*s.oram).ok());
+
+  // A malicious server serves a stale prefix of the log (drops the tail).
+  auto all = s.log->ReadAll();
+  ASSERT_TRUE(all.ok());
+  auto tampered = std::make_shared<MemoryLogStore>();
+  for (size_t i = 0; i + 1 < all->size(); ++i) {
+    ASSERT_TRUE(tampered->Append((*all)[i]).ok());
+  }
+  RecoveryConfig rcfg;
+  rcfg.posmap_delta_pad_entries = 8;
+  RecoveryUnit fresh(rcfg, tampered, s.encryptor);
+  fresh.SetTrustedCounter(s.counter);
+  auto recovered = fresh.Recover();
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST(TrustedCounterTest, IntactLogRecoversWithCounter) {
+  auto s = MakeDurableOram(true);
+  ASSERT_TRUE(s.oram->ReadBatch({3}).ok());
+  ASSERT_TRUE(s.oram->FinishEpoch().ok());
+  ASSERT_TRUE(s.recovery->LogEpochCommit(*s.oram).ok());
+
+  RecoveryConfig rcfg;
+  rcfg.posmap_delta_pad_entries = 8;
+  RecoveryUnit fresh(rcfg, s.log, s.encryptor);
+  fresh.SetTrustedCounter(s.counter);
+  auto recovered = fresh.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->has_state);
+}
+
+TEST(TrustedCounterTest, SwappedRecordsFailAuthentication) {
+  auto s = MakeDurableOram(true);
+  s.oram->SetBatchPlannedHook(
+      [&](const BatchPlan& plan) { return s.recovery->LogReadBatchPlan(plan); });
+  ASSERT_TRUE(s.oram->ReadBatch({1}).ok());
+  ASSERT_TRUE(s.oram->ReadBatch({2}).ok());
+
+  // Swap the two plan records' ciphertexts but keep the (plaintext) sequence
+  // headers in order: the AAD binding must catch it.
+  auto all = s.log->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_GE(all->size(), 3u);
+  auto tampered = std::make_shared<MemoryLogStore>();
+  std::vector<Bytes> records = *all;
+  // Records: [full checkpoint, plan seq1, plan seq2]. Graft seq2's ciphertext
+  // onto seq1's header.
+  Bytes r1 = records[1];
+  Bytes r2 = records[2];
+  Bytes hybrid(r1.begin(), r1.begin() + 9);  // type + seq of record 1
+  hybrid.insert(hybrid.end(), r2.begin() + 9, r2.end());  // ciphertext of record 2
+  ASSERT_TRUE(tampered->Append(records[0]).ok());
+  ASSERT_TRUE(tampered->Append(hybrid).ok());
+  RecoveryConfig rcfg;
+  rcfg.posmap_delta_pad_entries = 8;
+  RecoveryUnit fresh(rcfg, tampered, s.encryptor);
+  auto recovered = fresh.Recover();
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kIntegrityViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Appendix B simulator
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, EvictionScheduleMatchesRealOram) {
+  RingOramConfig config = RingOramConfig::ForCapacity(128, 4, 32);
+  IdealTraceSimulator sim(config, 1);
+  SimulatedEpoch epoch = sim.SimulateEpoch(/*read_batches=*/3, /*read_batch_size=*/5,
+                                           /*write_batch_size=*/4, 0, 0);
+  // 3*5 + 4 = 19 accesses, A=3 => 6 evictions, at the deterministic leaves.
+  EXPECT_EQ(epoch.access_count_after, 19u);
+  EXPECT_EQ(epoch.evict_count_after, 6u);
+  ASSERT_EQ(epoch.eviction_leaves.size(), 6u);
+  for (size_t g = 0; g < 6; ++g) {
+    EXPECT_EQ(epoch.eviction_leaves[g], EvictionLeaf(g, config.num_levels));
+  }
+}
+
+TEST(SimulatorTest, RealTraceIsStatisticallyIndistinguishableFromIdeal) {
+  // Run the real ORAM under a *skewed* workload and compare its observable
+  // leaf distribution with the workload-oblivious simulator's.
+  RingOramConfig config = RingOramConfig::ForCapacity(256, 4, 32);
+  RingOramOptions options;
+  options.parallel = true;
+  options.defer_writes = true;
+  options.io_threads = 4;
+  auto store = std::make_shared<MemoryBucketStore>(config.num_buckets(),
+                                                   config.slots_per_bucket());
+  auto encryptor = std::make_shared<Encryptor>(
+      Encryptor::FromMasterKey(BytesFromString("k"), false, 21));
+  RingOram oram(config, options, store, encryptor, 21);
+  ASSERT_TRUE(oram.Initialize(std::vector<Bytes>(256)).ok());
+
+  std::vector<uint64_t> real_counts(config.num_leaves(), 0);
+  oram.SetBatchPlannedHook([&](const BatchPlan& plan) {
+    for (const auto& req : plan.requests) {
+      real_counts[req.leaf]++;
+    }
+    return Status::Ok();
+  });
+
+  const size_t kEpochs = 1500;
+  Rng rng(17);
+  for (size_t e = 0; e < kEpochs; ++e) {
+    std::vector<BlockId> ids;
+    while (ids.size() < 5) {
+      // 80% hot traffic on 6 blocks.
+      BlockId id = rng.Bernoulli(0.8) ? rng.Uniform(6) : rng.Uniform(256);
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        ids.push_back(id);
+      }
+    }
+    ASSERT_TRUE(oram.ReadBatch(ids).ok());
+    ASSERT_TRUE(oram.FinishEpoch().ok());
+  }
+
+  IdealTraceSimulator sim(config, 99);
+  std::vector<uint64_t> ideal_counts = sim.LeafHistogram(kEpochs, 1, 5, 0);
+
+  double chi2 = ChiSquareDistance(real_counts, ideal_counts);
+  double dof = config.num_leaves() - 1;
+  EXPECT_LT(chi2, dof + 6 * std::sqrt(2 * dof))
+      << "real trace distinguishable from the ideal simulator's";
+}
+
+}  // namespace
+}  // namespace obladi

@@ -1,0 +1,246 @@
+// Semantic consistency properties of the application workloads, in the style
+// of TPC-C's consistency conditions. Run against NoPriv (fast backend); the
+// differential test in integration_test.cc ties NoPriv and Obladi together.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/baseline/nopriv_store.h"
+#include "src/common/rng.h"
+#include "src/workload/freehealth.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+
+namespace obladi {
+namespace {
+
+std::unique_ptr<NoPrivStore> LoadedStore(Workload& workload) {
+  auto storage = std::make_shared<RemoteKv>(LatencyProfile::Dummy());
+  auto store = std::make_unique<NoPrivStore>(storage);
+  EXPECT_TRUE(store->Load(workload.InitialRecords()).ok());
+  return store;
+}
+
+std::string MustRead(NoPrivStore& store, const Key& key) {
+  std::string out;
+  EXPECT_TRUE(RunTransaction(store, [&](Txn& txn) -> Status {
+                auto v = txn.Read(key);
+                if (!v.ok()) {
+                  return v.status();
+                }
+                out = *v;
+                return Status::Ok();
+              }).ok())
+      << key;
+  return out;
+}
+
+TpccConfig SmallTpcc() {
+  TpccConfig cfg;
+  cfg.num_warehouses = 1;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 20;
+  cfg.num_items = 50;
+  cfg.initial_orders_per_district = 8;
+  cfg.stock_level_orders = 2;
+  cfg.max_order_lines = 5;
+  return cfg;
+}
+
+// TPC-C consistency condition 1 (adapted): after any number of new-order
+// transactions, every order id below district.next_o_id has an order row with
+// all its order lines present.
+TEST(TpccConsistencyTest, OrdersDenseUpToNextOrderId) {
+  TpccWorkload wl(SmallTpcc());
+  auto store = LoadedStore(wl);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(wl.NewOrder(*store, rng).ok());
+  }
+  for (uint32_t d = 0; d < 2; ++d) {
+    TpccDistrict district =
+        TpccDistrict::Decode(MustRead(*store, TpccWorkload::DistrictKey(0, d)));
+    for (uint32_t o = 0; o < district.next_o_id; ++o) {
+      TpccOrder order = TpccOrder::Decode(MustRead(*store, TpccWorkload::OrderKey(0, d, o)));
+      ASSERT_GT(order.line_count, 0u) << "order " << o;
+      for (uint32_t l = 0; l < order.line_count; ++l) {
+        MustRead(*store, TpccWorkload::OrderLineKey(0, d, o, l));
+      }
+    }
+  }
+}
+
+// New-order queue discipline: delivery pops the oldest undelivered order and
+// stamps a carrier on it.
+TEST(TpccConsistencyTest, DeliveryDrainsQueueInOrder) {
+  TpccWorkload wl(SmallTpcc());
+  auto store = LoadedStore(wl);
+  Rng rng(6);
+  auto queue_before =
+      DecodeIdList(MustRead(*store, TpccWorkload::NewOrderQueueKey(0, 0)));
+  ASSERT_FALSE(queue_before.empty());
+  uint32_t oldest = queue_before.front();
+
+  // Run deliveries until warehouse 0 district 0's queue shrinks.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wl.Delivery(*store, rng).ok());
+  }
+  auto queue_after = DecodeIdList(MustRead(*store, TpccWorkload::NewOrderQueueKey(0, 0)));
+  ASSERT_LT(queue_after.size(), queue_before.size());
+  TpccOrder delivered =
+      TpccOrder::Decode(MustRead(*store, TpccWorkload::OrderKey(0, 0, oldest)));
+  EXPECT_NE(delivered.carrier, 0u) << "popped order not stamped with a carrier";
+}
+
+// Payment conservation: warehouse YTD equals the sum of payments applied.
+TEST(TpccConsistencyTest, PaymentsAccumulateInWarehouseYtd) {
+  TpccWorkload wl(SmallTpcc());
+  auto store = LoadedStore(wl);
+  Rng rng(8);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(wl.Payment(*store, rng).ok());
+  }
+  Bytes raw = BytesFromString(MustRead(*store, TpccWorkload::WarehouseKey(0)));
+  BinaryReader r(raw);
+  r.GetString();  // name
+  r.GetI64();     // tax
+  int64_t ytd = r.GetI64();
+  EXPECT_GT(ytd, 0);
+
+  // Customer payment counters moved too.
+  int64_t payment_count = 0;
+  for (uint32_t d = 0; d < 2; ++d) {
+    for (uint32_t c = 0; c < 20; ++c) {
+      TpccCustomer customer =
+          TpccCustomer::Decode(MustRead(*store, TpccWorkload::CustomerKey(0, d, c)));
+      payment_count += customer.payment_count;
+    }
+  }
+  EXPECT_EQ(payment_count, 15);
+}
+
+TEST(TpccConsistencyTest, NewOrderStockDecreases) {
+  TpccWorkload wl(SmallTpcc());
+  auto store = LoadedStore(wl);
+  int64_t total_before = 0;
+  for (uint32_t i = 0; i < 50; ++i) {
+    total_before += TpccStock::Decode(MustRead(*store, TpccWorkload::StockKey(0, i))).quantity;
+  }
+  Rng rng(10);
+  uint64_t orders = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wl.NewOrder(*store, rng).ok());
+  }
+  orders = wl.stats().new_order;
+  int64_t total_after = 0;
+  int64_t total_ordered = 0;
+  for (uint32_t i = 0; i < 50; ++i) {
+    TpccStock stock = TpccStock::Decode(MustRead(*store, TpccWorkload::StockKey(0, i)));
+    total_after += stock.quantity;
+    total_ordered += stock.ytd;
+  }
+  if (orders > 0) {
+    EXPECT_GT(total_ordered, 0);
+    // Quantity either decreases or wraps via the +91 restock rule; ytd is the
+    // reliable monotone counter.
+    EXPECT_NE(total_after, total_before);
+  }
+}
+
+// SmallBank semantics beyond conservation.
+TEST(SmallBankSemanticsTest, WriteCheckAppliesOverdraftPenalty) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 2;
+  SmallBankWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  int64_t huge = 2 * SmallBankWorkload::kInitialBalanceCents + 500;
+  ASSERT_TRUE(wl.WriteCheck(*store, 0, huge).ok());
+  int64_t checking = SmallBankWorkload::DecodeBalance(
+      MustRead(*store, SmallBankWorkload::CheckingKey(0)));
+  // Initial checking - (amount + 100 penalty).
+  EXPECT_EQ(checking, SmallBankWorkload::kInitialBalanceCents - huge - 100);
+}
+
+TEST(SmallBankSemanticsTest, TransactSavingsRejectsOverdraft) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 2;
+  SmallBankWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  ASSERT_TRUE(
+      wl.TransactSavings(*store, 1, -2 * SmallBankWorkload::kInitialBalanceCents).ok());
+  int64_t savings = SmallBankWorkload::DecodeBalance(
+      MustRead(*store, SmallBankWorkload::SavingsKey(1)));
+  EXPECT_EQ(savings, SmallBankWorkload::kInitialBalanceCents);  // unchanged no-op
+}
+
+TEST(SmallBankSemanticsTest, SendPaymentRejectsInsufficientFunds) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 2;
+  SmallBankWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  ASSERT_TRUE(
+      wl.SendPayment(*store, 0, 1, 5 * SmallBankWorkload::kInitialBalanceCents).ok());
+  EXPECT_EQ(SmallBankWorkload::DecodeBalance(
+                MustRead(*store, SmallBankWorkload::CheckingKey(0))),
+            SmallBankWorkload::kInitialBalanceCents);
+  EXPECT_EQ(SmallBankWorkload::DecodeBalance(
+                MustRead(*store, SmallBankWorkload::CheckingKey(1))),
+            SmallBankWorkload::kInitialBalanceCents);
+}
+
+// FreeHealth: the contended episode counter is exact under concurrency —
+// every committed CreateEpisode produced a distinct episode row.
+TEST(FreeHealthSemanticsTest, ConcurrentEpisodeCreationIsExact) {
+  FreeHealthConfig cfg;
+  cfg.num_patients = 4;  // few patients: force counter contention
+  cfg.num_users = 4;
+  cfg.num_drugs = 10;
+  FreeHealthWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+
+  std::vector<std::thread> doctors;
+  std::atomic<int> committed{0};
+  for (int t = 0; t < 4; ++t) {
+    doctors.emplace_back([&, t] {
+      Rng rng(t + 50);
+      for (int i = 0; i < 25; ++i) {
+        if (wl.RunType(FreeHealthTxn::kCreateEpisode, *store, rng).ok()) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& d : doctors) {
+    d.join();
+  }
+
+  uint32_t total_episodes = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    FhCounters counters =
+        FhCounters::Decode(MustRead(*store, FreeHealthWorkload::PatientCountersKey(p)));
+    // Every counted episode exists as a row.
+    for (uint32_t e = 0; e < counters.episodes; ++e) {
+      MustRead(*store, FreeHealthWorkload::EpisodeKey(p, e));
+    }
+    total_episodes += counters.episodes;
+  }
+  EXPECT_EQ(total_episodes, 4 * cfg.episodes_per_patient + committed.load());
+}
+
+TEST(FreeHealthSemanticsTest, DeactivationSticks) {
+  FreeHealthConfig cfg;
+  cfg.num_patients = 10;
+  FreeHealthWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  Rng rng(60);
+  ASSERT_TRUE(wl.RunType(FreeHealthTxn::kDeactivatePatient, *store, rng).ok());
+  bool any_inactive = false;
+  for (uint32_t p = 0; p < 10; ++p) {
+    any_inactive |= MustRead(*store, FreeHealthWorkload::PatientKey(p)).find("inactive") !=
+                    std::string::npos;
+  }
+  EXPECT_TRUE(any_inactive);
+}
+
+}  // namespace
+}  // namespace obladi

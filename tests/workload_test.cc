@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/baseline/nopriv_store.h"
+#include "src/common/rng.h"
+#include "src/workload/driver.h"
+#include "src/workload/freehealth.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+
+namespace obladi {
+namespace {
+
+std::unique_ptr<NoPrivStore> LoadedStore(Workload& workload) {
+  auto storage = std::make_shared<RemoteKv>(LatencyProfile::Dummy());
+  auto store = std::make_unique<NoPrivStore>(storage);
+  EXPECT_TRUE(store->Load(workload.InitialRecords()).ok());
+  return store;
+}
+
+// --- SmallBank ---
+
+TEST(SmallBankTest, LoaderCreatesBothAccounts) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 10;
+  SmallBankWorkload wl(cfg);
+  auto records = wl.InitialRecords();
+  EXPECT_EQ(records.size(), 20u);
+}
+
+TEST(SmallBankTest, SendPaymentMovesMoney) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 4;
+  SmallBankWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  ASSERT_TRUE(wl.SendPayment(*store, 0, 1, 500).ok());
+
+  auto read_balance = [&](const Key& key) {
+    std::string out;
+    EXPECT_TRUE(RunTransaction(*store, [&](Txn& txn) -> Status {
+                  auto v = txn.Read(key);
+                  if (!v.ok()) {
+                    return v.status();
+                  }
+                  out = *v;
+                  return Status::Ok();
+                }).ok());
+    return SmallBankWorkload::DecodeBalance(out);
+  };
+  EXPECT_EQ(read_balance(SmallBankWorkload::CheckingKey(0)),
+            SmallBankWorkload::kInitialBalanceCents - 500);
+  EXPECT_EQ(read_balance(SmallBankWorkload::CheckingKey(1)),
+            SmallBankWorkload::kInitialBalanceCents + 500);
+}
+
+TEST(SmallBankTest, AmalgamateZerosSource) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 4;
+  SmallBankWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  ASSERT_TRUE(wl.Amalgamate(*store, 2, 3).ok());
+  auto total = wl.TotalBalance(*store, 4);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 8 * SmallBankWorkload::kInitialBalanceCents);  // conserved
+}
+
+// Money conservation under concurrency: the transfer-style transactions
+// (SendPayment, Amalgamate) preserve the bank's total balance.
+TEST(SmallBankTest, MoneyConservedUnderConcurrentTransfers) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 16;
+  SmallBankWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+
+  std::vector<std::thread> threads;
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th] {
+      Rng rng(th + 11);
+      for (int i = 0; i < 40; ++i) {
+        uint64_t a = rng.Uniform(16);
+        uint64_t b = (a + 1 + rng.Uniform(15)) % 16;
+        if (rng.Bernoulli(0.7)) {
+          wl.SendPayment(*store, a, b, rng.UniformInt(1, 500));
+        } else {
+          wl.Amalgamate(*store, a, b);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  auto total = wl.TotalBalance(*store, 16);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 32 * SmallBankWorkload::kInitialBalanceCents);
+}
+
+TEST(SmallBankTest, MixRunsAllTransactionTypes) {
+  SmallBankConfig cfg;
+  cfg.num_accounts = 32;
+  SmallBankWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(wl.RunOne(*store, rng).ok());
+  }
+}
+
+// --- TPC-C ---
+
+TpccConfig TinyTpcc() {
+  TpccConfig cfg;
+  cfg.num_warehouses = 1;
+  cfg.customers_per_district = 30;
+  cfg.num_items = 100;
+  cfg.initial_orders_per_district = 10;
+  cfg.stock_level_orders = 3;
+  return cfg;
+}
+
+TEST(TpccTest, LoaderProducesAllTables) {
+  TpccWorkload wl(TinyTpcc());
+  auto records = wl.InitialRecords();
+  size_t warehouses = 0, districts = 0, customers = 0, stocks = 0, orders = 0, queues = 0;
+  for (const auto& [key, value] : records) {
+    if (key.rfind("tpcc:w:", 0) == 0) {
+      warehouses++;
+    } else if (key.rfind("tpcc:d:", 0) == 0) {
+      districts++;
+    } else if (key.rfind("tpcc:c:", 0) == 0) {
+      customers++;
+    } else if (key.rfind("tpcc:s:", 0) == 0) {
+      stocks++;
+    } else if (key.rfind("tpcc:o:", 0) == 0) {
+      orders++;
+    } else if (key.rfind("tpcc:noq:", 0) == 0) {
+      queues++;
+    }
+  }
+  EXPECT_EQ(warehouses, 1u);
+  EXPECT_EQ(districts, 10u);
+  EXPECT_EQ(customers, 300u);
+  EXPECT_EQ(stocks, 100u);
+  EXPECT_EQ(orders, 100u);
+  EXPECT_EQ(queues, 10u);
+}
+
+TEST(TpccTest, RowCodecsRoundTrip) {
+  TpccDistrict d;
+  d.tax_bp = 150;
+  d.ytd_cents = 123456;
+  d.next_o_id = 42;
+  auto d2 = TpccDistrict::Decode(d.Encode());
+  EXPECT_EQ(d2.tax_bp, 150);
+  EXPECT_EQ(d2.next_o_id, 42u);
+
+  TpccCustomer c;
+  c.first = "Alice";
+  c.last = "BAROUGHTABLE";
+  c.balance_cents = -1000;
+  auto c2 = TpccCustomer::Decode(c.Encode());
+  EXPECT_EQ(c2.first, "Alice");
+  EXPECT_EQ(c2.balance_cents, -1000);
+
+  TpccOrderLine l;
+  l.item = 7;
+  l.quantity = 3;
+  l.amount_cents = 999;
+  auto l2 = TpccOrderLine::Decode(l.Encode());
+  EXPECT_EQ(l2.item, 7u);
+  EXPECT_EQ(l2.amount_cents, 999);
+
+  EXPECT_EQ(DecodeIdList(EncodeIdList({1, 2, 3})), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(DecodeIdList("").empty());
+}
+
+TEST(TpccTest, LastNameGeneration) {
+  EXPECT_EQ(TpccWorkload::LastName(0), "BARBARBAR");
+  EXPECT_EQ(TpccWorkload::LastName(371), "PRICALLYOUGHT");
+  EXPECT_EQ(TpccWorkload::LastName(999), "EINGEINGEING");
+}
+
+TEST(TpccTest, NuRandStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = TpccWorkload::NuRand(rng, 255, 10, 50);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(TpccTest, NewOrderAdvancesDistrictAndQueue) {
+  TpccWorkload wl(TinyTpcc());
+  auto store = LoadedStore(wl);
+  Rng rng(1);
+  ASSERT_TRUE(wl.NewOrder(*store, rng).ok());
+
+  // next_o_id advanced in some district and a new order landed in a queue.
+  uint32_t total_next = 0;
+  for (uint32_t d = 0; d < 10; ++d) {
+    std::string row;
+    ASSERT_TRUE(RunTransaction(*store, [&](Txn& txn) -> Status {
+                  auto v = txn.Read(TpccWorkload::DistrictKey(0, d));
+                  if (!v.ok()) {
+                    return v.status();
+                  }
+                  row = *v;
+                  return Status::Ok();
+                }).ok());
+    total_next += TpccDistrict::Decode(row).next_o_id;
+  }
+  // 10 districts each started at 10; exactly one new order (or a 1% rollback
+  // left it unchanged — the stats tell us which).
+  auto stats = wl.stats();
+  EXPECT_EQ(total_next, 100 + stats.new_order);
+}
+
+TEST(TpccTest, AllTransactionTypesSucceed) {
+  TpccWorkload wl(TinyTpcc());
+  auto store = LoadedStore(wl);
+  Rng rng(2);
+  EXPECT_TRUE(wl.NewOrder(*store, rng).ok());
+  EXPECT_TRUE(wl.Payment(*store, rng).ok());
+  EXPECT_TRUE(wl.OrderStatus(*store, rng).ok());
+  EXPECT_TRUE(wl.Delivery(*store, rng).ok());
+  EXPECT_TRUE(wl.StockLevel(*store, rng).ok());
+  auto stats = wl.stats();
+  EXPECT_EQ(stats.payment, 1u);
+  EXPECT_EQ(stats.delivery, 1u);
+  EXPECT_EQ(stats.stock_level, 1u);
+}
+
+TEST(TpccTest, MixedLoadRunsConcurrently) {
+  TpccWorkload wl(TinyTpcc());
+  auto store = LoadedStore(wl);
+  std::vector<std::thread> threads;
+  std::atomic<int> committed{0};
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th] {
+      Rng rng(th + 31);
+      for (int i = 0; i < 25; ++i) {
+        if (wl.RunOne(*store, rng).ok()) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_GT(committed.load(), 90);  // near-universal success with retries
+}
+
+// --- FreeHealth ---
+
+FreeHealthConfig TinyFreeHealth() {
+  FreeHealthConfig cfg;
+  cfg.num_patients = 50;
+  cfg.num_users = 10;
+  cfg.num_drugs = 30;
+  return cfg;
+}
+
+TEST(FreeHealthTest, LoaderBuildsFigure8Schema) {
+  FreeHealthWorkload wl(TinyFreeHealth());
+  auto records = wl.InitialRecords();
+  bool has_patient = false, has_user = false, has_drug = false, has_episode = false,
+       has_rx = false, has_pmh = false;
+  for (const auto& [key, value] : records) {
+    has_patient |= key.rfind("fh:p:", 0) == 0;
+    has_user |= key.rfind("fh:u:", 0) == 0;
+    has_drug |= key.rfind("fh:drug:", 0) == 0;
+    has_episode |= key.rfind("fh:e:", 0) == 0;
+    has_rx |= key.rfind("fh:rx:", 0) == 0;
+    has_pmh |= key.rfind("fh:pmh:", 0) == 0;
+  }
+  EXPECT_TRUE(has_patient && has_user && has_drug && has_episode && has_rx && has_pmh);
+}
+
+TEST(FreeHealthTest, AllTwentyOneTransactionTypesSucceed) {
+  FreeHealthWorkload wl(TinyFreeHealth());
+  auto store = LoadedStore(wl);
+  Rng rng(9);
+  for (int t = 0; t < static_cast<int>(FreeHealthTxn::kNumTxnTypes); ++t) {
+    Status st = wl.RunType(static_cast<FreeHealthTxn>(t), *store, rng);
+    EXPECT_TRUE(st.ok()) << "transaction type " << t << ": " << st.ToString();
+    EXPECT_EQ(wl.CountOf(static_cast<FreeHealthTxn>(t)), 1u) << "type " << t;
+  }
+}
+
+TEST(FreeHealthTest, CreateEpisodeBumpsCounter) {
+  FreeHealthWorkload wl(TinyFreeHealth());
+  auto store = LoadedStore(wl);
+  Rng rng(12);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(wl.RunType(FreeHealthTxn::kCreateEpisode, *store, rng).ok());
+  }
+  // Total episode count across patients grew by exactly 5.
+  uint32_t total = 0;
+  for (uint32_t p = 0; p < 50; ++p) {
+    std::string row;
+    ASSERT_TRUE(RunTransaction(*store, [&](Txn& txn) -> Status {
+                  auto v = txn.Read(FreeHealthWorkload::PatientCountersKey(p));
+                  if (!v.ok()) {
+                    return v.status();
+                  }
+                  row = *v;
+                  return Status::Ok();
+                }).ok());
+    total += FhCounters::Decode(row).episodes;
+  }
+  EXPECT_EQ(total, 50 * 4 + 5);
+}
+
+TEST(FreeHealthTest, MixIsReadHeavy) {
+  FreeHealthWorkload wl(TinyFreeHealth());
+  auto store = LoadedStore(wl);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(wl.RunOne(*store, rng).ok());
+  }
+  uint64_t reads = wl.CountOf(FreeHealthTxn::kGetPatient) +
+                   wl.CountOf(FreeHealthTxn::kSearchPatientByName) +
+                   wl.CountOf(FreeHealthTxn::kGetEpisode) +
+                   wl.CountOf(FreeHealthTxn::kListPatientEpisodes) +
+                   wl.CountOf(FreeHealthTxn::kGetPrescriptions);
+  uint64_t writes = wl.CountOf(FreeHealthTxn::kCreatePatient) +
+                    wl.CountOf(FreeHealthTxn::kCreateEpisode) +
+                    wl.CountOf(FreeHealthTxn::kAddPmhEntry);
+  EXPECT_GT(reads, writes);
+}
+
+// --- YCSB & driver ---
+
+TEST(YcsbTest, GeneratorRespectsConfig) {
+  YcsbConfig cfg;
+  cfg.num_objects = 100;
+  cfg.read_fraction = 1.0;
+  YcsbGenerator gen(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(gen.NextKey(rng), 100u);
+    EXPECT_TRUE(gen.NextIsRead(rng));
+  }
+}
+
+TEST(YcsbTest, ZipfianModeSkews) {
+  YcsbConfig cfg;
+  cfg.num_objects = 1000;
+  cfg.zipf_theta = 0.99;
+  YcsbGenerator gen(cfg);
+  Rng rng(2);
+  std::map<BlockId, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    counts[gen.NextKey(rng)]++;
+  }
+  int max_count = 0;
+  for (auto& [id, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 100);  // a uniform draw would give ~10 per key
+}
+
+TEST(DriverTest, RunsYcsbAgainstNoPriv) {
+  YcsbConfig cfg;
+  cfg.num_objects = 200;
+  cfg.ops_per_txn = 2;
+  YcsbWorkload wl(cfg);
+  auto store = LoadedStore(wl);
+  DriverOptions opts;
+  opts.num_threads = 4;
+  opts.duration_ms = 200;
+  opts.warmup_ms = 50;
+  DriverResult result = RunWorkload(*store, wl, opts);
+  EXPECT_GT(result.committed, 100u);
+  EXPECT_GT(result.throughput_tps, 0.0);
+  EXPECT_GT(result.mean_latency_us, 0.0);
+}
+
+}  // namespace
+}  // namespace obladi
