@@ -117,23 +117,24 @@ SizeResult RunSize(uint64_t n, double scale, double seconds) {
     uint64_t bytes_before = log->stats().bytes_read.load();
     Stopwatch total;
     auto recovered = recovery->Recover();
-    if (!recovered.ok() || !recovered->has_state) {
+    if (!recovered.ok() || !recovered->has_state || recovered->shards.size() != 1) {
       std::fprintf(stderr, "recovery failed\n");
       std::abort();
     }
+    auto& shard0 = recovered->shards[0];
     auto env3 = MakeMicroOram("dummy", n, 100, 64, options, scale, /*seed=*/3);
-    Status rst = env3.oram->RestoreState(std::move(recovered->position_map),
-                                         std::move(recovered->metas),
-                                         std::move(recovered->stash),
-                                         recovered->access_count, recovered->evict_count,
+    Status rst = env3.oram->RestoreState(std::move(shard0.position_map),
+                                         std::move(shard0.metas),
+                                         std::move(shard0.stash),
+                                         shard0.access_count, shard0.evict_count,
                                          recovered->epoch);
     if (!rst.ok()) {
       std::fprintf(stderr, "restore failed: %s\n", rst.ToString().c_str());
       std::abort();
     }
     Stopwatch replay;
-    for (const BatchPlan& plan : recovered->pending_plans) {
-      auto r = env3.oram->ReplayReadBatch(plan);
+    for (const RecoveryUnit::PendingPlan& pending : recovered->pending_plans) {
+      auto r = env3.oram->ReplayReadBatch(pending.plan);
       if (!r.ok()) {
         std::fprintf(stderr, "replay failed: %s\n", r.status().ToString().c_str());
         std::abort();

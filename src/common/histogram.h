@@ -19,8 +19,12 @@ class Histogram {
   }
 
   void Merge(const Histogram& other) {
-    std::lock_guard<std::mutex> lk(mu_);
-    std::lock_guard<std::mutex> lk2(other.mu_);
+    if (this == &other) {
+      return;
+    }
+    // Lock both sides deadlock-free: two threads merging in opposite
+    // directions would deadlock with ordered lock_guards.
+    std::scoped_lock lk(mu_, other.mu_);
     samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
     sum_ += other.sum_;
   }

@@ -31,6 +31,12 @@ struct RingOramConfig {
   size_t block_payload_size = 256;
   size_t max_stash_blocks = 0;    // checkpoint padding bound; 0 = derived
   bool authenticated = false;     // Appendix A MAC + freshness mode
+  // Added to local bucket indices when computing authentication AADs. A
+  // sharded deployment sets this to the shard's bucket-namespace offset so
+  // each ciphertext authenticates its *global* location — otherwise two
+  // shards sharing one key would MAC identical (bucket, version, slot)
+  // tuples and the server could splice ciphertexts between shards.
+  uint32_t aad_bucket_offset = 0;
 
   uint32_t num_leaves() const { return 1u << (num_levels - 1); }
   uint32_t num_buckets() const { return (1u << num_levels) - 1; }

@@ -205,7 +205,8 @@ void RingOram::ProcessCiphertext(const PendingRead& read, StatusOr<Bytes> cipher
   }
   StatusOr<Bytes> pt = Status::Internal("uninitialized");
   Bytes aad = config_.authenticated
-                  ? BlockCodec::MakeAad(read.bucket, read.version, read.slot)
+                  ? BlockCodec::MakeAad(config_.aad_bucket_offset + read.bucket,
+                                        read.version, read.slot)
                   : Bytes{};
   if (options_.parallel && !options_.parallel_crypto) {
     std::lock_guard<std::mutex> lk(crypto_mu_);
@@ -693,7 +694,9 @@ void RingOram::MaterializeBucket(BucketIndex bucket, const std::vector<PlannedBl
     } else {
       plaintext = codec_.DummyPlaintext(bucket, version, phys);
     }
-    Bytes aad = config_.authenticated ? BlockCodec::MakeAad(bucket, version, phys) : Bytes{};
+    Bytes aad = config_.authenticated
+                    ? BlockCodec::MakeAad(config_.aad_bucket_offset + bucket, version, phys)
+                    : Bytes{};
     if (via_pool && options_.parallel && !options_.parallel_crypto) {
       std::lock_guard<std::mutex> lk(crypto_mu_);
       slots[phys] = encryptor_->Encrypt(plaintext, aad);

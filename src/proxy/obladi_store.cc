@@ -26,21 +26,33 @@ std::string DecodeValue(const Bytes& payload) {
 
 }  // namespace
 
+std::unique_ptr<ShardedOramSet> ObladiStore::MakeOramSet(uint64_t seed) const {
+  ShardedOramOptions options;
+  options.oram = cfg_.oram_options;
+  options.read_quota = cfg_.read_quota();
+  options.write_quota = cfg_.write_quota();
+  return std::make_unique<ShardedOramSet>(cfg_.MakeLayout(), options, store_, encryptor_,
+                                          seed);
+}
+
 ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
                          std::shared_ptr<LogStore> log)
     : cfg_(cfg),
       store_(std::move(store)),
       log_(std::move(log)),
       directory_(cfg.oram.capacity) {
+  if (cfg_.num_shards == 0) {
+    cfg_.num_shards = 1;
+  }
   encryptor_ = std::make_shared<Encryptor>(
       Encryptor::FromMasterKey(Bytes{'o', 'b', 'l', 'a', 'd', 'i'}, cfg_.oram.authenticated,
                                cfg_.seed ^ 0x9e3779b97f4a7c15ull));
-  oram_ = std::make_unique<RingOram>(cfg_.oram, cfg_.oram_options, store_, encryptor_,
-                                     cfg_.seed);
+  oram_ = MakeOramSet(cfg_.seed);
 
   if (cfg_.recovery.enabled) {
+    // Worst-case changed position-map entries *per shard* per epoch.
     cfg_.recovery.posmap_delta_pad_entries =
-        cfg_.read_batches_per_epoch * cfg_.read_batch_size + cfg_.write_batch_size;
+        cfg_.read_batches_per_epoch * cfg_.read_quota() + cfg_.write_quota();
     recovery_ = std::make_unique<RecoveryUnit>(cfg_.recovery, log_, encryptor_);
     recovery_->SetMetadataProviders(
         [this] { return directory_.SerializeFull(); },
@@ -54,13 +66,23 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
           }
           return delta;
         });
-    oram_->SetBatchPlannedHook(
-        [this](const BatchPlan& plan) { return recovery_->LogReadBatchPlan(plan); });
+    oram_->SetBatchPlannedHook([this](uint32_t shard, const BatchPlan& plan) {
+      return recovery_->LogReadBatchPlan(shard, plan);
+    });
   }
   epoch_batches_.resize(cfg_.read_batches_per_epoch);
+  ResetEpochBatchesLocked();
 }
 
 ObladiStore::~ObladiStore() { Stop(); }
+
+void ObladiStore::ResetEpochBatchesLocked() {
+  epoch_batches_.assign(cfg_.read_batches_per_epoch, EpochBatch{});
+  for (auto& batch : epoch_batches_) {
+    batch.shard_counts.assign(cfg_.num_shards, 0);
+  }
+  next_dispatch_ = 0;
+}
 
 Status ObladiStore::Load(const std::vector<std::pair<Key, std::string>>& records) {
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
@@ -74,7 +96,7 @@ Status ObladiStore::Load(const std::vector<std::pair<Key, std::string>>& records
   }
   OBLADI_RETURN_IF_ERROR(oram_->Initialize(values));
   if (recovery_) {
-    OBLADI_RETURN_IF_ERROR(recovery_->LogFullCheckpoint(*oram_));
+    OBLADI_RETURN_IF_ERROR(recovery_->LogFullCheckpoint(oram_->shard_ptrs()));
   }
   std::lock_guard<std::mutex> lk(mu_);
   loaded_ = true;
@@ -93,14 +115,20 @@ StatusOr<std::shared_future<Status>> ObladiStore::EnqueueFetch(const Key& key, B
     stats_.fetch_dedups++;
     return it->second;
   }
+  // Admission is per shard: a batch can take this fetch only while the
+  // target shard's fixed sub-batch quota has room (the padded per-shard
+  // sub-batch size never changes, so overflow aborts instead of leaking).
+  uint32_t shard = oram_->router().ShardOf(id);
   for (size_t b = next_dispatch_; b < epoch_batches_.size(); ++b) {
-    if (epoch_batches_[b].size() < cfg_.read_batch_size) {
+    EpochBatch& batch = epoch_batches_[b];
+    if (batch.shard_counts[shard] < cfg_.read_quota()) {
       PendingFetch fetch;
       fetch.id = id;
       fetch.key = key;
       fetch.done = std::make_shared<std::promise<Status>>();
       std::shared_future<Status> fut = fetch.done->get_future().share();
-      epoch_batches_[b].push_back(std::move(fetch));
+      batch.fetches.push_back(std::move(fetch));
+      batch.shard_counts[shard]++;
       inflight_fetches_.emplace(key, fut);
       stats_.oram_fetches++;
       return fut;
@@ -184,21 +212,24 @@ Status ObladiStore::Commit(Timestamp txn) {
 
 void ObladiStore::Abort(Timestamp txn) { engine_.Abort(txn); }
 
-Status ObladiStore::DispatchBatch(std::vector<PendingFetch> batch) {
-  std::vector<BlockId> ids(cfg_.read_batch_size, kInvalidBlockId);
-  for (size_t i = 0; i < batch.size(); ++i) {
-    ids[i] = batch[i].id;
+Status ObladiStore::DispatchBatch(EpochBatch batch) {
+  std::vector<BlockId> ids;
+  ids.reserve(batch.fetches.size());
+  for (const PendingFetch& fetch : batch.fetches) {
+    ids.push_back(fetch.id);
   }
+  // The sharded set routes the ids and pads every shard's sub-batch to the
+  // fixed per-shard quota, so the adversary-visible shape is constant.
   auto results = oram_->ReadBatch(ids);
   if (!results.ok()) {
-    for (auto& fetch : batch) {
+    for (auto& fetch : batch.fetches) {
       fetch.done->set_value(results.status());
     }
     return results.status();
   }
-  for (size_t i = 0; i < batch.size(); ++i) {
-    engine_.InstallBase(batch[i].key, DecodeValue((*results)[i]));
-    batch[i].done->set_value(Status::Ok());
+  for (size_t i = 0; i < batch.fetches.size(); ++i) {
+    engine_.InstallBase(batch.fetches[i].key, DecodeValue((*results)[i]));
+    batch.fetches[i].done->set_value(Status::Ok());
   }
   std::lock_guard<std::mutex> lk(mu_);
   stats_.read_batches++;
@@ -207,7 +238,7 @@ Status ObladiStore::DispatchBatch(std::vector<PendingFetch> batch) {
 
 Status ObladiStore::StepReadBatch() {
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
-  std::vector<PendingFetch> batch;
+  EpochBatch batch;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (crashed_) {
@@ -226,7 +257,7 @@ Status ObladiStore::FinishEpochNow() {
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
   // Dispatch any remaining read batches so every epoch has the same shape.
   for (;;) {
-    std::vector<PendingFetch> batch;
+    EpochBatch batch;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (crashed_) {
@@ -241,7 +272,18 @@ Status ObladiStore::FinishEpochNow() {
     OBLADI_RETURN_IF_ERROR(DispatchBatch(std::move(batch)));
   }
 
-  EpochOutcome outcome = engine_.EndEpoch(cfg_.write_batch_size);
+  // Commit in timestamp order while the write batch fits both the global cap
+  // and every shard's fixed quota.
+  WriteBatchAdmission admission;
+  admission.max_write_keys = cfg_.write_batch_size;
+  if (cfg_.num_shards > 1) {
+    admission.shard_quotas.assign(cfg_.num_shards, cfg_.write_quota());
+    admission.shard_of = [this](const Key& key) -> uint32_t {
+      auto id = directory_.Lookup(key);
+      return id.ok() ? oram_->router().ShardOf(*id) : 0;
+    };
+  }
+  EpochOutcome outcome = engine_.EndEpoch(admission);
 
   std::vector<std::pair<BlockId, Bytes>> writes;
   writes.reserve(outcome.final_writes.size());
@@ -252,10 +294,10 @@ Status ObladiStore::FinishEpochNow() {
     }
     writes.emplace_back(*id, EncodeValue(value));
   }
-  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch(writes, cfg_.write_batch_size));
+  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch(writes));
   OBLADI_RETURN_IF_ERROR(oram_->FinishEpoch());
   if (recovery_) {
-    OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(*oram_));
+    OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(oram_->shard_ptrs()));
     OBLADI_RETURN_IF_ERROR(oram_->TruncateStaleVersions());
   }
 
@@ -270,8 +312,7 @@ Status ObladiStore::FinishEpochNow() {
     }
   }
   commit_waiters_.clear();
-  epoch_batches_.assign(cfg_.read_batches_per_epoch, {});
-  next_dispatch_ = 0;
+  ResetEpochBatchesLocked();
   inflight_fetches_.clear();
   stats_.epochs++;
   return Status::Ok();
@@ -310,10 +351,11 @@ void ObladiStore::PacerLoop() {
 
 void ObladiStore::FailAllWaiters() {
   for (auto& batch : epoch_batches_) {
-    for (auto& fetch : batch) {
+    for (auto& fetch : batch.fetches) {
       fetch.done->set_value(Status::Aborted("proxy crashed"));
     }
-    batch.clear();
+    batch.fetches.clear();
+    batch.shard_counts.assign(cfg_.num_shards, 0);
   }
   for (auto& [ts, waiter] : commit_waiters_) {
     waiter->set_value(Status::Aborted("proxy crashed"));
@@ -333,20 +375,20 @@ void ObladiStore::SimulateCrash() {
   oram_.reset();
 }
 
-Status ObladiStore::CompleteCrashEpoch(size_t replayed_batches) {
+Status ObladiStore::CompleteCrashEpoch(const std::vector<size_t>& replayed_per_shard) {
   // Per the security proof (Appendix B, H4): after replaying the aborted
-  // epoch's logged batches, complete the epoch's fixed structure with fresh
-  // dummy batches and an empty write batch, then commit it.
-  std::vector<BlockId> dummies(cfg_.read_batch_size, kInvalidBlockId);
-  for (size_t b = replayed_batches; b < cfg_.read_batches_per_epoch; ++b) {
-    auto result = oram_->ReadBatch(dummies);
-    if (!result.ok()) {
-      return result.status();
+  // epoch's logged sub-batches, complete the epoch's fixed structure — every
+  // shard must still observe its full complement of R quota-sized
+  // sub-batches — with fresh dummy sub-batches and an empty write batch,
+  // then commit it.
+  for (uint32_t s = 0; s < cfg_.num_shards; ++s) {
+    for (size_t b = replayed_per_shard[s]; b < cfg_.read_batches_per_epoch; ++b) {
+      OBLADI_RETURN_IF_ERROR(oram_->ReadShardDummyBatch(s));
     }
   }
-  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch({}, cfg_.write_batch_size));
+  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch({}));
   OBLADI_RETURN_IF_ERROR(oram_->FinishEpoch());
-  OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(*oram_));
+  OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(oram_->shard_ptrs()));
   return oram_->TruncateStaleVersions();
 }
 
@@ -362,20 +404,25 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
   if (!recovered->has_state) {
     return Status::DataLoss("no durable state to recover");
   }
+  if (recovered->shards.size() != cfg_.num_shards) {
+    return Status::InvalidArgument("checkpoint shard count does not match configuration");
+  }
 
   uint64_t salt = recovered->epoch * 7919 + 1;
   {
     std::lock_guard<std::mutex> lk(mu_);
     salt += stats_.recoveries * 104729;
   }
-  oram_ = std::make_unique<RingOram>(cfg_.oram, cfg_.oram_options, store_, encryptor_,
-                                     cfg_.seed ^ salt);
-  OBLADI_RETURN_IF_ERROR(oram_->RestoreState(
-      std::move(recovered->position_map), std::move(recovered->metas),
-      std::move(recovered->stash), recovered->access_count, recovered->evict_count,
-      recovered->epoch));
-  oram_->SetBatchPlannedHook(
-      [this](const BatchPlan& plan) { return recovery_->LogReadBatchPlan(plan); });
+  oram_ = MakeOramSet(cfg_.seed ^ salt);
+  for (uint32_t s = 0; s < cfg_.num_shards; ++s) {
+    RecoveryUnit::ShardState& shard = recovered->shards[s];
+    OBLADI_RETURN_IF_ERROR(oram_->RestoreShardState(
+        s, std::move(shard.position_map), std::move(shard.metas), std::move(shard.stash),
+        shard.access_count, shard.evict_count, recovered->epoch));
+  }
+  oram_->SetBatchPlannedHook([this](uint32_t shard, const BatchPlan& plan) {
+    return recovery_->LogReadBatchPlan(shard, plan);
+  });
 
   if (!recovered->metadata_full.empty()) {
     directory_.ApplyFull(recovered->metadata_full);
@@ -384,16 +431,18 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
     directory_.ApplyDelta(delta);
   }
 
-  // Replay the aborted epoch's logged read batches so the adversary observes
+  // Replay the aborted epoch's logged sub-batches so the adversary observes
   // the same paths again (§8), then complete the crash-recovery epoch.
   Stopwatch replay;
-  for (const BatchPlan& plan : recovered->pending_plans) {
-    auto result = oram_->ReplayReadBatch(plan);
+  std::vector<size_t> replayed_per_shard(cfg_.num_shards, 0);
+  for (const RecoveryUnit::PendingPlan& pending : recovered->pending_plans) {
+    auto result = oram_->ReplayShardBatch(pending.shard, pending.plan);
     if (!result.ok()) {
       return result.status();
     }
+    replayed_per_shard[pending.shard]++;
   }
-  OBLADI_RETURN_IF_ERROR(CompleteCrashEpoch(recovered->pending_plans.size()));
+  OBLADI_RETURN_IF_ERROR(CompleteCrashEpoch(replayed_per_shard));
   recovered->breakdown.path_replay_us = replay.ElapsedMicros();
   recovered->breakdown.total_us += recovered->breakdown.path_replay_us;
 
@@ -401,8 +450,7 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
     std::lock_guard<std::mutex> lk(mu_);
     crashed_ = false;
     loaded_ = true;
-    epoch_batches_.assign(cfg_.read_batches_per_epoch, {});
-    next_dispatch_ = 0;
+    ResetEpochBatchesLocked();
     inflight_fetches_.clear();
     stats_.recoveries++;
   }

@@ -16,6 +16,15 @@
 //     logs the epoch's delta checkpoint; only then do clients learn commit
 //     decisions (epoch fate sharing).
 //
+// Sharding (num_shards > 1): the proxy runs over a ShardedOramSet — K
+// independent Ring ORAM instances partitioning the dense BlockId space. Each
+// of the epoch's R read batches carries a fixed per-shard quota of
+// ceil(b_read / K) slots; admission (EnqueueFetch) fills a batch only while
+// the target key's shard still has quota, so the sub-batch the storage
+// server sees per shard is always exactly the quota, dummy-padded. Write
+// batches are capped per shard the same way via the MVTSO epoch-commit
+// admission. K = 1 reduces exactly to the single-ORAM pipeline above.
+//
 // Pacing: in timed mode a background thread dispatches the R read batches at
 // fixed intervals and then runs the epoch change, so the request stream's
 // timing is workload independent. Tests use manual mode and call
@@ -34,6 +43,7 @@
 #include "src/oram/ring_oram.h"
 #include "src/proxy/key_directory.h"
 #include "src/recovery/recovery_unit.h"
+#include "src/shard/sharded_oram_set.h"
 #include "src/storage/bucket_store.h"
 #include "src/txn/kv_interface.h"
 #include "src/txn/mvtso.h"
@@ -41,11 +51,12 @@
 namespace obladi {
 
 struct ObladiConfig {
-  RingOramConfig oram;
+  RingOramConfig oram;  // global capacity; per-shard trees derived from it
   RingOramOptions oram_options;
+  uint32_t num_shards = 1;            // K parallel Ring ORAM instances
   size_t read_batches_per_epoch = 4;  // R
-  size_t read_batch_size = 32;        // b_read
-  size_t write_batch_size = 32;       // b_write
+  size_t read_batch_size = 32;        // b_read (global, across shards)
+  size_t write_batch_size = 32;       // b_write (global, across shards)
   uint64_t batch_interval_us = 2000;  // Δ (timed mode)
   bool timed_mode = false;
   RecoveryConfig recovery;
@@ -57,6 +68,15 @@ struct ObladiConfig {
     cfg.oram = RingOramConfig::ForCapacity(capacity, z, payload);
     return cfg;
   }
+
+  // Fixed per-shard slots in every read batch / write batch.
+  size_t read_quota() const { return (read_batch_size + num_shards - 1) / num_shards; }
+  size_t write_quota() const { return (write_batch_size + num_shards - 1) / num_shards; }
+
+  ShardLayout MakeLayout() const { return ShardLayout::Make(oram, num_shards); }
+
+  // Buckets the backing store must provide (K shard trees side by side).
+  size_t StoreBuckets() const { return MakeLayout().total_buckets(); }
 };
 
 struct ObladiStats {
@@ -71,7 +91,8 @@ struct ObladiStats {
 
 class ObladiStore : public TransactionalKv {
  public:
-  // `log` may be nullptr when cfg.recovery.enabled is false.
+  // `log` may be nullptr when cfg.recovery.enabled is false. The store must
+  // have at least cfg.StoreBuckets() buckets.
   ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
               std::shared_ptr<LogStore> log);
   ~ObladiStore() override;
@@ -104,7 +125,7 @@ class ObladiStore : public TransactionalKv {
 
   ObladiStats stats() const;
   MvtsoStats txn_stats() const { return engine_.stats(); }
-  RingOram* oram() { return oram_.get(); }
+  ShardedOramSet* oram() { return oram_.get(); }
   const ObladiConfig& config() const { return cfg_; }
 
  private:
@@ -113,18 +134,26 @@ class ObladiStore : public TransactionalKv {
     Key key;
     std::shared_ptr<std::promise<Status>> done;
   };
+  // One of the epoch's R read batches: the real fetches plus how many of
+  // each shard's fixed quota they consume.
+  struct EpochBatch {
+    std::vector<PendingFetch> fetches;
+    std::vector<size_t> shard_counts;
+  };
 
+  std::unique_ptr<ShardedOramSet> MakeOramSet(uint64_t seed) const;
   StatusOr<std::shared_future<Status>> EnqueueFetch(const Key& key, BlockId id);
-  Status DispatchBatch(std::vector<PendingFetch> batch);
+  Status DispatchBatch(EpochBatch batch);
   void PacerLoop();
-  Status CompleteCrashEpoch(size_t replayed_batches);
+  Status CompleteCrashEpoch(const std::vector<size_t>& replayed_per_shard);
   void FailAllWaiters();
+  void ResetEpochBatchesLocked();
 
   ObladiConfig cfg_;
   std::shared_ptr<BucketStore> store_;
   std::shared_ptr<LogStore> log_;
   std::shared_ptr<Encryptor> encryptor_;
-  std::unique_ptr<RingOram> oram_;
+  std::unique_ptr<ShardedOramSet> oram_;
   std::unique_ptr<RecoveryUnit> recovery_;
   KeyDirectory directory_;
   MvtsoEngine engine_;
@@ -132,7 +161,7 @@ class ObladiStore : public TransactionalKv {
   mutable std::mutex mu_;  // guards epoch/batch structures below
   bool loaded_ = false;
   bool crashed_ = false;
-  std::vector<std::vector<PendingFetch>> epoch_batches_;
+  std::vector<EpochBatch> epoch_batches_;
   size_t next_dispatch_ = 0;
   std::unordered_map<Key, std::shared_future<Status>> inflight_fetches_;
   std::unordered_map<Timestamp, std::shared_ptr<std::promise<Status>>> commit_waiters_;

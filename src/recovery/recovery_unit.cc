@@ -34,99 +34,111 @@ Status RecoveryUnit::AppendRecord(RecordType type, const Bytes& plaintext_payloa
   return Status::Ok();
 }
 
-Status RecoveryUnit::LogReadBatchPlan(const BatchPlan& plan) {
+Status RecoveryUnit::LogReadBatchPlan(uint32_t shard, const BatchPlan& plan) {
   if (!config_.enabled) {
     return Status::Ok();
   }
   std::lock_guard<std::mutex> lk(mu_);
-  return AppendRecord(kReadBatchPlan, plan.Serialize());
+  BinaryWriter w;
+  w.PutU32(shard);
+  w.PutBytes(plan.Serialize());
+  return AppendRecord(kReadBatchPlan, w.Take());
 }
 
-Bytes RecoveryUnit::BuildDeltaPayload(RingOram& oram) {
+Bytes RecoveryUnit::BuildDeltaPayload(const std::vector<RingOram*>& shards) {
   BinaryWriter w;
-  w.PutU64(oram.access_count());
-  w.PutU64(oram.evict_count());
-  w.PutU64(oram.epoch());
+  w.PutU64(shards[0]->epoch());
+  w.PutU32(static_cast<uint32_t>(shards.size()));
+  for (RingOram* oram : shards) {
+    w.PutU64(oram->access_count());
+    w.PutU64(oram->evict_count());
 
-  // Position-map delta, padded to the worst case so the record size does not
-  // reveal how many requests in the epoch were real (§8).
-  Bytes delta = oram.position_map().SerializeDelta();
-  BinaryReader peek(delta);
-  uint32_t real_entries = peek.GetU32();
-  BinaryWriter padded;
-  size_t total =
-      config_.posmap_delta_pad_entries > real_entries && config_.posmap_delta_pad_entries != 0
-          ? config_.posmap_delta_pad_entries
-          : real_entries;
-  padded.PutU32(static_cast<uint32_t>(total));
-  padded.PutRaw(delta.data() + 4, delta.size() - 4);
-  for (size_t i = real_entries; i < total; ++i) {
-    padded.PutU64(kInvalidBlockId);
-    padded.PutU32(kInvalidLeaf);
+    // Position-map delta, padded to the worst case so the record size does
+    // not reveal how many requests in the epoch were real (§8). The pad is
+    // per shard: each shard executes at most R*read_quota + write_quota real
+    // accesses per epoch.
+    Bytes delta = oram->position_map().SerializeDelta();
+    BinaryReader peek(delta);
+    uint32_t real_entries = peek.GetU32();
+    BinaryWriter padded;
+    size_t total =
+        config_.posmap_delta_pad_entries > real_entries && config_.posmap_delta_pad_entries != 0
+            ? config_.posmap_delta_pad_entries
+            : real_entries;
+    padded.PutU32(static_cast<uint32_t>(total));
+    padded.PutRaw(delta.data() + 4, delta.size() - 4);
+    for (size_t i = real_entries; i < total; ++i) {
+      padded.PutU64(kInvalidBlockId);
+      padded.PutU32(kInvalidLeaf);
+    }
+    w.PutBytes(padded.Take());
+
+    // Metadata (permutations, valid maps, versions) of buckets touched this
+    // epoch. The set of touched buckets is public information — it is
+    // exactly the adversary-visible physical access set — so its count needs
+    // no pad.
+    std::vector<BucketIndex> dirty = oram->TakeDirtyBuckets();
+    w.PutU32(static_cast<uint32_t>(dirty.size()));
+    const auto& metas = oram->bucket_metas();
+    for (BucketIndex b : dirty) {
+      w.PutU32(b);
+      metas[b].Serialize(w);
+    }
+
+    // Full stash, padded to the analytic bound.
+    w.PutBytes(oram->stash().SerializePadded(oram->config().max_stash_blocks,
+                                             oram->config().block_payload_size));
   }
-  w.PutBytes(padded.Take());
-
-  // Metadata (permutations, valid maps, versions) of buckets touched this
-  // epoch. The set of touched buckets is public information — it is exactly
-  // the adversary-visible physical access set — so its count needs no pad.
-  std::vector<BucketIndex> dirty = oram.TakeDirtyBuckets();
-  w.PutU32(static_cast<uint32_t>(dirty.size()));
-  const auto& metas = oram.bucket_metas();
-  for (BucketIndex b : dirty) {
-    w.PutU32(b);
-    metas[b].Serialize(w);
-  }
-
-  // Full stash, padded to the analytic bound.
-  w.PutBytes(oram.stash().SerializePadded(oram.config().max_stash_blocks,
-                                          oram.config().block_payload_size));
   w.PutBytes(metadata_delta_ ? metadata_delta_() : Bytes{});
   return w.Take();
 }
 
-Bytes RecoveryUnit::BuildFullPayload(RingOram& oram) {
+Bytes RecoveryUnit::BuildFullPayload(const std::vector<RingOram*>& shards) {
   BinaryWriter w;
-  w.PutU64(oram.access_count());
-  w.PutU64(oram.evict_count());
-  w.PutU64(oram.epoch());
-  w.PutBytes(oram.position_map().SerializeFull());
-  const auto& metas = oram.bucket_metas();
-  w.PutU32(static_cast<uint32_t>(metas.size()));
-  for (const auto& m : metas) {
-    m.Serialize(w);
+  w.PutU64(shards[0]->epoch());
+  w.PutU32(static_cast<uint32_t>(shards.size()));
+  for (RingOram* oram : shards) {
+    w.PutU64(oram->access_count());
+    w.PutU64(oram->evict_count());
+    w.PutBytes(oram->position_map().SerializeFull());
+    const auto& metas = oram->bucket_metas();
+    w.PutU32(static_cast<uint32_t>(metas.size()));
+    for (const auto& m : metas) {
+      m.Serialize(w);
+    }
+    w.PutBytes(oram->stash().SerializePadded(oram->config().max_stash_blocks,
+                                             oram->config().block_payload_size));
+    // Full image supersedes all dirty tracking so far.
+    oram->TakeDirtyBuckets();
+    oram->position_map().ClearDirty();
   }
-  w.PutBytes(oram.stash().SerializePadded(oram.config().max_stash_blocks,
-                                          oram.config().block_payload_size));
   w.PutBytes(metadata_full_ ? metadata_full_() : Bytes{});
-  // Full image supersedes all dirty tracking so far.
-  oram.TakeDirtyBuckets();
-  oram.position_map().ClearDirty();
   return w.Take();
 }
 
-Status RecoveryUnit::LogFullCheckpoint(RingOram& oram) {
+Status RecoveryUnit::LogFullCheckpoint(const std::vector<RingOram*>& shards) {
   if (!config_.enabled) {
     return Status::Ok();
   }
   std::lock_guard<std::mutex> lk(mu_);
-  OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, BuildFullPayload(oram)));
+  OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, BuildFullPayload(shards)));
   epochs_since_full_ = 0;
   // Older records are superseded; reclaim the log.
   return log_->Truncate(last_full_lsn_);
 }
 
-Status RecoveryUnit::LogEpochCommit(RingOram& oram) {
+Status RecoveryUnit::LogEpochCommit(const std::vector<RingOram*>& shards) {
   if (!config_.enabled) {
     return Status::Ok();
   }
   std::lock_guard<std::mutex> lk(mu_);
   ++epochs_since_full_;
   if (epochs_since_full_ >= config_.full_checkpoint_interval) {
-    OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, BuildFullPayload(oram)));
+    OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, BuildFullPayload(shards)));
     epochs_since_full_ = 0;
     return log_->Truncate(last_full_lsn_);
   }
-  return AppendRecord(kEpochDelta, BuildDeltaPayload(oram));
+  return AppendRecord(kEpochDelta, BuildDeltaPayload(shards));
 }
 
 StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
@@ -197,23 +209,28 @@ StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
   // Rebuild from the full checkpoint.
   {
     BinaryReader r(parsed[static_cast<size_t>(last_full)].payload);
-    state.access_count = r.GetU64();
-    state.evict_count = r.GetU64();
     state.epoch = r.GetU64();
-    Stopwatch pos;
-    Bytes posmap_bytes = r.GetBytes();
-    state.position_map = PositionMap::DeserializeFull(posmap_bytes);
-    state.breakdown.pos_us += pos.ElapsedMicros();
-    Stopwatch perm;
-    uint32_t n = r.GetU32();
-    state.metas.resize(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      state.metas[i] = BucketMeta::Deserialize(r);
+    uint32_t num_shards = r.GetU32();
+    state.shards.resize(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      ShardState& shard = state.shards[s];
+      shard.access_count = r.GetU64();
+      shard.evict_count = r.GetU64();
+      Stopwatch pos;
+      Bytes posmap_bytes = r.GetBytes();
+      shard.position_map = PositionMap::DeserializeFull(posmap_bytes);
+      state.breakdown.pos_us += pos.ElapsedMicros();
+      Stopwatch perm;
+      uint32_t n = r.GetU32();
+      shard.metas.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        shard.metas[i] = BucketMeta::Deserialize(r);
+      }
+      state.breakdown.perm_us += perm.ElapsedMicros();
+      Stopwatch stash_sw;
+      shard.stash = Stash::Deserialize(r.GetBytes());
+      state.breakdown.stash_us += stash_sw.ElapsedMicros();
     }
-    state.breakdown.perm_us += perm.ElapsedMicros();
-    Stopwatch stash_sw;
-    state.stash = Stash::Deserialize(r.GetBytes());
-    state.breakdown.stash_us += stash_sw.ElapsedMicros();
     state.metadata_full = r.GetBytes();
   }
 
@@ -222,7 +239,14 @@ StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
   for (size_t i = static_cast<size_t>(last_full) + 1; i < parsed.size(); ++i) {
     Parsed& p = parsed[i];
     if (p.type == kReadBatchPlan) {
-      state.pending_plans.push_back(BatchPlan::Deserialize(p.payload));
+      BinaryReader r(p.payload);
+      PendingPlan pending;
+      pending.shard = r.GetU32();
+      pending.plan = BatchPlan::Deserialize(r.GetBytes());
+      if (pending.shard >= state.shards.size()) {
+        return Status::IntegrityViolation("logged plan names an unknown shard");
+      }
+      state.pending_plans.push_back(std::move(pending));
       continue;
     }
     if (p.type == kFullCheckpoint) {
@@ -232,27 +256,36 @@ StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
     // epoch — drop them, they are durable in the checkpoint.
     state.pending_plans.clear();
     BinaryReader r(p.payload);
-    state.access_count = r.GetU64();
-    state.evict_count = r.GetU64();
     state.epoch = r.GetU64();
-    Stopwatch pos;
-    Bytes delta = r.GetBytes();
-    state.position_map.ApplyDelta(delta);
-    state.breakdown.pos_us += pos.ElapsedMicros();
-    Stopwatch perm;
-    uint32_t dirty = r.GetU32();
-    for (uint32_t d = 0; d < dirty; ++d) {
-      BucketIndex b = r.GetU32();
-      state.metas[b] = BucketMeta::Deserialize(r);
+    uint32_t num_shards = r.GetU32();
+    if (num_shards != state.shards.size()) {
+      return Status::IntegrityViolation("epoch delta shard count mismatch");
     }
-    state.breakdown.perm_us += perm.ElapsedMicros();
-    Stopwatch stash_sw;
-    state.stash = Stash::Deserialize(r.GetBytes());
-    state.breakdown.stash_us += stash_sw.ElapsedMicros();
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      ShardState& shard = state.shards[s];
+      shard.access_count = r.GetU64();
+      shard.evict_count = r.GetU64();
+      Stopwatch pos;
+      Bytes delta = r.GetBytes();
+      shard.position_map.ApplyDelta(delta);
+      state.breakdown.pos_us += pos.ElapsedMicros();
+      Stopwatch perm;
+      uint32_t dirty = r.GetU32();
+      for (uint32_t d = 0; d < dirty; ++d) {
+        BucketIndex b = r.GetU32();
+        shard.metas[b] = BucketMeta::Deserialize(r);
+      }
+      state.breakdown.perm_us += perm.ElapsedMicros();
+      Stopwatch stash_sw;
+      shard.stash = Stash::Deserialize(r.GetBytes());
+      state.breakdown.stash_us += stash_sw.ElapsedMicros();
+    }
     state.metadata_deltas.push_back(r.GetBytes());
   }
 
-  state.position_map.ClearDirty();
+  for (ShardState& shard : state.shards) {
+    shard.position_map.ClearDirty();
+  }
   state.has_state = true;
   state.breakdown.replayed_batches = state.pending_plans.size();
   state.breakdown.total_us = total.ElapsedMicros();

@@ -1,4 +1,4 @@
-// Durability and crash recovery (§8).
+// Durability and crash recovery (§8), generalized over K ORAM shards.
 //
 // Obladi recovers to the last committed epoch using three ingredients:
 //
@@ -7,14 +7,18 @@
 //     appended to the write-ahead log and synced. After a crash the recovery
 //     logic *replays* these paths so the adversary always observes the
 //     aborted epoch's paths repeated — re-accessing the same objects after
-//     recovery therefore leaks nothing.
+//     recovery therefore leaks nothing. With sharding, every shard's
+//     sub-batch logs its own plan tagged with the shard index (sub-batches
+//     of one global batch execute concurrently, so their log order within
+//     the batch is arbitrary but per-shard order is preserved).
 //
-//  2. Per-epoch delta checkpoints: at each epoch commit the proxy logs the
-//     position-map delta (padded to the worst-case number of changed entries,
-//     R*b_read + b_write, so its size leaks nothing), the metadata of every
-//     bucket touched this epoch (permutations + valid maps + version
-//     counters), the full stash (padded to its analytic maximum), and the
-//     access/evict counters. Everything sensitive is encrypted.
+//  2. Per-epoch delta checkpoints: at each epoch commit the proxy logs, for
+//     *every shard*, the position-map delta (padded to the worst-case number
+//     of changed entries per shard, R*read_quota + write_quota, so its size
+//     leaks nothing), the metadata of every bucket touched this epoch, and
+//     the full stash (padded to its analytic maximum), plus the shared
+//     access/evict counters — all in ONE log record, so a multi-shard epoch
+//     is durable atomically (epoch fate sharing extends across shards).
 //
 //  3. Shadow paging: bucket writes create new versions keyed by the bucket's
 //     write count, so recovery simply reads buckets at their checkpointed
@@ -22,8 +26,8 @@
 //     garbage collected.
 //
 // Every full_checkpoint_interval epochs a full checkpoint (complete position
-// map + all bucket metadata) supersedes the accumulated deltas and lets the
-// log be truncated.
+// maps + all bucket metadata, all shards) supersedes the accumulated deltas
+// and lets the log be truncated.
 #ifndef OBLADI_SRC_RECOVERY_RECOVERY_UNIT_H_
 #define OBLADI_SRC_RECOVERY_RECOVERY_UNIT_H_
 
@@ -44,8 +48,8 @@ namespace obladi {
 struct RecoveryConfig {
   bool enabled = true;
   size_t full_checkpoint_interval = 16;  // epochs between full checkpoints
-  // Worst-case changed position-map entries per epoch (R*b_read + b_write);
-  // the delta is padded to this many entries.
+  // Worst-case changed position-map entries per shard per epoch
+  // (R*read_quota + write_quota); each shard's delta is padded to this.
   size_t posmap_delta_pad_entries = 0;
 };
 
@@ -53,11 +57,11 @@ struct RecoveryConfig {
 struct RecoveryBreakdown {
   uint64_t total_us = 0;
   uint64_t log_fetch_us = 0;    // reading the WAL back
-  uint64_t pos_us = 0;          // decrypt + rebuild position map
+  uint64_t pos_us = 0;          // decrypt + rebuild position maps
   uint64_t perm_us = 0;         // decrypt + rebuild bucket metadata
-  uint64_t stash_us = 0;        // decrypt + rebuild stash
+  uint64_t stash_us = 0;        // decrypt + rebuild stashes
   uint64_t path_replay_us = 0;  // re-executing logged read batches (set by caller)
-  size_t replayed_batches = 0;
+  size_t replayed_batches = 0;  // shard sub-batches replayed
   size_t log_records = 0;
 };
 
@@ -68,17 +72,28 @@ class RecoveryUnit {
 
   const RecoveryConfig& config() const { return config_; }
 
-  // §8: called (via RingOram's batch-planned hook) before a read batch's
-  // physical requests are issued. Appends the encrypted plan and syncs.
-  Status LogReadBatchPlan(const BatchPlan& plan);
+  // §8: called (via the batch-planned hook) before a shard sub-batch's
+  // physical requests are issued. Appends the encrypted, shard-tagged plan
+  // and syncs. The single-argument form is the single-ORAM convenience
+  // (shard 0).
+  Status LogReadBatchPlan(uint32_t shard, const BatchPlan& plan);
+  Status LogReadBatchPlan(const BatchPlan& plan) { return LogReadBatchPlan(0, plan); }
 
-  // Log the epoch's delta (or periodic full) checkpoint from the ORAM's
-  // current state and sync. Call after RingOram::FinishEpoch.
-  Status LogEpochCommit(RingOram& oram);
+  // Log the epoch's delta (or periodic full) checkpoint covering every shard
+  // and sync. Call after the shards' FinishEpoch.
+  Status LogEpochCommit(const std::vector<RingOram*>& shards);
+  Status LogEpochCommit(RingOram& oram) {
+    std::vector<RingOram*> one{&oram};
+    return LogEpochCommit(one);
+  }
 
   // Force the next LogEpochCommit to be a full checkpoint (used right after
   // Initialize so recovery always has a base image).
-  Status LogFullCheckpoint(RingOram& oram);
+  Status LogFullCheckpoint(const std::vector<RingOram*>& shards);
+  Status LogFullCheckpoint(RingOram& oram) {
+    std::vector<RingOram*> one{&oram};
+    return LogFullCheckpoint(one);
+  }
 
   // Optional proxy metadata (e.g. the key directory) carried inside the
   // checkpoints. The delta provider should pad its output to a fixed size if
@@ -96,17 +111,28 @@ class RecoveryUnit {
     trusted_counter_ = std::move(counter);
   }
 
-  struct RecoveredState {
-    bool has_state = false;
+  // Recovered image of one shard's volatile ORAM metadata.
+  struct ShardState {
     PositionMap position_map{0};
     std::vector<BucketMeta> metas;
     Stash stash;
     uint64_t access_count = 0;
     uint64_t evict_count = 0;
+  };
+
+  // A read sub-batch logged after the last committed epoch, to be replayed
+  // on its shard.
+  struct PendingPlan {
+    uint32_t shard = 0;
+    BatchPlan plan;
+  };
+
+  struct RecoveredState {
+    bool has_state = false;
     EpochId epoch = 0;
-    // Read batches logged after the last committed epoch: the aborted
-    // epoch's prefix, which recovery must replay.
-    std::vector<BatchPlan> pending_plans;
+    std::vector<ShardState> shards;
+    // Plans from the aborted epoch, in log order (per-shard order preserved).
+    std::vector<PendingPlan> pending_plans;
     // Proxy metadata: the last full image plus newer deltas, in order.
     Bytes metadata_full;
     std::vector<Bytes> metadata_deltas;
@@ -123,8 +149,8 @@ class RecoveryUnit {
     kFullCheckpoint = 3,
   };
 
-  Bytes BuildDeltaPayload(RingOram& oram);
-  Bytes BuildFullPayload(RingOram& oram);
+  Bytes BuildDeltaPayload(const std::vector<RingOram*>& shards);
+  Bytes BuildFullPayload(const std::vector<RingOram*>& shards);
   Status AppendRecord(RecordType type, const Bytes& plaintext_payload);
 
   RecoveryConfig config_;

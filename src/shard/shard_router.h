@@ -1,0 +1,92 @@
+// Key-space partitioning for the sharded ORAM subsystem.
+//
+// The proxy's KeyDirectory allocates dense BlockIds, so the router stripes
+// them across K shards: global id g lives on shard g mod K as local id
+// g div K. For a dense id space this striping is a perfect hash — every
+// shard's local id space is itself dense (so each shard's position map stays
+// a flat array), allocation order spreads new keys round-robin across
+// shards, and the mapping is stateless, which keeps it out of the recovery
+// checkpoints entirely.
+//
+// Which shard a request routes to is a deterministic function of the block
+// id, i.e. of the *workload*. The routing therefore must never be visible to
+// the adversary on its own: ShardedOramSet pads every shard's sub-batch to
+// the same fixed size, so the per-shard request counts the storage server
+// observes are workload independent (see sharded_oram_set.h).
+#ifndef OBLADI_SRC_SHARD_SHARD_ROUTER_H_
+#define OBLADI_SRC_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/oram/config.h"
+
+namespace obladi {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t num_shards) : k_(num_shards == 0 ? 1 : num_shards) {}
+
+  uint32_t num_shards() const { return k_; }
+
+  uint32_t ShardOf(BlockId id) const { return static_cast<uint32_t>(id % k_); }
+  BlockId LocalId(BlockId id) const { return id / k_; }
+  BlockId GlobalId(uint32_t shard, BlockId local) const {
+    return local * k_ + shard;
+  }
+
+ private:
+  uint32_t k_;
+};
+
+// Geometry of a sharded deployment: K independent Ring ORAM trees, each
+// sized for its slice of the key space, laid out contiguously in one bucket
+// namespace (shard i owns buckets [i*B, (i+1)*B) of the backing store).
+struct ShardLayout {
+  uint32_t num_shards = 1;
+  uint64_t global_capacity = 0;
+  RingOramConfig shard_config;  // per-shard tree parameters
+
+  // Derive the per-shard tree from the global configuration. K=1 uses the
+  // global config unchanged (hand-tuned parameters survive); K>1 re-derives
+  // (S, A, L, stash bound) from the analytic model for the smaller capacity.
+  static ShardLayout Make(const RingOramConfig& global, uint32_t num_shards) {
+    ShardLayout layout;
+    layout.num_shards = num_shards == 0 ? 1 : num_shards;
+    layout.global_capacity = global.capacity;
+    if (layout.num_shards == 1) {
+      layout.shard_config = global;
+      return layout;
+    }
+    uint64_t per_shard =
+        (global.capacity + layout.num_shards - 1) / layout.num_shards;
+    if (per_shard == 0) {
+      per_shard = 1;
+    }
+    layout.shard_config =
+        RingOramConfig::ForCapacity(per_shard, global.z, global.block_payload_size);
+    layout.shard_config.authenticated = global.authenticated;
+    return layout;
+  }
+
+  uint64_t shard_capacity() const { return shard_config.capacity; }
+  uint32_t total_buckets() const {
+    return num_shards * shard_config.num_buckets();
+  }
+  BucketIndex bucket_offset(uint32_t shard) const {
+    return shard * shard_config.num_buckets();
+  }
+
+  // Per-shard config: identical trees, but each shard authenticates its
+  // ciphertexts against its global bucket range so the (shared-key) MAC
+  // binds which shard a ciphertext belongs to.
+  RingOramConfig ConfigForShard(uint32_t shard) const {
+    RingOramConfig cfg = shard_config;
+    cfg.aad_bucket_offset = bucket_offset(shard);
+    return cfg;
+  }
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_SHARD_SHARD_ROUTER_H_

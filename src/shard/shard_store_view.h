@@ -1,0 +1,75 @@
+// A bucket-namespace window over a shared BucketStore.
+//
+// Each Ring ORAM shard addresses buckets [0, B); the view translates that to
+// [offset, offset + B) of the backing store, so K shards can share one
+// storage deployment (one DynamoDB table, one memory store in tests) without
+// seeing each other's buckets. Batched reads/writes are translated and
+// forwarded as batches, so a latency-injecting backend still charges one
+// round trip per batched request rather than per slot.
+#ifndef OBLADI_SRC_SHARD_SHARD_STORE_VIEW_H_
+#define OBLADI_SRC_SHARD_SHARD_STORE_VIEW_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+class ShardStoreView : public BucketStore {
+ public:
+  ShardStoreView(std::shared_ptr<BucketStore> base, BucketIndex offset,
+                 size_t num_buckets)
+      : base_(std::move(base)), offset_(offset), num_buckets_(num_buckets) {}
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override {
+    OBLADI_RETURN_IF_ERROR(CheckRange(bucket));
+    return base_->ReadSlot(offset_ + bucket, version, slot);
+  }
+
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override {
+    OBLADI_RETURN_IF_ERROR(CheckRange(bucket));
+    return base_->WriteBucket(offset_ + bucket, version, std::move(slots));
+  }
+
+  std::vector<StatusOr<Bytes>> ReadSlotsBatch(const std::vector<SlotRef>& refs) override {
+    std::vector<SlotRef> translated;
+    translated.reserve(refs.size());
+    for (const SlotRef& ref : refs) {
+      translated.push_back(SlotRef{offset_ + ref.bucket, ref.version, ref.slot});
+    }
+    return base_->ReadSlotsBatch(translated);
+  }
+
+  Status WriteBucketsBatch(std::vector<BucketImage> images) override {
+    for (BucketImage& image : images) {
+      OBLADI_RETURN_IF_ERROR(CheckRange(image.bucket));
+      image.bucket += offset_;
+    }
+    return base_->WriteBucketsBatch(std::move(images));
+  }
+
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override {
+    OBLADI_RETURN_IF_ERROR(CheckRange(bucket));
+    return base_->TruncateBucket(offset_ + bucket, keep_from_version);
+  }
+
+  size_t num_buckets() const override { return num_buckets_; }
+
+ private:
+  Status CheckRange(BucketIndex bucket) const {
+    if (bucket >= num_buckets_) {
+      return Status::InvalidArgument("bucket index outside shard view");
+    }
+    return Status::Ok();
+  }
+
+  std::shared_ptr<BucketStore> base_;
+  BucketIndex offset_;
+  size_t num_buckets_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_SHARD_SHARD_STORE_VIEW_H_

@@ -1,0 +1,256 @@
+#include "src/shard/sharded_oram_set.h"
+
+#include <algorithm>
+
+#include "src/shard/shard_store_view.h"
+
+namespace obladi {
+
+ShardedOramSet::ShardedOramSet(const ShardLayout& layout, const ShardedOramOptions& options,
+                               std::shared_ptr<BucketStore> store,
+                               std::shared_ptr<Encryptor> encryptor, uint64_t seed)
+    : layout_(layout), options_(options), router_(layout.num_shards) {
+  std::vector<std::shared_ptr<BucketStore>> views;
+  views.reserve(layout_.num_shards);
+  for (uint32_t s = 0; s < layout_.num_shards; ++s) {
+    if (layout_.num_shards == 1) {
+      views.push_back(store);  // no translation overhead in the K=1 path
+    } else {
+      views.push_back(std::make_shared<ShardStoreView>(
+          store, layout_.bucket_offset(s), layout_.shard_config.num_buckets()));
+    }
+  }
+  Construct(std::move(views), std::move(encryptor), seed);
+}
+
+ShardedOramSet::ShardedOramSet(const ShardLayout& layout, const ShardedOramOptions& options,
+                               std::vector<std::shared_ptr<BucketStore>> shard_stores,
+                               std::shared_ptr<Encryptor> encryptor, uint64_t seed)
+    : layout_(layout), options_(options), router_(layout.num_shards) {
+  Construct(std::move(shard_stores), std::move(encryptor), seed);
+}
+
+void ShardedOramSet::Construct(std::vector<std::shared_ptr<BucketStore>> shard_stores,
+                               std::shared_ptr<Encryptor> encryptor, uint64_t seed) {
+  RingOramOptions per_shard = options_.oram;
+  if (options_.divide_io_threads && layout_.num_shards > 1) {
+    per_shard.io_threads =
+        std::max<size_t>(2, options_.oram.io_threads / layout_.num_shards);
+  }
+  shards_.reserve(layout_.num_shards);
+  for (uint32_t s = 0; s < layout_.num_shards; ++s) {
+    // Distinct per-shard seeds: shards must draw independent leaves.
+    uint64_t shard_seed = seed ^ (0x9e3779b97f4a7c15ull * (s + 1));
+    shards_.push_back(std::make_unique<RingOram>(layout_.ConfigForShard(s), per_shard,
+                                                 shard_stores[s], encryptor, shard_seed));
+  }
+  if (layout_.num_shards > 1) {
+    coordinator_ = std::make_unique<ThreadPool>(layout_.num_shards);
+  }
+}
+
+Status ShardedOramSet::RunOnShards(const std::function<Status(uint32_t)>& fn) {
+  if (layout_.num_shards == 1) {
+    return fn(0);
+  }
+  std::vector<Status> results(layout_.num_shards, Status::Ok());
+  coordinator_->ParallelFor(layout_.num_shards, [&](size_t s) {
+    results[s] = fn(static_cast<uint32_t>(s));
+  });
+  for (const Status& st : results) {
+    OBLADI_RETURN_IF_ERROR(st);
+  }
+  return Status::Ok();
+}
+
+Status ShardedOramSet::Initialize(const std::vector<Bytes>& values) {
+  if (values.size() > layout_.global_capacity) {
+    return Status::InvalidArgument("more initial values than global capacity");
+  }
+  // Split the global dense id space into per-shard dense slices. Local slots
+  // beyond the last global id (when K does not divide N) load as empty
+  // blocks: they are mapped and evictable but never addressed.
+  std::vector<std::vector<Bytes>> per_shard(layout_.num_shards);
+  for (auto& v : per_shard) {
+    v.resize(layout_.shard_capacity());
+  }
+  for (BlockId g = 0; g < values.size(); ++g) {
+    per_shard[router_.ShardOf(g)][router_.LocalId(g)] = values[g];
+  }
+  return RunOnShards(
+      [&](uint32_t s) { return shards_[s]->Initialize(per_shard[s]); });
+}
+
+StatusOr<std::vector<Bytes>> ShardedOramSet::ReadBatch(const std::vector<BlockId>& ids) {
+  const uint32_t k = layout_.num_shards;
+  std::vector<std::vector<BlockId>> sub(k);
+  std::vector<std::vector<size_t>> result_slot(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    sub[s].reserve(options_.read_quota);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == kInvalidBlockId) {
+      continue;  // global padding; the per-shard padding below subsumes it
+    }
+    uint32_t s = router_.ShardOf(ids[i]);
+    if (sub[s].size() >= options_.read_quota) {
+      return Status::ResourceExhausted("shard read sub-batch quota exceeded");
+    }
+    sub[s].push_back(router_.LocalId(ids[i]));
+    result_slot[s].push_back(i);
+  }
+  // Pad every sub-batch to the fixed quota: the adversary sees exactly
+  // read_quota path reads per shard per batch, independent of routing skew.
+  for (uint32_t s = 0; s < k; ++s) {
+    sub[s].resize(options_.read_quota, kInvalidBlockId);
+  }
+
+  std::vector<StatusOr<std::vector<Bytes>>> shard_results(
+      k, StatusOr<std::vector<Bytes>>(Status::Internal("not run")));
+  Status st = RunOnShards([&](uint32_t s) {
+    shard_results[s] = shards_[s]->ReadBatch(sub[s]);
+    return shard_results[s].ok() ? Status::Ok() : shard_results[s].status();
+  });
+  OBLADI_RETURN_IF_ERROR(st);
+
+  std::vector<Bytes> results(ids.size());
+  for (uint32_t s = 0; s < k; ++s) {
+    for (size_t j = 0; j < result_slot[s].size(); ++j) {
+      results[result_slot[s][j]] = std::move((*shard_results[s])[j]);
+    }
+  }
+  return results;
+}
+
+StatusOr<std::vector<Bytes>> ShardedOramSet::ReplayShardBatch(uint32_t shard,
+                                                              const BatchPlan& plan) {
+  if (shard >= layout_.num_shards) {
+    return Status::InvalidArgument("replay plan names an unknown shard");
+  }
+  return shards_[shard]->ReplayReadBatch(plan);
+}
+
+Status ShardedOramSet::ReadShardDummyBatch(uint32_t shard) {
+  if (shard >= layout_.num_shards) {
+    return Status::InvalidArgument("unknown shard");
+  }
+  std::vector<BlockId> dummies(options_.read_quota, kInvalidBlockId);
+  auto result = shards_[shard]->ReadBatch(dummies);
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+Status ShardedOramSet::WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& writes) {
+  const uint32_t k = layout_.num_shards;
+  std::vector<std::vector<std::pair<BlockId, Bytes>>> sub(k);
+  for (const auto& [id, value] : writes) {
+    uint32_t s = router_.ShardOf(id);
+    if (sub[s].size() >= options_.write_quota) {
+      return Status::ResourceExhausted("shard write batch quota exceeded");
+    }
+    sub[s].emplace_back(router_.LocalId(id), value);
+  }
+  // Every shard executes a write batch padded to write_quota — shards with
+  // few (or no) real writes still advance their eviction schedules by the
+  // same amount, keeping the per-shard schedule workload independent.
+  return RunOnShards(
+      [&](uint32_t s) { return shards_[s]->WriteBatch(sub[s], options_.write_quota); });
+}
+
+Status ShardedOramSet::FinishEpoch() {
+  return RunOnShards([&](uint32_t s) { return shards_[s]->FinishEpoch(); });
+}
+
+Status ShardedOramSet::TruncateStaleVersions() {
+  return RunOnShards([&](uint32_t s) { return shards_[s]->TruncateStaleVersions(); });
+}
+
+void ShardedOramSet::SetBatchPlannedHook(
+    std::function<Status(uint32_t, const BatchPlan&)> hook) {
+  for (uint32_t s = 0; s < layout_.num_shards; ++s) {
+    if (!hook) {
+      shards_[s]->SetBatchPlannedHook(nullptr);
+      continue;
+    }
+    shards_[s]->SetBatchPlannedHook(
+        [hook, s](const BatchPlan& plan) { return hook(s, plan); });
+  }
+}
+
+std::vector<RingOram*> ShardedOramSet::shard_ptrs() {
+  std::vector<RingOram*> out;
+  out.reserve(shards_.size());
+  for (auto& s : shards_) {
+    out.push_back(s.get());
+  }
+  return out;
+}
+
+Status ShardedOramSet::RestoreShardState(uint32_t shard, PositionMap position_map,
+                                         std::vector<BucketMeta> metas, Stash stash,
+                                         uint64_t access_count, uint64_t evict_count,
+                                         EpochId epoch) {
+  if (shard >= layout_.num_shards) {
+    return Status::InvalidArgument("unknown shard");
+  }
+  return shards_[shard]->RestoreState(std::move(position_map), std::move(metas),
+                                      std::move(stash), access_count, evict_count, epoch);
+}
+
+uint64_t ShardedOramSet::access_count() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->access_count();
+  }
+  return total;
+}
+
+uint64_t ShardedOramSet::evict_count() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->evict_count();
+  }
+  return total;
+}
+
+RingOramStats ShardedOramSet::stats() const {
+  RingOramStats agg;
+  for (const auto& s : shards_) {
+    RingOramStats st = s->stats();
+    agg.logical_accesses += st.logical_accesses;
+    agg.physical_slot_reads += st.physical_slot_reads;
+    agg.physical_bucket_writes += st.physical_bucket_writes;
+    agg.planned_bucket_rewrites += st.planned_bucket_rewrites;
+    agg.evictions += st.evictions;
+    agg.early_reshuffles += st.early_reshuffles;
+    agg.buffered_bucket_skips += st.buffered_bucket_skips;
+    agg.stash_cache_skips += st.stash_cache_skips;
+    agg.flush_plan_us += st.flush_plan_us;
+    agg.materialize_us += st.materialize_us;
+    agg.write_drain_us += st.write_drain_us;
+  }
+  return agg;
+}
+
+std::vector<RingOramStats> ShardedOramSet::per_shard_stats() const {
+  std::vector<RingOramStats> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    out.push_back(s->stats());
+  }
+  return out;
+}
+
+void ShardedOramSet::ResetStats() {
+  for (auto& s : shards_) {
+    s->ResetStats();
+  }
+}
+
+Status ShardedOramSet::CheckInvariants() const {
+  for (const auto& s : shards_) {
+    OBLADI_RETURN_IF_ERROR(s->CheckInvariants());
+  }
+  return Status::Ok();
+}
+
+}  // namespace obladi

@@ -4,8 +4,11 @@
 #ifndef OBLADI_SRC_TXN_KV_INTERFACE_H_
 #define OBLADI_SRC_TXN_KV_INTERFACE_H_
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
@@ -57,11 +60,21 @@ class Txn {
 };
 
 // Body returns OK to request commit or an error to abort. kAborted results
-// (from the body or from Commit) are retried up to max_attempts times.
+// (from the body or from Commit) are retried up to max_attempts times, with
+// a small, capped exponential backoff between attempts: aborts are decided
+// at batch/epoch granularity (an epoch whose read batches are all dispatched
+// aborts every new fetch until the epoch turns over), so instant retries can
+// burn the whole attempt budget inside one such window without ever giving
+// the proxy's pacing a chance to open the next epoch.
 inline Status RunTransaction(TransactionalKv& kv, const std::function<Status(Txn&)>& body,
                              int max_attempts = 100) {
   Status last = Status::Aborted("no attempts made");
+  uint64_t backoff_us = 50;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min<uint64_t>(backoff_us * 2, 2000);
+    }
     Timestamp ts = kv.Begin();
     Txn txn(kv, ts);
     Status st = body(txn);

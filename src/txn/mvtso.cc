@@ -252,9 +252,17 @@ Status MvtsoEngine::TryCommitImmediate(Timestamp ts) {
 }
 
 EpochOutcome MvtsoEngine::EndEpoch(size_t max_write_keys) {
+  WriteBatchAdmission admission;
+  admission.max_write_keys = max_write_keys;
+  return EndEpoch(admission);
+}
+
+EpochOutcome MvtsoEngine::EndEpoch(const WriteBatchAdmission& admission) {
   std::lock_guard<std::mutex> lk(mu_);
+  const size_t max_write_keys = admission.max_write_keys;
   EpochOutcome out;
   std::unordered_set<Key> write_keys;
+  std::vector<size_t> shard_counts(admission.shard_quotas.size(), 0);
   std::map<Key, std::string> final_writes;
 
   for (auto& [ts, rec] : txns_) {
@@ -286,15 +294,31 @@ EpochOutcome MvtsoEngine::EndEpoch(size_t max_write_keys) {
       continue;
     }
     // Enforce the fixed-size write batch: if this transaction's writes don't
-    // fit, it aborts (the paper's "batch filling up" aborts).
-    if (max_write_keys != 0) {
+    // fit — globally or on any single ORAM shard — it aborts (the paper's
+    // "batch filling up" aborts). Committing a timestamp-order prefix and
+    // aborting everything past the first overflow preserves epoch ordering.
+    bool overflow = false;
+    if (max_write_keys != 0 || !shard_counts.empty()) {
       size_t new_keys = 0;
+      std::vector<size_t> new_per_shard(shard_counts.size(), 0);
       for (const auto& [key, value] : rec.writes) {
-        if (write_keys.count(key) == 0) {
-          ++new_keys;
+        if (write_keys.count(key) != 0) {
+          continue;
+        }
+        ++new_keys;
+        if (!shard_counts.empty() && admission.shard_of) {
+          ++new_per_shard[admission.shard_of(key)];
         }
       }
-      if (write_keys.size() + new_keys > max_write_keys) {
+      if (max_write_keys != 0 && write_keys.size() + new_keys > max_write_keys) {
+        overflow = true;
+      }
+      for (size_t s = 0; s < new_per_shard.size() && !overflow; ++s) {
+        if (shard_counts[s] + new_per_shard[s] > admission.shard_quotas[s]) {
+          overflow = true;
+        }
+      }
+      if (overflow) {
         AbortLocked(ts, AbortReason::kBatchOverflow);
         out.aborted.push_back(ts);
         continue;
@@ -304,7 +328,9 @@ EpochOutcome MvtsoEngine::EndEpoch(size_t max_write_keys) {
     stats_.committed++;
     out.committed.push_back(ts);
     for (const auto& [key, value] : rec.writes) {
-      write_keys.insert(key);
+      if (write_keys.insert(key).second && !shard_counts.empty() && admission.shard_of) {
+        ++shard_counts[admission.shard_of(key)];
+      }
       final_writes[key] = value;  // ascending ts order => last writer wins
     }
   }

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -51,6 +52,17 @@ struct EpochOutcome {
   std::vector<Timestamp> aborted;
   // Last committed version of every key written this epoch (the write batch).
   std::vector<std::pair<Key, std::string>> final_writes;
+};
+
+// Admission rule for the epoch's fixed-size write batch. A sharded proxy
+// additionally caps the distinct write keys routed to each ORAM shard: the
+// per-shard write batches are padded to a fixed quota, so a transaction
+// whose writes would overflow any shard's quota aborts (the same "batch
+// filling up" rule as the global cap, applied per partition).
+struct WriteBatchAdmission {
+  size_t max_write_keys = 0;                    // global cap; 0 = unlimited
+  std::function<uint32_t(const Key&)> shard_of; // null = single shard
+  std::vector<size_t> shard_quotas;             // per-shard distinct-key caps
 };
 
 struct MvtsoStats {
@@ -95,6 +107,9 @@ class MvtsoEngine {
   // max_write_keys (0 = unlimited); everything else aborts. Clears all
   // version chains (the version cache lives one epoch, §6.2).
   EpochOutcome EndEpoch(size_t max_write_keys);
+
+  // Same, with per-shard write-batch admission (sharded proxies).
+  EpochOutcome EndEpoch(const WriteBatchAdmission& admission);
 
   TxnState GetState(Timestamp ts) const;
   std::vector<std::pair<Key, std::string>> WritesOf(Timestamp ts) const;

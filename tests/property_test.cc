@@ -232,6 +232,54 @@ TEST(PositionMapTest, FullSerializationRoundTrip) {
   }
 }
 
+TEST(PositionMapTest, DeltaRoundTripAppliesOnlyDirtyEntries) {
+  PositionMap m(16);
+  for (BlockId id = 0; id < 16; ++id) {
+    m.Set(id, 1);
+  }
+  m.ClearDirty();
+  EXPECT_EQ(m.dirty_count(), 0u);
+  m.Set(3, 7);
+  m.Set(9, 4);
+  EXPECT_EQ(m.dirty_count(), 2u);
+  Bytes delta = m.SerializeDelta();
+  EXPECT_EQ(m.dirty_count(), 0u);  // serializing consumes the dirty set
+
+  PositionMap replica(16);
+  for (BlockId id = 0; id < 16; ++id) {
+    replica.Set(id, 1);
+  }
+  replica.ApplyDelta(delta);
+  EXPECT_EQ(replica.Get(3), 7u);
+  EXPECT_EQ(replica.Get(9), 4u);
+  for (BlockId id = 0; id < 16; ++id) {
+    if (id != 3 && id != 9) {
+      EXPECT_EQ(replica.Get(id), 1u) << "id " << id << " touched by unrelated delta";
+    }
+  }
+}
+
+TEST(PositionMapTest, ApplyDeltaIgnoresOutOfRangePaddingIds) {
+  // Checkpoint deltas are padded with (kInvalidBlockId, kInvalidLeaf) pairs
+  // so their size is workload independent (§8); applying them must be a
+  // no-op. Hand-build a delta that mixes real entries with padding.
+  BinaryWriter w;
+  w.PutU32(4);
+  w.PutU64(2);
+  w.PutU32(11);  // real: id 2 -> leaf 11
+  w.PutU64(kInvalidBlockId);
+  w.PutU32(kInvalidLeaf);  // padding
+  w.PutU64(1000);
+  w.PutU32(5);  // out of range for an 8-entry map: must be dropped
+  w.PutU64(7);
+  w.PutU32(3);  // real: id 7 -> leaf 3
+  PositionMap m(8);
+  m.ApplyDelta(w.Take());
+  EXPECT_EQ(m.Get(2), 11u);
+  EXPECT_EQ(m.Get(7), 3u);
+  EXPECT_FALSE(m.Contains(5));  // untouched entries stay unmapped
+}
+
 // ---------------------------------------------------------------------------
 // Key directory
 // ---------------------------------------------------------------------------
@@ -251,6 +299,29 @@ TEST(KeyDirectoryTest, EnforcesCapacity) {
   ASSERT_TRUE(dir.GetOrCreate("a").ok());
   ASSERT_TRUE(dir.GetOrCreate("b").ok());
   EXPECT_EQ(dir.GetOrCreate("c").status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(KeyDirectoryTest, ExhaustionLeavesDirectoryIntact) {
+  // Hitting ORAM capacity must not corrupt the directory: existing ids keep
+  // resolving, the failed key is not half-created, and an existing key's
+  // GetOrCreate still succeeds afterwards.
+  KeyDirectory dir(3);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dir.GetOrCreate("k" + std::to_string(i)).ok());
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    EXPECT_EQ(dir.GetOrCreate("overflow").status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(dir.size(), 3u);
+  EXPECT_EQ(dir.Lookup("overflow").status().code(), StatusCode::kNotFound);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(*dir.GetOrCreate("k" + std::to_string(i)), static_cast<BlockId>(i));
+  }
+  // The exhausted directory still serializes and rebuilds faithfully.
+  KeyDirectory rebuilt(3);
+  rebuilt.ApplyFull(dir.SerializeFull());
+  EXPECT_EQ(rebuilt.size(), 3u);
+  EXPECT_EQ(rebuilt.GetOrCreate("another").status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(KeyDirectoryTest, FullAndDeltaSerializationRoundTrip) {
@@ -305,10 +376,12 @@ TEST(RecoveryUnitTest, CheckpointAndRecoverRoundTrip) {
   auto recovered = recovery.Recover();
   ASSERT_TRUE(recovered.ok());
   ASSERT_TRUE(recovered->has_state);
-  EXPECT_EQ(recovered->access_count, oram.access_count() - 2);  // pre-crash epoch only
+  ASSERT_EQ(recovered->shards.size(), 1u);  // single-ORAM convenience API = shard 0
+  EXPECT_EQ(recovered->shards[0].access_count, oram.access_count() - 2);  // pre-crash epoch
   EXPECT_EQ(recovered->pending_plans.size(), 1u);
-  EXPECT_EQ(recovered->pending_plans[0].requests.size(), 2u);
-  EXPECT_EQ(recovered->metas.size(), config.num_buckets());
+  EXPECT_EQ(recovered->pending_plans[0].shard, 0u);
+  EXPECT_EQ(recovered->pending_plans[0].plan.requests.size(), 2u);
+  EXPECT_EQ(recovered->shards[0].metas.size(), config.num_buckets());
 }
 
 TEST(RecoveryUnitTest, PosmapDeltaIsPaddedToWorstCase) {

@@ -176,14 +176,25 @@ TEST(ObladiStoreTest, ConflictingWritersOneAborts) {
 
   RunWithPacing(*env.proxy, [&] {
     // t_old writes after t_new read the same key's base: per MVTSO, a write
-    // whose predecessor was read by a later transaction aborts.
-    Timestamp t_old = env.proxy->Begin();
-    Timestamp t_new = env.proxy->Begin();
-    auto v = env.proxy->Read(t_new, "key2");
-    ASSERT_TRUE(v.ok());
-    Status st = env.proxy->Write(t_old, "key2", "conflict");
-    EXPECT_EQ(st.code(), StatusCode::kAborted);
-    env.proxy->Abort(t_new);
+    // whose predecessor was read by a later transaction aborts. The read
+    // itself can abort when it lands in the window where the epoch's batches
+    // are all dispatched; retry the scenario with fresh transactions.
+    for (int attempt = 0; attempt < 300; ++attempt) {
+      Timestamp t_old = env.proxy->Begin();
+      Timestamp t_new = env.proxy->Begin();
+      auto v = env.proxy->Read(t_new, "key2");
+      if (!v.ok()) {
+        env.proxy->Abort(t_new);
+        env.proxy->Abort(t_old);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      Status st = env.proxy->Write(t_old, "key2", "conflict");
+      EXPECT_EQ(st.code(), StatusCode::kAborted);
+      env.proxy->Abort(t_new);
+      return;
+    }
+    FAIL() << "read never scheduled across 300 attempts";
   });
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/proxy/obladi_store.h"
 #include "src/storage/memory_store.h"
+#include "tests/paced_proxy.h"
 
 namespace obladi {
 namespace {
@@ -37,45 +38,6 @@ std::vector<std::pair<Key, std::string>> SimpleRecords(int n) {
     records.emplace_back("key" + std::to_string(i), "value" + std::to_string(i));
   }
   return records;
-}
-
-// Commit one write transaction, pacing epochs from this thread.
-void CommitWrite(ObladiStore& proxy, const Key& key, const std::string& value) {
-  std::atomic<bool> done{false};
-  std::thread client([&] {
-    Status st =
-        RunTransaction(proxy, [&](Txn& txn) -> Status { return txn.Write(key, value); });
-    ASSERT_TRUE(st.ok()) << st.ToString();
-    done.store(true);
-  });
-  while (!done.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    ASSERT_TRUE(proxy.FinishEpochNow().ok());
-  }
-  client.join();
-}
-
-std::string ReadCommitted(ObladiStore& proxy, const Key& key) {
-  std::string out;
-  std::atomic<bool> done{false};
-  std::thread client([&] {
-    Status st = RunTransaction(proxy, [&](Txn& txn) -> Status {
-      auto v = txn.Read(key);
-      if (!v.ok()) {
-        return v.status();
-      }
-      out = *v;
-      return Status::Ok();
-    });
-    ASSERT_TRUE(st.ok()) << st.ToString();
-    done.store(true);
-  });
-  while (!done.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    EXPECT_TRUE(proxy.FinishEpochNow().ok());
-  }
-  client.join();
-  return out;
 }
 
 TEST(RecoveryTest, CommittedDataSurvivesCrash) {
