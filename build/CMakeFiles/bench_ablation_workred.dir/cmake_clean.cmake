@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workred.dir/bench/bench_ablation_workred.cc.o"
+  "CMakeFiles/bench_ablation_workred.dir/bench/bench_ablation_workred.cc.o.d"
+  "bench_ablation_workred"
+  "bench_ablation_workred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_parallelism.dir/bench/bench_fig10a_parallelism.cc.o"
+  "CMakeFiles/bench_fig10a_parallelism.dir/bench/bench_fig10a_parallelism.cc.o.d"
+  "bench_fig10a_parallelism"
+  "bench_fig10a_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10d_delayed_visibility.dir/bench/bench_fig10d_delayed_visibility.cc.o"
+  "CMakeFiles/bench_fig10d_delayed_visibility.dir/bench/bench_fig10d_delayed_visibility.cc.o.d"
+  "bench_fig10d_delayed_visibility"
+  "bench_fig10d_delayed_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10d_delayed_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

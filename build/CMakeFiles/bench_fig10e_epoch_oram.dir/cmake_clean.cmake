@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10e_epoch_oram.dir/bench/bench_fig10e_epoch_oram.cc.o"
+  "CMakeFiles/bench_fig10e_epoch_oram.dir/bench/bench_fig10e_epoch_oram.cc.o.d"
+  "bench_fig10e_epoch_oram"
+  "bench_fig10e_epoch_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10e_epoch_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

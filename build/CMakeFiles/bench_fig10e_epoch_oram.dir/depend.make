@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10e_epoch_oram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10f_epoch_proxy.dir/bench/bench_fig10f_epoch_proxy.cc.o"
+  "CMakeFiles/bench_fig10f_epoch_proxy.dir/bench/bench_fig10f_epoch_proxy.cc.o.d"
+  "bench_fig10f_epoch_proxy"
+  "bench_fig10f_epoch_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10f_epoch_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_medical_records.dir/examples/medical_records.cpp.o"
+  "CMakeFiles/example_medical_records.dir/examples/medical_records.cpp.o.d"
+  "example_medical_records"
+  "example_medical_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_medical_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

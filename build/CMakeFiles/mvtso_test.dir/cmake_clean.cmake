@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtso_test.dir/tests/mvtso_test.cc.o"
+  "CMakeFiles/mvtso_test.dir/tests/mvtso_test.cc.o.d"
+  "mvtso_test"
+  "mvtso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/twopl_store.cc" "CMakeFiles/obladi_core.dir/src/baseline/twopl_store.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/baseline/twopl_store.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/obladi_core.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "CMakeFiles/obladi_core.dir/src/crypto/chacha20.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/crypto/chacha20.cc.o.d"
+  "/root/repo/src/crypto/csprng.cc" "CMakeFiles/obladi_core.dir/src/crypto/csprng.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/crypto/csprng.cc.o.d"
+  "/root/repo/src/crypto/encryptor.cc" "CMakeFiles/obladi_core.dir/src/crypto/encryptor.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/crypto/encryptor.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "CMakeFiles/obladi_core.dir/src/crypto/hmac.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "CMakeFiles/obladi_core.dir/src/crypto/sha256.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/crypto/sha256.cc.o.d"
+  "/root/repo/src/oram/block_codec.cc" "CMakeFiles/obladi_core.dir/src/oram/block_codec.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/oram/block_codec.cc.o.d"
+  "/root/repo/src/oram/config.cc" "CMakeFiles/obladi_core.dir/src/oram/config.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/oram/config.cc.o.d"
+  "/root/repo/src/oram/ring_oram.cc" "CMakeFiles/obladi_core.dir/src/oram/ring_oram.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/oram/ring_oram.cc.o.d"
+  "/root/repo/src/proxy/obladi_store.cc" "CMakeFiles/obladi_core.dir/src/proxy/obladi_store.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/proxy/obladi_store.cc.o.d"
+  "/root/repo/src/recovery/recovery_unit.cc" "CMakeFiles/obladi_core.dir/src/recovery/recovery_unit.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/recovery/recovery_unit.cc.o.d"
+  "/root/repo/src/shard/sharded_oram_set.cc" "CMakeFiles/obladi_core.dir/src/shard/sharded_oram_set.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/shard/sharded_oram_set.cc.o.d"
+  "/root/repo/src/storage/file_log_store.cc" "CMakeFiles/obladi_core.dir/src/storage/file_log_store.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/storage/file_log_store.cc.o.d"
+  "/root/repo/src/storage/latency_store.cc" "CMakeFiles/obladi_core.dir/src/storage/latency_store.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/storage/latency_store.cc.o.d"
+  "/root/repo/src/storage/memory_store.cc" "CMakeFiles/obladi_core.dir/src/storage/memory_store.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/storage/memory_store.cc.o.d"
+  "/root/repo/src/txn/mvtso.cc" "CMakeFiles/obladi_core.dir/src/txn/mvtso.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/txn/mvtso.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "CMakeFiles/obladi_core.dir/src/workload/driver.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/workload/driver.cc.o.d"
+  "/root/repo/src/workload/freehealth.cc" "CMakeFiles/obladi_core.dir/src/workload/freehealth.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/workload/freehealth.cc.o.d"
+  "/root/repo/src/workload/smallbank.cc" "CMakeFiles/obladi_core.dir/src/workload/smallbank.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/workload/smallbank.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "CMakeFiles/obladi_core.dir/src/workload/tpcc.cc.o" "gcc" "CMakeFiles/obladi_core.dir/src/workload/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oram_path_test.dir/tests/oram_path_test.cc.o"
+  "CMakeFiles/oram_path_test.dir/tests/oram_path_test.cc.o.d"
+  "oram_path_test"
+  "oram_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oram_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oram_test.dir/tests/oram_test.cc.o"
+  "CMakeFiles/oram_test.dir/tests/oram_test.cc.o.d"
+  "oram_test"
+  "oram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

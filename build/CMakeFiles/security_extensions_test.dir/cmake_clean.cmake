@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_extensions_test.dir/tests/security_extensions_test.cc.o"
+  "CMakeFiles/security_extensions_test.dir/tests/security_extensions_test.cc.o.d"
+  "security_extensions_test"
+  "security_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

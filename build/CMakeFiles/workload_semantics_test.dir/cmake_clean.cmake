@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_semantics_test.dir/tests/workload_semantics_test.cc.o"
+  "CMakeFiles/workload_semantics_test.dir/tests/workload_semantics_test.cc.o.d"
+  "workload_semantics_test"
+  "workload_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
