@@ -1,0 +1,278 @@
+#include "src/net/remote_store.h"
+
+#include <utility>
+
+namespace obladi {
+
+NetClient::NetClient(RemoteStoreOptions options) : options_(std::move(options)) {
+  conns_.resize(options_.pool_size == 0 ? 1 : options_.pool_size);
+}
+
+StatusOr<std::shared_ptr<NetClient>> NetClient::Connect(RemoteStoreOptions options) {
+  auto client = std::make_shared<NetClient>(std::move(options));
+  NetRequest ping;
+  ping.type = MsgType::kPing;
+  auto resp = client->Call(ping);
+  if (!resp.ok()) {
+    return resp.status();
+  }
+  Status st = resp->ToStatus();
+  if (!st.ok()) {
+    return st;
+  }
+  return client;
+}
+
+size_t NetClient::AcquireConn() {
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  while (true) {
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (!conns_[i].busy) {
+        conns_[i].busy = true;
+        return i;
+      }
+    }
+    pool_cv_.wait(lk);
+  }
+}
+
+void NetClient::ReleaseConn(size_t index) {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    conns_[index].busy = false;
+  }
+  pool_cv_.notify_one();
+}
+
+StatusOr<NetResponse> NetClient::Exchange(size_t index, const NetRequest& req,
+                                          const Bytes& payload) {
+  // The slot is marked busy, so only this thread touches conns_[index].sock.
+  Conn& conn = conns_[index];
+  if (!conn.sock.valid()) {
+    auto sock = TcpSocket::Connect(options_.host, options_.port);
+    if (!sock.ok()) {
+      return sock.status();
+    }
+    conn.sock = std::move(*sock);
+    if (conn.ever_connected) {
+      stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn.ever_connected = true;
+  }
+  Status sent = conn.sock.SendFrame(payload, options_.max_frame_bytes);
+  if (!sent.ok()) {
+    conn.sock.Close();
+    return sent;
+  }
+  auto frame = conn.sock.RecvFrame(options_.max_frame_bytes);
+  if (!frame.ok()) {
+    conn.sock.Close();
+    return frame.status();
+  }
+  NetResponse resp;
+  Status decoded = DecodeResponse(*frame, req.type, &resp);
+  if (!decoded.ok()) {
+    conn.sock.Close();  // stream can no longer be trusted
+    return decoded;
+  }
+  if (resp.id != req.id) {
+    conn.sock.Close();
+    return Status::Internal("response id mismatch (connection desynced)");
+  }
+  return resp;
+}
+
+StatusOr<NetResponse> NetClient::Call(NetRequest req) {
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Bytes payload = EncodeRequest(req);
+  size_t index = AcquireConn();
+  auto resp = Exchange(index, req, payload);
+  if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable &&
+      req.type != MsgType::kLogAppend) {
+    // The connection may simply be stale (server restarted); dial fresh and
+    // retry once. Every request type is idempotent (reads, versioned bucket
+    // writes, truncations, sync) EXCEPT kLogAppend: the server may have
+    // appended the record and died before responding, and a blind resend
+    // would duplicate it in the WAL. Append is therefore at-most-once; a
+    // failed Append surfaces Unavailable and the recovery protocol decides.
+    resp = Exchange(index, req, payload);
+  }
+  ReleaseConn(index);
+  if (resp.ok()) {
+    stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  }
+  return resp;
+}
+
+namespace {
+
+// Converts an RPC-level failure or a server-reported error to Status.
+Status OverallStatus(const StatusOr<NetResponse>& resp) {
+  if (!resp.ok()) {
+    return resp.status();
+  }
+  return resp->ToStatus();
+}
+
+}  // namespace
+
+// --- RemoteBucketStore ------------------------------------------------------
+
+StatusOr<std::unique_ptr<RemoteBucketStore>> RemoteBucketStore::Connect(
+    RemoteStoreOptions options) {
+  auto client = NetClient::Connect(std::move(options));
+  if (!client.ok()) {
+    return client.status();
+  }
+  NetRequest req;
+  req.type = MsgType::kNumBuckets;
+  auto resp = (*client)->Call(req);
+  Status st = OverallStatus(resp);
+  if (!st.ok()) {
+    return st;
+  }
+  return std::make_unique<RemoteBucketStore>(*client, static_cast<size_t>(resp->u64));
+}
+
+StatusOr<Bytes> RemoteBucketStore::ReadSlot(BucketIndex bucket, uint32_t version,
+                                            SlotIndex slot) {
+  auto results = ReadSlotsBatch({SlotRef{bucket, version, slot}});
+  return std::move(results[0]);
+}
+
+std::vector<StatusOr<Bytes>> RemoteBucketStore::ReadSlotsBatch(
+    const std::vector<SlotRef>& refs) {
+  NetRequest req;
+  req.type = MsgType::kReadSlots;
+  req.reads = refs;
+  auto resp = client_->Call(std::move(req));
+  Status st = OverallStatus(resp);
+  std::vector<StatusOr<Bytes>> out;
+  out.reserve(refs.size());
+  if (!st.ok() || resp->reads.size() != refs.size()) {
+    if (st.ok()) {
+      st = Status::Internal("server returned wrong read count");
+    }
+    for (size_t i = 0; i < refs.size(); ++i) {
+      out.push_back(st);
+    }
+    return out;
+  }
+  NetworkStats& stats = client_->stats();
+  stats.reads.fetch_add(refs.size(), std::memory_order_relaxed);
+  for (ReadResult& read : resp->reads) {
+    if (read.code == StatusCode::kOk) {
+      stats.bytes_read.fetch_add(read.payload.size(), std::memory_order_relaxed);
+      out.push_back(std::move(read.payload));
+    } else {
+      out.push_back(Status(read.code, std::move(read.message)));
+    }
+  }
+  return out;
+}
+
+Status RemoteBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
+                                      std::vector<Bytes> slots) {
+  std::vector<BucketImage> images(1);
+  images[0].bucket = bucket;
+  images[0].version = version;
+  images[0].slots = std::move(slots);
+  return WriteBucketsBatch(std::move(images));
+}
+
+Status RemoteBucketStore::WriteBucketsBatch(std::vector<BucketImage> images) {
+  size_t n = images.size();
+  size_t bytes = 0;
+  for (const BucketImage& image : images) {
+    for (const Bytes& slot : image.slots) {
+      bytes += slot.size();
+    }
+  }
+  NetRequest req;
+  req.type = MsgType::kWriteBuckets;
+  req.writes = std::move(images);
+  auto resp = client_->Call(std::move(req));
+  Status st = OverallStatus(resp);
+  if (st.ok()) {
+    NetworkStats& stats = client_->stats();
+    stats.writes.fetch_add(n, std::memory_order_relaxed);
+    stats.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+Status RemoteBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) {
+  NetRequest req;
+  req.type = MsgType::kTruncateBucket;
+  req.bucket = bucket;
+  req.keep_from_version = keep_from_version;
+  return OverallStatus(client_->Call(std::move(req)));
+}
+
+// --- RemoteLogStore ---------------------------------------------------------
+
+StatusOr<std::unique_ptr<RemoteLogStore>> RemoteLogStore::Connect(
+    RemoteStoreOptions options) {
+  auto client = NetClient::Connect(std::move(options));
+  if (!client.ok()) {
+    return client.status();
+  }
+  return std::make_unique<RemoteLogStore>(*client);
+}
+
+StatusOr<uint64_t> RemoteLogStore::Append(Bytes record) {
+  size_t bytes = record.size();
+  NetRequest req;
+  req.type = MsgType::kLogAppend;
+  req.record = std::move(record);
+  auto resp = client_->Call(std::move(req));
+  Status st = OverallStatus(resp);
+  if (!st.ok()) {
+    return st;
+  }
+  NetworkStats& stats = client_->stats();
+  stats.writes.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  return resp->u64;
+}
+
+Status RemoteLogStore::Sync() {
+  NetRequest req;
+  req.type = MsgType::kLogSync;
+  return OverallStatus(client_->Call(std::move(req)));
+}
+
+StatusOr<std::vector<Bytes>> RemoteLogStore::ReadAll() {
+  NetRequest req;
+  req.type = MsgType::kLogReadAll;
+  auto resp = client_->Call(std::move(req));
+  Status st = OverallStatus(resp);
+  if (!st.ok()) {
+    return st;
+  }
+  NetworkStats& stats = client_->stats();
+  stats.reads.fetch_add(resp->records.size(), std::memory_order_relaxed);
+  for (const Bytes& record : resp->records) {
+    stats.bytes_read.fetch_add(record.size(), std::memory_order_relaxed);
+  }
+  return std::move(resp->records);
+}
+
+Status RemoteLogStore::Truncate(uint64_t upto_lsn) {
+  NetRequest req;
+  req.type = MsgType::kLogTruncate;
+  req.lsn = upto_lsn;
+  return OverallStatus(client_->Call(std::move(req)));
+}
+
+uint64_t RemoteLogStore::NextLsn() const {
+  NetRequest req;
+  req.type = MsgType::kLogNextLsn;
+  auto resp = client_->Call(std::move(req));
+  if (!resp.ok() || !resp->ToStatus().ok()) {
+    return 0;
+  }
+  return resp->u64;
+}
+
+}  // namespace obladi

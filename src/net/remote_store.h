@@ -1,0 +1,138 @@
+// Client half of the proxy <-> cloud-storage split: BucketStore and LogStore
+// implementations that speak src/net/wire.h to a StorageServer over TCP.
+//
+// NetClient owns a pool of `pool_size` connections. Each RPC checks out one
+// connection for its full round trip, so up to pool_size requests are
+// genuinely in flight at once — the real version of the overlap that
+// LatencyBucketStore's calling-thread sleeps simulate, and the knob
+// bench_net_storage sweeps. Callers beyond pool_size block until a
+// connection frees up, exactly like a blocking HTTP client pool against
+// DynamoDB (§11.2).
+//
+// Failure model: a send/recv failure marks the connection dead; the RPC
+// redials once and retries, which makes a storage-node restart invisible to
+// the ORAM above as long as the backend state survived (shadow-paged buckets
+// + durable log — §8's recovery story). If the redial also fails, the RPC
+// returns Unavailable and the proxy's recovery machinery takes over.
+//
+// The proxy pipeline runs unchanged over these: they are plain BucketStore /
+// LogStore implementations, so ObladiStore(cfg, remote_buckets, remote_log)
+// is a real two-process deployment.
+#ifndef OBLADI_SRC_NET_REMOTE_STORE_H_
+#define OBLADI_SRC_NET_REMOTE_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/storage/bucket_store.h"
+#include "src/storage/latency_store.h"
+
+namespace obladi {
+
+struct RemoteStoreOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // Connections in the pool = max overlapping RPCs. Size it to the I/O
+  // parallelism above it (the ORAM's io_threads).
+  size_t pool_size = 4;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+// Shared RPC transport. Thread-safe; one instance may back a
+// RemoteBucketStore and a RemoteLogStore simultaneously (they then share
+// the pool, like one storage endpoint serving both tables).
+class NetClient {
+ public:
+  // Verifies the server is reachable with a Ping before returning.
+  static StatusOr<std::shared_ptr<NetClient>> Connect(RemoteStoreOptions options);
+
+  // One RPC: check out a connection, send, await the response, check the
+  // connection back in. Transport failures redial once, then surface
+  // Unavailable. Fills `req.id`.
+  StatusOr<NetResponse> Call(NetRequest req);
+
+  NetworkStats& stats() { return stats_; }
+  const RemoteStoreOptions& options() const { return options_; }
+
+  explicit NetClient(RemoteStoreOptions options);
+
+ private:
+  struct Conn {
+    TcpSocket sock;
+    bool busy = false;
+    // A slot that connected once and lost its socket counts the next
+    // successful dial as a reconnect (stats().reconnects).
+    bool ever_connected = false;
+  };
+
+  // Blocks until a pool slot frees; returns its index.
+  size_t AcquireConn();
+  void ReleaseConn(size_t index);
+  // One send/recv exchange on connection `index`, dialing it first if dead.
+  StatusOr<NetResponse> Exchange(size_t index, const NetRequest& req, const Bytes& payload);
+
+  RemoteStoreOptions options_;
+  std::atomic<uint64_t> next_id_{1};
+  NetworkStats stats_;
+
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::vector<Conn> conns_;
+};
+
+class RemoteBucketStore : public BucketStore {
+ public:
+  // Dials the server and fetches num_buckets (cached: the tree's geometry
+  // is immutable once deployed).
+  static StatusOr<std::unique_ptr<RemoteBucketStore>> Connect(RemoteStoreOptions options);
+
+  RemoteBucketStore(std::shared_ptr<NetClient> client, size_t num_buckets)
+      : client_(std::move(client)), num_buckets_(num_buckets) {}
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override;
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override;
+  // One round trip for the whole batch — the wire protocol is natively
+  // batched, so these do NOT fall back to the unary loop.
+  std::vector<StatusOr<Bytes>> ReadSlotsBatch(const std::vector<SlotRef>& refs) override;
+  Status WriteBucketsBatch(std::vector<BucketImage> images) override;
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
+  size_t num_buckets() const override { return num_buckets_; }
+
+  NetworkStats& stats() { return client_->stats(); }
+  const std::shared_ptr<NetClient>& client() const { return client_; }
+
+ private:
+  std::shared_ptr<NetClient> client_;
+  size_t num_buckets_;
+};
+
+class RemoteLogStore : public LogStore {
+ public:
+  static StatusOr<std::unique_ptr<RemoteLogStore>> Connect(RemoteStoreOptions options);
+
+  explicit RemoteLogStore(std::shared_ptr<NetClient> client) : client_(std::move(client)) {}
+
+  StatusOr<uint64_t> Append(Bytes record) override;
+  Status Sync() override;
+  StatusOr<std::vector<Bytes>> ReadAll() override;
+  Status Truncate(uint64_t upto_lsn) override;
+  // Interface is const and infallible; this does an RPC and reports 0 if
+  // the server is unreachable (callers treat NextLsn as advisory).
+  uint64_t NextLsn() const override;
+
+  NetworkStats& stats() { return client_->stats(); }
+  const std::shared_ptr<NetClient>& client() const { return client_; }
+
+ private:
+  std::shared_ptr<NetClient> client_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_NET_REMOTE_STORE_H_

@@ -1,0 +1,211 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace obladi {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+StatusOr<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
+  auto addr = MakeAddr(host, port);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  TcpSocket sock(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof(*addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  SetNoDelay(fd);
+  return sock;
+}
+
+Status TcpSocket::SendAll(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::RecvAll(uint8_t* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t rc = ::recv(fd_, data + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("recv");
+    }
+    if (rc == 0) {
+      return got == 0 ? Status::Unavailable("peer closed")
+                      : Status::Unavailable("peer closed mid-frame");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::SendFrame(const Bytes& payload, size_t max_frame_bytes) {
+  if (payload.size() > max_frame_bytes ||
+      payload.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("frame of " + std::to_string(payload.size()) +
+                                   " bytes exceeds send limit");
+  }
+  uint8_t len[4];
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    len[i] = static_cast<uint8_t>(n >> (8 * i));
+  }
+  OBLADI_RETURN_IF_ERROR(SendAll(len, sizeof(len)));
+  return SendAll(payload.data(), payload.size());
+}
+
+StatusOr<Bytes> TcpSocket::RecvFrame(size_t max_frame_bytes) {
+  uint8_t len[4];
+  OBLADI_RETURN_IF_ERROR(RecvAll(len, sizeof(len)));
+  uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<uint32_t>(len[i]) << (8 * i);
+  }
+  if (n > max_frame_bytes) {
+    return Status::InvalidArgument("frame of " + std::to_string(n) +
+                                   " bytes exceeds limit of " +
+                                   std::to_string(max_frame_bytes));
+  }
+  Bytes payload(n);
+  OBLADI_RETURN_IF_ERROR(RecvAll(payload.data(), payload.size()));
+  return payload;
+}
+
+void TcpSocket::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<TcpListener> TcpListener::Listen(const std::string& host, uint16_t port,
+                                          int backlog) {
+  auto addr = MakeAddr(host, port);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof(*addr)) < 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) {
+    return Errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+StatusOr<TcpSocket> TcpListener::Accept() {
+  while (true) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return TcpSocket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace obladi

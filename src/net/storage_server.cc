@@ -1,0 +1,203 @@
+#include "src/net/storage_server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace obladi {
+
+StorageServer::StorageServer(std::shared_ptr<BucketStore> buckets,
+                             std::shared_ptr<LogStore> log, StorageServerOptions options)
+    : buckets_(std::move(buckets)), log_(std::move(log)), options_(std::move(options)) {}
+
+StorageServer::~StorageServer() { Stop(); }
+
+Status StorageServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  auto listener = TcpListener::Listen(options_.host, options_.port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(*listener);
+  workers_ = std::make_unique<ThreadPool>(options_.num_workers);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void StorageServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (int fd : live_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  // Joins the workers; each exits its serve loop once its connection's
+  // recv fails after the shutdown above.
+  workers_.reset();
+  listener_.Close();
+}
+
+void StorageServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      // Stop() shut the listener down, or a transient accept error (e.g.
+      // EMFILE under fd exhaustion — back off instead of spinning a core).
+      if (running_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    auto shared = std::make_shared<TcpSocket>(std::move(*conn));
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      live_fds_.insert(shared->fd());
+    }
+    workers_->Enqueue([this, shared] {
+      ServeConnection(*shared);
+      // Deregister before the socket closes (when `shared` dies) so Stop()
+      // never shutdown()s a recycled fd number.
+      {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        live_fds_.erase(shared->fd());
+      }
+      shared->Close();
+    });
+  }
+}
+
+void StorageServer::ServeConnection(TcpSocket& conn) {
+  while (running_.load(std::memory_order_acquire)) {
+    auto frame = conn.RecvFrame(options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // Clean disconnect, shutdown, or an oversized/garbage frame; either
+      // way this connection is done.
+      if (frame.status().code() == StatusCode::kInvalidArgument) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    stats_.bytes_received.fetch_add(frame->size() + 4, std::memory_order_relaxed);
+
+    NetRequest req;
+    NetResponse resp;
+    Status decoded = DecodeRequest(*frame, &req);
+    if (!decoded.ok()) {
+      // Header (version, type, id) is the first thing decoded; a garbage
+      // frame may still yield a usable id, so answer before closing. The
+      // stream may be desynced, so do not trust anything after this frame.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      resp = NetResponse::FromStatus(req, decoded);
+      Bytes payload = EncodeResponse(resp);
+      if (conn.SendFrame(payload, options_.max_frame_bytes).ok()) {
+        stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
+      }
+      return;
+    }
+
+    resp = Handle(req);
+    stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    Bytes payload = EncodeResponse(resp);
+    if (!conn.SendFrame(payload, options_.max_frame_bytes).ok()) {
+      return;
+    }
+    stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
+  }
+}
+
+NetResponse StorageServer::Handle(NetRequest& req) {
+  NetResponse resp;
+  resp.id = req.id;
+  resp.request_type = req.type;
+
+  if (req.type >= MsgType::kLogAppend && req.type <= MsgType::kLogNextLsn && !log_) {
+    return NetResponse::FromStatus(
+        req, Status::FailedPrecondition("no log store attached to this server"));
+  }
+
+  switch (req.type) {
+    case MsgType::kReadSlots: {
+      auto results = buckets_->ReadSlotsBatch(req.reads);
+      resp.reads.reserve(results.size());
+      for (auto& result : results) {
+        ReadResult read;
+        if (result.ok()) {
+          read.payload = std::move(*result);
+        } else {
+          read.code = result.status().code();
+          read.message = result.status().message();
+        }
+        resp.reads.push_back(std::move(read));
+      }
+      break;
+    }
+    case MsgType::kWriteBuckets: {
+      Status st = buckets_->WriteBucketsBatch(std::move(req.writes));
+      if (!st.ok()) {
+        return NetResponse::FromStatus(req, st);
+      }
+      break;
+    }
+    case MsgType::kTruncateBucket: {
+      Status st = buckets_->TruncateBucket(req.bucket, req.keep_from_version);
+      if (!st.ok()) {
+        return NetResponse::FromStatus(req, st);
+      }
+      break;
+    }
+    case MsgType::kNumBuckets:
+      resp.u64 = buckets_->num_buckets();
+      break;
+    case MsgType::kLogAppend: {
+      auto lsn = log_->Append(std::move(req.record));
+      if (!lsn.ok()) {
+        return NetResponse::FromStatus(req, lsn.status());
+      }
+      resp.u64 = *lsn;
+      break;
+    }
+    case MsgType::kLogSync: {
+      Status st = log_->Sync();
+      if (!st.ok()) {
+        return NetResponse::FromStatus(req, st);
+      }
+      break;
+    }
+    case MsgType::kLogReadAll: {
+      auto records = log_->ReadAll();
+      if (!records.ok()) {
+        return NetResponse::FromStatus(req, records.status());
+      }
+      resp.records = std::move(*records);
+      break;
+    }
+    case MsgType::kLogTruncate: {
+      Status st = log_->Truncate(req.lsn);
+      if (!st.ok()) {
+        return NetResponse::FromStatus(req, st);
+      }
+      break;
+    }
+    case MsgType::kLogNextLsn:
+      resp.u64 = log_->NextLsn();
+      break;
+    case MsgType::kPing:
+      break;
+    case MsgType::kResponse:
+      return NetResponse::FromStatus(req, Status::InvalidArgument("response sent as request"));
+  }
+  return resp;
+}
+
+}  // namespace obladi

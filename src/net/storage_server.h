@@ -1,0 +1,99 @@
+// StorageServer: exposes any BucketStore + LogStore backend over TCP.
+//
+// This is the untrusted half of Obladi's deployment split (§5): the proxy
+// process holds all secrets and client state; this server holds only
+// ciphertexts and MACed log records, so it can run anywhere cloud storage
+// runs. It speaks the src/net/wire.h protocol.
+//
+// Threading: one accept-loop thread hands each accepted connection to a
+// fixed worker pool; a worker serves its connection's request/response
+// stream until the peer disconnects. A client connection pool of size N
+// therefore gets N-way request overlap as long as num_workers >= N (the
+// server is the cloud side — provision it wide). Batched ReadSlots /
+// WriteBuckets requests hit the backend's batched entry points and are
+// answered in a single round trip.
+//
+// Stop() (or destruction) shuts down the listener and every live
+// connection, then joins all threads; the backing stores are untouched, so
+// a new StorageServer over the same stores models a storage-node restart —
+// clients reconnect and resume (net_test exercises this).
+#ifndef OBLADI_SRC_NET_STORAGE_SERVER_H_
+#define OBLADI_SRC_NET_STORAGE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "src/common/thread_pool.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+struct StorageServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port back via port()
+  // Max concurrently served connections. Size this at least as large as the
+  // sum of client pool sizes, or overlapping requests queue behind each
+  // other at the accept stage.
+  size_t num_workers = 16;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+struct StorageServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_served{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+};
+
+class StorageServer {
+ public:
+  // `log` may be nullptr: log RPCs then fail with FailedPrecondition
+  // (a bucket-only storage node).
+  StorageServer(std::shared_ptr<BucketStore> buckets, std::shared_ptr<LogStore> log,
+                StorageServerOptions options = {});
+  ~StorageServer();
+
+  StorageServer(const StorageServer&) = delete;
+  StorageServer& operator=(const StorageServer&) = delete;
+
+  // Bind + listen + launch the accept loop. Fails if the port is taken.
+  Status Start();
+  // Idempotent. Closes the listener and all live connections, joins all
+  // threads. In-flight requests on the client side fail with Unavailable.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return listener_.port(); }
+  const StorageServerStats& stats() const { return stats_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(TcpSocket& conn);
+  NetResponse Handle(NetRequest& req);
+
+  std::shared_ptr<BucketStore> buckets_;
+  std::shared_ptr<LogStore> log_;
+  StorageServerOptions options_;
+
+  TcpListener listener_;
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::atomic<bool> running_{false};
+
+  // Live connection fds, tracked so Stop() can unblock their recv()s.
+  std::mutex conns_mu_;
+  std::unordered_set<int> live_fds_;
+
+  StorageServerStats stats_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_NET_STORAGE_SERVER_H_

@@ -1,0 +1,270 @@
+#include "src/net/wire.h"
+
+#include "src/common/serde.h"
+
+namespace obladi {
+namespace {
+
+bool ValidMsgType(uint8_t raw) {
+  return (raw >= static_cast<uint8_t>(MsgType::kReadSlots) &&
+          raw <= static_cast<uint8_t>(MsgType::kPing)) ||
+         raw == static_cast<uint8_t>(MsgType::kResponse);
+}
+
+bool ValidStatusCode(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(StatusCode::kInternal);
+}
+
+void PutHeader(BinaryWriter& w, MsgType type, uint64_t id) {
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(id);
+}
+
+// Reads and validates the common header; returns the message type.
+Status GetHeader(BinaryReader& r, MsgType* type, uint64_t* id) {
+  uint8_t version = r.GetU8();
+  uint8_t raw_type = r.GetU8();
+  *id = r.GetU64();
+  if (!r.ok()) {
+    return Status::InvalidArgument("truncated message header");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version");
+  }
+  if (!ValidMsgType(raw_type)) {
+    return Status::InvalidArgument("unknown message type");
+  }
+  *type = static_cast<MsgType>(raw_type);
+  return Status::Ok();
+}
+
+// An element count decoded from untrusted bytes: every element occupies at
+// least `min_element_bytes` of the remaining payload, so anything larger is
+// garbage — reject it before reserving memory for it.
+Status CheckCount(const BinaryReader& r, uint32_t n, size_t min_element_bytes) {
+  if (static_cast<size_t>(n) * min_element_bytes > r.remaining()) {
+    return Status::InvalidArgument("element count exceeds payload size");
+  }
+  return Status::Ok();
+}
+
+Status FinishDecode(const BinaryReader& r) {
+  if (!r.ok()) {
+    return Status::InvalidArgument("truncated message body");
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after message body");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kReadSlots: return "READ_SLOTS";
+    case MsgType::kWriteBuckets: return "WRITE_BUCKETS";
+    case MsgType::kTruncateBucket: return "TRUNCATE_BUCKET";
+    case MsgType::kNumBuckets: return "NUM_BUCKETS";
+    case MsgType::kLogAppend: return "LOG_APPEND";
+    case MsgType::kLogSync: return "LOG_SYNC";
+    case MsgType::kLogReadAll: return "LOG_READ_ALL";
+    case MsgType::kLogTruncate: return "LOG_TRUNCATE";
+    case MsgType::kLogNextLsn: return "LOG_NEXT_LSN";
+    case MsgType::kPing: return "PING";
+    case MsgType::kResponse: return "RESPONSE";
+  }
+  return "UNKNOWN";
+}
+
+Bytes EncodeRequest(const NetRequest& req) {
+  BinaryWriter w;
+  PutHeader(w, req.type, req.id);
+  switch (req.type) {
+    case MsgType::kReadSlots:
+      w.PutU32(static_cast<uint32_t>(req.reads.size()));
+      for (const SlotRef& ref : req.reads) {
+        w.PutU32(ref.bucket);
+        w.PutU32(ref.version);
+        w.PutU32(ref.slot);
+      }
+      break;
+    case MsgType::kWriteBuckets:
+      w.PutU32(static_cast<uint32_t>(req.writes.size()));
+      for (const BucketImage& image : req.writes) {
+        w.PutU32(image.bucket);
+        w.PutU32(image.version);
+        w.PutU32(static_cast<uint32_t>(image.slots.size()));
+        for (const Bytes& slot : image.slots) {
+          w.PutBytes(slot);
+        }
+      }
+      break;
+    case MsgType::kTruncateBucket:
+      w.PutU32(req.bucket);
+      w.PutU32(req.keep_from_version);
+      break;
+    case MsgType::kLogAppend:
+      w.PutBytes(req.record);
+      break;
+    case MsgType::kLogTruncate:
+      w.PutU64(req.lsn);
+      break;
+    case MsgType::kNumBuckets:
+    case MsgType::kLogSync:
+    case MsgType::kLogReadAll:
+    case MsgType::kLogNextLsn:
+    case MsgType::kPing:
+    case MsgType::kResponse:
+      break;
+  }
+  return w.Take();
+}
+
+Status DecodeRequest(const Bytes& payload, NetRequest* out) {
+  BinaryReader r(payload);
+  *out = NetRequest{};
+  OBLADI_RETURN_IF_ERROR(GetHeader(r, &out->type, &out->id));
+  if (out->type == MsgType::kResponse) {
+    return Status::InvalidArgument("response frame where a request was expected");
+  }
+  switch (out->type) {
+    case MsgType::kReadSlots: {
+      uint32_t n = r.GetU32();
+      OBLADI_RETURN_IF_ERROR(CheckCount(r, n, 12));
+      out->reads.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        SlotRef ref;
+        ref.bucket = r.GetU32();
+        ref.version = r.GetU32();
+        ref.slot = r.GetU32();
+        out->reads.push_back(ref);
+      }
+      break;
+    }
+    case MsgType::kWriteBuckets: {
+      uint32_t n = r.GetU32();
+      OBLADI_RETURN_IF_ERROR(CheckCount(r, n, 12));
+      out->writes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        BucketImage image;
+        image.bucket = r.GetU32();
+        image.version = r.GetU32();
+        uint32_t nslots = r.GetU32();
+        OBLADI_RETURN_IF_ERROR(CheckCount(r, nslots, 4));
+        image.slots.reserve(nslots);
+        for (uint32_t s = 0; s < nslots; ++s) {
+          image.slots.push_back(r.GetBytes());
+        }
+        out->writes.push_back(std::move(image));
+      }
+      break;
+    }
+    case MsgType::kTruncateBucket:
+      out->bucket = r.GetU32();
+      out->keep_from_version = r.GetU32();
+      break;
+    case MsgType::kLogAppend:
+      out->record = r.GetBytes();
+      break;
+    case MsgType::kLogTruncate:
+      out->lsn = r.GetU64();
+      break;
+    default:
+      break;  // empty body
+  }
+  return FinishDecode(r);
+}
+
+Bytes EncodeResponse(const NetResponse& resp) {
+  BinaryWriter w;
+  PutHeader(w, MsgType::kResponse, resp.id);
+  w.PutU8(static_cast<uint8_t>(resp.code));
+  w.PutString(resp.message);
+  if (resp.code != StatusCode::kOk) {
+    return w.Take();  // failed RPCs carry no result body
+  }
+  switch (resp.request_type) {
+    case MsgType::kReadSlots:
+      w.PutU32(static_cast<uint32_t>(resp.reads.size()));
+      for (const ReadResult& read : resp.reads) {
+        w.PutU8(static_cast<uint8_t>(read.code));
+        w.PutString(read.message);
+        w.PutBytes(read.payload);
+      }
+      break;
+    case MsgType::kNumBuckets:
+    case MsgType::kLogAppend:
+    case MsgType::kLogNextLsn:
+      w.PutU64(resp.u64);
+      break;
+    case MsgType::kLogReadAll:
+      w.PutU32(static_cast<uint32_t>(resp.records.size()));
+      for (const Bytes& record : resp.records) {
+        w.PutBytes(record);
+      }
+      break;
+    default:
+      break;  // status only
+  }
+  return w.Take();
+}
+
+Status DecodeResponse(const Bytes& payload, MsgType request_type, NetResponse* out) {
+  BinaryReader r(payload);
+  *out = NetResponse{};
+  out->request_type = request_type;
+  MsgType type;
+  OBLADI_RETURN_IF_ERROR(GetHeader(r, &type, &out->id));
+  if (type != MsgType::kResponse) {
+    return Status::InvalidArgument("request frame where a response was expected");
+  }
+  uint8_t raw_code = r.GetU8();
+  out->message = r.GetString();
+  if (!r.ok() || !ValidStatusCode(raw_code)) {
+    return Status::InvalidArgument("malformed response status");
+  }
+  out->code = static_cast<StatusCode>(raw_code);
+  if (out->code != StatusCode::kOk) {
+    return FinishDecode(r);
+  }
+  switch (request_type) {
+    case MsgType::kReadSlots: {
+      uint32_t n = r.GetU32();
+      OBLADI_RETURN_IF_ERROR(CheckCount(r, n, 9));
+      out->reads.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ReadResult read;
+        uint8_t code = r.GetU8();
+        read.message = r.GetString();
+        read.payload = r.GetBytes();
+        if (!ValidStatusCode(code)) {
+          return Status::InvalidArgument("malformed read result status");
+        }
+        read.code = static_cast<StatusCode>(code);
+        out->reads.push_back(std::move(read));
+      }
+      break;
+    }
+    case MsgType::kNumBuckets:
+    case MsgType::kLogAppend:
+    case MsgType::kLogNextLsn:
+      out->u64 = r.GetU64();
+      break;
+    case MsgType::kLogReadAll: {
+      uint32_t n = r.GetU32();
+      OBLADI_RETURN_IF_ERROR(CheckCount(r, n, 4));
+      out->records.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        out->records.push_back(r.GetBytes());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return FinishDecode(r);
+}
+
+}  // namespace obladi

@@ -1,0 +1,135 @@
+// Wire protocol for the proxy <-> cloud-storage network split.
+//
+// Every message travels as one length-prefixed frame:
+//
+//   u32 payload_len (LE) | payload
+//
+// and every payload starts with a fixed header:
+//
+//   u8 wire_version | u8 msg_type | u64 request_id | body...
+//
+// The protocol is natively batched: ReadSlots and WriteBuckets carry N
+// entries and are answered in a single round trip, so a batched BucketStore
+// call costs exactly one network round trip regardless of batch size — the
+// property the latency decorators simulate and the parallel ORAM depends on
+// (§7). Unary calls are batches of one.
+//
+// Serialization reuses src/common/serde.h. Decoding arbitrary bytes is safe:
+// malformed input yields an error status, never UB (net_test fuzzes this).
+#ifndef OBLADI_SRC_NET_WIRE_H_
+#define OBLADI_SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+inline constexpr uint8_t kWireVersion = 1;
+
+// Frames larger than this are a protocol violation (stream desync or garbage)
+// and close the connection. Large enough for a full epoch's deferred bucket
+// flush on the biggest benchmarked trees.
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+enum class MsgType : uint8_t {
+  // BucketStore RPCs.
+  kReadSlots = 1,       // body: u32 n, n x (u32 bucket, u32 version, u32 slot)
+  kWriteBuckets = 2,    // body: u32 n, n x (u32 bucket, u32 version, u32 nslots, nslots x bytes)
+  kTruncateBucket = 3,  // body: u32 bucket, u32 keep_from_version
+  kNumBuckets = 4,      // body: empty
+  // LogStore RPCs.
+  kLogAppend = 5,    // body: bytes record
+  kLogSync = 6,      // body: empty
+  kLogReadAll = 7,   // body: empty
+  kLogTruncate = 8,  // body: u64 upto_lsn
+  kLogNextLsn = 9,   // body: empty
+  // Health check / connection probe.
+  kPing = 10,  // body: empty
+  // Server -> client. body: u8 status_code, string status_message, then a
+  // result body keyed by the request's type (see NetResponse).
+  kResponse = 64,
+};
+
+const char* MsgTypeName(MsgType type);
+
+// A decoded request. One struct for all message types; only the fields the
+// type names are meaningful.
+struct NetRequest {
+  MsgType type = MsgType::kPing;
+  uint64_t id = 0;
+
+  std::vector<SlotRef> reads;        // kReadSlots
+  std::vector<BucketImage> writes;   // kWriteBuckets
+  BucketIndex bucket = 0;            // kTruncateBucket
+  uint32_t keep_from_version = 0;    // kTruncateBucket
+  Bytes record;                      // kLogAppend
+  uint64_t lsn = 0;                  // kLogTruncate
+};
+
+// One entry of a kReadSlots response: a serialized StatusOr<Bytes>.
+struct ReadResult {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  Bytes payload;  // empty unless code == kOk
+
+  StatusOr<Bytes> ToStatusOr() const {
+    if (code == StatusCode::kOk) {
+      return payload;
+    }
+    return Status(code, message);
+  }
+};
+
+// A decoded response. `request_type` selects which result fields are live:
+//   kReadSlots     -> reads (one entry per requested slot, in request order)
+//   kNumBuckets,
+//   kLogAppend,
+//   kLogNextLsn    -> u64
+//   kLogReadAll    -> records
+//   everything else carries only the overall status.
+struct NetResponse {
+  uint64_t id = 0;
+  MsgType request_type = MsgType::kPing;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  std::vector<ReadResult> reads;
+  uint64_t u64 = 0;
+  std::vector<Bytes> records;
+
+  Status ToStatus() const {
+    if (code == StatusCode::kOk) {
+      return Status::Ok();
+    }
+    return Status(code, message);
+  }
+  static NetResponse FromStatus(const NetRequest& req, const Status& st) {
+    NetResponse resp;
+    resp.id = req.id;
+    resp.request_type = req.type;
+    resp.code = st.code();
+    resp.message = st.message();
+    return resp;
+  }
+};
+
+// Encode a message payload (header + body, no frame length prefix — the
+// socket layer adds it when sending).
+Bytes EncodeRequest(const NetRequest& req);
+Bytes EncodeResponse(const NetResponse& resp);
+
+// Decode a received frame payload. Tolerates arbitrary bytes: returns
+// InvalidArgument on anything malformed (bad version, unknown type,
+// truncated body, trailing garbage, element counts exceeding the payload).
+Status DecodeRequest(const Bytes& payload, NetRequest* out);
+// Decoding a response needs the originating request's type to know the
+// result body's shape.
+Status DecodeResponse(const Bytes& payload, MsgType request_type, NetResponse* out);
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_NET_WIRE_H_

@@ -271,10 +271,13 @@ void RingOram::EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit
   pool_->Enqueue([this, read] {
     ExecuteReadNow(read);
     {
+      // Notify while holding the lock: once the count hits zero the waiter
+      // may destroy this object, so the broadcast must not touch io_cv_
+      // after the waiter can wake.
       std::lock_guard<std::mutex> lk(io_mu_);
       --outstanding_reads_;
+      io_cv_.notify_all();
     }
-    io_cv_.notify_all();
   });
 }
 
@@ -307,10 +310,12 @@ void RingOram::DispatchPendingReads() {
         ProcessCiphertext(group[i], std::move(ciphertexts[i]));
       }
       {
+        // Notify under the lock (see ExecuteReadAsync): the waiter may
+        // destroy this object as soon as the count hits zero.
         std::lock_guard<std::mutex> lk(io_mu_);
         --outstanding_reads_;
+        io_cv_.notify_all();
       }
-      io_cv_.notify_all();
     });
   }
   pending_reads_.clear();

@@ -120,8 +120,13 @@ Status RecoveryUnit::LogFullCheckpoint(const std::vector<RingOram*>& shards) {
   if (!config_.enabled) {
     return Status::Ok();
   }
+  // Serialize the shards *before* taking mu_: payload building acquires each
+  // RingOram's internal lock, and a running read batch logs its plan via
+  // LogReadBatchPlan (which takes mu_) while holding that lock — holding mu_
+  // across the build would invert the order.
+  Bytes payload = BuildFullPayload(shards);
   std::lock_guard<std::mutex> lk(mu_);
-  OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, BuildFullPayload(shards)));
+  OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, payload));
   epochs_since_full_ = 0;
   // Older records are superseded; reclaim the log.
   return log_->Truncate(last_full_lsn_);
@@ -131,14 +136,23 @@ Status RecoveryUnit::LogEpochCommit(const std::vector<RingOram*>& shards) {
   if (!config_.enabled) {
     return Status::Ok();
   }
+  // As in LogFullCheckpoint: build the payload outside mu_. Epoch commits
+  // are serialized by the proxy, so reading the interval counter first and
+  // updating it under the later lock cannot interleave with another commit.
+  bool full;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    full = epochs_since_full_ + 1 >= config_.full_checkpoint_interval;
+  }
+  Bytes payload = full ? BuildFullPayload(shards) : BuildDeltaPayload(shards);
   std::lock_guard<std::mutex> lk(mu_);
-  ++epochs_since_full_;
-  if (epochs_since_full_ >= config_.full_checkpoint_interval) {
-    OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, BuildFullPayload(shards)));
+  if (full) {
+    OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, payload));
     epochs_since_full_ = 0;
     return log_->Truncate(last_full_lsn_);
   }
-  return AppendRecord(kEpochDelta, BuildDeltaPayload(shards));
+  ++epochs_since_full_;
+  return AppendRecord(kEpochDelta, payload);
 }
 
 StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {

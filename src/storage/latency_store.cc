@@ -37,6 +37,7 @@ StatusOr<Bytes> LatencyBucketStore::ReadSlot(BucketIndex bucket, uint32_t versio
   auto result = base_->ReadSlot(bucket, version, slot);
   ReleaseSlot();
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   if (result.ok()) {
     stats_.bytes_read.fetch_add(result->size(), std::memory_order_relaxed);
   }
@@ -57,21 +58,25 @@ Status LatencyBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
   Status st = base_->WriteBucket(bucket, version, std::move(slots));
   ReleaseSlot();
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
   return st;
 }
 
 std::vector<StatusOr<Bytes>> LatencyBucketStore::ReadSlotsBatch(
     const std::vector<SlotRef>& refs) {
+  uint64_t waves = 1;
+  if (profile_.max_inflight > 0 && !refs.empty()) {
+    waves = (refs.size() + profile_.max_inflight - 1) / profile_.max_inflight;
+  }
   if (!bypass_.load(std::memory_order_relaxed) && !refs.empty()) {
-    uint64_t waves = 1;
-    if (profile_.max_inflight > 0) {
-      waves = (refs.size() + profile_.max_inflight - 1) / profile_.max_inflight;
-    }
     PreciseSleepMicros(profile_.read_latency_us * waves);
   }
   auto out = base_->ReadSlotsBatch(refs);
   stats_.reads.fetch_add(refs.size(), std::memory_order_relaxed);
+  if (!refs.empty()) {
+    stats_.round_trips.fetch_add(waves, std::memory_order_relaxed);
+  }
   for (const auto& r : out) {
     if (r.ok()) {
       stats_.bytes_read.fetch_add(r->size(), std::memory_order_relaxed);
@@ -87,14 +92,17 @@ Status LatencyBucketStore::WriteBucketsBatch(std::vector<BucketImage> images) {
       bytes += s.size();
     }
   }
+  uint64_t waves = 1;
+  if (profile_.max_inflight > 0 && !images.empty()) {
+    waves = (images.size() + profile_.max_inflight - 1) / profile_.max_inflight;
+  }
   if (!bypass_.load(std::memory_order_relaxed) && !images.empty()) {
-    uint64_t waves = 1;
-    if (profile_.max_inflight > 0) {
-      waves = (images.size() + profile_.max_inflight - 1) / profile_.max_inflight;
-    }
     PreciseSleepMicros(profile_.write_latency_us * waves);
   }
   stats_.writes.fetch_add(images.size(), std::memory_order_relaxed);
+  if (!images.empty()) {
+    stats_.round_trips.fetch_add(waves, std::memory_order_relaxed);
+  }
   stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
   return base_->WriteBucketsBatch(std::move(images));
 }
@@ -105,6 +113,7 @@ Status LatencyBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from
 
 StatusOr<uint64_t> LatencyLogStore::Append(Bytes record) {
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(record.size(), std::memory_order_relaxed);
   return base_->Append(std::move(record));
 }
@@ -112,11 +121,13 @@ StatusOr<uint64_t> LatencyLogStore::Append(Bytes record) {
 Status LatencyLogStore::Sync() {
   // One durable round trip per sync, matching a remote WAL.
   PreciseSleepMicros(profile_.write_latency_us);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   return base_->Sync();
 }
 
 StatusOr<std::vector<Bytes>> LatencyLogStore::ReadAll() {
   PreciseSleepMicros(profile_.read_latency_us);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   auto all = base_->ReadAll();
   if (all.ok()) {
     stats_.reads.fetch_add(all->size(), std::memory_order_relaxed);

@@ -45,18 +45,30 @@ struct LatencyProfile {
   }
 };
 
-// Request/byte accounting, shared by the bucket and log decorators.
+// Request/byte accounting, shared by the latency decorators and the real
+// remote stores (src/net/remote_store.h), so a bench can line the simulated
+// wire traffic up against what actually crossed a socket.
+//
+// reads/writes count logical operations (slots read, buckets written);
+// round_trips counts network round trips — a batched request is many logical
+// operations but one round trip. bytes_read/bytes_written count payload
+// bytes (slot ciphertexts, log records), not framing overhead.
 struct NetworkStats {
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> round_trips{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  // Real transport only: connections re-established after a failure.
+  std::atomic<uint64_t> reconnects{0};
 
   void Reset() {
     reads = 0;
     writes = 0;
+    round_trips = 0;
     bytes_read = 0;
     bytes_written = 0;
+    reconnects = 0;
   }
 };
 

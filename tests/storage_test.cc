@@ -6,6 +6,7 @@
 #include "src/storage/file_log_store.h"
 #include "src/storage/latency_store.h"
 #include "src/storage/memory_store.h"
+#include "tests/store_conformance.h"
 
 namespace obladi {
 namespace {
@@ -172,6 +173,61 @@ TEST(LatencyProfileTest, NamedProfilesScale) {
   EXPECT_EQ(dynamo.write_latency_us, 3000u);
   EXPECT_GT(dynamo.max_inflight, 0u);
   EXPECT_EQ(LatencyProfile::Dummy().read_latency_us, 0u);
+}
+
+
+// --- shared conformance suites (also run against the remote stores over a
+// --- loopback StorageServer in net_test.cc) --------------------------------
+
+TEST(StoreConformanceTest, MemoryBucketStore) {
+  MemoryBucketStore store(16, 3);
+  RunBucketStoreConformance(store, 3);
+}
+
+TEST(StoreConformanceTest, MemoryLogStore) {
+  MemoryLogStore log;
+  RunLogStoreConformance(log);
+}
+
+// Batched entry points of the memory store (the defaults loop over the
+// unary forms; verify results stay in request order with per-entry errors).
+TEST(MemoryBucketStoreTest, BatchedFormsPreserveOrderAndErrors) {
+  MemoryBucketStore store(8, 2);
+  std::vector<BucketImage> images;
+  for (BucketIndex b = 0; b < 4; ++b) {
+    images.push_back(BucketImage{b, 1, MakeBucket(2, static_cast<uint8_t>(b + 1))});
+  }
+  // One bad image in the middle fails the whole batch at that point.
+  images.insert(images.begin() + 2, BucketImage{99, 1, MakeBucket(2, 0)});
+  EXPECT_FALSE(store.WriteBucketsBatch(images).ok());
+  images.erase(images.begin() + 2);
+  ASSERT_TRUE(store.WriteBucketsBatch(images).ok());
+
+  auto results = store.ReadSlotsBatch({{0, 1, 0}, {9, 1, 0}, {3, 1, 1}, {1, 7, 0}});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ((*results[0])[0], 1);
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ((*results[2])[0], 4);
+  EXPECT_EQ(results[3].status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryLogStoreTest, TruncationEdgeCases) {
+  MemoryLogStore log;
+  // Truncating an empty log at any LSN is a no-op.
+  ASSERT_TRUE(log.Truncate(0).ok());
+  ASSERT_TRUE(log.Truncate(100).ok());
+  EXPECT_EQ(log.NextLsn(), 0u);
+
+  auto l0 = log.Append(Bytes{1});
+  auto l1 = log.Append(Bytes{2});
+  ASSERT_TRUE(l0.ok() && l1.ok());
+  // Truncating beyond the end drops everything but never rewinds the LSN
+  // counter (recovery depends on LSNs being unique forever).
+  ASSERT_TRUE(log.Truncate(1000).ok());
+  EXPECT_TRUE(log.ReadAll()->empty());
+  auto l2 = log.Append(Bytes{3});
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(*l2, 2u);
 }
 
 }  // namespace

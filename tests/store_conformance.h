@@ -1,0 +1,144 @@
+// Backend-agnostic conformance suites for the BucketStore and LogStore
+// interfaces: every behavior the ORAM and recovery unit rely on, runnable
+// against any implementation. storage_test.cc runs them against the memory
+// stores; net_test.cc runs them against RemoteBucketStore / RemoteLogStore
+// over a loopback StorageServer, which pins the wire protocol to the exact
+// local semantics (including per-entry error propagation in batches).
+#ifndef OBLADI_TESTS_STORE_CONFORMANCE_H_
+#define OBLADI_TESTS_STORE_CONFORMANCE_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+// `store` must be empty, with >= 8 buckets of `slots_per_bucket` slots each.
+inline void RunBucketStoreConformance(BucketStore& store, size_t slots_per_bucket) {
+  ASSERT_GE(store.num_buckets(), 8u);
+  auto bucket_image = [&](uint8_t fill) {
+    return std::vector<Bytes>(slots_per_bucket, Bytes(16, fill));
+  };
+
+  // Unary write / read round trip.
+  ASSERT_TRUE(store.WriteBucket(0, 0, bucket_image(0x11)).ok());
+  auto slot = store.ReadSlot(0, 0, slots_per_bucket - 1);
+  ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+  EXPECT_EQ((*slot)[0], 0x11);
+
+  // Missing bucket version / out-of-range addresses are errors, and in a
+  // batch they must not poison neighboring entries.
+  EXPECT_FALSE(store.ReadSlot(0, 7, 0).ok());
+  EXPECT_FALSE(store.ReadSlot(static_cast<BucketIndex>(store.num_buckets()), 0, 0).ok());
+
+  // Batched write: all images land, each independently readable.
+  std::vector<BucketImage> images;
+  for (BucketIndex b = 1; b <= 4; ++b) {
+    BucketImage image;
+    image.bucket = b;
+    image.version = 3;
+    image.slots = bucket_image(static_cast<uint8_t>(0x20 + b));
+    images.push_back(std::move(image));
+  }
+  ASSERT_TRUE(store.WriteBucketsBatch(std::move(images)).ok());
+
+  // Batched read mixing hits and misses: results come back in request
+  // order with per-entry statuses.
+  std::vector<SlotRef> refs = {
+      {1, 3, 0},        // hit
+      {2, 9, 0},        // missing version
+      {3, 3, 0},        // hit
+      {0, 0, 0},        // hit (first write)
+      {4, 3, kInvalidSlot},  // bad slot index
+  };
+  auto results = store.ReadSlotsBatch(refs);
+  ASSERT_EQ(results.size(), refs.size());
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ((*results[0])[0], 0x21);
+  EXPECT_FALSE(results[1].ok());
+  ASSERT_TRUE(results[2].ok());
+  EXPECT_EQ((*results[2])[0], 0x23);
+  ASSERT_TRUE(results[3].ok());
+  EXPECT_EQ((*results[3])[0], 0x11);
+  EXPECT_FALSE(results[4].ok());
+
+  // Empty batches are legal no-ops.
+  EXPECT_TRUE(store.ReadSlotsBatch({}).empty());
+  EXPECT_TRUE(store.WriteBucketsBatch({}).ok());
+
+  // Shadow paging: several versions coexist until truncation; truncation
+  // keeps keep_from_version and newer.
+  ASSERT_TRUE(store.WriteBucket(5, 0, bucket_image(0x50)).ok());
+  ASSERT_TRUE(store.WriteBucket(5, 1, bucket_image(0x51)).ok());
+  ASSERT_TRUE(store.WriteBucket(5, 2, bucket_image(0x52)).ok());
+  EXPECT_EQ((*store.ReadSlot(5, 0, 0))[0], 0x50);
+  ASSERT_TRUE(store.TruncateBucket(5, 1).ok());
+  EXPECT_FALSE(store.ReadSlot(5, 0, 0).ok());
+  EXPECT_EQ((*store.ReadSlot(5, 1, 0))[0], 0x51);
+  EXPECT_EQ((*store.ReadSlot(5, 2, 0))[0], 0x52);
+
+  // Overwriting an existing version replaces it (recovery replays do this).
+  ASSERT_TRUE(store.WriteBucket(5, 2, bucket_image(0x5f)).ok());
+  EXPECT_EQ((*store.ReadSlot(5, 2, 0))[0], 0x5f);
+
+  // Truncating everything below a version that was never written is legal
+  // (an empty bucket's GC) and truncating an untouched bucket is a no-op.
+  EXPECT_TRUE(store.TruncateBucket(6, 10).ok());
+}
+
+// `log` must be empty.
+inline void RunLogStoreConformance(LogStore& log) {
+  EXPECT_EQ(log.NextLsn(), 0u);
+
+  // Appends hand out dense LSNs starting at 0.
+  auto l0 = log.Append(BytesFromString("rec0"));
+  auto l1 = log.Append(BytesFromString("rec1"));
+  auto l2 = log.Append(BytesFromString("rec2"));
+  ASSERT_TRUE(l0.ok() && l1.ok() && l2.ok());
+  EXPECT_EQ(*l0, 0u);
+  EXPECT_EQ(*l1, 1u);
+  EXPECT_EQ(*l2, 2u);
+  EXPECT_EQ(log.NextLsn(), 3u);
+  ASSERT_TRUE(log.Sync().ok());
+
+  // Empty records are preserved, not dropped.
+  auto l3 = log.Append(Bytes{});
+  ASSERT_TRUE(l3.ok());
+
+  auto all = log.ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 4u);
+  EXPECT_EQ(StringFromBytes((*all)[1]), "rec1");
+  EXPECT_TRUE((*all)[3].empty());
+
+  // Truncate drops strictly-below; the boundary record survives.
+  ASSERT_TRUE(log.Truncate(*l1).ok());
+  all = log.ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ(StringFromBytes((*all)[0]), "rec1");
+
+  // Truncate is idempotent, and truncating at an already-dropped LSN or at
+  // 0 changes nothing.
+  ASSERT_TRUE(log.Truncate(*l1).ok());
+  ASSERT_TRUE(log.Truncate(0).ok());
+  EXPECT_EQ(log.ReadAll()->size(), 3u);
+
+  // Truncating everything (upto == NextLsn) leaves an empty but appendable
+  // log whose LSN sequence continues without reuse.
+  ASSERT_TRUE(log.Truncate(log.NextLsn()).ok());
+  all = log.ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->empty());
+  auto l4 = log.Append(BytesFromString("rec4"));
+  ASSERT_TRUE(l4.ok());
+  EXPECT_EQ(*l4, 4u);
+  EXPECT_EQ(log.NextLsn(), 5u);
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_TESTS_STORE_CONFORMANCE_H_
