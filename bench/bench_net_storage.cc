@@ -9,17 +9,28 @@
 // the decorators assume when they charge one latency per batched request.
 //
 // Part 2 — connection-pool sweep: fixed thread count hammering unary reads
-// through pools of growing size. Pool slots are the real analogue of the
-// decorators' "N outstanding requests overlap when issued from N threads";
-// throughput should scale with the pool until the loopback/CPU saturates.
+// through blocking NetClient pools of growing size. Pool slots are the real
+// analogue of the decorators' "N outstanding requests overlap when issued
+// from N threads"; throughput should scale with the pool until the
+// loopback/CPU saturates.
+//
+// Part 3 — async multiplexing sweep: ONE event-loop thread and ONE
+// connection, with outstanding ∈ {1, 16, 64, 256} requests in flight
+// against the same 1 ms storage node. 64 outstanding should match or beat
+// the 16-thread blocking pool — overlap without a thread per RPC. Also
+// measures an epoch's batched-GC round trips (must equal the shard count).
+// Emits machine-readable BENCH_net_async.json for the perf trajectory.
 //
 // Honors OBLADI_BENCH_FULL=1 for a larger sweep.
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "src/net/async_client.h"
 #include "src/net/remote_store.h"
 #include "src/net/storage_server.h"
+#include "tests/gc_probe.h"
 
 namespace obladi {
 namespace {
@@ -127,13 +138,14 @@ void RunBatchSweep(uint16_t port, bool full) {
 // would be flat: loopback syscall cost dominates and one connection already
 // saturates it. (1 ms also keeps the decorator in its true-sleep regime
 // rather than its sub-500us spin-wait, which would serialize on small
-// hosts.)
-void RunPoolSweep(uint16_t port, bool full) {
+// hosts.) Returns reads/s per pool size for the JSON trajectory.
+std::map<size_t, double> RunPoolSweep(uint16_t port, bool full) {
   size_t reads_per_thread = full ? 512 : 128;
   constexpr size_t kThreads = 16;
   std::vector<size_t> pool_sizes = {1, 2, 4, 8, 16};
+  std::map<size_t, double> reads_per_sec;
 
-  Table table("Remote storage — connection pool sweep (" + FmtInt(kThreads) +
+  Table table("Remote storage — blocking pool sweep (" + FmtInt(kThreads) +
               " threads x " + FmtInt(reads_per_thread) +
               " unary reads, 1ms backend service time)");
   table.Columns({"pool", "wall_ms", "reads/s", "speedup_vs_pool1"});
@@ -143,10 +155,10 @@ void RunPoolSweep(uint16_t port, bool full) {
     RemoteStoreOptions opts;
     opts.port = port;
     opts.pool_size = pool;
-    auto remote = RemoteBucketStore::Connect(opts);
-    if (!remote.ok()) {
-      std::fprintf(stderr, "connect failed: %s\n", remote.status().ToString().c_str());
-      return;
+    auto client = NetClient::Connect(opts);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", client.status().ToString().c_str());
+      return reads_per_sec;
     }
     auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -154,11 +166,13 @@ void RunPoolSweep(uint16_t port, bool full) {
       threads.emplace_back([&, t] {
         Rng rng(0x9000 + t);
         for (size_t i = 0; i < reads_per_thread; ++i) {
-          auto result = (*remote)->ReadSlot(
-              static_cast<BucketIndex>(rng.NextU64() % kNumBuckets), 0,
-              static_cast<SlotIndex>(rng.NextU64() % kSlotsPerBucket));
-          if (!result.ok()) {
-            std::fprintf(stderr, "read failed: %s\n", result.status().ToString().c_str());
+          NetRequest req;
+          req.type = MsgType::kReadSlots;
+          req.reads = {{static_cast<BucketIndex>(rng.NextU64() % kNumBuckets), 0,
+                        static_cast<SlotIndex>(rng.NextU64() % kSlotsPerBucket)}};
+          auto result = (*client)->Call(std::move(req));
+          if (!result.ok() || !result->ToStatus().ok()) {
+            std::fprintf(stderr, "read failed\n");
             return;
           }
         }
@@ -172,11 +186,131 @@ void RunPoolSweep(uint16_t port, bool full) {
       pool1_ms = wall_ms;
     }
     uint64_t total = kThreads * reads_per_thread;
-    table.Row({FmtInt(pool), Fmt(wall_ms),
-               FmtInt(static_cast<uint64_t>(1000.0 * static_cast<double>(total) / wall_ms)),
+    reads_per_sec[pool] = 1000.0 * static_cast<double>(total) / wall_ms;
+    table.Row({FmtInt(pool), Fmt(wall_ms), FmtInt(static_cast<uint64_t>(reads_per_sec[pool])),
                Fmt(pool1_ms / wall_ms, 2) + "x"});
   }
   table.Print();
+  return reads_per_sec;
+}
+
+// One event-loop thread, one socket, `outstanding` requests kept in flight
+// via a completion queue: every drained completion immediately funds the
+// next submission. No client thread ever blocks on a response.
+std::map<size_t, double> RunAsyncSweep(uint16_t port, bool full) {
+  double seconds = BenchSeconds() * (full ? 1.0 : 0.5);
+  std::vector<size_t> outstanding_sweep = {1, 16, 64, 256};
+  std::map<size_t, double> reads_per_sec;
+
+  Table table("Remote storage — async multiplexing sweep (1 event-loop thread, "
+              "1 connection, 1ms backend service time)");
+  table.Columns({"outstanding", "completions", "wall_ms", "reads/s", "speedup_vs_1"});
+
+  double serial_rps = 0;
+  for (size_t outstanding : outstanding_sweep) {
+    AsyncClientOptions opts;
+    opts.port = port;
+    opts.num_connections = 1;
+    auto client = AsyncNetClient::Connect(opts);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", client.status().ToString().c_str());
+      return reads_per_sec;
+    }
+    Rng rng(0xa54c);
+    CompletionQueue cq;
+    auto submit_one = [&] {
+      NetRequest req;
+      req.type = MsgType::kReadSlots;
+      req.reads = {{static_cast<BucketIndex>(rng.NextU64() % kNumBuckets), 0,
+                    static_cast<SlotIndex>(rng.NextU64() % kSlotsPerBucket)}};
+      (*client)->Submit(std::move(req), &cq, 0);
+    };
+
+    auto start = std::chrono::steady_clock::now();
+    auto deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(seconds));
+    for (size_t i = 0; i < outstanding; ++i) {
+      submit_one();
+    }
+    uint64_t completions = 0;
+    size_t in_flight = outstanding;
+    // The queue outlives every in-flight request only if we drain fully —
+    // including on the error path, or a late completion would Push into a
+    // destroyed queue.
+    auto drain = [&] {
+      while (in_flight > 0) {
+        (void)cq.Next();
+        --in_flight;
+      }
+    };
+    bool failed = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto c = cq.Next();
+      --in_flight;
+      if (!c.result.ok() || !c.result->ToStatus().ok()) {
+        std::fprintf(stderr, "async read failed\n");
+        failed = true;
+        break;
+      }
+      ++completions;
+      submit_one();
+      ++in_flight;
+    }
+    drain();
+    if (failed) {
+      return reads_per_sec;
+    }
+    double wall_ms = MillisSince(start);
+    reads_per_sec[outstanding] = 1000.0 * static_cast<double>(completions) / wall_ms;
+    if (outstanding == 1) {
+      serial_rps = reads_per_sec[outstanding];
+    }
+    table.Row({FmtInt(outstanding), FmtInt(completions), Fmt(wall_ms),
+               FmtInt(static_cast<uint64_t>(reads_per_sec[outstanding])),
+               Fmt(serial_rps > 0 ? reads_per_sec[outstanding] / serial_rps : 0.0, 1) + "x"});
+  }
+  table.Print();
+  std::printf("(one thread drives all outstanding requests; compare reads/s against the "
+              "16-thread pool above.)\n");
+  return reads_per_sec;
+}
+
+void EmitJson(const std::map<size_t, double>& async_rps, const std::map<size_t, double>& pool_rps,
+              const GcProbeResult& gc) {
+  FILE* f = std::fopen("BENCH_net_async.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not write BENCH_net_async.json\n");
+    return;
+  }
+  double serial = async_rps.count(1) ? async_rps.at(1) : 0;
+  double async64 = async_rps.count(64) ? async_rps.at(64) : 0;
+  double pool16 = pool_rps.count(16) ? pool_rps.at(16) : 0;
+  std::fprintf(f, "{\n  \"bench\": \"net_async\",\n  \"service_time_us\": 1000,\n");
+  std::fprintf(f, "  \"async_sweep\": [");
+  bool first = true;
+  for (const auto& [outstanding, rps] : async_rps) {
+    std::fprintf(f, "%s\n    {\"outstanding\": %zu, \"reads_per_sec\": %.1f}",
+                 first ? "" : ",", outstanding, rps);
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n  \"pool_sweep\": [");
+  first = true;
+  for (const auto& [pool, rps] : pool_rps) {
+    std::fprintf(f, "%s\n    {\"pool\": %zu, \"reads_per_sec\": %.1f}", first ? "" : ",",
+                 pool, rps);
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"serial_reads_per_sec\": %.1f,\n", serial);
+  std::fprintf(f, "  \"pool16_reads_per_sec\": %.1f,\n", pool16);
+  std::fprintf(f, "  \"async64_reads_per_sec\": %.1f,\n", async64);
+  std::fprintf(f, "  \"async64_vs_serial\": %.2f,\n", serial > 0 ? async64 / serial : 0);
+  std::fprintf(f, "  \"async64_vs_pool16\": %.2f,\n", pool16 > 0 ? async64 / pool16 : 0);
+  std::fprintf(f, "  \"gc_shards\": %u,\n  \"gc_round_trips\": %llu,\n  \"gc_buckets\": %u\n}\n",
+               gc.shards, static_cast<unsigned long long>(gc.round_trips), gc.buckets);
+  std::fclose(f);
+  std::printf("wrote BENCH_net_async.json (async64 %.0f reads/s = %.1fx serial, %.2fx pool16)\n",
+              async64, serial > 0 ? async64 / serial : 0, pool16 > 0 ? async64 / pool16 : 0);
 }
 
 void Run() {
@@ -197,21 +331,37 @@ void Run() {
 
   RunBatchSweep(server.port(), full);
 
-  // Separate storage node for the pool sweep: same data, 1 ms service time.
+  // Separate storage node for the overlap sweeps: same data, 1 ms service
+  // time, provisioned wide enough that 64+ multiplexed requests from one
+  // connection can all be in the backend simultaneously.
   LatencyProfile slow_profile{"slow", 1000, 1000, 0};
   auto slow_backend = std::make_shared<LatencyBucketStore>(backend, slow_profile);
-  StorageServer slow_server(slow_backend, nullptr, server_opts);
+  StorageServerOptions slow_opts;
+  slow_opts.num_workers = 96;
+  StorageServer slow_server(slow_backend, nullptr, slow_opts);
   st = slow_server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "slow server start failed: %s\n", st.ToString().c_str());
     return;
   }
-  RunPoolSweep(slow_server.port(), full);
+  auto pool_rps = RunPoolSweep(slow_server.port(), full);
+  auto async_rps = RunAsyncSweep(slow_server.port(), full);
+  // Epoch GC over the wire (shared probe with net_test): round trips must
+  // equal the shard count, not the bucket count.
+  GcProbeResult gc = RunGcRoundTripProbe(4);
+  std::printf("epoch GC over the wire: %llu round trips for %u shards (%u buckets)%s\n",
+              static_cast<unsigned long long>(gc.round_trips), gc.shards, gc.buckets,
+              gc.ok ? "" : "  [probe FAILED]");
+  EmitJson(async_rps, pool_rps, gc);
 
-  std::printf("\nserver totals: %llu requests, %.2f MB in, %.2f MB out\n",
+  std::printf("\nbatch-sweep server: %llu requests, %.2f MB in, %.2f MB out\n",
               static_cast<unsigned long long>(server.stats().requests_served.load()),
               static_cast<double>(server.stats().bytes_received.load()) / 1e6,
               static_cast<double>(server.stats().bytes_sent.load()) / 1e6);
+  std::printf("1ms-node server: %llu requests, %llu out-of-order replies\n",
+              static_cast<unsigned long long>(slow_server.stats().requests_served.load()),
+              static_cast<unsigned long long>(
+                  slow_server.stats().out_of_order_replies.load()));
 }
 
 }  // namespace

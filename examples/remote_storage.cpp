@@ -71,7 +71,9 @@ int RunClient(uint16_t port) {
 
   RemoteStoreOptions opts;
   opts.port = port;
-  opts.pool_size = 8;
+  // One multiplexed connection is enough: the async client's event loop
+  // keeps every in-flight RPC of the epoch pipeline on it simultaneously.
+  opts.num_connections = 1;
   auto buckets = RemoteBucketStore::Connect(opts);
   if (!buckets.ok()) {
     std::fprintf(stderr, "connect failed: %s\n", buckets.status().ToString().c_str());

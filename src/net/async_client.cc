@@ -1,0 +1,332 @@
+#include "src/net/async_client.h"
+
+#include <utility>
+
+namespace obladi {
+
+// --- NetFuture --------------------------------------------------------------
+
+NetFuture::NetFuture() : state_(std::make_shared<State>()) {}
+
+const StatusOr<NetResponse>& NetFuture::Wait() const {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  return state_->result;
+}
+
+StatusOr<NetResponse> NetFuture::Take() {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  return std::move(state_->result);
+}
+
+bool NetFuture::Ready() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->done;
+}
+
+// --- CompletionQueue --------------------------------------------------------
+
+void CompletionQueue::Push(uint64_t tag, StatusOr<NetResponse> result) {
+  // Notify while holding the lock: a drainer may destroy this queue the
+  // moment its predicate is satisfiable, so the notify must not touch cv_
+  // after the drainer can wake.
+  std::lock_guard<std::mutex> lk(mu_);
+  Completion c;
+  c.tag = tag;
+  c.result = std::move(result);
+  done_.push_back(std::move(c));
+  cv_.notify_all();
+}
+
+CompletionQueue::Completion CompletionQueue::Next() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !done_.empty(); });
+  Completion c = std::move(done_.front());
+  done_.pop_front();
+  return c;
+}
+
+std::vector<CompletionQueue::Completion> CompletionQueue::Drain(size_t n) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return done_.size() >= n; });
+  std::vector<Completion> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(done_.front()));
+    done_.pop_front();
+  }
+  return out;
+}
+
+size_t CompletionQueue::ready() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return done_.size();
+}
+
+// --- AsyncNetClient ---------------------------------------------------------
+
+AsyncNetClient::AsyncNetClient(AsyncClientOptions options) : options_(std::move(options)) {
+  size_t n = options_.num_connections == 0 ? 1 : options_.num_connections;
+  slots_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+AsyncNetClient::~AsyncNetClient() {
+  // Stopping the loop kills every connection, which routes through OnClose
+  // and fails everything still pending — no waiter is left hanging.
+  loop_.Stop();
+}
+
+Status AsyncNetClient::Start() { return loop_.Start(); }
+
+StatusOr<std::shared_ptr<AsyncNetClient>> AsyncNetClient::Connect(AsyncClientOptions options) {
+  auto client = std::make_shared<AsyncNetClient>(std::move(options));
+  OBLADI_RETURN_IF_ERROR(client->Start());
+  NetRequest ping;
+  ping.type = MsgType::kPing;
+  auto resp = client->Call(std::move(ping));
+  if (!resp.ok()) {
+    return resp.status();
+  }
+  Status st = resp->ToStatus();
+  if (!st.ok()) {
+    return st;
+  }
+  return client;
+}
+
+Status AsyncNetClient::EnsureConnectedLocked(size_t s, Slot& slot) {
+  if (slot.conn_id != 0) {
+    return Status::Ok();
+  }
+  auto sock = TcpSocket::Connect(options_.host, options_.port);
+  if (!sock.ok()) {
+    return sock.status();
+  }
+  uint64_t generation = ++slot.generation;
+  EventLoop::ConnectionHandlers handlers;
+  handlers.on_frame = [this, s, generation](Bytes payload) {
+    OnFrame(s, generation, std::move(payload));
+  };
+  handlers.on_close = [this, s, generation](const Status& reason) {
+    OnClose(s, generation, reason);
+  };
+  auto conn = loop_.AddConnection(std::move(*sock), std::move(handlers),
+                                  options_.max_frame_bytes, options_.write_queue_cap);
+  if (!conn.ok()) {
+    return conn.status();
+  }
+  slot.conn_id = *conn;
+  if (slot.ever_connected) {
+    stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+  slot.ever_connected = true;
+  return Status::Ok();
+}
+
+NetFuture AsyncNetClient::Submit(NetRequest req) {
+  NetFuture fut;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Pending p;
+  p.fut = fut.state_;
+  SubmitEncoded(req.type, req.id, EncodeRequest(req), std::move(p));
+  return fut;
+}
+
+void AsyncNetClient::Submit(NetRequest req, CompletionQueue* cq, uint64_t tag) {
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Pending p;
+  p.cq = cq;
+  p.tag = tag;
+  SubmitEncoded(req.type, req.id, EncodeRequest(req), std::move(p));
+}
+
+void AsyncNetClient::Submit(NetRequest req, ResponseCallback done) {
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Pending p;
+  p.callback = std::move(done);
+  SubmitEncoded(req.type, req.id, EncodeRequest(req), std::move(p));
+}
+
+void AsyncNetClient::SubmitEncoded(MsgType type, uint64_t id, const Bytes& payload,
+                                   Pending p) {
+  p.type = type;
+  size_t s = next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+  Slot& slot = *slots_[s];
+
+  // slot.mu serializes dialing and keeps the (conn_id, generation) pair
+  // coherent for the pending entry; it is NOT held across the response.
+  std::unique_lock<std::mutex> lk(slot.mu);
+  Status st = EnsureConnectedLocked(s, slot);
+  if (!st.ok()) {
+    lk.unlock();
+    Complete(std::move(p), st);
+    return;
+  }
+  p.slot = s;
+  p.generation = slot.generation;
+  uint64_t conn_id = slot.conn_id;
+  {
+    // Register before sending: on a loopback the response can land before
+    // SendFrame even returns.
+    std::lock_guard<std::mutex> plk(pending_mu_);
+    pending_.emplace(id, std::move(p));
+  }
+  // Drop slot.mu before touching the wire: SendFrame can block on
+  // backpressure, and its fatal-send path runs KillConnection -> on_close
+  // -> OnClose on THIS thread, which relocks slot.mu (self-deadlock if
+  // still held). The pending entry is already registered, so the races
+  // this opens are the ones the whoever-erases-completes protocol handles.
+  lk.unlock();
+  st = loop_.SendFrame(conn_id, payload);
+  if (!st.ok()) {
+    // The connection died underneath us. OnClose may have raced us to the
+    // pending entry; whoever erases it completes it.
+    Pending mine;
+    bool still_pending = false;
+    {
+      std::lock_guard<std::mutex> plk(pending_mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        mine = std::move(it->second);
+        pending_.erase(it);
+        still_pending = true;
+      }
+    }
+    if (still_pending) {
+      Complete(std::move(mine), st);
+    }
+  }
+}
+
+StatusOr<NetResponse> AsyncNetClient::Call(NetRequest req) {
+  bool retryable = req.type != MsgType::kLogAppend;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Bytes payload = EncodeRequest(req);
+  NetFuture fut;
+  {
+    Pending p;
+    p.fut = fut.state_;
+    SubmitEncoded(req.type, req.id, payload, std::move(p));
+  }
+  auto result = fut.Take();
+  if (!result.ok() && result.status().code() == StatusCode::kUnavailable && retryable) {
+    // The connection was likely stale (storage node restarted); the slot
+    // redials on resubmission, reusing the encoded payload and id (the old
+    // pending entry is gone, so the id cannot collide). Every request type
+    // is idempotent (reads, versioned bucket writes, truncations, sync)
+    // EXCEPT kLogAppend, which must stay at-most-once — the server may have
+    // appended and died before answering, and a duplicate WAL record would
+    // corrupt recovery.
+    NetFuture retry;
+    Pending p;
+    p.fut = retry.state_;
+    SubmitEncoded(req.type, req.id, payload, std::move(p));
+    result = retry.Take();
+  }
+  return result;
+}
+
+void AsyncNetClient::OnFrame(size_t s, uint64_t generation, Bytes payload) {
+  MsgType type;
+  uint64_t id = 0;
+  Status peeked = PeekHeader(payload, &type, &id);
+
+  Pending p;
+  bool found = false;
+  if (peeked.ok() && type == MsgType::kResponse) {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    auto it = pending_.find(id);
+    if (it != pending_.end() && it->second.slot == s && it->second.generation == generation) {
+      p = std::move(it->second);
+      pending_.erase(it);
+      found = true;
+    }
+  }
+  if (!found) {
+    // Unparseable header or an id we never sent: the stream can no longer
+    // be trusted. Closing fails everything pending on this connection.
+    uint64_t conn_id;
+    {
+      Slot& slot = *slots_[s];
+      std::lock_guard<std::mutex> lk(slot.mu);
+      conn_id = slot.generation == generation ? slot.conn_id : 0;
+    }
+    if (conn_id != 0) {
+      loop_.CloseConnection(conn_id,
+                            Status::Internal("response for unknown request id (desync)"));
+    }
+    return;
+  }
+
+  NetResponse resp;
+  Status decoded = DecodeResponse(payload, p.type, &resp);
+  if (!decoded.ok()) {
+    Complete(std::move(p), decoded);
+    return;
+  }
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  Complete(std::move(p), std::move(resp));
+}
+
+void AsyncNetClient::OnClose(size_t s, uint64_t generation, const Status& reason) {
+  {
+    Slot& slot = *slots_[s];
+    std::lock_guard<std::mutex> lk(slot.mu);
+    if (slot.generation == generation) {
+      slot.conn_id = 0;  // next submission redials
+    }
+  }
+  FailPendingsOf(s, generation,
+                 reason.ok() ? Status::Unavailable("connection closed") : reason);
+}
+
+void AsyncNetClient::FailPendingsOf(size_t s, uint64_t generation, const Status& reason) {
+  // Fail fast: every request in flight on the lost connection completes
+  // *now* with Unavailable — callers never wait out a timeout for a socket
+  // that is already gone.
+  std::vector<Pending> lost;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.slot == s && it->second.generation == generation) {
+        lost.push_back(std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  Status unavailable = reason.code() == StatusCode::kUnavailable
+                           ? reason
+                           : Status::Unavailable(reason.message().empty()
+                                                     ? "connection closed"
+                                                     : reason.message());
+  for (Pending& p : lost) {
+    Complete(std::move(p), unavailable);
+  }
+}
+
+void AsyncNetClient::Complete(Pending&& p, StatusOr<NetResponse> result) {
+  if (p.callback) {
+    p.callback(std::move(result));
+    return;
+  }
+  if (p.cq != nullptr) {
+    p.cq->Push(p.tag, std::move(result));
+    return;
+  }
+  if (p.fut != nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(p.fut->mu);
+      p.fut->result = std::move(result);
+      p.fut->done = true;
+    }
+    p.fut->cv.notify_all();
+  }
+}
+
+}  // namespace obladi

@@ -1,0 +1,172 @@
+// Asynchronous request-id-multiplexed RPC client: the wire-v2 counterpart of
+// NetClient's blocking connection pool.
+//
+// Where NetClient pins one blocked thread to one connection per in-flight
+// RPC (overlap capped at pool_size), AsyncNetClient separates submission
+// from completion: Submit() encodes the request, queues it on one of a few
+// multiplexed connections, and returns immediately with a future; a single
+// epoll event-loop thread (src/net/event_loop.h) moves all the bytes and
+// pairs each returning frame with its pending request by id — responses may
+// arrive in any order. Hundreds of RPCs can be outstanding with zero
+// dedicated threads, which is what lets the epoch pipeline overlap whole
+// batches across shards instead of serializing on pool checkout.
+//
+// Failure model: a connection loss fails every RPC pending on it *fast*
+// (completions fire with Unavailable the moment the loop observes the
+// error; nothing waits for a timeout), and the slot redials on the next
+// submission. Call() retries idempotent requests once across a redial —
+// except kLogAppend, which stays at-most-once: the server may have appended
+// and died before answering, and a blind resend would duplicate the WAL
+// record.
+#ifndef OBLADI_SRC_NET_ASYNC_CLIENT_H_
+#define OBLADI_SRC_NET_ASYNC_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/net/wire.h"
+#include "src/storage/latency_store.h"
+
+namespace obladi {
+
+struct AsyncClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // Multiplexed sockets. One already sustains hundreds of outstanding
+  // requests; a second mainly buys head-of-line relief for huge frames.
+  size_t num_connections = 1;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Per-connection send-queue cap (bytes); submitters block above it.
+  size_t write_queue_cap = kDefaultWriteQueueCapBytes;
+};
+
+// Completion handle for one submitted request.
+class NetFuture {
+ public:
+  NetFuture();
+
+  // Blocks until the response or transport failure lands.
+  const StatusOr<NetResponse>& Wait() const;
+  StatusOr<NetResponse> Take();  // Wait + move out
+  bool Ready() const;
+
+ private:
+  friend class AsyncNetClient;
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    bool done = false;
+    StatusOr<NetResponse> result;
+    State() : result(Status::Internal("pending")) {}
+  };
+  std::shared_ptr<State> state_;
+};
+
+// Drains completions in *arrival* order, whatever order requests were
+// submitted in — the client-side analogue of an io_uring CQ ring. One queue
+// may collect completions from many concurrent submitters.
+class CompletionQueue {
+ public:
+  struct Completion {
+    uint64_t tag = 0;  // caller-chosen, passed through Submit
+    StatusOr<NetResponse> result;
+    Completion() : result(Status::Internal("pending")) {}
+  };
+
+  // Blocks until one completion is available.
+  Completion Next();
+  // Blocks until n completions arrived; returns them in arrival order.
+  std::vector<Completion> Drain(size_t n);
+  size_t ready() const;
+
+ private:
+  friend class AsyncNetClient;
+  void Push(uint64_t tag, StatusOr<NetResponse> result);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Completion> done_;
+};
+
+class AsyncNetClient {
+ public:
+  // Starts the event loop and verifies the server is reachable with a Ping.
+  static StatusOr<std::shared_ptr<AsyncNetClient>> Connect(AsyncClientOptions options);
+
+  explicit AsyncNetClient(AsyncClientOptions options);
+  ~AsyncNetClient();
+
+  AsyncNetClient(const AsyncNetClient&) = delete;
+  AsyncNetClient& operator=(const AsyncNetClient&) = delete;
+
+  Status Start();
+
+  // Queue one request (fills req.id) and return its completion handle.
+  // Submission blocks only on write-queue backpressure, never on the
+  // response. The future completes from the event-loop thread.
+  NetFuture Submit(NetRequest req);
+  // Completion-queue form: the result lands in `cq` tagged with `tag`.
+  void Submit(NetRequest req, CompletionQueue* cq, uint64_t tag);
+  // Callback form: `done` fires on the event-loop thread (or inline on a
+  // submission failure). Keep it cheap; hand heavy work to a pool.
+  using ResponseCallback = std::function<void(StatusOr<NetResponse>)>;
+  void Submit(NetRequest req, ResponseCallback done);
+
+  // Blocking convenience: Submit + Wait, with a single transparent
+  // resubmission across a redial for idempotent types (never kLogAppend).
+  StatusOr<NetResponse> Call(NetRequest req);
+
+  NetworkStats& stats() { return stats_; }
+  const AsyncClientOptions& options() const { return options_; }
+
+ private:
+  // One multiplexed connection slot. generation increments per dial so
+  // completions of a lost connection never touch its successor's pendings.
+  struct Slot {
+    std::mutex mu;
+    uint64_t conn_id = 0;  // 0 = not connected
+    uint64_t generation = 0;
+    bool ever_connected = false;
+  };
+  struct Pending {
+    MsgType type = MsgType::kPing;
+    size_t slot = 0;
+    uint64_t generation = 0;
+    // Exactly one of fut / cq / callback is set.
+    std::shared_ptr<NetFuture::State> fut;
+    CompletionQueue* cq = nullptr;
+    uint64_t tag = 0;
+    ResponseCallback callback;
+  };
+
+  void SubmitEncoded(MsgType type, uint64_t id, const Bytes& payload, Pending p);
+  // Dial slot `s` if it has no live connection. Caller holds slot.mu.
+  Status EnsureConnectedLocked(size_t s, Slot& slot);
+  void OnFrame(size_t s, uint64_t generation, Bytes payload);
+  void OnClose(size_t s, uint64_t generation, const Status& reason);
+  // Remove-and-complete: whoever erases the pending entry completes it.
+  void Complete(Pending&& p, StatusOr<NetResponse> result);
+  void FailPendingsOf(size_t s, uint64_t generation, const Status& reason);
+
+  AsyncClientOptions options_;
+  EventLoop loop_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> next_slot_{0};
+  NetworkStats stats_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, Pending> pending_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_NET_ASYNC_CLIENT_H_

@@ -1,0 +1,397 @@
+#include "src/net/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace obladi {
+namespace {
+
+constexpr uint64_t kWakeToken = ~0ull;  // epoll data value for the eventfd
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+// One wire frame as a single contiguous send buffer: length prefix + payload.
+Bytes FrameBuffer(const Bytes& payload) {
+  Bytes buf;
+  buf.reserve(4 + payload.size());
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<uint8_t>(n >> (8 * i)));
+  }
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return buf;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("event loop already running");
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Errno("epoll_create1");
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    Status st = Errno("eventfd");
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeToken;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    Status st = Errno("epoll_ctl add wakefd");
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    return st;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { LoopThread(); });
+  return Status::Ok();
+}
+
+void EventLoop::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  // Fail every surviving connection (this also unblocks senders parked on
+  // backpressure, who now see dead and return Unavailable).
+  std::vector<std::pair<uint64_t, std::shared_ptr<Conn>>> leftover;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    leftover.assign(conns_.begin(), conns_.end());
+  }
+  for (auto& [id, conn] : leftover) {
+    KillConnection(id, conn, Status::Unavailable("event loop stopped"));
+  }
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+StatusOr<uint64_t> EventLoop::AddConnection(TcpSocket sock, ConnectionHandlers handlers,
+                                            size_t max_frame_bytes, size_t write_queue_cap) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("event loop not running");
+  }
+  if (!sock.valid()) {
+    return Status::InvalidArgument("invalid socket");
+  }
+  OBLADI_RETURN_IF_ERROR(SetNonBlocking(sock.fd()));
+
+  auto conn = std::make_shared<Conn>();
+  conn->sock = std::move(sock);
+  conn->handlers = std::move(handlers);
+  conn->max_frame_bytes = max_frame_bytes;
+  conn->write_queue_cap = write_queue_cap == 0 ? 1 : write_queue_cap;
+
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.emplace(id, conn);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->sock.fd(), &ev) < 0) {
+    Status st = Errno("epoll_ctl add");
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.erase(id);
+    return st;
+  }
+  return id;
+}
+
+std::shared_ptr<EventLoop::Conn> EventLoop::FindConn(uint64_t id) const {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+Status EventLoop::SendFrame(uint64_t conn_id, const Bytes& payload) {
+  if (payload.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("frame exceeds u32 length prefix");
+  }
+  std::shared_ptr<Conn> conn = FindConn(conn_id);
+  if (conn == nullptr) {
+    return Status::Unavailable("connection is gone");
+  }
+  Bytes buf = FrameBuffer(payload);
+  bool fatal = false;
+  {
+    std::unique_lock<std::mutex> lk(conn->mu);
+    // Backpressure: hold the submitter here until the loop drains the queue
+    // below the cap (or the connection dies). A single frame larger than the
+    // cap is still accepted — refusing it would deadlock the submitter.
+    conn->cv.wait(lk, [&] { return conn->dead || conn->wq_bytes < conn->write_queue_cap; });
+    if (conn->dead) {
+      return Status::Unavailable("connection closed");
+    }
+    if (conn->wq.empty()) {
+      // Fast path: the socket is usually writable; push bytes straight from
+      // the submitting thread and only queue the remainder. Ordering is safe
+      // because the queue is empty and mu is held.
+      size_t sent = 0;
+      while (sent < buf.size()) {
+        ssize_t rc = ::send(conn->sock.fd(), buf.data() + sent, buf.size() - sent,
+                            MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (rc > 0) {
+          sent += static_cast<size_t>(rc);
+          continue;
+        }
+        if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          break;
+        }
+        if (rc < 0 && errno == EINTR) {
+          continue;
+        }
+        fatal = true;
+        break;
+      }
+      if (!fatal && sent < buf.size()) {
+        conn->woffset = sent;
+        conn->wq_bytes += buf.size() - sent;
+        conn->wq.push_back(std::move(buf));
+        UpdateInterestLocked(conn_id, *conn);
+      }
+    } else {
+      conn->wq_bytes += buf.size();
+      conn->wq.push_back(std::move(buf));
+      UpdateInterestLocked(conn_id, *conn);
+    }
+  }
+  if (fatal) {
+    KillConnection(conn_id, conn, Errno("send"));
+    return Status::Unavailable("connection closed");
+  }
+  return Status::Ok();
+}
+
+size_t EventLoop::QueuedBytes(uint64_t conn_id) const {
+  std::shared_ptr<Conn> conn = FindConn(conn_id);
+  if (conn == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lk(conn->mu);
+  return conn->wq_bytes;
+}
+
+void EventLoop::CloseConnection(uint64_t conn_id, const Status& reason) {
+  std::shared_ptr<Conn> conn = FindConn(conn_id);
+  if (conn != nullptr) {
+    KillConnection(conn_id, conn, reason);
+  }
+}
+
+void EventLoop::UpdateInterestLocked(uint64_t id, Conn& conn) {
+  bool want = !conn.wq.empty();
+  if (want == conn.want_write || conn.dead) {
+    return;
+  }
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  // Arming EPOLLOUT on an already-writable socket wakes a blocked
+  // epoll_wait, so the loop picks the queue up without a separate signal.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+}
+
+bool EventLoop::DrainWriteQueueLocked(Conn& conn) {
+  while (!conn.wq.empty()) {
+    Bytes& front = conn.wq.front();
+    ssize_t rc = ::send(conn.sock.fd(), front.data() + conn.woffset,
+                        front.size() - conn.woffset, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (rc < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    conn.woffset += static_cast<size_t>(rc);
+    conn.wq_bytes -= static_cast<size_t>(rc);
+    if (conn.woffset == front.size()) {
+      conn.wq.pop_front();
+      conn.woffset = 0;
+    }
+  }
+  return true;
+}
+
+void EventLoop::HandleWritable(uint64_t id, const std::shared_ptr<Conn>& conn) {
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    ok = DrainWriteQueueLocked(*conn);
+    if (ok) {
+      UpdateInterestLocked(id, *conn);
+      if (conn->wq_bytes < conn->write_queue_cap) {
+        conn->cv.notify_all();  // release senders parked on backpressure
+      }
+    }
+  }
+  if (!ok) {
+    KillConnection(id, conn, Errno("send"));
+  }
+}
+
+void EventLoop::HandleReadable(uint64_t id, const std::shared_ptr<Conn>& conn) {
+  // Read first, deliver second, kill last: a peer that answers and then
+  // closes (the server's protocol-error path) must still get its final
+  // frame delivered before on_close fires.
+  Status close_reason = Status::Ok();
+  uint8_t chunk[64 * 1024];
+  while (true) {
+    ssize_t rc = ::recv(conn->sock.fd(), chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (rc > 0) {
+      conn->rbuf.insert(conn->rbuf.end(), chunk, chunk + rc);
+      if (static_cast<size_t>(rc) < sizeof(chunk)) {
+        break;  // drained the socket
+      }
+      continue;
+    }
+    if (rc == 0) {
+      close_reason = Status::Unavailable("peer closed");
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    close_reason = Errno("recv");
+    break;
+  }
+
+  // Deliver every complete frame in the reassembly buffer. An on_frame
+  // handler may itself close the connection (a desynced client stream);
+  // once on_close has fired, no further on_frame may follow — re-check
+  // dead between deliveries.
+  size_t pos = 0;
+  auto is_dead = [&] {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    return conn->dead;
+  };
+  while (conn->rbuf.size() - pos >= 4 && !is_dead()) {
+    uint32_t n = 0;
+    for (int i = 0; i < 4; ++i) {
+      n |= static_cast<uint32_t>(conn->rbuf[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    if (n > conn->max_frame_bytes) {
+      KillConnection(id, conn,
+                     Status::InvalidArgument("frame of " + std::to_string(n) +
+                                             " bytes exceeds limit"));
+      return;
+    }
+    if (conn->rbuf.size() - pos - 4 < n) {
+      break;  // frame still in flight
+    }
+    Bytes payload(conn->rbuf.begin() + static_cast<ptrdiff_t>(pos + 4),
+                  conn->rbuf.begin() + static_cast<ptrdiff_t>(pos + 4 + n));
+    pos += 4 + n;
+    if (conn->handlers.on_frame) {
+      conn->handlers.on_frame(std::move(payload));
+    }
+  }
+  if (pos > 0) {
+    conn->rbuf.erase(conn->rbuf.begin(), conn->rbuf.begin() + static_cast<ptrdiff_t>(pos));
+  }
+  if (!close_reason.ok()) {
+    KillConnection(id, conn, close_reason);
+  }
+}
+
+void EventLoop::KillConnection(uint64_t id, const std::shared_ptr<Conn>& conn,
+                               const Status& reason) {
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->dead) {
+      return;  // another thread already ran the teardown
+    }
+    conn->dead = true;
+    conn->cv.notify_all();
+  }
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->sock.fd(), nullptr);
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.erase(id);
+  }
+  if (conn->handlers.on_close) {
+    conn->handlers.on_close(reason);
+  }
+}
+
+void EventLoop::LoopThread() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/200);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // epoll fd itself failed; Stop() cleans up
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t id = events[i].data.u64;
+      if (id == kWakeToken) {
+        uint64_t drain;
+        (void)!::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      std::shared_ptr<Conn> conn = FindConn(id);
+      if (conn == nullptr) {
+        continue;  // closed between epoll_wait and now
+      }
+      uint32_t ev = events[i].events;
+      if (ev & (EPOLLHUP | EPOLLERR)) {
+        // Let the read path surface the precise error (recv returns it).
+        HandleReadable(id, conn);
+        continue;
+      }
+      if (ev & EPOLLOUT) {
+        HandleWritable(id, conn);
+      }
+      if (ev & EPOLLIN) {
+        HandleReadable(id, conn);
+      }
+    }
+  }
+}
+
+}  // namespace obladi

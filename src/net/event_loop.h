@@ -1,0 +1,134 @@
+// Single-threaded epoll readiness loop: the submission/completion split that
+// lets one thread drive hundreds of outstanding RPCs over a few sockets
+// (TaoStore-style asynchronous remote ORAM).
+//
+// Connections are non-blocking; the loop owns all socket I/O. Reads are
+// reassembled into whole length-prefixed frames (the src/net/wire.h framing)
+// and delivered via on_frame; writes go through a per-connection queue that
+// the loop drains whenever the socket is writable. SendFrame is callable
+// from any thread: it appends to the queue (with an inline fast-path send
+// when the queue is empty) and applies *backpressure* — it blocks while the
+// queue holds more than write_queue_cap bytes, so a peer that stops reading
+// stalls its submitters instead of growing an unbounded buffer.
+//
+// Handler threading contract: on_frame fires on the loop thread — keep it
+// cheap (decode + hand off; never block on the loop thread, it stalls every
+// other connection). on_close fires exactly once per connection, on
+// whichever thread observes the failure first (loop thread for I/O errors
+// and Stop, caller thread for CloseConnection).
+//
+// io_uring note: this interface (submit frames / complete frames) is
+// deliberately backend-neutral; an io_uring implementation would slot in
+// behind the same API with zero caller changes (ROADMAP).
+#ifndef OBLADI_SRC_NET_EVENT_LOOP_H_
+#define OBLADI_SRC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/net/socket.h"
+
+namespace obladi {
+
+// Queue more than this many bytes on one connection and SendFrame blocks
+// until the loop drains below it. Sized to hold a full epoch write-back
+// burst without stalling, while still bounding a slow reader's footprint.
+inline constexpr size_t kDefaultWriteQueueCapBytes = 64u << 20;
+
+class EventLoop {
+ public:
+  struct ConnectionHandlers {
+    // One complete frame payload (length prefix stripped). Loop thread.
+    std::function<void(Bytes)> on_frame;
+    // The connection is gone: peer closed, I/O error, protocol violation
+    // (oversized frame), CloseConnection, or loop shutdown. Fires exactly
+    // once; no on_frame follows it.
+    std::function<void(const Status&)> on_close;
+  };
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Creates the epoll instance and launches the loop thread.
+  Status Start();
+  // Idempotent. Closes every connection (on_close fires with Unavailable),
+  // unblocks senders, joins the loop thread.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Takes ownership of a connected socket, switches it to non-blocking, and
+  // registers it. Returns the connection id used by SendFrame.
+  StatusOr<uint64_t> AddConnection(TcpSocket sock, ConnectionHandlers handlers,
+                                   size_t max_frame_bytes,
+                                   size_t write_queue_cap = kDefaultWriteQueueCapBytes);
+
+  // Queue one wire frame (the 4-byte length prefix is added here). Blocks
+  // while the connection's write queue is over its cap; returns Unavailable
+  // if the connection is gone or the loop stopped.
+  Status SendFrame(uint64_t conn_id, const Bytes& payload);
+
+  // Tear one connection down (its on_close fires with the given status).
+  void CloseConnection(uint64_t conn_id, const Status& reason);
+
+  // Bytes currently queued but not yet written (0 if the connection is
+  // gone). Test hook for the backpressure contract.
+  size_t QueuedBytes(uint64_t conn_id) const;
+
+ private:
+  struct Conn {
+    TcpSocket sock;
+    ConnectionHandlers handlers;
+    size_t max_frame_bytes = 0;
+    size_t write_queue_cap = 0;
+
+    // Read reassembly (loop thread only).
+    Bytes rbuf;
+
+    // Write queue; guarded by mu. Front buffer may be partially sent
+    // (woffset into it). dead flips once; the flipping thread runs on_close.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Bytes> wq;
+    size_t wq_bytes = 0;
+    size_t woffset = 0;
+    bool want_write = false;  // EPOLLOUT currently armed
+    bool dead = false;
+  };
+
+  void LoopThread();
+  void HandleReadable(uint64_t id, const std::shared_ptr<Conn>& conn);
+  void HandleWritable(uint64_t id, const std::shared_ptr<Conn>& conn);
+  // Flush as much of the queue as the socket accepts. Returns false on a
+  // fatal socket error. Caller holds conn->mu.
+  bool DrainWriteQueueLocked(Conn& conn);
+  void UpdateInterestLocked(uint64_t id, Conn& conn);
+  // Transition to dead (once), fail blocked senders, deregister, on_close.
+  void KillConnection(uint64_t id, const std::shared_ptr<Conn>& conn, const Status& reason);
+  std::shared_ptr<Conn> FindConn(uint64_t id) const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() pokes the loop out of epoll_wait
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_NET_EVENT_LOOP_H_

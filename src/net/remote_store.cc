@@ -114,19 +114,47 @@ Status OverallStatus(const StatusOr<NetResponse>& resp) {
   return resp->ToStatus();
 }
 
+// Unpack a kReadSlots response into per-slot results, charging stats for the
+// payload bytes. Shared by the blocking and async read paths.
+std::vector<StatusOr<Bytes>> UnpackReads(StatusOr<NetResponse> resp, size_t expected,
+                                         NetworkStats& stats) {
+  Status st = OverallStatus(resp);
+  std::vector<StatusOr<Bytes>> out;
+  out.reserve(expected);
+  if (!st.ok() || resp->reads.size() != expected) {
+    if (st.ok()) {
+      st = Status::Internal("server returned wrong read count");
+    }
+    for (size_t i = 0; i < expected; ++i) {
+      out.push_back(st);
+    }
+    return out;
+  }
+  stats.reads.fetch_add(expected, std::memory_order_relaxed);
+  for (ReadResult& read : resp->reads) {
+    if (read.code == StatusCode::kOk) {
+      stats.bytes_read.fetch_add(read.payload.size(), std::memory_order_relaxed);
+      out.push_back(std::move(read.payload));
+    } else {
+      out.push_back(Status(read.code, std::move(read.message)));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // --- RemoteBucketStore ------------------------------------------------------
 
 StatusOr<std::unique_ptr<RemoteBucketStore>> RemoteBucketStore::Connect(
     RemoteStoreOptions options) {
-  auto client = NetClient::Connect(std::move(options));
+  auto client = AsyncNetClient::Connect(options.ToAsyncOptions());
   if (!client.ok()) {
     return client.status();
   }
   NetRequest req;
   req.type = MsgType::kNumBuckets;
-  auto resp = (*client)->Call(req);
+  auto resp = (*client)->Call(std::move(req));
   Status st = OverallStatus(resp);
   if (!st.ok()) {
     return st;
@@ -145,30 +173,18 @@ std::vector<StatusOr<Bytes>> RemoteBucketStore::ReadSlotsBatch(
   NetRequest req;
   req.type = MsgType::kReadSlots;
   req.reads = refs;
-  auto resp = client_->Call(std::move(req));
-  Status st = OverallStatus(resp);
-  std::vector<StatusOr<Bytes>> out;
-  out.reserve(refs.size());
-  if (!st.ok() || resp->reads.size() != refs.size()) {
-    if (st.ok()) {
-      st = Status::Internal("server returned wrong read count");
-    }
-    for (size_t i = 0; i < refs.size(); ++i) {
-      out.push_back(st);
-    }
-    return out;
-  }
-  NetworkStats& stats = client_->stats();
-  stats.reads.fetch_add(refs.size(), std::memory_order_relaxed);
-  for (ReadResult& read : resp->reads) {
-    if (read.code == StatusCode::kOk) {
-      stats.bytes_read.fetch_add(read.payload.size(), std::memory_order_relaxed);
-      out.push_back(std::move(read.payload));
-    } else {
-      out.push_back(Status(read.code, std::move(read.message)));
-    }
-  }
-  return out;
+  return UnpackReads(client_->Call(std::move(req)), refs.size(), client_->stats());
+}
+
+void RemoteBucketStore::ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) {
+  size_t n = refs.size();
+  NetRequest req;
+  req.type = MsgType::kReadSlots;
+  req.reads = std::move(refs);
+  client_->Submit(std::move(req),
+                  [this, n, done = std::move(done)](StatusOr<NetResponse> resp) {
+                    done(UnpackReads(std::move(resp), n, client_->stats()));
+                  });
 }
 
 Status RemoteBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
@@ -201,6 +217,30 @@ Status RemoteBucketStore::WriteBucketsBatch(std::vector<BucketImage> images) {
   return st;
 }
 
+void RemoteBucketStore::WriteBucketsBatchAsync(std::vector<BucketImage> images,
+                                               WriteBucketsDone done) {
+  size_t n = images.size();
+  size_t bytes = 0;
+  for (const BucketImage& image : images) {
+    for (const Bytes& slot : image.slots) {
+      bytes += slot.size();
+    }
+  }
+  NetRequest req;
+  req.type = MsgType::kWriteBuckets;
+  req.writes = std::move(images);
+  client_->Submit(std::move(req),
+                  [this, n, bytes, done = std::move(done)](StatusOr<NetResponse> resp) {
+                    Status st = OverallStatus(resp);
+                    if (st.ok()) {
+                      NetworkStats& stats = client_->stats();
+                      stats.writes.fetch_add(n, std::memory_order_relaxed);
+                      stats.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+                    }
+                    done(st);
+                  });
+}
+
 Status RemoteBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) {
   NetRequest req;
   req.type = MsgType::kTruncateBucket;
@@ -209,11 +249,21 @@ Status RemoteBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_
   return OverallStatus(client_->Call(std::move(req)));
 }
 
+Status RemoteBucketStore::TruncateBucketsBatch(const std::vector<TruncateRef>& refs) {
+  if (refs.empty()) {
+    return Status::Ok();
+  }
+  NetRequest req;
+  req.type = MsgType::kTruncateBucketsBatch;
+  req.truncates = refs;
+  return OverallStatus(client_->Call(std::move(req)));
+}
+
 // --- RemoteLogStore ---------------------------------------------------------
 
 StatusOr<std::unique_ptr<RemoteLogStore>> RemoteLogStore::Connect(
     RemoteStoreOptions options) {
-  auto client = NetClient::Connect(std::move(options));
+  auto client = AsyncNetClient::Connect(options.ToAsyncOptions());
   if (!client.ok()) {
     return client.status();
   }

@@ -1,23 +1,28 @@
 // Client half of the proxy <-> cloud-storage split: BucketStore and LogStore
 // implementations that speak src/net/wire.h to a StorageServer over TCP.
 //
-// NetClient owns a pool of `pool_size` connections. Each RPC checks out one
-// connection for its full round trip, so up to pool_size requests are
-// genuinely in flight at once — the real version of the overlap that
-// LatencyBucketStore's calling-thread sleeps simulate, and the knob
-// bench_net_storage sweeps. Callers beyond pool_size block until a
-// connection frees up, exactly like a blocking HTTP client pool against
-// DynamoDB (§11.2).
+// The remote stores ride on AsyncNetClient (src/net/async_client.h): one
+// epoll event-loop thread multiplexes every outstanding RPC over
+// `num_connections` sockets, pairing out-of-order responses by request id.
+// Submission and completion are decoupled, so the epoch pipeline can keep
+// hundreds of slot reads and bucket writes in flight without a thread per
+// RPC — the real version of the overlap that LatencyBucketStore's
+// calling-thread sleeps simulate, and the lever bench_net_storage sweeps.
+// The stores answer SupportsAsyncBatches() and implement the *Async entry
+// points as true submissions, which is what the parallel ORAM keys off.
 //
-// Failure model: a send/recv failure marks the connection dead; the RPC
-// redials once and retries, which makes a storage-node restart invisible to
-// the ORAM above as long as the backend state survived (shadow-paged buckets
-// + durable log — §8's recovery story). If the redial also fails, the RPC
-// returns Unavailable and the proxy's recovery machinery takes over.
+// NetClient, the original blocking connection pool (one checked-out
+// connection per in-flight RPC, overlap capped at pool_size), is kept as
+// the measured baseline: bench_net_storage races the two designs against
+// the same 1 ms storage node.
 //
-// The proxy pipeline runs unchanged over these: they are plain BucketStore /
-// LogStore implementations, so ObladiStore(cfg, remote_buckets, remote_log)
-// is a real two-process deployment.
+// Failure model: a lost connection fails every RPC pending on it fast; the
+// synchronous entry points then redial and retry once — except LogAppend,
+// which stays at-most-once (the server may have appended before dying; a
+// blind resend would duplicate the WAL record). A storage-node restart is
+// therefore invisible to the ORAM above as long as the backend state
+// survived (shadow-paged buckets + durable log — §8's recovery story).
+// Async submissions do NOT retry: epoch-level recovery owns those failures.
 #ifndef OBLADI_SRC_NET_REMOTE_STORE_H_
 #define OBLADI_SRC_NET_REMOTE_STORE_H_
 
@@ -28,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/async_client.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
 #include "src/storage/bucket_store.h"
@@ -38,23 +44,35 @@ namespace obladi {
 struct RemoteStoreOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
-  // Connections in the pool = max overlapping RPCs. Size it to the I/O
-  // parallelism above it (the ORAM's io_threads).
+  // Multiplexed sockets for the async client (the remote stores). One
+  // connection already carries hundreds of outstanding requests.
+  size_t num_connections = 1;
+  // Pool size for the legacy blocking NetClient = max overlapping RPCs
+  // (bench baseline only; the remote stores no longer use it).
   size_t pool_size = 4;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  AsyncClientOptions ToAsyncOptions() const {
+    AsyncClientOptions opts;
+    opts.host = host;
+    opts.port = port;
+    opts.num_connections = num_connections;
+    opts.max_frame_bytes = max_frame_bytes;
+    return opts;
+  }
 };
 
-// Shared RPC transport. Thread-safe; one instance may back a
-// RemoteBucketStore and a RemoteLogStore simultaneously (they then share
-// the pool, like one storage endpoint serving both tables).
+// Blocking thread-per-RPC transport (pre-async design, kept as the measured
+// baseline). Thread-safe; one instance may back several callers.
 class NetClient {
  public:
   // Verifies the server is reachable with a Ping before returning.
   static StatusOr<std::shared_ptr<NetClient>> Connect(RemoteStoreOptions options);
 
   // One RPC: check out a connection, send, await the response, check the
-  // connection back in. Transport failures redial once, then surface
-  // Unavailable. Fills `req.id`.
+  // connection back in. Callers beyond pool_size block until a connection
+  // frees up. Transport failures redial once (never for kLogAppend), then
+  // surface Unavailable. Fills `req.id`.
   StatusOr<NetResponse> Call(NetRequest req);
 
   NetworkStats& stats() { return stats_; }
@@ -92,7 +110,7 @@ class RemoteBucketStore : public BucketStore {
   // is immutable once deployed).
   static StatusOr<std::unique_ptr<RemoteBucketStore>> Connect(RemoteStoreOptions options);
 
-  RemoteBucketStore(std::shared_ptr<NetClient> client, size_t num_buckets)
+  RemoteBucketStore(std::shared_ptr<AsyncNetClient> client, size_t num_buckets)
       : client_(std::move(client)), num_buckets_(num_buckets) {}
 
   StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override;
@@ -102,13 +120,22 @@ class RemoteBucketStore : public BucketStore {
   std::vector<StatusOr<Bytes>> ReadSlotsBatch(const std::vector<SlotRef>& refs) override;
   Status WriteBucketsBatch(std::vector<BucketImage> images) override;
   Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
+  // kTruncateBucketsBatch: a whole epoch's GC in one round trip.
+  Status TruncateBucketsBatch(const std::vector<TruncateRef>& refs) override;
   size_t num_buckets() const override { return num_buckets_; }
 
+  // True submissions over the event loop: the call returns once the frame
+  // is queued; `done` fires from the completion path. No retry — the epoch
+  // pipeline's recovery machinery owns async failures.
+  bool SupportsAsyncBatches() const override { return true; }
+  void ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) override;
+  void WriteBucketsBatchAsync(std::vector<BucketImage> images, WriteBucketsDone done) override;
+
   NetworkStats& stats() { return client_->stats(); }
-  const std::shared_ptr<NetClient>& client() const { return client_; }
+  const std::shared_ptr<AsyncNetClient>& client() const { return client_; }
 
  private:
-  std::shared_ptr<NetClient> client_;
+  std::shared_ptr<AsyncNetClient> client_;
   size_t num_buckets_;
 };
 
@@ -116,7 +143,8 @@ class RemoteLogStore : public LogStore {
  public:
   static StatusOr<std::unique_ptr<RemoteLogStore>> Connect(RemoteStoreOptions options);
 
-  explicit RemoteLogStore(std::shared_ptr<NetClient> client) : client_(std::move(client)) {}
+  explicit RemoteLogStore(std::shared_ptr<AsyncNetClient> client)
+      : client_(std::move(client)) {}
 
   StatusOr<uint64_t> Append(Bytes record) override;
   Status Sync() override;
@@ -127,10 +155,10 @@ class RemoteLogStore : public LogStore {
   uint64_t NextLsn() const override;
 
   NetworkStats& stats() { return client_->stats(); }
-  const std::shared_ptr<NetClient>& client() const { return client_; }
+  const std::shared_ptr<AsyncNetClient>& client() const { return client_; }
 
  private:
-  std::shared_ptr<NetClient> client_;
+  std::shared_ptr<AsyncNetClient> client_;
 };
 
 }  // namespace obladi

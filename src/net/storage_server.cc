@@ -41,8 +41,17 @@ void StorageServer::Stop() {
   if (acceptor_.joinable()) {
     acceptor_.join();
   }
-  // Joins the workers; each exits its serve loop once its connection's
-  // recv fails after the shutdown above.
+  // Readers exit once their recv fails after the shutdown above (each first
+  // drains its in-flight worker requests).
+  {
+    std::lock_guard<std::mutex> lk(readers_mu_);
+    for (Reader& r : readers_) {
+      if (r.thread.joinable()) {
+        r.thread.join();
+      }
+    }
+    readers_.clear();
+  }
   workers_.reset();
   listener_.Close();
 }
@@ -59,60 +68,126 @@ void StorageServer::AcceptLoop() {
       continue;
     }
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    auto shared = std::make_shared<TcpSocket>(std::move(*conn));
+    auto state = std::make_shared<ConnState>();
+    state->sock = std::move(*conn);
     {
       std::lock_guard<std::mutex> lk(conns_mu_);
-      live_fds_.insert(shared->fd());
+      live_fds_.insert(state->sock.fd());
     }
-    workers_->Enqueue([this, shared] {
-      ServeConnection(*shared);
-      // Deregister before the socket closes (when `shared` dies) so Stop()
-      // never shutdown()s a recycled fd number.
-      {
-        std::lock_guard<std::mutex> lk(conns_mu_);
-        live_fds_.erase(shared->fd());
+    if (!running_.load(std::memory_order_acquire)) {
+      // Stop() may have swept live_fds_ between our accept and the insert
+      // above; without this re-check the reader would block in recv on a
+      // socket nobody will ever shut down, and Stop() would hang joining it.
+      state->sock.Shutdown();
+    }
+    // A dedicated reader per connection: it only reassembles frames and
+    // enqueues work, so it costs a mostly-sleeping thread, and connections
+    // are few (the async client multiplexes hundreds of RPCs over one).
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lk(readers_mu_);
+    for (auto it = readers_.begin(); it != readers_.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = readers_.erase(it);
+      } else {
+        ++it;
       }
-      shared->Close();
-    });
+    }
+    readers_.push_back(Reader{std::thread([this, state, done] {
+                                ReadLoop(state);
+                                done->store(true, std::memory_order_release);
+                              }),
+                              done});
   }
 }
 
-void StorageServer::ServeConnection(TcpSocket& conn) {
+void StorageServer::ReadLoop(const std::shared_ptr<ConnState>& conn) {
   while (running_.load(std::memory_order_acquire)) {
-    auto frame = conn.RecvFrame(options_.max_frame_bytes);
+    auto frame = conn->sock.RecvFrame(options_.max_frame_bytes);
     if (!frame.ok()) {
       // Clean disconnect, shutdown, or an oversized/garbage frame; either
       // way this connection is done.
       if (frame.status().code() == StatusCode::kInvalidArgument) {
         stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       }
-      return;
+      break;
     }
     stats_.bytes_received.fetch_add(frame->size() + 4, std::memory_order_relaxed);
 
     NetRequest req;
-    NetResponse resp;
     Status decoded = DecodeRequest(*frame, &req);
+    uint64_t seq = conn->next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
     if (!decoded.ok()) {
       // Header (version, type, id) is the first thing decoded; a garbage
       // frame may still yield a usable id, so answer before closing. The
       // stream may be desynced, so do not trust anything after this frame.
+      // Let in-flight requests finish first: their responses are valid and
+      // the client is still pairing by id.
       stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      resp = NetResponse::FromStatus(req, decoded);
-      Bytes payload = EncodeResponse(resp);
-      if (conn.SendFrame(payload, options_.max_frame_bytes).ok()) {
-        stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
+      {
+        std::unique_lock<std::mutex> lk(conn->flight_mu);
+        conn->flight_cv.wait(lk, [&] { return conn->in_flight == 0; });
       }
-      return;
+      SendResponse(*conn, NetResponse::FromStatus(req, decoded), seq);
+      break;
     }
 
-    resp = Handle(req);
-    stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
-    Bytes payload = EncodeResponse(resp);
-    if (!conn.SendFrame(payload, options_.max_frame_bytes).ok()) {
-      return;
+    {
+      std::lock_guard<std::mutex> lk(conn->flight_mu);
+      ++conn->in_flight;
     }
+    // Dispatch to the worker pool and go straight back to recv: frames keep
+    // arriving while earlier requests execute, and their responses go out
+    // in completion order.
+    workers_->Enqueue([this, conn, req = std::move(req), seq]() mutable {
+      ServeRequest(conn, std::move(req), seq);
+    });
+  }
+
+  // Drain in-flight requests, then deregister and close. Deregister happens
+  // before the socket closes so Stop() never shutdown()s a recycled fd.
+  {
+    std::unique_lock<std::mutex> lk(conn->flight_mu);
+    conn->flight_cv.wait(lk, [&] { return conn->in_flight == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    live_fds_.erase(conn->sock.fd());
+  }
+  conn->sock.Close();
+}
+
+void StorageServer::ServeRequest(const std::shared_ptr<ConnState>& conn, NetRequest req,
+                                 uint64_t seq) {
+  NetResponse resp = Handle(req);
+  stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  SendResponse(*conn, resp, seq);
+  {
+    std::lock_guard<std::mutex> lk(conn->flight_mu);
+    --conn->in_flight;
+  }
+  conn->flight_cv.notify_all();
+}
+
+void StorageServer::SendResponse(ConnState& conn, const NetResponse& resp, uint64_t seq) {
+  Bytes payload = EncodeResponse(resp);
+  std::lock_guard<std::mutex> lk(conn.send_mu);
+  // A reply whose frame arrived *after* one that has not replied yet means
+  // completion order diverged from arrival order.
+  uint64_t last = conn.last_replied_seq.load(std::memory_order_relaxed);
+  if (seq < last) {
+    stats_.out_of_order_replies.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    conn.last_replied_seq.store(seq, std::memory_order_relaxed);
+  }
+  if (conn.sock.SendFrame(payload, options_.max_frame_bytes).ok()) {
     stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
+  } else {
+    // A response that cannot be sent (peer gone, or the frame exceeds the
+    // size cap) leaves its request id unanswered forever on a connection
+    // that pairs by id — kill the stream so the client's fail-fast path
+    // fires instead. Shutdown unblocks the reader; it drains and closes.
+    conn.sock.Shutdown();
   }
 }
 
@@ -151,6 +226,13 @@ NetResponse StorageServer::Handle(NetRequest& req) {
     }
     case MsgType::kTruncateBucket: {
       Status st = buckets_->TruncateBucket(req.bucket, req.keep_from_version);
+      if (!st.ok()) {
+        return NetResponse::FromStatus(req, st);
+      }
+      break;
+    }
+    case MsgType::kTruncateBucketsBatch: {
+      Status st = buckets_->TruncateBucketsBatch(req.truncates);
       if (!st.ok()) {
         return NetResponse::FromStatus(req, st);
       }

@@ -5,27 +5,32 @@
 // ciphertexts and MACed log records, so it can run anywhere cloud storage
 // runs. It speaks the src/net/wire.h protocol.
 //
-// Threading: one accept-loop thread hands each accepted connection to a
-// fixed worker pool; a worker serves its connection's request/response
-// stream until the peer disconnects. A client connection pool of size N
-// therefore gets N-way request overlap as long as num_workers >= N (the
-// server is the cloud side — provision it wide). Batched ReadSlots /
-// WriteBuckets requests hit the backend's batched entry points and are
-// answered in a single round trip.
+// Threading (wire v2, multiplexed): one accept-loop thread; one lightweight
+// reader thread per connection that does nothing but reassemble frames and
+// hand each decoded request to the shared worker pool; workers execute
+// against the backend and reply under a per-connection send lock — in
+// completion order, NOT arrival order. A single client connection therefore
+// gets up to num_workers-way request overlap, which is what lets one
+// event-loop client drive hundreds of outstanding RPCs through one socket.
+// Batched ReadSlots / WriteBuckets / TruncateBuckets requests hit the
+// backend's batched entry points and are answered in a single round trip.
 //
 // Stop() (or destruction) shuts down the listener and every live
-// connection, then joins all threads; the backing stores are untouched, so
-// a new StorageServer over the same stores models a storage-node restart —
-// clients reconnect and resume (net_test exercises this).
+// connection, drains in-flight requests, then joins all threads; the
+// backing stores are untouched, so a new StorageServer over the same stores
+// models a storage-node restart — clients reconnect and resume (net_test
+// exercises this).
 #ifndef OBLADI_SRC_NET_STORAGE_SERVER_H_
 #define OBLADI_SRC_NET_STORAGE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/net/socket.h"
@@ -37,9 +42,10 @@ namespace obladi {
 struct StorageServerOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;  // 0 = ephemeral; read the bound port back via port()
-  // Max concurrently served connections. Size this at least as large as the
-  // sum of client pool sizes, or overlapping requests queue behind each
-  // other at the accept stage.
+  // Max concurrently *executing* requests across all connections (requests
+  // beyond this queue in the pool). This bounds backend concurrency, not
+  // connection count — one multiplexed connection can keep every worker
+  // busy. Provision it to the storage node's parallelism.
   size_t num_workers = 16;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
@@ -50,6 +56,9 @@ struct StorageServerStats {
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> bytes_received{0};
   std::atomic<uint64_t> bytes_sent{0};
+  // Responses that overtook an earlier request's response on the same
+  // connection — direct evidence of multiplexed out-of-order completion.
+  std::atomic<uint64_t> out_of_order_replies{0};
 };
 
 class StorageServer {
@@ -74,8 +83,26 @@ class StorageServer {
   const StorageServerStats& stats() const { return stats_; }
 
  private:
+  // Per-connection state shared between the reader thread and the worker
+  // tasks serving its requests. Workers reply under send_mu, so responses
+  // from concurrent requests interleave whole-frame at a time.
+  struct ConnState {
+    TcpSocket sock;
+    std::mutex send_mu;
+    // In-flight request accounting: the reader drains to zero before
+    // closing, so a response is never written to a dead socket by surprise.
+    std::mutex flight_mu;
+    std::condition_variable flight_cv;
+    size_t in_flight = 0;
+    // Frame arrival order vs. reply order (out_of_order_replies evidence).
+    std::atomic<uint64_t> next_seq{0};
+    std::atomic<uint64_t> last_replied_seq{0};
+  };
+
   void AcceptLoop();
-  void ServeConnection(TcpSocket& conn);
+  void ReadLoop(const std::shared_ptr<ConnState>& conn);
+  void ServeRequest(const std::shared_ptr<ConnState>& conn, NetRequest req, uint64_t seq);
+  void SendResponse(ConnState& conn, const NetResponse& resp, uint64_t seq);
   NetResponse Handle(NetRequest& req);
 
   std::shared_ptr<BucketStore> buckets_;
@@ -86,6 +113,17 @@ class StorageServer {
   std::thread acceptor_;
   std::unique_ptr<ThreadPool> workers_;
   std::atomic<bool> running_{false};
+
+  // Reader threads, one per accepted connection. Finished readers are
+  // reaped on the next accept (so a long-lived server does not accumulate
+  // one dead thread per connection ever served); the rest join at Stop().
+  struct Reader {
+    std::thread thread;
+    // Set as the reader's last action: joining a done reader is instant.
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex readers_mu_;
+  std::vector<Reader> readers_;
 
   // Live connection fds, tracked so Stop() can unblock their recv()s.
   std::mutex conns_mu_;

@@ -7,7 +7,7 @@ namespace {
 
 bool ValidMsgType(uint8_t raw) {
   return (raw >= static_cast<uint8_t>(MsgType::kReadSlots) &&
-          raw <= static_cast<uint8_t>(MsgType::kPing)) ||
+          raw <= static_cast<uint8_t>(MsgType::kTruncateBucketsBatch)) ||
          raw == static_cast<uint8_t>(MsgType::kResponse);
 }
 
@@ -73,6 +73,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kLogTruncate: return "LOG_TRUNCATE";
     case MsgType::kLogNextLsn: return "LOG_NEXT_LSN";
     case MsgType::kPing: return "PING";
+    case MsgType::kTruncateBucketsBatch: return "TRUNCATE_BUCKETS_BATCH";
     case MsgType::kResponse: return "RESPONSE";
   }
   return "UNKNOWN";
@@ -104,6 +105,13 @@ Bytes EncodeRequest(const NetRequest& req) {
     case MsgType::kTruncateBucket:
       w.PutU32(req.bucket);
       w.PutU32(req.keep_from_version);
+      break;
+    case MsgType::kTruncateBucketsBatch:
+      w.PutU32(static_cast<uint32_t>(req.truncates.size()));
+      for (const TruncateRef& ref : req.truncates) {
+        w.PutU32(ref.bucket);
+        w.PutU32(ref.keep_from_version);
+      }
       break;
     case MsgType::kLogAppend:
       w.PutBytes(req.record);
@@ -165,6 +173,18 @@ Status DecodeRequest(const Bytes& payload, NetRequest* out) {
       out->bucket = r.GetU32();
       out->keep_from_version = r.GetU32();
       break;
+    case MsgType::kTruncateBucketsBatch: {
+      uint32_t n = r.GetU32();
+      OBLADI_RETURN_IF_ERROR(CheckCount(r, n, 8));
+      out->truncates.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        TruncateRef ref;
+        ref.bucket = r.GetU32();
+        ref.keep_from_version = r.GetU32();
+        out->truncates.push_back(ref);
+      }
+      break;
+    }
     case MsgType::kLogAppend:
       out->record = r.GetBytes();
       break;
@@ -209,6 +229,11 @@ Bytes EncodeResponse(const NetResponse& resp) {
       break;  // status only
   }
   return w.Take();
+}
+
+Status PeekHeader(const Bytes& payload, MsgType* type, uint64_t* id) {
+  BinaryReader r(payload);
+  return GetHeader(r, type, id);
 }
 
 Status DecodeResponse(const Bytes& payload, MsgType request_type, NetResponse* out) {

@@ -8,11 +8,19 @@
 //
 //   u8 wire_version | u8 msg_type | u64 request_id | body...
 //
-// The protocol is natively batched: ReadSlots and WriteBuckets carry N
-// entries and are answered in a single round trip, so a batched BucketStore
-// call costs exactly one network round trip regardless of batch size — the
-// property the latency decorators simulate and the parallel ORAM depends on
-// (§7). Unary calls are batches of one.
+// Version 2 semantics: a connection is a *multiplexed* request stream. The
+// client may have any number of requests outstanding on one connection, the
+// server dispatches each frame to its worker pool as it arrives, and
+// responses come back in **any order** — `request_id` is the only thing that
+// pairs a response with its request (v1 answered strictly in order, which is
+// why the id predates the semantics). One event-loop thread on the client
+// can therefore drive hundreds of in-flight RPCs over a single socket.
+//
+// The protocol is natively batched: ReadSlots, WriteBuckets, and
+// TruncateBuckets carry N entries and are answered in a single round trip,
+// so a batched BucketStore call costs exactly one network round trip
+// regardless of batch size — the property the latency decorators simulate
+// and the parallel ORAM depends on (§7). Unary calls are batches of one.
 //
 // Serialization reuses src/common/serde.h. Decoding arbitrary bytes is safe:
 // malformed input yields an error status, never UB (net_test fuzzes this).
@@ -28,7 +36,8 @@
 
 namespace obladi {
 
-inline constexpr uint8_t kWireVersion = 1;
+// v2: out-of-order response multiplexing + kTruncateBucketsBatch.
+inline constexpr uint8_t kWireVersion = 2;
 
 // Frames larger than this are a protocol violation (stream desync or garbage)
 // and close the connection. Large enough for a full epoch's deferred bucket
@@ -49,6 +58,8 @@ enum class MsgType : uint8_t {
   kLogNextLsn = 9,   // body: empty
   // Health check / connection probe.
   kPing = 10,  // body: empty
+  // Post-epoch GC for a whole shard in one round trip (v2).
+  kTruncateBucketsBatch = 11,  // body: u32 n, n x (u32 bucket, u32 keep_from_version)
   // Server -> client. body: u8 status_code, string status_message, then a
   // result body keyed by the request's type (see NetResponse).
   kResponse = 64,
@@ -62,12 +73,13 @@ struct NetRequest {
   MsgType type = MsgType::kPing;
   uint64_t id = 0;
 
-  std::vector<SlotRef> reads;        // kReadSlots
-  std::vector<BucketImage> writes;   // kWriteBuckets
-  BucketIndex bucket = 0;            // kTruncateBucket
-  uint32_t keep_from_version = 0;    // kTruncateBucket
-  Bytes record;                      // kLogAppend
-  uint64_t lsn = 0;                  // kLogTruncate
+  std::vector<SlotRef> reads;          // kReadSlots
+  std::vector<BucketImage> writes;     // kWriteBuckets
+  BucketIndex bucket = 0;              // kTruncateBucket
+  uint32_t keep_from_version = 0;      // kTruncateBucket
+  std::vector<TruncateRef> truncates;  // kTruncateBucketsBatch
+  Bytes record;                        // kLogAppend
+  uint64_t lsn = 0;                    // kLogTruncate
 };
 
 // One entry of a kReadSlots response: a serialized StatusOr<Bytes>.
@@ -129,6 +141,12 @@ Status DecodeRequest(const Bytes& payload, NetRequest* out);
 // Decoding a response needs the originating request's type to know the
 // result body's shape.
 Status DecodeResponse(const Bytes& payload, MsgType request_type, NetResponse* out);
+
+// Validate only the fixed header of a frame payload and return its type and
+// request id. Responses return out of order on a multiplexed connection, so
+// the async client must pair a frame with its pending request *before* it
+// knows the result body's shape — this is that first look.
+Status PeekHeader(const Bytes& payload, MsgType* type, uint64_t* id);
 
 }  // namespace obladi
 

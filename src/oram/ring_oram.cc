@@ -281,14 +281,32 @@ void RingOram::EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit
   });
 }
 
+void RingOram::ProcessReadGroup(const std::vector<PendingRead>& group,
+                                std::vector<StatusOr<Bytes>> ciphertexts) {
+  for (size_t i = 0; i < group.size(); ++i) {
+    ProcessCiphertext(group[i], std::move(ciphertexts[i]));
+  }
+  {
+    // Notify under the lock: the waiter may destroy this object as soon as
+    // the count hits zero.
+    std::lock_guard<std::mutex> lk(io_mu_);
+    --outstanding_reads_;
+    io_cv_.notify_all();
+  }
+}
+
 void RingOram::DispatchPendingReads() {
   if (pending_reads_.empty()) {
     return;
   }
-  // Split the batch's reads into ~2x-core-count chunks, each issued as one
-  // batched storage request: inter- and intra-request parallelism with a
-  // bounded number of in-flight RPCs.
-  size_t max_chunks = 2 * crypto_pool_->num_threads();
+  // Split the batch's reads into chunks, each issued as one batched storage
+  // request: inter- and intra-request parallelism. Against a blocking store
+  // each in-flight chunk occupies a pool thread for its whole round trip,
+  // so chunks are bounded by ~2x the crypto threads; an async store only
+  // needs a thread at *completion* (to decrypt), so chunks scale with the
+  // I/O width instead — one event loop keeps them all in flight at once.
+  const bool async = options_.parallel && store_->SupportsAsyncBatches();
+  size_t max_chunks = 2 * (async ? pool_->num_threads() : crypto_pool_->num_threads());
   size_t chunk = (pending_reads_.size() + max_chunks - 1) / max_chunks;
   size_t num_chunks = (pending_reads_.size() + chunk - 1) / chunk;
   {
@@ -299,24 +317,32 @@ void RingOram::DispatchPendingReads() {
     size_t end = std::min(start + chunk, pending_reads_.size());
     std::vector<PendingRead> group(pending_reads_.begin() + static_cast<ptrdiff_t>(start),
                                    pending_reads_.begin() + static_cast<ptrdiff_t>(end));
-    pool_->Enqueue([this, group = std::move(group)] {
+    if (async) {
+      // Submit now (non-blocking); the completion fires on the transport's
+      // event-loop thread and hands the ciphertexts to the I/O pool for
+      // decryption — the loop thread never does crypto.
       std::vector<SlotRef> refs;
       refs.reserve(group.size());
       for (const PendingRead& read : group) {
         refs.push_back(SlotRef{read.bucket, read.version, read.slot});
       }
-      auto ciphertexts = store_->ReadSlotsBatch(refs);
-      for (size_t i = 0; i < group.size(); ++i) {
-        ProcessCiphertext(group[i], std::move(ciphertexts[i]));
-      }
-      {
-        // Notify under the lock (see ExecuteReadAsync): the waiter may
-        // destroy this object as soon as the count hits zero.
-        std::lock_guard<std::mutex> lk(io_mu_);
-        --outstanding_reads_;
-        io_cv_.notify_all();
-      }
-    });
+      auto shared_group = std::make_shared<std::vector<PendingRead>>(std::move(group));
+      store_->ReadSlotsBatchAsync(
+          std::move(refs), [this, shared_group](std::vector<StatusOr<Bytes>> ciphertexts) {
+            pool_->Enqueue([this, shared_group, cts = std::move(ciphertexts)]() mutable {
+              ProcessReadGroup(*shared_group, std::move(cts));
+            });
+          });
+    } else {
+      pool_->Enqueue([this, group = std::move(group)] {
+        std::vector<SlotRef> refs;
+        refs.reserve(group.size());
+        for (const PendingRead& read : group) {
+          refs.push_back(SlotRef{read.bucket, read.version, read.slot});
+        }
+        ProcessReadGroup(group, store_->ReadSlotsBatch(refs));
+      });
+    }
   }
   pending_reads_.clear();
 }
@@ -732,6 +758,36 @@ void RingOram::FlushPendingImages() {
   if (images.empty()) {
     return;
   }
+  if (options_.parallel && store_->SupportsAsyncBatches() && images.size() > 1) {
+    // Submit the epoch's write-back as many concurrent sub-batches and wait
+    // on one completion set: the event loop keeps them all in flight, the
+    // server's worker pool executes them in parallel, and no proxy thread
+    // blocks per request.
+    size_t max_chunks = 2 * pool_->num_threads();
+    size_t chunk = (images.size() + max_chunks - 1) / max_chunks;
+    size_t num_chunks = (images.size() + chunk - 1) / chunk;
+    CountdownLatch latch(num_chunks);
+    std::vector<Status> results(num_chunks, Status::Ok());
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t start = c * chunk;
+      size_t end = std::min(start + chunk, images.size());
+      std::vector<BucketImage> sub(std::make_move_iterator(images.begin() +
+                                                           static_cast<ptrdiff_t>(start)),
+                                   std::make_move_iterator(images.begin() +
+                                                           static_cast<ptrdiff_t>(end)));
+      store_->WriteBucketsBatchAsync(std::move(sub), [&results, &latch, c](Status st) {
+        results[c] = std::move(st);
+        latch.CountDown();
+      });
+    }
+    latch.Wait();
+    for (const Status& st : results) {
+      if (!st.ok()) {
+        RecordError(st);
+      }
+    }
+    return;
+  }
   Status st = store_->WriteBucketsBatch(std::move(images));
   if (!st.ok()) {
     RecordError(st);
@@ -926,11 +982,22 @@ Status RingOram::FinishEpoch() {
 }
 
 Status RingOram::TruncateStaleVersions() {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (BucketIndex b = 0; b < meta_.size(); ++b) {
-    OBLADI_RETURN_IF_ERROR(store_->TruncateBucket(b, meta_[b].write_count));
+  // Snapshot the per-bucket version floors under mu_, but keep the lock OUT
+  // of the network round trip: GC used to hold mu_ across one truncate RPC
+  // per bucket, stalling the next epoch's batch admission behind thousands
+  // of sequential round trips. The snapshot is safe to apply lock-free —
+  // write counts only grow, so a concurrent epoch can only make the floor
+  // conservative, never wrong.
+  std::vector<TruncateRef> refs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    refs.reserve(meta_.size());
+    for (BucketIndex b = 0; b < meta_.size(); ++b) {
+      refs.push_back(TruncateRef{b, meta_[b].write_count});
+    }
   }
-  return Status::Ok();
+  // One batched request: a whole shard's GC is one round trip.
+  return store_->TruncateBucketsBatch(refs);
 }
 
 // ---------------------------------------------------------------------------

@@ -218,6 +218,10 @@ class RingOram {
   void ExecuteReadNow(const PendingRead& read);
   // Decrypt, verify, and deposit one fetched ciphertext.
   void ProcessCiphertext(const PendingRead& read, StatusOr<Bytes> ciphertext);
+  // Decrypt+deposit one dispatched chunk's results and retire its
+  // outstanding-read slot (runs on the I/O pool).
+  void ProcessReadGroup(const std::vector<PendingRead>& group,
+                        std::vector<StatusOr<Bytes>> ciphertexts);
   void DispatchPendingReads();
   void WaitOutstandingReads();
   // Issue all buffered bucket images as one batched storage write.

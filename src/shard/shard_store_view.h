@@ -55,6 +55,44 @@ class ShardStoreView : public BucketStore {
     return base_->TruncateBucket(offset_ + bucket, keep_from_version);
   }
 
+  Status TruncateBucketsBatch(const std::vector<TruncateRef>& refs) override {
+    std::vector<TruncateRef> translated;
+    translated.reserve(refs.size());
+    for (const TruncateRef& ref : refs) {
+      OBLADI_RETURN_IF_ERROR(CheckRange(ref.bucket));
+      translated.push_back(TruncateRef{offset_ + ref.bucket, ref.keep_from_version});
+    }
+    return base_->TruncateBucketsBatch(translated);
+  }
+
+  // Async submissions translate like their synchronous twins, so K shards
+  // over one remote store all overlap on the shared event loop.
+  bool SupportsAsyncBatches() const override { return base_->SupportsAsyncBatches(); }
+
+  void ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) override {
+    for (SlotRef& ref : refs) {
+      if (ref.bucket >= num_buckets_) {
+        std::vector<StatusOr<Bytes>> out(
+            refs.size(), Status::InvalidArgument("bucket index outside shard view"));
+        done(std::move(out));
+        return;
+      }
+      ref.bucket += offset_;
+    }
+    base_->ReadSlotsBatchAsync(std::move(refs), std::move(done));
+  }
+
+  void WriteBucketsBatchAsync(std::vector<BucketImage> images, WriteBucketsDone done) override {
+    for (BucketImage& image : images) {
+      if (image.bucket >= num_buckets_) {
+        done(Status::InvalidArgument("bucket index outside shard view"));
+        return;
+      }
+      image.bucket += offset_;
+    }
+    base_->WriteBucketsBatchAsync(std::move(images), std::move(done));
+  }
+
   size_t num_buckets() const override { return num_buckets_; }
 
  private:

@@ -12,6 +12,7 @@
 #define OBLADI_SRC_STORAGE_BUCKET_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/common/status.h"
@@ -36,6 +37,11 @@ struct BucketImage {
   BucketIndex bucket = 0;
   uint32_t version = 0;
   std::vector<Bytes> slots;
+};
+
+struct TruncateRef {
+  BucketIndex bucket = 0;
+  uint32_t keep_from_version = 0;
 };
 
 class BucketStore {
@@ -71,6 +77,42 @@ class BucketStore {
   // Garbage-collect versions strictly below `keep_from_version`. Called after
   // an epoch commits: only the committed version (and newer) must survive.
   virtual Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) = 0;
+
+  // Batched GC: truncate many buckets in one request, so an epoch's
+  // shadow-paging cleanup is one round trip per shard instead of one per
+  // bucket. Default loops over the unary form.
+  virtual Status TruncateBucketsBatch(const std::vector<TruncateRef>& refs) {
+    for (const TruncateRef& ref : refs) {
+      OBLADI_RETURN_IF_ERROR(TruncateBucket(ref.bucket, ref.keep_from_version));
+    }
+    return Status::Ok();
+  }
+
+  // --- asynchronous batched forms -----------------------------------------
+  //
+  // A store whose I/O is completion-driven (the remote stores over the epoll
+  // event loop) answers true and implements the *Async entry points as real
+  // submissions: the call returns once the request is queued on the wire and
+  // `done` fires from the transport's completion path when the response
+  // lands. Callers that overlap many batches (the parallel ORAM's epoch
+  // pipeline) submit them all and wait on one completion set, instead of
+  // parking one blocked thread per in-flight request.
+  //
+  // The defaults execute synchronously and invoke `done` inline on the
+  // calling thread, so callers MUST check SupportsAsyncBatches() before
+  // relying on submission being non-blocking. `done` may fire on an internal
+  // transport thread: keep it cheap and hand heavy work (decryption) to a
+  // worker pool.
+  using ReadSlotsDone = std::function<void(std::vector<StatusOr<Bytes>>)>;
+  using WriteBucketsDone = std::function<void(Status)>;
+
+  virtual bool SupportsAsyncBatches() const { return false; }
+  virtual void ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) {
+    done(ReadSlotsBatch(refs));
+  }
+  virtual void WriteBucketsBatchAsync(std::vector<BucketImage> images, WriteBucketsDone done) {
+    done(WriteBucketsBatch(std::move(images)));
+  }
 
   virtual size_t num_buckets() const = 0;
 };

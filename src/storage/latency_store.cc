@@ -108,7 +108,15 @@ Status LatencyBucketStore::WriteBucketsBatch(std::vector<BucketImage> images) {
 }
 
 Status LatencyBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) {
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   return base_->TruncateBucket(bucket, keep_from_version);
+}
+
+Status LatencyBucketStore::TruncateBucketsBatch(const std::vector<TruncateRef>& refs) {
+  if (!refs.empty()) {
+    stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  }
+  return base_->TruncateBucketsBatch(refs);
 }
 
 StatusOr<uint64_t> LatencyLogStore::Append(Bytes record) {

@@ -83,6 +83,8 @@ class LatencyBucketStore : public BucketStore {
   std::vector<StatusOr<Bytes>> ReadSlotsBatch(const std::vector<SlotRef>& refs) override;
   Status WriteBucketsBatch(std::vector<BucketImage> images) override;
   Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
+  // One round trip for the whole GC batch, mirroring kTruncateBucketsBatch.
+  Status TruncateBucketsBatch(const std::vector<TruncateRef>& refs) override;
   size_t num_buckets() const override { return base_->num_buckets(); }
 
   const NetworkStats& stats() const { return stats_; }

@@ -1,0 +1,75 @@
+// Shared GC round-trip probe (net_test asserts on it, bench_net_storage
+// records it): spin up a loopback storage node, run a K-shard ORAM over a
+// RemoteBucketStore, age it one epoch, and count how many network round
+// trips TruncateStaleVersions costs. With the batched truncate RPC the
+// answer must be exactly K — one kTruncateBucketsBatch per shard — never
+// the bucket count. No gtest dependency, so the bench can include it too.
+#ifndef OBLADI_TESTS_GC_PROBE_H_
+#define OBLADI_TESTS_GC_PROBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/net/remote_store.h"
+#include "src/net/storage_server.h"
+#include "src/shard/shard_router.h"
+#include "src/shard/sharded_oram_set.h"
+#include "src/storage/memory_store.h"
+
+namespace obladi {
+
+struct GcProbeResult {
+  bool ok = false;
+  uint32_t shards = 0;
+  uint64_t round_trips = 0;
+  uint32_t buckets = 0;
+};
+
+inline GcProbeResult RunGcRoundTripProbe(uint32_t num_shards = 4) {
+  GcProbeResult out;
+  ShardLayout layout = ShardLayout::Make(RingOramConfig::ForCapacity(256, 4, 64), num_shards);
+  out.shards = layout.num_shards;
+  out.buckets = layout.total_buckets();
+
+  auto backing = std::make_shared<MemoryBucketStore>(
+      layout.total_buckets(), layout.shard_config.slots_per_bucket());
+  StorageServer server(backing, nullptr);
+  if (!server.Start().ok()) {
+    return out;
+  }
+  RemoteStoreOptions opts;
+  opts.port = server.port();
+  auto remote = RemoteBucketStore::Connect(opts);
+  if (!remote.ok()) {
+    return out;
+  }
+  std::shared_ptr<RemoteBucketStore> store = std::move(*remote);
+
+  ShardedOramOptions options;
+  options.read_quota = 8;
+  options.write_quota = 8;
+  options.oram.io_threads = 8;
+  auto encryptor = std::make_shared<Encryptor>(
+      Encryptor::FromMasterKey(BytesFromString("gc-probe"), false, 7));
+  ShardedOramSet set(layout, options, store, encryptor, 7);
+  if (!set.Initialize(std::vector<Bytes>(256, BytesFromString("v"))).ok()) {
+    return out;
+  }
+  // Age the tree a little so there are stale versions to drop.
+  auto batch = set.ReadBatch({1, 2, 3, 4, 5, 6, 7, 8});
+  if (!batch.ok() || !set.FinishEpoch().ok()) {
+    return out;
+  }
+
+  uint64_t before = store->stats().round_trips.load();
+  if (!set.TruncateStaleVersions().ok()) {
+    return out;
+  }
+  out.round_trips = store->stats().round_trips.load() - before;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_TESTS_GC_PROBE_H_

@@ -1,20 +1,26 @@
 // Tests for the src/net/ remote storage subsystem: wire-protocol framing
 // (including fuzzed garbage), loopback unary/batched round trips, error
-// propagation through the server, connection-pool overlap, storage-node
-// restart, and the full K-shard proxy epoch pipeline over a loopback
-// RemoteBucketStore + RemoteLogStore.
+// propagation through the server, async multiplexing (out-of-order
+// responses, interleaved frames, fail-fast redial, event-loop
+// backpressure), storage-node restart, batched GC round trips, and the full
+// K-shard proxy epoch pipeline over a loopback RemoteBucketStore +
+// RemoteLogStore.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <random>
 #include <thread>
 
+#include "src/net/async_client.h"
+#include "src/net/event_loop.h"
 #include "src/net/remote_store.h"
 #include "src/net/storage_server.h"
 #include "src/net/wire.h"
 #include "src/proxy/obladi_store.h"
 #include "src/storage/latency_store.h"
 #include "src/storage/memory_store.h"
+#include "tests/gc_probe.h"
 #include "tests/paced_proxy.h"
 #include "tests/store_conformance.h"
 
@@ -56,8 +62,13 @@ TEST(WireTest, RequestRoundTripsEveryType) {
   log_trunc.id = 46;
   log_trunc.lsn = 0xdeadbeefcafe;
 
+  NetRequest trunc_batch;
+  trunc_batch.type = MsgType::kTruncateBucketsBatch;
+  trunc_batch.id = 47;
+  trunc_batch.truncates = {{0, 1}, {17, 6}, {0xffffffff, 0xffffffff}};
+
   for (const NetRequest* req :
-       {&read, &write, &trunc, &append, &log_trunc}) {
+       {&read, &write, &trunc, &append, &log_trunc, &trunc_batch}) {
     Bytes payload = EncodeRequest(*req);
     NetRequest decoded;
     ASSERT_TRUE(DecodeRequest(payload, &decoded).ok()) << MsgTypeName(req->type);
@@ -78,6 +89,20 @@ TEST(WireTest, RequestRoundTripsEveryType) {
 
   ASSERT_TRUE(DecodeRequest(EncodeRequest(log_trunc), &decoded).ok());
   EXPECT_EQ(decoded.lsn, 0xdeadbeefcafeull);
+
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(trunc_batch), &decoded).ok());
+  ASSERT_EQ(decoded.truncates.size(), 3u);
+  EXPECT_EQ(decoded.truncates[1].bucket, 17u);
+  EXPECT_EQ(decoded.truncates[1].keep_from_version, 6u);
+  EXPECT_EQ(decoded.truncates[2].bucket, 0xffffffffu);
+
+  // The async client pairs out-of-order responses by peeking the header.
+  MsgType peeked_type;
+  uint64_t peeked_id = 0;
+  ASSERT_TRUE(PeekHeader(EncodeRequest(trunc_batch), &peeked_type, &peeked_id).ok());
+  EXPECT_EQ(peeked_type, MsgType::kTruncateBucketsBatch);
+  EXPECT_EQ(peeked_id, 47u);
+  EXPECT_FALSE(PeekHeader(Bytes{kWireVersion}, &peeked_type, &peeked_id).ok());
 }
 
 TEST(WireTest, ResponseRoundTripsResultBodies) {
@@ -297,21 +322,28 @@ TEST(StorageServerTest, BatchedRpcIsOneRoundTrip) {
 }
 
 TEST(StorageServerTest, PooledConnectionsOverlapRequests) {
-  // Put a 20 ms latency decorator *behind* the server, then issue 8
-  // concurrent unary reads: a pool of 8 should finish in ~1 latency, a pool
-  // of 1 in ~8. This is the genuine overlap LatencyStore only simulates.
+  // The legacy blocking NetClient: put a 20 ms latency decorator *behind*
+  // the server, then issue 8 concurrent unary reads. A pool of 8 should
+  // finish in ~1 latency, a pool of 1 in ~8 — its overlap is capped by pool
+  // slots, which is exactly what the async client removes (next test).
   auto slow = std::make_shared<MemoryBucketStore>(16, 2);
   ASSERT_TRUE(slow->WriteBucket(0, 0, std::vector<Bytes>(2, Bytes(8, 1))).ok());
   LatencyProfile profile{"test", 20000, 20000, 0};
   auto env = StartLoopback(16, 2, std::make_shared<LatencyBucketStore>(slow, profile));
 
   auto timed_reads = [&](size_t pool) {
-    auto store = RemoteBucketStore::Connect(env.ClientOptions(pool));
-    EXPECT_TRUE(store.ok());
+    auto client = NetClient::Connect(env.ClientOptions(pool));
+    EXPECT_TRUE(client.ok());
     auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     for (int i = 0; i < 8; ++i) {
-      threads.emplace_back([&] { EXPECT_TRUE((*store)->ReadSlot(0, 0, 0).ok()); });
+      threads.emplace_back([&] {
+        NetRequest req;
+        req.type = MsgType::kReadSlots;
+        req.reads = {{0, 0, 0}};
+        auto resp = (*client)->Call(std::move(req));
+        EXPECT_TRUE(resp.ok() && resp->ToStatus().ok());
+      });
     }
     for (auto& t : threads) {
       t.join();
@@ -325,6 +357,312 @@ TEST(StorageServerTest, PooledConnectionsOverlapRequests) {
   auto pooled_ms = timed_reads(8);
   EXPECT_GE(serial_ms, 8 * 20);
   EXPECT_LT(pooled_ms, serial_ms / 2) << "pooled connections did not overlap";
+}
+
+TEST(AsyncClientTest, OneConnectionOverlapsConcurrentRequests) {
+  // Same 20 ms storage node, but ONE multiplexed connection and zero extra
+  // client threads: 8 submissions overlap because the server dispatches
+  // concurrent frames from a single connection to its worker pool.
+  auto slow = std::make_shared<MemoryBucketStore>(16, 2);
+  ASSERT_TRUE(slow->WriteBucket(0, 0, std::vector<Bytes>(2, Bytes(8, 1))).ok());
+  LatencyProfile profile{"test", 20000, 20000, 0};
+  auto env = StartLoopback(16, 2, std::make_shared<LatencyBucketStore>(slow, profile));
+
+  auto opts = env.ClientOptions();
+  opts.num_connections = 1;
+  auto store = RemoteBucketStore::Connect(opts);
+  ASSERT_TRUE(store.ok());
+
+  auto start = std::chrono::steady_clock::now();
+  CompletionQueue cq;
+  for (uint64_t i = 0; i < 8; ++i) {
+    NetRequest req;
+    req.type = MsgType::kReadSlots;
+    req.reads = {{0, 0, 0}};
+    (*store)->client()->Submit(std::move(req), &cq, i);
+  }
+  auto completions = cq.Drain(8);
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  for (const auto& c : completions) {
+    ASSERT_TRUE(c.result.ok()) << c.result.status().ToString();
+    EXPECT_TRUE(c.result->ToStatus().ok());
+  }
+  // Serial would be >= 160 ms; multiplexed should be a small multiple of
+  // one 20 ms service time.
+  EXPECT_LT(elapsed_ms, 120) << "requests on one connection did not overlap";
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexing edge cases
+// ---------------------------------------------------------------------------
+
+// ReadSlot against bucket 0 stalls; every other bucket answers immediately.
+// Forces deterministic response reordering on one connection.
+class StallBucket0Store : public BucketStore {
+ public:
+  StallBucket0Store(std::shared_ptr<BucketStore> base, int delay_ms)
+      : base_(std::move(base)), delay_ms_(delay_ms) {}
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override {
+    if (bucket == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    }
+    return base_->ReadSlot(bucket, version, slot);
+  }
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override {
+    return base_->WriteBucket(bucket, version, std::move(slots));
+  }
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override {
+    return base_->TruncateBucket(bucket, keep_from_version);
+  }
+  size_t num_buckets() const override { return base_->num_buckets(); }
+
+ private:
+  std::shared_ptr<BucketStore> base_;
+  int delay_ms_;
+};
+
+TEST(AsyncClientTest, OutOfOrderResponsesOnOneConnection) {
+  auto backing = std::make_shared<MemoryBucketStore>(16, 2);
+  ASSERT_TRUE(backing->WriteBucket(0, 0, std::vector<Bytes>(2, Bytes(8, 0xaa))).ok());
+  ASSERT_TRUE(backing->WriteBucket(1, 0, std::vector<Bytes>(2, Bytes(8, 0xbb))).ok());
+  auto env = StartLoopback(16, 2, std::make_shared<StallBucket0Store>(backing, 200));
+
+  AsyncClientOptions opts;
+  opts.port = env.server->port();
+  opts.num_connections = 1;
+  auto client = AsyncNetClient::Connect(opts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Submit the slow read FIRST, then the fast one, on the same socket. The
+  // fast response must overtake the slow one.
+  CompletionQueue cq;
+  NetRequest slow;
+  slow.type = MsgType::kReadSlots;
+  slow.reads = {{0, 0, 0}};
+  (*client)->Submit(std::move(slow), &cq, /*tag=*/0);
+  NetRequest fast;
+  fast.type = MsgType::kReadSlots;
+  fast.reads = {{1, 0, 0}};
+  (*client)->Submit(std::move(fast), &cq, /*tag=*/1);
+
+  auto completions = cq.Drain(2);
+  ASSERT_TRUE(completions[0].result.ok());
+  ASSERT_TRUE(completions[1].result.ok());
+  EXPECT_EQ(completions[0].tag, 1u) << "fast response did not overtake the stalled one";
+  EXPECT_EQ(completions[1].tag, 0u);
+  EXPECT_EQ(completions[0].result->reads[0].payload[0], 0xbb);
+  EXPECT_EQ(completions[1].result->reads[0].payload[0], 0xaa);
+  EXPECT_GE(env.server->stats().out_of_order_replies.load(), 1u);
+}
+
+TEST(AsyncClientTest, InterleavedBatchAndUnaryFramesStayPairedById) {
+  // Batches and unary requests from several threads share ONE multiplexed
+  // connection; every response must land with its own request, whatever
+  // order the server finishes them in.
+  auto env = StartLoopback(128, 4);
+  for (BucketIndex b = 0; b < 128; ++b) {
+    ASSERT_TRUE(
+        env.buckets->WriteBucket(b, 0, std::vector<Bytes>(4, Bytes(8, static_cast<uint8_t>(b))))
+            .ok());
+  }
+  auto opts = env.ClientOptions();
+  opts.num_connections = 1;
+  auto store = RemoteBucketStore::Connect(opts);
+  ASSERT_TRUE(store.ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(0x5eed + static_cast<uint64_t>(t));
+      for (int iter = 0; iter < 25; ++iter) {
+        // One batch of 16 random slots...
+        std::vector<SlotRef> refs;
+        for (int i = 0; i < 16; ++i) {
+          refs.push_back({static_cast<BucketIndex>(rng() % 128), 0,
+                          static_cast<SlotIndex>(rng() % 4)});
+        }
+        auto results = (*store)->ReadSlotsBatch(refs);
+        for (size_t i = 0; i < refs.size(); ++i) {
+          if (!results[i].ok() || (*results[i])[0] != static_cast<uint8_t>(refs[i].bucket)) {
+            failures.fetch_add(1);
+          }
+        }
+        // ...interleaved with a unary read.
+        BucketIndex b = static_cast<BucketIndex>(rng() % 128);
+        auto one = (*store)->ReadSlot(b, 0, 0);
+        if (!one.ok() || (*one)[0] != static_cast<uint8_t>(b)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Append stalls before hitting the backing log: lets the test catch the
+// server mid-append when the connection dies.
+class SlowAppendLog : public LogStore {
+ public:
+  SlowAppendLog(std::shared_ptr<LogStore> base, int delay_ms)
+      : base_(std::move(base)), delay_ms_(delay_ms) {}
+
+  StatusOr<uint64_t> Append(Bytes record) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return base_->Append(std::move(record));
+  }
+  Status Sync() override { return base_->Sync(); }
+  StatusOr<std::vector<Bytes>> ReadAll() override { return base_->ReadAll(); }
+  Status Truncate(uint64_t upto_lsn) override { return base_->Truncate(upto_lsn); }
+  uint64_t NextLsn() const override { return base_->NextLsn(); }
+
+ private:
+  std::shared_ptr<LogStore> base_;
+  int delay_ms_;
+};
+
+TEST(AsyncClientTest, RedialWithRequestsInFlightFailsFastAndAppendsStayAtMostOnce) {
+  auto buckets = std::make_shared<MemoryBucketStore>(16, 2);
+  ASSERT_TRUE(buckets->WriteBucket(1, 0, std::vector<Bytes>(2, Bytes(8, 0x77))).ok());
+  auto log = std::make_shared<MemoryLogStore>();
+  auto slow_backend = std::make_shared<StallBucket0Store>(buckets, 600);
+  auto slow_log = std::make_shared<SlowAppendLog>(log, 600);
+
+  auto server = std::make_unique<StorageServer>(slow_backend, slow_log);
+  ASSERT_TRUE(server->Start().ok());
+  uint16_t port = server->port();
+
+  RemoteStoreOptions opts;
+  opts.port = port;
+  auto store = RemoteBucketStore::Connect(opts);
+  ASSERT_TRUE(store.ok());
+  auto log_client = AsyncNetClient::Connect(opts.ToAsyncOptions());
+  ASSERT_TRUE(log_client.ok());
+  RemoteLogStore remote_log(*log_client);
+
+  // Put requests in flight that the server will be holding when it dies:
+  // reads stalled 600 ms in the backend and one stalled WAL append.
+  std::vector<NetFuture> inflight;
+  for (int i = 0; i < 4; ++i) {
+    NetRequest req;
+    req.type = MsgType::kReadSlots;
+    req.reads = {{0, 0, 0}};
+    inflight.push_back((*store)->client()->Submit(std::move(req)));
+  }
+  NetRequest append;
+  append.type = MsgType::kLogAppend;
+  append.record = BytesFromString("wal-record-in-flight");
+  NetFuture append_fut = (*log_client)->Submit(std::move(append));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto kill_start = std::chrono::steady_clock::now();
+  // Stop() itself blocks ~550 ms draining the stalled backend workers, so
+  // run it off-thread; the client's completions must not wait for it.
+  std::thread stopper([&] { server->Stop(); });
+  for (auto& fut : inflight) {
+    const auto& result = fut.Wait();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  ASSERT_FALSE(append_fut.Wait().ok());
+  auto fail_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - kill_start)
+                     .count();
+  // Fail-fast: completions fire the moment the socket dies, not after the
+  // backend's 600 ms stall drains.
+  EXPECT_LT(fail_ms, 500) << "lost-connection completions waited out the server drain";
+  stopper.join();
+  server.reset();
+
+  // Restart over the same (durable) backing state: the stale async slots
+  // redial transparently for idempotent requests.
+  StorageServerOptions server_opts;
+  server_opts.port = port;
+  auto restarted = std::make_unique<StorageServer>(slow_backend, slow_log, server_opts);
+  ASSERT_TRUE(restarted->Start().ok());
+  auto after = (*store)->ReadSlot(1, 0, 0);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ((*after)[0], 0x77);
+  EXPECT_GE((*store)->stats().reconnects.load(), 1u);
+
+  // At-most-once append: the client reported the in-flight append as failed
+  // and must NOT have resent it. The server may or may not have committed
+  // the original before dying — one copy at most, never two.
+  auto records = remote_log.ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_LE(records->size(), 1u) << "a failed LogAppend was retried into a duplicate";
+}
+
+TEST(EventLoopTest, SlowReaderBackpressureBoundsTheWriteQueue) {
+  auto listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto client_sock = TcpSocket::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client_sock.ok());
+  auto peer = listener->Accept();
+  ASSERT_TRUE(peer.ok());
+
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  constexpr size_t kCap = 64 * 1024;
+  auto conn = loop.AddConnection(std::move(*client_sock), {}, /*max_frame_bytes=*/1 << 20,
+                                 /*write_queue_cap=*/kCap);
+  ASSERT_TRUE(conn.ok());
+
+  // 6.4 MB of frames vs. a 64 KB queue cap and a peer that reads nothing:
+  // the sender MUST block long before finishing.
+  constexpr size_t kFrames = 400;
+  constexpr size_t kFrameBytes = 16 * 1024;
+  std::atomic<size_t> sent{0};
+  std::thread sender([&] {
+    for (size_t i = 0; i < kFrames; ++i) {
+      Bytes payload(kFrameBytes, static_cast<uint8_t>(i));
+      if (!loop.SendFrame(*conn, payload).ok()) {
+        return;
+      }
+      sent.fetch_add(1);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  size_t sent_while_stalled = sent.load();
+  EXPECT_LT(sent_while_stalled, kFrames) << "sender never felt backpressure";
+  // The queue never grows past cap + one frame (a single frame is always
+  // admitted to avoid deadlock).
+  EXPECT_LE(loop.QueuedBytes(*conn), kCap + kFrameBytes + 4);
+
+  // Drain the peer: the sender unblocks and every frame arrives intact and
+  // in order.
+  size_t received = 0;
+  while (received < kFrames) {
+    auto frame = peer->RecvFrame(1 << 20);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->size(), kFrameBytes);
+    EXPECT_EQ((*frame)[0], static_cast<uint8_t>(received));
+    ++received;
+  }
+  sender.join();
+  EXPECT_EQ(sent.load(), kFrames);
+  loop.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Batched GC round trips
+// ---------------------------------------------------------------------------
+
+TEST(BatchedTruncateTest, EpochGcIsOneRoundTripPerShard) {
+  // K=4 shards over one remote store: TruncateStaleVersions must cost
+  // exactly K round trips (one kTruncateBucketsBatch per shard), not one
+  // per bucket. Shared probe with bench_net_storage's JSON emitter.
+  GcProbeResult gc = RunGcRoundTripProbe(4);
+  ASSERT_TRUE(gc.ok);
+  EXPECT_EQ(gc.round_trips, 4u) << "GC round trips must equal the shard count";
+  EXPECT_GT(gc.buckets, 4u);  // i.e. strictly fewer than per-bucket
 }
 
 TEST(StorageServerTest, GarbageFrameGetsErrorResponseAndClose) {

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,6 +89,59 @@ inline void RunBucketStoreConformance(BucketStore& store, size_t slots_per_bucke
   // Truncating everything below a version that was never written is legal
   // (an empty bucket's GC) and truncating an untouched bucket is a no-op.
   EXPECT_TRUE(store.TruncateBucket(6, 10).ok());
+
+  // Batched GC: one request truncates many buckets (an epoch's cleanup is
+  // one round trip per shard); buckets not named are untouched, and an
+  // empty batch is a legal no-op.
+  ASSERT_TRUE(store.WriteBucket(6, 0, bucket_image(0x60)).ok());
+  ASSERT_TRUE(store.WriteBucket(6, 1, bucket_image(0x61)).ok());
+  ASSERT_TRUE(store.WriteBucket(7, 0, bucket_image(0x70)).ok());
+  ASSERT_TRUE(store.TruncateBucketsBatch({{5, 2}, {6, 1}}).ok());
+  EXPECT_FALSE(store.ReadSlot(5, 1, 0).ok());
+  EXPECT_EQ((*store.ReadSlot(5, 2, 0))[0], 0x5f);
+  EXPECT_FALSE(store.ReadSlot(6, 0, 0).ok());
+  EXPECT_EQ((*store.ReadSlot(6, 1, 0))[0], 0x61);
+  EXPECT_EQ((*store.ReadSlot(7, 0, 0))[0], 0x70);
+  EXPECT_TRUE(store.TruncateBucketsBatch({}).ok());
+
+  // The asynchronous batched forms agree with their synchronous twins,
+  // whether the store completes inline (defaults) or on a transport thread.
+  {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool read_done = false;
+    bool write_done = false;
+
+    std::vector<BucketImage> async_images(1);
+    async_images[0].bucket = 7;
+    async_images[0].version = 1;
+    async_images[0].slots = bucket_image(0x71);
+    store.WriteBucketsBatchAsync(std::move(async_images), [&](Status st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      std::lock_guard<std::mutex> lk(mu);
+      write_done = true;
+      cv.notify_all();
+    });
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return write_done; });
+    }
+
+    std::vector<StatusOr<Bytes>> async_results;
+    store.ReadSlotsBatchAsync({{7, 1, 0}, {7, 9, 0}},
+                              [&](std::vector<StatusOr<Bytes>> results) {
+                                std::lock_guard<std::mutex> lk(mu);
+                                async_results = std::move(results);
+                                read_done = true;
+                                cv.notify_all();
+                              });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return read_done; });
+    ASSERT_EQ(async_results.size(), 2u);
+    ASSERT_TRUE(async_results[0].ok());
+    EXPECT_EQ((*async_results[0])[0], 0x71);
+    EXPECT_FALSE(async_results[1].ok());
+  }
 }
 
 // `log` must be empty.
