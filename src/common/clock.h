@@ -41,6 +41,20 @@ inline void PreciseSleepMicros(uint64_t micros) {
                                 std::chrono::microseconds(micros));
 }
 
+// Absolute-deadline variant of PreciseSleepMicros for drift-free pacing: a
+// loop that sleeps *relative* intervals accumulates every iteration's work
+// time into its period, so e.g. an epoch pacer's cadence would leak the
+// (network-bound) epoch-change duration. Sleeping to absolute deadlines
+// keeps the dispatch schedule independent of how long the work between
+// ticks took. Returns immediately if the deadline already passed.
+inline void PreciseSleepUntilMicros(uint64_t deadline_us) {
+  uint64_t now = NowMicros();
+  if (deadline_us <= now) {
+    return;
+  }
+  PreciseSleepMicros(deadline_us - now);
+}
+
 // Simple scoped stopwatch.
 class Stopwatch {
  public:

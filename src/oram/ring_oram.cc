@@ -40,8 +40,10 @@ RingOram::RingOram(RingOramConfig config, RingOramOptions options,
 }
 
 RingOram::~RingOram() {
-  // Ensure no worker task outlives the object.
+  // Ensure no worker task or retirement completion outlives the object.
   WaitOutstandingReads();
+  std::unique_lock<std::mutex> rlk(retire_mu_);
+  retire_cv_.wait(rlk, [&] { return retire_outstanding_ == 0; });
 }
 
 void RingOram::SetBatchPlannedHook(std::function<Status(const BatchPlan&)> hook) {
@@ -51,12 +53,16 @@ void RingOram::SetBatchPlannedHook(std::function<Status(const BatchPlan&)> hook)
 
 RingOramStats RingOram::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  RingOramStats out = stats_;
+  // Encryption moved to the retirement stage still counts as materialization.
+  out.materialize_us += bg_materialize_us_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void RingOram::ResetStats() {
   std::lock_guard<std::mutex> lk(mu_);
   stats_ = RingOramStats{};
+  bg_materialize_us_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<BucketIndex> RingOram::TakeDirtyBuckets() {
@@ -162,6 +168,7 @@ Status RingOram::RestoreState(PositionMap position_map, std::vector<BucketMeta> 
   epoch_ = epoch;
   batch_in_epoch_ = 0;
   buffered_.clear();
+  retiring_.clear();
   deferred_ops_.clear();
   pending_reads_.clear();
   dirty_buckets_.clear();
@@ -363,6 +370,8 @@ Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPl
   BucketIndex target_bucket = kLocNone;
   uint32_t target_slot = 0;
   StashEntry* entry = nullptr;
+  bool from_retiring = false;
+  Bytes retiring_value;
 
   if (is_real) {
     if (id >= config_.capacity) {
@@ -383,15 +392,54 @@ Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPl
     } else if (loc.bucket == kLocNone) {
       return Status::NotFound("block has no physical location");
     } else {
-      target_bucket = loc.bucket;
-      target_slot = loc.slot;
+      auto rit = retiring_.find(loc.bucket);
+      if (rit != retiring_.end()) {
+        // The block sits in a bucket whose new version is still in flight:
+        // serve the value from the retiring buffer (the physical read of the
+        // in-flight version is skipped, like any retiring path level below).
+        for (const PlannedBlock& blk : rit->second) {
+          if (blk.id == id) {
+            retiring_value = blk.value;
+            from_retiring = true;
+            break;
+          }
+        }
+        if (!from_retiring) {
+          return Status::Internal("retiring bucket lost a resident block");
+        }
+        target_bucket = loc.bucket;  // slot cleared below; no physical read
+        target_slot = loc.slot;
+      } else {
+        target_bucket = loc.bucket;
+        target_slot = loc.slot;
+      }
     }
 
     // Remap to a fresh uniform leaf (path invariant).
     Leaf new_leaf = RandomLeaf();
     position_map_.Set(id, new_leaf);
 
-    if (entry != nullptr) {
+    if (from_retiring) {
+      // Move the block to the stash with its buffered value; the bucket slot
+      // empties exactly as a physical pull would have (the server-side slot
+      // becomes an unreferenced real slot the next rewrite discards).
+      StashEntry fresh;
+      fresh.leaf = new_leaf;
+      fresh.value = std::move(retiring_value);
+      fresh.value_ready = true;
+      fresh.from_logical_access = true;
+      entry = stash_.Put(id, std::move(fresh));
+      loc_[id] = BlockLoc{kLocStash, 0};
+      BucketMeta& mb = meta_[target_bucket];
+      assert(mb.real_ids[target_slot] == id);
+      mb.real_ids[target_slot] = kInvalidBlockId;
+      mb.real_leaves[target_slot] = kInvalidLeaf;
+      dirty_buckets_.insert(target_bucket);
+      target_bucket = kLocNone;  // nothing to read physically
+      if (results != nullptr) {
+        (*results)[result_slot] = entry->value;
+      }
+    } else if (entry != nullptr) {
       // Stash-resident block. Physically this is a dummy path read along the
       // old leaf; logically the entry is now the product of a logical access.
       entry->leaf = new_leaf;
@@ -436,6 +484,13 @@ Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPl
     for (uint32_t level = 0; level < config_.num_levels; ++level) {
       BucketIndex bucket = PathBucket(path_leaf, level, config_.num_levels);
       if (options_.defer_writes) {
+        if (retiring_.count(bucket) != 0) {
+          // The bucket's new version is still in flight from the previous
+          // epoch's retirement: no physical read (the in-flight version has
+          // been read zero times, so the Lemma 2 argument applies).
+          stats_.retiring_bucket_skips++;
+          continue;
+        }
         auto it = buffered_.find(bucket);
         if (it != buffered_.end() && it->second.fully_read) {
           // Already consumed by an eviction/reshuffle this epoch: served from
@@ -524,13 +579,44 @@ void RingOram::BucketReadPhase(BucketIndex bucket) {
   dirty_buckets_.insert(bucket);
 }
 
+bool RingOram::AbsorbRetiringBucket(BucketIndex bucket) {
+  auto it = retiring_.find(bucket);
+  if (it == retiring_.end()) {
+    return false;
+  }
+  // Pull the buffered contents into the stash with no physical reads (the
+  // in-flight version has never been read). Blocks that already moved out —
+  // served to a logical access or overwritten — are skipped via loc_.
+  BucketMeta& mb = meta_[bucket];
+  for (auto& blk : it->second) {
+    if (loc_[blk.id].bucket != bucket) {
+      continue;
+    }
+    StashEntry fresh;
+    fresh.leaf = blk.leaf;
+    fresh.value = std::move(blk.value);
+    fresh.value_ready = true;
+    fresh.from_logical_access = false;
+    stash_.Put(blk.id, std::move(fresh));
+    loc_[blk.id] = BlockLoc{kLocStash, 0};
+  }
+  mb.real_ids.assign(config_.z, kInvalidBlockId);
+  mb.real_leaves.assign(config_.z, kInvalidLeaf);
+  dirty_buckets_.insert(bucket);
+  retiring_.erase(it);
+  stats_.retiring_bucket_skips++;
+  return true;
+}
+
 void RingOram::ScheduleReshuffle(BucketIndex bucket) {
   if (options_.defer_writes) {
     auto& bb = buffered_[bucket];
     if (bb.fully_read) {
       return;  // already consumed this epoch; its rewrite is already planned
     }
-    BucketReadPhase(bucket);
+    if (!AbsorbRetiringBucket(bucket)) {
+      BucketReadPhase(bucket);
+    }
     bb.fully_read = true;
     deferred_ops_.push_back(DeferredOp{DeferredOpType::kReshuffle, kInvalidLeaf, bucket});
   } else {
@@ -567,7 +653,9 @@ void RingOram::ScheduleEviction() {
         stats_.buffered_bucket_skips++;
         continue;
       }
-      BucketReadPhase(bucket);
+      if (!AbsorbRetiringBucket(bucket)) {
+        BucketReadPhase(bucket);
+      }
       bb.fully_read = true;
     } else {
       BucketReadPhase(bucket);
@@ -709,17 +797,20 @@ void RingOram::FlushBucket(BucketIndex bucket) {
   PlaceAndRewrite(bucket, SelectStashBlocksFor(bucket, kInvalidLeaf, 0));
 }
 
-void RingOram::MaterializeBucket(BucketIndex bucket, const std::vector<PlannedBlock>& blocks,
-                                 bool via_pool) {
-  const BucketMeta& mb = meta_[bucket];
-  uint32_t version = mb.write_count;
+// Shared slot-encryption loop for both materialization paths. A bucket's
+// planned blocks always occupy the dense logical-slot prefix [0,
+// blocks.size()) — PlaceAndRewrite/Initialize assign real_ids exactly from
+// the blocks vector, and nothing clears a slot between planning and
+// materialization (both run under mu_ in the same flush).
+std::vector<Bytes> RingOram::EncryptBucketSlots(BucketIndex bucket, uint32_t version,
+                                                const std::vector<SlotIndex>& perm,
+                                                const std::vector<PlannedBlock>& blocks) {
   uint32_t num_slots = config_.slots_per_bucket();
   std::vector<Bytes> slots(num_slots);
   for (uint32_t logical = 0; logical < num_slots; ++logical) {
-    SlotIndex phys = mb.perm[logical];
+    SlotIndex phys = perm[logical];
     Bytes plaintext;
-    if (logical < config_.z && mb.real_ids[logical] != kInvalidBlockId) {
-      assert(logical < blocks.size());
+    if (logical < config_.z && logical < blocks.size()) {
       plaintext = codec_.EncodeBlock(blocks[logical].id, blocks[logical].leaf,
                                      blocks[logical].value);
     } else {
@@ -728,13 +819,22 @@ void RingOram::MaterializeBucket(BucketIndex bucket, const std::vector<PlannedBl
     Bytes aad = config_.authenticated
                     ? BlockCodec::MakeAad(config_.aad_bucket_offset + bucket, version, phys)
                     : Bytes{};
-    if (via_pool && options_.parallel && !options_.parallel_crypto) {
+    if (options_.parallel && !options_.parallel_crypto) {
       std::lock_guard<std::mutex> lk(crypto_mu_);
       slots[phys] = encryptor_->Encrypt(plaintext, aad);
     } else {
       slots[phys] = encryptor_->Encrypt(plaintext, aad);
     }
   }
+  return slots;
+}
+
+void RingOram::MaterializeBucket(BucketIndex bucket, const std::vector<PlannedBlock>& blocks,
+                                 bool via_pool) {
+  const BucketMeta& mb = meta_[bucket];
+  uint32_t version = mb.write_count;
+  assert(blocks.size() <= config_.z);
+  std::vector<Bytes> slots = EncryptBucketSlots(bucket, version, mb.perm, blocks);
   // Buffer the encrypted image; the caller flushes all images of this write
   // phase as one batched storage request (the physical analogue of the
   // paper's parallel write-back).
@@ -794,6 +894,59 @@ void RingOram::FlushPendingImages() {
   }
 }
 
+void RingOram::RetireChunkDone(Status st) {
+  // Notify under the lock: AwaitRetireDurable's caller may destroy this
+  // object as soon as the count hits zero.
+  std::lock_guard<std::mutex> rlk(retire_mu_);
+  if (!st.ok() && retire_error_.ok()) {
+    retire_error_ = st;
+  }
+  --retire_outstanding_;
+  retire_cv_.notify_all();
+}
+
+BucketImage RingOram::EncryptRetireImage(const RetireImagePlan& plan) {
+  return BucketImage{plan.bucket, plan.version,
+                     EncryptBucketSlots(plan.bucket, plan.version, plan.perm, plan.blocks)};
+}
+
+void RingOram::SubmitImagesAsync(std::vector<BucketImage> images) {
+  if (images.empty()) {
+    return;
+  }
+  if (options_.parallel && store_->SupportsAsyncBatches() && images.size() > 1) {
+    // True submissions: the event loop keeps every sub-batch in flight and
+    // the completions land on RetireChunkDone — no proxy thread blocks.
+    size_t max_chunks = 2 * pool_->num_threads();
+    size_t chunk = (images.size() + max_chunks - 1) / max_chunks;
+    size_t num_chunks = (images.size() + chunk - 1) / chunk;
+    {
+      std::lock_guard<std::mutex> rlk(retire_mu_);
+      retire_outstanding_ += num_chunks;
+    }
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t start = c * chunk;
+      size_t end = std::min(start + chunk, images.size());
+      std::vector<BucketImage> sub(
+          std::make_move_iterator(images.begin() + static_cast<ptrdiff_t>(start)),
+          std::make_move_iterator(images.begin() + static_cast<ptrdiff_t>(end)));
+      store_->WriteBucketsBatchAsync(std::move(sub),
+                                     [this](Status st) { RetireChunkDone(std::move(st)); });
+    }
+    return;
+  }
+  // Blocking store: the batched write occupies one pool thread for its round
+  // trip, but the caller still returns immediately — the overlap the epoch
+  // pipeline needs survives a synchronous backend.
+  {
+    std::lock_guard<std::mutex> rlk(retire_mu_);
+    ++retire_outstanding_;
+  }
+  pool_->Enqueue([this, images = std::move(images)]() mutable {
+    RetireChunkDone(store_->WriteBucketsBatch(std::move(images)));
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Batched operations
 // ---------------------------------------------------------------------------
@@ -848,8 +1001,28 @@ StatusOr<std::vector<Bytes>> RingOram::ReplayReadBatch(const BatchPlan& plan) {
   return RunReadBatch(ids, &plan);
 }
 
+void RingOram::AdvanceWriteSchedule(size_t bumps) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Pure schedule movement: exactly what the write batch's padding bumps
+  // would do at the close, shifted into the epoch. Triggered eviction/
+  // reshuffle read phases land in pending_reads_ and dispatch with the next
+  // read batch's wave.
+  for (size_t i = 0; i < bumps; ++i) {
+    BumpAccessCounter();
+  }
+}
+
+Status RingOram::ApplyWriteValues(const std::vector<std::pair<BlockId, Bytes>>& writes) {
+  return WriteBatchInternal(writes, /*padded_size=*/0, /*bump_schedule=*/false);
+}
+
 Status RingOram::WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& writes,
                             size_t padded_size) {
+  return WriteBatchInternal(writes, padded_size, /*bump_schedule=*/true);
+}
+
+Status RingOram::WriteBatchInternal(const std::vector<std::pair<BlockId, Bytes>>& writes,
+                                    size_t padded_size, bool bump_schedule) {
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [id, value] : writes) {
     if (id >= config_.capacity) {
@@ -908,19 +1081,27 @@ Status RingOram::WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& writes
     }
     loc_[id] = BlockLoc{kLocStash, 0};
     stats_.logical_accesses++;
-    BumpAccessCounter();
+    if (bump_schedule) {
+      BumpAccessCounter();
+    }
   }
   // Padding writes advance the eviction schedule only, so the adversary sees
-  // a fixed-size write batch regardless of the workload.
-  for (size_t i = writes.size(); i < padded_size; ++i) {
-    BumpAccessCounter();
+  // a fixed-size write batch regardless of the workload. (Skipped when the
+  // schedule was pre-advanced through AdvanceWriteSchedule.)
+  if (bump_schedule) {
+    for (size_t i = writes.size(); i < padded_size; ++i) {
+      BumpAccessCounter();
+    }
   }
   DispatchPendingReads();
   return Status::Ok();
 }
 
-Status RingOram::FinishEpoch() {
+Status RingOram::BeginRetire() {
   std::lock_guard<std::mutex> lk(mu_);
+  if (!retiring_.empty()) {
+    return Status::FailedPrecondition("previous epoch retirement not collected");
+  }
   DispatchPendingReads();
   WaitOutstandingReads();
 
@@ -949,20 +1130,55 @@ Status RingOram::FinishEpoch() {
                     kInvalidSlot);
       stats_.physical_bucket_writes++;
     }
-    uint64_t mat_start = NowMicros();
     if (options_.parallel) {
-      crypto_pool_->ParallelFor(to_write.size(), [&](size_t i) {
-        MaterializeBucket(to_write[i].first, *to_write[i].second, /*via_pool=*/true);
-      });
-      uint64_t drain_start = NowMicros();
-      FlushPendingImages();
-      stats_.write_drain_us += NowMicros() - drain_start;
+      // Snapshot everything materialization needs, then hand encryption +
+      // submission to the I/O pool immediately: the close step pays neither
+      // the crypto nor the network, and the images are already in flight by
+      // the time the retirement stage starts waiting — which also opens the
+      // recovery unit's checkpoint gate (durability precedes the append) as
+      // early as possible, minimizing the next epoch's first-batch stall.
+      auto plan = std::make_shared<std::vector<RetireImagePlan>>();
+      plan->reserve(to_write.size());
+      for (const auto& [bucket, blocks] : to_write) {
+        RetireImagePlan p;
+        p.bucket = bucket;
+        p.version = meta_[bucket].write_count;
+        p.perm = meta_[bucket].perm;
+        p.blocks = *blocks;
+        plan->push_back(std::move(p));
+      }
+      if (!plan->empty()) {
+        {
+          // The encrypt+submit task itself holds one outstanding slot so
+          // AwaitRetireDurable cannot observe zero before submission.
+          std::lock_guard<std::mutex> rlk(retire_mu_);
+          ++retire_outstanding_;
+        }
+        pool_->Enqueue([this, plan] {
+          uint64_t start = NowMicros();
+          std::vector<BucketImage> images(plan->size());
+          crypto_pool_->ParallelFor(plan->size(), [&](size_t i) {
+            images[i] = EncryptRetireImage((*plan)[i]);
+          });
+          bg_materialize_us_.fetch_add(NowMicros() - start, std::memory_order_relaxed);
+          SubmitImagesAsync(std::move(images));
+          RetireChunkDone(Status::Ok());
+        });
+      }
     } else {
+      uint64_t mat_start = NowMicros();
       for (const auto& [bucket, blocks] : to_write) {
         MaterializeBucket(bucket, *blocks, /*via_pool=*/false);
       }
+      stats_.materialize_us += NowMicros() - mat_start;
     }
-    stats_.materialize_us += NowMicros() - mat_start;
+    // Keep the rewritten buckets' plaintext contents to serve the next
+    // epoch's accesses while the flush is in flight.
+    for (auto& [bucket, bb] : buffered_) {
+      if (bb.rewrite_planned) {
+        retiring_.emplace(bucket, std::move(bb.blocks));
+      }
+    }
     buffered_.clear();
   }
 
@@ -979,6 +1195,44 @@ Status RingOram::FinishEpoch() {
     }
   }
   return Status::Ok();
+}
+
+Status RingOram::AwaitRetireDurable() {
+  // Deliberately touches only retire_mu_ (never mu_): the retirement stage
+  // calls this while a next-epoch batch may hold mu_ — possibly blocked on
+  // the recovery unit's checkpoint-ordering gate, which opens only after
+  // this returns — so taking mu_ here would deadlock.
+  std::unique_lock<std::mutex> rlk(retire_mu_);
+  retire_cv_.wait(rlk, [&] { return retire_outstanding_ == 0; });
+  Status st = retire_error_;
+  retire_error_ = Status::Ok();
+  return st;
+}
+
+void RingOram::CollectRetired() {
+  std::lock_guard<std::mutex> lk(mu_);
+  retiring_.clear();
+}
+
+Status RingOram::FinishEpoch() {
+  OBLADI_RETURN_IF_ERROR(BeginRetire());
+  uint64_t drain_start = NowMicros();
+  Status st = AwaitRetireDurable();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.write_drain_us += NowMicros() - drain_start;
+  }
+  CollectRetired();
+  return st;
+}
+
+size_t RingOram::InflightBlocks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = stash_.size();
+  for (const auto& [bucket, blocks] : retiring_) {
+    n += blocks.size();
+  }
+  return n;
 }
 
 Status RingOram::TruncateStaleVersions() {

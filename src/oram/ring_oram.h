@@ -21,6 +21,34 @@
 //    already consumed by an eviction are served from the proxy buffer for the
 //    rest of the epoch (Lemma 2's "read exactly once").
 //
+// Epoch retirement (the pipelined epoch state machine): FinishEpoch is the
+// composition of three stages so the proxy can overlap epoch N's write-back
+// with epoch N+1's execution:
+//
+//    BeginRetire()       plan all deferred write phases, snapshot each
+//                        rewritten bucket's materialization inputs (version,
+//                        permutation, blocks) into a self-contained plan,
+//                        and hand encrypt+submit to the I/O pool; advance to
+//                        the next epoch. The rewritten buckets' plaintext
+//                        contents stay buffered in a "retiring" set. The
+//                        caller pays neither the crypto nor the network.
+//    AwaitRetireDurable  block until every image is durable on the server.
+//                        Touches no ORAM metadata lock, so a concurrent
+//                        batch of the next epoch cannot deadlock against it.
+//    CollectRetired()    drop the retiring buffers; subsequent accesses read
+//                        the (now durable) new versions physically.
+//
+// While a bucket is retiring, its new version may not be readable on the
+// server yet, so the next epoch serves it from the proxy: path levels through
+// a retiring bucket skip their physical read (the same proxy-buffer serving
+// as Lemma 2 — the in-flight version has been read zero times), a logical
+// access targeting a block inside one deposits the buffered value straight
+// into the stash, and an eviction/reshuffle read phase absorbs the whole
+// buffered bucket into the stash with no physical reads. Which buckets
+// retire is exactly the adversary-visible write set of epoch N, and the skip
+// window closes at a schedule-driven point (retirement completion), so the
+// observable shape stays workload independent.
+//
 // Security-relevant behaviours implemented here:
 //  * every access remaps its block to a fresh uniform leaf (path invariant);
 //  * no physical slot is read twice between bucket writes (bucket invariant);
@@ -76,6 +104,7 @@ struct RingOramStats {
   uint64_t evictions = 0;
   uint64_t early_reshuffles = 0;
   uint64_t buffered_bucket_skips = 0;  // path levels served from the epoch buffer
+  uint64_t retiring_bucket_skips = 0;  // path levels served from a retiring bucket
   uint64_t stash_cache_skips = 0;      // accesses skipped by cache_all_stash (ablation)
   uint64_t flush_plan_us = 0;          // FinishEpoch: planning deferred write phases
   uint64_t materialize_us = 0;         // FinishEpoch: encrypt + write buckets
@@ -109,11 +138,42 @@ class RingOram {
 
   // Dummiless buffered writes. The batch is padded (by counter bumps) to
   // padded_size so the eviction schedule is workload independent.
+  // Equivalent to AdvanceWriteSchedule(padded_size) + ApplyWriteValues.
   Status WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& writes, size_t padded_size);
 
+  // Split form for the pipelined proxy: the write batch's schedule advance
+  // is a fixed count per epoch (padded), independent of the values — so its
+  // eviction/reshuffle *read phases* can ride the epoch's paced read
+  // batches instead of bunching into one storage wave at the close.
+  // AdvanceWriteSchedule bumps the access counter `bumps` times (emitting
+  // any triggered read phases as pending reads for the next dispatch);
+  // ApplyWriteValues deposits the decided values with NO schedule movement.
+  // Per epoch, Advance totals must equal what WriteBatch would have padded
+  // to, or the schedule stops being workload independent.
+  void AdvanceWriteSchedule(size_t bumps);
+  Status ApplyWriteValues(const std::vector<std::pair<BlockId, Bytes>>& writes);
+
   // Flush deferred eviction/reshuffle write phases and all buffered bucket
-  // writes (deduplicated); advances to the next epoch.
+  // writes (deduplicated); advances to the next epoch. Equivalent to
+  // BeginRetire() + AwaitRetireDurable() + CollectRetired().
   Status FinishEpoch();
+
+  // --- pipelined epoch retirement (see file comment) ---
+  // Plan the epoch's deferred write-back, hand its encryption + submission
+  // to the I/O pool, and advance to the next epoch. The rewritten buckets
+  // stay buffered as the "retiring" set so the next epoch's accesses can be
+  // served while the flush is in flight. Fails if the previous retirement
+  // has not been collected yet (pipeline depth 1).
+  Status BeginRetire();
+  // Wait until every submitted image is durable on the server; returns the
+  // first write-back error. Takes no ORAM metadata lock: safe to call while
+  // a next-epoch batch is executing.
+  Status AwaitRetireDurable();
+  // Drop the retiring buffers (call only after AwaitRetireDurable).
+  void CollectRetired();
+  // In-flight proxy memory: stash entries + blocks parked in retiring
+  // buckets (the pipeline's working-set bound).
+  size_t InflightBlocks() const;
 
   // Drop superseded bucket versions on the server. The proxy calls this only
   // after the epoch's checkpoint is durable (recovery may still need the old
@@ -200,6 +260,10 @@ class RingOram {
   // Shared read phase of evictions/reshuffles for one bucket: move all valid
   // real blocks into the stash and pad with dummy reads up to Z total.
   void BucketReadPhase(BucketIndex bucket);
+  // If `bucket` is retiring, move its buffered blocks into the stash (no
+  // physical reads — the in-flight version has never been read) and drop it
+  // from the retiring set. Returns true if the bucket was retiring.
+  bool AbsorbRetiringBucket(BucketIndex bucket);
 
   // --- flushing ---
   void FlushPath(Leaf leaf);
@@ -226,9 +290,30 @@ class RingOram {
   void WaitOutstandingReads();
   // Issue all buffered bucket images as one batched storage write.
   void FlushPendingImages();
+  // Everything needed to materialize one retiring bucket without touching
+  // meta_ (so the retirement stage can encrypt lock-free).
+  struct RetireImagePlan {
+    BucketIndex bucket = 0;
+    uint32_t version = 0;
+    std::vector<SlotIndex> perm;
+    std::vector<PlannedBlock> blocks;  // logical slots [0, blocks.size())
+  };
+  // Shared by MaterializeBucket and the retirement stage: encrypt every slot
+  // of one bucket image (blocks occupy the dense logical prefix; the rest
+  // are dummies).
+  std::vector<Bytes> EncryptBucketSlots(BucketIndex bucket, uint32_t version,
+                                        const std::vector<SlotIndex>& perm,
+                                        const std::vector<PlannedBlock>& blocks);
+  BucketImage EncryptRetireImage(const RetireImagePlan& plan);
+  // Submit encrypted images without waiting; completions land on
+  // RetireChunkDone.
+  void SubmitImagesAsync(std::vector<BucketImage> images);
+  void RetireChunkDone(Status st);
   void RecordError(const Status& status);
   StatusOr<std::vector<Bytes>> RunReadBatch(const std::vector<BlockId>& ids,
                                             const BatchPlan* replay_plan);
+  Status WriteBatchInternal(const std::vector<std::pair<BlockId, Bytes>>& writes,
+                            size_t padded_size, bool bump_schedule);
   // Copy stash values into batch result slots registered for blocks whose
   // physical read was still in flight at planning time. Must run after a
   // read barrier and before any flush can move those blocks out of the stash.
@@ -260,6 +345,11 @@ class RingOram {
 
   // Epoch-local state (parallel + deferred mode).
   std::unordered_map<BucketIndex, BufferedBucket> buffered_;
+  // Previous epoch's rewritten buckets whose images are still in flight:
+  // plaintext contents kept to serve this epoch's accesses (see file
+  // comment). Entries whose blocks have since moved (loc_ no longer points
+  // at the bucket) are stale and skipped at absorb time.
+  std::unordered_map<BucketIndex, std::vector<PlannedBlock>> retiring_;
   std::vector<DeferredOp> deferred_ops_;
   std::vector<PendingRead> pending_reads_;
   std::unordered_set<BucketIndex> dirty_buckets_;
@@ -285,6 +375,17 @@ class RingOram {
   std::vector<BucketImage> pending_images_;
   std::mutex err_mu_;
   Status first_error_;
+
+  // Retirement completion tracking (never held together with mu_ by the
+  // waiter side; completions only touch these, so AwaitRetireDurable cannot
+  // deadlock against a next-epoch batch that holds mu_).
+  mutable std::mutex retire_mu_;
+  std::condition_variable retire_cv_;
+  size_t retire_outstanding_ = 0;
+  Status retire_error_;
+  // Encrypt time spent on the retirement stage (folded into materialize_us
+  // by stats(); atomic because it is recorded outside mu_).
+  std::atomic<uint64_t> bg_materialize_us_{0};
 
   RingOramStats stats_;  // updated under mu_ at planning time
 };

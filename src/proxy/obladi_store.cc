@@ -1,5 +1,6 @@
 #include "src/proxy/obladi_store.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/common/clock.h"
@@ -66,15 +67,20 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
           }
           return delta;
         });
-    oram_->SetBatchPlannedHook([this](uint32_t shard, const BatchPlan& plan) {
-      return recovery_->LogReadBatchPlan(shard, plan);
-    });
+    InstallPlanHook(/*rendezvous=*/true);
   }
   epoch_batches_.resize(cfg_.read_batches_per_epoch);
   ResetEpochBatchesLocked();
+  // The retirement worker exists in every mode: manual-mode FinishEpochNow
+  // simply drains it synchronously.
+  retirer_ = std::thread([this] { RetireLoop(); });
+  retirer_started_ = true;
 }
 
-ObladiStore::~ObladiStore() { Stop(); }
+ObladiStore::~ObladiStore() {
+  Stop();
+  StopRetirer();
+}
 
 void ObladiStore::ResetEpochBatchesLocked() {
   epoch_batches_.assign(cfg_.read_batches_per_epoch, EpochBatch{});
@@ -82,6 +88,7 @@ void ObladiStore::ResetEpochBatchesLocked() {
     batch.shard_counts.assign(cfg_.num_shards, 0);
   }
   next_dispatch_ = 0;
+  epoch_first_dispatch_us_ = 0;
 }
 
 Status ObladiStore::Load(const std::vector<std::pair<Key, std::string>>& records) {
@@ -190,7 +197,7 @@ Status ObladiStore::Write(Timestamp txn, const Key& key, std::string value) {
   return engine_.Write(txn, key, std::move(value));
 }
 
-Status ObladiStore::Commit(Timestamp txn) {
+StatusOr<std::shared_future<Status>> ObladiStore::CommitAsync(Timestamp txn) {
   std::shared_ptr<std::promise<Status>> waiter;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -207,12 +214,106 @@ Status ObladiStore::Commit(Timestamp txn) {
     commit_waiters_.erase(txn);
     return st;
   }
-  return fut.get();
+  return fut;
+}
+
+Status ObladiStore::Commit(Timestamp txn) {
+  auto fut = CommitAsync(txn);
+  if (!fut.ok()) {
+    return fut.status();
+  }
+  return fut->get();
 }
 
 void ObladiStore::Abort(Timestamp txn) { engine_.Abort(txn); }
 
-Status ObladiStore::DispatchBatch(EpochBatch batch) {
+void ObladiStore::InstallPlanHook(bool rendezvous) {
+  if (!recovery_) {
+    return;
+  }
+  if (rendezvous && cfg_.combine_batch_plan_logs) {
+    oram_->SetBatchPlannedHook([this](uint32_t shard, const BatchPlan& plan) {
+      return SubmitPlanForLogging(shard, plan);
+    });
+  } else {
+    // Direct per-shard logging: used while completing the crash-recovery
+    // epoch, whose dummy sub-batches run one shard at a time (a K-wide
+    // rendezvous would never fill).
+    oram_->SetBatchPlannedHook([this](uint32_t shard, const BatchPlan& plan) {
+      return recovery_->LogReadBatchPlan(shard, plan);
+    });
+  }
+}
+
+Status ObladiStore::SubmitPlanForLogging(uint32_t shard, const BatchPlan& plan) {
+  std::unique_lock<std::mutex> lk(plan_mu_);
+  plan_batch_.emplace_back(shard, plan);
+  if (plan_batch_.size() < cfg_.num_shards) {
+    ++plan_waiting_;
+    Status st;
+    for (;;) {
+      if (plan_cv_.wait_for(lk, std::chrono::seconds(5), [&] { return plan_done_; })) {
+        st = plan_result_;
+        break;
+      }
+      if (plan_leader_active_) {
+        // The leader is appending — legitimately unbounded (it may sit in
+        // the recovery unit's checkpoint-ordering gate until the previous
+        // epoch retires). Keep waiting.
+        continue;
+      }
+      // No leader ever formed: a peer sub-batch failed before planning.
+      // Abandon the round so its stale plans cannot leak into the next
+      // batch's record.
+      plan_batch_.clear();
+      st = Status::Internal("plan rendezvous timed out (a shard sub-batch "
+                            "failed before planning)");
+      break;
+    }
+    --plan_waiting_;
+    if (plan_done_ && plan_waiting_ == 0) {
+      plan_done_ = false;
+      plan_result_ = Status::Ok();
+    }
+    return st;
+  }
+  // Leader (the K-th sub-batch): append the whole batch's plans as one
+  // record while the peers wait.
+  std::vector<std::pair<uint32_t, BatchPlan>> batch;
+  batch.swap(plan_batch_);
+  plan_leader_active_ = true;
+  lk.unlock();
+  Status st = recovery_->LogReadBatchPlans(batch);
+  lk.lock();
+  plan_leader_active_ = false;
+  plan_result_ = st;
+  plan_done_ = true;
+  plan_cv_.notify_all();
+  if (plan_waiting_ == 0) {
+    plan_done_ = false;
+    plan_result_ = Status::Ok();
+  }
+  return st;
+}
+
+// The write batch's schedule movement for read batch `index` of the epoch:
+// spread write_quota bumps per shard evenly across the R batches so the
+// per-epoch total is exact and the close applies values with no movement.
+size_t ObladiStore::WriteAdvanceForBatch(size_t index) const {
+  size_t quota = cfg_.write_quota();
+  size_t r = cfg_.read_batches_per_epoch;
+  return quota * (index + 1) / r - quota * index / r;
+}
+
+Status ObladiStore::DispatchBatch(EpochBatch batch, size_t index) {
+  // Pipelined epochs: advance the (workload-independent) write schedule
+  // before planning, so the triggered eviction read phases join this
+  // batch's dispatch wave instead of bunching into a storage wave at the
+  // epoch close. The serial baseline keeps the pre-pipelining behavior
+  // (schedule moves with the write batch at the close).
+  if (cfg_.pipeline_epochs) {
+    oram_->AdvanceWriteSchedule(WriteAdvanceForBatch(index));
+  }
   std::vector<BlockId> ids;
   ids.reserve(batch.fetches.size());
   for (const PendingFetch& fetch : batch.fetches) {
@@ -239,6 +340,7 @@ Status ObladiStore::DispatchBatch(EpochBatch batch) {
 Status ObladiStore::StepReadBatch() {
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
   EpochBatch batch;
+  size_t index = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (crashed_) {
@@ -248,16 +350,21 @@ Status ObladiStore::StepReadBatch() {
       return Status::FailedPrecondition("all read batches dispatched; finish the epoch");
     }
     batch = std::move(epoch_batches_[next_dispatch_]);
+    index = next_dispatch_;
     ++next_dispatch_;
+    if (next_dispatch_ == 1) {
+      epoch_first_dispatch_us_ = NowMicros();
+    }
   }
-  return DispatchBatch(std::move(batch));
+  return DispatchBatch(std::move(batch), index);
 }
 
-Status ObladiStore::FinishEpochNow() {
+Status ObladiStore::CloseEpochNow() {
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
   // Dispatch any remaining read batches so every epoch has the same shape.
   for (;;) {
     EpochBatch batch;
+    size_t index = 0;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (crashed_) {
@@ -267,15 +374,22 @@ Status ObladiStore::FinishEpochNow() {
         break;
       }
       batch = std::move(epoch_batches_[next_dispatch_]);
+      index = next_dispatch_;
       ++next_dispatch_;
+      if (next_dispatch_ == 1) {
+        epoch_first_dispatch_us_ = NowMicros();
+      }
     }
-    OBLADI_RETURN_IF_ERROR(DispatchBatch(std::move(batch)));
+    OBLADI_RETURN_IF_ERROR(DispatchBatch(std::move(batch), index));
   }
 
   // Commit in timestamp order while the write batch fits both the global cap
-  // and every shard's fixed quota.
+  // and every shard's fixed quota. The final writes also seed the next
+  // epoch's version cache, so reads of this epoch's writes never wait on the
+  // in-flight write-back.
   WriteBatchAdmission admission;
   admission.max_write_keys = cfg_.write_batch_size;
+  admission.install_committed_as_base = true;
   if (cfg_.num_shards > 1) {
     admission.shard_quotas.assign(cfg_.num_shards, cfg_.write_quota());
     admission.shard_of = [this](const Key& key) -> uint32_t {
@@ -294,28 +408,213 @@ Status ObladiStore::FinishEpochNow() {
     }
     writes.emplace_back(*id, EncodeValue(value));
   }
-  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch(writes));
-  OBLADI_RETURN_IF_ERROR(oram_->FinishEpoch());
-  if (recovery_) {
-    OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(oram_->shard_ptrs()));
-    OBLADI_RETURN_IF_ERROR(oram_->TruncateStaleVersions());
+  if (cfg_.pipeline_epochs) {
+    // The schedule already advanced with the batches; the close only
+    // deposits the decided values — no storage wave.
+    OBLADI_RETURN_IF_ERROR(oram_->ApplyWriteValues(writes));
+  } else {
+    OBLADI_RETURN_IF_ERROR(oram_->WriteBatch(writes));
   }
 
-  // Epoch fate sharing: only now do clients learn the decisions.
-  std::unordered_set<Timestamp> committed(outcome.committed.begin(), outcome.committed.end());
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& [ts, waiter] : commit_waiters_) {
-    if (committed.count(ts) != 0) {
-      waiter->set_value(Status::Ok());
-    } else {
-      waiter->set_value(Status::Aborted("epoch decision: aborted"));
+  // Pipeline depth 1: the previous epoch must be fully retired before this
+  // one starts retiring, capping in-flight state at two epochs' worth.
+  uint64_t first_dispatch_us;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    first_dispatch_us = epoch_first_dispatch_us_;
+  }
+  // From here on the epoch's transactions are already decided (EndEpoch
+  // cleared them), so any failure must resolve the blocked commit waiters —
+  // in manual mode nobody else ever will.
+  auto fail_epoch = [this](Status st) -> Status {
+    std::lock_guard<std::mutex> lk(mu_);
+    FailAllWaiters();
+    return st;
+  };
+  uint64_t stall_us = 0;
+  bool overlapped = false;
+  Status idle_st = AwaitRetireIdle(first_dispatch_us, &stall_us, &overlapped);
+  if (!idle_st.ok()) {
+    return fail_epoch(idle_st);
+  }
+
+  // Submit the write-back without waiting and capture the checkpoint payload
+  // before the next epoch can mutate any shard state.
+  Status retire_st = oram_->BeginRetire();
+  if (!retire_st.ok()) {
+    return fail_epoch(retire_st);
+  }
+  RetireJob job;
+  if (recovery_) {
+    auto cp = recovery_->CaptureEpochCommit(oram_->shard_ptrs());
+    if (!cp.ok()) {
+      // BeginRetire already submitted the flush: reel it back in so the
+      // pipeline is not left wedged on an uncollected retirement.
+      (void)oram_->AwaitRetireDurable();
+      oram_->CollectRetired();
+      return fail_epoch(cp.status());
+    }
+    job.checkpoint = std::move(*cp);
+  }
+  job.committed.insert(outcome.committed.begin(), outcome.committed.end());
+
+  size_t inflight = oram_->InflightBlocks();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // The waiters travel with the retirement: clients learn the decisions
+    // only once the epoch is durable (fate sharing, released asynchronously).
+    job.waiters.swap(commit_waiters_);
+    ResetEpochBatchesLocked();
+    inflight_fetches_.clear();
+    stats_.epochs++;
+    if (overlapped) {
+      stats_.epochs_overlapped++;
+    }
+    stats_.retire_stall_us += stall_us;
+    stats_.max_inflight_stash_blocks =
+        std::max<uint64_t>(stats_.max_inflight_stash_blocks, inflight);
+  }
+  {
+    std::lock_guard<std::mutex> rlk(retire_mu_);
+    retire_job_.emplace(std::move(job));
+    retire_idle_ = false;
+    retire_cv_.notify_all();
+  }
+  return Status::Ok();
+}
+
+Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_us,
+                                    bool* overlapped) {
+  std::unique_lock<std::mutex> rlk(retire_mu_);
+  if (!retire_idle_) {
+    if (overlapped != nullptr) {
+      *overlapped = true;
+    }
+    uint64_t start = NowMicros();
+    retire_cv_.wait(rlk, [&] { return retire_idle_; });
+    if (stall_us != nullptr) {
+      *stall_us += NowMicros() - start;
+    }
+  } else if (overlapped != nullptr && first_dispatch_us != 0 &&
+             last_retire_done_us_ > first_dispatch_us) {
+    // The previous retirement was still running when this epoch's first
+    // batch went out: real overlap, even though no close-time stall.
+    *overlapped = true;
+  }
+  return retire_status_;
+}
+
+Status ObladiStore::DrainRetirement() {
+  return AwaitRetireIdle(0, nullptr, nullptr);
+}
+
+Status ObladiStore::FinishEpochNow() {
+  OBLADI_RETURN_IF_ERROR(CloseEpochNow());
+  return DrainRetirement();
+}
+
+void ObladiStore::SetRetireHookForTest(std::function<void()> hook) {
+  std::lock_guard<std::mutex> rlk(retire_mu_);
+  retire_hook_ = std::move(hook);
+}
+
+void ObladiStore::RetireLoop() {
+  for (;;) {
+    RetireJob job;
+    bool abandon;
+    {
+      std::unique_lock<std::mutex> rlk(retire_mu_);
+      retire_cv_.wait(rlk, [&] { return retire_job_.has_value() || retire_stop_; });
+      if (!retire_job_.has_value()) {
+        return;  // stopping with nothing queued
+      }
+      job = std::move(*retire_job_);
+      retire_job_.reset();
+      abandon = retire_abandon_;
+    }
+    // 1. Wait for the epoch's write-back to be durable on the server. Takes
+    //    no ORAM metadata lock, so the next epoch's batches run undisturbed.
+    Status st = oram_->AwaitRetireDurable();
+    {
+      std::function<void()> hook;
+      {
+        std::lock_guard<std::mutex> rlk(retire_mu_);
+        hook = retire_hook_;
+      }
+      if (hook) {
+        hook();  // test window: the epoch is retiring but not yet durable
+      }
+      std::lock_guard<std::mutex> rlk(retire_mu_);
+      abandon = abandon || retire_abandon_;
+    }
+    if (abandon) {
+      // Simulated crash inside the retirement window: the checkpoint never
+      // reaches the log (recovery sees this epoch as in flight) and every
+      // waiter observes the crash instead of a decision.
+      if (recovery_) {
+        recovery_->AbandonPendingCheckpoint(Status::Unavailable("proxy crashed"));
+      }
+      for (auto& [ts, waiter] : job.waiters) {
+        waiter->set_value(Status::Aborted("proxy crashed"));
+      }
+      std::lock_guard<std::mutex> rlk(retire_mu_);
+      retire_idle_ = true;
+      last_retire_done_us_ = NowMicros();
+      retire_cv_.notify_all();
+      continue;
+    }
+    // 2. Only now may the checkpoint become durable — it references the new
+    //    bucket versions (shadow paging), and appending it opens the
+    //    recovery unit's gate for the next epoch's plan records.
+    if (recovery_) {
+      if (st.ok()) {
+        st = recovery_->AppendCaptured(std::move(job.checkpoint));
+      } else {
+        recovery_->AbandonPendingCheckpoint(st);
+      }
+    }
+    // 3. Epoch fate sharing: the epoch is durable, release the commit
+    //    decisions now — clients re-enter while the housekeeping below
+    //    (which contends with the next epoch's batches for ORAM locks)
+    //    still runs.
+    for (auto& [ts, waiter] : job.waiters) {
+      if (!st.ok()) {
+        waiter->set_value(st);
+      } else if (job.committed.count(ts) != 0) {
+        waiter->set_value(Status::Ok());
+      } else {
+        waiter->set_value(Status::Aborted("epoch decision: aborted"));
+      }
+    }
+    // 4. Retired buckets become physically readable again.
+    oram_->CollectRetired();
+    // 5. Superseded bucket versions are no longer needed by recovery.
+    if (st.ok() && recovery_) {
+      st = oram_->TruncateStaleVersions();
+    }
+    {
+      std::lock_guard<std::mutex> rlk(retire_mu_);
+      if (!st.ok() && retire_status_.ok()) {
+        retire_status_ = st;
+      }
+      retire_idle_ = true;
+      last_retire_done_us_ = NowMicros();
+      retire_cv_.notify_all();
     }
   }
-  commit_waiters_.clear();
-  ResetEpochBatchesLocked();
-  inflight_fetches_.clear();
-  stats_.epochs++;
-  return Status::Ok();
+}
+
+void ObladiStore::StopRetirer() {
+  {
+    std::lock_guard<std::mutex> rlk(retire_mu_);
+    if (!retirer_started_) {
+      return;
+    }
+    retire_stop_ = true;
+    retire_cv_.notify_all();
+  }
+  retirer_.join();
+  retirer_started_ = false;
 }
 
 void ObladiStore::Start() {
@@ -332,21 +631,43 @@ void ObladiStore::Stop() {
 }
 
 void ObladiStore::PacerLoop() {
+  // Absolute deadlines, not relative sleeps: a relative Δ per batch adds the
+  // (network-bound) epoch change into the cadence — effective epoch length
+  // becomes R*Δ + flush time, leaking flush duration into the dispatch
+  // schedule. The deadline only re-anchors when the loop has fallen behind
+  // (a serial epoch change longer than Δ), so a keeping-up pacer is
+  // drift-free and its timing is workload- and latency-independent.
+  uint64_t deadline = NowMicros() + cfg_.batch_interval_us;
   while (pacer_running_.load()) {
     for (size_t i = 0; i < cfg_.read_batches_per_epoch && pacer_running_.load(); ++i) {
-      PreciseSleepMicros(cfg_.batch_interval_us);
+      PreciseSleepUntilMicros(deadline);
+      deadline = std::max(deadline + cfg_.batch_interval_us, NowMicros());
       Status st = StepReadBatch();
       if (!st.ok() && st.code() != StatusCode::kFailedPrecondition) {
-        return;  // storage failure: stop pacing (clients observe aborts)
+        FailPacerFatal();  // storage failure: stop pacing, fail blocked clients
+        return;
       }
     }
     if (!pacer_running_.load()) {
       return;
     }
-    if (!FinishEpochNow().ok()) {
+    // Pipelined: close only — retirement rides the background stage while
+    // the next epoch's batches dispatch on schedule. Serial baseline: drain.
+    Status st = cfg_.pipeline_epochs ? CloseEpochNow() : FinishEpochNow();
+    if (!st.ok()) {
+      FailPacerFatal();
       return;
     }
   }
+}
+
+void ObladiStore::FailPacerFatal() {
+  // The pacer is the only epoch driver in timed mode; if it stops on a
+  // storage failure, nobody will ever close an epoch again, so clients
+  // blocked on commit decisions or fetches must fail now rather than hang.
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_ = true;
+  FailAllWaiters();
 }
 
 void ObladiStore::FailAllWaiters() {
@@ -366,6 +687,20 @@ void ObladiStore::FailAllWaiters() {
 
 void ObladiStore::SimulateCrash() {
   Stop();
+  // Abandon any in-flight retirement: the dying proxy never appends its
+  // pending checkpoint, and dispatchers blocked in the recovery unit's
+  // ordering gate must fail (releasing dispatch_mu_) rather than wait for a
+  // checkpoint that will never land.
+  {
+    std::lock_guard<std::mutex> rlk(retire_mu_);
+    retire_abandon_ = true;
+    retire_cv_.notify_all();
+  }
+  if (recovery_) {
+    recovery_->AbandonPendingCheckpoint(Status::Unavailable("proxy crashed"));
+  }
+  // The worker must be quiescent before the ORAM object dies below.
+  (void)DrainRetirement();
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
   std::lock_guard<std::mutex> lk(mu_);
   crashed_ = true;
@@ -373,6 +708,15 @@ void ObladiStore::SimulateCrash() {
   engine_.Reset();
   // All volatile ORAM metadata is gone with the proxy.
   oram_.reset();
+  {
+    std::lock_guard<std::mutex> plk(plan_mu_);
+    plan_batch_.clear();
+    plan_done_ = false;
+    plan_result_ = Status::Ok();
+  }
+  std::lock_guard<std::mutex> rlk(retire_mu_);
+  retire_abandon_ = false;
+  retire_status_ = Status::Ok();
 }
 
 Status ObladiStore::CompleteCrashEpoch(const std::vector<size_t>& replayed_per_shard) {
@@ -383,10 +727,17 @@ Status ObladiStore::CompleteCrashEpoch(const std::vector<size_t>& replayed_per_s
   // then commit it.
   for (uint32_t s = 0; s < cfg_.num_shards; ++s) {
     for (size_t b = replayed_per_shard[s]; b < cfg_.read_batches_per_epoch; ++b) {
+      if (cfg_.pipeline_epochs) {
+        oram_->AdvanceShardWriteSchedule(s, WriteAdvanceForBatch(b));
+      }
       OBLADI_RETURN_IF_ERROR(oram_->ReadShardDummyBatch(s));
     }
   }
-  OBLADI_RETURN_IF_ERROR(oram_->WriteBatch({}));
+  if (!cfg_.pipeline_epochs) {
+    OBLADI_RETURN_IF_ERROR(oram_->WriteBatch({}));
+  }
+  // Pipelined: the (empty) write batch's schedule movement rode the batches
+  // above (and the replayed ones), so there is nothing left to apply.
   OBLADI_RETURN_IF_ERROR(oram_->FinishEpoch());
   OBLADI_RETURN_IF_ERROR(recovery_->LogEpochCommit(oram_->shard_ptrs()));
   return oram_->TruncateStaleVersions();
@@ -420,9 +771,7 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
         s, std::move(shard.position_map), std::move(shard.metas), std::move(shard.stash),
         shard.access_count, shard.evict_count, recovered->epoch));
   }
-  oram_->SetBatchPlannedHook([this](uint32_t shard, const BatchPlan& plan) {
-    return recovery_->LogReadBatchPlan(shard, plan);
-  });
+  InstallPlanHook(/*rendezvous=*/false);  // crash-epoch batches are single shard
 
   if (!recovered->metadata_full.empty()) {
     directory_.ApplyFull(recovered->metadata_full);
@@ -436,6 +785,13 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
   Stopwatch replay;
   std::vector<size_t> replayed_per_shard(cfg_.num_shards, 0);
   for (const RecoveryUnit::PendingPlan& pending : recovered->pending_plans) {
+    // Mirror dispatch: under pipelining the write schedule advanced with
+    // each batch, so the replayed physical trace matches the pre-crash one
+    // exactly.
+    if (cfg_.pipeline_epochs) {
+      oram_->AdvanceShardWriteSchedule(pending.shard,
+                                       WriteAdvanceForBatch(pending.plan.batch_index));
+    }
     auto result = oram_->ReplayShardBatch(pending.shard, pending.plan);
     if (!result.ok()) {
       return result.status();
@@ -443,6 +799,7 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
     replayed_per_shard[pending.shard]++;
   }
   OBLADI_RETURN_IF_ERROR(CompleteCrashEpoch(replayed_per_shard));
+  InstallPlanHook(/*rendezvous=*/true);
   recovered->breakdown.path_replay_us = replay.ElapsedMicros();
   recovered->breakdown.total_us += recovered->breakdown.path_replay_us;
 

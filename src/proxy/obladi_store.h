@@ -25,17 +25,46 @@
 // batches are capped per shard the same way via the MVTSO epoch-commit
 // admission. K = 1 reduces exactly to the single-ORAM pipeline above.
 //
+// Pipelined epochs (the two-stage epoch state machine): the epoch change is
+// split into a synchronous *close* step and a background *retirement* stage,
+// so epoch N's network-bound write-back overlaps epoch N+1's execution:
+//
+//   close (CloseEpochNow, serialized with batch dispatch):
+//     dispatch remaining read batches -> EndEpoch (commit admission; the
+//     final writes are re-installed as next-epoch base versions) ->
+//     ORAM WriteBatch -> wait for epoch N-1's retirement (pipeline depth 1,
+//     bounding stash growth) -> BeginRetire (submit the write-back without
+//     waiting) -> capture the delta checkpoint payload -> open epoch N+1.
+//
+//   retirement (background worker, riding the async storage completions):
+//     await write-back durability -> append + sync the captured checkpoint
+//     -> collect retired buckets -> truncate stale versions -> release
+//     commit decisions (epoch fate sharing: clients learn outcomes only once
+//     the epoch is durable — delayed visibility is preserved, decisions just
+//     arrive asynchronously).
+//
+// Epoch N+1's reads of blocks whose write-back is still in flight are served
+// from the version cache (committed bases) or the shards' retiring buffers,
+// so execution never waits on storage latency it can hide. The recovery
+// unit's ordering gate keeps N+1's log records out of the log until N's
+// checkpoint is durable, so crash recovery replays at most one in-flight
+// epoch.
+//
 // Pacing: in timed mode a background thread dispatches the R read batches at
-// fixed intervals and then runs the epoch change, so the request stream's
-// timing is workload independent. Tests use manual mode and call
-// StepReadBatch / FinishEpochNow directly.
+// fixed *absolute deadlines* (cadence independent of flush duration) and
+// then closes the epoch, so the request stream's timing is workload
+// independent. Tests use manual mode and call StepReadBatch /
+// CloseEpochNow / FinishEpochNow directly.
 #ifndef OBLADI_SRC_PROXY_OBLADI_STORE_H_
 #define OBLADI_SRC_PROXY_OBLADI_STORE_H_
 
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -59,6 +88,16 @@ struct ObladiConfig {
   size_t write_batch_size = 32;       // b_write (global, across shards)
   uint64_t batch_interval_us = 2000;  // Δ (timed mode)
   bool timed_mode = false;
+  // Overlap epoch N's retirement with epoch N+1's execution (see file
+  // comment). When false the pacer drains each retirement inline — the
+  // serial-epoch baseline bench_epoch_pipeline measures against. Manual-mode
+  // FinishEpochNow always drains, so tests see serial semantics either way.
+  bool pipeline_epochs = true;
+  // Log one combined plan record per global batch (K shard sub-plans, one
+  // append + one sync) instead of K separate records. False reproduces the
+  // pre-pipelining log layout, where K serialized log round trips sit on
+  // every batch's critical path (the bench's serial baseline).
+  bool combine_batch_plan_logs = true;
   RecoveryConfig recovery;
   uint64_t seed = 0x0b1ad1;
 
@@ -87,6 +126,12 @@ struct ObladiStats {
   uint64_t fetch_dedups = 0;    // reads coalesced onto an in-flight fetch
   uint64_t batch_overflow_aborts = 0;
   uint64_t recoveries = 0;
+  // Pipeline observability.
+  uint64_t epochs_overlapped = 0;         // epochs that ran while their
+                                          // predecessor was still retiring
+  uint64_t retire_stall_us = 0;           // close-step time spent waiting on
+                                          // the previous retirement (depth cap)
+  uint64_t max_inflight_stash_blocks = 0; // peak stash + retiring blocks
 };
 
 class ObladiStore : public TransactionalKv {
@@ -108,11 +153,33 @@ class ObladiStore : public TransactionalKv {
   Status Commit(Timestamp txn) override;
   void Abort(Timestamp txn) override;
 
-  // --- pacing ---
+  // Asynchronous commit: registers the decision waiter and requests the
+  // commit, returning a future that resolves when the transaction's epoch is
+  // durable (the retirement stage releases it). With pipelined epochs the
+  // decision arrives one retirement later than the request — clients that
+  // pipeline their own transactions (delayed visibility's intended client
+  // model) use this instead of blocking in Commit.
+  StatusOr<std::shared_future<Status>> CommitAsync(Timestamp txn);
+
+  // --- pacing / epoch state machine ---
   void Start();  // timed mode: launch the epoch pacer thread
   void Stop();
-  Status StepReadBatch();   // dispatch + execute the next read batch
-  Status FinishEpochNow();  // run the epoch change (dispatches remaining batches)
+  Status StepReadBatch();  // dispatch + execute the next read batch
+  // Close the current epoch (dispatches remaining batches, decides commits,
+  // submits the write-back) and hand it to the background retirement stage;
+  // returns without waiting for durability. Commit decisions release when
+  // the retirement completes.
+  Status CloseEpochNow();
+  // Block until the retirement stage is idle; returns the first retirement
+  // failure (sticky until recovery).
+  Status DrainRetirement();
+  // Serial epoch change: CloseEpochNow + DrainRetirement. Manual-mode tests
+  // use this; when it returns, all commit decisions have been released.
+  Status FinishEpochNow();
+  // Test hook: runs on the retirement worker after the epoch's write-back is
+  // durable, before its checkpoint append. Lets tests hold an epoch in the
+  // retiring state (and crash the proxy inside the window).
+  void SetRetireHookForTest(std::function<void()> hook);
 
   // --- crash & recovery (§8) ---
   // Drop all volatile proxy state, as if the proxy process died. In-flight
@@ -141,10 +208,38 @@ class ObladiStore : public TransactionalKv {
     std::vector<size_t> shard_counts;
   };
 
+  // One closed epoch handed to the retirement worker: the commit decisions
+  // to release once durable, plus the captured checkpoint to append.
+  struct RetireJob {
+    std::unordered_set<Timestamp> committed;
+    std::unordered_map<Timestamp, std::shared_ptr<std::promise<Status>>> waiters;
+    RecoveryUnit::PendingCheckpoint checkpoint;
+  };
+
   std::unique_ptr<ShardedOramSet> MakeOramSet(uint64_t seed) const;
   StatusOr<std::shared_future<Status>> EnqueueFetch(const Key& key, BlockId id);
-  Status DispatchBatch(EpochBatch batch);
+  size_t WriteAdvanceForBatch(size_t index) const;
+  Status DispatchBatch(EpochBatch batch, size_t index);
+  // Plan rendezvous: the K shard sub-batches of one global batch each call
+  // this from the batch-planned hook; the K-th caller appends ALL K plans as
+  // one combined log record (one append + one sync per batch instead of K —
+  // K serialized log round trips would otherwise sit on every batch's
+  // critical path). Batches are serialized by dispatch_mu_, so at most one
+  // rendezvous is in flight.
+  Status SubmitPlanForLogging(uint32_t shard, const BatchPlan& plan);
+  void InstallPlanHook(bool rendezvous);
   void PacerLoop();
+  void RetireLoop();
+  void StopRetirer();
+  // Timed mode: the pacer hit a fatal storage error and is exiting — mark
+  // the proxy dead and fail every blocked client (nobody else will ever
+  // close an epoch, so blocked waiters would hang forever).
+  void FailPacerFatal();
+  // Wait until the retirement stage is idle; adds any wait to *stall_us and
+  // sets *overlapped if the previous retirement was still running when this
+  // epoch dispatched its first batch (first_dispatch_us; 0 = no dispatch
+  // yet). Returns the sticky retirement status.
+  Status AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_us, bool* overlapped);
   Status CompleteCrashEpoch(const std::vector<size_t>& replayed_per_shard);
   void FailAllWaiters();
   void ResetEpochBatchesLocked();
@@ -163,6 +258,7 @@ class ObladiStore : public TransactionalKv {
   bool crashed_ = false;
   std::vector<EpochBatch> epoch_batches_;
   size_t next_dispatch_ = 0;
+  uint64_t epoch_first_dispatch_us_ = 0;  // when this epoch's batch 0 went out
   std::unordered_map<Key, std::shared_future<Status>> inflight_fetches_;
   std::unordered_map<Timestamp, std::shared_ptr<std::promise<Status>>> commit_waiters_;
   ObladiStats stats_;
@@ -170,6 +266,31 @@ class ObladiStore : public TransactionalKv {
   std::mutex dispatch_mu_;  // serializes batch dispatch / epoch change
   std::thread pacer_;
   std::atomic<bool> pacer_running_{false};
+
+  // Retirement stage: one worker, queue depth 1 (bounds stash growth to two
+  // epochs' working sets). retire_mu_ is never held while calling into the
+  // ORAM or the recovery unit.
+  std::mutex retire_mu_;
+  std::condition_variable retire_cv_;
+  std::thread retirer_;
+  bool retirer_started_ = false;
+  bool retire_stop_ = false;
+  bool retire_abandon_ = false;  // crash simulation: skip checkpoint append
+  bool retire_idle_ = true;      // no job queued and none executing
+  std::optional<RetireJob> retire_job_;
+  Status retire_status_;            // sticky first retirement failure
+  uint64_t last_retire_done_us_ = 0;
+  std::function<void()> retire_hook_;
+
+  // Plan rendezvous state (see SubmitPlanForLogging).
+  std::mutex plan_mu_;
+  std::condition_variable plan_cv_;
+  std::vector<std::pair<uint32_t, BatchPlan>> plan_batch_;
+  size_t plan_waiting_ = 0;
+  bool plan_leader_active_ = false;  // leader is appending (may block in the
+                                     // checkpoint gate — peers wait it out)
+  bool plan_done_ = false;
+  Status plan_result_;
 };
 
 }  // namespace obladi

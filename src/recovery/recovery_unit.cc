@@ -9,7 +9,8 @@ RecoveryUnit::RecoveryUnit(RecoveryConfig config, std::shared_ptr<LogStore> log,
                            std::shared_ptr<Encryptor> encryptor)
     : config_(config), log_(std::move(log)), encryptor_(std::move(encryptor)) {}
 
-Status RecoveryUnit::AppendRecord(RecordType type, const Bytes& plaintext_payload) {
+Status RecoveryUnit::AppendRecordLocked(RecordType type, const Bytes& plaintext_payload,
+                                        uint64_t* seq_out) {
   uint64_t seq = record_seq_++;
   BinaryWriter aad;
   aad.PutU64(seq);
@@ -25,9 +26,15 @@ Status RecoveryUnit::AppendRecord(RecordType type, const Bytes& plaintext_payloa
   if (type == kFullCheckpoint) {
     last_full_lsn_ = *lsn;
   }
+  *seq_out = seq;
+  return Status::Ok();
+}
+
+Status RecoveryUnit::FinishAppendUnlocked(uint64_t seq) {
   OBLADI_RETURN_IF_ERROR(log_->Sync());
   // Appendix A: the write counts as complete only once the trusted counter
-  // reflects it; recovery uses the counter to detect rollback.
+  // reflects it; recovery uses the counter to detect rollback. Advance is
+  // monotonic, so out-of-order finishes cannot regress it.
   if (trusted_counter_ != nullptr) {
     return trusted_counter_->Advance(seq + 1);
   }
@@ -35,14 +42,33 @@ Status RecoveryUnit::AppendRecord(RecordType type, const Bytes& plaintext_payloa
 }
 
 Status RecoveryUnit::LogReadBatchPlan(uint32_t shard, const BatchPlan& plan) {
-  if (!config_.enabled) {
+  return LogReadBatchPlans({{shard, plan}});
+}
+
+Status RecoveryUnit::LogReadBatchPlans(
+    const std::vector<std::pair<uint32_t, BatchPlan>>& plans) {
+  if (!config_.enabled || plans.empty()) {
     return Status::Ok();
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  // Ordering rule (pipelined epochs): this plan belongs to epoch N+1, and it
+  // must not enter the log before epoch N's checkpoint — otherwise a crash
+  // could leave plans whose predecessor epoch never became durable, and
+  // recovery would have more than one in-flight epoch to reconcile. Wait for
+  // the retirement stage to land (or abandon) the pending checkpoint.
+  gate_cv_.wait(lk, [&] { return !checkpoint_pending_; });
+  OBLADI_RETURN_IF_ERROR(gate_error_);
   BinaryWriter w;
-  w.PutU32(shard);
-  w.PutBytes(plan.Serialize());
-  return AppendRecord(kReadBatchPlan, w.Take());
+  w.PutU32(static_cast<uint32_t>(plans.size()));
+  for (const auto& [shard, plan] : plans) {
+    w.PutU32(shard);
+    w.PutBytes(plan.Serialize());
+  }
+  uint64_t seq = 0;
+  OBLADI_RETURN_IF_ERROR(AppendRecordLocked(kReadBatchPlan, w.Take(), &seq));
+  lk.unlock();
+  // Sync outside mu_ so concurrent appenders overlap their sync round trips.
+  return FinishAppendUnlocked(seq);
 }
 
 Bytes RecoveryUnit::BuildDeltaPayload(const std::vector<RingOram*>& shards) {
@@ -125,38 +151,100 @@ Status RecoveryUnit::LogFullCheckpoint(const std::vector<RingOram*>& shards) {
   // LogReadBatchPlan (which takes mu_) while holding that lock — holding mu_
   // across the build would invert the order.
   Bytes payload = BuildFullPayload(shards);
-  std::lock_guard<std::mutex> lk(mu_);
-  OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, payload));
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t seq = 0;
+  OBLADI_RETURN_IF_ERROR(AppendRecordLocked(kFullCheckpoint, payload, &seq));
   epochs_since_full_ = 0;
   // Older records are superseded; reclaim the log.
-  return log_->Truncate(last_full_lsn_);
+  OBLADI_RETURN_IF_ERROR(log_->Truncate(last_full_lsn_));
+  lk.unlock();
+  return FinishAppendUnlocked(seq);
+}
+
+StatusOr<RecoveryUnit::PendingCheckpoint> RecoveryUnit::CaptureEpochCommit(
+    const std::vector<RingOram*>& shards) {
+  PendingCheckpoint cp;
+  if (!config_.enabled) {
+    return cp;  // valid=false: AppendCaptured is a no-op
+  }
+  // As in LogFullCheckpoint: build the payload outside mu_. Epoch closes are
+  // serialized by the proxy, so reading the interval counter first and
+  // updating it at append time cannot interleave with another capture.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (checkpoint_pending_) {
+      return Status::FailedPrecondition("previous epoch checkpoint still pending");
+    }
+    OBLADI_RETURN_IF_ERROR(gate_error_);
+    cp.full = epochs_since_full_ + 1 >= config_.full_checkpoint_interval;
+  }
+  cp.payload = cp.full ? BuildFullPayload(shards) : BuildDeltaPayload(shards);
+  cp.valid = true;
+  std::lock_guard<std::mutex> lk(mu_);
+  checkpoint_pending_ = true;  // gate the next epoch's plan records
+  return cp;
+}
+
+Status RecoveryUnit::AppendCaptured(PendingCheckpoint checkpoint) {
+  if (!checkpoint.valid) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t seq = 0;
+  Status st;
+  if (checkpoint.full) {
+    st = AppendRecordLocked(kFullCheckpoint, checkpoint.payload, &seq);
+    if (st.ok()) {
+      epochs_since_full_ = 0;
+      st = log_->Truncate(last_full_lsn_);
+    }
+  } else {
+    st = AppendRecordLocked(kEpochDelta, checkpoint.payload, &seq);
+    if (st.ok()) {
+      ++epochs_since_full_;
+    }
+  }
+  if (!st.ok() && gate_error_.ok()) {
+    // The checkpoint never reached the log: plans appended after it would
+    // break the ordering rule, so the gate stays broken until recovery.
+    gate_error_ = st;
+  }
+  // The gate opens at *append* time: the log's order now has the checkpoint
+  // before any subsequently appended plan, which is what the ordering rule
+  // protects (append order survives a crash; the sync below only bounds the
+  // loss window). Clients still learn nothing early — the retirement stage
+  // releases commit decisions only after this returns, i.e. after the sync.
+  checkpoint_pending_ = false;
+  gate_cv_.notify_all();
+  lk.unlock();
+  OBLADI_RETURN_IF_ERROR(st);
+  return FinishAppendUnlocked(seq);
+}
+
+void RecoveryUnit::AbandonPendingCheckpoint(Status reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (gate_error_.ok()) {
+    gate_error_ = reason.ok() ? Status::Unavailable("epoch checkpoint abandoned") : reason;
+  }
+  checkpoint_pending_ = false;
+  gate_cv_.notify_all();
 }
 
 Status RecoveryUnit::LogEpochCommit(const std::vector<RingOram*>& shards) {
-  if (!config_.enabled) {
-    return Status::Ok();
+  auto cp = CaptureEpochCommit(shards);
+  if (!cp.ok()) {
+    return cp.status();
   }
-  // As in LogFullCheckpoint: build the payload outside mu_. Epoch commits
-  // are serialized by the proxy, so reading the interval counter first and
-  // updating it under the later lock cannot interleave with another commit.
-  bool full;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    full = epochs_since_full_ + 1 >= config_.full_checkpoint_interval;
-  }
-  Bytes payload = full ? BuildFullPayload(shards) : BuildDeltaPayload(shards);
-  std::lock_guard<std::mutex> lk(mu_);
-  if (full) {
-    OBLADI_RETURN_IF_ERROR(AppendRecord(kFullCheckpoint, payload));
-    epochs_since_full_ = 0;
-    return log_->Truncate(last_full_lsn_);
-  }
-  ++epochs_since_full_;
-  return AppendRecord(kEpochDelta, payload);
+  return AppendCaptured(std::move(*cp));
 }
 
 StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
   std::lock_guard<std::mutex> lk(mu_);
+  // A crash mid-retirement leaves a captured-but-unappended checkpoint and a
+  // broken gate; recovery starts the log ordering over.
+  checkpoint_pending_ = false;
+  gate_error_ = Status::Ok();
+  gate_cv_.notify_all();
   RecoveredState state;
   Stopwatch total;
 
@@ -253,14 +341,18 @@ StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
   for (size_t i = static_cast<size_t>(last_full) + 1; i < parsed.size(); ++i) {
     Parsed& p = parsed[i];
     if (p.type == kReadBatchPlan) {
+      // One record per global batch: count shard-tagged sub-plans.
       BinaryReader r(p.payload);
-      PendingPlan pending;
-      pending.shard = r.GetU32();
-      pending.plan = BatchPlan::Deserialize(r.GetBytes());
-      if (pending.shard >= state.shards.size()) {
-        return Status::IntegrityViolation("logged plan names an unknown shard");
+      uint32_t count = r.GetU32();
+      for (uint32_t i = 0; i < count; ++i) {
+        PendingPlan pending;
+        pending.shard = r.GetU32();
+        pending.plan = BatchPlan::Deserialize(r.GetBytes());
+        if (pending.shard >= state.shards.size()) {
+          return Status::IntegrityViolation("logged plan names an unknown shard");
+        }
+        state.pending_plans.push_back(std::move(pending));
       }
-      state.pending_plans.push_back(std::move(pending));
       continue;
     }
     if (p.type == kFullCheckpoint) {

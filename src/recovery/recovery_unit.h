@@ -31,6 +31,8 @@
 #ifndef OBLADI_SRC_RECOVERY_RECOVERY_UNIT_H_
 #define OBLADI_SRC_RECOVERY_RECOVERY_UNIT_H_
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -79,13 +81,52 @@ class RecoveryUnit {
   Status LogReadBatchPlan(uint32_t shard, const BatchPlan& plan);
   Status LogReadBatchPlan(const BatchPlan& plan) { return LogReadBatchPlan(0, plan); }
 
+  // All of one *global* batch's shard sub-plans as ONE log record (one
+  // append + one sync instead of K of each — the K appends would otherwise
+  // serialize on the log and put K storage round trips on every batch's
+  // critical path). The proxy's plan rendezvous collects the K concurrently
+  // planned sub-batches and a single leader calls this.
+  Status LogReadBatchPlans(const std::vector<std::pair<uint32_t, BatchPlan>>& plans);
+
   // Log the epoch's delta (or periodic full) checkpoint covering every shard
-  // and sync. Call after the shards' FinishEpoch.
+  // and sync. Call after the shards' FinishEpoch. Equivalent to
+  // CaptureEpochCommit + AppendCaptured.
   Status LogEpochCommit(const std::vector<RingOram*>& shards);
   Status LogEpochCommit(RingOram& oram) {
     std::vector<RingOram*> one{&oram};
     return LogEpochCommit(one);
   }
+
+  // --- pipelined epoch retirement split ---
+  // The pipelined proxy closes epoch N and immediately starts executing
+  // N+1, while N's checkpoint is appended by the retirement stage once N's
+  // bucket writes are durable. Two obligations fall on the recovery unit:
+  //
+  //   * The checkpoint *payload* must snapshot the shards' state at N's
+  //     close, before N+1 mutates position maps / stashes / metadata —
+  //     CaptureEpochCommit runs synchronously in the close step.
+  //   * Ordering rule: epoch N+1's log records must not become visible
+  //     unless N's checkpoint is durable, so crash recovery replays at most
+  //     one in-flight epoch. While a captured checkpoint is pending,
+  //     LogReadBatchPlan (always called for the *next* epoch's batches)
+  //     blocks until AppendCaptured lands it — or fails if the pending
+  //     checkpoint was abandoned (retirement failure or simulated crash).
+  //
+  // A snapshot of one epoch's checkpoint, not yet in the log.
+  struct PendingCheckpoint {
+    bool valid = false;  // false when recovery is disabled (append is a no-op)
+    bool full = false;
+    Bytes payload;
+  };
+  StatusOr<PendingCheckpoint> CaptureEpochCommit(const std::vector<RingOram*>& shards);
+  // Append + sync a captured checkpoint and release any gated plan writers.
+  // Call only after the epoch's bucket writes are durable (shadow paging:
+  // the checkpoint references the new bucket versions).
+  Status AppendCaptured(PendingCheckpoint checkpoint);
+  // Drop a pending capture without logging it (the epoch failed to retire or
+  // the proxy is crashing). Gated plan writers fail with `reason`; the gate
+  // stays broken until Recover() resets it.
+  void AbandonPendingCheckpoint(Status reason);
 
   // Force the next LogEpochCommit to be a full checkpoint (used right after
   // Initialize so recovery always has a base image).
@@ -151,7 +192,15 @@ class RecoveryUnit {
 
   Bytes BuildDeltaPayload(const std::vector<RingOram*>& shards);
   Bytes BuildFullPayload(const std::vector<RingOram*>& shards);
-  Status AppendRecord(RecordType type, const Bytes& plaintext_payload);
+  // Append half: assign the next sequence number and append the record (mu_
+  // must be held — append order defines the log and must match seq order).
+  Status AppendRecordLocked(RecordType type, const Bytes& plaintext_payload,
+                            uint64_t* seq_out);
+  // Durability half: sync + trusted-counter advance, called WITHOUT mu_ so
+  // concurrent appenders (K shards' plan logs, the retirement stage's
+  // checkpoint) overlap their sync round trips instead of serializing them.
+  // Log order is already fixed by the append; the sync only bounds loss.
+  Status FinishAppendUnlocked(uint64_t seq);
 
   RecoveryConfig config_;
   std::shared_ptr<LogStore> log_;
@@ -160,6 +209,9 @@ class RecoveryUnit {
   std::function<Bytes()> metadata_full_;
   std::function<Bytes()> metadata_delta_;
   std::mutex mu_;
+  std::condition_variable gate_cv_;
+  bool checkpoint_pending_ = false;  // captured but not yet appended
+  Status gate_error_;                // sticky after an abandon; reset by Recover
   size_t epochs_since_full_ = 0;
   uint64_t last_full_lsn_ = 0;
   uint64_t record_seq_ = 0;

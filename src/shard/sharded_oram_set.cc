@@ -1,6 +1,7 @@
 #include "src/shard/sharded_oram_set.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "src/shard/shard_store_view.h"
 
@@ -156,12 +157,93 @@ Status ShardedOramSet::WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& 
       [&](uint32_t s) { return shards_[s]->WriteBatch(sub[s], options_.write_quota); });
 }
 
+void ShardedOramSet::AdvanceWriteSchedule(size_t per_shard_bumps) {
+  Status st = RunOnShards([&](uint32_t s) {
+    shards_[s]->AdvanceWriteSchedule(per_shard_bumps);
+    return Status::Ok();
+  });
+  (void)st;  // schedule advancement cannot fail
+}
+
+void ShardedOramSet::AdvanceShardWriteSchedule(uint32_t shard, size_t bumps) {
+  if (shard < layout_.num_shards) {
+    shards_[shard]->AdvanceWriteSchedule(bumps);
+  }
+}
+
+Status ShardedOramSet::ApplyWriteValues(const std::vector<std::pair<BlockId, Bytes>>& writes) {
+  const uint32_t k = layout_.num_shards;
+  std::vector<std::vector<std::pair<BlockId, Bytes>>> sub(k);
+  for (const auto& [id, value] : writes) {
+    uint32_t s = router_.ShardOf(id);
+    if (sub[s].size() >= options_.write_quota) {
+      return Status::ResourceExhausted("shard write batch quota exceeded");
+    }
+    sub[s].emplace_back(router_.LocalId(id), value);
+  }
+  return RunOnShards([&](uint32_t s) { return shards_[s]->ApplyWriteValues(sub[s]); });
+}
+
 Status ShardedOramSet::FinishEpoch() {
   return RunOnShards([&](uint32_t s) { return shards_[s]->FinishEpoch(); });
 }
 
+Status ShardedOramSet::BeginRetire() {
+  return RunOnShards([&](uint32_t s) { return shards_[s]->BeginRetire(); });
+}
+
+Status ShardedOramSet::AwaitRetireDurable() {
+  // Sequential, NOT RunOnShards: every shard's flush is already in flight
+  // (BeginRetire handed encrypt+submit to each shard's own pool), each wait
+  // is a plain block on that shard's completion count, and the retirement
+  // stage needs the last completion either way. Parking K blocking waits on
+  // the coordinator pool would starve the next epoch's batch fan-outs.
+  Status first = Status::Ok();
+  for (auto& shard : shards_) {
+    Status st = shard->AwaitRetireDurable();
+    if (!st.ok() && first.ok()) {
+      first = st;
+    }
+  }
+  return first;
+}
+
+void ShardedOramSet::CollectRetired() {
+  for (auto& shard : shards_) {
+    shard->CollectRetired();
+  }
+}
+
+size_t ShardedOramSet::InflightBlocks() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->InflightBlocks();
+  }
+  return total;
+}
+
 Status ShardedOramSet::TruncateStaleVersions() {
-  return RunOnShards([&](uint32_t s) { return shards_[s]->TruncateStaleVersions(); });
+  // NOT RunOnShards: the retirement stage calls this while the next epoch's
+  // batch fan-outs occupy the coordinator pool. Sharing that pool deadlocks
+  // until a timeout fires — truncate tasks that win pool slots block on
+  // shard locks held by running sub-batches, while the sub-batches those
+  // are waiting for (their plan rendezvous peers) sit queued behind them.
+  if (layout_.num_shards == 1) {
+    return shards_[0]->TruncateStaleVersions();
+  }
+  std::vector<Status> results(layout_.num_shards, Status::Ok());
+  std::vector<std::thread> workers;
+  workers.reserve(layout_.num_shards);
+  for (uint32_t s = 0; s < layout_.num_shards; ++s) {
+    workers.emplace_back([&, s] { results[s] = shards_[s]->TruncateStaleVersions(); });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (const Status& st : results) {
+    OBLADI_RETURN_IF_ERROR(st);
+  }
+  return Status::Ok();
 }
 
 void ShardedOramSet::SetBatchPlannedHook(
@@ -223,6 +305,7 @@ RingOramStats ShardedOramSet::stats() const {
     agg.evictions += st.evictions;
     agg.early_reshuffles += st.early_reshuffles;
     agg.buffered_bucket_skips += st.buffered_bucket_skips;
+    agg.retiring_bucket_skips += st.retiring_bucket_skips;
     agg.stash_cache_skips += st.stash_cache_skips;
     agg.flush_plan_us += st.flush_plan_us;
     agg.materialize_us += st.materialize_us;

@@ -102,9 +102,36 @@ class ShardedOramSet {
   // this from happening in the proxy).
   Status WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& writes);
 
+  // Split form (pipelined proxy): advance every shard's eviction schedule by
+  // `per_shard_bumps` — the write batch's schedule movement is a fixed,
+  // value-independent count, so the proxy spreads it across the epoch's
+  // paced read batches (the triggered read phases dispatch with the next
+  // batch wave) and the close applies only the values. Per epoch the
+  // advances must total write_quota per shard. The single-shard form backs
+  // crash-recovery replay, which re-advances per replayed batch.
+  void AdvanceWriteSchedule(size_t per_shard_bumps);
+  void AdvanceShardWriteSchedule(uint32_t shard, size_t bumps);
+  // Deposit decided values with no schedule movement (quota-checked).
+  Status ApplyWriteValues(const std::vector<std::pair<BlockId, Bytes>>& writes);
+
   // Flush all shards' deferred write phases concurrently; advances every
   // shard to the next epoch. Fails if any shard fails (fate sharing).
+  // Equivalent to BeginRetire + AwaitRetireDurable + CollectRetired.
   Status FinishEpoch();
+
+  // --- pipelined epoch retirement (fans the RingOram split out over K
+  // shards; fate sharing holds stage-wise: the epoch is durable only when
+  // every shard's retirement is) ---
+  // Plan + encrypt + submit every shard's write-back without waiting;
+  // advances all shards to the next epoch.
+  Status BeginRetire();
+  // Wait until every shard's submitted images are durable. Takes no ORAM
+  // metadata locks (safe against concurrently executing next-epoch batches).
+  Status AwaitRetireDurable();
+  // Drop all shards' retiring buffers (only after AwaitRetireDurable).
+  void CollectRetired();
+  // Stash + retiring blocks across shards (the pipeline's memory bound).
+  size_t InflightBlocks() const;
 
   // Shadow-paging garbage collection, fanned out across shards. Call only
   // after the epoch's checkpoint is durable.

@@ -338,6 +338,18 @@ EpochOutcome MvtsoEngine::EndEpoch(const WriteBatchAdmission& admission) {
   out.final_writes.assign(final_writes.begin(), final_writes.end());
   chains_.clear();
   txns_.clear();
+  if (admission.install_committed_as_base) {
+    // The write batch's values are the last committed versions; seeding them
+    // as bases keeps the next epoch's reads of this epoch's writes out of
+    // the ORAM read batches entirely (they are served from the cache while
+    // the write-back is in flight).
+    for (const auto& [key, value] : out.final_writes) {
+      Version v;
+      v.writer = 0;
+      v.value = value;
+      chains_[key].versions.push_back(std::move(v));
+    }
+  }
   decided_cv_.notify_all();
   return out;
 }

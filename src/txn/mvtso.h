@@ -63,6 +63,15 @@ struct WriteBatchAdmission {
   size_t max_write_keys = 0;                    // global cap; 0 = unlimited
   std::function<uint32_t(const Key&)> shard_of; // null = single shard
   std::vector<size_t> shard_quotas;             // per-shard distinct-key caps
+  // Pipelined epochs: re-install the epoch's final committed writes as the
+  // next epoch's base versions (writer ts 0) after the chains are cleared.
+  // Epoch-commit *admission* is thereby decoupled from durability *release*:
+  // the next epoch reads the committed values straight from the version
+  // cache while the write batch is still being flushed to the ORAM in the
+  // background — no client learns a commit decision any earlier (the proxy
+  // still withholds those until the epoch's checkpoint is durable), and on a
+  // crash the whole undurable epoch vanishes with the cache.
+  bool install_committed_as_base = false;
 };
 
 struct MvtsoStats {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <thread>
 
 #include "src/common/rng.h"
@@ -252,6 +253,193 @@ TEST(ObladiStoreTest, ReadBatchOverflowAbortsTransaction) {
   f1.join();
   f2.join();
   EXPECT_GE(proxy.stats().batch_overflow_aborts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined epoch state machine
+// ---------------------------------------------------------------------------
+
+TEST(ObladiStorePipelineTest, RetirementOverlapsNextEpochExecution) {
+  // Hold epoch 1 in the retiring state and show that (a) its commit decision
+  // is withheld until retirement completes and (b) epoch 2 admits and
+  // executes reads in the meantime.
+  auto env = MakeProxy(256, /*recovery=*/false);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(30)).ok());
+
+  std::promise<void> release;
+  std::shared_future<void> release_fut = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  env.proxy->SetRetireHookForTest([&] {
+    if (hook_calls.fetch_add(1) == 0) {
+      release_fut.wait();
+    }
+  });
+
+  std::atomic<bool> committed{false};
+  Status commit_status;
+  std::thread writer([&] {
+    Timestamp t = env.proxy->Begin();
+    ASSERT_TRUE(env.proxy->Write(t, "key1", "pipelined").ok());
+    commit_status = env.proxy->Commit(t);
+    committed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Close epoch 1: returns immediately, retirement parked in the hook.
+  ASSERT_TRUE(env.proxy->CloseEpochNow().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(committed.load()) << "commit decision leaked before the epoch was durable";
+
+  // Epoch 2 executes while epoch 1 retires: an ORAM fetch completes.
+  std::atomic<bool> read_done{false};
+  std::thread reader([&] {
+    Timestamp t = env.proxy->Begin();
+    auto v = env.proxy->Read(t, "key7");
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    if (v.ok()) {
+      EXPECT_EQ(*v, "value7");
+    }
+    env.proxy->Abort(t);
+    read_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(env.proxy->StepReadBatch().ok());
+  reader.join();
+  EXPECT_TRUE(read_done.load());
+  EXPECT_FALSE(committed.load());
+
+  release.set_value();
+  ASSERT_TRUE(env.proxy->DrainRetirement().ok());
+  writer.join();
+  EXPECT_TRUE(commit_status.ok()) << commit_status.ToString();
+  EXPECT_TRUE(env.proxy->FinishEpochNow().ok());
+  EXPECT_TRUE(env.proxy->oram()->CheckInvariants().ok());
+}
+
+TEST(ObladiStorePipelineTest, CloseWaitsForPreviousRetirementDepthOne) {
+  auto env = MakeProxy(256, /*recovery=*/false);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(20)).ok());
+
+  std::promise<void> release;
+  std::shared_future<void> release_fut = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  env.proxy->SetRetireHookForTest([&] {
+    if (hook_calls.fetch_add(1) == 0) {
+      release_fut.wait();
+    }
+  });
+
+  ASSERT_TRUE(env.proxy->CloseEpochNow().ok());  // epoch 1 retiring (held)
+  std::atomic<bool> second_closed{false};
+  std::thread closer([&] {
+    // Epoch 2's close must stall on the depth-1 cap until epoch 1 retires.
+    EXPECT_TRUE(env.proxy->CloseEpochNow().ok());
+    second_closed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(second_closed.load()) << "pipeline depth exceeded 1";
+
+  release.set_value();
+  closer.join();
+  ASSERT_TRUE(env.proxy->DrainRetirement().ok());
+  auto stats = env.proxy->stats();
+  EXPECT_GE(stats.retire_stall_us, 1000u);  // the 60ms hold shows up as stall
+  EXPECT_GE(stats.epochs_overlapped, 1u);
+  EXPECT_EQ(stats.epochs, 2u);
+}
+
+TEST(ObladiStorePipelineTest, CommittedWritesServeFromVersionCacheNextEpoch) {
+  // The epoch's final writes become next-epoch base versions, so a read of a
+  // just-committed key is a cache hit even while its write-back retires.
+  auto env = MakeProxy();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(20)).ok());
+
+  std::thread writer([&] {
+    Timestamp t = env.proxy->Begin();
+    ASSERT_TRUE(env.proxy->Write(t, "key2", "carried").ok());
+    EXPECT_TRUE(env.proxy->Commit(t).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(env.proxy->FinishEpochNow().ok());
+  writer.join();
+
+  uint64_t fetches_before = env.proxy->stats().oram_fetches;
+  Timestamp r = env.proxy->Begin();
+  auto v = env.proxy->Read(r, "key2");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "carried");
+  env.proxy->Abort(r);
+  auto stats = env.proxy->stats();
+  EXPECT_EQ(stats.oram_fetches, fetches_before)
+      << "read of a committed write went to the ORAM instead of the version cache";
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+TEST(ObladiStorePipelineTest, PipelinedPacedRequestShapeIsEpochInvariant) {
+  // Under the pipelined pacer with live clients, every closed epoch must
+  // still present exactly R quota-sized sub-batch plans per shard — the
+  // request-level shape the adversary sees does not depend on overlap.
+  auto env = MakeProxy(512, /*recovery=*/false);
+  env.config.timed_mode = true;
+  env.config.batch_interval_us = 500;
+  env.config.num_shards = 2;
+  env.config.read_batch_size = 8;
+  env.config.write_batch_size = 8;
+  env.store = std::make_shared<MemoryBucketStore>(
+      env.config.StoreBuckets(), env.config.MakeLayout().shard_config.slots_per_bucket());
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, nullptr);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(100)).ok());
+
+  std::mutex plan_mu;
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<size_t>> plans;  // (epoch, shard)
+  env.proxy->oram()->SetBatchPlannedHook([&](uint32_t shard, const BatchPlan& plan) {
+    std::lock_guard<std::mutex> lk(plan_mu);
+    plans[{plan.epoch, shard}].push_back(plan.requests.size());
+    return Status::Ok();
+  });
+
+  env.proxy->Start();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(c + 7);
+      for (int i = 0; i < 4; ++i) {
+        std::string key = "key" + std::to_string(rng.Uniform(100));
+        (void)RunTransaction(*env.proxy, [&](Txn& txn) -> Status {
+          auto v = txn.Read(key);
+          if (!v.ok()) {
+            return v.status();
+          }
+          return txn.Write(key, *v + "x");
+        });
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  env.proxy->Stop();
+
+  std::lock_guard<std::mutex> lk(plan_mu);
+  ASSERT_FALSE(plans.empty());
+  uint64_t last_epoch = 0;
+  for (const auto& [key, sizes] : plans) {
+    last_epoch = std::max(last_epoch, key.first);
+  }
+  size_t complete_epochs = 0;
+  for (const auto& [key, sizes] : plans) {
+    if (key.first == last_epoch) {
+      continue;  // the run may stop mid-epoch
+    }
+    ++complete_epochs;
+    EXPECT_EQ(sizes.size(), env.config.read_batches_per_epoch)
+        << "epoch " << key.first << " shard " << key.second;
+    for (size_t sz : sizes) {
+      EXPECT_EQ(sz, env.config.read_quota())
+          << "epoch " << key.first << " shard " << key.second;
+    }
+  }
+  EXPECT_GT(complete_epochs, 0u);
 }
 
 TEST(ObladiStoreTest, TimedModeMakesProgressWithoutManualPacing) {

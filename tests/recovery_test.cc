@@ -178,6 +178,102 @@ TEST(RecoveryTest, KeyDirectorySurvivesCrash) {
   EXPECT_EQ(ReadCommitted(*env.proxy, "brand-new-key"), "created-after-load");
 }
 
+TEST(RecoveryTest, CrashDuringRetirementRecoversLastDurableEpoch) {
+  // The pipelined window the ordering rule exists for: epoch N has closed
+  // and is retiring (write-back submitted, checkpoint captured but NOT yet
+  // appended) while epoch N+1 is already executing and trying to dispatch
+  // batches. Killing the proxy here must (a) fail N's commit waiters, (b)
+  // keep N+1's records out of the log, and (c) recover to the last durable
+  // epoch, replaying exactly N's logged read batches.
+  auto env = MakeEnv();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(40)).ok());
+  CommitWrite(*env.proxy, "key1", "durable-A");
+
+  std::promise<void> hook_entered;
+  std::promise<void> release;
+  std::shared_future<void> release_fut = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  env.proxy->SetRetireHookForTest([&] {
+    if (hook_calls.fetch_add(1) == 0) {
+      hook_entered.set_value();
+      release_fut.wait();
+    }
+  });
+
+  // Epoch N: a client writes key1 and waits for the (never-arriving)
+  // decision.
+  std::atomic<bool> writer_done{false};
+  Status writer_status;
+  std::thread writer([&] {
+    Timestamp t = env.proxy->Begin();
+    ASSERT_TRUE(env.proxy->Write(t, "key1", "doomed-B").ok());
+    writer_status = env.proxy->Commit(t);
+    writer_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ASSERT_TRUE(env.proxy->CloseEpochNow().ok());
+  hook_entered.get_future().wait();  // epoch N parked before checkpoint append
+  EXPECT_FALSE(writer_done.load()) << "decision released before the epoch was durable";
+
+  // Epoch N+1 dispatches: the recovery unit's ordering gate holds its plan
+  // record out of the log while N's checkpoint is pending, so the dispatch
+  // blocks and then fails with the crash.
+  Status dispatch_status;
+  std::thread dispatcher([&] { dispatch_status = env.proxy->StepReadBatch(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread crasher([&] { env.proxy->SimulateCrash(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // abandon flag set
+  release.set_value();
+  crasher.join();
+  dispatcher.join();
+  writer.join();
+  EXPECT_FALSE(dispatch_status.ok()) << "epoch N+1's dispatch survived the crash";
+  EXPECT_FALSE(writer_status.ok()) << "epoch N's commit decision survived the crash";
+
+  RecoveryBreakdown breakdown;
+  ASSERT_TRUE(env.proxy->RecoverFromCrash(&breakdown).ok());
+  // Exactly epoch N's batches replay (read_batches_per_epoch on one shard);
+  // epoch N+1 contributed nothing to the log.
+  EXPECT_EQ(breakdown.replayed_batches, env.config.read_batches_per_epoch);
+
+  // Epoch N was not durable: its write rolls back to the last committed
+  // value, and everything older is intact.
+  EXPECT_EQ(ReadCommitted(*env.proxy, "key1"), "durable-A");
+  EXPECT_EQ(ReadCommitted(*env.proxy, "key5"), "value5");
+  EXPECT_TRUE(env.proxy->oram()->CheckInvariants().ok());
+
+  // The recovered proxy pipelines again: a fresh write commits and survives
+  // a second (clean) crash.
+  CommitWrite(*env.proxy, "key1", "durable-C");
+  env.proxy->SimulateCrash();
+  ASSERT_TRUE(env.proxy->RecoverFromCrash().ok());
+  EXPECT_EQ(ReadCommitted(*env.proxy, "key1"), "durable-C");
+}
+
+TEST(RecoveryTest, CrashAfterRetirementDurableKeepsEpoch) {
+  // Complement of the above: once DrainRetirement returns, the epoch's
+  // checkpoint is in the log and a crash immediately afterwards loses
+  // nothing.
+  auto env = MakeEnv();
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(20)).ok());
+
+  std::thread writer([&] {
+    Timestamp t = env.proxy->Begin();
+    ASSERT_TRUE(env.proxy->Write(t, "key3", "retired-durably").ok());
+    EXPECT_TRUE(env.proxy->Commit(t).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(env.proxy->CloseEpochNow().ok());
+  ASSERT_TRUE(env.proxy->DrainRetirement().ok());
+  writer.join();
+
+  env.proxy->SimulateCrash();
+  ASSERT_TRUE(env.proxy->RecoverFromCrash().ok());
+  EXPECT_EQ(ReadCommitted(*env.proxy, "key3"), "retired-durably");
+}
+
 TEST(RecoveryTest, RecoveryWithoutLogFailsCleanly) {
   ObladiConfig config = ObladiConfig::ForCapacity(32, 4, 64);
   config.recovery.enabled = false;
