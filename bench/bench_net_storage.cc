@@ -78,7 +78,7 @@ void RunBatchSweep(uint16_t port, bool full) {
   Table table("Remote storage — batch size sweep (" + FmtInt(total_reads) +
               " slot reads over loopback, pool=4)");
   table.Columns({"batch", "round_trips", "rt_predicted", "MB_read", "MB_predicted",
-                 "wall_ms", "reads/s", "rt_cut_vs_unary"});
+                 "MB_wire_down", "MB_wire_pred", "wall_ms", "reads/s", "rt_cut_vs_unary"});
 
   uint64_t unary_round_trips = 0;
   for (size_t batch : batch_sizes) {
@@ -120,14 +120,18 @@ void RunBatchSweep(uint16_t port, bool full) {
     table.Row({FmtInt(batch), FmtInt(real_stats.round_trips.load()),
                FmtInt(sim_stats.round_trips.load()),
                Fmt(static_cast<double>(real_stats.bytes_read.load()) / 1e6, 2),
-               Fmt(static_cast<double>(sim_stats.bytes_read.load()) / 1e6, 2), Fmt(wall_ms),
+               Fmt(static_cast<double>(sim_stats.bytes_read.load()) / 1e6, 2),
+               Fmt(static_cast<double>(real_stats.bytes_received.load()) / 1e6, 2),
+               Fmt(static_cast<double>(sim_stats.bytes_received.load()) / 1e6, 2),
+               Fmt(wall_ms),
                FmtInt(static_cast<uint64_t>(1000.0 * static_cast<double>(total_reads) /
                                             wall_ms)),
                Fmt(cut, 1) + "x"});
   }
   table.Print();
   std::printf("(rt_cut_vs_unary should track the batch factor: one RPC round trip per "
-              "batched request.)\n");
+              "batched request. MB_wire_down is the measured client-side wire download — "
+              "frames + length prefixes — next to the latency decorator's model of it.)\n");
 }
 
 // The pool sweep runs against a server whose backend charges a 1 ms

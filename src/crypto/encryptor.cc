@@ -54,6 +54,28 @@ Bytes Encryptor::Encrypt(const Bytes& plaintext, const Bytes& aad) {
   return out;
 }
 
+Bytes Encryptor::ApplyKeystream(const uint8_t* nonce, const Bytes& data) const {
+  Bytes out = data;
+  ChaCha20 cipher(enc_key_.data(), nonce, /*counter=*/1);
+  cipher.Crypt(out.data(), out.size());
+  return out;
+}
+
+bool Encryptor::VerifyBodyTag(const uint8_t* nonce, const uint8_t* body, size_t body_len,
+                              const Bytes& aad, const uint8_t* tag) const {
+  if (!authenticated_) {
+    return false;
+  }
+  HmacSha256 mac(mac_key_);
+  mac.Update(nonce, kNonceSize);
+  mac.Update(body, body_len);
+  mac.Update(aad);
+  HmacSha256::Tag expected = mac.Finalize();
+  HmacSha256::Tag provided;
+  std::memcpy(provided.data(), tag, kTagSize);
+  return HmacSha256::Equal(expected, provided);
+}
+
 StatusOr<Bytes> Encryptor::Decrypt(const Bytes& ciphertext, const Bytes& aad) {
   size_t overhead = Overhead();
   if (ciphertext.size() < overhead) {
@@ -61,16 +83,10 @@ StatusOr<Bytes> Encryptor::Decrypt(const Bytes& ciphertext, const Bytes& aad) {
   }
   size_t pt_len = ciphertext.size() - overhead;
 
-  if (authenticated_) {
-    HmacSha256 mac(mac_key_);
-    mac.Update(ciphertext.data(), kNonceSize + pt_len);
-    mac.Update(aad);
-    HmacSha256::Tag expected = mac.Finalize();
-    HmacSha256::Tag provided;
-    std::memcpy(provided.data(), ciphertext.data() + kNonceSize + pt_len, kTagSize);
-    if (!HmacSha256::Equal(expected, provided)) {
-      return Status::IntegrityViolation("bucket MAC mismatch");
-    }
+  if (authenticated_ &&
+      !VerifyBodyTag(ciphertext.data(), ciphertext.data() + kNonceSize, pt_len, aad,
+                     ciphertext.data() + kNonceSize + pt_len)) {
+    return Status::IntegrityViolation("bucket MAC mismatch");
   }
 
   Bytes out(pt_len);

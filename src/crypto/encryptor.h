@@ -47,6 +47,21 @@ class Encryptor {
   Bytes Encrypt(const Bytes& plaintext, const Bytes& aad = {});
   StatusOr<Bytes> Decrypt(const Bytes& ciphertext, const Bytes& aad = {});
 
+  // --- XOR path-read primitives (server-side read reduction) ---
+  // The body transform of this encryptor's stream cipher under `nonce`
+  // (kNonceSize bytes): maps a plaintext to the ciphertext body Encrypt
+  // would have produced with that nonce, and a ciphertext body back to its
+  // plaintext. Lets the ORAM regenerate a dummy slot's ciphertext body from
+  // just the returned nonce, or decrypt an XOR-recovered target body.
+  Bytes ApplyKeystream(const uint8_t* nonce, const Bytes& data) const;
+
+  // Verify the Appendix-A MAC of a slot given its pieces (nonce, body, tag
+  // of kTagSize bytes) instead of the assembled ciphertext. The one MAC
+  // check in this class — Decrypt delegates to it. False in
+  // non-authenticated mode (callers gate on authenticated()).
+  bool VerifyBodyTag(const uint8_t* nonce, const uint8_t* body, size_t body_len,
+                     const Bytes& aad, const uint8_t* tag) const;
+
  private:
   Bytes enc_key_;   // 32 bytes (SHA-256 of the provided key material)
   Bytes mac_key_;

@@ -182,6 +182,11 @@ void AsyncNetClient::SubmitEncoded(MsgType type, uint64_t id, const Bytes& paylo
   // this opens are the ones the whoever-erases-completes protocol handles.
   lk.unlock();
   st = loop_.SendFrame(conn_id, payload);
+  if (st.ok()) {
+    // Wire-layer accounting (frame + 4-byte length prefix), mirroring the
+    // server's bytes_received counter for the same frame.
+    stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
+  }
   if (!st.ok()) {
     // The connection died underneath us. OnClose may have raced us to the
     // pending entry; whoever erases it completes it.
@@ -203,7 +208,7 @@ void AsyncNetClient::SubmitEncoded(MsgType type, uint64_t id, const Bytes& paylo
 }
 
 StatusOr<NetResponse> AsyncNetClient::Call(NetRequest req) {
-  bool retryable = req.type != MsgType::kLogAppend;
+  bool retryable = req.type != MsgType::kLogAppend && req.type != MsgType::kLogAppendSync;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   Bytes payload = EncodeRequest(req);
   NetFuture fut;
@@ -231,6 +236,7 @@ StatusOr<NetResponse> AsyncNetClient::Call(NetRequest req) {
 }
 
 void AsyncNetClient::OnFrame(size_t s, uint64_t generation, Bytes payload) {
+  stats_.bytes_received.fetch_add(payload.size() + 4, std::memory_order_relaxed);
   MsgType type;
   uint64_t id = 0;
   Status peeked = PeekHeader(payload, &type, &id);

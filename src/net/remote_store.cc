@@ -64,11 +64,13 @@ StatusOr<NetResponse> NetClient::Exchange(size_t index, const NetRequest& req,
     conn.sock.Close();
     return sent;
   }
+  stats_.bytes_sent.fetch_add(payload.size() + 4, std::memory_order_relaxed);
   auto frame = conn.sock.RecvFrame(options_.max_frame_bytes);
   if (!frame.ok()) {
     conn.sock.Close();
     return frame.status();
   }
+  stats_.bytes_received.fetch_add(frame->size() + 4, std::memory_order_relaxed);
   NetResponse resp;
   Status decoded = DecodeResponse(*frame, req.type, &resp);
   if (!decoded.ok()) {
@@ -88,13 +90,14 @@ StatusOr<NetResponse> NetClient::Call(NetRequest req) {
   size_t index = AcquireConn();
   auto resp = Exchange(index, req, payload);
   if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable &&
-      req.type != MsgType::kLogAppend) {
+      req.type != MsgType::kLogAppend && req.type != MsgType::kLogAppendSync) {
     // The connection may simply be stale (server restarted); dial fresh and
     // retry once. Every request type is idempotent (reads, versioned bucket
-    // writes, truncations, sync) EXCEPT kLogAppend: the server may have
-    // appended the record and died before responding, and a blind resend
-    // would duplicate it in the WAL. Append is therefore at-most-once; a
-    // failed Append surfaces Unavailable and the recovery protocol decides.
+    // writes, truncations, sync) EXCEPT the log appends (fused or not): the
+    // server may have appended the record and died before responding, and a
+    // blind resend would duplicate it in the WAL. Appends are therefore
+    // at-most-once; a failed append surfaces Unavailable and the recovery
+    // protocol decides.
     resp = Exchange(index, req, payload);
   }
   ReleaseConn(index);
@@ -142,6 +145,57 @@ std::vector<StatusOr<Bytes>> UnpackReads(StatusOr<NetResponse> resp, size_t expe
   return out;
 }
 
+// Per-path slot counts: all the request shape the reply validation needs
+// (cheaper to retain across the round trip than a copy of every slot ref).
+std::vector<uint32_t> PathSlotCounts(const std::vector<PathSlots>& paths) {
+  std::vector<uint32_t> counts;
+  counts.reserve(paths.size());
+  for (const PathSlots& path : paths) {
+    counts.push_back(static_cast<uint32_t>(path.slots.size()));
+  }
+  return counts;
+}
+
+// Unpack a kReadPathsXor response into per-path results, validating that the
+// server's reply matches the request's shape: the path count must agree and
+// every successful path must carry exactly nslots * (header + trailer) header
+// bytes. Shared by the blocking and async XOR read paths.
+std::vector<StatusOr<PathXorResult>> UnpackXorReads(StatusOr<NetResponse> resp,
+                                                    const std::vector<uint32_t>& slot_counts,
+                                                    uint32_t header_bytes,
+                                                    uint32_t trailer_bytes,
+                                                    NetworkStats& stats) {
+  Status st = OverallStatus(resp);
+  std::vector<StatusOr<PathXorResult>> out;
+  out.reserve(slot_counts.size());
+  if (!st.ok() || resp->xor_reads.size() != slot_counts.size()) {
+    if (st.ok()) {
+      st = Status::IntegrityViolation("server returned wrong xor path count");
+    }
+    for (size_t i = 0; i < slot_counts.size(); ++i) {
+      out.push_back(st);
+    }
+    return out;
+  }
+  size_t edge = static_cast<size_t>(header_bytes) + trailer_bytes;
+  for (size_t i = 0; i < slot_counts.size(); ++i) {
+    XorReadResult& read = resp->xor_reads[i];
+    if (read.code != StatusCode::kOk) {
+      out.push_back(Status(read.code, std::move(read.message)));
+      continue;
+    }
+    if (read.headers.size() != slot_counts[i] * edge) {
+      out.push_back(Status::IntegrityViolation("xor reply headers have wrong size"));
+      continue;
+    }
+    stats.reads.fetch_add(slot_counts[i], std::memory_order_relaxed);
+    stats.bytes_read.fetch_add(read.headers.size() + read.body_xor.size(),
+                               std::memory_order_relaxed);
+    out.push_back(PathXorResult{std::move(read.headers), std::move(read.body_xor)});
+  }
+  return out;
+}
+
 }  // namespace
 
 // --- RemoteBucketStore ------------------------------------------------------
@@ -185,6 +239,33 @@ void RemoteBucketStore::ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlots
                   [this, n, done = std::move(done)](StatusOr<NetResponse> resp) {
                     done(UnpackReads(std::move(resp), n, client_->stats()));
                   });
+}
+
+std::vector<StatusOr<PathXorResult>> RemoteBucketStore::ReadPathsXor(
+    const std::vector<PathSlots>& paths, uint32_t header_bytes, uint32_t trailer_bytes) {
+  std::vector<uint32_t> counts = PathSlotCounts(paths);
+  NetRequest req;
+  req.type = MsgType::kReadPathsXor;
+  req.path_reads = paths;
+  req.xor_header_bytes = header_bytes;
+  req.xor_trailer_bytes = trailer_bytes;
+  return UnpackXorReads(client_->Call(std::move(req)), counts, header_bytes, trailer_bytes,
+                        client_->stats());
+}
+
+void RemoteBucketStore::ReadPathsXorAsync(std::vector<PathSlots> paths, uint32_t header_bytes,
+                                          uint32_t trailer_bytes, ReadPathsXorDone done) {
+  auto counts = std::make_shared<std::vector<uint32_t>>(PathSlotCounts(paths));
+  NetRequest req;
+  req.type = MsgType::kReadPathsXor;
+  req.path_reads = std::move(paths);
+  req.xor_header_bytes = header_bytes;
+  req.xor_trailer_bytes = trailer_bytes;
+  client_->Submit(std::move(req), [this, counts, header_bytes, trailer_bytes,
+                                   done = std::move(done)](StatusOr<NetResponse> resp) {
+    done(UnpackXorReads(std::move(resp), *counts, header_bytes, trailer_bytes,
+                        client_->stats()));
+  });
 }
 
 Status RemoteBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
@@ -290,6 +371,22 @@ Status RemoteLogStore::Sync() {
   NetRequest req;
   req.type = MsgType::kLogSync;
   return OverallStatus(client_->Call(std::move(req)));
+}
+
+StatusOr<uint64_t> RemoteLogStore::AppendSync(Bytes record) {
+  size_t bytes = record.size();
+  NetRequest req;
+  req.type = MsgType::kLogAppendSync;
+  req.record = std::move(record);
+  auto resp = client_->Call(std::move(req));
+  Status st = OverallStatus(resp);
+  if (!st.ok()) {
+    return st;
+  }
+  NetworkStats& stats = client_->stats();
+  stats.writes.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  return resp->u64;
 }
 
 StatusOr<std::vector<Bytes>> RemoteLogStore::ReadAll() {

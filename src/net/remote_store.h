@@ -122,6 +122,15 @@ class RemoteBucketStore : public BucketStore {
   Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
   // kTruncateBucketsBatch: a whole epoch's GC in one round trip.
   Status TruncateBucketsBatch(const std::vector<TruncateRef>& refs) override;
+  // kReadPathsXor: the real server-side reduction — one round trip whose
+  // reply is headers + ONE body per path instead of every slot ciphertext.
+  // Reply-shape violations this layer can see (wrong path count, header
+  // bytes not matching the request's slot count) fail closed here with
+  // IntegrityViolation; body sizing is validated by the ORAM's
+  // reconstruction, which knows the ciphertext geometry.
+  std::vector<StatusOr<PathXorResult>> ReadPathsXor(const std::vector<PathSlots>& paths,
+                                                    uint32_t header_bytes,
+                                                    uint32_t trailer_bytes) override;
   size_t num_buckets() const override { return num_buckets_; }
 
   // True submissions over the event loop: the call returns once the frame
@@ -130,6 +139,8 @@ class RemoteBucketStore : public BucketStore {
   bool SupportsAsyncBatches() const override { return true; }
   void ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) override;
   void WriteBucketsBatchAsync(std::vector<BucketImage> images, WriteBucketsDone done) override;
+  void ReadPathsXorAsync(std::vector<PathSlots> paths, uint32_t header_bytes,
+                         uint32_t trailer_bytes, ReadPathsXorDone done) override;
 
   NetworkStats& stats() { return client_->stats(); }
   const std::shared_ptr<AsyncNetClient>& client() const { return client_; }
@@ -148,6 +159,10 @@ class RemoteLogStore : public LogStore {
 
   StatusOr<uint64_t> Append(Bytes record) override;
   Status Sync() override;
+  // kLogAppendSync: append + sync in ONE round trip. At-most-once exactly
+  // like Append — a transport failure leaves the record's fate unknown and
+  // is never blindly retried.
+  StatusOr<uint64_t> AppendSync(Bytes record) override;
   StatusOr<std::vector<Bytes>> ReadAll() override;
   Status Truncate(uint64_t upto_lsn) override;
   // Interface is const and infallible; this does an RPC and reports 0 if

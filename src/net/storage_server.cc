@@ -196,7 +196,9 @@ NetResponse StorageServer::Handle(NetRequest& req) {
   resp.id = req.id;
   resp.request_type = req.type;
 
-  if (req.type >= MsgType::kLogAppend && req.type <= MsgType::kLogNextLsn && !log_) {
+  bool is_log_rpc = (req.type >= MsgType::kLogAppend && req.type <= MsgType::kLogNextLsn) ||
+                    req.type == MsgType::kLogAppendSync;
+  if (is_log_rpc && !log_) {
     return NetResponse::FromStatus(
         req, Status::FailedPrecondition("no log store attached to this server"));
   }
@@ -214,6 +216,38 @@ NetResponse StorageServer::Handle(NetRequest& req) {
           read.message = result.status().message();
         }
         resp.reads.push_back(std::move(read));
+      }
+      break;
+    }
+    case MsgType::kReadPathsXor: {
+      // One backend batch for ALL paths' slots (the storage touch pattern —
+      // and its round-trip count — is identical to kReadSlots); the XOR
+      // reduction happens here on the worker pool, so only headers plus one
+      // body per path travel back.
+      std::vector<SlotRef> flat;
+      for (const PathSlots& path : req.path_reads) {
+        flat.insert(flat.end(), path.slots.begin(), path.slots.end());
+      }
+      auto slots = buckets_->ReadSlotsBatch(flat);
+      resp.xor_reads.reserve(req.path_reads.size());
+      size_t next = 0;
+      for (const PathSlots& path : req.path_reads) {
+        std::vector<StatusOr<Bytes>> mine(
+            std::make_move_iterator(slots.begin() + static_cast<ptrdiff_t>(next)),
+            std::make_move_iterator(slots.begin() +
+                                    static_cast<ptrdiff_t>(next + path.slots.size())));
+        next += path.slots.size();
+        auto combined = BucketStore::XorCombineSlots(mine, req.xor_header_bytes,
+                                                     req.xor_trailer_bytes);
+        XorReadResult read;
+        if (combined.ok()) {
+          read.headers = std::move(combined->headers);
+          read.body_xor = std::move(combined->body_xor);
+        } else {
+          read.code = combined.status().code();
+          read.message = combined.status().message();
+        }
+        resp.xor_reads.push_back(std::move(read));
       }
       break;
     }
@@ -243,6 +277,16 @@ NetResponse StorageServer::Handle(NetRequest& req) {
       break;
     case MsgType::kLogAppend: {
       auto lsn = log_->Append(std::move(req.record));
+      if (!lsn.ok()) {
+        return NetResponse::FromStatus(req, lsn.status());
+      }
+      resp.u64 = *lsn;
+      break;
+    }
+    case MsgType::kLogAppendSync: {
+      // Fused durable append: the reply implies the record is synced, so the
+      // client's one round trip buys full durability.
+      auto lsn = log_->AppendSync(std::move(req.record));
       if (!lsn.ok()) {
         return NetResponse::FromStatus(req, lsn.status());
       }

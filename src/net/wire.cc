@@ -7,7 +7,7 @@ namespace {
 
 bool ValidMsgType(uint8_t raw) {
   return (raw >= static_cast<uint8_t>(MsgType::kReadSlots) &&
-          raw <= static_cast<uint8_t>(MsgType::kTruncateBucketsBatch)) ||
+          raw <= static_cast<uint8_t>(MsgType::kLogAppendSync)) ||
          raw == static_cast<uint8_t>(MsgType::kResponse);
 }
 
@@ -74,6 +74,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kLogNextLsn: return "LOG_NEXT_LSN";
     case MsgType::kPing: return "PING";
     case MsgType::kTruncateBucketsBatch: return "TRUNCATE_BUCKETS_BATCH";
+    case MsgType::kReadPathsXor: return "READ_PATHS_XOR";
+    case MsgType::kLogAppendSync: return "LOG_APPEND_SYNC";
     case MsgType::kResponse: return "RESPONSE";
   }
   return "UNKNOWN";
@@ -113,7 +115,21 @@ Bytes EncodeRequest(const NetRequest& req) {
         w.PutU32(ref.keep_from_version);
       }
       break;
+    case MsgType::kReadPathsXor:
+      w.PutU32(req.xor_header_bytes);
+      w.PutU32(req.xor_trailer_bytes);
+      w.PutU32(static_cast<uint32_t>(req.path_reads.size()));
+      for (const PathSlots& path : req.path_reads) {
+        w.PutU32(static_cast<uint32_t>(path.slots.size()));
+        for (const SlotRef& ref : path.slots) {
+          w.PutU32(ref.bucket);
+          w.PutU32(ref.version);
+          w.PutU32(ref.slot);
+        }
+      }
+      break;
     case MsgType::kLogAppend:
+    case MsgType::kLogAppendSync:
       w.PutBytes(req.record);
       break;
     case MsgType::kLogTruncate:
@@ -185,7 +201,34 @@ Status DecodeRequest(const Bytes& payload, NetRequest* out) {
       }
       break;
     }
+    case MsgType::kReadPathsXor: {
+      out->xor_header_bytes = r.GetU32();
+      out->xor_trailer_bytes = r.GetU32();
+      if (out->xor_header_bytes > kMaxXorEdgeBytes ||
+          out->xor_trailer_bytes > kMaxXorEdgeBytes) {
+        return Status::InvalidArgument("xor header/trailer size unreasonable");
+      }
+      uint32_t n = r.GetU32();
+      OBLADI_RETURN_IF_ERROR(CheckCount(r, n, 4));
+      out->path_reads.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t nslots = r.GetU32();
+        OBLADI_RETURN_IF_ERROR(CheckCount(r, nslots, 12));
+        PathSlots path;
+        path.slots.reserve(nslots);
+        for (uint32_t s = 0; s < nslots; ++s) {
+          SlotRef ref;
+          ref.bucket = r.GetU32();
+          ref.version = r.GetU32();
+          ref.slot = r.GetU32();
+          path.slots.push_back(ref);
+        }
+        out->path_reads.push_back(std::move(path));
+      }
+      break;
+    }
     case MsgType::kLogAppend:
+    case MsgType::kLogAppendSync:
       out->record = r.GetBytes();
       break;
     case MsgType::kLogTruncate:
@@ -214,8 +257,18 @@ Bytes EncodeResponse(const NetResponse& resp) {
         w.PutBytes(read.payload);
       }
       break;
+    case MsgType::kReadPathsXor:
+      w.PutU32(static_cast<uint32_t>(resp.xor_reads.size()));
+      for (const XorReadResult& read : resp.xor_reads) {
+        w.PutU8(static_cast<uint8_t>(read.code));
+        w.PutString(read.message);
+        w.PutBytes(read.headers);
+        w.PutBytes(read.body_xor);
+      }
+      break;
     case MsgType::kNumBuckets:
     case MsgType::kLogAppend:
+    case MsgType::kLogAppendSync:
     case MsgType::kLogNextLsn:
       w.PutU64(resp.u64);
       break;
@@ -272,8 +325,27 @@ Status DecodeResponse(const Bytes& payload, MsgType request_type, NetResponse* o
       }
       break;
     }
+    case MsgType::kReadPathsXor: {
+      uint32_t n = r.GetU32();
+      OBLADI_RETURN_IF_ERROR(CheckCount(r, n, 13));
+      out->xor_reads.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        XorReadResult read;
+        uint8_t code = r.GetU8();
+        read.message = r.GetString();
+        read.headers = r.GetBytes();
+        read.body_xor = r.GetBytes();
+        if (!ValidStatusCode(code)) {
+          return Status::InvalidArgument("malformed xor read result status");
+        }
+        read.code = static_cast<StatusCode>(code);
+        out->xor_reads.push_back(std::move(read));
+      }
+      break;
+    }
     case MsgType::kNumBuckets:
     case MsgType::kLogAppend:
+    case MsgType::kLogAppendSync:
     case MsgType::kLogNextLsn:
       out->u64 = r.GetU64();
       break;

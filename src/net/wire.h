@@ -36,13 +36,23 @@
 
 namespace obladi {
 
-// v2: out-of-order response multiplexing + kTruncateBucketsBatch.
-inline constexpr uint8_t kWireVersion = 2;
+// v3: server-side XOR path reads (kReadPathsXor — the download for one ORAM
+// path read shrinks from (L+1) slot ciphertexts to every slot's nonce/tag
+// header plus ONE XORed body) and the fused durable log append
+// (kLogAppendSync — append + sync in one round trip).
+// v2 introduced out-of-order response multiplexing + kTruncateBucketsBatch.
+inline constexpr uint8_t kWireVersion = 3;
 
 // Frames larger than this are a protocol violation (stream desync or garbage)
 // and close the connection. Large enough for a full epoch's deferred bucket
 // flush on the biggest benchmarked trees.
 inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+// Upper bound on a kReadPathsXor request's per-slot header/trailer split.
+// The real users are a 12-byte nonce and a 32-byte MAC tag; anything huge is
+// garbage, and rejecting it at decode time keeps untrusted sizes from ever
+// reaching an allocation.
+inline constexpr uint32_t kMaxXorEdgeBytes = 4096;
 
 enum class MsgType : uint8_t {
   // BucketStore RPCs.
@@ -60,6 +70,16 @@ enum class MsgType : uint8_t {
   kPing = 10,  // body: empty
   // Post-epoch GC for a whole shard in one round trip (v2).
   kTruncateBucketsBatch = 11,  // body: u32 n, n x (u32 bucket, u32 keep_from_version)
+  // Server-side XOR path reads (v3). body: u32 header_bytes,
+  // u32 trailer_bytes, u32 npaths, npaths x (u32 nslots, nslots x
+  // (u32 bucket, u32 version, u32 slot)). Per path the server returns every
+  // slot's first header_bytes + last trailer_bytes verbatim and the XOR of
+  // the bodies in between.
+  kReadPathsXor = 12,
+  // Fused durable log append (v3). body: bytes record. Response carries the
+  // LSN; the record is synced before the reply, so one round trip makes it
+  // durable. At-most-once like kLogAppend: never retried blindly.
+  kLogAppendSync = 13,
   // Server -> client. body: u8 status_code, string status_message, then a
   // result body keyed by the request's type (see NetResponse).
   kResponse = 64,
@@ -78,8 +98,11 @@ struct NetRequest {
   BucketIndex bucket = 0;              // kTruncateBucket
   uint32_t keep_from_version = 0;      // kTruncateBucket
   std::vector<TruncateRef> truncates;  // kTruncateBucketsBatch
-  Bytes record;                        // kLogAppend
+  Bytes record;                        // kLogAppend, kLogAppendSync
   uint64_t lsn = 0;                    // kLogTruncate
+  std::vector<PathSlots> path_reads;   // kReadPathsXor
+  uint32_t xor_header_bytes = 0;       // kReadPathsXor
+  uint32_t xor_trailer_bytes = 0;      // kReadPathsXor
 };
 
 // One entry of a kReadSlots response: a serialized StatusOr<Bytes>.
@@ -96,10 +119,28 @@ struct ReadResult {
   }
 };
 
+// One entry of a kReadPathsXor response: a serialized
+// StatusOr<PathXorResult>.
+struct XorReadResult {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  Bytes headers;   // empty unless code == kOk
+  Bytes body_xor;  // empty unless code == kOk
+
+  StatusOr<PathXorResult> ToStatusOr() const {
+    if (code == StatusCode::kOk) {
+      return PathXorResult{headers, body_xor};
+    }
+    return Status(code, message);
+  }
+};
+
 // A decoded response. `request_type` selects which result fields are live:
 //   kReadSlots     -> reads (one entry per requested slot, in request order)
+//   kReadPathsXor  -> xor_reads (one entry per requested path)
 //   kNumBuckets,
 //   kLogAppend,
+//   kLogAppendSync,
 //   kLogNextLsn    -> u64
 //   kLogReadAll    -> records
 //   everything else carries only the overall status.
@@ -110,6 +151,7 @@ struct NetResponse {
   std::string message;
 
   std::vector<ReadResult> reads;
+  std::vector<XorReadResult> xor_reads;
   uint64_t u64 = 0;
   std::vector<Bytes> records;
 

@@ -228,7 +228,11 @@ void RingOram::ProcessCiphertext(const PendingRead& read, StatusOr<Bytes> cipher
   if (read.deposit_id == kInvalidBlockId) {
     return;  // dummy slot: content discarded
   }
-  DecodedBlock decoded = codec_.DecodeBlock(*pt);
+  DepositPlaintext(read, *pt);
+}
+
+void RingOram::DepositPlaintext(const PendingRead& read, const Bytes& plaintext) {
+  DecodedBlock decoded = codec_.DecodeBlock(plaintext);
   if (options_.verify_decoded_ids && decoded.id != read.deposit_id) {
     RecordError(Status::IntegrityViolation("decoded block id mismatch"));
     return;
@@ -248,7 +252,7 @@ void RingOram::ProcessCiphertext(const PendingRead& read, StatusOr<Bytes> cipher
 
 void RingOram::EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit_id,
                         StashEntry* entry, std::vector<Bytes>* results, size_t result_slot,
-                        uint32_t entry_gen) {
+                        uint32_t entry_gen, uint32_t path_group) {
   PendingRead read;
   read.bucket = bucket;
   read.version = meta_[bucket].write_count;
@@ -258,6 +262,7 @@ void RingOram::EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit
   read.results = results;
   read.result_slot = result_slot;
   read.entry_gen = entry_gen;
+  read.path_group = path_group;
   trace_.Record(PhysicalOpType::kReadSlot, read.bucket, read.version, read.slot);
   stats_.physical_slot_reads++;
 
@@ -306,6 +311,43 @@ void RingOram::DispatchPendingReads() {
   if (pending_reads_.empty()) {
     return;
   }
+  if (!UseXorPathReads()) {
+    DispatchPlainReads(std::move(pending_reads_));
+    pending_reads_.clear();
+    next_path_group_ = 0;
+    return;
+  }
+  // Partition into per-access path groups (fetched via XOR path reads) and
+  // plain slot reads (eviction/reshuffle bucket pulls — several real blocks
+  // per bucket, nothing to XOR out).
+  std::vector<PendingRead> plain;
+  std::vector<std::vector<PendingRead>> groups;
+  std::unordered_map<uint32_t, size_t> group_index;
+  for (PendingRead& read : pending_reads_) {
+    if (read.path_group == kNoPathGroup) {
+      plain.push_back(read);
+      continue;
+    }
+    auto [it, inserted] = group_index.emplace(read.path_group, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(read);
+  }
+  pending_reads_.clear();
+  next_path_group_ = 0;  // groups never span a dispatch
+  if (!plain.empty()) {
+    DispatchPlainReads(std::move(plain));
+  }
+  if (!groups.empty()) {
+    DispatchXorReads(std::move(groups));
+  }
+}
+
+void RingOram::DispatchPlainReads(std::vector<PendingRead> reads) {
+  if (reads.empty()) {
+    return;
+  }
   // Split the batch's reads into chunks, each issued as one batched storage
   // request: inter- and intra-request parallelism. Against a blocking store
   // each in-flight chunk occupies a pool thread for its whole round trip,
@@ -314,16 +356,16 @@ void RingOram::DispatchPendingReads() {
   // I/O width instead — one event loop keeps them all in flight at once.
   const bool async = options_.parallel && store_->SupportsAsyncBatches();
   size_t max_chunks = 2 * (async ? pool_->num_threads() : crypto_pool_->num_threads());
-  size_t chunk = (pending_reads_.size() + max_chunks - 1) / max_chunks;
-  size_t num_chunks = (pending_reads_.size() + chunk - 1) / chunk;
+  size_t chunk = (reads.size() + max_chunks - 1) / max_chunks;
+  size_t num_chunks = (reads.size() + chunk - 1) / chunk;
   {
     std::lock_guard<std::mutex> lk(io_mu_);
     outstanding_reads_ += num_chunks;
   }
-  for (size_t start = 0; start < pending_reads_.size(); start += chunk) {
-    size_t end = std::min(start + chunk, pending_reads_.size());
-    std::vector<PendingRead> group(pending_reads_.begin() + static_cast<ptrdiff_t>(start),
-                                   pending_reads_.begin() + static_cast<ptrdiff_t>(end));
+  for (size_t start = 0; start < reads.size(); start += chunk) {
+    size_t end = std::min(start + chunk, reads.size());
+    std::vector<PendingRead> group(reads.begin() + static_cast<ptrdiff_t>(start),
+                                   reads.begin() + static_cast<ptrdiff_t>(end));
     if (async) {
       // Submit now (non-blocking); the completion fires on the transport's
       // event-loop thread and hands the ciphertexts to the I/O pool for
@@ -351,7 +393,167 @@ void RingOram::DispatchPendingReads() {
       });
     }
   }
-  pending_reads_.clear();
+}
+
+void RingOram::DispatchXorReads(std::vector<std::vector<PendingRead>> groups) {
+  // Same chunking rationale as DispatchPlainReads, over paths instead of
+  // slots: each chunk is one kReadPathsXor request carrying many paths.
+  const bool async = options_.parallel && store_->SupportsAsyncBatches();
+  const uint32_t header_bytes = Encryptor::kNonceSize;
+  const uint32_t trailer_bytes = encryptor_->authenticated() ? Encryptor::kTagSize : 0;
+  size_t max_chunks = 2 * (async ? pool_->num_threads() : crypto_pool_->num_threads());
+  size_t chunk = (groups.size() + max_chunks - 1) / max_chunks;
+  size_t num_chunks = (groups.size() + chunk - 1) / chunk;
+  stats_.xor_path_reads += groups.size();
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    outstanding_reads_ += num_chunks;
+  }
+  for (size_t start = 0; start < groups.size(); start += chunk) {
+    size_t end = std::min(start + chunk, groups.size());
+    auto sub = std::make_shared<std::vector<std::vector<PendingRead>>>(
+        std::make_move_iterator(groups.begin() + static_cast<ptrdiff_t>(start)),
+        std::make_move_iterator(groups.begin() + static_cast<ptrdiff_t>(end)));
+    std::vector<PathSlots> paths;
+    paths.reserve(sub->size());
+    for (const auto& path : *sub) {
+      PathSlots refs;
+      refs.slots.reserve(path.size());
+      for (const PendingRead& read : path) {
+        refs.slots.push_back(SlotRef{read.bucket, read.version, read.slot});
+      }
+      paths.push_back(std::move(refs));
+    }
+    if (async) {
+      store_->ReadPathsXorAsync(
+          std::move(paths), header_bytes, trailer_bytes,
+          [this, sub](std::vector<StatusOr<PathXorResult>> results) {
+            pool_->Enqueue([this, sub, res = std::move(results)]() mutable {
+              ProcessXorChunk(*sub, std::move(res));
+            });
+          });
+    } else {
+      pool_->Enqueue([this, sub, paths = std::move(paths), header_bytes, trailer_bytes] {
+        ProcessXorChunk(*sub, store_->ReadPathsXor(paths, header_bytes, trailer_bytes));
+      });
+    }
+  }
+}
+
+void RingOram::ProcessXorChunk(const std::vector<std::vector<PendingRead>>& paths,
+                               std::vector<StatusOr<PathXorResult>> results) {
+  if (results.size() != paths.size()) {
+    RecordError(Status::IntegrityViolation("xor read reply has wrong path count"));
+  } else {
+    for (size_t i = 0; i < paths.size(); ++i) {
+      ProcessPathXorGroup(paths[i], std::move(results[i]));
+    }
+  }
+  {
+    // Notify under the lock: the waiter may destroy this object as soon as
+    // the count hits zero.
+    std::lock_guard<std::mutex> lk(io_mu_);
+    --outstanding_reads_;
+    io_cv_.notify_all();
+  }
+}
+
+void RingOram::ProcessPathXorGroup(const std::vector<PendingRead>& path,
+                                   StatusOr<PathXorResult> result) {
+  if (!result.ok()) {
+    RecordError(result.status());
+    return;
+  }
+  const size_t nonce_len = Encryptor::kNonceSize;
+  const bool auth = encryptor_->authenticated();
+  const size_t edge = nonce_len + (auth ? Encryptor::kTagSize : 0);
+  const size_t body_len = codec_.plaintext_size();
+  if (result->headers.size() != path.size() * edge || result->body_xor.size() != body_len) {
+    RecordError(Status::IntegrityViolation("malformed xor path read reply"));
+    return;
+  }
+
+  // XOR the regenerated dummy bodies back out; whatever survives is the
+  // target's ciphertext body (or zero on an all-dummy path). Every slot's
+  // tag is verified against its regenerated (or recovered) body, so
+  // authenticated mode loses nothing to the reduction: a forged header,
+  // body, or tag fails exactly as it would on the slot-by-slot path.
+  Bytes body = std::move(result->body_xor);
+  const PendingRead* target = nullptr;
+  const uint8_t* target_header = nullptr;
+  for (size_t i = 0; i < path.size(); ++i) {
+    const uint8_t* header = result->headers.data() + i * edge;
+    if (path[i].deposit_id != kInvalidBlockId) {
+      target = &path[i];
+      target_header = header;
+      continue;
+    }
+    Bytes dummy_pt = codec_.DummyPlaintext(path[i].bucket, path[i].version, path[i].slot);
+    // Keystream + MAC both count as crypto for the !parallel_crypto
+    // ablation, exactly like the Decrypt call on the slot-by-slot path.
+    Bytes dummy_body;
+    bool tag_ok = true;
+    auto regen_and_verify = [&] {
+      dummy_body = encryptor_->ApplyKeystream(header, dummy_pt);
+      if (auth) {
+        Bytes aad = BlockCodec::MakeAad(config_.aad_bucket_offset + path[i].bucket,
+                                        path[i].version, path[i].slot);
+        tag_ok = encryptor_->VerifyBodyTag(header, dummy_body.data(), dummy_body.size(), aad,
+                                           header + nonce_len);
+      }
+    };
+    if (options_.parallel && !options_.parallel_crypto) {
+      std::lock_guard<std::mutex> lk(crypto_mu_);
+      regen_and_verify();
+    } else {
+      regen_and_verify();
+    }
+    if (!tag_ok) {
+      RecordError(Status::IntegrityViolation("bucket MAC mismatch"));
+      return;
+    }
+    for (size_t b = 0; b < body_len; ++b) {
+      body[b] ^= dummy_body[b];
+    }
+  }
+
+  if (target == nullptr) {
+    // All-dummy path (padding request or stash-resident access): the
+    // residue must cancel to zero. In authenticated mode the tags above
+    // already pin every body; this check closes the gap in plain mode.
+    for (uint8_t b : body) {
+      if (b != 0) {
+        RecordError(Status::IntegrityViolation("nonzero xor residue on dummy path"));
+        return;
+      }
+    }
+    return;
+  }
+  bool target_tag_ok = true;
+  Bytes plaintext;
+  auto verify_and_decrypt = [&] {
+    if (auth) {
+      Bytes aad = BlockCodec::MakeAad(config_.aad_bucket_offset + target->bucket,
+                                      target->version, target->slot);
+      target_tag_ok = encryptor_->VerifyBodyTag(target_header, body.data(), body.size(), aad,
+                                                target_header + nonce_len);
+      if (!target_tag_ok) {
+        return;
+      }
+    }
+    plaintext = encryptor_->ApplyKeystream(target_header, body);
+  };
+  if (options_.parallel && !options_.parallel_crypto) {
+    std::lock_guard<std::mutex> lk(crypto_mu_);
+    verify_and_decrypt();
+  } else {
+    verify_and_decrypt();
+  }
+  if (!target_tag_ok) {
+    RecordError(Status::IntegrityViolation("bucket MAC mismatch"));
+    return;
+  }
+  DepositPlaintext(*target, plaintext);
 }
 
 void RingOram::WaitOutstandingReads() {
@@ -481,6 +683,12 @@ Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPl
     stats_.stash_cache_skips++;
   } else {
     std::vector<BucketIndex> reshuffle_candidates;
+    // All physical reads of this access form one path group: at most one of
+    // them (the target) is a real slot, every other is a dummy slot with a
+    // deterministic plaintext — exactly the shape the XOR read collapses.
+    // Stash-resident and retiring-served accesses still emit a full dummy
+    // path group, so the server-visible shape stays workload independent.
+    uint32_t path_group = UseXorPathReads() ? next_path_group_++ : kNoPathGroup;
     for (uint32_t level = 0; level < config_.num_levels; ++level) {
       BucketIndex bucket = PathBucket(path_leaf, level, config_.num_levels);
       if (options_.defer_writes) {
@@ -518,7 +726,7 @@ Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPl
       mb.reads_since_write++;
       dirty_buckets_.insert(bucket);
       EmitRead(bucket, phys, deposit, deposit != kInvalidBlockId ? entry : nullptr,
-               deposit != kInvalidBlockId ? results : nullptr, result_slot, gen);
+               deposit != kInvalidBlockId ? results : nullptr, result_slot, gen, path_group);
       if (mb.reads_since_write >= config_.s) {
         reshuffle_candidates.push_back(bucket);
       }

@@ -93,6 +93,19 @@ struct RingOramOptions {
   bool cache_all_stash = false;  // INSECURE ablation for the §6.3 skew demonstration
   bool verify_decoded_ids = true;  // disable when running on DummyBucketStore
   bool enable_trace = false;       // record the adversary-visible physical trace
+  // Server-side XOR path reads (Ren et al.'s XOR technique): a logical
+  // access's (L+1)-slot path read is fetched as one kReadPathsXor request —
+  // the server returns every slot's nonce/tag header plus the XOR of the
+  // ciphertext bodies, and the proxy regenerates the non-target dummy
+  // bodies (deterministic plaintexts, stream cipher) to recover the one
+  // real ciphertext. Download per path drops from (L+1) slot ciphertexts
+  // to ~1. The slots the server touches are unchanged, so the observable
+  // request shape is identical. Takes effect in parallel + deferred mode
+  // against stores serving genuine ciphertexts (i.e. requires
+  // verify_decoded_ids — DummyBucketStore's static garbage cannot be
+  // XOR-reconstructed); eviction/reshuffle bucket reads (several real
+  // blocks per bucket) stay slot-by-slot.
+  bool xor_path_reads = true;
   size_t io_threads = 32;
 };
 
@@ -105,6 +118,7 @@ struct RingOramStats {
   uint64_t early_reshuffles = 0;
   uint64_t buffered_bucket_skips = 0;  // path levels served from the epoch buffer
   uint64_t retiring_bucket_skips = 0;  // path levels served from a retiring bucket
+  uint64_t xor_path_reads = 0;         // path reads fetched via kReadPathsXor
   uint64_t stash_cache_skips = 0;      // accesses skipped by cache_all_stash (ablation)
   uint64_t flush_plan_us = 0;          // FinishEpoch: planning deferred write phases
   uint64_t materialize_us = 0;         // FinishEpoch: encrypt + write buckets
@@ -237,7 +251,11 @@ class RingOram {
 
   // A physical slot read planned but not yet executed. `entry` is the
   // (node-stable) stash entry to deposit the decrypted value into, captured
-  // at planning time; nullptr for dummy-slot reads.
+  // at planning time; nullptr for dummy-slot reads. Reads belonging to one
+  // logical access's path share a path_group and may be fetched as a single
+  // XOR path read; kNoPathGroup reads (eviction/reshuffle bucket pulls) are
+  // always fetched slot by slot.
+  static constexpr uint32_t kNoPathGroup = 0xFFFFFFFFu;
   struct PendingRead {
     BucketIndex bucket = 0;
     uint32_t version = 0;
@@ -247,13 +265,15 @@ class RingOram {
     std::vector<Bytes>* results = nullptr;
     size_t result_slot = 0;
     uint32_t entry_gen = 0;
+    uint32_t path_group = kNoPathGroup;
   };
 
   // --- planning (all under mu_) ---
   Status PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPlan& plan,
                     std::vector<Bytes>* results, size_t result_slot);
   void EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit_id, StashEntry* entry,
-                std::vector<Bytes>* results, size_t result_slot, uint32_t entry_gen);
+                std::vector<Bytes>* results, size_t result_slot, uint32_t entry_gen,
+                uint32_t path_group = kNoPathGroup);
   void BumpAccessCounter();
   void ScheduleEviction();
   void ScheduleReshuffle(BucketIndex bucket);
@@ -282,11 +302,39 @@ class RingOram {
   void ExecuteReadNow(const PendingRead& read);
   // Decrypt, verify, and deposit one fetched ciphertext.
   void ProcessCiphertext(const PendingRead& read, StatusOr<Bytes> ciphertext);
+  // Decode a recovered plaintext, verify its id, and deposit it into the
+  // stash entry / batch results registered at planning time.
+  void DepositPlaintext(const PendingRead& read, const Bytes& plaintext);
   // Decrypt+deposit one dispatched chunk's results and retire its
   // outstanding-read slot (runs on the I/O pool).
   void ProcessReadGroup(const std::vector<PendingRead>& group,
                         std::vector<StatusOr<Bytes>> ciphertexts);
+  // True when per-access path reads go over the XOR read path (see
+  // RingOramOptions::xor_path_reads). Requires the config and encryptor to
+  // agree on authenticated mode: the reconstruction derives both the
+  // trailer layout and the verification AAD from it, and a mismatched pair
+  // (which the slot-by-slot path happens to tolerate) would reject every
+  // reply.
+  bool UseXorPathReads() const {
+    return options_.xor_path_reads && options_.parallel && options_.defer_writes &&
+           options_.verify_decoded_ids &&
+           encryptor_->authenticated() == config_.authenticated;
+  }
+  // Reconstruct one XOR path read: verify every slot tag (authenticated
+  // mode), regenerate and XOR out the dummy bodies, and decrypt + deposit
+  // the surviving target ciphertext (or check the all-dummy residue is
+  // zero). Runs on the I/O pool.
+  void ProcessPathXorGroup(const std::vector<PendingRead>& path,
+                           StatusOr<PathXorResult> result);
+  // One dispatched XOR chunk: reconstruct every path, then retire the
+  // chunk's outstanding-read slot.
+  void ProcessXorChunk(const std::vector<std::vector<PendingRead>>& paths,
+                       std::vector<StatusOr<PathXorResult>> results);
   void DispatchPendingReads();
+  // Dispatch halves of DispatchPendingReads: eviction/reshuffle slot reads
+  // via batched slot RPCs, path groups via XOR path reads.
+  void DispatchPlainReads(std::vector<PendingRead> reads);
+  void DispatchXorReads(std::vector<std::vector<PendingRead>> groups);
   void WaitOutstandingReads();
   // Issue all buffered bucket images as one batched storage write.
   void FlushPendingImages();
@@ -352,6 +400,7 @@ class RingOram {
   std::unordered_map<BucketIndex, std::vector<PlannedBlock>> retiring_;
   std::vector<DeferredOp> deferred_ops_;
   std::vector<PendingRead> pending_reads_;
+  uint32_t next_path_group_ = 0;  // reset each dispatch; groups never span one
   std::unordered_set<BucketIndex> dirty_buckets_;
   uint32_t committed_version_floor_ = 0;  // min version still needed (for truncation)
 

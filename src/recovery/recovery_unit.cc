@@ -19,7 +19,15 @@ Status RecoveryUnit::AppendRecordLocked(RecordType type, const Bytes& plaintext_
   w.PutU8(type);
   w.PutU64(seq);
   w.PutBytes(ciphertext);
-  auto lsn = log_->Append(w.Take());
+  // Fused durable append (kLogAppendSync over the wire): the record is
+  // synced when this returns, in the same round trip that carried it. The
+  // trade vs the old append-under-lock + sync-off-lock split: one round
+  // trip per record instead of two, at the cost of holding mu_ across the
+  // sync — concurrent appenders no longer overlap their syncs. Since the
+  // plan rendezvous collapsed K per-shard plan logs into one record per
+  // global batch, appenders are rarely concurrent and the round-trip cut
+  // wins on the batch critical path.
+  auto lsn = log_->AppendSync(w.Take());
   if (!lsn.ok()) {
     return lsn.status();
   }
@@ -31,7 +39,7 @@ Status RecoveryUnit::AppendRecordLocked(RecordType type, const Bytes& plaintext_
 }
 
 Status RecoveryUnit::FinishAppendUnlocked(uint64_t seq) {
-  OBLADI_RETURN_IF_ERROR(log_->Sync());
+  // The record is already durable (AppendRecordLocked fuses the sync).
   // Appendix A: the write counts as complete only once the trusted counter
   // reflects it; recovery uses the counter to detect rollback. Advance is
   // monotonic, so out-of-order finishes cannot regress it.
@@ -67,7 +75,7 @@ Status RecoveryUnit::LogReadBatchPlans(
   uint64_t seq = 0;
   OBLADI_RETURN_IF_ERROR(AppendRecordLocked(kReadBatchPlan, w.Take(), &seq));
   lk.unlock();
-  // Sync outside mu_ so concurrent appenders overlap their sync round trips.
+  // The fused append already synced; only the trusted counter runs off-lock.
   return FinishAppendUnlocked(seq);
 }
 

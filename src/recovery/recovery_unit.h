@@ -192,14 +192,14 @@ class RecoveryUnit {
 
   Bytes BuildDeltaPayload(const std::vector<RingOram*>& shards);
   Bytes BuildFullPayload(const std::vector<RingOram*>& shards);
-  // Append half: assign the next sequence number and append the record (mu_
-  // must be held — append order defines the log and must match seq order).
+  // Durable-append half: assign the next sequence number and append + sync
+  // the record in ONE fused log round trip (LogStore::AppendSync /
+  // kLogAppendSync). mu_ must be held — append order defines the log and
+  // must match seq order.
   Status AppendRecordLocked(RecordType type, const Bytes& plaintext_payload,
                             uint64_t* seq_out);
-  // Durability half: sync + trusted-counter advance, called WITHOUT mu_ so
-  // concurrent appenders (K shards' plan logs, the retirement stage's
-  // checkpoint) overlap their sync round trips instead of serializing them.
-  // Log order is already fixed by the append; the sync only bounds loss.
+  // Trusted-counter half, called WITHOUT mu_: the record is already durable
+  // when this runs; only the rollback-detection counter remains.
   Status FinishAppendUnlocked(uint64_t seq);
 
   RecoveryConfig config_;

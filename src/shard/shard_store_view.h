@@ -65,6 +65,40 @@ class ShardStoreView : public BucketStore {
     return base_->TruncateBucketsBatch(translated);
   }
 
+  // XOR path reads translate per slot ref and forward as one batch, so a
+  // shard's whole read wave stays a single (bandwidth-reduced) round trip
+  // against a shared remote store.
+  std::vector<StatusOr<PathXorResult>> ReadPathsXor(const std::vector<PathSlots>& paths,
+                                                    uint32_t header_bytes,
+                                                    uint32_t trailer_bytes) override {
+    std::vector<PathSlots> translated(paths);
+    for (PathSlots& path : translated) {
+      for (SlotRef& ref : path.slots) {
+        if (ref.bucket >= num_buckets_) {
+          return std::vector<StatusOr<PathXorResult>>(
+              paths.size(), Status::InvalidArgument("bucket index outside shard view"));
+        }
+        ref.bucket += offset_;
+      }
+    }
+    return base_->ReadPathsXor(translated, header_bytes, trailer_bytes);
+  }
+
+  void ReadPathsXorAsync(std::vector<PathSlots> paths, uint32_t header_bytes,
+                         uint32_t trailer_bytes, ReadPathsXorDone done) override {
+    for (PathSlots& path : paths) {
+      for (SlotRef& ref : path.slots) {
+        if (ref.bucket >= num_buckets_) {
+          done(std::vector<StatusOr<PathXorResult>>(
+              paths.size(), Status::InvalidArgument("bucket index outside shard view")));
+          return;
+        }
+        ref.bucket += offset_;
+      }
+    }
+    base_->ReadPathsXorAsync(std::move(paths), header_bytes, trailer_bytes, std::move(done));
+  }
+
   // Async submissions translate like their synchronous twins, so K shards
   // over one remote store all overlap on the shared event loop.
   bool SupportsAsyncBatches() const override { return base_->SupportsAsyncBatches(); }

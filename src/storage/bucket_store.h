@@ -44,6 +44,28 @@ struct TruncateRef {
   uint32_t keep_from_version = 0;
 };
 
+// One XOR path read: the slot refs of a single ORAM path access. The server
+// answers with every slot's header/trailer bytes verbatim plus the XOR of
+// the ciphertext *bodies* — Ring ORAM's XOR technique. The client knows all
+// but (at most) one of the touched slots hold deterministic dummy
+// plaintexts, so it regenerates those bodies from the returned nonces, XORs
+// them back out, and recovers the one real ciphertext — downloading one
+// body instead of |slots| of them.
+struct PathSlots {
+  std::vector<SlotRef> slots;
+};
+
+struct PathXorResult {
+  // Per slot, in request order: the first header_bytes of the ciphertext
+  // followed by its last trailer_bytes (nonce and MAC tag, for the ORAM's
+  // encryption format), concatenated into one flat buffer of
+  // slots.size() * (header_bytes + trailer_bytes) bytes.
+  Bytes headers;
+  // XOR of the ciphertext bodies (the bytes between header and trailer).
+  // All bodies in one path must have equal length or the path fails.
+  Bytes body_xor;
+};
+
 class BucketStore {
  public:
   virtual ~BucketStore() = default;
@@ -88,6 +110,58 @@ class BucketStore {
     return Status::Ok();
   }
 
+  // XOR path reads: one request carrying many independent path reads; per
+  // path the reply is the slots' header/trailer bytes plus the XOR of the
+  // bodies (see PathSlots). The server-visible touch pattern is identical to
+  // reading every named slot individually — only the reply shrinks. The
+  // default computes the reduction locally over the unary reads, so every
+  // store supports the operation; remote stores override it with the real
+  // single-round-trip RPC, which is where the bandwidth saving is physical.
+  virtual std::vector<StatusOr<PathXorResult>> ReadPathsXor(const std::vector<PathSlots>& paths,
+                                                            uint32_t header_bytes,
+                                                            uint32_t trailer_bytes) {
+    std::vector<StatusOr<PathXorResult>> out;
+    out.reserve(paths.size());
+    for (const PathSlots& path : paths) {
+      out.push_back(XorCombineSlots(ReadSlotsBatch(path.slots), header_bytes, trailer_bytes));
+    }
+    return out;
+  }
+
+  // Fold one path's slot ciphertexts into a PathXorResult (shared by the
+  // default above, the storage server, and the latency decorator). header/
+  // trailer sizes come off the wire untrusted, so nothing here allocates
+  // proportionally to them — the headers buffer only ever grows by bytes
+  // that exist in actual slots, and an edge larger than a slot fails first.
+  static StatusOr<PathXorResult> XorCombineSlots(const std::vector<StatusOr<Bytes>>& slots,
+                                                 uint32_t header_bytes, uint32_t trailer_bytes) {
+    PathXorResult result;
+    const size_t edge = static_cast<size_t>(header_bytes) + trailer_bytes;
+    bool first = true;
+    for (const StatusOr<Bytes>& slot : slots) {
+      if (!slot.ok()) {
+        return slot.status();
+      }
+      if (slot->size() < edge) {
+        return Status::InvalidArgument("slot ciphertext shorter than header + trailer");
+      }
+      size_t body_len = slot->size() - edge;
+      if (first) {
+        result.body_xor.resize(body_len);
+        first = false;
+      }
+      if (body_len != result.body_xor.size()) {
+        return Status::InvalidArgument("slot ciphertext sizes differ within one path");
+      }
+      result.headers.insert(result.headers.end(), slot->begin(), slot->begin() + header_bytes);
+      result.headers.insert(result.headers.end(), slot->end() - trailer_bytes, slot->end());
+      for (size_t i = 0; i < body_len; ++i) {
+        result.body_xor[i] ^= (*slot)[header_bytes + i];
+      }
+    }
+    return result;
+  }
+
   // --- asynchronous batched forms -----------------------------------------
   //
   // A store whose I/O is completion-driven (the remote stores over the epoll
@@ -105,6 +179,7 @@ class BucketStore {
   // worker pool.
   using ReadSlotsDone = std::function<void(std::vector<StatusOr<Bytes>>)>;
   using WriteBucketsDone = std::function<void(Status)>;
+  using ReadPathsXorDone = std::function<void(std::vector<StatusOr<PathXorResult>>)>;
 
   virtual bool SupportsAsyncBatches() const { return false; }
   virtual void ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) {
@@ -112,6 +187,10 @@ class BucketStore {
   }
   virtual void WriteBucketsBatchAsync(std::vector<BucketImage> images, WriteBucketsDone done) {
     done(WriteBucketsBatch(std::move(images)));
+  }
+  virtual void ReadPathsXorAsync(std::vector<PathSlots> paths, uint32_t header_bytes,
+                                 uint32_t trailer_bytes, ReadPathsXorDone done) {
+    done(ReadPathsXor(paths, header_bytes, trailer_bytes));
   }
 
   virtual size_t num_buckets() const = 0;
@@ -127,6 +206,21 @@ class LogStore {
 
   // Force all appended records to durable storage.
   virtual Status Sync() = 0;
+
+  // Fused append + sync: the record is durable when this returns. Remote
+  // logs implement it as ONE round trip (kLogAppendSync), halving the
+  // latency a plan/checkpoint record puts on the batch critical path; the
+  // default composes the two unary calls. Like Append over a network, the
+  // fused form is at-most-once: a transport failure leaves the record's
+  // fate unknown.
+  virtual StatusOr<uint64_t> AppendSync(Bytes record) {
+    auto lsn = Append(std::move(record));
+    if (!lsn.ok()) {
+      return lsn;
+    }
+    OBLADI_RETURN_IF_ERROR(Sync());
+    return lsn;
+  }
 
   // Read every record in append order (recovery).
   virtual StatusOr<std::vector<Bytes>> ReadAll() = 0;

@@ -3,6 +3,18 @@
 #include "src/common/clock.h"
 
 namespace obladi {
+namespace {
+
+// Modeled wire overheads, approximating src/net/wire.h framing: a 4-byte
+// length prefix + 10-byte message header per frame, 12 bytes per slot ref,
+// and a 9-byte per-entry status envelope on read results. Close enough that
+// the simulated bytes_sent/bytes_received line up with what the real
+// transport charges for the same operation mix.
+constexpr size_t kFrameOverhead = 14;
+constexpr size_t kSlotRefBytes = 12;
+constexpr size_t kReadEnvelopeBytes = 9;
+
+}  // namespace
 
 LatencyBucketStore::LatencyBucketStore(std::shared_ptr<BucketStore> base, LatencyProfile profile)
     : base_(std::move(base)), profile_(std::move(profile)) {}
@@ -27,17 +39,46 @@ void LatencyBucketStore::ReleaseSlot() {
   inflight_cv_.notify_one();
 }
 
+void LatencyBucketStore::ChargeLink(LinkDir dir, size_t bytes) {
+  uint64_t bw = dir == LinkDir::kDownload ? profile_.download_bandwidth_bytes_per_sec
+                                          : profile_.upload_bandwidth_bytes_per_sec;
+  if (bw == 0 || bytes == 0 || bypass_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  uint64_t transfer_us = static_cast<uint64_t>(bytes) * 1000000 / bw;
+  uint64_t drain_at;
+  {
+    // Each direction's pipe serializes transfers: a request parks behind
+    // whatever is already draining, then occupies the link for its own
+    // bytes. Latency (charged separately by the callers) still overlaps
+    // across requests, and the two directions never block each other
+    // (full duplex).
+    std::lock_guard<std::mutex> lk(link_mu_);
+    uint64_t now = NowMicros();
+    uint64_t& free_at = dir == LinkDir::kDownload ? down_free_at_us_ : up_free_at_us_;
+    uint64_t start = free_at > now ? free_at : now;
+    drain_at = start + transfer_us;
+    free_at = drain_at;
+  }
+  PreciseSleepUntilMicros(drain_at);
+}
+
 StatusOr<Bytes> LatencyBucketStore::ReadSlot(BucketIndex bucket, uint32_t version,
                                              SlotIndex slot) {
   if (bypass_.load(std::memory_order_relaxed)) {
     return base_->ReadSlot(bucket, version, slot);
   }
+  ChargeLink(LinkDir::kUpload, kFrameOverhead + kSlotRefBytes);
   AcquireSlot();
   PreciseSleepMicros(profile_.read_latency_us);
   auto result = base_->ReadSlot(bucket, version, slot);
   ReleaseSlot();
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(kFrameOverhead + kSlotRefBytes, std::memory_order_relaxed);
+  size_t resp = kFrameOverhead + kReadEnvelopeBytes + (result.ok() ? result->size() : 0);
+  ChargeLink(LinkDir::kDownload, resp);
+  stats_.bytes_received.fetch_add(resp, std::memory_order_relaxed);
   if (result.ok()) {
     stats_.bytes_read.fetch_add(result->size(), std::memory_order_relaxed);
   }
@@ -53,6 +94,8 @@ Status LatencyBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
   for (const auto& s : slots) {
     bytes += s.size();
   }
+  size_t req = kFrameOverhead + kSlotRefBytes + bytes;
+  ChargeLink(LinkDir::kUpload, req);
   AcquireSlot();
   PreciseSleepMicros(profile_.write_latency_us);
   Status st = base_->WriteBucket(bucket, version, std::move(slots));
@@ -60,6 +103,8 @@ Status LatencyBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(req, std::memory_order_relaxed);
+  stats_.bytes_received.fetch_add(kFrameOverhead, std::memory_order_relaxed);
   return st;
 }
 
@@ -69,18 +114,68 @@ std::vector<StatusOr<Bytes>> LatencyBucketStore::ReadSlotsBatch(
   if (profile_.max_inflight > 0 && !refs.empty()) {
     waves = (refs.size() + profile_.max_inflight - 1) / profile_.max_inflight;
   }
+  size_t req = kFrameOverhead + refs.size() * kSlotRefBytes;
   if (!bypass_.load(std::memory_order_relaxed) && !refs.empty()) {
+    ChargeLink(LinkDir::kUpload, req);
     PreciseSleepMicros(profile_.read_latency_us * waves);
   }
   auto out = base_->ReadSlotsBatch(refs);
   stats_.reads.fetch_add(refs.size(), std::memory_order_relaxed);
   if (!refs.empty()) {
     stats_.round_trips.fetch_add(waves, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(req, std::memory_order_relaxed);
   }
+  size_t resp = refs.empty() ? 0 : kFrameOverhead;
   for (const auto& r : out) {
+    resp += kReadEnvelopeBytes;
     if (r.ok()) {
+      resp += r->size();
       stats_.bytes_read.fetch_add(r->size(), std::memory_order_relaxed);
     }
+  }
+  if (!refs.empty()) {
+    ChargeLink(LinkDir::kDownload, resp);
+    stats_.bytes_received.fetch_add(resp, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<StatusOr<PathXorResult>> LatencyBucketStore::ReadPathsXor(
+    const std::vector<PathSlots>& paths, uint32_t header_bytes, uint32_t trailer_bytes) {
+  size_t total_slots = 0;
+  size_t req = kFrameOverhead + 8;
+  for (const PathSlots& path : paths) {
+    total_slots += path.slots.size();
+    req += 4 + path.slots.size() * kSlotRefBytes;
+  }
+  uint64_t waves = 1;
+  if (profile_.max_inflight > 0 && total_slots > 0) {
+    // The storage node still touches every named slot; its service
+    // parallelism caps waves exactly as it does for slot-by-slot reads.
+    waves = (total_slots + profile_.max_inflight - 1) / profile_.max_inflight;
+  }
+  if (!bypass_.load(std::memory_order_relaxed) && !paths.empty()) {
+    ChargeLink(LinkDir::kUpload, req);
+    PreciseSleepMicros(profile_.read_latency_us * waves);
+  }
+  auto out = base_->ReadPathsXor(paths, header_bytes, trailer_bytes);
+  stats_.reads.fetch_add(total_slots, std::memory_order_relaxed);
+  if (!paths.empty()) {
+    stats_.round_trips.fetch_add(waves, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(req, std::memory_order_relaxed);
+  }
+  size_t resp = paths.empty() ? 0 : kFrameOverhead;
+  for (const auto& r : out) {
+    resp += kReadEnvelopeBytes;
+    if (r.ok()) {
+      resp += r->headers.size() + r->body_xor.size();
+      stats_.bytes_read.fetch_add(r->headers.size() + r->body_xor.size(),
+                                  std::memory_order_relaxed);
+    }
+  }
+  if (!paths.empty()) {
+    ChargeLink(LinkDir::kDownload, resp);
+    stats_.bytes_received.fetch_add(resp, std::memory_order_relaxed);
   }
   return out;
 }
@@ -96,12 +191,16 @@ Status LatencyBucketStore::WriteBucketsBatch(std::vector<BucketImage> images) {
   if (profile_.max_inflight > 0 && !images.empty()) {
     waves = (images.size() + profile_.max_inflight - 1) / profile_.max_inflight;
   }
+  size_t req = kFrameOverhead + images.size() * kSlotRefBytes + bytes;
   if (!bypass_.load(std::memory_order_relaxed) && !images.empty()) {
+    ChargeLink(LinkDir::kUpload, req);
     PreciseSleepMicros(profile_.write_latency_us * waves);
   }
   stats_.writes.fetch_add(images.size(), std::memory_order_relaxed);
   if (!images.empty()) {
     stats_.round_trips.fetch_add(waves, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(req, std::memory_order_relaxed);
+    stats_.bytes_received.fetch_add(kFrameOverhead, std::memory_order_relaxed);
   }
   stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
   return base_->WriteBucketsBatch(std::move(images));
@@ -124,6 +223,16 @@ StatusOr<uint64_t> LatencyLogStore::Append(Bytes record) {
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_written.fetch_add(record.size(), std::memory_order_relaxed);
   return base_->Append(std::move(record));
+}
+
+StatusOr<uint64_t> LatencyLogStore::AppendSync(Bytes record) {
+  // The fused RPC: one durable round trip carries the record AND the sync,
+  // vs. Append (free here) + Sync (one write latency).
+  PreciseSleepMicros(profile_.write_latency_us);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(record.size(), std::memory_order_relaxed);
+  return base_->AppendSync(std::move(record));
 }
 
 Status LatencyLogStore::Sync() {

@@ -27,6 +27,18 @@ struct LatencyProfile {
   // Max concurrently-served requests; 0 = unlimited. Models Dynamo's blocking
   // HTTP connection pool, which caps effective parallelism.
   size_t max_inflight = 0;
+  // Per-direction link capacity in bytes/second; 0 = unlimited. When set,
+  // each transfer reserves bytes/bandwidth of serialized time on that
+  // direction's pipe — latency overlaps across concurrent requests,
+  // bandwidth does not, exactly like a real (full-duplex) link. Download =
+  // server->proxy (responses: slot ciphertexts), upload = proxy->server
+  // (requests: bucket images). The directions are modeled separately
+  // because they are separate resources in the cloud: egress (download) is
+  // the direction providers meter and charge, and it is the one the XOR
+  // path reads shrink — bench_xor_read caps it to show what the reduction
+  // buys once round trips are already batched.
+  uint64_t download_bandwidth_bytes_per_sec = 0;
+  uint64_t upload_bandwidth_bytes_per_sec = 0;
 
   static LatencyProfile Dummy() { return LatencyProfile{"dummy", 0, 0, 0}; }
   static LatencyProfile LocalServer(double scale = 1.0) {
@@ -53,12 +65,21 @@ struct LatencyProfile {
 // round_trips counts network round trips — a batched request is many logical
 // operations but one round trip. bytes_read/bytes_written count payload
 // bytes (slot ciphertexts, log records), not framing overhead.
+//
+// bytes_sent/bytes_received are charged at the *wire* layer — whole frames
+// including headers and length prefixes, from the client's perspective — by
+// the real transports (AsyncNetClient, NetClient) and, as a model, by the
+// latency decorators. They are what the bandwidth-capped link meters and
+// what bench_xor_read reports, so bandwidth claims are measured on the same
+// counter the real socket path charges.
 struct NetworkStats {
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> writes{0};
   std::atomic<uint64_t> round_trips{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
   // Real transport only: connections re-established after a failure.
   std::atomic<uint64_t> reconnects{0};
 
@@ -68,6 +89,8 @@ struct NetworkStats {
     round_trips = 0;
     bytes_read = 0;
     bytes_written = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
     reconnects = 0;
   }
 };
@@ -85,6 +108,12 @@ class LatencyBucketStore : public BucketStore {
   Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
   // One round trip for the whole GC batch, mirroring kTruncateBucketsBatch.
   Status TruncateBucketsBatch(const std::vector<TruncateRef>& refs) override;
+  // Same latency/wave model as ReadSlotsBatch (the server still touches
+  // every named slot), but the modeled download shrinks to headers + one
+  // body per path — which is the entire point of kReadPathsXor.
+  std::vector<StatusOr<PathXorResult>> ReadPathsXor(const std::vector<PathSlots>& paths,
+                                                    uint32_t header_bytes,
+                                                    uint32_t trailer_bytes) override;
   size_t num_buckets() const override { return base_->num_buckets(); }
 
   const NetworkStats& stats() const { return stats_; }
@@ -98,6 +127,11 @@ class LatencyBucketStore : public BucketStore {
   class InflightGuard;
   void AcquireSlot();
   void ReleaseSlot();
+  // Reserve `bytes` of serialized time on one direction of the modeled
+  // link (no-op when that direction is uncapped or bypass is on) and sleep
+  // it out.
+  enum class LinkDir { kUpload, kDownload };
+  void ChargeLink(LinkDir dir, size_t bytes);
 
   std::shared_ptr<BucketStore> base_;
   LatencyProfile profile_;
@@ -107,6 +141,12 @@ class LatencyBucketStore : public BucketStore {
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   size_t inflight_ = 0;
+
+  // Virtual clocks of the modeled full-duplex pipe: the time at which each
+  // direction finishes draining previously reserved transfers.
+  std::mutex link_mu_;
+  uint64_t up_free_at_us_ = 0;
+  uint64_t down_free_at_us_ = 0;
 };
 
 class LatencyLogStore : public LogStore {
@@ -116,6 +156,8 @@ class LatencyLogStore : public LogStore {
 
   StatusOr<uint64_t> Append(Bytes record) override;
   Status Sync() override;
+  // Fused form: ONE durable round trip instead of Append's + Sync's.
+  StatusOr<uint64_t> AppendSync(Bytes record) override;
   StatusOr<std::vector<Bytes>> ReadAll() override;
   Status Truncate(uint64_t upto_lsn) override { return base_->Truncate(upto_lsn); }
   uint64_t NextLsn() const override { return base_->NextLsn(); }

@@ -142,6 +142,74 @@ inline void RunBucketStoreConformance(BucketStore& store, size_t slots_per_bucke
     EXPECT_EQ((*async_results[0])[0], 0x71);
     EXPECT_FALSE(async_results[1].ok());
   }
+
+  // XOR path reads: per path, the store returns each slot's first
+  // header_bytes + last trailer_bytes verbatim and the XOR of the bodies —
+  // and must agree exactly with what slot-by-slot reads imply, per-path
+  // errors included. (h, t) are arbitrary split points here; the ORAM uses
+  // (nonce, tag).
+  {
+    const uint32_t h = 4, t = 2;
+    std::vector<PathSlots> paths(3);
+    paths[0].slots = {{1, 3, 0}, {3, 3, 0}, {0, 0, 0}};  // all hits
+    paths[1].slots = {{1, 3, 0}, {2, 9, 0}};             // missing version fails the path
+    paths[2].slots = {{7, 1, 0}};                        // single slot: xor == its own body
+    auto xor_results = store.ReadPathsXor(paths, h, t);
+    ASSERT_EQ(xor_results.size(), 3u);
+
+    ASSERT_TRUE(xor_results[0].ok()) << xor_results[0].status().ToString();
+    auto expected = BucketStore::XorCombineSlots(store.ReadSlotsBatch(paths[0].slots), h, t);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(xor_results[0]->headers, expected->headers);
+    EXPECT_EQ(xor_results[0]->body_xor, expected->body_xor);
+    EXPECT_EQ(xor_results[0]->headers.size(), paths[0].slots.size() * (h + t));
+
+    EXPECT_FALSE(xor_results[1].ok());
+
+    ASSERT_TRUE(xor_results[2].ok());
+    auto whole = store.ReadSlot(7, 1, 0);
+    ASSERT_TRUE(whole.ok());
+    EXPECT_EQ(Bytes(xor_results[2]->body_xor),
+              Bytes(whole->begin() + h, whole->end() - t));
+
+    // Empty request list is a legal no-op; a split larger than the slot
+    // fails that path without poisoning the request.
+    EXPECT_TRUE(store.ReadPathsXor({}, h, t).empty());
+    auto oversized = store.ReadPathsXor({paths[2]}, 32, 32);
+    ASSERT_EQ(oversized.size(), 1u);
+    EXPECT_FALSE(oversized[0].ok());
+
+    // Slots of unequal size within one path cannot be XORed.
+    std::vector<Bytes> ragged(slots_per_bucket, Bytes(16, 0x42));
+    ragged[0] = Bytes(24, 0x42);
+    ASSERT_TRUE(store.WriteBucket(2, 11, std::move(ragged)).ok());
+    PathSlots mixed;
+    mixed.slots = {{2, 11, 0}, {2, 11, 1}};
+    auto mismatched = store.ReadPathsXor({mixed}, h, t);
+    ASSERT_EQ(mismatched.size(), 1u);
+    EXPECT_FALSE(mismatched[0].ok());
+
+    // The asynchronous form agrees with the synchronous one.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done_flag = false;
+    std::vector<StatusOr<PathXorResult>> async_xor;
+    store.ReadPathsXorAsync({paths[0], paths[2]}, h, t,
+                            [&](std::vector<StatusOr<PathXorResult>> results) {
+                              std::lock_guard<std::mutex> lk(mu);
+                              async_xor = std::move(results);
+                              done_flag = true;
+                              cv.notify_all();
+                            });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done_flag; });
+    ASSERT_EQ(async_xor.size(), 2u);
+    ASSERT_TRUE(async_xor[0].ok());
+    EXPECT_EQ(async_xor[0]->headers, xor_results[0]->headers);
+    EXPECT_EQ(async_xor[0]->body_xor, xor_results[0]->body_xor);
+    ASSERT_TRUE(async_xor[1].ok());
+    EXPECT_EQ(async_xor[1]->body_xor, xor_results[2]->body_xor);
+  }
 }
 
 // `log` must be empty.
@@ -192,6 +260,17 @@ inline void RunLogStoreConformance(LogStore& log) {
   ASSERT_TRUE(l4.ok());
   EXPECT_EQ(*l4, 4u);
   EXPECT_EQ(log.NextLsn(), 5u);
+
+  // Fused durable append: continues the same LSN sequence and the record is
+  // immediately readable (and synced — one round trip on a remote log).
+  auto fused = log.AppendSync(BytesFromString("fused"));
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(*fused, 5u);
+  EXPECT_EQ(log.NextLsn(), 6u);
+  all = log.ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ(StringFromBytes((*all)[1]), "fused");
 }
 
 }  // namespace obladi
