@@ -1,0 +1,102 @@
+// Audit recording overhead: SmallBank at the Figure 10f proxy configuration,
+// run with and without the client-side history recorder attached. The
+// recorder sits on every Begin/Read/Write/Commit, so this measures the
+// full per-operation cost of capture (clock reads + thread-confined
+// appends + value copies). Acceptance bar for the subsystem: <= 5%
+// throughput loss.
+#include <memory>
+
+#include "bench/bench_apps_common.h"
+#include "src/audit/recorder.h"
+
+namespace obladi {
+namespace {
+
+struct RunOutcome {
+  double tps = 0;
+  uint64_t committed = 0;
+  uint64_t trace_bytes = 0;
+};
+
+RunOutcome RunOnce(bool record, double scale, double seconds, bool full) {
+  auto workload = MakeAppWorkload(AppKind::kSmallBank, full);
+  auto records = workload->InitialRecords();
+  uint64_t capacity = records.size() + records.size() / 2 + 4096;
+  ObladiConfig config = AppObladiConfig(AppKind::kSmallBank, capacity);
+
+  LatencyProfile local = LatencyProfile::LocalServer(scale);
+  auto base = std::make_shared<MemoryBucketStore>(config.oram.num_buckets(),
+                                                  config.oram.slots_per_bucket(), 2);
+  auto latency = std::make_shared<LatencyBucketStore>(base, local);
+  latency->SetBypass(true);
+  ObladiStore proxy(config, latency, nullptr);
+  Status st = proxy.Load(records);
+  latency->SetBypass(false);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  proxy.Start();
+
+  DriverOptions opts;
+  opts.num_threads = 96;
+  opts.duration_ms = static_cast<uint64_t>(seconds * 1000);
+  opts.warmup_ms = 200;
+  std::unique_ptr<HistoryRecorder> recorder;
+  if (record) {
+    recorder = std::make_unique<HistoryRecorder>(opts.num_threads);
+    recorder->RecordInitialDb(records);
+    opts.recorder = recorder.get();
+  }
+  DriverResult result = RunWorkload(proxy, *workload, opts);
+  proxy.Stop();
+
+  RunOutcome out;
+  out.tps = result.throughput_tps;
+  out.committed = result.committed;
+  out.trace_bytes = result.audit_trace_bytes;
+  return out;
+}
+
+void Run() {
+  double scale = BenchScale() * 10;  // app benches run at absolute latencies
+  double seconds = BenchSeconds();
+  bool full = BenchFull();
+  const int kTrials = 3;
+
+  Table table("Audit recording overhead — SmallBank, Fig 10f proxy config (96 clients)");
+  table.Columns({"trial", "plain_tps", "recorded_tps", "overhead%", "trace_KB"});
+
+  double plain_sum = 0;
+  double recorded_sum = 0;
+  uint64_t trace_bytes = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Interleave the arms so drift (allocator warmup, frequency scaling)
+    // lands on both sides evenly.
+    RunOutcome plain = RunOnce(/*record=*/false, scale, seconds, full);
+    RunOutcome recorded = RunOnce(/*record=*/true, scale, seconds, full);
+    plain_sum += plain.tps;
+    recorded_sum += recorded.tps;
+    trace_bytes = recorded.trace_bytes;
+    double overhead = plain.tps > 0 ? 100.0 * (plain.tps - recorded.tps) / plain.tps : 0.0;
+    table.Row({FmtInt(trial + 1), Fmt(plain.tps), Fmt(recorded.tps), Fmt(overhead, 2),
+               FmtInt(trace_bytes / 1024)});
+  }
+  double mean_overhead =
+      plain_sum > 0 ? 100.0 * (plain_sum - recorded_sum) / plain_sum : 0.0;
+  table.Row({"mean", Fmt(plain_sum / kTrials), Fmt(recorded_sum / kTrials),
+             Fmt(mean_overhead, 2), FmtInt(trace_bytes / 1024)});
+  table.Print();
+  std::printf("acceptance bar: recording overhead <= 5%% of plain throughput "
+              "(mean over %d interleaved trials: %.2f%%)\n",
+              kTrials, mean_overhead);
+}
+
+}  // namespace
+}  // namespace obladi
+
+int main() {
+  obladi::TuneAllocatorForBenchmarks();
+  obladi::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Client-observable transaction histories for the serializability audit
+// subsystem ("Detecting Incorrect Behavior of Cloud Databases as an
+// Outsider", Tan et al. — see PAPERS.md).
+//
+// The audit trusts nothing inside the proxy: a history is exactly what a
+// client can see at the TransactionalKv boundary — per transaction attempt,
+// the invocation/response interval, the timestamp handle Begin() returned
+// (Obladi's claimed position in the serialization order), the values reads
+// observed, the write set, and the outcome. Each client records its own
+// attempts to a private buffer (no cross-client synchronization on the hot
+// path); traces are serialized per client in src/common/serde.h style and
+// merged offline by the verifier.
+//
+// Outcome semantics match the system's acknowledgment contract:
+//   * kCommitted      — Commit() returned OK. Decisions release only after the
+//                       epoch is durable, so an acked commit survives crashes.
+//   * kAborted        — the client abandoned the attempt before requesting
+//                       commit (explicit Abort, MVTSO conflict mid-run). Its
+//                       writes were never admitted to a write batch: definite.
+//   * kIndeterminate  — Commit() returned an error. Usually a real epoch-end
+//                       abort, but a proxy crash can lose the ack after the
+//                       epoch became durable, so the verifier must not assume
+//                       either way: such a transaction is treated as committed
+//                       iff a committed reader observed one of its writes.
+#ifndef OBLADI_SRC_AUDIT_HISTORY_H_
+#define OBLADI_SRC_AUDIT_HISTORY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/txn/kv_interface.h"
+
+namespace obladi {
+
+enum class TxnOutcome : uint8_t {
+  kCommitted = 0,
+  kAborted = 1,
+  kIndeterminate = 2,
+};
+
+const char* TxnOutcomeName(TxnOutcome outcome);
+
+// One read as the client saw it: either a value or an explicit not-found.
+struct ObservedRead {
+  Key key;
+  bool found = false;
+  std::string value;
+
+  bool operator==(const ObservedRead&) const = default;
+};
+
+// One transaction attempt. Retries of a client-level transaction are separate
+// attempts with separate Begin() handles and separate intervals — the audited
+// real-time edges of a committed retry come from its *final* attempt, never
+// from the first invocation.
+struct TxnTraceRecord {
+  Timestamp ts = 0;           // Begin() handle = claimed serialization position
+  uint32_t client = 0;
+  uint64_t invoke_us = 0;     // taken immediately before Begin()
+  uint64_t response_us = 0;   // taken immediately after Commit()/Abort() returned
+  TxnOutcome outcome = TxnOutcome::kIndeterminate;
+  std::vector<ObservedRead> reads;
+  std::vector<std::pair<Key, std::string>> writes;  // final value per key
+
+  bool operator==(const TxnTraceRecord&) const = default;
+};
+
+// A merged multi-client history plus the initial database image (needed to
+// resolve reads that observe pre-loaded values).
+struct History {
+  std::vector<std::pair<Key, std::string>> initial;
+  std::vector<TxnTraceRecord> txns;
+};
+
+// --- binary trace serde ------------------------------------------------------
+//
+// Per-client trace file layout (little endian, serde.h primitives):
+//   magic u32 "OBA1" | format u8 | client u32 | record*
+//   record: u8 kind (1 = txn, 2 = initial key/value)
+// A directory of traces is the unit the offline tools operate on: one
+// `client<N>.trace` per client plus `initial.trace` for the loaded database.
+
+// Serializes one client's records (initial pairs may be empty; they normally
+// live only in the client-0 / initial trace).
+Bytes EncodeTrace(uint32_t client, const std::vector<TxnTraceRecord>& txns,
+                  const std::vector<std::pair<Key, std::string>>& initial);
+
+// Parses one trace buffer, appending into `out` (txns keep the file's client
+// id; initial pairs accumulate).
+Status DecodeTrace(const Bytes& buf, History& out);
+
+// Reads and merges every `*.trace` file in `dir` (or a single trace file).
+StatusOr<History> LoadHistory(const std::string& path);
+StatusOr<History> LoadHistoryFiles(const std::vector<std::string>& paths);
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_AUDIT_HISTORY_H_

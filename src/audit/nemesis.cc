@@ -1,0 +1,196 @@
+#include "src/audit/nemesis.h"
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "src/audit/audit_workload.h"
+#include "src/audit/recorder.h"
+#include "src/common/clock.h"
+#include "src/net/remote_store.h"
+#include "src/net/storage_server.h"
+#include "src/proxy/obladi_store.h"
+#include "src/storage/file_bucket_store.h"
+#include "src/storage/file_log_store.h"
+
+namespace obladi {
+
+namespace {
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Unavailable("cannot create directory: " + dir);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
+  OBLADI_RETURN_IF_ERROR(EnsureDir(options.data_dir));
+  const std::string bucket_path = options.data_dir + "/buckets.dat";
+  const std::string log_path = options.data_dir + "/wal.dat";
+  // Fresh files per run: a nemesis run is a new deployment, not a reopen.
+  std::remove(bucket_path.c_str());
+  std::remove(log_path.c_str());
+
+  ObladiConfig config = ObladiConfig::ForCapacity(256, /*z=*/4, /*payload=*/128);
+  config.num_shards = options.num_shards;
+  // Generous batch budget at a fast cadence (the bench app configs' shape):
+  // a closed loop of clients must never be starved of read-batch slots, or
+  // the run degenerates into unfinished-epoch aborts.
+  config.read_batches_per_epoch = 8;
+  config.read_batch_size = 64;
+  config.write_batch_size = 160;
+  config.batch_interval_us = 300;
+  config.timed_mode = true;
+  config.pipeline_epochs = true;
+  config.recovery.enabled = true;
+  config.recovery.full_checkpoint_interval = 4;
+  config.oram_options.io_threads = 8;
+
+  const size_t store_buckets = config.StoreBuckets();
+  const size_t slots_per_bucket = config.MakeLayout().shard_config.slots_per_bucket();
+
+  auto buckets = std::make_shared<FileBucketStore>(bucket_path, store_buckets,
+                                                   slots_per_bucket);
+  auto log = std::make_shared<FileLogStore>(log_path);
+  auto server = std::make_unique<StorageServer>(buckets, log);
+  OBLADI_RETURN_IF_ERROR(server->Start());
+  const uint16_t port = server->port();
+
+  RemoteStoreOptions remote_opts;
+  remote_opts.port = port;
+  remote_opts.pool_size = 8;
+  auto remote_buckets = RemoteBucketStore::Connect(remote_opts);
+  OBLADI_RETURN_IF_ERROR(remote_buckets.status());
+  auto remote_log = RemoteLogStore::Connect(remote_opts);
+  OBLADI_RETURN_IF_ERROR(remote_log.status());
+
+  ObladiStore proxy(config, std::move(*remote_buckets), std::move(*remote_log));
+
+  AuditWorkloadConfig wl_cfg;
+  wl_cfg.num_keys = options.num_keys;
+  wl_cfg.zipf_theta = options.zipf_theta;
+  wl_cfg.ops_per_txn = options.ops_per_txn;
+  AuditWorkload workload(wl_cfg);
+
+  auto initial = workload.InitialRecords();
+  OBLADI_RETURN_IF_ERROR(proxy.Load(initial));
+  HistoryRecorder recorder(options.num_clients);
+  recorder.RecordInitialDb(initial);
+  proxy.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> storage_restarts{0};
+  std::atomic<uint64_t> proxy_recoveries{0};
+  Status nemesis_status;  // first hard failure inside the fault thread
+
+  // Recover the proxy from a (simulated or storage-induced) crash, retrying
+  // while the storage side settles, then restart the pacer.
+  auto recover_proxy = [&]() -> Status {
+    Status last;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      last = proxy.RecoverFromCrash();
+      if (last.ok()) {
+        proxy.Start();
+        proxy_recoveries.fetch_add(1);
+        return last;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return last;
+  };
+
+  std::thread nemesis([&] {
+    bool next_is_storage = options.kill_storage;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (uint64_t waited = 0;
+           waited < options.fault_period_ms && !stop.load(std::memory_order_relaxed);
+           waited += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (stop.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (next_is_storage && options.kill_storage) {
+        // Kill the storage node and reopen its state from the files.
+        server->Stop();
+        server.reset();
+        buckets.reset();
+        log.reset();
+        buckets = std::make_shared<FileBucketStore>(bucket_path, store_buckets,
+                                                    slots_per_bucket);
+        log = std::make_shared<FileLogStore>(log_path);
+        StorageServerOptions server_opts;
+        server_opts.port = port;
+        server = std::make_unique<StorageServer>(buckets, log, server_opts);
+        Status started;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          started = server->Start();
+          if (started.ok()) {
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        if (!started.ok()) {
+          nemesis_status = started;
+          return;
+        }
+        storage_restarts.fetch_add(1);
+        // The outage fails the proxy's background retirement sticky; crash
+        // recovery is the designed failover.
+        proxy.SimulateCrash();
+        Status recovered = recover_proxy();
+        if (!recovered.ok()) {
+          nemesis_status = recovered;
+          return;
+        }
+      } else if (options.crash_proxy) {
+        proxy.SimulateCrash();
+        Status recovered = recover_proxy();
+        if (!recovered.ok()) {
+          nemesis_status = recovered;
+          return;
+        }
+      }
+      if (options.kill_storage && options.crash_proxy) {
+        next_is_storage = !next_is_storage;
+      }
+    }
+  });
+
+  DriverOptions driver_opts;
+  driver_opts.num_threads = options.num_clients;
+  driver_opts.duration_ms = options.duration_ms;
+  driver_opts.warmup_ms = options.warmup_ms;
+  driver_opts.seed = options.seed;
+  driver_opts.recorder = &recorder;
+
+  NemesisResult result;
+  result.driver = RunWorkload(proxy, workload, driver_opts);
+
+  stop.store(true);
+  nemesis.join();
+  proxy.Stop();
+  if (server != nullptr) {
+    server->Stop();
+  }
+  if (!nemesis_status.ok()) {
+    return nemesis_status;
+  }
+
+  result.storage_restarts = storage_restarts.load();
+  result.proxy_recoveries = proxy_recoveries.load();
+  result.history = recorder.Merge();
+  if (!options.trace_dir.empty()) {
+    OBLADI_RETURN_IF_ERROR(recorder.WriteTraces(options.trace_dir).status());
+  }
+  return result;
+}
+
+}  // namespace obladi

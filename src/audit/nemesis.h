@@ -1,0 +1,61 @@
+// Fault-injecting nemesis: runs the audit workload against a full
+// loopback deployment (timed pipelined proxy -> remote stores -> storage
+// server -> file-backed buckets + WAL) while a fault thread kills and
+// restarts the storage node and crashes the proxy mid-epoch. The surviving
+// client history is the subsystem's end-to-end input: if Obladi's epoch
+// visibility, shadow paging, or crash recovery ever let a stale or phantom
+// version slip out, the offline verifier fails the run.
+//
+// Faults are serialized on one thread, mirroring a deployment where at most
+// one component is down at a time:
+//   * storage kill/restart — the server stops, the FileBucketStore and
+//     FileLogStore objects are destroyed, and both are *reopened from the
+//     same files* before a new server binds the same port (durability is
+//     proven on every restart, not just at the end). The proxy is then
+//     crash-recovered: a storage outage fails its background retirement
+//     sticky, so failover is the designed response.
+//   * proxy crash — SimulateCrash mid-epoch, then recovery from the WAL and
+//     a pacer restart. Commit acks lost to the crash surface as
+//     indeterminate outcomes for the verifier to adjudicate.
+#ifndef OBLADI_SRC_AUDIT_NEMESIS_H_
+#define OBLADI_SRC_AUDIT_NEMESIS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/audit/history.h"
+#include "src/workload/driver.h"
+
+namespace obladi {
+
+struct NemesisOptions {
+  uint32_t num_shards = 4;
+  size_t num_clients = 12;
+  uint64_t duration_ms = 3000;
+  uint64_t warmup_ms = 200;
+  uint64_t fault_period_ms = 700;  // gap between consecutive faults
+  bool kill_storage = true;
+  bool crash_proxy = true;
+  // Workload shape (AuditWorkload).
+  uint64_t num_keys = 192;
+  double zipf_theta = 0.0;
+  size_t ops_per_txn = 4;
+  // Where the file-backed stores live (created; must be writable).
+  std::string data_dir = "/tmp/obladi_nemesis";
+  // When non-empty, the recorded traces are written here for audit_check.
+  std::string trace_dir;
+  uint64_t seed = 7;
+};
+
+struct NemesisResult {
+  DriverResult driver;
+  uint64_t storage_restarts = 0;
+  uint64_t proxy_recoveries = 0;
+  History history;  // merged client-observable history (pass to VerifyHistory)
+};
+
+StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options);
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_AUDIT_NEMESIS_H_

@@ -1,0 +1,191 @@
+#include "src/audit/recorder.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace obladi {
+
+// --- ClientHistory -----------------------------------------------------------
+
+TxnTraceRecord* ClientHistory::Open(Timestamp ts) {
+  for (TxnTraceRecord& rec : open_) {
+    if (rec.ts == ts) {
+      return &rec;
+    }
+  }
+  return nullptr;
+}
+
+void ClientHistory::OpenTxn(Timestamp ts, uint64_t invoke_us) {
+  TxnTraceRecord rec;
+  rec.ts = ts;
+  rec.client = client_;
+  rec.invoke_us = invoke_us;
+  open_.push_back(std::move(rec));
+}
+
+void ClientHistory::AddRead(Timestamp ts, const Key& key, bool found,
+                            const std::string& value) {
+  if (TxnTraceRecord* rec = Open(ts)) {
+    rec->reads.push_back({key, found, found ? value : std::string()});
+  }
+}
+
+void ClientHistory::AddWrite(Timestamp ts, const Key& key, const std::string& value) {
+  TxnTraceRecord* rec = Open(ts);
+  if (rec == nullptr) {
+    return;
+  }
+  for (auto& [k, v] : rec->writes) {
+    if (k == key) {
+      v = value;  // last write per key wins, matching the MVTSO write set
+      return;
+    }
+  }
+  rec->writes.emplace_back(key, value);
+}
+
+void ClientHistory::CloseTxn(Timestamp ts, TxnOutcome outcome, uint64_t response_us) {
+  for (size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].ts != ts) {
+      continue;
+    }
+    TxnTraceRecord rec = std::move(open_[i]);
+    open_.erase(open_.begin() + static_cast<ptrdiff_t>(i));
+    rec.outcome = outcome;
+    rec.response_us = response_us;
+    records_.push_back(std::move(rec));
+    return;
+  }
+}
+
+// --- RecordingKv -------------------------------------------------------------
+
+Timestamp RecordingKv::Begin() {
+  uint64_t invoke = NowMicros();  // before Begin: the interval covers ts assignment
+  Timestamp ts = inner_.Begin();
+  history_.OpenTxn(ts, invoke);
+  return ts;
+}
+
+StatusOr<std::string> RecordingKv::Read(Timestamp txn, const Key& key) {
+  auto result = inner_.Read(txn, key);
+  if (result.ok()) {
+    history_.AddRead(txn, key, /*found=*/true, *result);
+  } else if (result.status().code() == StatusCode::kNotFound) {
+    history_.AddRead(txn, key, /*found=*/false, std::string());
+  }
+  // kAborted & co: the attempt is abandoned; Abort() will close the record.
+  return result;
+}
+
+Status RecordingKv::Write(Timestamp txn, const Key& key, std::string value) {
+  std::string observed = value;  // the store takes ownership of the original
+  Status st = inner_.Write(txn, key, std::move(value));
+  if (st.ok()) {
+    history_.AddWrite(txn, key, observed);
+  }
+  return st;
+}
+
+Status RecordingKv::Commit(Timestamp txn) {
+  Status st = inner_.Commit(txn);
+  uint64_t response = NowMicros();
+  // A commit ack is definite (decisions release only after epoch
+  // durability); any commit error is indeterminate — an epoch-end abort
+  // usually, but a crashed proxy may have lost the ack of a durable epoch,
+  // so the verifier decides from observations instead of trusting the error.
+  history_.CloseTxn(txn, st.ok() ? TxnOutcome::kCommitted : TxnOutcome::kIndeterminate,
+                    response);
+  return st;
+}
+
+void RecordingKv::Abort(Timestamp txn) {
+  inner_.Abort(txn);
+  // Abort before a commit request is a definite abort: the writes were never
+  // eligible for a write batch. (Abort after Commit already closed the
+  // record; CloseTxn is a no-op then.)
+  history_.CloseTxn(txn, TxnOutcome::kAborted, NowMicros());
+}
+
+// --- HistoryRecorder ---------------------------------------------------------
+
+HistoryRecorder::HistoryRecorder(size_t num_clients) {
+  clients_.reserve(num_clients);
+  for (size_t i = 0; i < num_clients; ++i) {
+    clients_.push_back(std::make_unique<ClientHistory>(static_cast<uint32_t>(i)));
+  }
+}
+
+void HistoryRecorder::RecordInitialDb(const std::vector<std::pair<Key, std::string>>& records) {
+  initial_ = records;
+}
+
+History HistoryRecorder::Merge() const {
+  History history;
+  history.initial = initial_;
+  for (const auto& client : clients_) {
+    for (const TxnTraceRecord& rec : client->records()) {
+      history.txns.push_back(rec);
+    }
+  }
+  std::sort(history.txns.begin(), history.txns.end(),
+            [](const TxnTraceRecord& a, const TxnTraceRecord& b) { return a.ts < b.ts; });
+  return history;
+}
+
+uint64_t HistoryRecorder::TraceBytes() const {
+  uint64_t total = EncodeTrace(0, {}, initial_).size();
+  for (const auto& client : clients_) {
+    total += EncodeTrace(client->client(), client->records(), {}).size();
+  }
+  return total;
+}
+
+StatusOr<uint64_t> HistoryRecorder::WriteTraces(const std::string& dir) const {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Unavailable("cannot create trace directory: " + dir);
+  }
+  uint64_t total = 0;
+  auto write_file = [&](const std::string& name, const Bytes& contents) -> Status {
+    std::string path = dir + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Unavailable("cannot open trace file: " + path);
+    }
+    size_t put = contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), f);
+    std::fclose(f);
+    if (put != contents.size()) {
+      return Status::Unavailable("short write on trace file: " + path);
+    }
+    total += contents.size();
+    return Status::Ok();
+  };
+  OBLADI_RETURN_IF_ERROR(write_file("initial.trace", EncodeTrace(0, {}, initial_)));
+  for (const auto& client : clients_) {
+    OBLADI_RETURN_IF_ERROR(
+        write_file("client" + std::to_string(client->client()) + ".trace",
+                   EncodeTrace(client->client(), client->records(), {})));
+  }
+  return total;
+}
+
+HistoryRecorder::Totals HistoryRecorder::totals() const {
+  Totals totals;
+  for (const auto& client : clients_) {
+    for (const TxnTraceRecord& rec : client->records()) {
+      totals.attempts++;
+      switch (rec.outcome) {
+        case TxnOutcome::kCommitted: totals.committed++; break;
+        case TxnOutcome::kAborted: totals.aborted++; break;
+        case TxnOutcome::kIndeterminate: totals.indeterminate++; break;
+      }
+    }
+  }
+  return totals;
+}
+
+}  // namespace obladi

@@ -1,0 +1,104 @@
+// History recorder: a thin tracing decorator at the TransactionalKv boundary.
+//
+// Each client thread owns a private ClientHistory and wraps the shared store
+// in a RecordingKv — recording is a few vector pushes and two clock reads per
+// attempt, with no cross-client locks, so it stays on even in benchmarks
+// (bench_audit_overhead gates the cost). The workload driver attaches one
+// RecordingKv per thread when DriverOptions.recorder is set.
+//
+// Retries: RunTransaction begins a fresh transaction per attempt, so every
+// attempt is its own TxnTraceRecord with its own invocation/response
+// interval. A committed retry's audited real-time edges therefore come from
+// the final attempt — using the first attempt's invocation would make
+// real-time constraints spuriously tight (audit_test pins this).
+#ifndef OBLADI_SRC_AUDIT_RECORDER_H_
+#define OBLADI_SRC_AUDIT_RECORDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/audit/history.h"
+#include "src/common/clock.h"
+
+namespace obladi {
+
+// One client's attempt records. Thread-confined while its client runs; the
+// recorder reads it only after the run (driver threads are joined).
+class ClientHistory {
+ public:
+  explicit ClientHistory(uint32_t client) : client_(client) {}
+
+  uint32_t client() const { return client_; }
+  const std::vector<TxnTraceRecord>& records() const { return records_; }
+
+  // --- called by RecordingKv -----------------------------------------------
+  void OpenTxn(Timestamp ts, uint64_t invoke_us);
+  void AddRead(Timestamp ts, const Key& key, bool found, const std::string& value);
+  void AddWrite(Timestamp ts, const Key& key, const std::string& value);
+  void CloseTxn(Timestamp ts, TxnOutcome outcome, uint64_t response_us);
+
+ private:
+  TxnTraceRecord* Open(Timestamp ts);
+
+  uint32_t client_;
+  std::vector<TxnTraceRecord> records_;
+  // Closed-loop clients have at most one open attempt; keep a tiny open set
+  // anyway so interleaved handles are not silently mis-attributed.
+  std::vector<TxnTraceRecord> open_;
+};
+
+// TransactionalKv decorator that records every attempt to a ClientHistory.
+// NOT thread-safe: one instance per client thread, like the history itself.
+class RecordingKv : public TransactionalKv {
+ public:
+  RecordingKv(TransactionalKv& inner, ClientHistory& history)
+      : inner_(inner), history_(history) {}
+
+  Timestamp Begin() override;
+  StatusOr<std::string> Read(Timestamp txn, const Key& key) override;
+  Status Write(Timestamp txn, const Key& key, std::string value) override;
+  Status Commit(Timestamp txn) override;
+  void Abort(Timestamp txn) override;
+
+ private:
+  TransactionalKv& inner_;
+  ClientHistory& history_;
+};
+
+// Owns the per-client histories for one run and serializes them afterwards.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(size_t num_clients);
+
+  size_t num_clients() const { return clients_.size(); }
+  ClientHistory& Client(size_t i) { return *clients_[i]; }
+
+  // The loaded database image, recorded once before the run.
+  void RecordInitialDb(const std::vector<std::pair<Key, std::string>>& records);
+
+  // Merge every client's records into one history (sorted by claimed ts).
+  History Merge() const;
+
+  // Serialized size of all traces (what WriteTraces would emit).
+  uint64_t TraceBytes() const;
+
+  // Write `initial.trace` + one `client<N>.trace` per client into `dir`
+  // (created if missing). Returns total bytes written.
+  StatusOr<uint64_t> WriteTraces(const std::string& dir) const;
+
+  struct Totals {
+    uint64_t attempts = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t indeterminate = 0;
+  };
+  Totals totals() const;
+
+ private:
+  std::vector<std::unique_ptr<ClientHistory>> clients_;
+  std::vector<std::pair<Key, std::string>> initial_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_AUDIT_RECORDER_H_

@@ -1,0 +1,786 @@
+#include "src/audit/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace obladi {
+
+namespace {
+
+constexpr size_t kMaxViolations = 20;
+constexpr size_t kMaxRealTimeViolations = 5;
+constexpr int32_t kInitSource = -1;  // "writer" id of the initial image
+
+std::string NodeName(const History& h, int32_t txn_idx) {
+  if (txn_idx < 0) {
+    return "INIT";
+  }
+  const TxnTraceRecord& t = h.txns[static_cast<size_t>(txn_idx)];
+  return "T" + std::to_string(t.ts) + "(c" + std::to_string(t.client) + ")";
+}
+
+std::string Step(const History& h, int32_t from, const std::string& label, int32_t to) {
+  return NodeName(h, from) + " --" + label + "--> " + NodeName(h, to);
+}
+
+// Effective outcome after the inferred-commit fixpoint.
+enum class Eff : uint8_t { kUnknown, kCommitted, kAborted };
+
+struct ValueIndex {
+  // (key, value) -> index of the writing transaction, or kInitSource.
+  std::unordered_map<Key, std::unordered_map<std::string, int32_t>> by_key;
+  // key -> initial value (keys absent here started nonexistent).
+  std::unordered_map<Key, std::string> initial;
+};
+
+// Unique writes are the whole basis of dependency reconstruction, so a
+// duplicate (key, value) across writers makes the history unauditable.
+Status BuildValueIndex(const History& h, ValueIndex& out) {
+  for (const auto& [key, value] : h.initial) {
+    if (!out.initial.emplace(key, value).second) {
+      return Status::InvalidArgument("ambiguous history: duplicate initial key " + key);
+    }
+    out.by_key[key].emplace(value, kInitSource);
+  }
+  for (size_t i = 0; i < h.txns.size(); ++i) {
+    for (const auto& [key, value] : h.txns[i].writes) {
+      auto [it, inserted] = out.by_key[key].emplace(value, static_cast<int32_t>(i));
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "ambiguous history: duplicate write of key " + key + " by " +
+            NodeName(h, it->second) + " and " + NodeName(h, static_cast<int32_t>(i)) +
+            " (audit workloads must embed the txn timestamp in every value)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Resolves an observed value to its writer; nullopt-style: returns false when
+// nothing ever wrote it.
+bool Resolve(const ValueIndex& idx, const Key& key, const std::string& value,
+             int32_t& source) {
+  auto kit = idx.by_key.find(key);
+  if (kit == idx.by_key.end()) {
+    return false;
+  }
+  auto vit = kit->second.find(value);
+  if (vit == kit->second.end()) {
+    return false;
+  }
+  source = vit->second;
+  return true;
+}
+
+// Indeterminate transactions become committed iff a committed reader observed
+// one of their writes. Sound under MVTSO cascades: a reader that observed an
+// uncommitted write can only commit after (and if) the writer does, so a
+// committed reader is proof of the writer's commit. Iterate to fixpoint since
+// each inferred commit can vouch for further writers it read from.
+uint64_t InferCommits(const History& h, const ValueIndex& idx, std::vector<Eff>& eff) {
+  uint64_t inferred = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < h.txns.size(); ++i) {
+      if (eff[i] != Eff::kCommitted) {
+        continue;
+      }
+      for (const ObservedRead& read : h.txns[i].reads) {
+        int32_t source = kInitSource;
+        if (!read.found || !Resolve(idx, read.key, read.value, source) || source < 0) {
+          continue;
+        }
+        Eff& src = eff[static_cast<size_t>(source)];
+        if (src == Eff::kUnknown) {
+          src = Eff::kCommitted;
+          ++inferred;
+          changed = true;
+        }
+      }
+    }
+  }
+  return inferred;
+}
+
+// One committed version of a key, in claimed-timestamp order.
+struct Version {
+  Timestamp ts;
+  int32_t txn;  // index into history.txns
+};
+
+class ViolationSink {
+ public:
+  explicit ViolationSink(AuditReport& report) : report_(report) {}
+
+  void Add(ViolationKind kind, std::string description,
+           std::vector<std::string> cycle = {}) {
+    if (report_.violations.size() >= kMaxViolations) {
+      report_.truncated = true;
+      return;
+    }
+    report_.violations.push_back(
+        {kind, std::move(description), std::move(cycle)});
+  }
+
+ private:
+  AuditReport& report_;
+};
+
+// Serialization graph over committed transactions + INIT (node 0). Parallel
+// edges between the same pair are collapsed (one suffices for cycles).
+struct Graph {
+  std::vector<std::string> names;
+  std::vector<std::vector<std::pair<int, std::string>>> adj;
+  std::unordered_map<int64_t, char> edge_set;
+
+  int AddNode(std::string name) {
+    names.push_back(std::move(name));
+    adj.emplace_back();
+    return static_cast<int>(names.size()) - 1;
+  }
+
+  void AddEdge(int from, int to, const std::string& label) {
+    if (from == to) {
+      return;
+    }
+    int64_t id = (static_cast<int64_t>(from) << 32) | static_cast<uint32_t>(to);
+    if (!edge_set.emplace(id, 1).second) {
+      return;
+    }
+    adj[static_cast<size_t>(from)].emplace_back(to, label);
+  }
+
+  size_t num_edges() const { return edge_set.size(); }
+};
+
+// Finds a shortest cycle through some node that provably lies on one, or
+// returns an empty vector if the graph is acyclic. Iterative throughout —
+// per-key write chains make recursion-depth proportional to history length.
+std::vector<std::string> FindCycle(const Graph& g) {
+  const size_t n = g.names.size();
+  // Forward prune: repeatedly drop nodes with no incoming edges.
+  std::vector<int> indeg(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, label] : g.adj[u]) {
+      ++indeg[static_cast<size_t>(v)];
+    }
+  }
+  std::deque<int> queue;
+  std::vector<char> alive(n, 1);
+  for (size_t u = 0; u < n; ++u) {
+    if (indeg[u] == 0) {
+      queue.push_back(static_cast<int>(u));
+    }
+  }
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    alive[static_cast<size_t>(u)] = 0;
+    for (const auto& [v, label] : g.adj[static_cast<size_t>(u)]) {
+      if (--indeg[static_cast<size_t>(v)] == 0) {
+        queue.push_back(v);
+      }
+    }
+  }
+  // Backward prune on survivors: drop nodes with no outgoing live edges.
+  std::vector<int> outdeg(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    if (!alive[u]) {
+      continue;
+    }
+    for (const auto& [v, label] : g.adj[u]) {
+      if (alive[static_cast<size_t>(v)]) {
+        ++outdeg[u];
+      }
+    }
+  }
+  bool pruned = true;
+  while (pruned) {
+    pruned = false;
+    for (size_t u = 0; u < n; ++u) {
+      if (alive[u] && outdeg[u] == 0) {
+        alive[u] = 0;
+        pruned = true;
+        for (size_t w = 0; w < n; ++w) {
+          if (!alive[w]) {
+            continue;
+          }
+          for (const auto& [v, label] : g.adj[w]) {
+            if (static_cast<size_t>(v) == u) {
+              --outdeg[w];
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  int start = -1;
+  for (size_t u = 0; u < n; ++u) {
+    if (alive[u]) {
+      start = static_cast<int>(u);
+      break;
+    }
+  }
+  if (start < 0) {
+    return {};
+  }
+  // Walk live edges until a node repeats: that node is on a cycle.
+  std::vector<char> visited(n, 0);
+  int cur = start;
+  while (!visited[static_cast<size_t>(cur)]) {
+    visited[static_cast<size_t>(cur)] = 1;
+    int next = -1;
+    for (const auto& [v, label] : g.adj[static_cast<size_t>(cur)]) {
+      if (alive[static_cast<size_t>(v)]) {
+        next = v;
+        break;
+      }
+    }
+    if (next < 0) {
+      return {};  // cannot happen after the backward prune; stay safe
+    }
+    cur = next;
+  }
+  const int anchor = cur;
+  // BFS from the anchor over live nodes for the shortest cycle through it.
+  std::vector<int> parent(n, -1);
+  std::vector<std::string> via(n);
+  std::vector<char> reached(n, 0);
+  std::deque<int> bfs{anchor};
+  reached[static_cast<size_t>(anchor)] = 1;
+  int closer = -1;          // node whose edge closes the cycle back to anchor
+  std::string closer_label;
+  while (!bfs.empty() && closer < 0) {
+    int u = bfs.front();
+    bfs.pop_front();
+    for (const auto& [v, label] : g.adj[static_cast<size_t>(u)]) {
+      if (!alive[static_cast<size_t>(v)]) {
+        continue;
+      }
+      if (v == anchor) {
+        closer = u;
+        closer_label = label;
+        break;
+      }
+      if (!reached[static_cast<size_t>(v)]) {
+        reached[static_cast<size_t>(v)] = 1;
+        parent[static_cast<size_t>(v)] = u;
+        via[static_cast<size_t>(v)] = label;
+        bfs.push_back(v);
+      }
+    }
+  }
+  if (closer < 0) {
+    return {};  // unreachable, but do not crash on a malformed graph
+  }
+  std::vector<int> path;  // anchor .. closer
+  for (int u = closer; u != -1; u = parent[static_cast<size_t>(u)]) {
+    path.push_back(u);
+  }
+  std::reverse(path.begin(), path.end());
+  std::vector<std::string> steps;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    steps.push_back(g.names[static_cast<size_t>(path[i])] + " --" +
+                    via[static_cast<size_t>(path[i + 1])] + "--> " +
+                    g.names[static_cast<size_t>(path[i + 1])]);
+  }
+  steps.push_back(g.names[static_cast<size_t>(closer)] + " --" + closer_label +
+                  "--> " + g.names[static_cast<size_t>(anchor)]);
+  return steps;
+}
+
+}  // namespace
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kDirtyRead: return "dirty-read";
+    case ViolationKind::kCorruptRead: return "corrupt-read";
+    case ViolationKind::kStaleRead: return "stale-read";
+    case ViolationKind::kFutureRead: return "future-read";
+    case ViolationKind::kCycle: return "cycle";
+    case ViolationKind::kRealTime: return "real-time";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  std::string out = std::string(ViolationKindName(kind)) + ": " + description;
+  for (const std::string& step : cycle) {
+    out += "\n    " + step;
+  }
+  return out;
+}
+
+std::string AuditReport::Summary() const {
+  std::string out = serializable ? "serializable" : "NOT serializable";
+  out += ": " + std::to_string(txns) + " txns (" + std::to_string(committed) +
+         " committed, " + std::to_string(inferred_committed) + " inferred, " +
+         std::to_string(aborted) + " aborted, " + std::to_string(indeterminate) +
+         " indeterminate), " + std::to_string(reads_checked) + " reads checked, " +
+         std::to_string(graph_edges) + " graph edges";
+  if (!violations.empty()) {
+    out += ", " + std::to_string(violations.size()) + " violation(s)";
+    if (truncated) {
+      out += " (truncated)";
+    }
+  }
+  return out;
+}
+
+StatusOr<AuditReport> VerifyHistory(const History& history) {
+  AuditReport report;
+  report.txns = history.txns.size();
+
+  ValueIndex index;
+  OBLADI_RETURN_IF_ERROR(BuildValueIndex(history, index));
+
+  std::vector<Eff> eff(history.txns.size(), Eff::kUnknown);
+  for (size_t i = 0; i < history.txns.size(); ++i) {
+    switch (history.txns[i].outcome) {
+      case TxnOutcome::kCommitted:
+        eff[i] = Eff::kCommitted;
+        ++report.committed;
+        break;
+      case TxnOutcome::kAborted:
+        eff[i] = Eff::kAborted;
+        ++report.aborted;
+        break;
+      case TxnOutcome::kIndeterminate:
+        break;
+    }
+  }
+  report.inferred_committed = InferCommits(history, index, eff);
+  report.indeterminate = history.txns.size() - report.committed -
+                         report.inferred_committed - report.aborted;
+
+  // Claimed timestamps must be unique: they are Begin() handles from one
+  // global counter, so a collision means the traces are corrupt.
+  {
+    std::unordered_map<Timestamp, size_t> by_ts;
+    for (size_t i = 0; i < history.txns.size(); ++i) {
+      auto [it, inserted] = by_ts.emplace(history.txns[i].ts, i);
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "corrupt history: duplicate claimed timestamp " +
+            std::to_string(history.txns[i].ts));
+      }
+    }
+  }
+
+  // Committed versions of every key, in claimed order.
+  std::unordered_map<Key, std::vector<Version>> versions;
+  for (size_t i = 0; i < history.txns.size(); ++i) {
+    if (eff[i] != Eff::kCommitted) {
+      continue;
+    }
+    for (const auto& [key, value] : history.txns[i].writes) {
+      versions[key].push_back({history.txns[i].ts, static_cast<int32_t>(i)});
+    }
+  }
+  for (auto& [key, list] : versions) {
+    std::sort(list.begin(), list.end(),
+              [](const Version& a, const Version& b) { return a.ts < b.ts; });
+  }
+
+  Graph graph;
+  graph.AddNode("INIT");  // node 0
+  std::vector<int> node_of(history.txns.size(), -1);
+  for (size_t i = 0; i < history.txns.size(); ++i) {
+    if (eff[i] == Eff::kCommitted) {
+      node_of[i] = graph.AddNode(NodeName(history, static_cast<int32_t>(i)));
+    }
+  }
+  for (const auto& [key, list] : versions) {
+    int prev = 0;  // INIT wrote (or left absent) the pre-history version
+    for (const Version& v : list) {
+      graph.AddEdge(prev, node_of[static_cast<size_t>(v.txn)], "ww[" + key + "]");
+      prev = node_of[static_cast<size_t>(v.txn)];
+    }
+  }
+
+  ViolationSink sink(report);
+
+  // Read checks: resolve every committed read, add wr/rw edges, and compare
+  // against what the claimed order promises (the latest committed write with
+  // a smaller timestamp, else the initial image, else not-found).
+  for (size_t i = 0; i < history.txns.size(); ++i) {
+    if (eff[i] != Eff::kCommitted) {
+      continue;
+    }
+    const TxnTraceRecord& txn = history.txns[i];
+    const int reader_node = node_of[i];
+    for (const ObservedRead& read : txn.reads) {
+      ++report.reads_checked;
+      auto vit = versions.find(read.key);
+      const std::vector<Version>* list =
+          vit == versions.end() ? nullptr : &vit->second;
+      // Position of the expected version: index into `list`, or -1 for the
+      // initial image / pre-history absence.
+      int expected = -1;
+      if (list != nullptr) {
+        auto it = std::upper_bound(
+            list->begin(), list->end(), txn.ts,
+            [](Timestamp ts, const Version& v) { return ts <= v.ts; });
+        expected = static_cast<int>(it - list->begin()) - 1;
+        // Never expect the reader's own write: it does not precede itself.
+        while (expected >= 0 &&
+               (*list)[static_cast<size_t>(expected)].txn == static_cast<int32_t>(i)) {
+          --expected;
+        }
+      }
+      const bool initial_exists = index.initial.count(read.key) > 0;
+
+      if (!read.found) {
+        // Keys are never deleted, so not-found is only honest before the
+        // first committed write and absent any initial value.
+        graph.AddEdge(0, reader_node, "wr[" + read.key + "]");
+        if (list != nullptr && !list->empty()) {
+          graph.AddEdge(reader_node, node_of[static_cast<size_t>((*list)[0].txn)],
+                        "rw[" + read.key + "]");
+        }
+        if (expected >= 0) {
+          const Version& want = (*list)[static_cast<size_t>(expected)];
+          sink.Add(ViolationKind::kStaleRead,
+                   NodeName(history, static_cast<int32_t>(i)) + " read " + read.key +
+                       " as not-found but " + NodeName(history, want.txn) +
+                       " committed a write with a smaller timestamp",
+                   {Step(history, static_cast<int32_t>(i), "rw[" + read.key + "]",
+                         want.txn),
+                    Step(history, want.txn, "ts", static_cast<int32_t>(i))});
+        } else if (initial_exists) {
+          sink.Add(ViolationKind::kStaleRead,
+                   NodeName(history, static_cast<int32_t>(i)) + " read " + read.key +
+                       " as not-found but the key exists in the initial database");
+        }
+        continue;
+      }
+
+      int32_t source = kInitSource;
+      if (!Resolve(index, read.key, read.value, source)) {
+        sink.Add(ViolationKind::kCorruptRead,
+                 NodeName(history, static_cast<int32_t>(i)) + " read " + read.key +
+                     " = a value no transaction (and no initial load) ever wrote");
+        continue;
+      }
+      if (source == static_cast<int32_t>(i)) {
+        continue;  // read its own earlier write: internal, not an edge
+      }
+      if (source >= 0 && eff[static_cast<size_t>(source)] == Eff::kAborted) {
+        sink.Add(ViolationKind::kDirtyRead,
+                 NodeName(history, static_cast<int32_t>(i)) + " read " + read.key +
+                     " = a value written only by aborted " +
+                     NodeName(history, source));
+        continue;
+      }
+      if (source >= 0 && eff[static_cast<size_t>(source)] != Eff::kCommitted) {
+        // Unreachable: a committed reader makes its writer inferred-committed.
+        continue;
+      }
+      const int source_node = source < 0 ? 0 : node_of[static_cast<size_t>(source)];
+      graph.AddEdge(source_node, reader_node, "wr[" + read.key + "]");
+      // Anti-dependency: the reader precedes whichever committed write
+      // replaced the version it observed.
+      int source_pos = -1;
+      if (source >= 0 && list != nullptr) {
+        for (size_t p = 0; p < list->size(); ++p) {
+          if ((*list)[p].txn == source) {
+            source_pos = static_cast<int>(p);
+            break;
+          }
+        }
+      }
+      if (list != nullptr &&
+          static_cast<size_t>(source_pos + 1) < list->size()) {
+        graph.AddEdge(reader_node,
+                      node_of[static_cast<size_t>(
+                          (*list)[static_cast<size_t>(source_pos + 1)].txn)],
+                      "rw[" + read.key + "]");
+      }
+
+      // Claimed-order comparison.
+      const int32_t expected_src =
+          expected >= 0 ? (*list)[static_cast<size_t>(expected)].txn
+                        : (initial_exists ? kInitSource : kInitSource - 1);
+      const int32_t observed_src = source;
+      if (observed_src == expected_src) {
+        continue;
+      }
+      const Timestamp src_ts =
+          source < 0 ? 0 : history.txns[static_cast<size_t>(source)].ts;
+      if (source >= 0 && src_ts > txn.ts) {
+        sink.Add(ViolationKind::kFutureRead,
+                 NodeName(history, static_cast<int32_t>(i)) + " read " + read.key +
+                     " = the write of " + NodeName(history, source) +
+                     ", whose claimed timestamp is larger",
+                 {Step(history, static_cast<int32_t>(i), "ts", source),
+                  Step(history, source, "wr[" + read.key + "]",
+                       static_cast<int32_t>(i))});
+      } else {
+        const std::string want =
+            expected >= 0
+                ? "the write of " +
+                      NodeName(history, (*list)[static_cast<size_t>(expected)].txn)
+                : (initial_exists ? std::string("the initial value")
+                                  : std::string("not-found"));
+        std::vector<std::string> cycle;
+        if (expected >= 0) {
+          cycle = {Step(history, static_cast<int32_t>(i), "rw[" + read.key + "]",
+                        (*list)[static_cast<size_t>(expected)].txn),
+                   Step(history, (*list)[static_cast<size_t>(expected)].txn, "ts",
+                        static_cast<int32_t>(i))};
+        }
+        sink.Add(ViolationKind::kStaleRead,
+                 NodeName(history, static_cast<int32_t>(i)) + " read " + read.key +
+                     " = the write of " + NodeName(history, source) +
+                     " but the claimed order promises " + want,
+                 std::move(cycle));
+      }
+    }
+  }
+  report.graph_edges = graph.num_edges();
+
+  // Cycle check over the full serialization graph.
+  std::vector<std::string> cycle = FindCycle(graph);
+  if (!cycle.empty()) {
+    sink.Add(ViolationKind::kCycle,
+             "serialization graph contains a cycle of length " +
+                 std::to_string(cycle.size()),
+             std::move(cycle));
+  }
+
+  // Real-time check, acked commits only: an ack releases after epoch
+  // durability, so a transaction that finished before another began must
+  // precede it in the claimed order. Inferred commits are excluded — their
+  // response instants report an error, not an ack.
+  {
+    struct RtTxn {
+      Timestamp ts;
+      uint64_t invoke;
+      uint64_t response;
+      int32_t idx;
+    };
+    std::vector<RtTxn> acked;
+    for (size_t i = 0; i < history.txns.size(); ++i) {
+      if (history.txns[i].outcome == TxnOutcome::kCommitted) {
+        acked.push_back({history.txns[i].ts, history.txns[i].invoke_us,
+                         history.txns[i].response_us, static_cast<int32_t>(i)});
+      }
+    }
+    std::sort(acked.begin(), acked.end(),
+              [](const RtTxn& a, const RtTxn& b) { return a.ts < b.ts; });
+    size_t reported = 0;
+    if (!acked.empty()) {
+      // suffix_min[j] = the earliest response among acked txns with a larger
+      // claimed timestamp than acked[j].
+      std::vector<size_t> argmin(acked.size());
+      size_t best = acked.size() - 1;
+      for (size_t j = acked.size(); j-- > 0;) {
+        if (acked[j].response < acked[best].response) {
+          best = j;
+        }
+        argmin[j] = best;
+      }
+      for (size_t j = 0; j + 1 < acked.size(); ++j) {
+        const RtTxn& b = acked[j];
+        const RtTxn& a = acked[argmin[j + 1]];
+        if (a.response < b.invoke) {
+          if (reported++ < kMaxRealTimeViolations) {
+            sink.Add(ViolationKind::kRealTime,
+                     NodeName(history, a.idx) + " was acked before " +
+                         NodeName(history, b.idx) +
+                         " was invoked, yet claims a larger timestamp",
+                     {Step(history, a.idx, "rt", b.idx),
+                      Step(history, b.idx, "ts", a.idx)});
+          } else {
+            report.truncated = true;
+          }
+        }
+      }
+    }
+  }
+
+  report.serializable = report.violations.empty() && !report.truncated;
+  return report;
+}
+
+// --- violation injection -----------------------------------------------------
+
+const char* InjectKindName(InjectKind kind) {
+  switch (kind) {
+    case InjectKind::kDropCommittedWrite: return "drop_write";
+    case InjectKind::kSwapReadResults: return "swap_reads";
+    case InjectKind::kFractureEpoch: return "fracture_epoch";
+  }
+  return "unknown";
+}
+
+StatusOr<InjectKind> ParseInjectKind(const std::string& name) {
+  if (name == "drop_write") return InjectKind::kDropCommittedWrite;
+  if (name == "swap_reads") return InjectKind::kSwapReadResults;
+  if (name == "fracture_epoch") return InjectKind::kFractureEpoch;
+  return Status::InvalidArgument(
+      "unknown injection kind '" + name +
+      "' (expected drop_write, swap_reads or fracture_epoch)");
+}
+
+std::vector<ViolationKind> ExpectedViolationsFor(InjectKind kind) {
+  switch (kind) {
+    case InjectKind::kDropCommittedWrite:
+      return {ViolationKind::kCorruptRead};
+    case InjectKind::kSwapReadResults:
+      return {ViolationKind::kStaleRead, ViolationKind::kFutureRead,
+              ViolationKind::kCycle};
+    case InjectKind::kFractureEpoch:
+      return {ViolationKind::kRealTime};
+  }
+  return {};
+}
+
+StatusOr<std::string> InjectViolation(History& history, InjectKind kind,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  ValueIndex index;
+  OBLADI_RETURN_IF_ERROR(BuildValueIndex(history, index));
+
+  auto committed = [&](size_t i) {
+    return history.txns[i].outcome == TxnOutcome::kCommitted;
+  };
+
+  switch (kind) {
+    case InjectKind::kDropCommittedWrite: {
+      // Only a write some *other* committed transaction observed is worth
+      // dropping — an unobserved write vanishes without a trace.
+      std::vector<std::pair<size_t, size_t>> sites;  // (writer txn, write idx)
+      for (size_t i = 0; i < history.txns.size(); ++i) {
+        if (!committed(i)) {
+          continue;
+        }
+        for (size_t w = 0; w < history.txns[i].writes.size(); ++w) {
+          const auto& [key, value] = history.txns[i].writes[w];
+          bool observed = false;
+          for (size_t r = 0; r < history.txns.size() && !observed; ++r) {
+            if (r == i || !committed(r)) {
+              continue;
+            }
+            for (const ObservedRead& read : history.txns[r].reads) {
+              if (read.found && read.key == key && read.value == value) {
+                observed = true;
+                break;
+              }
+            }
+          }
+          if (observed) {
+            sites.emplace_back(i, w);
+          }
+        }
+      }
+      if (sites.empty()) {
+        return Status::NotFound("no committed write was observed by another txn");
+      }
+      auto [ti, wi] = sites[rng.Uniform(sites.size())];
+      TxnTraceRecord& txn = history.txns[ti];
+      std::string desc = "dropped committed write of " + txn.writes[wi].first +
+                         " by " + NodeName(history, static_cast<int32_t>(ti));
+      txn.writes.erase(txn.writes.begin() + static_cast<ptrdiff_t>(wi));
+      return desc;
+    }
+
+    case InjectKind::kSwapReadResults: {
+      // Two committed reads of the same key observing different, non-own
+      // values: after the swap at least one observes the wrong version.
+      struct Site {
+        size_t txn;
+        size_t read;
+        int32_t source;
+      };
+      std::unordered_map<Key, std::vector<Site>> by_key;
+      for (size_t i = 0; i < history.txns.size(); ++i) {
+        if (!committed(i)) {
+          continue;
+        }
+        for (size_t r = 0; r < history.txns[i].reads.size(); ++r) {
+          const ObservedRead& read = history.txns[i].reads[r];
+          int32_t source = kInitSource;
+          if (!read.found || !Resolve(index, read.key, read.value, source)) {
+            continue;
+          }
+          if (source == static_cast<int32_t>(i)) {
+            continue;  // own-write observations are skipped by the verifier
+          }
+          by_key[read.key].push_back({i, r, source});
+        }
+      }
+      std::vector<std::pair<Site, Site>> pairs;
+      for (const auto& [key, sites] : by_key) {
+        for (size_t a = 0; a < sites.size(); ++a) {
+          for (size_t b = a + 1; b < sites.size(); ++b) {
+            if (sites[a].source == sites[b].source) {
+              continue;  // same value: swapping would change nothing
+            }
+            // Neither value may become an own-write of its new reader.
+            if (sites[a].source == static_cast<int32_t>(sites[b].txn) ||
+                sites[b].source == static_cast<int32_t>(sites[a].txn)) {
+              continue;
+            }
+            pairs.emplace_back(sites[a], sites[b]);
+          }
+        }
+      }
+      if (pairs.empty()) {
+        return Status::NotFound("no two committed reads of a key saw different values");
+      }
+      auto [sa, sb] = pairs[rng.Uniform(pairs.size())];
+      ObservedRead& ra = history.txns[sa.txn].reads[sa.read];
+      ObservedRead& rb = history.txns[sb.txn].reads[sb.read];
+      std::swap(ra.value, rb.value);
+      std::swap(ra.found, rb.found);
+      return "swapped reads of " + ra.key + " between " +
+             NodeName(history, static_cast<int32_t>(sa.txn)) + " and " +
+             NodeName(history, static_cast<int32_t>(sb.txn));
+    }
+
+    case InjectKind::kFractureEpoch: {
+      // Move one acked transaction's interval after another acked
+      // transaction with a *larger* timestamp has already responded — as if
+      // an epoch's visibility barrier had been fractured.
+      size_t last = history.txns.size();
+      for (size_t i = 0; i < history.txns.size(); ++i) {
+        if (committed(i) &&
+            (last == history.txns.size() ||
+             history.txns[i].response_us > history.txns[last].response_us)) {
+          last = i;
+        }
+      }
+      if (last == history.txns.size()) {
+        return Status::NotFound("no acked commit in history");
+      }
+      std::vector<size_t> earlier;
+      for (size_t i = 0; i < history.txns.size(); ++i) {
+        if (committed(i) && history.txns[i].ts < history.txns[last].ts) {
+          earlier.push_back(i);
+        }
+      }
+      if (earlier.empty()) {
+        return Status::NotFound("no acked commit with a smaller timestamp");
+      }
+      size_t victim = earlier[rng.Uniform(earlier.size())];
+      TxnTraceRecord& b = history.txns[victim];
+      b.invoke_us = history.txns[last].response_us + 1;
+      b.response_us = b.invoke_us + 10;
+      return "moved the interval of " +
+             NodeName(history, static_cast<int32_t>(victim)) + " after the ack of " +
+             NodeName(history, static_cast<int32_t>(last)) +
+             ", which claims a larger timestamp";
+    }
+  }
+  return Status::InvalidArgument("unknown injection kind");
+}
+
+}  // namespace obladi

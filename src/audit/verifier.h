@@ -1,0 +1,107 @@
+// Offline serializability verifier over client-observable histories.
+//
+// What is checked (only committed transactions participate; an attempt the
+// client definitively aborted never constrains the history, and an
+// indeterminate attempt counts as committed iff a committed reader observed
+// one of its writes — sound under MVTSO, because a committed reader of an
+// uncommitted write is a dependent that could only have committed if the
+// writer did):
+//
+//   1. Read resolution. Every observed value must be the unique product of
+//      the initial database or some transaction's write (unique writes are
+//      the audit workload's job); a value only a definitely-aborted attempt
+//      wrote is a dirty read, a value nobody wrote is a corrupt read.
+//   2. Claimed-order consistency. Obladi hands every client its MVTSO
+//      timestamp — a *claim* of the transaction's serialization position.
+//      Each committed read must observe the latest committed write of its
+//      key with a smaller claimed timestamp (or its own earlier write, or
+//      the initial value). A mismatch is a stale or future read; either
+//      yields a two-edge cycle through the claimed order.
+//   3. Serialization graph. Nodes are committed transactions (+ INIT);
+//      edges are observed write->read dependencies, per-key write order,
+//      and inferred anti-dependencies (reader -> next writer of the version
+//      it observed). Any cycle refutes serializability outright; the
+//      shortest cycle is reported with labeled edges.
+//   4. Real-time (strict serializability under epoch visibility). Commit
+//      acks release only after the epoch is durable, so if A's response
+//      precedes B's invocation, A must precede B in the claimed order.
+//
+// Verification never trusts proxy internals: timestamps, values, and
+// intervals all crossed the client boundary.
+#ifndef OBLADI_SRC_AUDIT_VERIFIER_H_
+#define OBLADI_SRC_AUDIT_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/audit/history.h"
+
+namespace obladi {
+
+enum class ViolationKind : uint8_t {
+  kDirtyRead,    // observed a value only a definitely-aborted attempt wrote
+  kCorruptRead,  // observed a value nothing wrote (e.g. a dropped write)
+  kStaleRead,    // observed an older version than the claimed order requires
+  kFutureRead,   // observed a write with a larger claimed timestamp
+  kCycle,        // serialization graph has a cycle
+  kRealTime,     // claimed order contradicts real time (fractured epoch)
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  std::string description;
+  // Minimal violating cycle as printable steps, e.g.
+  //   "T42(c3) --rw[ak17]--> T57(c0)", closing back at the first node.
+  // Empty for violation kinds that are direct evidence, not cycles.
+  std::vector<std::string> cycle;
+
+  std::string ToString() const;
+};
+
+struct AuditReport {
+  bool serializable = false;
+  std::vector<Violation> violations;
+  bool truncated = false;  // more violations existed than were reported
+
+  // Census of the audited history.
+  uint64_t txns = 0;
+  uint64_t committed = 0;           // acked commits
+  uint64_t inferred_committed = 0;  // indeterminate, proven committed by reads
+  uint64_t aborted = 0;
+  uint64_t indeterminate = 0;       // remained unknown; excluded from the graph
+  uint64_t reads_checked = 0;
+  uint64_t graph_edges = 0;
+
+  std::string Summary() const;
+};
+
+// Verifies the merged history. A non-OK status means the history itself is
+// unauditable (duplicate (key, value) writes, missing data) — distinct from
+// an auditable history that fails, which returns OK with serializable=false.
+StatusOr<AuditReport> VerifyHistory(const History& history);
+
+// --- violation injection (verifier self-test) --------------------------------
+//
+// Mutates an honest history so the auditor must flag it; a verifier that
+// never fails is untested. Returns a description of the mutation, or
+// NotFound if the history has no applicable site.
+
+enum class InjectKind : uint8_t {
+  kDropCommittedWrite,  // erase an observed committed write -> corrupt read
+  kSwapReadResults,     // swap two reads' observed values -> stale/future read
+  kFractureEpoch,       // shift an interval across an epoch -> real-time cycle
+};
+
+const char* InjectKindName(InjectKind kind);
+StatusOr<InjectKind> ParseInjectKind(const std::string& name);
+
+StatusOr<std::string> InjectViolation(History& history, InjectKind kind, uint64_t seed = 1);
+
+// The violation kinds an injection of `kind` may legitimately surface as.
+std::vector<ViolationKind> ExpectedViolationsFor(InjectKind kind);
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_AUDIT_VERIFIER_H_

@@ -818,8 +818,22 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
 }
 
 ObladiStats ObladiStore::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  ObladiStats out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = stats_;
+  }
+  MvtsoStats txn = engine_.stats();
+  out.txn_begun = txn.begun;
+  out.txn_committed = txn.committed;
+  out.txn_aborted = txn.aborts_write_conflict + txn.aborts_cascade +
+                    txn.aborts_unfinished_epoch + txn.aborts_batch_overflow +
+                    txn.aborts_explicit;
+  out.aborts_per_committed_txn =
+      txn.committed == 0 ? 0
+                         : static_cast<double>(out.txn_aborted) /
+                               static_cast<double>(txn.committed);
+  return out;
 }
 
 }  // namespace obladi

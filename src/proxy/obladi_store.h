@@ -132,6 +132,12 @@ struct ObladiStats {
   uint64_t retire_stall_us = 0;           // close-step time spent waiting on
                                           // the previous retirement (depth cap)
   uint64_t max_inflight_stash_blocks = 0; // peak stash + retiring blocks
+  // Transaction accounting (mirrored from the MVTSO engine so one stats()
+  // call gives the whole abort/retry picture).
+  uint64_t txn_begun = 0;
+  uint64_t txn_committed = 0;
+  uint64_t txn_aborted = 0;               // sum over all abort causes
+  double aborts_per_committed_txn = 0;
 };
 
 class ObladiStore : public TransactionalKv {

@@ -1,0 +1,238 @@
+#include "src/storage/file_bucket_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace obladi {
+
+namespace {
+
+constexpr uint8_t kRecordWrite = 1;
+constexpr uint8_t kRecordTruncate = 2;
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+FileBucketStore::FileBucketStore(std::string path, size_t num_buckets,
+                                 size_t slots_per_bucket, bool sync_writes)
+    : path_(std::move(path)),
+      num_buckets_(num_buckets),
+      slots_per_bucket_(slots_per_bucket),
+      sync_writes_(sync_writes),
+      buckets_(num_buckets) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    open_status_ = Status::Unavailable("cannot open bucket store file: " + path_);
+    return;
+  }
+  open_status_ = ScanFile();
+}
+
+FileBucketStore::~FileBucketStore() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status FileBucketStore::ScanFile() {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::Unavailable("cannot stat bucket store file: " + path_);
+  }
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  if (!data.empty()) {
+    ssize_t got = ::pread(fd_, data.data(), data.size(), 0);
+    if (got != static_cast<ssize_t>(data.size())) {
+      return Status::Unavailable("short read scanning bucket store file: " + path_);
+    }
+  }
+  size_t pos = 0;
+  uint64_t good_end = 0;
+  while (pos < data.size()) {
+    const size_t start = pos;
+    uint8_t type = data[pos++];
+    if (type == kRecordWrite) {
+      if (pos + 12 > data.size()) {
+        break;  // torn tail
+      }
+      uint32_t bucket = GetU32(&data[pos]);
+      uint32_t version = GetU32(&data[pos + 4]);
+      uint32_t nslots = GetU32(&data[pos + 8]);
+      pos += 12;
+      if (bucket >= num_buckets_ || nslots != slots_per_bucket_) {
+        return Status::DataLoss("corrupt bucket store record in " + path_);
+      }
+      std::vector<SlotLocation> slots;
+      slots.reserve(nslots);
+      bool torn = false;
+      for (uint32_t s = 0; s < nslots; ++s) {
+        if (pos + 4 > data.size()) {
+          torn = true;
+          break;
+        }
+        uint32_t len = GetU32(&data[pos]);
+        pos += 4;
+        if (pos + len > data.size()) {
+          torn = true;
+          break;
+        }
+        slots.push_back({static_cast<uint64_t>(pos), len});
+        pos += len;
+      }
+      if (torn) {
+        pos = start;
+        break;
+      }
+      buckets_[bucket][version] = std::move(slots);
+      good_end = pos;
+    } else if (type == kRecordTruncate) {
+      if (pos + 8 > data.size()) {
+        break;  // torn tail
+      }
+      uint32_t bucket = GetU32(&data[pos]);
+      uint32_t keep_from = GetU32(&data[pos + 4]);
+      pos += 8;
+      if (bucket >= num_buckets_) {
+        return Status::DataLoss("corrupt bucket store record in " + path_);
+      }
+      VersionIndex& versions = buckets_[bucket];
+      versions.erase(versions.begin(), versions.lower_bound(keep_from));
+      good_end = pos;
+    } else {
+      return Status::DataLoss("unknown bucket store record type in " + path_);
+    }
+  }
+  // Cut off a torn tail so future appends cannot leave stale bytes that a
+  // later scan would misparse.
+  if (good_end < data.size() && ::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+    return Status::Unavailable("cannot repair torn tail of " + path_);
+  }
+  end_offset_ = good_end;
+  return Status::Ok();
+}
+
+Status FileBucketStore::AppendRecord(const std::vector<uint8_t>& record) {
+  ssize_t put = ::pwrite(fd_, record.data(), record.size(),
+                         static_cast<off_t>(end_offset_));
+  if (put != static_cast<ssize_t>(record.size())) {
+    return Status::Unavailable("short write to bucket store file: " + path_);
+  }
+  if (sync_writes_ && ::fsync(fd_) != 0) {
+    return Status::Unavailable("fsync failed on bucket store file: " + path_);
+  }
+  end_offset_ += record.size();
+  return Status::Ok();
+}
+
+StatusOr<Bytes> FileBucketStore::ReadSlot(BucketIndex bucket, uint32_t version,
+                                          SlotIndex slot) {
+  if (bucket >= num_buckets_ || slot >= slots_per_bucket_) {
+    return Status::InvalidArgument("slot address out of range");
+  }
+  SlotLocation loc;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!open_status_.ok()) {
+      return open_status_;
+    }
+    const VersionIndex& versions = buckets_[bucket];
+    auto it = versions.find(version);
+    if (it == versions.end()) {
+      return Status::NotFound("bucket version not present");
+    }
+    loc = it->second[slot];
+  }
+  // pread is position-independent and thread-safe: the actual I/O runs
+  // outside the index lock.
+  Bytes out(loc.length);
+  if (loc.length > 0) {
+    ssize_t got = ::pread(fd_, out.data(), out.size(), static_cast<off_t>(loc.offset));
+    if (got != static_cast<ssize_t>(out.size())) {
+      return Status::DataLoss("short read from bucket store file: " + path_);
+    }
+  }
+  return out;
+}
+
+Status FileBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
+                                    std::vector<Bytes> slots) {
+  if (bucket >= num_buckets_) {
+    return Status::InvalidArgument("bucket out of range");
+  }
+  if (slots.size() != slots_per_bucket_) {
+    return Status::InvalidArgument("bucket image has wrong slot count");
+  }
+  std::vector<uint8_t> record;
+  size_t payload = 0;
+  for (const Bytes& s : slots) {
+    payload += 4 + s.size();
+  }
+  record.reserve(13 + payload);
+  record.push_back(kRecordWrite);
+  PutU32(record, bucket);
+  PutU32(record, version);
+  PutU32(record, static_cast<uint32_t>(slots.size()));
+  std::vector<SlotLocation> locations;
+  locations.reserve(slots.size());
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!open_status_.ok()) {
+    return open_status_;
+  }
+  for (const Bytes& s : slots) {
+    PutU32(record, static_cast<uint32_t>(s.size()));
+    locations.push_back(
+        {end_offset_ + record.size(), static_cast<uint32_t>(s.size())});
+    record.insert(record.end(), s.begin(), s.end());
+  }
+  OBLADI_RETURN_IF_ERROR(AppendRecord(record));
+  buckets_[bucket][version] = std::move(locations);  // overwrite = replay
+  return Status::Ok();
+}
+
+Status FileBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) {
+  if (bucket >= num_buckets_) {
+    return Status::InvalidArgument("bucket out of range");
+  }
+  std::vector<uint8_t> record;
+  record.reserve(9);
+  record.push_back(kRecordTruncate);
+  PutU32(record, bucket);
+  PutU32(record, keep_from_version);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!open_status_.ok()) {
+    return open_status_;
+  }
+  OBLADI_RETURN_IF_ERROR(AppendRecord(record));
+  VersionIndex& versions = buckets_[bucket];
+  versions.erase(versions.begin(), versions.lower_bound(keep_from_version));
+  return Status::Ok();
+}
+
+size_t FileBucketStore::TotalVersions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t total = 0;
+  for (const VersionIndex& versions : buckets_) {
+    total += versions.size();
+  }
+  return total;
+}
+
+uint64_t FileBucketStore::FileBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return end_offset_;
+}
+
+}  // namespace obladi

@@ -1,0 +1,69 @@
+// File-backed BucketStore: a single append-only file of bucket-image and
+// truncate records plus an in-memory offset index rebuilt by scanning on
+// open. Shadow paging maps naturally onto an append-only layout — every
+// WriteBucket is a new record, reads pread() straight from the indexed
+// offset, and reopening the same path after a storage-node restart recovers
+// exactly the versions that reached the file (a torn tail from a mid-write
+// crash is cut off, mirroring FileLogStore's tolerant scan).
+//
+// TruncateBucket drops versions from the index and logs a truncate record so
+// the drop survives reopen; file space is not reclaimed (the nemesis and
+// conformance workloads are bounded, and compaction is a non-goal here).
+#ifndef OBLADI_SRC_STORAGE_FILE_BUCKET_STORE_H_
+#define OBLADI_SRC_STORAGE_FILE_BUCKET_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+class FileBucketStore : public BucketStore {
+ public:
+  // Opens (creating if needed) the store file at `path` and scans it to
+  // rebuild the version index. `sync_writes` fsyncs after every append —
+  // the restart tests survive process lifetimes either way, so it defaults
+  // off to keep the nemesis fast.
+  FileBucketStore(std::string path, size_t num_buckets, size_t slots_per_bucket,
+                  bool sync_writes = false);
+  ~FileBucketStore() override;
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override;
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override;
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
+  size_t num_buckets() const override { return num_buckets_; }
+
+  // Test hooks.
+  size_t TotalVersions() const;
+  uint64_t FileBytes() const;
+
+ private:
+  struct SlotLocation {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+  };
+  // version -> per-slot file locations. Ordered so truncation erases a prefix.
+  using VersionIndex = std::map<uint32_t, std::vector<SlotLocation>>;
+
+  Status ScanFile();
+  Status AppendRecord(const std::vector<uint8_t>& record);
+
+  const std::string path_;
+  const size_t num_buckets_;
+  const size_t slots_per_bucket_;
+  const bool sync_writes_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  Status open_status_;        // non-OK when the file could not be opened/scanned
+  uint64_t end_offset_ = 0;   // append position (file size after tail repair)
+  std::vector<VersionIndex> buckets_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_STORAGE_FILE_BUCKET_STORE_H_

@@ -1,9 +1,11 @@
 #include "src/workload/driver.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "src/audit/recorder.h"
 #include "src/common/clock.h"
 
 namespace obladi {
@@ -21,9 +23,17 @@ DriverResult RunWorkload(TransactionalKv& kv, Workload& workload,
   for (size_t t = 0; t < options.num_threads; ++t) {
     threads.emplace_back([&, t] {
       Rng rng(options.seed * 1000003 + t);
+      // Recording clients observe the run through a private decorator; the
+      // history buffers are thread-confined, so there is no shared state on
+      // this path beyond the store itself.
+      std::unique_ptr<RecordingKv> recording;
+      if (options.recorder != nullptr && t < options.recorder->num_clients()) {
+        recording = std::make_unique<RecordingKv>(kv, options.recorder->Client(t));
+      }
+      TransactionalKv& client_kv = recording ? *recording : kv;
       while (running.load(std::memory_order_relaxed)) {
         Stopwatch sw;
-        Status st = workload.RunOne(kv, rng);
+        Status st = workload.RunOne(client_kv, rng);
         if (!measuring.load(std::memory_order_relaxed)) {
           continue;
         }
@@ -56,6 +66,16 @@ DriverResult RunWorkload(TransactionalKv& kv, Workload& workload,
   result.mean_latency_us = latencies.Mean();
   result.p50_latency_us = latencies.Percentile(0.5);
   result.p99_latency_us = latencies.Percentile(0.99);
+  if (options.recorder != nullptr) {
+    HistoryRecorder::Totals totals = options.recorder->totals();
+    result.attempts = totals.attempts;
+    result.retries = totals.aborted + totals.indeterminate;
+    result.aborts_per_committed_txn =
+        totals.committed == 0 ? 0
+                              : static_cast<double>(result.retries) /
+                                    static_cast<double>(totals.committed);
+    result.audit_trace_bytes = options.recorder->TraceBytes();
+  }
   return result;
 }
 

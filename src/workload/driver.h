@@ -10,11 +10,17 @@
 
 namespace obladi {
 
+class HistoryRecorder;
+
 struct DriverOptions {
   size_t num_threads = 8;
   uint64_t duration_ms = 2000;
   uint64_t warmup_ms = 200;
   uint64_t seed = 7;
+  // When set, thread t < recorder->num_clients() runs through a RecordingKv
+  // bound to recorder->Client(t), capturing the client-observable history
+  // (all attempts, warmup included) for offline serializability auditing.
+  HistoryRecorder* recorder = nullptr;
 };
 
 struct DriverResult {
@@ -24,6 +30,12 @@ struct DriverResult {
   double mean_latency_us = 0;
   uint64_t p50_latency_us = 0;
   uint64_t p99_latency_us = 0;
+  // Attempt-level accounting, recorder runs only (zero otherwise). Counts
+  // cover the whole run including warmup, unlike the measured fields above.
+  uint64_t attempts = 0;               // Begin() calls across all clients
+  uint64_t retries = 0;                // attempts that ended aborted/unacked
+  double aborts_per_committed_txn = 0; // retries / committed attempts
+  uint64_t audit_trace_bytes = 0;      // serialized size of the history
 };
 
 // Runs `workload` against `kv` from num_threads closed-loop clients for

@@ -1,0 +1,96 @@
+// audit_nemesis: runs the fault-injecting nemesis workload against a full
+// loopback deployment and writes the recorded client traces for audit_check.
+//
+//   audit_nemesis [--duration-ms=N] [--clients=N] [--shards=N]
+//                 [--zipf=THETA] [--fault-period-ms=N] [--seed=N]
+//                 [--no-storage-kill] [--no-proxy-crash]
+//                 [--data-dir=DIR] --trace-dir=DIR
+//
+// Prints run statistics (throughput, recoveries, restarts, trace bytes) and
+// exits 0 on a completed run; the serializability verdict is audit_check's
+// job, not this tool's.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/audit/nemesis.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: audit_nemesis [--duration-ms=N] [--clients=N] [--shards=N] "
+               "[--zipf=THETA]\n                     [--fault-period-ms=N] [--seed=N] "
+               "[--no-storage-kill] [--no-proxy-crash]\n                     "
+               "[--data-dir=DIR] --trace-dir=DIR\n");
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string& out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obladi::NemesisOptions options;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "duration-ms", value)) {
+      options.duration_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "clients", value)) {
+      options.num_clients = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "shards", value)) {
+      options.num_shards = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "zipf", value)) {
+      options.zipf_theta = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "fault-period-ms", value)) {
+      options.fault_period_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "seed", value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "data-dir", value)) {
+      options.data_dir = value;
+    } else if (ParseFlag(arg, "trace-dir", value)) {
+      options.trace_dir = value;
+    } else if (arg == "--no-storage-kill") {
+      options.kill_storage = false;
+    } else if (arg == "--no-proxy-crash") {
+      options.crash_proxy = false;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.trace_dir.empty()) {
+    return Usage();
+  }
+
+  auto result = obladi::RunNemesis(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "audit_nemesis: %s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "nemesis run complete: %.1f tps, %llu committed, %llu failed, "
+      "%llu attempts, %llu retries (%.3f aborts/committed)\n",
+      result->driver.throughput_tps,
+      static_cast<unsigned long long>(result->driver.committed),
+      static_cast<unsigned long long>(result->driver.failed),
+      static_cast<unsigned long long>(result->driver.attempts),
+      static_cast<unsigned long long>(result->driver.retries),
+      result->driver.aborts_per_committed_txn);
+  std::printf(
+      "faults: %llu storage restarts, %llu proxy recoveries; traces: %llu bytes "
+      "in %s (%llu txn records)\n",
+      static_cast<unsigned long long>(result->storage_restarts),
+      static_cast<unsigned long long>(result->proxy_recoveries),
+      static_cast<unsigned long long>(result->driver.audit_trace_bytes),
+      options.trace_dir.c_str(),
+      static_cast<unsigned long long>(result->history.txns.size()));
+  return 0;
+}
