@@ -13,7 +13,7 @@ namespace {
 // Measure writes with/without the dummiless-write optimization by comparing
 // a WriteBatch (dummiless) against read-then-write (what a generic ORAM
 // would do: every write costs a physical path read).
-void DummilessWrites(double scale, double seconds) {
+void DummilessWrites(double scale, double seconds, Json* doc) {
   uint64_t n = 20000;
   RingOramOptions options;
   options.parallel = true;
@@ -68,11 +68,12 @@ void DummilessWrites(double scale, double seconds) {
     table.Row({backend, Fmt(results[0]), Fmt(results[1]), Fmt(results[1] / results[0], 2)});
   }
   table.Print();
+  doc->Set("dummiless_writes", TableToJson(table));
 }
 
 // Quantify what the secure stash-caching rule costs versus the insecure
 // cache-everything variant on a skewed workload.
-void StashCachingRule(double scale, double seconds) {
+void StashCachingRule(double scale, double seconds, Json* doc) {
   uint64_t n = 20000;
   Table table("Ablation — §6.3 stash caching rule (hot workload, ops/s)");
   table.Columns({"backend", "secure(dummy reads)", "insecure(cache all)", "insecure_gain"});
@@ -114,6 +115,7 @@ void StashCachingRule(double scale, double seconds) {
     table.Row({backend, Fmt(results[0]), Fmt(results[1]), Fmt(results[1] / results[0], 2)});
   }
   table.Print();
+  doc->Set("stash_caching_rule", TableToJson(table));
   std::printf("note: the insecure variant skews the observable leaf distribution; see "
               "RingOramSecurityTest.CacheAllStashAblationSkipsPhysicalReads\n");
 }
@@ -121,8 +123,10 @@ void StashCachingRule(double scale, double seconds) {
 void Run() {
   double scale = BenchScale();
   double seconds = BenchSeconds();
-  DummilessWrites(scale, seconds);
-  StashCachingRule(scale, seconds);
+  Json doc = Json::Object().Set("bench", Json::Str("ablation_workred"));
+  DummilessWrites(scale, seconds, &doc);
+  StashCachingRule(scale, seconds, &doc);
+  WriteBenchJson("BENCH_ablation_workred.json", doc);
 }
 
 }  // namespace

@@ -87,6 +87,12 @@ void Run() {
   table.Row({"mean", Fmt(plain_sum / kTrials), Fmt(recorded_sum / kTrials),
              Fmt(mean_overhead, 2), FmtInt(trace_bytes / 1024)});
   table.Print();
+  WriteBenchJson("BENCH_audit_overhead.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("audit_overhead"))
+                     .Set("mean_overhead_pct", Json::Num(mean_overhead, 2))
+                     .Set("trace_kb", Json::Int(trace_bytes / 1024))
+                     .Set("table", TableToJson(table)));
   std::printf("acceptance bar: recording overhead <= 5%% of plain throughput "
               "(mean over %d interleaved trials: %.2f%%)\n",
               kTrials, mean_overhead);

@@ -10,10 +10,12 @@
 
 #include <malloc.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -105,6 +107,181 @@ inline MicroOram MakeMicroOram(const std::string& backend, uint64_t n, uint32_t 
   }
   env.store->SetBypass(false);
   return env;
+}
+
+// --- bench JSON emission ----------------------------------------------------
+//
+// Every bench binary writes a BENCH_<name>.json artifact through this one
+// builder, so CI scrapes a uniform format and schema changes happen in one
+// place. Insertion order is preserved (objects render keys in Set order).
+class Json {
+ public:
+  Json() = default;
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Str(std::string s) {
+    Json j(Kind::kString);
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json Bool(bool b) {
+    Json j(Kind::kBool);
+    j.num_ = b ? 1 : 0;
+    return j;
+  }
+  static Json Int(uint64_t v) {
+    Json j(Kind::kInt);
+    j.int_ = v;
+    return j;
+  }
+  // precision < 0 renders the shortest round-trippable form.
+  static Json Num(double v, int precision = -1) {
+    Json j(Kind::kNumber);
+    j.num_ = v;
+    j.precision_ = precision;
+    return j;
+  }
+
+  Json& Set(std::string key, Json value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Json& Push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out;
+    RenderTo(&out, 0);
+    return out;
+  }
+
+ private:
+  enum class Kind { kNull, kObject, kArray, kString, kBool, kInt, kNumber };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static void AppendEscaped(std::string* out, const std::string& s) {
+    for (char c : s) {
+      switch (c) {
+        case '"': *out += "\\\""; break;
+        case '\\': *out += "\\\\"; break;
+        case '\n': *out += "\\n"; break;
+        case '\t': *out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            *out += buf;
+          } else {
+            *out += c;
+          }
+      }
+    }
+  }
+
+  void RenderTo(std::string* out, int indent) const {
+    char buf[64];
+    switch (kind_) {
+      case Kind::kNull: *out += "null"; break;
+      case Kind::kBool: *out += num_ != 0 ? "true" : "false"; break;
+      case Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(int_));
+        *out += buf;
+        break;
+      case Kind::kNumber:
+        if (precision_ >= 0) {
+          std::snprintf(buf, sizeof(buf), "%.*f", precision_, num_);
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.10g", num_);
+        }
+        *out += buf;
+        break;
+      case Kind::kString:
+        *out += '"';
+        AppendEscaped(out, str_);
+        *out += '"';
+        break;
+      case Kind::kArray: {
+        if (items_.empty()) {
+          *out += "[]";
+          break;
+        }
+        *out += "[";
+        for (size_t i = 0; i < items_.size(); ++i) {
+          *out += i == 0 ? "\n" : ",\n";
+          out->append((indent + 1) * 2, ' ');
+          items_[i].RenderTo(out, indent + 1);
+        }
+        *out += "\n";
+        out->append(indent * 2, ' ');
+        *out += "]";
+        break;
+      }
+      case Kind::kObject: {
+        if (members_.empty()) {
+          *out += "{}";
+          break;
+        }
+        *out += "{";
+        for (size_t i = 0; i < members_.size(); ++i) {
+          *out += i == 0 ? "\n" : ",\n";
+          out->append((indent + 1) * 2, ' ');
+          *out += '"';
+          AppendEscaped(out, members_[i].first);
+          *out += "\": ";
+          members_[i].second.RenderTo(out, indent + 1);
+        }
+        *out += "\n";
+        out->append(indent * 2, ' ');
+        *out += "}";
+        break;
+      }
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  std::string str_;
+  double num_ = 0;
+  uint64_t int_ = 0;
+  int precision_ = -1;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+};
+
+inline bool WriteBenchJson(const std::string& path, const Json& root) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  std::string body = root.Render();
+  body += "\n";
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+// The printed Table, as JSON — the uniform fallback artifact for benches
+// whose headline numbers live in table cells rather than named fields.
+inline Json TableToJson(const Table& table) {
+  Json rows = Json::Array();
+  for (const auto& row : table.rows()) {
+    Json cells = Json::Array();
+    for (const auto& cell : row) {
+      cells.Push(Json::Str(cell));
+    }
+    rows.Push(std::move(cells));
+  }
+  Json columns = Json::Array();
+  for (const auto& h : table.headers()) {
+    columns.Push(Json::Str(h));
+  }
+  return Json::Object()
+      .Set("title", Json::Str(table.title()))
+      .Set("columns", std::move(columns))
+      .Set("rows", std::move(rows));
 }
 
 struct BatchRunResult {

@@ -197,32 +197,27 @@ CellResult RunCell(uint32_t shards, bool pipelined, double seconds, size_t num_c
 }
 
 void EmitJson(const std::vector<CellResult>& cells, double k1_speedup, double k4_speedup) {
-  FILE* f = std::fopen("BENCH_epoch_pipeline.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "could not write BENCH_epoch_pipeline.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"epoch_pipeline\",\n  \"service_time_us\": %llu,\n",
-               static_cast<unsigned long long>(kServiceTimeUs));
-  std::fprintf(f, "  \"cells\": [");
-  bool first = true;
+  Json cell_array = Json::Array();
   for (const CellResult& c : cells) {
-    std::fprintf(f,
-                 "%s\n    {\"shards\": %u, \"pipelined\": %s, \"txn_per_sec\": %.1f, "
-                 "\"epochs_per_sec\": %.1f, \"overlapped_frac\": %.2f, "
-                 "\"retire_stall_ms\": %.1f, \"max_inflight_stash_blocks\": %llu}",
-                 first ? "" : ",", c.shards, c.pipelined ? "true" : "false", c.tps,
-                 c.epochs_per_sec, c.overlapped_frac, c.stall_ms,
-                 static_cast<unsigned long long>(c.max_inflight_stash));
-    first = false;
+    cell_array.Push(Json::Object()
+                        .Set("shards", Json::Int(c.shards))
+                        .Set("pipelined", Json::Bool(c.pipelined))
+                        .Set("txn_per_sec", Json::Num(c.tps, 1))
+                        .Set("epochs_per_sec", Json::Num(c.epochs_per_sec, 1))
+                        .Set("overlapped_frac", Json::Num(c.overlapped_frac, 2))
+                        .Set("retire_stall_ms", Json::Num(c.stall_ms, 1))
+                        .Set("max_inflight_stash_blocks", Json::Int(c.max_inflight_stash)));
   }
-  std::fprintf(f, "\n  ],\n");
-  std::fprintf(f, "  \"k1_speedup\": %.2f,\n  \"k4_speedup\": %.2f\n}\n", k1_speedup,
-               k4_speedup);
-  std::fclose(f);
-  std::printf("wrote BENCH_epoch_pipeline.json (pipelined vs serial: %.2fx at K=1, "
-              "%.2fx at K=4)\n",
-              k1_speedup, k4_speedup);
+  Json root = Json::Object()
+                  .Set("bench", Json::Str("epoch_pipeline"))
+                  .Set("service_time_us", Json::Int(kServiceTimeUs))
+                  .Set("cells", std::move(cell_array))
+                  .Set("k1_speedup", Json::Num(k1_speedup, 2))
+                  .Set("k4_speedup", Json::Num(k4_speedup, 2));
+  if (WriteBenchJson("BENCH_epoch_pipeline.json", root)) {
+    std::printf("pipelined vs serial: %.2fx at K=1, %.2fx at K=4\n", k1_speedup,
+                k4_speedup);
+  }
 }
 
 void Run() {

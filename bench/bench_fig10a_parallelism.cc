@@ -41,6 +41,10 @@ void Run() {
                Fmt(results[1] / results[0], 2), Fmt(results[2] / results[0], 2)});
   }
   table.Print();
+  WriteBenchJson("BENCH_fig10a_parallelism.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("fig10a_parallelism"))
+                     .Set("table", TableToJson(table)));
   std::printf("paper shape: dummy slows down under parallelism; speedup grows with "
               "storage latency (server < dynamo < WAN)\n");
 }

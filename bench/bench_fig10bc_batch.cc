@@ -60,6 +60,11 @@ void Run() {
   }
   tput.Print();
   lat.Print();
+  WriteBenchJson("BENCH_fig10bc_batch.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("fig10bc_batch"))
+                     .Set("throughput", TableToJson(tput))
+                     .Set("latency", TableToJson(lat)));
   std::printf("paper shape: throughput rises with batch size then plateaus; dynamo "
               "saturates earliest; latency grows slowly until saturation\n");
 }

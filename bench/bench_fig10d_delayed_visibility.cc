@@ -38,6 +38,10 @@ void Run() {
     table.Row({backend, Fmt(results[0]), Fmt(results[1]), Fmt(results[1] / results[0], 2)});
   }
   table.Print();
+  WriteBenchJson("BENCH_fig10d_delayed_visibility.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("fig10d_delayed_visibility"))
+                     .Set("table", TableToJson(table)));
   std::printf("paper shape: ~1.5x on server/dynamo, ~1.6x on WAN, ~1.1x on dummy\n");
 }
 

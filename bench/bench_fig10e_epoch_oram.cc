@@ -58,6 +58,10 @@ void Run() {
     table.Row(row);
   }
   table.Print();
+  WriteBenchJson("BENCH_fig10e_epoch_oram.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("fig10e_epoch_oram"))
+                     .Set("table", TableToJson(table)));
   std::printf("paper shape: throughput grows ~logarithmically with epoch size; physical "
               "requests per logical op fall (paper: 41 -> 24 from 1 to 8 batches)\n");
 }

@@ -75,6 +75,10 @@ void Run() {
     table.Row(row);
   }
   table.Print();
+  WriteBenchJson("BENCH_fig10f_epoch_proxy.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("fig10f_epoch_proxy"))
+                     .Set("table", TableToJson(table)));
   std::printf("paper shape: unimodal — too-short epochs abort long transactions, "
               "too-long epochs idle\n");
   std::printf("pipeline: epoch N's ORAM write-back retires in the background while epoch "

@@ -86,6 +86,10 @@ void Run() {
     table.Row(row);
   }
   table.Print();
+  WriteBenchJson("BENCH_fig11a_checkpoint.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("fig11a_checkpoint"))
+                     .Set("table", TableToJson(table)));
   std::printf("paper shape: throughput rises then flattens as full checkpoints become "
               "rarer (deltas dominate)\n");
 }

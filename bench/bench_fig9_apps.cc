@@ -60,6 +60,11 @@ void Run() {
   }
   tput.Print();
   lat.Print();
+  WriteBenchJson("BENCH_fig9_apps.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("fig9_apps"))
+                     .Set("throughput", TableToJson(tput))
+                     .Set("latency", TableToJson(lat)));
   std::printf("paper shape: Obladi within ~4-12x of NoPriv throughput; latency 20-70x "
               "higher; WAN hurts Obladi comparatively little\n");
 }

@@ -281,40 +281,37 @@ std::map<size_t, double> RunAsyncSweep(uint16_t port, bool full) {
 
 void EmitJson(const std::map<size_t, double>& async_rps, const std::map<size_t, double>& pool_rps,
               const GcProbeResult& gc) {
-  FILE* f = std::fopen("BENCH_net_async.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "could not write BENCH_net_async.json\n");
-    return;
-  }
   double serial = async_rps.count(1) ? async_rps.at(1) : 0;
   double async64 = async_rps.count(64) ? async_rps.at(64) : 0;
   double pool16 = pool_rps.count(16) ? pool_rps.at(16) : 0;
-  std::fprintf(f, "{\n  \"bench\": \"net_async\",\n  \"service_time_us\": 1000,\n");
-  std::fprintf(f, "  \"async_sweep\": [");
-  bool first = true;
+  Json async_sweep = Json::Array();
   for (const auto& [outstanding, rps] : async_rps) {
-    std::fprintf(f, "%s\n    {\"outstanding\": %zu, \"reads_per_sec\": %.1f}",
-                 first ? "" : ",", outstanding, rps);
-    first = false;
+    async_sweep.Push(Json::Object()
+                         .Set("outstanding", Json::Int(outstanding))
+                         .Set("reads_per_sec", Json::Num(rps, 1)));
   }
-  std::fprintf(f, "\n  ],\n  \"pool_sweep\": [");
-  first = true;
+  Json pool_sweep = Json::Array();
   for (const auto& [pool, rps] : pool_rps) {
-    std::fprintf(f, "%s\n    {\"pool\": %zu, \"reads_per_sec\": %.1f}", first ? "" : ",",
-                 pool, rps);
-    first = false;
+    pool_sweep.Push(
+        Json::Object().Set("pool", Json::Int(pool)).Set("reads_per_sec", Json::Num(rps, 1)));
   }
-  std::fprintf(f, "\n  ],\n");
-  std::fprintf(f, "  \"serial_reads_per_sec\": %.1f,\n", serial);
-  std::fprintf(f, "  \"pool16_reads_per_sec\": %.1f,\n", pool16);
-  std::fprintf(f, "  \"async64_reads_per_sec\": %.1f,\n", async64);
-  std::fprintf(f, "  \"async64_vs_serial\": %.2f,\n", serial > 0 ? async64 / serial : 0);
-  std::fprintf(f, "  \"async64_vs_pool16\": %.2f,\n", pool16 > 0 ? async64 / pool16 : 0);
-  std::fprintf(f, "  \"gc_shards\": %u,\n  \"gc_round_trips\": %llu,\n  \"gc_buckets\": %u\n}\n",
-               gc.shards, static_cast<unsigned long long>(gc.round_trips), gc.buckets);
-  std::fclose(f);
-  std::printf("wrote BENCH_net_async.json (async64 %.0f reads/s = %.1fx serial, %.2fx pool16)\n",
-              async64, serial > 0 ? async64 / serial : 0, pool16 > 0 ? async64 / pool16 : 0);
+  Json root = Json::Object()
+                  .Set("bench", Json::Str("net_async"))
+                  .Set("service_time_us", Json::Int(1000))
+                  .Set("async_sweep", std::move(async_sweep))
+                  .Set("pool_sweep", std::move(pool_sweep))
+                  .Set("serial_reads_per_sec", Json::Num(serial, 1))
+                  .Set("pool16_reads_per_sec", Json::Num(pool16, 1))
+                  .Set("async64_reads_per_sec", Json::Num(async64, 1))
+                  .Set("async64_vs_serial", Json::Num(serial > 0 ? async64 / serial : 0, 2))
+                  .Set("async64_vs_pool16", Json::Num(pool16 > 0 ? async64 / pool16 : 0, 2))
+                  .Set("gc_shards", Json::Int(gc.shards))
+                  .Set("gc_round_trips", Json::Int(gc.round_trips))
+                  .Set("gc_buckets", Json::Int(gc.buckets));
+  if (WriteBenchJson("BENCH_net_async.json", root)) {
+    std::printf("async64 %.0f reads/s = %.1fx serial, %.2fx pool16\n", async64,
+                serial > 0 ? async64 / serial : 0, pool16 > 0 ? async64 / pool16 : 0);
+  }
 }
 
 void Run() {

@@ -144,6 +144,12 @@ void Run() {
                Fmt(zipf), Fmt(zipf / uniform, 2), Fmt(uniform / base_uniform, 2)});
   }
   table.Print();
+  WriteBenchJson("BENCH_shard_scaling.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("shard_scaling"))
+                     .Set("table", TableToJson(table))
+                     .Set("k4_vs_k1_uniform",
+                          Json::Num(k1_uniform > 0 ? k4_uniform / k1_uniform : 0, 2)));
   std::printf("expected shape: speedup grows with K (smaller trees + K connection pools "
               "+ overlapped flushes); zipf/uniform ~1.0 at every K (quota padding makes "
               "cost workload independent).\n");

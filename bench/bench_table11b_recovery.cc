@@ -171,6 +171,10 @@ void Run() {
                Fmt(r.paths_ms, 2)});
   }
   table.Print();
+  WriteBenchJson("BENCH_table11b_recovery.json",
+                 Json::Object()
+                     .Set("bench", Json::Str("table11b_recovery"))
+                     .Set("table", TableToJson(table)));
   std::printf("paper shape: levels 7/11/14; slowdown ~0.83-0.89; Pos/Perm grow with N; "
               "Paths grows with tree depth only. Set OBLADI_BENCH_FULL=1 for the 1M row.\n");
 }

@@ -338,33 +338,29 @@ BandwidthResult RunBandwidthCapped(bool full) {
 
 void EmitJson(const PathBytesResult& path, const OramWireResult& wire,
               const BandwidthResult& bw) {
-  FILE* f = std::fopen("BENCH_xor_read.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "could not write BENCH_xor_read.json\n");
-    return;
-  }
   double path_reduction = path.xor_per_path > 0 ? path.plain_per_path / path.xor_per_path : 0;
   double bw_speedup =
       bw.plain_ops_per_sec > 0 ? bw.xor_ops_per_sec / bw.plain_ops_per_sec : 0;
-  std::fprintf(f, "{\n  \"bench\": \"xor_read\",\n");
-  std::fprintf(f, "  \"path_len\": %zu,\n  \"slot_bytes\": %zu,\n", path.path_len,
-               path.slot_bytes);
-  std::fprintf(f, "  \"plain_bytes_per_path\": %.1f,\n", path.plain_per_path);
-  std::fprintf(f, "  \"xor_bytes_per_path\": %.1f,\n", path.xor_per_path);
-  std::fprintf(f, "  \"path_bytes_reduction\": %.2f,\n", path_reduction);
-  std::fprintf(f, "  \"path_bytes_bound_ok\": %s,\n", path.bound_ok ? "true" : "false");
-  std::fprintf(f, "  \"oram_bytes_per_access_plain\": %.1f,\n", wire.plain_bytes_per_access);
-  std::fprintf(f, "  \"oram_bytes_per_access_xor\": %.1f,\n", wire.xor_bytes_per_access);
-  std::fprintf(f, "  \"oram_xor_path_reads\": %llu,\n",
-               static_cast<unsigned long long>(wire.xor_paths));
-  std::fprintf(f, "  \"bandwidth_bytes_per_sec\": %llu,\n",
-               static_cast<unsigned long long>(bw.bandwidth_bytes_per_sec));
-  std::fprintf(f, "  \"bw_capped_ops_per_sec_plain\": %.1f,\n", bw.plain_ops_per_sec);
-  std::fprintf(f, "  \"bw_capped_ops_per_sec_xor\": %.1f,\n", bw.xor_ops_per_sec);
-  std::fprintf(f, "  \"bw_capped_speedup\": %.2f\n}\n", bw_speedup);
-  std::fclose(f);
-  std::printf("wrote BENCH_xor_read.json (%.1fx fewer bytes/path, %.2fx on the capped link)\n",
-              path_reduction, bw_speedup);
+  Json root =
+      Json::Object()
+          .Set("bench", Json::Str("xor_read"))
+          .Set("path_len", Json::Int(path.path_len))
+          .Set("slot_bytes", Json::Int(path.slot_bytes))
+          .Set("plain_bytes_per_path", Json::Num(path.plain_per_path, 1))
+          .Set("xor_bytes_per_path", Json::Num(path.xor_per_path, 1))
+          .Set("path_bytes_reduction", Json::Num(path_reduction, 2))
+          .Set("path_bytes_bound_ok", Json::Bool(path.bound_ok))
+          .Set("oram_bytes_per_access_plain", Json::Num(wire.plain_bytes_per_access, 1))
+          .Set("oram_bytes_per_access_xor", Json::Num(wire.xor_bytes_per_access, 1))
+          .Set("oram_xor_path_reads", Json::Int(wire.xor_paths))
+          .Set("bandwidth_bytes_per_sec", Json::Int(bw.bandwidth_bytes_per_sec))
+          .Set("bw_capped_ops_per_sec_plain", Json::Num(bw.plain_ops_per_sec, 1))
+          .Set("bw_capped_ops_per_sec_xor", Json::Num(bw.xor_ops_per_sec, 1))
+          .Set("bw_capped_speedup", Json::Num(bw_speedup, 2));
+  if (WriteBenchJson("BENCH_xor_read.json", root)) {
+    std::printf("%.1fx fewer bytes/path, %.2fx on the capped link\n", path_reduction,
+                bw_speedup);
+  }
 }
 
 void Run() {

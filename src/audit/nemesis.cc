@@ -52,6 +52,9 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
   config.recovery.enabled = true;
   config.recovery.full_checkpoint_interval = 4;
   config.oram_options.io_threads = 8;
+  // The run's final state is dumped as metrics JSON (and feeds the
+  // heartbeat), so the registry is always on here.
+  config.obs.metrics = true;
 
   const size_t store_buckets = config.StoreBuckets();
   const size_t slots_per_bucket = config.MakeLayout().shard_config.slots_per_bucket();
@@ -164,6 +167,37 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
     }
   });
 
+  // Liveness heartbeat: fault injection makes long runs look hung from the
+  // outside (commits stall during recovery), so narrate progress. Reads
+  // only proxy.stats() — the ORAM object is replaced across recoveries.
+  std::thread heartbeat;
+  const uint64_t run_start_us = NowMicros();
+  if (options.heartbeat_ms > 0) {
+    heartbeat = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (uint64_t waited = 0;
+             waited < options.heartbeat_ms && !stop.load(std::memory_order_relaxed);
+             waited += 10) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (stop.load(std::memory_order_relaxed)) {
+          return;
+        }
+        ObladiStats s = proxy.stats();
+        std::printf(
+            "[nemesis %6.1fs] epochs=%llu committed=%llu aborted=%llu "
+            "proxy_recoveries=%llu storage_restarts=%llu\n",
+            static_cast<double>(NowMicros() - run_start_us) / 1e6,
+            static_cast<unsigned long long>(s.epochs),
+            static_cast<unsigned long long>(s.txn_committed),
+            static_cast<unsigned long long>(s.txn_aborted),
+            static_cast<unsigned long long>(proxy_recoveries.load()),
+            static_cast<unsigned long long>(storage_restarts.load()));
+        std::fflush(stdout);
+      }
+    });
+  }
+
   DriverOptions driver_opts;
   driver_opts.num_threads = options.num_clients;
   driver_opts.duration_ms = options.duration_ms;
@@ -176,6 +210,25 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
 
   stop.store(true);
   nemesis.join();
+  if (heartbeat.joinable()) {
+    heartbeat.join();
+  }
+  // Final metrics snapshot before teardown, next to the traces by default.
+  std::string metrics_path = options.metrics_out;
+  if (metrics_path.empty() && !options.trace_dir.empty()) {
+    metrics_path = options.trace_dir + "/nemesis_metrics.json";
+  }
+  if (!metrics_path.empty() && metrics_path != "-" && proxy.metrics() != nullptr) {
+    OBLADI_RETURN_IF_ERROR(EnsureDir(options.trace_dir.empty() ? options.data_dir
+                                                               : options.trace_dir));
+    Status wrote = proxy.metrics()->WriteJsonLines(metrics_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "nemesis: metrics dump failed: %s\n",
+                   wrote.ToString().c_str());
+    } else {
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
+  }
   proxy.Stop();
   if (server != nullptr) {
     server->Stop();

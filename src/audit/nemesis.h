@@ -44,6 +44,12 @@ struct NemesisOptions {
   std::string data_dir = "/tmp/obladi_nemesis";
   // When non-empty, the recorded traces are written here for audit_check.
   std::string trace_dir;
+  // When > 0, a progress line (epochs, commits, recoveries) is printed every
+  // heartbeat_ms so long runs are observably alive, not hung.
+  uint64_t heartbeat_ms = 0;
+  // Final proxy metrics as JSON lines. Empty with a trace_dir set defaults
+  // to <trace_dir>/nemesis_metrics.json; "-" disables the dump.
+  std::string metrics_out;
   uint64_t seed = 7;
 };
 

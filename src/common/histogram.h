@@ -9,6 +9,21 @@
 
 namespace obladi {
 
+// One consistent cut of a Histogram: every field computed from the same
+// sample set under one lock acquisition (per-accessor calls can interleave
+// with writers between them; Summary() cannot).
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double mean = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
 // Thread-safe collection of sample values (microseconds, counts, ...).
 class Histogram {
  public:
@@ -50,11 +65,32 @@ class Histogram {
     }
     std::vector<uint64_t> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
-    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
-    if (idx >= sorted.size()) {
-      idx = sorted.size() - 1;
+    return PickPercentile(sorted, q);
+  }
+
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P90() const { return Percentile(0.90); }
+  uint64_t P99() const { return Percentile(0.99); }
+  uint64_t P999() const { return Percentile(0.999); }
+
+  HistogramSummary Summary() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    HistogramSummary s;
+    if (samples_.empty()) {
+      return s;
     }
-    return sorted[idx];
+    std::vector<uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.sum = sum_;
+    s.mean = static_cast<double>(sum_) / static_cast<double>(sorted.size());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.p50 = PickPercentile(sorted, 0.50);
+    s.p90 = PickPercentile(sorted, 0.90);
+    s.p99 = PickPercentile(sorted, 0.99);
+    s.p999 = PickPercentile(sorted, 0.999);
+    return s;
   }
 
   uint64_t Max() const {
@@ -72,6 +108,14 @@ class Histogram {
   }
 
  private:
+  static uint64_t PickPercentile(const std::vector<uint64_t>& sorted, double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    if (idx >= sorted.size()) {
+      idx = sorted.size() - 1;
+    }
+    return sorted[idx];
+  }
+
   mutable std::mutex mu_;
   std::vector<uint64_t> samples_;
   uint64_t sum_ = 0;

@@ -53,6 +53,11 @@ class Table {
     std::fflush(stdout);
   }
 
+  // Accessors for machine-readable emission (bench JSON artifacts).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> headers_;

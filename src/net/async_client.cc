@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "src/common/clock.h"
+#include "src/obs/trace.h"
+
 namespace obladi {
 
 // --- NetFuture --------------------------------------------------------------
@@ -154,6 +157,14 @@ void AsyncNetClient::Submit(NetRequest req, ResponseCallback done) {
 void AsyncNetClient::SubmitEncoded(MsgType type, uint64_t id, const Bytes& payload,
                                    Pending p) {
   p.type = type;
+  Tracer& tracer = Tracer::Get();
+  uint64_t inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tracer.enabled()) {
+    // Submit->complete latency span, recorded at completion (rpc category,
+    // named by message type).
+    p.submit_ns = NowNanos();
+    tracer.RecordCounter("net", "net.rpc_inflight", inflight);
+  }
   size_t s = next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
   Slot& slot = *slots_[s];
 
@@ -317,6 +328,15 @@ void AsyncNetClient::FailPendingsOf(size_t s, uint64_t generation, const Status&
 }
 
 void AsyncNetClient::Complete(Pending&& p, StatusOr<NetResponse> result) {
+  uint64_t inflight = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (p.submit_ns != 0) {
+    Tracer& tracer = Tracer::Get();
+    if (tracer.enabled()) {
+      tracer.RecordSpan("rpc", MsgTypeName(p.type), p.submit_ns,
+                        NowNanos() - p.submit_ns);
+      tracer.RecordCounter("net", "net.rpc_inflight", inflight);
+    }
+  }
   if (p.callback) {
     p.callback(std::move(result));
     return;

@@ -139,6 +139,7 @@ class AsyncNetClient {
     MsgType type = MsgType::kPing;
     size_t slot = 0;
     uint64_t generation = 0;
+    uint64_t submit_ns = 0;  // 0 unless the tracer was enabled at submit
     // Exactly one of fut / cq / callback is set.
     std::shared_ptr<NetFuture::State> fut;
     CompletionQueue* cq = nullptr;
@@ -159,6 +160,9 @@ class AsyncNetClient {
   EventLoop loop_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> next_slot_{0};
+  // RPCs submitted but not yet completed (every Pending passes through
+  // Complete exactly once, so the pair balances on all paths).
+  std::atomic<uint64_t> inflight_{0};
   NetworkStats stats_;
 
   std::vector<std::unique_ptr<Slot>> slots_;

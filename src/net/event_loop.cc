@@ -11,6 +11,8 @@
 #include <limits>
 #include <vector>
 
+#include "src/obs/trace.h"
+
 namespace obladi {
 namespace {
 
@@ -149,6 +151,7 @@ Status EventLoop::SendFrame(uint64_t conn_id, const Bytes& payload) {
   }
   Bytes buf = FrameBuffer(payload);
   bool fatal = false;
+  size_t queued_after = 0;
   {
     std::unique_lock<std::mutex> lk(conn->mu);
     // Backpressure: hold the submitter here until the loop drains the queue
@@ -189,6 +192,13 @@ Status EventLoop::SendFrame(uint64_t conn_id, const Bytes& payload) {
       conn->wq_bytes += buf.size();
       conn->wq.push_back(std::move(buf));
       UpdateInterestLocked(conn_id, *conn);
+    }
+    queued_after = conn->wq_bytes;
+  }
+  {
+    Tracer& tracer = Tracer::Get();
+    if (tracer.enabled()) {
+      tracer.RecordCounter("net", "net.queued_bytes", queued_after);
     }
   }
   if (fatal) {
@@ -357,6 +367,7 @@ void EventLoop::KillConnection(uint64_t id, const std::shared_ptr<Conn>& conn,
 }
 
 void EventLoop::LoopThread() {
+  Tracer::Get().SetThreadName("net-event-loop");
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_.load(std::memory_order_acquire)) {

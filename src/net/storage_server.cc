@@ -2,7 +2,12 @@
 
 #include <sys/socket.h>
 
+#include <cstdio>
 #include <utility>
+
+#include "src/common/clock.h"
+#include "src/obs/exporters.h"
+#include "src/obs/trace.h"
 
 namespace obladi {
 
@@ -22,6 +27,36 @@ Status StorageServer::Start() {
   }
   listener_ = std::move(*listener);
   workers_ = std::make_unique<ThreadPool>(options_.num_workers);
+  if (options_.admin_listener && metrics_ == nullptr) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_->AddSource(
+        [this](MetricsSink& sink) { ExportStorageServerStats(sink, stats_, {}); });
+    // One service-time summary per request type, pre-registered so the
+    // per-request lookup is a plain array index.
+    for (uint8_t t = 1; t < op_histograms_.size(); ++t) {
+      MsgType type = static_cast<MsgType>(t);
+      if (type == MsgType::kResponse) {
+        continue;
+      }
+      const char* name = MsgTypeName(type);
+      if (name == nullptr) {
+        continue;
+      }
+      op_histograms_[t] = &metrics_->GetHistogram(
+          "server_op_service_time_us", {{"op", name}}, "per-op service time (us)");
+    }
+    AdminServerOptions opts;
+    opts.host = options_.admin_host;
+    opts.port = options_.admin_port;
+    admin_ = std::make_unique<AdminServer>(opts, metrics_.get());
+    Status st = admin_->Start();
+    if (!st.ok()) {
+      // A busy admin port must not take the storage node down.
+      std::fprintf(stderr, "[obs] storage admin listener failed to start: %s\n",
+                   st.message().c_str());
+      admin_.reset();
+    }
+  }
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -54,6 +89,7 @@ void StorageServer::Stop() {
   }
   workers_.reset();
   listener_.Close();
+  admin_.reset();  // stop scrapes before a restart rebinds the port
 }
 
 void StorageServer::AcceptLoop() {
@@ -159,7 +195,18 @@ void StorageServer::ReadLoop(const std::shared_ptr<ConnState>& conn) {
 
 void StorageServer::ServeRequest(const std::shared_ptr<ConnState>& conn, NetRequest req,
                                  uint64_t seq) {
-  NetResponse resp = Handle(req);
+  size_t op = static_cast<size_t>(req.type);
+  Histogram* service_time =
+      op < op_histograms_.size() ? op_histograms_[op] : nullptr;
+  uint64_t start_us = service_time != nullptr ? NowMicros() : 0;
+  NetResponse resp;
+  {
+    OBS_SPAN("server", MsgTypeName(req.type));
+    resp = Handle(req);
+  }
+  if (service_time != nullptr) {
+    service_time->Record(NowMicros() - start_us);
+  }
   stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
   SendResponse(*conn, resp, seq);
   {

@@ -23,6 +23,7 @@
 #ifndef OBLADI_SRC_NET_STORAGE_SERVER_H_
 #define OBLADI_SRC_NET_STORAGE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -35,6 +36,8 @@
 #include "src/common/thread_pool.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
+#include "src/obs/admin_server.h"
+#include "src/obs/metrics.h"
 #include "src/storage/bucket_store.h"
 
 namespace obladi {
@@ -48,6 +51,12 @@ struct StorageServerOptions {
   // busy. Provision it to the storage node's parallelism.
   size_t num_workers = 16;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Optional Prometheus scrape listener (GET /metrics): per-op service-time
+  // summaries plus the counters in StorageServerStats. Off by default —
+  // enabling it adds one histogram record per request served.
+  bool admin_listener = false;
+  std::string admin_host = "127.0.0.1";
+  uint16_t admin_port = 0;  // 0 = ephemeral; read back via admin_port()
 };
 
 struct StorageServerStats {
@@ -81,6 +90,9 @@ class StorageServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
   uint16_t port() const { return listener_.port(); }
   const StorageServerStats& stats() const { return stats_; }
+  // Null/0 unless options.admin_listener is set (and the listener bound).
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
 
  private:
   // Per-connection state shared between the reader thread and the worker
@@ -130,6 +142,13 @@ class StorageServer {
   std::unordered_set<int> live_fds_;
 
   StorageServerStats stats_;
+
+  // Scrape plumbing (admin_listener only). Histogram pointers are stable
+  // for the registry's lifetime; indexed by MsgType value for a lock-free
+  // per-request lookup.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::array<Histogram*, 16> op_histograms_{};
+  std::unique_ptr<AdminServer> admin_;
 };
 
 }  // namespace obladi

@@ -1,0 +1,134 @@
+#include "src/obs/admin_server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace obladi {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+// Reads until the header terminator (we ignore any body: every admin
+// endpoint is a GET) or the size cap.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return false;
+    }
+    head->append(buf, static_cast<size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// "GET /metrics HTTP/1.1" -> "/metrics" (query strings stripped).
+std::string ParseRequestPath(const std::string& head) {
+  size_t sp1 = head.find(' ');
+  if (sp1 == std::string::npos) {
+    return "";
+  }
+  size_t sp2 = head.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    return "";
+  }
+  std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t q = path.find('?');
+  if (q != std::string::npos) {
+    path.resize(q);
+  }
+  return path;
+}
+
+void SendHttp(TcpSocket& sock, int code, const char* reason,
+              const std::string& content_type, const std::string& body) {
+  std::string head = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (!sock.SendAll(reinterpret_cast<const uint8_t*>(head.data()), head.size()).ok()) {
+    return;
+  }
+  (void)sock.SendAll(reinterpret_cast<const uint8_t*>(body.data()), body.size());
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options, const MetricsRegistry* registry)
+    : options_(std::move(options)), registry_(registry) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::AddHandler(std::string path, std::string content_type,
+                             std::function<std::string()> producer) {
+  handlers_.push_back({std::move(path), std::move(content_type), std::move(producer)});
+}
+
+Status AdminServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("admin server already running");
+  }
+  auto listener = TcpListener::Listen(options_.host, options_.port);
+  OBLADI_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  listener_.Shutdown();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void AdminServer::ServeLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      // Stop() shut the listener down, or a transient accept error — back
+      // off instead of spinning a core on a persistent failure.
+      if (running_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      continue;
+    }
+    ServeOne(std::move(*conn));
+  }
+}
+
+void AdminServer::ServeOne(TcpSocket sock) {
+  std::string head;
+  if (!ReadRequestHead(sock.fd(), &head)) {
+    return;
+  }
+  std::string path = ParseRequestPath(head);
+  if (path == "/healthz") {
+    SendHttp(sock, 200, "OK", "text/plain", "ok\n");
+    return;
+  }
+  if (path == "/metrics" && registry_ != nullptr) {
+    SendHttp(sock, 200, "OK", "text/plain; version=0.0.4", registry_->PrometheusText());
+    return;
+  }
+  for (const Handler& h : handlers_) {
+    if (h.path == path) {
+      SendHttp(sock, 200, "OK", h.content_type, h.producer());
+      return;
+    }
+  }
+  SendHttp(sock, 404, "Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace obladi

@@ -1,0 +1,70 @@
+// Minimal HTTP/1.0 admin listener for live scrapes: GET /metrics returns
+// the registry's Prometheus text, GET /healthz returns "ok", and any
+// handler registered with AddHandler serves its path. One request per
+// connection (Connection: close), served sequentially by a single accept
+// thread — scrapes are rare and the handlers snapshot, so there is nothing
+// to parallelize and no worker pool to manage.
+#ifndef OBLADI_SRC_OBS_ADMIN_SERVER_H_
+#define OBLADI_SRC_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/socket.h"
+#include "src/obs/metrics.h"
+
+namespace obladi {
+
+struct AdminServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read back via port()
+};
+
+class AdminServer {
+ public:
+  // `registry` may be nullptr (then /metrics 404s); it must outlive the
+  // server.
+  AdminServer(AdminServerOptions options, const MetricsRegistry* registry);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return listener_.port(); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Registers an extra GET endpoint. The producer runs on the accept
+  // thread per request. Call before Start().
+  void AddHandler(std::string path, std::string content_type,
+                  std::function<std::string()> producer);
+
+ private:
+  void ServeLoop();
+  void ServeOne(TcpSocket sock);
+
+  AdminServerOptions options_;
+  const MetricsRegistry* registry_;
+  struct Handler {
+    std::string path;
+    std::string content_type;
+    std::function<std::string()> producer;
+  };
+  std::vector<Handler> handlers_;
+
+  TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_OBS_ADMIN_SERVER_H_

@@ -1,0 +1,107 @@
+#include "src/obs/exporters.h"
+
+namespace obladi {
+
+void ExportObladiStats(MetricsSink& sink, const ObladiStats& s,
+                       const MetricLabels& labels) {
+  sink.Counter("obladi_epochs_total", labels, s.epochs, "epochs closed");
+  sink.Counter("obladi_read_batches_total", labels, s.read_batches, "read batches dispatched");
+  sink.Counter("obladi_cache_hits_total", labels, s.cache_hits,
+               "reads served from the version cache");
+  sink.Counter("obladi_oram_fetches_total", labels, s.oram_fetches,
+               "deduplicated batch slots used");
+  sink.Counter("obladi_fetch_dedups_total", labels, s.fetch_dedups,
+               "reads coalesced onto an in-flight fetch");
+  sink.Counter("obladi_batch_overflow_aborts_total", labels, s.batch_overflow_aborts,
+               "transactions aborted on batch overflow");
+  sink.Counter("obladi_recoveries_total", labels, s.recoveries, "crash recoveries");
+  sink.Counter("obladi_epochs_overlapped_total", labels, s.epochs_overlapped,
+               "epochs that ran while their predecessor was still retiring");
+  sink.Counter("obladi_retire_stall_us_total", labels, s.retire_stall_us,
+               "close-step time spent waiting on the previous retirement");
+  sink.Gauge("obladi_max_inflight_stash_blocks", labels,
+             static_cast<double>(s.max_inflight_stash_blocks),
+             "peak stash + retiring blocks");
+  sink.Counter("obladi_txn_begun_total", labels, s.txn_begun, "transactions begun");
+  sink.Counter("obladi_txn_committed_total", labels, s.txn_committed,
+               "transactions committed");
+  sink.Counter("obladi_txn_aborted_total", labels, s.txn_aborted,
+               "transactions aborted (all causes)");
+  sink.Gauge("obladi_aborts_per_committed_txn", labels, s.aborts_per_committed_txn,
+             "abort/commit ratio");
+}
+
+void ExportRingOramStats(MetricsSink& sink, const RingOramStats& s,
+                         const MetricLabels& labels) {
+  sink.Counter("oram_logical_accesses_total", labels, s.logical_accesses,
+               "logical block accesses (real + padding)");
+  sink.Counter("oram_physical_slot_reads_total", labels, s.physical_slot_reads,
+               "slot reads issued to storage");
+  sink.Counter("oram_physical_bucket_writes_total", labels, s.physical_bucket_writes,
+               "bucket writes issued to storage");
+  sink.Counter("oram_planned_bucket_rewrites_total", labels, s.planned_bucket_rewrites,
+               "pre-dedup bucket rewrite count");
+  sink.Counter("oram_evictions_total", labels, s.evictions, "scheduled evictions");
+  sink.Counter("oram_early_reshuffles_total", labels, s.early_reshuffles,
+               "early reshuffles");
+  sink.Counter("oram_buffered_bucket_skips_total", labels, s.buffered_bucket_skips,
+               "path levels served from the epoch buffer");
+  sink.Counter("oram_retiring_bucket_skips_total", labels, s.retiring_bucket_skips,
+               "path levels served from a retiring bucket");
+  sink.Counter("oram_xor_path_reads_total", labels, s.xor_path_reads,
+               "path reads fetched via kReadPathsXor");
+  sink.Counter("oram_stash_cache_skips_total", labels, s.stash_cache_skips,
+               "accesses skipped by cache_all_stash");
+  sink.Counter("oram_flush_plan_us_total", labels, s.flush_plan_us,
+               "epoch flush planning time");
+  sink.Counter("oram_materialize_us_total", labels, s.materialize_us,
+               "epoch encrypt + bucket write time");
+  sink.Counter("oram_write_drain_us_total", labels, s.write_drain_us,
+               "epoch write drain wait time");
+}
+
+void ExportNetworkStats(MetricsSink& sink, const NetworkStats& s,
+                        const MetricLabels& labels) {
+  sink.Counter("net_reads_total", labels, s.reads.load(std::memory_order_relaxed),
+               "storage read ops");
+  sink.Counter("net_writes_total", labels, s.writes.load(std::memory_order_relaxed),
+               "storage write ops");
+  sink.Counter("net_round_trips_total", labels,
+               s.round_trips.load(std::memory_order_relaxed), "storage round trips");
+  sink.Counter("net_bytes_read_total", labels,
+               s.bytes_read.load(std::memory_order_relaxed), "payload bytes read");
+  sink.Counter("net_bytes_written_total", labels,
+               s.bytes_written.load(std::memory_order_relaxed), "payload bytes written");
+  sink.Counter("net_bytes_sent_total", labels,
+               s.bytes_sent.load(std::memory_order_relaxed), "wire bytes sent");
+  sink.Counter("net_bytes_received_total", labels,
+               s.bytes_received.load(std::memory_order_relaxed), "wire bytes received");
+  sink.Counter("net_reconnects_total", labels,
+               s.reconnects.load(std::memory_order_relaxed),
+               "connections re-established after failure");
+}
+
+void ExportStorageServerStats(MetricsSink& sink, const StorageServerStats& s,
+                              const MetricLabels& labels) {
+  sink.Counter("server_connections_accepted_total", labels,
+               s.connections_accepted.load(std::memory_order_relaxed),
+               "TCP connections accepted");
+  sink.Counter("server_requests_served_total", labels,
+               s.requests_served.load(std::memory_order_relaxed), "RPCs served");
+  sink.Counter("server_protocol_errors_total", labels,
+               s.protocol_errors.load(std::memory_order_relaxed), "protocol errors");
+  sink.Counter("server_bytes_received_total", labels,
+               s.bytes_received.load(std::memory_order_relaxed), "wire bytes received");
+  sink.Counter("server_bytes_sent_total", labels,
+               s.bytes_sent.load(std::memory_order_relaxed), "wire bytes sent");
+  sink.Counter("server_out_of_order_replies_total", labels,
+               s.out_of_order_replies.load(std::memory_order_relaxed),
+               "responses that overtook an earlier request's response");
+}
+
+void ExportHistogramAs(MetricsSink& sink, const std::string& name, const Histogram& h,
+                       const MetricLabels& labels) {
+  sink.Summary(name, labels, h.Summary(), "");
+}
+
+}  // namespace obladi

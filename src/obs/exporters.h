@@ -1,0 +1,30 @@
+// Bridges from the system's existing stats structs to a MetricsSink.
+// Each Export* call emits one struct's counters under stable metric names;
+// callers snapshot the struct first (via its own locked/atomic accessor),
+// so every scrape sees one internally consistent cut per struct.
+#ifndef OBLADI_SRC_OBS_EXPORTERS_H_
+#define OBLADI_SRC_OBS_EXPORTERS_H_
+
+#include "src/obs/metrics.h"
+#include "src/oram/ring_oram.h"
+#include "src/proxy/obladi_store.h"
+#include "src/net/storage_server.h"
+#include "src/storage/latency_store.h"
+
+namespace obladi {
+
+void ExportObladiStats(MetricsSink& sink, const ObladiStats& s,
+                       const MetricLabels& labels = {});
+void ExportRingOramStats(MetricsSink& sink, const RingOramStats& s,
+                         const MetricLabels& labels = {});
+// NetworkStats is all-atomic and non-copyable; reads each field once.
+void ExportNetworkStats(MetricsSink& sink, const NetworkStats& s,
+                        const MetricLabels& labels = {});
+void ExportStorageServerStats(MetricsSink& sink, const StorageServerStats& s,
+                              const MetricLabels& labels = {});
+void ExportHistogramAs(MetricsSink& sink, const std::string& name, const Histogram& h,
+                       const MetricLabels& labels = {});
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_OBS_EXPORTERS_H_

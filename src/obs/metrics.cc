@@ -1,0 +1,285 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace obladi {
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; anything else becomes '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string LabelBlock(const MetricLabels& labels, const char* extra_key = nullptr,
+                       const char* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += SanitizeName(k);
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out.push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+class PrometheusSink : public MetricsSink {
+ public:
+  void Counter(const std::string& name, const MetricLabels& labels, uint64_t value,
+               const std::string& help) override {
+    std::string n = SanitizeName(name);
+    Header(n, "counter", help);
+    out_ += n + LabelBlock(labels) + " " + std::to_string(value) + "\n";
+  }
+  void Gauge(const std::string& name, const MetricLabels& labels, double value,
+             const std::string& help) override {
+    std::string n = SanitizeName(name);
+    Header(n, "gauge", help);
+    out_ += n + LabelBlock(labels) + " " + FormatDouble(value) + "\n";
+  }
+  void Summary(const std::string& name, const MetricLabels& labels,
+               const HistogramSummary& s, const std::string& help) override {
+    std::string n = SanitizeName(name);
+    Header(n, "summary", help);
+    out_ += n + LabelBlock(labels, "quantile", "0.5") + " " + std::to_string(s.p50) + "\n";
+    out_ += n + LabelBlock(labels, "quantile", "0.9") + " " + std::to_string(s.p90) + "\n";
+    out_ += n + LabelBlock(labels, "quantile", "0.99") + " " + std::to_string(s.p99) + "\n";
+    out_ +=
+        n + LabelBlock(labels, "quantile", "0.999") + " " + std::to_string(s.p999) + "\n";
+    out_ += n + "_sum" + LabelBlock(labels) + " " + std::to_string(s.sum) + "\n";
+    out_ += n + "_count" + LabelBlock(labels) + " " + std::to_string(s.count) + "\n";
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Header(const std::string& name, const char* type, const std::string& help) {
+    // Emit HELP/TYPE once per metric name (Prometheus rejects duplicates).
+    if (std::find(announced_.begin(), announced_.end(), name) != announced_.end()) {
+      return;
+    }
+    announced_.push_back(name);
+    if (!help.empty()) {
+      out_ += "# HELP " + name + " " + help + "\n";
+    }
+    out_ += "# TYPE " + name + " " + std::string(type) + "\n";
+  }
+  std::vector<std::string> announced_;
+  std::string out_;
+};
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+class JsonLinesSink : public MetricsSink {
+ public:
+  void Counter(const std::string& name, const MetricLabels& labels, uint64_t value,
+               const std::string&) override {
+    Begin(name, labels, "counter");
+    out_ += ",\"value\":" + std::to_string(value) + "}\n";
+  }
+  void Gauge(const std::string& name, const MetricLabels& labels, double value,
+             const std::string&) override {
+    Begin(name, labels, "gauge");
+    out_ += ",\"value\":" + FormatDouble(value) + "}\n";
+  }
+  void Summary(const std::string& name, const MetricLabels& labels,
+               const HistogramSummary& s, const std::string&) override {
+    Begin(name, labels, "summary");
+    out_ += ",\"count\":" + std::to_string(s.count);
+    out_ += ",\"sum\":" + std::to_string(s.sum);
+    out_ += ",\"mean\":" + FormatDouble(s.mean);
+    out_ += ",\"min\":" + std::to_string(s.min);
+    out_ += ",\"max\":" + std::to_string(s.max);
+    out_ += ",\"p50\":" + std::to_string(s.p50);
+    out_ += ",\"p90\":" + std::to_string(s.p90);
+    out_ += ",\"p99\":" + std::to_string(s.p99);
+    out_ += ",\"p999\":" + std::to_string(s.p999) + "}\n";
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Begin(const std::string& name, const MetricLabels& labels, const char* type) {
+    out_ += "{\"metric\":\"";
+    AppendJsonEscaped(out_, name);
+    out_ += "\",\"type\":\"";
+    out_ += type;
+    out_ += "\",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out_.push_back(',');
+      first = false;
+      out_.push_back('"');
+      AppendJsonEscaped(out_, k);
+      out_ += "\":\"";
+      AppendJsonEscaped(out_, v);
+      out_.push_back('"');
+    }
+    out_.push_back('}');
+  }
+  std::string out_;
+};
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, MetricLabels labels,
+                                     std::string help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& e : counters_) {
+    if (e.name == name && e.labels == labels) {
+      return *e.counter;
+    }
+  }
+  counters_.push_back(
+      {name, std::move(labels), std::move(help), std::make_unique<class Counter>()});
+  return *counters_.back().counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels,
+                                 std::string help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& e : gauges_) {
+    if (e.name == name && e.labels == labels) {
+      return *e.gauge;
+    }
+  }
+  gauges_.push_back(
+      {name, std::move(labels), std::move(help), std::make_unique<class Gauge>()});
+  return *gauges_.back().gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, MetricLabels labels,
+                                         std::string help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& e : hists_) {
+    if (e.name == name && e.labels == labels) {
+      return *e.hist;
+    }
+  }
+  hists_.push_back(
+      {name, std::move(labels), std::move(help), std::make_unique<Histogram>()});
+  return *hists_.back().hist;
+}
+
+void MetricsRegistry::AddSource(Source source) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sources_.push_back(std::move(source));
+}
+
+void MetricsRegistry::CollectInto(MetricsSink& sink) const {
+  // Snapshot the entry lists, then emit without mu_: sources may call back
+  // into stats() methods that take other locks (and instrument pointers are
+  // stable once created).
+  std::vector<std::tuple<std::string, MetricLabels, std::string, const class Counter*>> cs;
+  std::vector<std::tuple<std::string, MetricLabels, std::string, const class Gauge*>> gs;
+  std::vector<std::tuple<std::string, MetricLabels, std::string, const Histogram*>> hs;
+  std::vector<Source> sources;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& e : counters_) {
+      cs.emplace_back(e.name, e.labels, e.help, e.counter.get());
+    }
+    for (const auto& e : gauges_) {
+      gs.emplace_back(e.name, e.labels, e.help, e.gauge.get());
+    }
+    for (const auto& e : hists_) {
+      hs.emplace_back(e.name, e.labels, e.help, e.hist.get());
+    }
+    sources = sources_;
+  }
+  for (const auto& [name, labels, help, c] : cs) {
+    sink.Counter(name, labels, c->Value(), help);
+  }
+  for (const auto& [name, labels, help, g] : gs) {
+    sink.Gauge(name, labels, g->Value(), help);
+  }
+  for (const auto& [name, labels, help, h] : hs) {
+    sink.Summary(name, labels, h->Summary(), help);
+  }
+  for (const auto& source : sources) {
+    source(sink);
+  }
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  PrometheusSink sink;
+  CollectInto(sink);
+  return sink.Take();
+}
+
+std::string MetricsRegistry::JsonLines() const {
+  JsonLinesSink sink;
+  CollectInto(sink);
+  return sink.Take();
+}
+
+Status MetricsRegistry::WriteJsonLines(const std::string& path) const {
+  std::string body = JsonLines();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics file: " + path);
+  }
+  size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (wrote != body.size()) {
+    return Status::Internal("short write to metrics file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace obladi

@@ -1,0 +1,125 @@
+// Unified metrics registry: counters, gauges, and histogram summaries with
+// labels, rendered as Prometheus text exposition or JSON lines.
+//
+// Two feeding styles coexist:
+//   - Registered instruments (GetCounter/GetGauge/GetHistogram): owned by
+//     the registry, updated with single atomic ops on the hot path.
+//   - Pull sources (AddSource): a callback invoked at snapshot time that
+//     reads an existing stats struct (ObladiStats, NetworkStats, ...) under
+//     that struct's own locking and emits samples into a MetricsSink. This
+//     absorbs the legacy counter structs without duplicating every counter
+//     on the hot path — each source's samples are internally consistent
+//     because the source copies its struct once per scrape.
+//
+// The registry is instance-based (no global singleton): a proxy, a storage
+// server, and a bench can each own one without cross-talk between tests.
+#ifndef OBLADI_SRC_OBS_METRICS_H_
+#define OBLADI_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+
+namespace obladi {
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    // No fetch_add on atomic<double> pre-C++20 on all targets; CAS loop.
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Receives one scrape's samples. Implementations render Prometheus text or
+// JSON; sources and registered instruments both emit through this.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void Counter(const std::string& name, const MetricLabels& labels,
+                       uint64_t value, const std::string& help) = 0;
+  virtual void Gauge(const std::string& name, const MetricLabels& labels, double value,
+                     const std::string& help) = 0;
+  virtual void Summary(const std::string& name, const MetricLabels& labels,
+                       const HistogramSummary& summary, const std::string& help) = 0;
+};
+
+class MetricsRegistry {
+ public:
+  using Source = std::function<void(MetricsSink&)>;
+
+  // Instruments are created on first use and live as long as the registry;
+  // repeated calls with the same (name, labels) return the same object.
+  Counter& GetCounter(const std::string& name, MetricLabels labels = {},
+                      std::string help = "");
+  Gauge& GetGauge(const std::string& name, MetricLabels labels = {},
+                  std::string help = "");
+  Histogram& GetHistogram(const std::string& name, MetricLabels labels = {},
+                          std::string help = "");
+
+  void AddSource(Source source);
+
+  // Renders one consistent scrape: registered instruments first, then each
+  // source in registration order.
+  std::string PrometheusText() const;
+  // One JSON object per line: {"metric":..., "labels":{...}, ...values...}.
+  std::string JsonLines() const;
+  Status WriteJsonLines(const std::string& path) const;
+
+  void CollectInto(MetricsSink& sink) const;
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    MetricLabels labels;
+    std::string help;
+    std::unique_ptr<class Counter> counter;
+  };
+  struct GaugeEntry {
+    std::string name;
+    MetricLabels labels;
+    std::string help;
+    std::unique_ptr<class Gauge> gauge;
+  };
+  struct HistEntry {
+    std::string name;
+    MetricLabels labels;
+    std::string help;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<CounterEntry> counters_;
+  std::vector<GaugeEntry> gauges_;
+  std::vector<HistEntry> hists_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_OBS_METRICS_H_

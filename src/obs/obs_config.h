@@ -1,0 +1,40 @@
+// Observability configuration, embedded in ObladiConfig (and mirrored by
+// StorageServerOptions for the storage tier). Everything defaults off or
+// cheap: with `trace` false a span costs one relaxed atomic load, metrics
+// are pull-only (no hot-path writes beyond the counters the system already
+// kept), and the watchdog adds one mutexed tally per per-shard sub-batch.
+#ifndef OBLADI_SRC_OBS_OBS_CONFIG_H_
+#define OBLADI_SRC_OBS_OBS_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace obladi {
+
+struct ObsConfig {
+  // Span tracer (process-global flight recorder). Enabling here arms the
+  // global Tracer at proxy construction.
+  bool trace = false;
+  size_t trace_ring_capacity = 1u << 15;  // records per thread
+
+  // Metrics registry on the proxy: absorbs ObladiStats / RingOramStats /
+  // the watchdog verdicts behind one scrapeable snapshot.
+  bool metrics = false;
+
+  // Tiny HTTP/1.0 listener serving /metrics (Prometheus text), /healthz,
+  // and /trace (Chrome trace JSON). Requires `metrics`.
+  bool admin_listener = false;
+  std::string admin_host = "127.0.0.1";
+  uint16_t admin_port = 0;  // 0 = ephemeral; read back via admin_port()
+
+  // Oblivious trace-shape watchdog.
+  bool watchdog = false;
+  bool watchdog_abort = false;          // abort() on any violation
+  double watchdog_byte_tolerance = 0.35;  // 0 disables the wire-byte band
+  size_t watchdog_byte_warmup_epochs = 2;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_OBS_OBS_CONFIG_H_

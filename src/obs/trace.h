@@ -1,0 +1,152 @@
+// Flight-recorder span tracer: thread-local ring buffers of fixed-size
+// records, written with one uncontended mutex acquire and two monotonic
+// clock reads per span (~100 ns). Disabled, a span costs one relaxed
+// atomic load — instrumentation can stay compiled into hot paths.
+//
+// Records are kept per thread in a bounded ring (flight-recorder
+// semantics: when the ring wraps, the oldest records are overwritten), so
+// a long run retains the most recent window instead of growing without
+// bound. Rings of exited threads are retained by the global registry so a
+// post-run dump still sees their spans.
+//
+// Span/instant/counter names and categories MUST be string literals (or
+// otherwise outlive the tracer): records store the pointers, never copies.
+//
+// The dump is Chrome trace-event JSON ("traceEvents" array, ts/dur in
+// microseconds) — load it at https://ui.perfetto.dev or chrome://tracing.
+#ifndef OBLADI_SRC_OBS_TRACE_H_
+#define OBLADI_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace obladi {
+
+struct ObsEvent {
+  enum class Kind : uint8_t { kSpan, kInstant, kCounter };
+  const char* category = nullptr;  // static string
+  const char* name = nullptr;      // static string
+  Kind kind = Kind::kSpan;
+  uint32_t tid = 0;       // tracer-assigned dense thread id
+  uint64_t ts_ns = 0;     // start (spans) or occurrence time
+  uint64_t dur_ns = 0;    // spans only
+  uint64_t arg = 0;       // epoch id, batch index, counter value, ...
+  bool has_arg = false;
+};
+
+// Process-global singleton. Enable() arms recording; until then every
+// Record* call is a relaxed load + branch.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  // Arms recording. ring_capacity is per-thread (records, not bytes);
+  // rings created while enabled use the capacity in force at creation.
+  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void RecordSpan(const char* category, const char* name, uint64_t start_ns,
+                  uint64_t dur_ns);
+  void RecordSpanArg(const char* category, const char* name, uint64_t start_ns,
+                     uint64_t dur_ns, uint64_t arg);
+  void RecordInstant(const char* category, const char* name);
+  void RecordCounter(const char* category, const char* name, uint64_t value);
+
+  // Names this thread's ring for the trace viewer ("retirer", "pacer", ...).
+  // Must be a static string.
+  void SetThreadName(const char* name);
+
+  // Merged snapshot of every ring (including exited threads), sorted by
+  // start timestamp. Safe while recording continues.
+  std::vector<ObsEvent> Collect() const;
+  size_t CollectedCount() const;
+
+  // Chrome trace-event JSON of Collect().
+  std::string ChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  // Drops all buffered records (ring registrations survive).
+  void Clear();
+
+  static constexpr size_t kDefaultRingCapacity = 1u << 15;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<ObsEvent> events;  // size == capacity once full
+    size_t next = 0;
+    bool wrapped = false;
+    uint32_t tid = 0;
+    const char* thread_name = nullptr;
+  };
+
+  Tracer() = default;
+  Ring* ThisThreadRing();
+  void Push(const ObsEvent& ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> ring_capacity_{kDefaultRingCapacity};
+  std::atomic<uint32_t> next_tid_{1};
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+// RAII span: stamps the start on construction, records on destruction.
+// When the tracer is disabled at construction the destructor is a no-op
+// (the span does not resurrect if tracing flips on mid-scope).
+class SpanGuard {
+ public:
+  SpanGuard(const char* category, const char* name)
+      : category_(category), name_(Tracer::Get().enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? NowNanos() : 0) {}
+  SpanGuard(const char* category, const char* name, uint64_t arg)
+      : SpanGuard(category, name) {
+    set_arg(arg);
+  }
+  ~SpanGuard() {
+    if (name_ == nullptr) {
+      return;
+    }
+    uint64_t dur = NowNanos() - start_ns_;
+    if (has_arg_) {
+      Tracer::Get().RecordSpanArg(category_, name_, start_ns_, dur, arg_);
+    } else {
+      Tracer::Get().RecordSpan(category_, name_, start_ns_, dur);
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  void set_arg(uint64_t arg) {
+    arg_ = arg;
+    has_arg_ = true;
+  }
+  bool armed() const { return name_ != nullptr; }
+
+ private:
+  const char* category_;
+  const char* name_;
+  uint64_t start_ns_;
+  uint64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+#define OBS_CONCAT_INNER(a, b) a##b
+#define OBS_CONCAT(a, b) OBS_CONCAT_INNER(a, b)
+// Scope-wide span with an automatic variable name.
+#define OBS_SPAN(category, name) \
+  ::obladi::SpanGuard OBS_CONCAT(obs_span_, __COUNTER__)(category, name)
+#define OBS_SPAN_ARG(category, name, arg) \
+  ::obladi::SpanGuard OBS_CONCAT(obs_span_, __COUNTER__)(category, name, (arg))
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_OBS_TRACE_H_

@@ -1,0 +1,156 @@
+#include "src/obs/watchdog.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/trace.h"
+
+namespace obladi {
+
+namespace {
+constexpr size_t kMaxRecentViolations = 32;
+}
+
+TraceShapeWatchdog::TraceShapeWatchdog(WatchdogSpec spec)
+    : spec_(std::move(spec)),
+      batches_this_epoch_(spec_.num_shards, 0),
+      bumps_this_epoch_(spec_.num_shards, 0) {}
+
+void TraceShapeWatchdog::SetWireByteSource(
+    std::function<std::pair<uint64_t, uint64_t>()> source) {
+  std::lock_guard<std::mutex> lk(mu_);
+  byte_source_ = std::move(source);
+  have_byte_sample_ = false;
+}
+
+void TraceShapeWatchdog::SetOnViolation(std::function<void(const std::string&)> cb) {
+  std::lock_guard<std::mutex> lk(mu_);
+  on_violation_ = std::move(cb);
+}
+
+void TraceShapeWatchdog::ObserveShardBatch(uint32_t shard, size_t requests) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shard >= spec_.num_shards) {
+    ViolationLocked("read sub-batch for unknown shard " + std::to_string(shard));
+    return;
+  }
+  batches_this_epoch_[shard]++;
+  if (spec_.read_quota != 0 && requests != spec_.read_quota) {
+    ViolationLocked("shard " + std::to_string(shard) + " read sub-batch carries " +
+                    std::to_string(requests) + " requests, padded shape requires exactly " +
+                    std::to_string(spec_.read_quota));
+  }
+}
+
+void TraceShapeWatchdog::ObserveShardAdvance(uint32_t shard, size_t bumps) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shard >= spec_.num_shards) {
+    ViolationLocked("write advance for unknown shard " + std::to_string(shard));
+    return;
+  }
+  bumps_this_epoch_[shard] += bumps;
+}
+
+void TraceShapeWatchdog::ObserveEpochClose() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++epochs_checked_;
+  for (uint32_t s = 0; s < spec_.num_shards; ++s) {
+    if (spec_.batches_per_epoch != 0 && batches_this_epoch_[s] != spec_.batches_per_epoch) {
+      ViolationLocked("shard " + std::to_string(s) + " executed " +
+                      std::to_string(batches_this_epoch_[s]) +
+                      " read sub-batches this epoch, padded shape requires exactly " +
+                      std::to_string(spec_.batches_per_epoch));
+    }
+    if (spec_.write_quota != 0 && bumps_this_epoch_[s] != spec_.write_quota) {
+      ViolationLocked("shard " + std::to_string(s) + " write schedule advanced by " +
+                      std::to_string(bumps_this_epoch_[s]) +
+                      " this epoch, padded shape requires exactly " +
+                      std::to_string(spec_.write_quota));
+    }
+    batches_this_epoch_[s] = 0;
+    bumps_this_epoch_[s] = 0;
+  }
+
+  if (!byte_source_ || spec_.wire_byte_tolerance <= 0) {
+    return;
+  }
+  std::pair<uint64_t, uint64_t> sample = byte_source_();
+  if (!have_byte_sample_) {
+    // First observed boundary (or first after a recovery reset): no delta
+    // to check yet.
+    have_byte_sample_ = true;
+    last_byte_sample_ = sample;
+    return;
+  }
+  std::pair<uint64_t, uint64_t> delta{sample.first - last_byte_sample_.first,
+                                      sample.second - last_byte_sample_.second};
+  last_byte_sample_ = sample;
+  ++byte_epochs_seen_;
+  if (byte_epochs_seen_ <= spec_.byte_warmup_epochs) {
+    return;  // stash/cache warmup epochs have unrepresentative traffic
+  }
+  if (!have_reference_) {
+    have_reference_ = true;
+    reference_delta_ = delta;
+    return;
+  }
+  auto check = [&](const char* direction, uint64_t got, uint64_t ref) {
+    double lo = static_cast<double>(ref) * (1.0 - spec_.wire_byte_tolerance);
+    double hi = static_cast<double>(ref) * (1.0 + spec_.wire_byte_tolerance);
+    if (static_cast<double>(got) < lo || static_cast<double>(got) > hi) {
+      ViolationLocked("per-epoch wire bytes " + std::string(direction) + " = " +
+                      std::to_string(got) + " outside the shaped band [" +
+                      std::to_string(static_cast<uint64_t>(lo)) + ", " +
+                      std::to_string(static_cast<uint64_t>(hi)) + "] around reference " +
+                      std::to_string(ref));
+    }
+  };
+  check("sent", delta.first, reference_delta_.first);
+  check("received", delta.second, reference_delta_.second);
+}
+
+void TraceShapeWatchdog::ResetEpoch() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (uint32_t s = 0; s < spec_.num_shards; ++s) {
+    batches_this_epoch_[s] = 0;
+    bumps_this_epoch_[s] = 0;
+  }
+  // Recovery traffic (bucket restores, WAL replay) is legitimately
+  // unshaped: invalidate the running byte sample so the next boundary only
+  // re-seeds it.
+  have_byte_sample_ = false;
+}
+
+uint64_t TraceShapeWatchdog::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_;
+}
+
+uint64_t TraceShapeWatchdog::epochs_checked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epochs_checked_;
+}
+
+std::vector<std::string> TraceShapeWatchdog::recent_violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recent_;
+}
+
+void TraceShapeWatchdog::ViolationLocked(const std::string& message) {
+  ++violations_;
+  if (recent_.size() >= kMaxRecentViolations) {
+    recent_.erase(recent_.begin());
+  }
+  recent_.push_back(message);
+  std::fprintf(stderr, "[obs watchdog] TRACE SHAPE VIOLATION: %s\n", message.c_str());
+  Tracer::Get().RecordInstant("watchdog", "shape_violation");
+  if (on_violation_) {
+    on_violation_(message);
+  }
+  if (spec_.abort_on_violation) {
+    std::fprintf(stderr, "[obs watchdog] abort_on_violation is set; aborting\n");
+    std::abort();
+  }
+}
+
+}  // namespace obladi

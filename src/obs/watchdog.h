@@ -1,0 +1,99 @@
+// Oblivious trace-shape watchdog: promotes the offline trace-shape tests
+// into a production invariant. The sharded coordinator feeds it every
+// planned per-shard sub-batch, every write-schedule advance, and every
+// epoch close; the watchdog asserts, per epoch, that what the storage tier
+// observed matches the configured padded shape — independent of workload:
+//
+//   - every per-shard read sub-batch carries exactly `read_quota` logical
+//     requests (real + padding; the plan does not reveal which),
+//   - every shard executes exactly `batches_per_epoch` sub-batches per
+//     epoch,
+//   - every shard's write schedule advances by exactly `write_quota` per
+//     epoch,
+//   - per-direction wire bytes per epoch stay within a tolerance band of a
+//     reference epoch (path-read counts are exactly shaped, but eviction /
+//     early-reshuffle traffic is stochastic — workload-independent, yet
+//     not bit-identical across epochs — so bytes get a band, not equality).
+//
+// A deviation means the server-visible access pattern leaked workload
+// information (or the padding logic regressed): the watchdog logs it,
+// bumps a violation counter (scrapeable via the metrics registry), invokes
+// an optional callback, and — when configured — aborts the process.
+#ifndef OBLADI_SRC_OBS_WATCHDOG_H_
+#define OBLADI_SRC_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace obladi {
+
+struct WatchdogSpec {
+  uint32_t num_shards = 1;
+  size_t read_quota = 0;        // logical requests per shard sub-batch
+  size_t batches_per_epoch = 0; // read sub-batches per shard per epoch (R)
+  size_t write_quota = 0;       // schedule bumps per shard per epoch
+  // Wire-byte band vs. the reference epoch (fraction; 0 disables the byte
+  // check). The first epoch after warmup sets the reference.
+  double wire_byte_tolerance = 0.35;
+  size_t byte_warmup_epochs = 2;
+  bool abort_on_violation = false;
+};
+
+class TraceShapeWatchdog {
+ public:
+  explicit TraceShapeWatchdog(WatchdogSpec spec);
+
+  // One planned per-shard read sub-batch of `requests` logical slots
+  // (called from the per-shard plan hook, so it sees the ORAM's actual
+  // plan, not the coordinator's intent).
+  void ObserveShardBatch(uint32_t shard, size_t requests);
+  // The shard's write schedule advanced by `bumps`.
+  void ObserveShardAdvance(uint32_t shard, size_t bumps);
+  // Epoch boundary. `wire_bytes` is (sent, received) cumulative transport
+  // bytes if a byte source is attached; per-epoch deltas are checked
+  // against the reference epoch.
+  void ObserveEpochClose();
+
+  // Optional cumulative (bytes_sent, bytes_received) sampler, read at each
+  // epoch close. Attach before traffic starts.
+  void SetWireByteSource(std::function<std::pair<uint64_t, uint64_t>()> source);
+  // Fires under the watchdog lock: keep it cheap and do not call back into
+  // this watchdog from inside it.
+  void SetOnViolation(std::function<void(const std::string&)> cb);
+
+  // Crash/recovery: drop partial per-epoch tallies and skip the next byte
+  // delta (recovery traffic is legitimately unshaped).
+  void ResetEpoch();
+
+  uint64_t violations() const;
+  uint64_t epochs_checked() const;
+  // Most recent violation messages (bounded), oldest first.
+  std::vector<std::string> recent_violations() const;
+
+ private:
+  void ViolationLocked(const std::string& message);
+
+  WatchdogSpec spec_;
+  mutable std::mutex mu_;
+  std::vector<size_t> batches_this_epoch_;  // per shard
+  std::vector<size_t> bumps_this_epoch_;    // per shard
+  std::function<std::pair<uint64_t, uint64_t>()> byte_source_;
+  std::function<void(const std::string&)> on_violation_;
+  bool have_byte_sample_ = false;
+  std::pair<uint64_t, uint64_t> last_byte_sample_{0, 0};
+  bool have_reference_ = false;
+  std::pair<uint64_t, uint64_t> reference_delta_{0, 0};
+  uint64_t epochs_checked_ = 0;
+  uint64_t byte_epochs_seen_ = 0;
+  uint64_t violations_ = 0;
+  std::vector<std::string> recent_;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_OBS_WATCHDOG_H_

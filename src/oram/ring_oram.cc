@@ -4,6 +4,7 @@
 
 #include "src/common/clock.h"
 
+#include "src/obs/trace.h"
 #include "src/oram/path.h"
 
 namespace obladi {
@@ -57,6 +58,26 @@ RingOramStats RingOram::stats() const {
   // Encryption moved to the retirement stage still counts as materialization.
   out.materialize_us += bg_materialize_us_.load(std::memory_order_relaxed);
   return out;
+}
+
+uint64_t RingOram::access_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return access_count_;
+}
+
+uint64_t RingOram::evict_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evict_count_;
+}
+
+EpochId RingOram::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+void RingOram::SetEpoch(EpochId e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  epoch_ = e;
 }
 
 void RingOram::ResetStats() {
@@ -295,8 +316,11 @@ void RingOram::EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit
 
 void RingOram::ProcessReadGroup(const std::vector<PendingRead>& group,
                                 std::vector<StatusOr<Bytes>> ciphertexts) {
-  for (size_t i = 0; i < group.size(); ++i) {
-    ProcessCiphertext(group[i], std::move(ciphertexts[i]));
+  {
+    OBS_SPAN_ARG("oram", "oram.decrypt", group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      ProcessCiphertext(group[i], std::move(ciphertexts[i]));
+    }
   }
   {
     // Notify under the lock: the waiter may destroy this object as soon as
@@ -311,6 +335,7 @@ void RingOram::DispatchPendingReads() {
   if (pending_reads_.empty()) {
     return;
   }
+  OBS_SPAN_ARG("oram", "oram.dispatch", pending_reads_.size());
   if (!UseXorPathReads()) {
     DispatchPlainReads(std::move(pending_reads_));
     pending_reads_.clear();
@@ -1066,6 +1091,7 @@ void RingOram::FlushPendingImages() {
   if (images.empty()) {
     return;
   }
+  OBS_SPAN_ARG("oram", "oram.flush", images.size());
   if (options_.parallel && store_->SupportsAsyncBatches() && images.size() > 1) {
     // Submit the epoch's write-back as many concurrent sub-batches and wait
     // on one completion set: the event loop keeps them all in flight, the
@@ -1162,6 +1188,7 @@ void RingOram::SubmitImagesAsync(std::vector<BucketImage> images) {
 StatusOr<std::vector<Bytes>> RingOram::RunReadBatch(const std::vector<BlockId>& ids,
                                                     const BatchPlan* replay_plan) {
   std::lock_guard<std::mutex> lk(mu_);
+  SpanGuard obs_span("oram", "oram.read_batch", epoch_);
   std::vector<Bytes> results(ids.size());
   BatchPlan plan;
   plan.epoch = epoch_;
@@ -1307,6 +1334,7 @@ Status RingOram::WriteBatchInternal(const std::vector<std::pair<BlockId, Bytes>>
 
 Status RingOram::BeginRetire() {
   std::lock_guard<std::mutex> lk(mu_);
+  SpanGuard obs_span("oram", "oram.begin_retire", epoch_);
   if (!retiring_.empty()) {
     return Status::FailedPrecondition("previous epoch retirement not collected");
   }
@@ -1410,6 +1438,7 @@ Status RingOram::AwaitRetireDurable() {
   // calls this while a next-epoch batch may hold mu_ — possibly blocked on
   // the recovery unit's checkpoint-ordering gate, which opens only after
   // this returns — so taking mu_ here would deadlock.
+  OBS_SPAN("oram", "oram.retire_wait");
   std::unique_lock<std::mutex> rlk(retire_mu_);
   retire_cv_.wait(rlk, [&] { return retire_outstanding_ == 0; });
   Status st = retire_error_;

@@ -204,10 +204,13 @@ class RingOram {
   PositionMap& position_map() { return position_map_; }
   const std::vector<BucketMeta>& bucket_metas() const { return meta_; }
   Stash& stash() { return stash_; }
-  uint64_t access_count() const { return access_count_; }
-  uint64_t evict_count() const { return evict_count_; }
-  EpochId epoch() const { return epoch_; }
-  void SetEpoch(EpochId e) { epoch_ = e; }
+  // Counter accessors take mu_ so a live metrics scrape can read them while
+  // batches run (checkpointing still calls them between batches, where the
+  // lock is uncontended).
+  uint64_t access_count() const;
+  uint64_t evict_count() const;
+  EpochId epoch() const;
+  void SetEpoch(EpochId e);
 
   // Buckets whose metadata changed since the last TakeDirtyBuckets call.
   std::vector<BucketIndex> TakeDirtyBuckets();

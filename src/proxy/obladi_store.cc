@@ -1,10 +1,13 @@
 #include "src/proxy/obladi_store.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "src/common/clock.h"
 #include "src/common/serde.h"
+#include "src/obs/exporters.h"
+#include "src/obs/trace.h"
 
 namespace obladi {
 
@@ -69,6 +72,7 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
         });
     InstallPlanHook(/*rendezvous=*/true);
   }
+  SetupObservability();
   epoch_batches_.resize(cfg_.read_batches_per_epoch);
   ResetEpochBatchesLocked();
   // The retirement worker exists in every mode: manual-mode FinishEpochNow
@@ -80,6 +84,64 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
 ObladiStore::~ObladiStore() {
   Stop();
   StopRetirer();
+}
+
+void ObladiStore::SetupObservability() {
+  if (cfg_.obs.trace) {
+    Tracer::Get().Enable(cfg_.obs.trace_ring_capacity);
+  }
+  if (cfg_.obs.watchdog) {
+    WatchdogSpec spec;
+    spec.num_shards = cfg_.num_shards;
+    spec.read_quota = cfg_.read_quota();
+    spec.batches_per_epoch = cfg_.read_batches_per_epoch;
+    spec.write_quota = cfg_.write_quota();
+    spec.wire_byte_tolerance = cfg_.obs.watchdog_byte_tolerance;
+    spec.byte_warmup_epochs = cfg_.obs.watchdog_byte_warmup_epochs;
+    spec.abort_on_violation = cfg_.obs.watchdog_abort;
+    watchdog_ = std::make_unique<TraceShapeWatchdog>(spec);
+    AttachWatchdog();
+  }
+  if (cfg_.obs.metrics || cfg_.obs.admin_listener) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_->AddSource([this](MetricsSink& sink) {
+      ExportObladiStats(sink, stats(), {});
+      {
+        // mu_ also guards oram_'s lifetime against SimulateCrash.
+        std::lock_guard<std::mutex> lk(mu_);
+        if (oram_ != nullptr) {
+          ExportRingOramStats(sink, oram_->stats(), {});
+        }
+      }
+      if (watchdog_) {
+        sink.Counter("obs_watchdog_violations_total", {}, watchdog_->violations(),
+                     "trace-shape violations detected");
+        sink.Counter("obs_watchdog_epochs_checked_total", {},
+                     watchdog_->epochs_checked(), "epochs whose trace shape was checked");
+      }
+    });
+  }
+  if (cfg_.obs.admin_listener) {
+    AdminServerOptions opts;
+    opts.host = cfg_.obs.admin_host;
+    opts.port = cfg_.obs.admin_port;
+    admin_ = std::make_unique<AdminServer>(opts, metrics_.get());
+    admin_->AddHandler("/trace", "application/json",
+                       [] { return Tracer::Get().ChromeTraceJson(); });
+    Status st = admin_->Start();
+    if (!st.ok()) {
+      // A busy port should not take the proxy down with it.
+      std::fprintf(stderr, "[obs] admin listener failed to start: %s\n",
+                   st.message().c_str());
+      admin_.reset();
+    }
+  }
+}
+
+void ObladiStore::AttachWatchdog() {
+  if (watchdog_ && oram_) {
+    oram_->SetWatchdog(watchdog_.get());
+  }
 }
 
 void ObladiStore::ResetEpochBatchesLocked() {
@@ -306,6 +368,7 @@ size_t ObladiStore::WriteAdvanceForBatch(size_t index) const {
 }
 
 Status ObladiStore::DispatchBatch(EpochBatch batch, size_t index) {
+  OBS_SPAN_ARG("epoch", "epoch.read_batch", index);
   // Pipelined epochs: advance the (workload-independent) write schedule
   // before planning, so the triggered eviction read phases join this
   // batch's dispatch wave instead of bunching into a storage wave at the
@@ -360,6 +423,7 @@ Status ObladiStore::StepReadBatch() {
 }
 
 Status ObladiStore::CloseEpochNow() {
+  SpanGuard obs_span("epoch", "epoch.close");
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
   // Dispatch any remaining read batches so every epoch has the same shape.
   for (;;) {
@@ -440,6 +504,8 @@ Status ObladiStore::CloseEpochNow() {
 
   // Submit the write-back without waiting and capture the checkpoint payload
   // before the next epoch can mutate any shard state.
+  EpochId closing_epoch = oram_->epoch();
+  obs_span.set_arg(closing_epoch);
   Status retire_st = oram_->BeginRetire();
   if (!retire_st.ok()) {
     return fail_epoch(retire_st);
@@ -457,6 +523,7 @@ Status ObladiStore::CloseEpochNow() {
     job.checkpoint = std::move(*cp);
   }
   job.committed.insert(outcome.committed.begin(), outcome.committed.end());
+  job.epoch = closing_epoch;
 
   size_t inflight = oram_->InflightBlocks();
   {
@@ -490,6 +557,7 @@ Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_
     if (overlapped != nullptr) {
       *overlapped = true;
     }
+    OBS_SPAN("epoch", "epoch.retire_stall");
     uint64_t start = NowMicros();
     retire_cv_.wait(rlk, [&] { return retire_idle_; });
     if (stall_us != nullptr) {
@@ -519,6 +587,7 @@ void ObladiStore::SetRetireHookForTest(std::function<void()> hook) {
 }
 
 void ObladiStore::RetireLoop() {
+  Tracer::Get().SetThreadName("epoch-retirer");
   for (;;) {
     RetireJob job;
     bool abandon;
@@ -532,6 +601,7 @@ void ObladiStore::RetireLoop() {
       retire_job_.reset();
       abandon = retire_abandon_;
     }
+    SpanGuard retire_span("epoch", "epoch.retire", job.epoch);
     // 1. Wait for the epoch's write-back to be durable on the server. Takes
     //    no ORAM metadata lock, so the next epoch's batches run undisturbed.
     Status st = oram_->AwaitRetireDurable();
@@ -631,6 +701,7 @@ void ObladiStore::Stop() {
 }
 
 void ObladiStore::PacerLoop() {
+  Tracer::Get().SetThreadName("epoch-pacer");
   // Absolute deadlines, not relative sleeps: a relative Δ per batch adds the
   // (network-bound) epoch change into the cadence — effective epoch length
   // becomes R*Δ + flush time, leaking flush duration into the dispatch
@@ -744,6 +815,7 @@ Status ObladiStore::CompleteCrashEpoch(const std::vector<size_t>& replayed_per_s
 }
 
 Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
+  OBS_SPAN("epoch", "recovery");
   std::lock_guard<std::mutex> dlk(dispatch_mu_);
   if (!recovery_) {
     return Status::FailedPrecondition("recovery is not enabled");
@@ -764,7 +836,12 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
     std::lock_guard<std::mutex> lk(mu_);
     salt += stats_.recoveries * 104729;
   }
-  oram_ = MakeOramSet(cfg_.seed ^ salt);
+  auto rebuilt = MakeOramSet(cfg_.seed ^ salt);
+  {
+    // mu_ guards oram_'s lifetime against concurrent metrics scrapes.
+    std::lock_guard<std::mutex> lk(mu_);
+    oram_ = std::move(rebuilt);
+  }
   for (uint32_t s = 0; s < cfg_.num_shards; ++s) {
     RecoveryUnit::ShardState& shard = recovered->shards[s];
     OBLADI_RETURN_IF_ERROR(oram_->RestoreShardState(
@@ -772,6 +849,14 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
         shard.access_count, shard.evict_count, recovered->epoch));
   }
   InstallPlanHook(/*rendezvous=*/false);  // crash-epoch batches are single shard
+  // Re-attach the watchdog to the rebuilt ORAM set and drop any tallies
+  // from the aborted epoch — the replayed + completed crash epoch below
+  // rebuilds a full complement of shaped sub-batches. The byte sample also
+  // resets: recovery traffic is legitimately unshaped.
+  AttachWatchdog();
+  if (watchdog_) {
+    watchdog_->ResetEpoch();
+  }
 
   if (!recovered->metadata_full.empty()) {
     directory_.ApplyFull(recovered->metadata_full);

@@ -69,6 +69,10 @@
 
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/obs/admin_server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs_config.h"
+#include "src/obs/watchdog.h"
 #include "src/oram/ring_oram.h"
 #include "src/proxy/key_directory.h"
 #include "src/recovery/recovery_unit.h"
@@ -99,6 +103,9 @@ struct ObladiConfig {
   // every batch's critical path (the bench's serial baseline).
   bool combine_batch_plan_logs = true;
   RecoveryConfig recovery;
+  // Observability: span tracing, metrics registry + admin scrape listener,
+  // and the oblivious trace-shape watchdog. All off by default (zero-cost).
+  ObsConfig obs;
   uint64_t seed = 0x0b1ad1;
 
   // Convenience constructor with derived ORAM parameters.
@@ -201,6 +208,12 @@ class ObladiStore : public TransactionalKv {
   ShardedOramSet* oram() { return oram_.get(); }
   const ObladiConfig& config() const { return cfg_; }
 
+  // --- observability (null/0 unless the matching ObsConfig flag is set) ---
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  TraceShapeWatchdog* watchdog() { return watchdog_.get(); }
+  // Bound admin port (cfg.obs.admin_port == 0 picks an ephemeral one).
+  uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
+
  private:
   struct PendingFetch {
     BlockId id;
@@ -220,6 +233,7 @@ class ObladiStore : public TransactionalKv {
     std::unordered_set<Timestamp> committed;
     std::unordered_map<Timestamp, std::shared_ptr<std::promise<Status>>> waiters;
     RecoveryUnit::PendingCheckpoint checkpoint;
+    EpochId epoch = 0;  // the closed epoch, for the retirement trace span
   };
 
   std::unique_ptr<ShardedOramSet> MakeOramSet(uint64_t seed) const;
@@ -250,10 +264,19 @@ class ObladiStore : public TransactionalKv {
   void FailAllWaiters();
   void ResetEpochBatchesLocked();
 
+  // Observability plumbing shared by the constructor and crash recovery
+  // (the rebuilt ORAM set must be re-attached to the watchdog).
+  void SetupObservability();
+  void AttachWatchdog();
+
   ObladiConfig cfg_;
   std::shared_ptr<BucketStore> store_;
   std::shared_ptr<LogStore> log_;
   std::shared_ptr<Encryptor> encryptor_;
+  // Declared before oram_ so they outlive it: the shard plan hooks hold a
+  // raw watchdog pointer, and metrics sources capture `this`.
+  std::unique_ptr<TraceShapeWatchdog> watchdog_;
+  std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<ShardedOramSet> oram_;
   std::unique_ptr<RecoveryUnit> recovery_;
   KeyDirectory directory_;
@@ -297,6 +320,10 @@ class ObladiStore : public TransactionalKv {
                                      // checkpoint gate — peers wait it out)
   bool plan_done_ = false;
   Status plan_result_;
+
+  // Declared last so the scrape listener stops before anything it reads
+  // (metrics sources walk oram_ and stats_) is torn down.
+  std::unique_ptr<AdminServer> admin_;
 };
 
 }  // namespace obladi

@@ -2,6 +2,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/serde.h"
+#include "src/obs/trace.h"
 
 namespace obladi {
 
@@ -27,7 +28,13 @@ Status RecoveryUnit::AppendRecordLocked(RecordType type, const Bytes& plaintext_
   // plan rendezvous collapsed K per-shard plan logs into one record per
   // global batch, appenders are rarely concurrent and the round-trip cut
   // wins on the batch critical path.
-  auto lsn = log_->AppendSync(w.Take());
+  StatusOr<uint64_t> lsn(0ull);
+  {
+    // The fused durable append is the log's fsync-equivalent: the one WAL
+    // operation worth seeing on the epoch critical path in a trace.
+    OBS_SPAN_ARG("wal", "wal.append_sync", type);
+    lsn = log_->AppendSync(w.Take());
+  }
   if (!lsn.ok()) {
     return lsn.status();
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/shard/shard_store_view.h"
 
 namespace obladi {
@@ -128,6 +130,12 @@ StatusOr<std::vector<Bytes>> ShardedOramSet::ReplayShardBatch(uint32_t shard,
   if (shard >= layout_.num_shards) {
     return Status::InvalidArgument("replay plan names an unknown shard");
   }
+  // Replayed batches skip the plan hook (the plan is already logged), so
+  // feed the watchdog here — the crash epoch still owes every shard its
+  // full complement of shaped sub-batches.
+  if (watchdog_ != nullptr) {
+    watchdog_->ObserveShardBatch(shard, plan.requests.size());
+  }
   return shards_[shard]->ReplayReadBatch(plan);
 }
 
@@ -153,13 +161,21 @@ Status ShardedOramSet::WriteBatch(const std::vector<std::pair<BlockId, Bytes>>& 
   // Every shard executes a write batch padded to write_quota — shards with
   // few (or no) real writes still advance their eviction schedules by the
   // same amount, keeping the per-shard schedule workload independent.
-  return RunOnShards(
-      [&](uint32_t s) { return shards_[s]->WriteBatch(sub[s], options_.write_quota); });
+  return RunOnShards([&](uint32_t s) {
+    OBLADI_RETURN_IF_ERROR(shards_[s]->WriteBatch(sub[s], options_.write_quota));
+    if (watchdog_ != nullptr) {
+      watchdog_->ObserveShardAdvance(s, options_.write_quota);
+    }
+    return Status::Ok();
+  });
 }
 
 void ShardedOramSet::AdvanceWriteSchedule(size_t per_shard_bumps) {
   Status st = RunOnShards([&](uint32_t s) {
     shards_[s]->AdvanceWriteSchedule(per_shard_bumps);
+    if (watchdog_ != nullptr) {
+      watchdog_->ObserveShardAdvance(s, per_shard_bumps);
+    }
     return Status::Ok();
   });
   (void)st;  // schedule advancement cannot fail
@@ -168,6 +184,9 @@ void ShardedOramSet::AdvanceWriteSchedule(size_t per_shard_bumps) {
 void ShardedOramSet::AdvanceShardWriteSchedule(uint32_t shard, size_t bumps) {
   if (shard < layout_.num_shards) {
     shards_[shard]->AdvanceWriteSchedule(bumps);
+    if (watchdog_ != nullptr) {
+      watchdog_->ObserveShardAdvance(shard, bumps);
+    }
   }
 }
 
@@ -185,10 +204,19 @@ Status ShardedOramSet::ApplyWriteValues(const std::vector<std::pair<BlockId, Byt
 }
 
 Status ShardedOramSet::FinishEpoch() {
+  // Epoch boundary: the watchdog checks this epoch's per-shard tallies
+  // before any shard advances.
+  if (watchdog_ != nullptr) {
+    watchdog_->ObserveEpochClose();
+  }
   return RunOnShards([&](uint32_t s) { return shards_[s]->FinishEpoch(); });
 }
 
 Status ShardedOramSet::BeginRetire() {
+  OBS_SPAN("shard", "shard.begin_retire");
+  if (watchdog_ != nullptr) {
+    watchdog_->ObserveEpochClose();
+  }
   return RunOnShards([&](uint32_t s) { return shards_[s]->BeginRetire(); });
 }
 
@@ -248,13 +276,31 @@ Status ShardedOramSet::TruncateStaleVersions() {
 
 void ShardedOramSet::SetBatchPlannedHook(
     std::function<Status(uint32_t, const BatchPlan&)> hook) {
+  user_hook_ = std::move(hook);
+  InstallShardHooks();
+}
+
+void ShardedOramSet::SetWatchdog(TraceShapeWatchdog* watchdog) {
+  watchdog_ = watchdog;
+  InstallShardHooks();
+}
+
+void ShardedOramSet::InstallShardHooks() {
   for (uint32_t s = 0; s < layout_.num_shards; ++s) {
-    if (!hook) {
+    if (!user_hook_ && watchdog_ == nullptr) {
       shards_[s]->SetBatchPlannedHook(nullptr);
       continue;
     }
-    shards_[s]->SetBatchPlannedHook(
-        [hook, s](const BatchPlan& plan) { return hook(s, plan); });
+    auto hook = user_hook_;
+    TraceShapeWatchdog* wd = watchdog_;
+    shards_[s]->SetBatchPlannedHook([hook, wd, s](const BatchPlan& plan) {
+      // The plan is what the shard ORAM will actually issue, padding
+      // included — the right place to assert the padded shape.
+      if (wd != nullptr) {
+        wd->ObserveShardBatch(s, plan.requests.size());
+      }
+      return hook ? hook(s, plan) : Status::Ok();
+    });
   }
 }
 
@@ -306,6 +352,7 @@ RingOramStats ShardedOramSet::stats() const {
     agg.early_reshuffles += st.early_reshuffles;
     agg.buffered_bucket_skips += st.buffered_bucket_skips;
     agg.retiring_bucket_skips += st.retiring_bucket_skips;
+    agg.xor_path_reads += st.xor_path_reads;
     agg.stash_cache_skips += st.stash_cache_skips;
     agg.flush_plan_us += st.flush_plan_us;
     agg.materialize_us += st.materialize_us;

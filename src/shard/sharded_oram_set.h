@@ -143,6 +143,13 @@ class ShardedOramSet {
   // thread-safe.
   void SetBatchPlannedHook(std::function<Status(uint32_t, const BatchPlan&)> hook);
 
+  // Attaches the trace-shape watchdog. Fed from the same per-shard plan
+  // hooks the recovery logger uses (so it observes each shard ORAM's actual
+  // planned sub-batch, not the coordinator's intent), from every
+  // write-schedule advance, and from every epoch close. Must outlive this
+  // set; nullptr detaches.
+  void SetWatchdog(class TraceShapeWatchdog* watchdog);
+
   // --- checkpoint-state accessors (fan-in/out over shards) ---
   RingOram& shard(uint32_t i) { return *shards_[i]; }
   const RingOram& shard(uint32_t i) const { return *shards_[i]; }
@@ -173,6 +180,9 @@ class ShardedOramSet {
   // Run fn(shard) for every shard, concurrently when K > 1; returns the
   // first error.
   Status RunOnShards(const std::function<Status(uint32_t)>& fn);
+  // (Re)installs the per-shard RingOram plan hooks that multiplex the user
+  // hook and the watchdog feed.
+  void InstallShardHooks();
 
   ShardLayout layout_;
   ShardedOramOptions options_;
@@ -181,6 +191,8 @@ class ShardedOramSet {
   // Coordinator pool: one slot per shard, used only to fan sub-batch and
   // epoch operations out; each shard's RingOram does its own I/O pooling.
   std::unique_ptr<ThreadPool> coordinator_;
+  std::function<Status(uint32_t, const BatchPlan&)> user_hook_;
+  class TraceShapeWatchdog* watchdog_ = nullptr;
 };
 
 }  // namespace obladi

@@ -175,6 +175,53 @@ TEST(HistogramTest, EmptyHistogramIsZero) {
   EXPECT_EQ(h.Count(), 0u);
   EXPECT_EQ(h.Percentile(0.5), 0u);
   EXPECT_EQ(h.Mean(), 0.0);
+  HistogramSummary s = h.Summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p999, 0u);
+}
+
+TEST(HistogramTest, MergeThenQuantileAccessors) {
+  // Regression for the quantile accessors across Merge: two disjoint
+  // thread-local histograms must yield the same tail as one combined set.
+  Histogram a;
+  Histogram b;
+  for (uint64_t i = 1; i <= 500; ++i) {
+    a.Record(i);
+  }
+  for (uint64_t i = 501; i <= 1000; ++i) {
+    b.Record(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 1000u);
+  EXPECT_NEAR(static_cast<double>(a.P50()), 500.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(a.P90()), 900.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(a.P99()), 990.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(a.P999()), 999.0, 2.0);
+  // Merging an empty histogram and self-merge are both no-ops.
+  Histogram empty;
+  a.Merge(empty);
+  a.Merge(a);
+  EXPECT_EQ(a.Count(), 1000u);
+}
+
+TEST(HistogramTest, SummaryIsOneConsistentCut) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Record(i);
+  }
+  HistogramSummary s = h.Summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500500u);
+  EXPECT_DOUBLE_EQ(s.mean, 500.5);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_NEAR(static_cast<double>(s.p50), 500.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(s.p90), 900.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(s.p99), 990.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(s.p999), 999.0, 2.0);
+  // The struct agrees with the per-accessor views taken while quiescent.
+  EXPECT_EQ(s.p50, h.P50());
+  EXPECT_EQ(s.p999, h.P999());
 }
 
 }  // namespace

@@ -1,0 +1,606 @@
+// Observability subsystem: flight-recorder tracer, metrics registry +
+// Prometheus/JSON rendering, admin scrape listener (real TCP), and the
+// oblivious trace-shape watchdog — unit level plus integration through
+// ObladiStore (watchdog silent on uniform/Zipf, fires on injection;
+// pipelined run leaves overlapping epoch spans in the trace).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/net/socket.h"
+#include "src/obs/admin_server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
+#include "src/proxy/obladi_store.h"
+#include "src/storage/memory_store.h"
+
+namespace obladi {
+namespace {
+
+// The tracer is process-global: every test that arms it restores the
+// disarmed, empty state on the way out.
+struct TracerCleanup {
+  ~TracerCleanup() {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+TEST(TracerTest, RecordsSpansInstantsAndCounters) {
+  TracerCleanup cleanup;
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable();
+
+  { OBS_SPAN("test", "span.plain"); }
+  { OBS_SPAN_ARG("test", "span.arg", 42u); }
+  tracer.RecordInstant("test", "instant");
+  tracer.RecordCounter("test", "counter", 7);
+
+  auto events = tracer.Collect();
+  ASSERT_EQ(events.size(), 4u);
+  bool saw_arg = false;
+  bool saw_instant = false;
+  bool saw_counter = false;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) == "span.arg") {
+      saw_arg = true;
+      EXPECT_TRUE(ev.has_arg);
+      EXPECT_EQ(ev.arg, 42u);
+      EXPECT_EQ(ev.kind, ObsEvent::Kind::kSpan);
+    }
+    if (std::string(ev.name) == "instant") {
+      saw_instant = true;
+      EXPECT_EQ(ev.kind, ObsEvent::Kind::kInstant);
+    }
+    if (std::string(ev.name) == "counter") {
+      saw_counter = true;
+      EXPECT_EQ(ev.kind, ObsEvent::Kind::kCounter);
+      EXPECT_EQ(ev.arg, 7u);
+    }
+  }
+  EXPECT_TRUE(saw_arg);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(TracerTest, DisabledSpansCostNothingAndRecordNothing) {
+  TracerCleanup cleanup;
+  Tracer& tracer = Tracer::Get();
+  tracer.Disable();
+  tracer.Clear();
+
+  SpanGuard guard("test", "never");
+  EXPECT_FALSE(guard.armed());
+  { OBS_SPAN("test", "never2"); }
+  tracer.RecordInstant("test", "never3");
+  EXPECT_EQ(tracer.CollectedCount(), 0u);
+}
+
+TEST(TracerTest, SpanArmedAtConstructionDoesNotResurrect) {
+  TracerCleanup cleanup;
+  Tracer& tracer = Tracer::Get();
+  tracer.Disable();
+  tracer.Clear();
+  {
+    SpanGuard guard("test", "pre-enable");
+    tracer.Enable();  // flipped on mid-scope: the span stays dead
+  }
+  EXPECT_EQ(tracer.CollectedCount(), 0u);
+}
+
+TEST(TracerTest, RingWrapsKeepingMostRecent) {
+  TracerCleanup cleanup;
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Disable();
+  tracer.Enable(/*ring_capacity=*/16);  // 16 is the enforced minimum
+
+  // All from one fresh thread so a single ring (with the small capacity in
+  // force at creation) absorbs all 50 records.
+  std::thread([&] {
+    for (int i = 0; i < 50; ++i) {
+      tracer.RecordCounter("test", "wrap", static_cast<uint64_t>(i));
+    }
+  }).join();
+
+  auto events = tracer.Collect();
+  ASSERT_EQ(events.size(), 16u);
+  // Flight-recorder semantics: the survivors are the newest 16 (34..49).
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.arg, 34u);
+  }
+}
+
+TEST(TracerTest, ChromeTraceJsonShape) {
+  TracerCleanup cleanup;
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable();
+  tracer.SetThreadName("obs-test-main");
+  { OBS_SPAN_ARG("epoch", "epoch.close", 3u); }
+  tracer.RecordCounter("net", "net.rpc_inflight", 5);
+
+  std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch.close\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counter
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("obs-test-main"), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+
+  std::string path = ::testing::TempDir() + "obs_trace_shape_test.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", {{"op", "read"}}, "requests served").Inc(3);
+  registry.GetGauge("queue_depth", {}, "pending requests").Set(2.5);
+  Histogram& h = registry.GetHistogram("latency_us", {{"op", "read"}}, "latency");
+  h.Record(10);
+  h.Record(20);
+
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{op=\"read\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 2.5"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_count{op=\"read\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_us{op=\"read\",quantile=\"0.5\"}"), std::string::npos);
+}
+
+TEST(MetricsTest, InstrumentsAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("c", {{"k", "v"}});
+  Counter& b = registry.GetCounter("c", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = registry.GetCounter("c", {{"k", "w"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsTest, SourcesSnapshotIntoScrape) {
+  MetricsRegistry registry;
+  uint64_t epochs = 17;
+  registry.AddSource([&](MetricsSink& sink) {
+    sink.Counter("obladi_epochs_total", {}, epochs, "epochs closed");
+    sink.Gauge("obladi_live", {{"role", "proxy"}}, 1.0, "liveness");
+  });
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("obladi_epochs_total 17"), std::string::npos);
+  EXPECT_NE(text.find("obladi_live{role=\"proxy\"} 1"), std::string::npos);
+
+  epochs = 18;
+  EXPECT_NE(registry.PrometheusText().find("obladi_epochs_total 18"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonLinesOnePerMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total", {}, "a").Inc();
+  registry.GetHistogram("b_us", {}, "b").Record(5);
+  std::string lines = registry.JsonLines();
+  // Every non-empty line is a JSON object naming its metric.
+  size_t count = 0;
+  size_t pos = 0;
+  while (pos < lines.size()) {
+    size_t end = lines.find('\n', pos);
+    std::string line = lines.substr(pos, end - pos);
+    if (!line.empty()) {
+      EXPECT_EQ(line.front(), '{');
+      EXPECT_EQ(line.back(), '}');
+      EXPECT_NE(line.find("\"metric\""), std::string::npos);
+      ++count;
+    }
+    pos = end == std::string::npos ? lines.size() : end + 1;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+// Minimal HTTP/1.0 GET against the admin listener over a real socket.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  auto sock = TcpSocket::Connect("127.0.0.1", port);
+  if (!sock.ok()) {
+    return "";
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!sock->SendAll(reinterpret_cast<const uint8_t*>(req.data()), req.size()).ok()) {
+    return "";
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(sock->fd(), buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+TEST(AdminServerTest, ServesMetricsHealthAndCustomHandlers) {
+  MetricsRegistry registry;
+  registry.GetCounter("scraped_total", {}, "scrapes").Inc(9);
+
+  AdminServer server({}, &registry);
+  server.AddHandler("/trace", "application/json", [] { return std::string("{\"traceEvents\": []}\n"); });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("scraped_total 9"), std::string::npos);
+
+  std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  std::string trace = HttpGet(server.port(), "/trace");
+  EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+
+  std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+WatchdogSpec TwoShardSpec() {
+  WatchdogSpec spec;
+  spec.num_shards = 2;
+  spec.read_quota = 4;
+  spec.batches_per_epoch = 3;
+  spec.write_quota = 4;
+  spec.wire_byte_tolerance = 0;  // byte band exercised separately
+  return spec;
+}
+
+void FeedCleanEpoch(TraceShapeWatchdog& dog, const WatchdogSpec& spec) {
+  for (size_t b = 0; b < spec.batches_per_epoch; ++b) {
+    for (uint32_t s = 0; s < spec.num_shards; ++s) {
+      dog.ObserveShardBatch(s, spec.read_quota);
+    }
+  }
+  for (uint32_t s = 0; s < spec.num_shards; ++s) {
+    dog.ObserveShardAdvance(s, spec.write_quota);
+  }
+  dog.ObserveEpochClose();
+}
+
+TEST(WatchdogTest, SilentOnExactShape) {
+  WatchdogSpec spec = TwoShardSpec();
+  TraceShapeWatchdog dog(spec);
+  for (int e = 0; e < 5; ++e) {
+    FeedCleanEpoch(dog, spec);
+  }
+  EXPECT_EQ(dog.violations(), 0u);
+  EXPECT_EQ(dog.epochs_checked(), 5u);
+}
+
+TEST(WatchdogTest, FiresOnShortSubBatch) {
+  WatchdogSpec spec = TwoShardSpec();
+  TraceShapeWatchdog dog(spec);
+  std::string seen;
+  dog.SetOnViolation([&](const std::string& msg) { seen = msg; });
+  dog.ObserveShardBatch(0, spec.read_quota - 1);  // under-padded
+  EXPECT_EQ(dog.violations(), 1u);
+  EXPECT_NE(seen.find("padded shape requires exactly"), std::string::npos);
+}
+
+TEST(WatchdogTest, FiresOnMissingSubBatchAtEpochClose) {
+  WatchdogSpec spec = TwoShardSpec();
+  TraceShapeWatchdog dog(spec);
+  // Shard 1 runs one sub-batch short.
+  for (size_t b = 0; b < spec.batches_per_epoch; ++b) {
+    dog.ObserveShardBatch(0, spec.read_quota);
+  }
+  for (size_t b = 0; b + 1 < spec.batches_per_epoch; ++b) {
+    dog.ObserveShardBatch(1, spec.read_quota);
+  }
+  for (uint32_t s = 0; s < spec.num_shards; ++s) {
+    dog.ObserveShardAdvance(s, spec.write_quota);
+  }
+  dog.ObserveEpochClose();
+  EXPECT_EQ(dog.violations(), 1u);
+  ASSERT_FALSE(dog.recent_violations().empty());
+  EXPECT_NE(dog.recent_violations().back().find("shard 1"), std::string::npos);
+}
+
+TEST(WatchdogTest, FiresOnWriteQuotaMismatch) {
+  WatchdogSpec spec = TwoShardSpec();
+  TraceShapeWatchdog dog(spec);
+  for (size_t b = 0; b < spec.batches_per_epoch; ++b) {
+    for (uint32_t s = 0; s < spec.num_shards; ++s) {
+      dog.ObserveShardBatch(s, spec.read_quota);
+    }
+  }
+  dog.ObserveShardAdvance(0, spec.write_quota);
+  dog.ObserveShardAdvance(1, spec.write_quota + 1);  // over-advanced
+  dog.ObserveEpochClose();
+  EXPECT_EQ(dog.violations(), 1u);
+}
+
+TEST(WatchdogTest, WireByteBandFiresOutsideToleranceOnly) {
+  WatchdogSpec spec;
+  spec.num_shards = 1;
+  spec.read_quota = 0;  // shape checks off; bytes only
+  spec.write_quota = 0;
+  spec.batches_per_epoch = 0;
+  spec.wire_byte_tolerance = 0.25;
+  spec.byte_warmup_epochs = 0;
+  TraceShapeWatchdog dog(spec);
+  uint64_t sent = 0;
+  dog.SetWireByteSource([&] { return std::make_pair(sent, sent); });
+
+  sent = 1000;  // seed sample
+  dog.ObserveEpochClose();
+  sent = 2000;  // reference delta = 1000
+  dog.ObserveEpochClose();
+  sent = 3100;  // delta 1100, inside +-25%
+  dog.ObserveEpochClose();
+  EXPECT_EQ(dog.violations(), 0u);
+  sent = 4700;  // delta 1600, outside the band in both directions
+  dog.ObserveEpochClose();
+  EXPECT_EQ(dog.violations(), 2u);
+  ASSERT_FALSE(dog.recent_violations().empty());
+  EXPECT_NE(dog.recent_violations().back().find("wire bytes"), std::string::npos);
+}
+
+TEST(WatchdogTest, ResetEpochForgivesRecoveryTraffic) {
+  WatchdogSpec spec = TwoShardSpec();
+  spec.wire_byte_tolerance = 0.25;
+  spec.byte_warmup_epochs = 0;
+  TraceShapeWatchdog dog(spec);
+  uint64_t sent = 0;
+  dog.SetWireByteSource([&] { return std::make_pair(sent, sent); });
+
+  FeedCleanEpoch(dog, spec);  // seed
+  sent += 1000;
+  FeedCleanEpoch(dog, spec);  // reference
+  // Mid-epoch crash: partial tallies + a storm of recovery bytes.
+  dog.ObserveShardBatch(0, spec.read_quota);
+  sent += 50000;
+  dog.ResetEpoch();
+  // Next full epoch re-seeds the byte sample instead of flagging the storm.
+  sent += 1000;
+  FeedCleanEpoch(dog, spec);
+  sent += 1000;
+  FeedCleanEpoch(dog, spec);
+  EXPECT_EQ(dog.violations(), 0u);
+}
+
+// --- integration through ObladiStore ---------------------------------------
+
+struct ProxyEnv {
+  ObladiConfig config;
+  std::shared_ptr<MemoryBucketStore> store;
+  std::shared_ptr<MemoryLogStore> log;
+  std::unique_ptr<ObladiStore> proxy;
+};
+
+ProxyEnv MakeObsProxy(uint32_t shards, bool trace, bool watchdog, bool metrics) {
+  ProxyEnv env;
+  env.config = ObladiConfig::ForCapacity(256, /*z=*/4, /*payload=*/128);
+  env.config.num_shards = shards;
+  env.config.read_batches_per_epoch = 2;
+  env.config.read_batch_size = 8;
+  env.config.write_batch_size = 8;
+  env.config.recovery.enabled = false;
+  env.config.oram_options.io_threads = 4;
+  env.config.obs.trace = trace;
+  env.config.obs.watchdog = watchdog;
+  env.config.obs.metrics = metrics;
+  env.store = std::make_shared<MemoryBucketStore>(env.config.oram.num_buckets(),
+                                                  env.config.oram.slots_per_bucket());
+  env.log = std::make_shared<MemoryLogStore>();
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, env.log);
+  return env;
+}
+
+std::vector<std::pair<Key, std::string>> SimpleRecords(int n) {
+  std::vector<std::pair<Key, std::string>> records;
+  for (int i = 0; i < n; ++i) {
+    records.emplace_back("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  return records;
+}
+
+// Drive `txns` single-read transactions through manually paced epochs,
+// drawing keys from `next_key`.
+void DriveWorkload(ObladiStore& proxy, int txns, const std::function<uint64_t()>& next_key) {
+  for (int i = 0; i < txns; ++i) {
+    Timestamp t = proxy.Begin();
+    std::string key = "key" + std::to_string(next_key());
+    std::promise<void> read_done;
+    std::thread client([&] {
+      auto v = proxy.Read(t, key);
+      if (v.ok()) {
+        (void)proxy.Write(t, key, *v + "x");
+        (void)proxy.Commit(t);
+      } else {
+        proxy.Abort(t);
+      }
+      read_done.set_value();
+    });
+    // Pace until the read lands (one step serves the whole batch).
+    auto fut = read_done.get_future();
+    while (fut.wait_for(std::chrono::milliseconds(2)) != std::future_status::ready) {
+      Status st = proxy.StepReadBatch();
+      if (!st.ok()) {
+        ASSERT_TRUE(proxy.FinishEpochNow().ok());
+      }
+    }
+    client.join();
+    ASSERT_TRUE(proxy.FinishEpochNow().ok());
+  }
+}
+
+TEST(ObladiStoreObsTest, WatchdogSilentOnUniformAndZipfWorkloads) {
+  TracerCleanup cleanup;
+  auto env = MakeObsProxy(/*shards=*/4, /*trace=*/false, /*watchdog=*/true,
+                          /*metrics=*/true);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(64)).ok());
+  ASSERT_NE(env.proxy->watchdog(), nullptr);
+
+  Rng rng(123);
+  DriveWorkload(*env.proxy, 6, [&] { return rng.Uniform(64); });
+
+  ZipfianGenerator zipf(64, 0.99);
+  Rng zrng(321);
+  DriveWorkload(*env.proxy, 6, [&] { return zipf.NextScrambled(zrng); });
+
+  // Quota padding makes the observable shape workload independent: zero
+  // violations across both distributions, and every epoch was audited.
+  EXPECT_EQ(env.proxy->watchdog()->violations(), 0u);
+  EXPECT_GE(env.proxy->watchdog()->epochs_checked(), 12u);
+
+  // The scrape surfaces the verdict.
+  ASSERT_NE(env.proxy->metrics(), nullptr);
+  std::string text = env.proxy->metrics()->PrometheusText();
+  EXPECT_NE(text.find("obs_watchdog_violations_total 0"), std::string::npos);
+  EXPECT_NE(text.find("obladi_epochs_total"), std::string::npos);
+  EXPECT_NE(text.find("oram_xor_path_reads_total"), std::string::npos);
+}
+
+TEST(ObladiStoreObsTest, WatchdogCatchesInjectedQuotaViolation) {
+  TracerCleanup cleanup;
+  auto env = MakeObsProxy(/*shards=*/2, /*trace=*/false, /*watchdog=*/true,
+                          /*metrics=*/false);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(32)).ok());
+
+  Rng rng(7);
+  DriveWorkload(*env.proxy, 3, [&] { return rng.Uniform(32); });
+  ASSERT_EQ(env.proxy->watchdog()->violations(), 0u);
+
+  std::atomic<int> fired{0};
+  env.proxy->watchdog()->SetOnViolation([&](const std::string&) { fired.fetch_add(1); });
+
+  // Inject a shard batch that dodges the padded quota — exactly what a
+  // regression in the padding planner (or a compromised coordinator) would
+  // emit. The watchdog flags it at observation time.
+  size_t quota = env.config.read_quota();
+  env.proxy->watchdog()->ObserveShardBatch(0, quota - 1);
+  EXPECT_EQ(env.proxy->watchdog()->violations(), 1u);
+  EXPECT_EQ(fired.load(), 1);
+  ASSERT_FALSE(env.proxy->watchdog()->recent_violations().empty());
+
+  // Recover the tally so the teardown epoch does not double-report.
+  env.proxy->watchdog()->ResetEpoch();
+}
+
+TEST(ObladiStoreObsTest, PipelinedRunLeavesOverlappingEpochSpans) {
+  TracerCleanup cleanup;
+  auto env = MakeObsProxy(/*shards=*/4, /*trace=*/true, /*watchdog=*/false,
+                          /*metrics=*/false);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(48)).ok());
+  ASSERT_TRUE(Tracer::Get().enabled());
+
+  // Park epoch N's retirement while epoch N+1 executes a read batch: the
+  // trace must show the retire span enclosing the next epoch's read span.
+  std::promise<void> release;
+  std::shared_future<void> release_fut = release.get_future().share();
+  std::atomic<int> hook_calls{0};
+  env.proxy->SetRetireHookForTest([&] {
+    if (hook_calls.fetch_add(1) == 0) {
+      release_fut.wait();
+    }
+  });
+
+  ASSERT_TRUE(env.proxy->CloseEpochNow().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::promise<void> read_done;
+  std::thread reader([&] {
+    Timestamp t = env.proxy->Begin();
+    auto v = env.proxy->Read(t, "key3");
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    env.proxy->Abort(t);
+    read_done.set_value();
+  });
+  auto fut = read_done.get_future();
+  while (fut.wait_for(std::chrono::milliseconds(2)) != std::future_status::ready) {
+    (void)env.proxy->StepReadBatch();
+  }
+  reader.join();
+  release.set_value();
+  ASSERT_TRUE(env.proxy->DrainRetirement().ok());
+  ASSERT_TRUE(env.proxy->FinishEpochNow().ok());
+
+  auto events = Tracer::Get().Collect();
+  const ObsEvent* retire = nullptr;
+  std::vector<const ObsEvent*> reads;
+  for (const auto& ev : events) {
+    std::string name = ev.name;
+    if (name == "epoch.retire" && (retire == nullptr || ev.dur_ns > retire->dur_ns)) {
+      retire = &ev;
+    }
+    if (name == "epoch.read_batch") {
+      reads.push_back(&ev);
+    }
+  }
+  ASSERT_NE(retire, nullptr) << "no retire span recorded";
+  ASSERT_FALSE(reads.empty()) << "no read batch spans recorded";
+  bool overlapped = false;
+  for (const ObsEvent* r : reads) {
+    if (r->ts_ns >= retire->ts_ns && r->ts_ns < retire->ts_ns + retire->dur_ns) {
+      overlapped = true;
+    }
+  }
+  EXPECT_TRUE(overlapped)
+      << "no read batch span started inside the parked retire span";
+
+  // The same overlap must survive the Perfetto export.
+  std::string path = ::testing::TempDir() + "obs_overlap_trace.json";
+  ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ObladiStoreObsTest, ConcurrentScrapesRaceFreeWithLiveTraffic) {
+  // TSan target: stats()/PrometheusText()/watchdog counters hammered from
+  // scrape threads while epochs execute, close, and retire.
+  TracerCleanup cleanup;
+  auto env = MakeObsProxy(/*shards=*/2, /*trace=*/true, /*watchdog=*/true,
+                          /*metrics=*/true);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(32)).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 3; ++i) {
+    scrapers.emplace_back([&, i] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (i == 0) {
+          std::string text = env.proxy->metrics()->PrometheusText();
+          EXPECT_FALSE(text.empty());
+        } else if (i == 1) {
+          ObladiStats s = env.proxy->stats();
+          (void)s;
+          (void)Tracer::Get().CollectedCount();
+        } else {
+          (void)env.proxy->watchdog()->violations();
+          (void)env.proxy->metrics()->JsonLines();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  Rng rng(99);
+  DriveWorkload(*env.proxy, 8, [&] { return rng.Uniform(32); });
+
+  stop.store(true);
+  for (auto& t : scrapers) {
+    t.join();
+  }
+  EXPECT_EQ(env.proxy->watchdog()->violations(), 0u);
+}
+
+}  // namespace
+}  // namespace obladi

@@ -4,7 +4,13 @@
 //   audit_nemesis [--duration-ms=N] [--clients=N] [--shards=N]
 //                 [--zipf=THETA] [--fault-period-ms=N] [--seed=N]
 //                 [--no-storage-kill] [--no-proxy-crash]
+//                 [--heartbeat-ms=N] [--metrics-out=PATH]
 //                 [--data-dir=DIR] --trace-dir=DIR
+//
+// With --heartbeat-ms a one-line progress report prints periodically (long
+// fault-injection runs otherwise look hung while recoveries stall commits).
+// The final proxy metrics are dumped as JSON lines next to the traces
+// (override the path with --metrics-out, or pass --metrics-out=- to skip).
 //
 // Prints run statistics (throughput, recoveries, restarts, trace bytes) and
 // exits 0 on a completed run; the serializability verdict is audit_check's
@@ -22,6 +28,7 @@ int Usage() {
                "usage: audit_nemesis [--duration-ms=N] [--clients=N] [--shards=N] "
                "[--zipf=THETA]\n                     [--fault-period-ms=N] [--seed=N] "
                "[--no-storage-kill] [--no-proxy-crash]\n                     "
+               "[--heartbeat-ms=N] [--metrics-out=PATH]\n                     "
                "[--data-dir=DIR] --trace-dir=DIR\n");
   return 2;
 }
@@ -54,6 +61,10 @@ int main(int argc, char** argv) {
       options.fault_period_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "seed", value)) {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "heartbeat-ms", value)) {
+      options.heartbeat_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "metrics-out", value)) {
+      options.metrics_out = value;
     } else if (ParseFlag(arg, "data-dir", value)) {
       options.data_dir = value;
     } else if (ParseFlag(arg, "trace-dir", value)) {
