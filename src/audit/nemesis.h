@@ -17,6 +17,20 @@
 //   * proxy crash — SimulateCrash mid-epoch, then recovery from the WAL and
 //     a pacer restart. Commit acks lost to the crash surface as
 //     indeterminate outcomes for the verifier to adjudicate.
+//   * shard partition (partition_shard) — the deployment becomes one
+//     StorageServer per shard with a FaultRelay (src/fault) in front of one
+//     of them; the fault thread blackholes that link mid-epoch, holds it past
+//     the deadline budget, heals it, and crash-recovers the proxy. Clients
+//     blocked on the partitioned shard must fail retriably within the
+//     deadline budget (hardened transport: per-request deadlines,
+//     heartbeats, retry policy, bounded retirement waits) — never hang.
+//   * WAL fsync stall (slow_disk) — the storage node's FileLogStore is
+//     wrapped in a FaultyLogStore and the fault thread turns a large
+//     fsync_stall_us on during retirement and off again.
+//   * clock skew (clock_skew) — the proxy's claimed timestamps are passed
+//     through a SkewClock whose offset the fault thread jumps forwards and
+//     backwards. The mapping is order-preserving, so the audit must still
+//     pass — that is the property the scenario demonstrates.
 #ifndef OBLADI_SRC_AUDIT_NEMESIS_H_
 #define OBLADI_SRC_AUDIT_NEMESIS_H_
 
@@ -51,12 +65,36 @@ struct NemesisOptions {
   // to <trace_dir>/nemesis_metrics.json; "-" disables the dump.
   std::string metrics_out;
   uint64_t seed = 7;
+  // --- chaos palette (src/fault) ---
+  // Partition proxy <-> one shard's storage node mid-epoch through a fault
+  // relay, hold past the deadline budget, heal, crash-recover. Forces the
+  // per-shard deployment (K storage servers) and the hardened transport;
+  // kill_storage is ignored in this mode (there is no single node to kill).
+  bool partition_shard = false;
+  uint64_t partition_hold_ms = 600;
+  // fsync-stall the storage node's WAL (FaultyLogStore decorator), then
+  // release after the stall window.
+  bool slow_disk = false;
+  uint64_t wal_stall_us = 150000;
+  // Jump the proxy's claimed-timestamp offset forwards/backwards through an
+  // order-preserving SkewClock.
+  bool clock_skew = false;
+  int64_t skew_jump = 5000000;
+  // Liveness watchdog: if ANY client thread finishes no attempt (commit,
+  // abort, or failure) for this long, print the scenario seed to stderr and
+  // _Exit(3) — a hung client is a bug the run must not mask. 0 = off.
+  uint64_t progress_timeout_ms = 0;
 };
 
 struct NemesisResult {
   DriverResult driver;
   uint64_t storage_restarts = 0;
   uint64_t proxy_recoveries = 0;
+  // Chaos-palette accounting (zero unless the matching scenario ran).
+  uint64_t partitions = 0;       // Partition()+Heal() cycles on the relay
+  uint64_t wal_stalls = 0;       // fsync-stall windows opened on the WAL
+  uint64_t skew_jumps = 0;       // claimed-timestamp offset jumps
+  uint64_t faults_injected = 0;  // relay activations + store-level injections
   History history;  // merged client-observable history (pass to VerifyHistory)
 };
 

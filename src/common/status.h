@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnavailable,        // storage unreachable / crashed
   kIntegrityViolation, // MAC or freshness check failed (Appendix A mode)
   kInternal,
+  kDeadlineExceeded,   // request deadline expired before a response landed
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -34,6 +35,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kIntegrityViolation: return "INTEGRITY_VIOLATION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -63,6 +65,9 @@ class Status {
     return Status(StatusCode::kIntegrityViolation, std::move(m));
   }
   static Status Internal(std::string m = "") { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status DeadlineExceeded(std::string m = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

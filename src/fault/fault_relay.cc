@@ -1,0 +1,211 @@
+#include "src/fault/fault_relay.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace obladi {
+
+StatusOr<std::unique_ptr<FaultRelay>> FaultRelay::Start(std::string upstream_host,
+                                                        uint16_t upstream_port,
+                                                        uint16_t listen_port) {
+  auto listener = TcpListener::Listen("127.0.0.1", listen_port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  std::unique_ptr<FaultRelay> relay(new FaultRelay());
+  relay->upstream_host_ = std::move(upstream_host);
+  relay->upstream_port_ = upstream_port;
+  relay->listener_ = std::move(*listener);
+  relay->accept_thread_ = std::thread([r = relay.get()] { r->AcceptLoop(); });
+  return relay;
+}
+
+FaultRelay::~FaultRelay() { Stop(); }
+
+void FaultRelay::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto client = listener_.Accept();
+    if (!client.ok()) {
+      return;  // listener shut down
+    }
+    auto upstream = TcpSocket::Connect(upstream_host_, upstream_port_);
+    if (!upstream.ok()) {
+      continue;  // upstream refused; drop the client, keep accepting
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->client = std::move(*client);
+    conn->upstream = std::move(*upstream);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      conns_.push_back(conn);
+    }
+    conn->to_upstream = std::thread([this, conn] { Pump(conn, 0); });
+    conn->to_client = std::thread([this, conn] { Pump(conn, 1); });
+  }
+}
+
+DirectionFault FaultRelay::SnapshotFault(int dir) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return faults_[dir];
+}
+
+void FaultRelay::Pump(std::shared_ptr<Conn> conn, int dir) {
+  TcpSocket& src = dir == 0 ? conn->client : conn->upstream;
+  TcpSocket& dst = dir == 0 ? conn->upstream : conn->client;
+  uint8_t buf[4096];
+  while (true) {
+    ssize_t n = ::recv(src.fd(), buf, sizeof(buf), 0);
+    if (n == 0 || (n < 0 && errno != EINTR)) {
+      break;
+    }
+    if (n < 0) {
+      continue;  // EINTR
+    }
+    DirectionFault f = SnapshotFault(dir);
+    size_t forward = static_cast<size_t>(n);
+    switch (f.mode) {
+      case RelayFaultMode::kPass:
+        break;
+      case RelayFaultMode::kBlackhole:
+        bytes_dropped_.fetch_add(forward, std::memory_order_relaxed);
+        continue;  // swallow; the connection stays up
+      case RelayFaultMode::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(f.delay_ms));
+        break;
+      case RelayFaultMode::kThrottle:
+        if (f.bytes_per_sec > 0) {
+          uint64_t us = forward * 1000000ull / f.bytes_per_sec;
+          std::this_thread::sleep_for(std::chrono::microseconds(us));
+        }
+        break;
+      case RelayFaultMode::kDrip: {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (drip_left_[dir] == 0) {
+          bytes_dropped_.fetch_add(forward, std::memory_order_relaxed);
+          forward = 0;
+        } else if (forward > drip_left_[dir]) {
+          bytes_dropped_.fetch_add(forward - drip_left_[dir], std::memory_order_relaxed);
+          forward = drip_left_[dir];
+          drip_left_[dir] = 0;
+        } else {
+          drip_left_[dir] -= forward;
+        }
+        break;
+      }
+    }
+    if (forward == 0) {
+      continue;
+    }
+    // Re-check after any sleep so Heal()/Partition() flips apply to a chunk
+    // that was parked in a delay.
+    if (SnapshotFault(dir).mode == RelayFaultMode::kBlackhole) {
+      bytes_dropped_.fetch_add(forward, std::memory_order_relaxed);
+      continue;
+    }
+    if (!dst.SendAll(buf, forward).ok()) {
+      break;
+    }
+    bytes_relayed_.fetch_add(forward, std::memory_order_relaxed);
+  }
+  CloseConn(*conn);
+}
+
+void FaultRelay::CloseConn(Conn& conn) {
+  // First pump to exit shuts both sockets so its sibling unblocks too.
+  if (!conn.closed.exchange(true)) {
+    conn.client.Shutdown();
+    conn.upstream.Shutdown();
+  }
+}
+
+void FaultRelay::SetClientToUpstream(DirectionFault f) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (f.mode != RelayFaultMode::kPass) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (f.mode == RelayFaultMode::kDrip) {
+    drip_left_[0] = f.drip_bytes;
+  }
+  faults_[0] = f;
+}
+
+void FaultRelay::SetUpstreamToClient(DirectionFault f) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (f.mode != RelayFaultMode::kPass) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (f.mode == RelayFaultMode::kDrip) {
+    drip_left_[1] = f.drip_bytes;
+  }
+  faults_[1] = f;
+}
+
+void FaultRelay::Partition() {
+  std::lock_guard<std::mutex> lk(mu_);
+  faults_[0].mode = RelayFaultMode::kBlackhole;
+  faults_[1].mode = RelayFaultMode::kBlackhole;
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultRelay::Heal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  faults_[0] = DirectionFault{};
+  faults_[1] = DirectionFault{};
+  drip_left_[0] = drip_left_[1] = 0;
+}
+
+void FaultRelay::DropConnections() {
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    conns = conns_;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (auto& conn : conns) {
+    CloseConn(*conn);
+  }
+}
+
+FaultRelay::RelayStats FaultRelay::stats() const {
+  RelayStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.bytes_relayed = bytes_relayed_.load(std::memory_order_relaxed);
+  s.bytes_dropped = bytes_dropped_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FaultRelay::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    CloseConn(*conn);
+    if (conn->to_upstream.joinable()) {
+      conn->to_upstream.join();
+    }
+    if (conn->to_client.joinable()) {
+      conn->to_client.join();
+    }
+  }
+  listener_.Close();
+}
+
+}  // namespace obladi

@@ -1,0 +1,124 @@
+// Toxiproxy-style TCP fault relay: a byte-level forwarder that sits between
+// the proxy and a StorageServer and injects network faults on command.
+//
+// The relay listens on its own port; each accepted connection is paired with
+// a fresh upstream connection and two pump threads (one per direction). Each
+// direction independently consults its DirectionFault before forwarding a
+// chunk, so tests and the nemesis can blackhole, delay, throttle, or
+// drip-feed either half of the conversation mid-flight — the connection
+// stays established from both endpoints' point of view, which is exactly
+// the half-open/partition shape TCP gives you in production and the one a
+// plain socket close cannot reproduce.
+//
+// All controls are programmatic and take effect on the next chunk; there is
+// no background randomness, so a scenario seeded the same way replays the
+// same fault schedule.
+#ifndef OBLADI_SRC_FAULT_FAULT_RELAY_H_
+#define OBLADI_SRC_FAULT_FAULT_RELAY_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/socket.h"
+
+namespace obladi {
+
+enum class RelayFaultMode {
+  kPass,       // forward chunks unmodified
+  kBlackhole,  // swallow chunks silently; the connection stays "up"
+  kDelay,      // forward each chunk after delay_ms
+  kThrottle,   // forward at most bytes_per_sec
+  kDrip,       // forward the first drip_bytes, then blackhole
+};
+
+struct DirectionFault {
+  RelayFaultMode mode = RelayFaultMode::kPass;
+  uint64_t delay_ms = 0;        // kDelay
+  uint64_t bytes_per_sec = 0;   // kThrottle (0 = no throttle)
+  uint64_t drip_bytes = 0;      // kDrip budget, consumed across chunks
+};
+
+class FaultRelay {
+ public:
+  struct RelayStats {
+    uint64_t connections = 0;     // accepted client connections
+    uint64_t bytes_relayed = 0;   // bytes actually forwarded (both dirs)
+    uint64_t bytes_dropped = 0;   // bytes swallowed by blackhole/drip
+    uint64_t faults_injected = 0; // fault-mode activations (Set*/Partition)
+  };
+
+  // Listens on 127.0.0.1:listen_port (0 = ephemeral; read back via port())
+  // and forwards every accepted connection to upstream_host:upstream_port.
+  static StatusOr<std::unique_ptr<FaultRelay>> Start(std::string upstream_host,
+                                                     uint16_t upstream_port,
+                                                     uint16_t listen_port = 0);
+
+  ~FaultRelay();
+  FaultRelay(const FaultRelay&) = delete;
+  FaultRelay& operator=(const FaultRelay&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+
+  // Per-direction fault controls; effective from the next relayed chunk.
+  void SetClientToUpstream(DirectionFault f);
+  void SetUpstreamToClient(DirectionFault f);
+
+  // Blackhole both directions / restore pass-through. A partitioned link
+  // looks alive to both endpoints — requests hang until their deadline,
+  // which is the failure shape the transport hardening exists for.
+  void Partition();
+  void Heal();
+
+  // Hard-close every live relayed connection (both halves). Unlike
+  // Partition this is visible immediately: pendings fail fast via OnClose.
+  void DropConnections();
+
+  RelayStats stats() const;
+
+  // Stops accepting, closes all connections, joins every thread. Idempotent.
+  void Stop();
+
+ private:
+  FaultRelay() = default;
+
+  struct Conn {
+    TcpSocket client;
+    TcpSocket upstream;
+    std::thread to_upstream;
+    std::thread to_client;
+    std::atomic<bool> closed{false};
+  };
+
+  void AcceptLoop();
+  // Pump src -> dst until either side dies, applying `dir`'s fault (0 =
+  // client->upstream, 1 = upstream->client) to each chunk.
+  void Pump(std::shared_ptr<Conn> conn, int dir);
+  DirectionFault SnapshotFault(int dir);
+  void CloseConn(Conn& conn);
+
+  std::string upstream_host_;
+  uint16_t upstream_port_ = 0;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  DirectionFault faults_[2];
+  // Remaining drip budget per direction (reset whenever kDrip is armed).
+  uint64_t drip_left_[2] = {0, 0};
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> bytes_relayed_{0};
+  std::atomic<uint64_t> bytes_dropped_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_FAULT_FAULT_RELAY_H_

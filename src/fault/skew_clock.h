@@ -1,0 +1,67 @@
+// SkewClock: an order- and uniqueness-preserving skew on the proxy's
+// *claimed* transaction timestamps.
+//
+// The audit verifier checks that the proxy's claimed commit order is
+// serializable AND consistent with real time, so a correct proxy may not
+// hand out arbitrary timestamps — but an adversarial or misconfigured one
+// might drift. This hook lets the clock-skew nemesis shift the claimed
+// timeline by a (possibly changing) offset while keeping the mapping a
+// strictly increasing function of the internal MVTSO counter: claimed
+// timestamps stay unique and order-identical to the internal ones, so a
+// skewed-but-honest proxy still passes the audit — which is exactly the
+// property the scenario demonstrates. (A mapping that *reordered*
+// timestamps would be caught, and tests assert that separately by feeding
+// the verifier a manually mangled history.)
+//
+// Thread-safe; deterministic (no wall clock, no RNG).
+#ifndef OBLADI_SRC_FAULT_SKEW_CLOCK_H_
+#define OBLADI_SRC_FAULT_SKEW_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace obladi {
+
+class SkewClock {
+ public:
+  explicit SkewClock(int64_t offset = 0) : offset_(offset) {}
+
+  // Change the skew mid-run (the nemesis jumps it forwards and backwards).
+  void SetOffset(int64_t offset) {
+    std::lock_guard<std::mutex> lk(mu_);
+    offset_ = offset;
+  }
+  void AdvanceOffset(int64_t delta) {
+    std::lock_guard<std::mutex> lk(mu_);
+    offset_ += delta;
+  }
+
+  // Map an internal timestamp to a claimed one. Strictly increasing across
+  // calls regardless of how the offset moves: a backwards offset jump
+  // flattens into +1 steps instead of reordering, preserving both
+  // uniqueness and the internal order.
+  uint64_t Skew(uint64_t internal) {
+    std::lock_guard<std::mutex> lk(mu_);
+    int64_t shifted = static_cast<int64_t>(internal) + offset_;
+    uint64_t claimed = shifted < 1 ? 1 : static_cast<uint64_t>(shifted);
+    if (claimed <= last_claimed_) {
+      claimed = last_claimed_ + 1;
+    }
+    last_claimed_ = claimed;
+    skews_.fetch_add(1, std::memory_order_relaxed);
+    return claimed;
+  }
+
+  uint64_t skews() const { return skews_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  int64_t offset_ = 0;
+  uint64_t last_claimed_ = 0;
+  std::atomic<uint64_t> skews_{0};
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_FAULT_SKEW_CLOCK_H_

@@ -26,6 +26,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,31 @@
 
 namespace obladi {
 
+// Call()-path retry policy: exponential backoff with jitter, a retry budget
+// (token bucket) so a storm of failures cannot double traffic, and a
+// per-node circuit breaker that fails fast while the node looks dead and
+// probes it half-open after a cool-down. kLogAppend / kLogAppendSync are
+// NEVER retried regardless of policy (at-most-once WAL appends).
+struct RetryPolicy {
+  // Total attempts per Call (1 = no retry). The historical behavior was one
+  // transparent resubmission across a redial, i.e. max_attempts = 2.
+  int max_attempts = 2;
+  uint64_t initial_backoff_us = 500;
+  uint64_t max_backoff_us = 50000;
+  // Uniform jitter fraction applied to each backoff (0.5 = +/-50%).
+  double jitter = 0.5;
+  // Token bucket: every Call earns retry_budget_ratio tokens (capped); each
+  // retry spends one. Bounds retry amplification under sustained failure.
+  double retry_budget_ratio = 0.2;
+  double retry_budget_cap = 10.0;
+  // Consecutive Call-path transport failures before the breaker opens.
+  // 0 disables the breaker.
+  int breaker_failure_threshold = 5;
+  // Open duration before a single half-open probe is let through.
+  uint64_t breaker_open_ms = 200;
+  uint64_t seed = 0x0b1ad1;  // jitter RNG (deterministic per client)
+};
+
 struct AsyncClientOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
@@ -45,6 +71,16 @@ struct AsyncClientOptions {
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   // Per-connection send-queue cap (bytes); submitters block above it.
   size_t write_queue_cap = kDefaultWriteQueueCapBytes;
+  // Default per-request deadline (0 = none). An expired request completes
+  // with kDeadlineExceeded and its connection is torn down + redialed, so a
+  // straggler reply can never poison the socket.
+  uint64_t default_deadline_ms = 0;
+  // Application-level heartbeat pings (0 = off): every interval each
+  // connected slot is pinged with a deadline of heartbeat_timeout_ms; an
+  // expired ping tears the (half-open) connection down.
+  uint64_t heartbeat_interval_ms = 0;
+  uint64_t heartbeat_timeout_ms = 1000;
+  RetryPolicy retry;
 };
 
 // Completion handle for one submitted request.
@@ -108,20 +144,30 @@ class AsyncNetClient {
 
   Status Start();
 
+  // Per-request deadline sentinel: "use options().default_deadline_ms".
+  static constexpr uint64_t kUseDefaultDeadline = ~0ull;
+
   // Queue one request (fills req.id) and return its completion handle.
   // Submission blocks only on write-queue backpressure, never on the
-  // response. The future completes from the event-loop thread.
-  NetFuture Submit(NetRequest req);
+  // response. The future completes from the event-loop thread. deadline_ms
+  // overrides the client default (0 = no deadline for this request).
+  NetFuture Submit(NetRequest req, uint64_t deadline_ms = kUseDefaultDeadline);
   // Completion-queue form: the result lands in `cq` tagged with `tag`.
-  void Submit(NetRequest req, CompletionQueue* cq, uint64_t tag);
+  void Submit(NetRequest req, CompletionQueue* cq, uint64_t tag,
+              uint64_t deadline_ms = kUseDefaultDeadline);
   // Callback form: `done` fires on the event-loop thread (or inline on a
   // submission failure). Keep it cheap; hand heavy work to a pool.
   using ResponseCallback = std::function<void(StatusOr<NetResponse>)>;
-  void Submit(NetRequest req, ResponseCallback done);
+  void Submit(NetRequest req, ResponseCallback done,
+              uint64_t deadline_ms = kUseDefaultDeadline);
 
-  // Blocking convenience: Submit + Wait, with a single transparent
-  // resubmission across a redial for idempotent types (never kLogAppend).
-  StatusOr<NetResponse> Call(NetRequest req);
+  // Blocking convenience: Submit + Wait under the retry policy — exponential
+  // backoff + jitter, retry budget, circuit breaker. Transport failures
+  // (kUnavailable, kDeadlineExceeded) on idempotent types resubmit across a
+  // redial up to retry.max_attempts; kLogAppend / kLogAppendSync stay
+  // at-most-once. While the breaker is open, fails fast with Unavailable.
+  StatusOr<NetResponse> Call(NetRequest req,
+                             uint64_t deadline_ms = kUseDefaultDeadline);
 
   NetworkStats& stats() { return stats_; }
   const AsyncClientOptions& options() const { return options_; }
@@ -140,14 +186,39 @@ class AsyncNetClient {
     size_t slot = 0;
     uint64_t generation = 0;
     uint64_t submit_ns = 0;  // 0 unless the tracer was enabled at submit
-    // Exactly one of fut / cq / callback is set.
+    uint64_t deadline_ms = 0;      // resolved per-request deadline (0 = none)
+    uint64_t deadline_timer = 0;   // loop timer id (0 = none armed)
+    bool heartbeat = false;        // internal ping; failures count separately
+    // Exactly one of fut / cq / callback is set (heartbeats set none).
     std::shared_ptr<NetFuture::State> fut;
     CompletionQueue* cq = nullptr;
     uint64_t tag = 0;
     ResponseCallback callback;
   };
 
-  void SubmitEncoded(MsgType type, uint64_t id, const Bytes& payload, Pending p);
+  // force_slot pins the request to one connection slot (heartbeats);
+  // allow_block=false skips write-queue backpressure, required when the
+  // caller IS the event-loop thread (blocking there would deadlock the
+  // drain).
+  void SubmitEncoded(MsgType type, uint64_t id, const Bytes& payload, Pending p,
+                     const size_t* force_slot = nullptr, bool allow_block = true);
+  uint64_t ResolveDeadline(uint64_t deadline_ms) const {
+    return deadline_ms == kUseDefaultDeadline ? options_.default_deadline_ms : deadline_ms;
+  }
+  // Deadline timer fired for request `id`: complete it with
+  // kDeadlineExceeded and tear its connection down (loop thread).
+  void OnDeadline(uint64_t id);
+  // Heartbeat machinery (loop thread). Each tick pings every connected slot
+  // with a deadline and re-arms itself.
+  void ArmHeartbeat();
+  void HeartbeatTick();
+  // Circuit breaker (Call path). Allow returns false while open; Record
+  // feeds attempt outcomes back.
+  bool BreakerAllow();
+  void BreakerRecord(bool success);
+  // Retry budget: true if a retry token is available (and spends it).
+  bool SpendRetryToken();
+  uint64_t BackoffWithJitterUs(int attempt);
   // Dial slot `s` if it has no live connection. Caller holds slot.mu.
   Status EnsureConnectedLocked(size_t s, Slot& slot);
   void OnFrame(size_t s, uint64_t generation, Bytes payload);
@@ -169,6 +240,16 @@ class AsyncNetClient {
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, Pending> pending_;
+
+  // Retry/breaker state (Call path). Guarded by policy_mu_.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  std::mutex policy_mu_;
+  BreakerState breaker_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t breaker_opened_us_ = 0;
+  bool probe_inflight_ = false;
+  double retry_tokens_ = 0;
+  std::mt19937_64 jitter_rng_;
 };
 
 }  // namespace obladi

@@ -6,11 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <limits>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/obs/trace.h"
 
 namespace obladi {
@@ -97,6 +99,12 @@ void EventLoop::Stop() {
   for (auto& [id, conn] : leftover) {
     KillConnection(id, conn, Status::Unavailable("event loop stopped"));
   }
+  {
+    // Pending timers die with the loop (documented: dropped, never fired).
+    std::lock_guard<std::mutex> lk(timers_mu_);
+    timer_heap_ = {};
+    timer_cbs_.clear();
+  }
   ::close(wake_fd_);
   ::close(epoll_fd_);
   wake_fd_ = epoll_fd_ = -1;
@@ -141,7 +149,7 @@ std::shared_ptr<EventLoop::Conn> EventLoop::FindConn(uint64_t id) const {
   return it == conns_.end() ? nullptr : it->second;
 }
 
-Status EventLoop::SendFrame(uint64_t conn_id, const Bytes& payload) {
+Status EventLoop::SendFrame(uint64_t conn_id, const Bytes& payload, bool allow_block) {
   if (payload.size() > std::numeric_limits<uint32_t>::max()) {
     return Status::InvalidArgument("frame exceeds u32 length prefix");
   }
@@ -157,7 +165,9 @@ Status EventLoop::SendFrame(uint64_t conn_id, const Bytes& payload) {
     // Backpressure: hold the submitter here until the loop drains the queue
     // below the cap (or the connection dies). A single frame larger than the
     // cap is still accepted — refusing it would deadlock the submitter.
-    conn->cv.wait(lk, [&] { return conn->dead || conn->wq_bytes < conn->write_queue_cap; });
+    if (allow_block) {
+      conn->cv.wait(lk, [&] { return conn->dead || conn->wq_bytes < conn->write_queue_cap; });
+    }
     if (conn->dead) {
       return Status::Unavailable("connection closed");
     }
@@ -366,12 +376,63 @@ void EventLoop::KillConnection(uint64_t id, const std::shared_ptr<Conn>& conn,
   }
 }
 
+uint64_t EventLoop::AddTimer(uint64_t delay_ms, std::function<void()> cb) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  uint64_t id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(timers_mu_);
+    timer_heap_.emplace(NowMicros() + delay_ms * 1000, id);
+    timer_cbs_.emplace(id, std::move(cb));
+  }
+  // Wake the loop so its epoll timeout shrinks to the new deadline.
+  uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  return id;
+}
+
+bool EventLoop::CancelTimer(uint64_t timer_id) {
+  std::lock_guard<std::mutex> lk(timers_mu_);
+  return timer_cbs_.erase(timer_id) > 0;
+}
+
+int EventLoop::RunDueTimers() {
+  constexpr int kIdleTimeoutMs = 200;
+  std::vector<std::function<void()>> due;
+  int timeout_ms = kIdleTimeoutMs;
+  {
+    std::lock_guard<std::mutex> lk(timers_mu_);
+    uint64_t now = NowMicros();
+    while (!timer_heap_.empty()) {
+      auto [deadline_us, id] = timer_heap_.top();
+      if (deadline_us > now) {
+        uint64_t wait_ms = (deadline_us - now + 999) / 1000;
+        timeout_ms = static_cast<int>(std::min<uint64_t>(wait_ms, kIdleTimeoutMs));
+        break;
+      }
+      timer_heap_.pop();
+      auto it = timer_cbs_.find(id);
+      if (it != timer_cbs_.end()) {
+        due.push_back(std::move(it->second));
+        timer_cbs_.erase(it);
+      }
+    }
+  }
+  // Callbacks run outside timers_mu_ so they may add/cancel timers freely.
+  for (auto& cb : due) {
+    cb();
+  }
+  return timeout_ms;
+}
+
 void EventLoop::LoopThread() {
   Tracer::Get().SetThreadName("net-event-loop");
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_.load(std::memory_order_acquire)) {
-    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/200);
+    int timeout_ms = RunDueTimers();
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) {
         continue;

@@ -30,8 +30,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
@@ -77,8 +79,19 @@ class EventLoop {
 
   // Queue one wire frame (the 4-byte length prefix is added here). Blocks
   // while the connection's write queue is over its cap; returns Unavailable
-  // if the connection is gone or the loop stopped.
-  Status SendFrame(uint64_t conn_id, const Bytes& payload);
+  // if the connection is gone or the loop stopped. With allow_block false
+  // the frame is queued regardless of the cap — the form the loop thread
+  // itself must use (heartbeats), since blocking there would deadlock the
+  // drain that relieves the backpressure.
+  Status SendFrame(uint64_t conn_id, const Bytes& payload, bool allow_block = true);
+
+  // Timer wheel: run `cb` on the loop thread after delay_ms (one-shot).
+  // Returns a nonzero timer id, or 0 if the loop is not running. Timers
+  // still pending at Stop() are dropped, never fired.
+  uint64_t AddTimer(uint64_t delay_ms, std::function<void()> cb);
+  // True if the timer was cancelled before firing (false: already fired,
+  // currently firing, or unknown).
+  bool CancelTimer(uint64_t timer_id);
 
   // Tear one connection down (its on_close fires with the given status).
   void CloseConnection(uint64_t conn_id, const Status& reason);
@@ -118,6 +131,9 @@ class EventLoop {
   // Transition to dead (once), fail blocked senders, deregister, on_close.
   void KillConnection(uint64_t id, const std::shared_ptr<Conn>& conn, const Status& reason);
   std::shared_ptr<Conn> FindConn(uint64_t id) const;
+  // Fire every due timer (loop thread); returns the epoll timeout until the
+  // next deadline, capped at the idle poll interval.
+  int RunDueTimers();
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: Stop() pokes the loop out of epoll_wait
@@ -127,6 +143,15 @@ class EventLoop {
 
   mutable std::mutex conns_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+
+  // Timer wheel (min-heap with lazy deletion: CancelTimer only erases the
+  // callback; the heap entry is skipped when it surfaces).
+  std::mutex timers_mu_;
+  std::atomic<uint64_t> next_timer_id_{1};
+  std::priority_queue<std::pair<uint64_t, uint64_t>,
+                      std::vector<std::pair<uint64_t, uint64_t>>,
+                      std::greater<>> timer_heap_;  // (deadline_us, id)
+  std::unordered_map<uint64_t, std::function<void()>> timer_cbs_;
 };
 
 }  // namespace obladi

@@ -51,6 +51,12 @@ struct RemoteStoreOptions {
   // (bench baseline only; the remote stores no longer use it).
   size_t pool_size = 4;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Transport hardening knobs, passed through to AsyncClientOptions: 0
+  // keeps the historical no-deadline / no-heartbeat behavior.
+  uint64_t default_deadline_ms = 0;
+  uint64_t heartbeat_interval_ms = 0;
+  uint64_t heartbeat_timeout_ms = 1000;
+  RetryPolicy retry;
 
   AsyncClientOptions ToAsyncOptions() const {
     AsyncClientOptions opts;
@@ -58,6 +64,10 @@ struct RemoteStoreOptions {
     opts.port = port;
     opts.num_connections = num_connections;
     opts.max_frame_bytes = max_frame_bytes;
+    opts.default_deadline_ms = default_deadline_ms;
+    opts.heartbeat_interval_ms = heartbeat_interval_ms;
+    opts.heartbeat_timeout_ms = heartbeat_timeout_ms;
+    opts.retry = retry;
     return opts;
   }
 };
@@ -143,6 +153,7 @@ class RemoteBucketStore : public BucketStore {
                          uint32_t trailer_bytes, ReadPathsXorDone done) override;
 
   NetworkStats& stats() { return client_->stats(); }
+  NetworkStats* network_stats() override { return &client_->stats(); }
   const std::shared_ptr<AsyncNetClient>& client() const { return client_; }
 
  private:
@@ -170,6 +181,7 @@ class RemoteLogStore : public LogStore {
   uint64_t NextLsn() const override;
 
   NetworkStats& stats() { return client_->stats(); }
+  NetworkStats* network_stats() override { return &client_->stats(); }
   const std::shared_ptr<AsyncNetClient>& client() const { return client_; }
 
  private:

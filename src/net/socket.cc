@@ -31,6 +31,27 @@ void SetNoDelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+// Kernel-level half-open detection backing up the application heartbeats:
+// keepalive probes start after 30 s of silence and give up after 3 misses,
+// and TCP_USER_TIMEOUT bounds how long unacked transmit data may sit in the
+// send queue before the kernel errors the connection — without it a
+// partitioned-but-alive peer leaves a sender blocked until the (15-minute
+// scale) retransmission limit.
+void SetKeepAlive(int fd) {
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+  int idle = 30;
+  setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle, sizeof(idle));
+  int interval = 5;
+  setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &interval, sizeof(interval));
+  int count = 3;
+  setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &count, sizeof(count));
+#ifdef TCP_USER_TIMEOUT
+  unsigned int user_timeout_ms = 45000;
+  setsockopt(fd, IPPROTO_TCP, TCP_USER_TIMEOUT, &user_timeout_ms, sizeof(user_timeout_ms));
+#endif
+}
+
 }  // namespace
 
 TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
@@ -60,6 +81,7 @@ StatusOr<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
     return Errno("connect " + host + ":" + std::to_string(port));
   }
   SetNoDelay(fd);
+  SetKeepAlive(fd);
   return sock;
 }
 
@@ -186,6 +208,7 @@ StatusOr<TcpSocket> TcpListener::Accept() {
     int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) {
       SetNoDelay(fd);
+      SetKeepAlive(fd);
       return TcpSocket(fd);
     }
     if (errno == EINTR) {

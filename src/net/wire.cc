@@ -12,7 +12,7 @@ bool ValidMsgType(uint8_t raw) {
 }
 
 bool ValidStatusCode(uint8_t raw) {
-  return raw <= static_cast<uint8_t>(StatusCode::kInternal);
+  return raw <= static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
 }
 
 void PutHeader(BinaryWriter& w, MsgType type, uint64_t id) {

@@ -79,6 +79,20 @@ void ExportNetworkStats(MetricsSink& sink, const NetworkStats& s,
   sink.Counter("net_reconnects_total", labels,
                s.reconnects.load(std::memory_order_relaxed),
                "connections re-established after failure");
+  sink.Counter("deadline_exceeded_total", labels,
+               s.deadline_exceeded.load(std::memory_order_relaxed),
+               "requests that expired before a response landed");
+  sink.Counter("net_retries_total", labels, s.retries.load(std::memory_order_relaxed),
+               "retry-policy resubmissions");
+  sink.Counter("breaker_open_total", labels,
+               s.breaker_open.load(std::memory_order_relaxed),
+               "circuit-breaker open transitions");
+  sink.Counter("net_heartbeats_sent_total", labels,
+               s.heartbeats_sent.load(std::memory_order_relaxed),
+               "application-level heartbeat pings sent");
+  sink.Counter("net_heartbeat_failures_total", labels,
+               s.heartbeat_failures.load(std::memory_order_relaxed),
+               "heartbeats that expired (connection torn down)");
 }
 
 void ExportStorageServerStats(MetricsSink& sink, const StorageServerStats& s,

@@ -35,8 +35,25 @@ std::unique_ptr<ShardedOramSet> ObladiStore::MakeOramSet(uint64_t seed) const {
   options.oram = cfg_.oram_options;
   options.read_quota = cfg_.read_quota();
   options.write_quota = cfg_.write_quota();
+  if (!shard_stores_.empty()) {
+    return std::make_unique<ShardedOramSet>(cfg_.MakeLayout(), options, shard_stores_,
+                                            encryptor_, seed);
+  }
   return std::make_unique<ShardedOramSet>(cfg_.MakeLayout(), options, store_, encryptor_,
                                           seed);
+}
+
+ObladiStore::ObladiStore(ObladiConfig cfg,
+                         std::vector<std::shared_ptr<BucketStore>> shard_stores,
+                         std::shared_ptr<LogStore> log)
+    : ObladiStore(std::move(cfg), nullptr, std::move(log)) {
+  // Delegation order note: the delegated constructor runs MakeOramSet with
+  // shard_stores_ still empty, so rebuild the set over the per-shard stores
+  // here, before anything can touch it (no threads observe oram_ yet —
+  // the retirement worker only dereferences it once a job is queued).
+  shard_stores_ = std::move(shard_stores);
+  oram_ = MakeOramSet(cfg_.seed);
+  AttachWatchdog();
 }
 
 ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
@@ -119,6 +136,55 @@ void ObladiStore::SetupObservability() {
         sink.Counter("obs_watchdog_epochs_checked_total", {},
                      watchdog_->epochs_checked(), "epochs whose trace shape was checked");
       }
+      // Transport hardening counters of every remote/decorated store the
+      // proxy was built over, labeled by tier (and shard for per-shard
+      // stores), plus unlabeled sums of the headline fault metrics so
+      // dashboards and the nemesis assertions need no label math.
+      uint64_t deadline_sum = 0;
+      uint64_t breaker_sum = 0;
+      uint64_t retries_sum = 0;
+      for (const auto& [labels, ns] : CollectNetworkStats()) {
+        ExportNetworkStats(sink, *ns, labels);
+        deadline_sum += ns->deadline_exceeded.load(std::memory_order_relaxed);
+        breaker_sum += ns->breaker_open.load(std::memory_order_relaxed);
+        retries_sum += ns->retries.load(std::memory_order_relaxed);
+      }
+      sink.Counter("deadline_exceeded_total", {}, deadline_sum,
+                   "requests expired before a response landed (all tiers)");
+      sink.Counter("breaker_open_total", {}, breaker_sum,
+                   "circuit-breaker open transitions (all tiers)");
+      sink.Counter("net_retries_total", {}, retries_sum,
+                   "retry-policy resubmissions (all tiers)");
+      {
+        // Shard health: which storage node a degradation/abort came from.
+        std::lock_guard<std::mutex> lk(mu_);
+        if (oram_ != nullptr) {
+          auto health = oram_->ShardHealthSnapshot();
+          auto failures = oram_->ShardFailuresSnapshot();
+          for (size_t sd = 0; sd < health.size(); ++sd) {
+            MetricLabels labels{{"shard", std::to_string(sd)}};
+            sink.Gauge("obladi_shard_healthy", labels, health[sd],
+                       "1 = shard's last storage operation succeeded");
+            sink.Counter("obladi_shard_failures_total", labels, failures[sd],
+                         "failed shard storage operations");
+          }
+        }
+      }
+    });
+  }
+  if (watchdog_) {
+    // Default wire-byte accounting: feed the watchdog the byte counters of
+    // whatever remote stores the proxy was constructed over. Collected
+    // lazily at sample time so the per-shard constructor's late store
+    // installation is picked up.
+    watchdog_->SetWireByteSource([this]() -> std::pair<uint64_t, uint64_t> {
+      uint64_t sent = 0;
+      uint64_t received = 0;
+      for (const auto& [labels, ns] : CollectNetworkStats()) {
+        sent += ns->bytes_sent.load(std::memory_order_relaxed);
+        received += ns->bytes_received.load(std::memory_order_relaxed);
+      }
+      return {sent, received};
     });
   }
   if (cfg_.obs.admin_listener) {
@@ -142,6 +208,24 @@ void ObladiStore::AttachWatchdog() {
   if (watchdog_ && oram_) {
     oram_->SetWatchdog(watchdog_.get());
   }
+}
+
+std::vector<std::pair<MetricLabels, NetworkStats*>> ObladiStore::CollectNetworkStats()
+    const {
+  std::vector<std::pair<MetricLabels, NetworkStats*>> out;
+  if (store_ != nullptr && store_->network_stats() != nullptr) {
+    out.emplace_back(MetricLabels{{"tier", "bucket"}}, store_->network_stats());
+  }
+  for (size_t s = 0; s < shard_stores_.size(); ++s) {
+    if (shard_stores_[s] != nullptr && shard_stores_[s]->network_stats() != nullptr) {
+      out.emplace_back(MetricLabels{{"tier", "bucket"}, {"shard", std::to_string(s)}},
+                       shard_stores_[s]->network_stats());
+    }
+  }
+  if (log_ != nullptr && log_->network_stats() != nullptr) {
+    out.emplace_back(MetricLabels{{"tier", "log"}}, log_->network_stats());
+  }
+  return out;
 }
 
 void ObladiStore::ResetEpochBatchesLocked() {
@@ -172,7 +256,38 @@ Status ObladiStore::Load(const std::vector<std::pair<Key, std::string>>& records
   return Status::Ok();
 }
 
-Timestamp ObladiStore::Begin() { return engine_.Begin(); }
+Timestamp ObladiStore::Begin() {
+  if (!skew_enabled_.load(std::memory_order_acquire)) {
+    return engine_.Begin();
+  }
+  // One lock over engine Begin + hook: concurrent Begins must map to
+  // claimed timestamps in the same order as their internal ones, or the
+  // skewed proxy would (wrongly) present a reordered timeline and fail the
+  // audit for a reason the scenario didn't inject.
+  std::lock_guard<std::mutex> lk(skew_mu_);
+  Timestamp internal = engine_.Begin();
+  if (!claimed_ts_hook_) {
+    return internal;
+  }
+  Timestamp claimed = claimed_ts_hook_(internal);
+  claimed_to_internal_[claimed] = internal;
+  return claimed;
+}
+
+Timestamp ObladiStore::ResolveTxn(Timestamp txn) const {
+  if (!skew_enabled_.load(std::memory_order_acquire)) {
+    return txn;
+  }
+  std::lock_guard<std::mutex> lk(skew_mu_);
+  auto it = claimed_to_internal_.find(txn);
+  return it == claimed_to_internal_.end() ? txn : it->second;
+}
+
+void ObladiStore::SetClaimedTimestampHook(std::function<uint64_t(uint64_t)> hook) {
+  std::lock_guard<std::mutex> lk(skew_mu_);
+  claimed_ts_hook_ = std::move(hook);
+  skew_enabled_.store(claimed_ts_hook_ != nullptr, std::memory_order_release);
+}
 
 StatusOr<std::shared_future<Status>> ObladiStore::EnqueueFetch(const Key& key, BlockId id) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -207,6 +322,7 @@ StatusOr<std::shared_future<Status>> ObladiStore::EnqueueFetch(const Key& key, B
 }
 
 StatusOr<std::string> ObladiStore::Read(Timestamp txn, const Key& key) {
+  txn = ResolveTxn(txn);
   for (;;) {
     ReadOutcome outcome = engine_.Read(txn, key);
     if (outcome.kind == ReadOutcome::kAborted) {
@@ -243,6 +359,7 @@ StatusOr<std::string> ObladiStore::Read(Timestamp txn, const Key& key) {
 }
 
 Status ObladiStore::Write(Timestamp txn, const Key& key, std::string value) {
+  txn = ResolveTxn(txn);
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (crashed_) {
@@ -260,6 +377,15 @@ Status ObladiStore::Write(Timestamp txn, const Key& key, std::string value) {
 }
 
 StatusOr<std::shared_future<Status>> ObladiStore::CommitAsync(Timestamp txn) {
+  if (skew_enabled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(skew_mu_);
+    auto it = claimed_to_internal_.find(txn);
+    if (it != claimed_to_internal_.end()) {
+      // The claimed handle's last use: translate and drop the mapping.
+      txn = it->second;
+      claimed_to_internal_.erase(it);
+    }
+  }
   std::shared_ptr<std::promise<Status>> waiter;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -287,7 +413,17 @@ Status ObladiStore::Commit(Timestamp txn) {
   return fut->get();
 }
 
-void ObladiStore::Abort(Timestamp txn) { engine_.Abort(txn); }
+void ObladiStore::Abort(Timestamp txn) {
+  if (skew_enabled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(skew_mu_);
+    auto it = claimed_to_internal_.find(txn);
+    if (it != claimed_to_internal_.end()) {
+      txn = it->second;
+      claimed_to_internal_.erase(it);
+    }
+  }
+  engine_.Abort(txn);
+}
 
 void ObladiStore::InstallPlanHook(bool rendezvous) {
   if (!recovery_) {
@@ -497,7 +633,8 @@ Status ObladiStore::CloseEpochNow() {
   };
   uint64_t stall_us = 0;
   bool overlapped = false;
-  Status idle_st = AwaitRetireIdle(first_dispatch_us, &stall_us, &overlapped);
+  Status idle_st =
+      AwaitRetireIdle(first_dispatch_us, &stall_us, &overlapped, cfg_.retire_timeout_ms);
   if (!idle_st.ok()) {
     return fail_epoch(idle_st);
   }
@@ -551,7 +688,7 @@ Status ObladiStore::CloseEpochNow() {
 }
 
 Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_us,
-                                    bool* overlapped) {
+                                    bool* overlapped, uint64_t timeout_ms) {
   std::unique_lock<std::mutex> rlk(retire_mu_);
   if (!retire_idle_) {
     if (overlapped != nullptr) {
@@ -559,7 +696,21 @@ Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_
     }
     OBS_SPAN("epoch", "epoch.retire_stall");
     uint64_t start = NowMicros();
-    retire_cv_.wait(rlk, [&] { return retire_idle_; });
+    if (timeout_ms == 0) {
+      retire_cv_.wait(rlk, [&] { return retire_idle_; });
+    } else if (!retire_cv_.wait_for(rlk, std::chrono::milliseconds(timeout_ms),
+                                    [&] { return retire_idle_; })) {
+      // Retirement stall watchdog: the previous epoch's write-back or
+      // checkpoint is stuck (unreachable storage node, hung WAL fsync).
+      // Give up on this close instead of hanging the epoch driver — the
+      // caller fails blocked clients retriably, and the wedged retirement
+      // is drained (unbounded) by SimulateCrash once the fault heals.
+      if (stall_us != nullptr) {
+        *stall_us += NowMicros() - start;
+      }
+      return Status::DeadlineExceeded("epoch retirement still not idle after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
     if (stall_us != nullptr) {
       *stall_us += NowMicros() - start;
     }
@@ -573,7 +724,7 @@ Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_
 }
 
 Status ObladiStore::DrainRetirement() {
-  return AwaitRetireIdle(0, nullptr, nullptr);
+  return AwaitRetireIdle(0, nullptr, nullptr, /*timeout_ms=*/0);
 }
 
 Status ObladiStore::FinishEpochNow() {
@@ -777,6 +928,11 @@ void ObladiStore::SimulateCrash() {
   crashed_ = true;
   FailAllWaiters();
   engine_.Reset();
+  {
+    // Claimed-timestamp translations are volatile proxy state too.
+    std::lock_guard<std::mutex> slk(skew_mu_);
+    claimed_to_internal_.clear();
+  }
   // All volatile ORAM metadata is gone with the proxy.
   oram_.reset();
   {

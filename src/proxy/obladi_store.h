@@ -58,6 +58,7 @@
 #ifndef OBLADI_SRC_PROXY_OBLADI_STORE_H_
 #define OBLADI_SRC_PROXY_OBLADI_STORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <future>
 #include <memory>
@@ -103,6 +104,13 @@ struct ObladiConfig {
   // every batch's critical path (the bench's serial baseline).
   bool combine_batch_plan_logs = true;
   RecoveryConfig recovery;
+  // Graceful degradation: how long an epoch close may wait on the previous
+  // retirement before giving up (0 = wait forever, the historical
+  // behavior). When a storage node becomes unreachable mid-retirement the
+  // close step fails with DeadlineExceeded after this budget instead of
+  // hanging, blocked clients fail retriably, and the proxy can be recovered
+  // once the partition heals.
+  uint64_t retire_timeout_ms = 0;
   // Observability: span tracing, metrics registry + admin scrape listener,
   // and the oblivious trace-shape watchdog. All off by default (zero-cost).
   ObsConfig obs;
@@ -153,6 +161,12 @@ class ObladiStore : public TransactionalKv {
   // have at least cfg.StoreBuckets() buckets.
   ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
               std::shared_ptr<LogStore> log);
+  // Per-shard backing stores (cfg.num_shards of them, each with at least
+  // MakeLayout().shard_config.num_buckets() buckets) — one storage node per
+  // shard, the deployment where a single node can partition away while the
+  // rest stay reachable. Crash recovery rebuilds over the same stores.
+  ObladiStore(ObladiConfig cfg, std::vector<std::shared_ptr<BucketStore>> shard_stores,
+              std::shared_ptr<LogStore> log);
   ~ObladiStore() override;
 
   // Bulk-load the initial database and write the base checkpoint. Must be
@@ -193,6 +207,15 @@ class ObladiStore : public TransactionalKv {
   // durable, before its checkpoint append. Lets tests hold an epoch in the
   // retiring state (and crash the proxy inside the window).
   void SetRetireHookForTest(std::function<void()> hook);
+
+  // Clock-skew fault hook: maps each internal MVTSO timestamp to the
+  // *claimed* timestamp handed to clients (and embedded in audit
+  // histories). The hook MUST be strictly increasing across calls (see
+  // src/fault/skew_clock.h) — Begin() serializes engine Begin + hook under
+  // one lock so claimed order matches internal order, and every public
+  // entry point translates claimed handles back. nullptr (default)
+  // disables translation at zero cost.
+  void SetClaimedTimestampHook(std::function<uint64_t(uint64_t)> hook);
 
   // --- crash & recovery (§8) ---
   // Drop all volatile proxy state, as if the proxy process died. In-flight
@@ -258,8 +281,14 @@ class ObladiStore : public TransactionalKv {
   // Wait until the retirement stage is idle; adds any wait to *stall_us and
   // sets *overlapped if the previous retirement was still running when this
   // epoch dispatched its first batch (first_dispatch_us; 0 = no dispatch
-  // yet). Returns the sticky retirement status.
-  Status AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_us, bool* overlapped);
+  // yet). Returns the sticky retirement status. timeout_ms bounds the wait
+  // (0 = unbounded); on expiry returns DeadlineExceeded without consuming
+  // the retirement (SimulateCrash still drains it unbounded).
+  Status AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_us, bool* overlapped,
+                         uint64_t timeout_ms);
+  // Translate a client-visible (possibly skewed) timestamp back to the
+  // internal one; identity when no claimed-timestamp hook is installed.
+  Timestamp ResolveTxn(Timestamp txn) const;
   Status CompleteCrashEpoch(const std::vector<size_t>& replayed_per_shard);
   void FailAllWaiters();
   void ResetEpochBatchesLocked();
@@ -268,9 +297,13 @@ class ObladiStore : public TransactionalKv {
   // (the rebuilt ORAM set must be re-attached to the watchdog).
   void SetupObservability();
   void AttachWatchdog();
+  // Every backing store (shared or per-shard, plus the log) that exposes
+  // transport counters, labeled for metric export.
+  std::vector<std::pair<MetricLabels, NetworkStats*>> CollectNetworkStats() const;
 
   ObladiConfig cfg_;
-  std::shared_ptr<BucketStore> store_;
+  std::shared_ptr<BucketStore> store_;  // shared-store form (empty shard_stores_)
+  std::vector<std::shared_ptr<BucketStore>> shard_stores_;  // per-shard form
   std::shared_ptr<LogStore> log_;
   std::shared_ptr<Encryptor> encryptor_;
   // Declared before oram_ so they outlive it: the shard plan hooks hold a
@@ -310,6 +343,13 @@ class ObladiStore : public TransactionalKv {
   Status retire_status_;            // sticky first retirement failure
   uint64_t last_retire_done_us_ = 0;
   std::function<void()> retire_hook_;
+
+  // Clock-skew fault state (see SetClaimedTimestampHook). skew_mu_ covers
+  // engine Begin + hook so claimed order equals internal begin order.
+  mutable std::mutex skew_mu_;
+  std::atomic<bool> skew_enabled_{false};
+  std::function<uint64_t(uint64_t)> claimed_ts_hook_;
+  std::unordered_map<Timestamp, Timestamp> claimed_to_internal_;
 
   // Plan rendezvous state (see SubmitPlanForLogging).
   std::mutex plan_mu_;

@@ -54,16 +54,49 @@ void ShardedOramSet::Construct(std::vector<std::shared_ptr<BucketStore>> shard_s
 
 Status ShardedOramSet::RunOnShards(const std::function<Status(uint32_t)>& fn) {
   if (layout_.num_shards == 1) {
-    return fn(0);
+    Status st = fn(0);
+    RecordShardOutcome(0, st.ok());
+    return st;
   }
   std::vector<Status> results(layout_.num_shards, Status::Ok());
   coordinator_->ParallelFor(layout_.num_shards, [&](size_t s) {
     results[s] = fn(static_cast<uint32_t>(s));
   });
+  for (uint32_t s = 0; s < layout_.num_shards; ++s) {
+    RecordShardOutcome(s, results[s].ok());
+  }
   for (const Status& st : results) {
     OBLADI_RETURN_IF_ERROR(st);
   }
   return Status::Ok();
+}
+
+void ShardedOramSet::RecordShardOutcome(uint32_t shard, bool ok) {
+  std::lock_guard<std::mutex> lk(health_mu_);
+  if (shard_healthy_.size() != layout_.num_shards) {
+    shard_healthy_.assign(layout_.num_shards, 1);
+    shard_failures_.assign(layout_.num_shards, 0);
+  }
+  shard_healthy_[shard] = ok ? 1 : 0;
+  if (!ok) {
+    shard_failures_[shard]++;
+  }
+}
+
+std::vector<uint8_t> ShardedOramSet::ShardHealthSnapshot() const {
+  std::lock_guard<std::mutex> lk(health_mu_);
+  if (shard_healthy_.size() != layout_.num_shards) {
+    return std::vector<uint8_t>(layout_.num_shards, 1);
+  }
+  return shard_healthy_;
+}
+
+std::vector<uint64_t> ShardedOramSet::ShardFailuresSnapshot() const {
+  std::lock_guard<std::mutex> lk(health_mu_);
+  if (shard_failures_.size() != layout_.num_shards) {
+    return std::vector<uint64_t>(layout_.num_shards, 0);
+  }
+  return shard_failures_;
 }
 
 Status ShardedOramSet::Initialize(const std::vector<Bytes>& values) {

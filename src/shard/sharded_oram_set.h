@@ -31,6 +31,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/status.h"
@@ -167,6 +168,14 @@ class ShardedOramSet {
   std::vector<RingOramStats> per_shard_stats() const;
   void ResetStats();
 
+  // Per-shard health, recorded from every fanned-out shard operation:
+  // 1 = healthy (last operation succeeded), 0 = degraded (last operation
+  // failed — partitioned storage node, deadline expiries, ...). Exported as
+  // obs gauges by the proxy so an operator can see WHICH shard an epoch
+  // abort came from. ShardFailuresSnapshot counts cumulative failures.
+  std::vector<uint8_t> ShardHealthSnapshot() const;
+  std::vector<uint64_t> ShardFailuresSnapshot() const;
+
   // Shard 0's physical trace (the accessor existing single-shard tests and
   // examples use); per-shard recorders via shard_trace().
   TraceRecorder& trace() { return shards_[0]->trace(); }
@@ -178,8 +187,9 @@ class ShardedOramSet {
   void Construct(std::vector<std::shared_ptr<BucketStore>> shard_stores,
                  std::shared_ptr<Encryptor> encryptor, uint64_t seed);
   // Run fn(shard) for every shard, concurrently when K > 1; returns the
-  // first error.
+  // first error. Records each shard's outcome into the health snapshot.
   Status RunOnShards(const std::function<Status(uint32_t)>& fn);
+  void RecordShardOutcome(uint32_t shard, bool ok);
   // (Re)installs the per-shard RingOram plan hooks that multiplex the user
   // hook and the watchdog feed.
   void InstallShardHooks();
@@ -193,6 +203,10 @@ class ShardedOramSet {
   std::unique_ptr<ThreadPool> coordinator_;
   std::function<Status(uint32_t, const BatchPlan&)> user_hook_;
   class TraceShapeWatchdog* watchdog_ = nullptr;
+
+  mutable std::mutex health_mu_;
+  std::vector<uint8_t> shard_healthy_;    // 1 = last op ok
+  std::vector<uint64_t> shard_failures_;  // cumulative failed ops
 };
 
 }  // namespace obladi

@@ -20,6 +20,8 @@
 
 namespace obladi {
 
+struct NetworkStats;  // src/storage/latency_store.h
+
 struct SlotAddress {
   BucketIndex bucket = 0;
   SlotIndex slot = 0;
@@ -194,6 +196,12 @@ class BucketStore {
   }
 
   virtual size_t num_buckets() const = 0;
+
+  // Transport/link counters of the store, when it has any (remote stores,
+  // latency decorators). Lets the proxy export deadline/retry/breaker
+  // metrics without knowing which concrete store it was built over.
+  // In-memory stores return nullptr.
+  virtual NetworkStats* network_stats() { return nullptr; }
 };
 
 // Append-only durable log used by the recovery unit (§8).
@@ -229,6 +237,9 @@ class LogStore {
   virtual Status Truncate(uint64_t upto_lsn) = 0;
 
   virtual uint64_t NextLsn() const = 0;
+
+  // See BucketStore::network_stats().
+  virtual NetworkStats* network_stats() { return nullptr; }
 };
 
 }  // namespace obladi

@@ -82,6 +82,17 @@ struct NetworkStats {
   std::atomic<uint64_t> bytes_received{0};
   // Real transport only: connections re-established after a failure.
   std::atomic<uint64_t> reconnects{0};
+  // Requests that completed with kDeadlineExceeded (the connection is torn
+  // down alongside, so stragglers cannot poison the socket).
+  std::atomic<uint64_t> deadline_exceeded{0};
+  // Call()-path resubmissions under the retry policy.
+  std::atomic<uint64_t> retries{0};
+  // Circuit-breaker closed->open (and half-open->open) transitions.
+  std::atomic<uint64_t> breaker_open{0};
+  // Application-level heartbeat pings sent / heartbeats whose deadline
+  // expired (each failure tears the connection down).
+  std::atomic<uint64_t> heartbeats_sent{0};
+  std::atomic<uint64_t> heartbeat_failures{0};
 
   void Reset() {
     reads = 0;
@@ -92,6 +103,11 @@ struct NetworkStats {
     bytes_sent = 0;
     bytes_received = 0;
     reconnects = 0;
+    deadline_exceeded = 0;
+    retries = 0;
+    breaker_open = 0;
+    heartbeats_sent = 0;
+    heartbeat_failures = 0;
   }
 };
 
@@ -118,6 +134,7 @@ class LatencyBucketStore : public BucketStore {
 
   const NetworkStats& stats() const { return stats_; }
   NetworkStats& mutable_stats() { return stats_; }
+  NetworkStats* network_stats() override { return &stats_; }
   const LatencyProfile& profile() const { return profile_; }
 
   // Disable latency injection temporarily (bulk loading in benchmarks).
@@ -163,6 +180,7 @@ class LatencyLogStore : public LogStore {
   uint64_t NextLsn() const override { return base_->NextLsn(); }
 
   const NetworkStats& stats() const { return stats_; }
+  NetworkStats* network_stats() override { return &stats_; }
 
  private:
   std::shared_ptr<LogStore> base_;

@@ -34,6 +34,9 @@ DriverResult RunWorkload(TransactionalKv& kv, Workload& workload,
       while (running.load(std::memory_order_relaxed)) {
         Stopwatch sw;
         Status st = workload.RunOne(client_kv, rng);
+        if (options.progress != nullptr) {
+          options.progress[t].fetch_add(1, std::memory_order_relaxed);
+        }
         if (!measuring.load(std::memory_order_relaxed)) {
           continue;
         }

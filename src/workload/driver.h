@@ -2,6 +2,7 @@
 #ifndef OBLADI_SRC_WORKLOAD_DRIVER_H_
 #define OBLADI_SRC_WORKLOAD_DRIVER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/common/histogram.h"
@@ -21,6 +22,11 @@ struct DriverOptions {
   // bound to recorder->Client(t), capturing the client-observable history
   // (all attempts, warmup included) for offline serializability auditing.
   HistoryRecorder* recorder = nullptr;
+  // Optional liveness feed: when non-null, points at an array of at least
+  // num_threads counters; thread t bumps slot t after every finished attempt
+  // (committed, aborted, or failed alike). A chaos harness watches the slots
+  // to tell a hung client thread from one that is merely aborting a lot.
+  std::atomic<uint64_t>* progress = nullptr;
 };
 
 struct DriverResult {

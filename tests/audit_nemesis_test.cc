@@ -50,5 +50,47 @@ TEST(AuditNemesisTest, FaultyRunStillAuditsSerializable) {
   EXPECT_TRUE(reloaded_report->serializable) << reloaded_report->Summary();
 }
 
+// The chaos palette in one short run: partition one shard's storage link
+// mid-epoch (per-shard deployment through the fault relay), fsync-stall the
+// WAL, and jump the claimed-timestamp offset — all at once, with the
+// hung-client watchdog armed. The surviving history must still audit
+// serializable; the clock-skew scenario in particular proves an
+// order-preserving skew is invisible to the verifier.
+TEST(AuditNemesisTest, ChaosPaletteRunStillAuditsSerializable) {
+  NemesisOptions options;
+  options.num_shards = 4;
+  options.num_clients = 8;
+  options.duration_ms = 2500;
+  options.warmup_ms = 150;
+  options.fault_period_ms = 500;
+  options.kill_storage = false;
+  options.crash_proxy = false;
+  options.partition_shard = true;
+  options.partition_hold_ms = 400;
+  options.slow_disk = true;
+  options.clock_skew = true;
+  options.progress_timeout_ms = 60000;  // hung client = hard test failure
+  options.data_dir = testing::TempDir() + "/obladi_chaos_test";
+  options.trace_dir = testing::TempDir() + "/obladi_chaos_traces";
+  options.seed = 13;
+
+  auto result = RunNemesis(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every palette entry fired at least once.
+  EXPECT_GE(result->partitions, 1u);
+  EXPECT_GE(result->wal_stalls, 1u);
+  EXPECT_GE(result->skew_jumps, 1u);
+  EXPECT_GE(result->faults_injected, 1u);
+  // The run made progress despite the chaos.
+  EXPECT_GT(result->driver.committed, 0u);
+  EXPECT_GT(result->history.txns.size(), 0u);
+
+  auto report = VerifyHistory(result->history);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->serializable) << report->Summary();
+  EXPECT_GT(report->reads_checked, 0u);
+}
+
 }  // namespace
 }  // namespace obladi

@@ -1,0 +1,246 @@
+// Chaos-primitive tests (src/fault): the fault decorators must be perfectly
+// transparent with a zero-fault plan (the full store-conformance suites run
+// against them), deterministic when injecting, and the TCP fault relay must
+// reproduce the partition/half-open/slow-link failure shapes the hardened
+// transport is designed to survive.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/fault/fault_relay.h"
+#include "src/fault/faulty_store.h"
+#include "src/fault/skew_clock.h"
+#include "src/net/remote_store.h"
+#include "src/net/storage_server.h"
+#include "src/storage/memory_store.h"
+#include "tests/store_conformance.h"
+
+namespace obladi {
+namespace {
+
+std::vector<Bytes> MakeBucket(size_t slots, uint8_t fill) {
+  return std::vector<Bytes>(slots, Bytes(8, fill));
+}
+
+// ---------------------------------------------------------------------------
+// Faulty store decorators
+// ---------------------------------------------------------------------------
+
+TEST(FaultyStoreTest, ZeroFaultBucketStoreIsConformant) {
+  FaultyBucketStore store(std::make_shared<MemoryBucketStore>(16, 3));
+  RunBucketStoreConformance(store, 3);
+  EXPECT_EQ(store.faults_injected(), 0u);
+}
+
+TEST(FaultyStoreTest, ZeroFaultLogStoreIsConformant) {
+  FaultyLogStore log(std::make_shared<MemoryLogStore>());
+  RunLogStoreConformance(log);
+  EXPECT_EQ(log.faults_injected(), 0u);
+}
+
+TEST(FaultyStoreTest, TransientUnavailableFiresEveryNthDeterministically) {
+  FaultyBucketStore store(std::make_shared<MemoryBucketStore>(8, 2));
+  FaultPlan plan;
+  plan.unavailable_every_n = 3;
+  store.SetPlan(plan);
+  int failures = 0;
+  for (int i = 1; i <= 9; ++i) {
+    Status st = store.WriteBucket(0, static_cast<uint32_t>(i), MakeBucket(2, 0x5a));
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+      EXPECT_EQ(i % 3, 0) << "fault fired off-schedule at op " << i;
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(store.faults_injected(), 3u);
+  // The injected error never reached the base store: the skipped versions
+  // are simply absent.
+  EXPECT_FALSE(store.ReadSlot(0, 3, 0).ok());
+  EXPECT_TRUE(store.ReadSlot(0, 4, 0).ok());
+}
+
+TEST(FaultyStoreTest, AsyncInjectionCompletesTheCallbackWithTheError) {
+  FaultyBucketStore store(std::make_shared<MemoryBucketStore>(8, 2));
+  FaultPlan plan;
+  plan.unavailable_every_n = 1;  // every operation fails
+  store.SetPlan(plan);
+  bool done_ran = false;
+  store.ReadSlotsBatchAsync({{0, 0, 0}}, [&](std::vector<StatusOr<Bytes>> results) {
+    done_ran = true;
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status().code(), StatusCode::kUnavailable);
+  });
+  EXPECT_TRUE(done_ran);
+}
+
+TEST(FaultyStoreTest, FsyncStallDelaysDurabilityPathOnly) {
+  FaultyLogStore log(std::make_shared<MemoryLogStore>());
+  FaultPlan plan;
+  plan.fsync_stall_us = 30000;
+  log.SetPlan(plan);
+  uint64_t start = NowMicros();
+  ASSERT_TRUE(log.AppendSync(Bytes{1, 2, 3}).ok());
+  EXPECT_GE(NowMicros() - start, 30000u);
+  // Non-durability reads are unaffected.
+  start = NowMicros();
+  ASSERT_TRUE(log.ReadAll().ok());
+  EXPECT_LT(NowMicros() - start, 30000u);
+  // Plans swap at runtime: clearing the plan removes the stall.
+  log.SetPlan(FaultPlan{});
+  start = NowMicros();
+  ASSERT_TRUE(log.AppendSync(Bytes{4, 5, 6}).ok());
+  EXPECT_LT(NowMicros() - start, 30000u);
+}
+
+// ---------------------------------------------------------------------------
+// SkewClock
+// ---------------------------------------------------------------------------
+
+TEST(SkewClockTest, OffsetShiftsClaimedTimestamps) {
+  SkewClock clock;
+  clock.SetOffset(100);
+  EXPECT_EQ(clock.Skew(1), 101u);
+  EXPECT_EQ(clock.Skew(2), 102u);
+}
+
+TEST(SkewClockTest, StaysStrictlyIncreasingAcrossBackwardJumps) {
+  SkewClock clock;
+  uint64_t prev = 0;
+  uint64_t internal = 1;
+  for (int round = 0; round < 4; ++round) {
+    // Jump the offset forwards then sharply backwards mid-stream.
+    clock.AdvanceOffset(round % 2 == 0 ? 1000000 : -2000000);
+    for (int i = 0; i < 16; ++i) {
+      uint64_t claimed = clock.Skew(internal++);
+      EXPECT_GT(claimed, prev) << "claimed order diverged from internal order";
+      prev = claimed;
+    }
+  }
+}
+
+TEST(SkewClockTest, NeverClaimsZeroEvenUnderNegativeOffset) {
+  SkewClock clock(-1000000);
+  EXPECT_GE(clock.Skew(1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultRelay
+// ---------------------------------------------------------------------------
+
+struct RelayEnv {
+  std::shared_ptr<MemoryBucketStore> buckets;
+  std::shared_ptr<MemoryLogStore> log;
+  std::unique_ptr<StorageServer> server;
+  std::unique_ptr<FaultRelay> relay;
+
+  // Client options pointed at the RELAY (not the server), with a short
+  // request deadline so blackholed requests expire instead of hanging.
+  RemoteStoreOptions ClientOptions(uint64_t deadline_ms = 300) const {
+    RemoteStoreOptions opts;
+    opts.port = relay->port();
+    opts.default_deadline_ms = deadline_ms;
+    opts.retry.max_attempts = 2;
+    opts.retry.initial_backoff_us = 1000;
+    return opts;
+  }
+};
+
+RelayEnv StartRelayEnv(size_t num_buckets = 32, size_t slots = 3) {
+  RelayEnv env;
+  env.buckets = std::make_shared<MemoryBucketStore>(num_buckets, slots);
+  env.log = std::make_shared<MemoryLogStore>();
+  env.server = std::make_unique<StorageServer>(env.buckets, env.log);
+  EXPECT_TRUE(env.server->Start().ok());
+  auto relay = FaultRelay::Start("127.0.0.1", env.server->port());
+  EXPECT_TRUE(relay.ok()) << relay.status().ToString();
+  env.relay = std::move(*relay);
+  return env;
+}
+
+TEST(FaultRelayTest, PassThroughIsTransparent) {
+  RelayEnv env = StartRelayEnv();
+  auto store = RemoteBucketStore::Connect(env.ClientOptions());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->WriteBucket(1, 0, MakeBucket(3, 0xab)).ok());
+  auto slot = (*store)->ReadSlot(1, 0, 0);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ((*slot)[0], 0xab);
+  FaultRelay::RelayStats stats = env.relay->stats();
+  EXPECT_GE(stats.connections, 1u);
+  EXPECT_GT(stats.bytes_relayed, 0u);
+  EXPECT_EQ(stats.bytes_dropped, 0u);
+}
+
+TEST(FaultRelayTest, PartitionExpiresRequestsAndHealRestoresService) {
+  RelayEnv env = StartRelayEnv();
+  auto store = RemoteBucketStore::Connect(env.ClientOptions());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->WriteBucket(0, 0, MakeBucket(3, 0x01)).ok());
+
+  // Blackhole: the connection stays established, so the request can only
+  // fail via its deadline — the exact partition shape the timer wheel and
+  // redial-on-expiry handle.
+  env.relay->Partition();
+  uint64_t start = NowMicros();
+  Status st = (*store)->WriteBucket(0, 1, MakeBucket(3, 0x02));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.code() == StatusCode::kDeadlineExceeded ||
+              st.code() == StatusCode::kUnavailable)
+      << st.ToString();
+  // Bounded by the deadline budget (attempts x deadline + backoff), far
+  // below "hangs forever".
+  EXPECT_LT(NowMicros() - start, 5u * 1000 * 1000);
+
+  env.relay->Heal();
+  // The expired request tore its connection down; the next call redials
+  // through the healed relay and must succeed again.
+  Status healed = (*store)->WriteBucket(0, 2, MakeBucket(3, 0x03));
+  EXPECT_TRUE(healed.ok()) << healed.ToString();
+  EXPECT_GE(env.relay->stats().faults_injected, 1u);
+  EXPECT_GT(env.relay->stats().bytes_dropped, 0u);
+}
+
+TEST(FaultRelayTest, DripForwardsBudgetThenBlackholes) {
+  RelayEnv env = StartRelayEnv();
+  auto store = RemoteBucketStore::Connect(env.ClientOptions());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Allow only a few upstream bytes: the request header leaks through but
+  // the frame never completes — a classic half-open/slow-peer shape.
+  DirectionFault drip;
+  drip.mode = RelayFaultMode::kDrip;
+  drip.drip_bytes = 8;
+  env.relay->SetClientToUpstream(drip);
+  Status st = (*store)->WriteBucket(2, 0, MakeBucket(3, 0x04));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.code() == StatusCode::kDeadlineExceeded ||
+              st.code() == StatusCode::kUnavailable)
+      << st.ToString();
+
+  env.relay->SetClientToUpstream(DirectionFault{});
+  EXPECT_TRUE((*store)->WriteBucket(2, 1, MakeBucket(3, 0x05)).ok());
+}
+
+TEST(FaultRelayTest, DropConnectionsFailsFastAndRedialRecovers) {
+  RelayEnv env = StartRelayEnv();
+  auto store = RemoteBucketStore::Connect(env.ClientOptions());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->WriteBucket(3, 0, MakeBucket(3, 0x06)).ok());
+
+  env.relay->DropConnections();
+  // Unlike Partition, the close is visible immediately: the client redials
+  // (through the still-listening relay) and the retried call succeeds well
+  // inside the deadline budget.
+  uint64_t start = NowMicros();
+  Status st = (*store)->WriteBucket(3, 1, MakeBucket(3, 0x07));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_LT(NowMicros() - start, 2u * 1000 * 1000);
+  EXPECT_GE(env.relay->stats().connections, 2u);
+}
+
+}  // namespace
+}  // namespace obladi

@@ -12,6 +12,7 @@
 #include <random>
 #include <thread>
 
+#include "src/fault/fault_relay.h"
 #include "src/net/async_client.h"
 #include "src/net/event_loop.h"
 #include "src/net/remote_store.h"
@@ -786,6 +787,178 @@ TEST(AsyncClientTest, RedialWithRequestsInFlightFailsFastAndAppendsStayAtMostOnc
   EXPECT_LE(records->size(), 1u) << "a failed LogAppend was retried into a duplicate";
 }
 
+// ---------------------------------------------------------------------------
+// Transport hardening: deadlines, stragglers, circuit breaker, heartbeats
+// ---------------------------------------------------------------------------
+
+TEST(AsyncClientTest, RequestDeadlineExpiresAndConnectionRedials) {
+  // Bucket 0 stalls 600 ms in the backend; the per-request deadline is
+  // 150 ms, so the request must complete kDeadlineExceeded from the timer
+  // wheel — bounded by the deadline, not the backend stall.
+  auto backing = std::make_shared<MemoryBucketStore>(16, 2);
+  ASSERT_TRUE(backing->WriteBucket(0, 0, std::vector<Bytes>(2, Bytes(8, 0xaa))).ok());
+  ASSERT_TRUE(backing->WriteBucket(1, 0, std::vector<Bytes>(2, Bytes(8, 0xbb))).ok());
+  auto env = StartLoopback(16, 2, std::make_shared<StallBucket0Store>(backing, 600));
+
+  AsyncClientOptions opts;
+  opts.port = env.server->port();
+  opts.default_deadline_ms = 150;
+  auto client = AsyncNetClient::Connect(opts);
+  ASSERT_TRUE(client.ok());
+
+  NetRequest req;
+  req.type = MsgType::kReadSlots;
+  req.reads = {{0, 0, 0}};
+  auto start = std::chrono::steady_clock::now();
+  NetFuture fut = (*client)->Submit(std::move(req));
+  const auto& result = fut.Wait();
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+  EXPECT_LT(elapsed_ms, 500) << "deadline did not bound the stalled request";
+  EXPECT_GE((*client)->stats().deadline_exceeded.load(), 1u);
+
+  // The expired request tore its connection down so the 600 ms straggler
+  // reply cannot be mispaired; a fresh request redials and succeeds.
+  NetRequest fast;
+  fast.type = MsgType::kReadSlots;
+  fast.reads = {{1, 0, 0}};
+  auto after = (*client)->Call(std::move(fast));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_TRUE(after->ToStatus().ok());
+  ASSERT_EQ(after->reads.size(), 1u);
+  EXPECT_EQ(after->reads[0].payload[0], 0xbb);
+}
+
+TEST(AsyncClientTest, StragglerReplyAfterTeardownDoesNotPoisonTheStream) {
+  auto backing = std::make_shared<MemoryBucketStore>(16, 2);
+  for (uint32_t b = 0; b < 8; ++b) {
+    ASSERT_TRUE(
+        backing->WriteBucket(b, 0, std::vector<Bytes>(2, Bytes(8, 0x10 + b))).ok());
+  }
+  auto env = StartLoopback(16, 2, std::make_shared<StallBucket0Store>(backing, 400));
+
+  AsyncClientOptions opts;
+  opts.port = env.server->port();
+  opts.num_connections = 1;  // every request shares the torn-down socket
+  auto client = AsyncNetClient::Connect(opts);
+  ASSERT_TRUE(client.ok());
+
+  NetRequest stalled;
+  stalled.type = MsgType::kReadSlots;
+  stalled.reads = {{0, 0, 0}};
+  NetFuture stalled_fut = (*client)->Submit(std::move(stalled), /*deadline_ms=*/100);
+  ASSERT_FALSE(stalled_fut.Wait().ok());
+
+  // While the server still holds the stalled request (its reply will land
+  // on a dead socket), drive fresh requests through the redialed
+  // connection: every response must pair with ITS request id and carry the
+  // right bucket's byte.
+  for (uint32_t b = 1; b < 8; ++b) {
+    NetRequest req;
+    req.type = MsgType::kReadSlots;
+    req.reads = {{b, 0, 0}};
+    auto resp = (*client)->Call(std::move(req));
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_TRUE(resp->ToStatus().ok());
+    ASSERT_EQ(resp->reads.size(), 1u);
+    EXPECT_EQ(resp->reads[0].payload[0], 0x10 + b) << "mispaired response";
+  }
+  // Let the straggler reply fire against the torn-down connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  NetRequest last;
+  last.type = MsgType::kReadSlots;
+  last.reads = {{7, 0, 0}};
+  auto resp = (*client)->Call(std::move(last));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->reads.size(), 1u);
+  EXPECT_EQ(resp->reads[0].payload[0], 0x17);
+}
+
+TEST(AsyncClientTest, CircuitBreakerOpensFailsFastAndClosesAfterProbe) {
+  auto env = StartLoopback();
+  uint16_t port = env.server->port();
+
+  AsyncClientOptions opts;
+  opts.port = port;
+  opts.retry.max_attempts = 1;  // count breaker failures deterministically
+  opts.retry.breaker_failure_threshold = 3;
+  opts.retry.breaker_open_ms = 200;
+  auto client = AsyncNetClient::Connect(opts);
+  ASSERT_TRUE(client.ok());
+
+  auto ping = [&]() {
+    NetRequest req;
+    req.type = MsgType::kPing;
+    return (*client)->Call(std::move(req));
+  };
+  ASSERT_TRUE(ping().ok());
+
+  env.server->Stop();
+  env.server.reset();
+
+  // Three consecutive transport failures trip the breaker...
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_FALSE(ping().ok());
+  }
+  EXPECT_GE((*client)->stats().breaker_open.load(), 1u);
+  // ...after which calls fail fast without touching the network.
+  auto start = std::chrono::steady_clock::now();
+  auto rejected = ping();
+  auto fast_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().ToString().find("circuit breaker open"),
+            std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_LT(fast_ms, 50);
+
+  // Restart the node; once the open window lapses, the single half-open
+  // probe succeeds and the breaker closes for good.
+  StorageServerOptions server_opts;
+  server_opts.port = port;
+  env.server = std::make_unique<StorageServer>(env.buckets, env.log, server_opts);
+  ASSERT_TRUE(env.server->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  auto probe = ping();
+  EXPECT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_TRUE(ping().ok());
+}
+
+TEST(AsyncClientTest, HeartbeatDetectsHalfOpenConnection) {
+  auto env = StartLoopback();
+  auto relay = FaultRelay::Start("127.0.0.1", env.server->port());
+  ASSERT_TRUE(relay.ok());
+
+  AsyncClientOptions opts;
+  opts.port = (*relay)->port();
+  opts.heartbeat_interval_ms = 50;
+  opts.heartbeat_timeout_ms = 100;
+  auto client = AsyncNetClient::Connect(opts);
+  ASSERT_TRUE(client.ok());
+
+  NetRequest req;
+  req.type = MsgType::kPing;
+  ASSERT_TRUE((*client)->Call(std::move(req)).ok());
+
+  // A blackholed link looks established to both endpoints; only the
+  // application-level heartbeat can notice nothing comes back.
+  (*relay)->Partition();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_GE((*client)->stats().heartbeats_sent.load(), 2u);
+  EXPECT_GE((*client)->stats().heartbeat_failures.load(), 1u);
+
+  (*relay)->Heal();
+  NetRequest again;
+  again.type = MsgType::kPing;
+  auto healed = (*client)->Call(std::move(again));
+  EXPECT_TRUE(healed.ok()) << healed.status().ToString();
+}
+
 TEST(EventLoopTest, SlowReaderBackpressureBoundsTheWriteQueue) {
   auto listener = TcpListener::Listen("127.0.0.1", 0);
   ASSERT_TRUE(listener.ok());
@@ -1032,6 +1205,148 @@ INSTANTIATE_TEST_SUITE_P(KShards, RemoteProxyPipelineTest, testing::Values(1u, 4
                          [](const testing::TestParamInfo<uint32_t>& info) {
                            return "K" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: partition of one shard's storage node
+// ---------------------------------------------------------------------------
+
+// The PR-level acceptance scenario, deterministic: a per-shard deployment
+// (one storage node per shard, a fault relay in front of shard 1's node)
+// with the hardened transport. Blackholing that one link mid-run must
+// convert into bounded-time retriable aborts for clients — never a hung
+// proxy — and after the link heals, crash recovery replays over the healed
+// link and the pipeline resumes.
+TEST(PartitionedShardTest, PartitionFailsClientsRetriablyThenHealsAndRecovers) {
+  ObladiConfig config = ObladiConfig::ForCapacity(256, /*z=*/4, /*payload=*/128);
+  config.num_shards = 4;
+  config.read_batches_per_epoch = 3;
+  config.read_batch_size = 16;
+  config.write_batch_size = 16;
+  config.batch_interval_us = 300;
+  config.timed_mode = true;
+  config.pipeline_epochs = true;
+  config.recovery.enabled = true;
+  config.recovery.full_checkpoint_interval = 4;
+  config.oram_options.io_threads = 8;
+  // The degradation contract: an unreachable shard turns the retirement
+  // wait into a bounded-time epoch abort instead of an indefinite hang.
+  config.retire_timeout_ms = 1000;
+
+  const ShardLayout layout = config.MakeLayout();
+  auto log = std::make_shared<MemoryLogStore>();
+  std::vector<std::shared_ptr<MemoryBucketStore>> shard_mem;
+  std::vector<std::unique_ptr<StorageServer>> servers;
+  for (uint32_t s = 0; s < config.num_shards; ++s) {
+    shard_mem.push_back(std::make_shared<MemoryBucketStore>(
+        layout.shard_config.num_buckets(), layout.shard_config.slots_per_bucket()));
+    servers.push_back(std::make_unique<StorageServer>(shard_mem[s], log));
+    ASSERT_TRUE(servers[s]->Start().ok());
+  }
+  auto relay = FaultRelay::Start("127.0.0.1", servers[1]->port());
+  ASSERT_TRUE(relay.ok()) << relay.status().ToString();
+
+  RemoteStoreOptions opts;
+  opts.default_deadline_ms = 200;
+  opts.heartbeat_interval_ms = 100;
+  opts.heartbeat_timeout_ms = 200;
+  opts.retry.max_attempts = 2;
+  opts.retry.initial_backoff_us = 1000;
+  std::vector<std::shared_ptr<BucketStore>> shard_stores;
+  for (uint32_t s = 0; s < config.num_shards; ++s) {
+    RemoteStoreOptions so = opts;
+    so.port = s == 1 ? (*relay)->port() : servers[s]->port();
+    auto rb = RemoteBucketStore::Connect(so);
+    ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+    shard_stores.push_back(std::move(*rb));
+  }
+  RemoteStoreOptions lo = opts;
+  lo.port = servers[0]->port();  // the WAL's node is NOT partitioned
+  auto remote_log = RemoteLogStore::Connect(lo);
+  ASSERT_TRUE(remote_log.ok());
+
+  ObladiStore proxy(config, std::move(shard_stores), std::move(*remote_log));
+  ASSERT_TRUE(proxy.Load(NetRecords(64)).ok());
+  proxy.Start();
+
+  // Healthy baseline commit.
+  Status warm = RunTransaction(proxy, [](Txn& txn) -> Status {
+    return txn.Write("key0", "before-partition");
+  });
+  ASSERT_TRUE(warm.ok()) << warm.ToString();
+
+  // Cut shard 1's link. Every epoch's padded read batches touch every
+  // shard, so all in-flight work now depends on a blackholed socket; only
+  // the request deadlines can unblock it.
+  (*relay)->Partition();
+  auto start = std::chrono::steady_clock::now();
+  int failed_attempts = 0;
+  for (int i = 0; i < 4; ++i) {
+    Status st = RunTransaction(
+        proxy,
+        [&](Txn& txn) -> Status { return txn.Write("key1", "during-partition"); },
+        /*max_attempts=*/1);
+    if (!st.ok()) {
+      // kAborted = blocked client failed retriably when its epoch aborted;
+      // kUnavailable("proxy crashed") = the bounded retirement wait expired
+      // and the pacer stopped fatally — the failover signal. Either way the
+      // attempt came back promptly instead of hanging.
+      EXPECT_TRUE(st.code() == StatusCode::kAborted ||
+                  st.code() == StatusCode::kUnavailable)
+          << st.ToString();
+      ++failed_attempts;
+    }
+  }
+  auto elapsed_s = std::chrono::duration_cast<std::chrono::seconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_GT(failed_attempts, 0) << "partitioned shard never failed a commit";
+  // Bounded by the deadline budget (deadline x retries + retire timeout per
+  // epoch), nowhere near a hang.
+  EXPECT_LT(elapsed_s, 30) << "clients hung during the partition";
+
+  // Heal, then fail over: the partition failed background retirement
+  // sticky, so crash recovery over the healed link is the designed path.
+  (*relay)->Heal();
+  proxy.SimulateCrash();
+  Status recovered;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    recovered = proxy.RecoverFromCrash();
+    if (recovered.ok()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+  proxy.Start();
+
+  // Pipeline resumed: new commits land, pre-partition state survived the
+  // replay, and the ORAM invariants hold across all shards.
+  Status after = RunTransaction(proxy, [](Txn& txn) -> Status {
+    return txn.Write("key2", "after-heal");
+  });
+  ASSERT_TRUE(after.ok()) << after.ToString();
+  Status check = RunTransaction(proxy, [&](Txn& txn) -> Status {
+    auto v0 = txn.Read("key0");
+    if (!v0.ok()) {
+      return v0.status();
+    }
+    EXPECT_EQ(*v0, "before-partition");
+    auto v2 = txn.Read("key2");
+    if (!v2.ok()) {
+      return v2.status();
+    }
+    EXPECT_EQ(*v2, "after-heal");
+    return Status::Ok();
+  });
+  ASSERT_TRUE(check.ok()) << check.ToString();
+  EXPECT_TRUE(proxy.oram()->CheckInvariants().ok());
+
+  proxy.Stop();
+  (*relay)->Stop();
+  for (auto& s : servers) {
+    s->Stop();
+  }
+}
 
 }  // namespace
 }  // namespace obladi

@@ -4,8 +4,22 @@
 //   audit_nemesis [--duration-ms=N] [--clients=N] [--shards=N]
 //                 [--zipf=THETA] [--fault-period-ms=N] [--seed=N]
 //                 [--no-storage-kill] [--no-proxy-crash]
+//                 [--partition] [--slow-disk] [--clock-skew]
+//                 [--progress-timeout-ms=N]
 //                 [--heartbeat-ms=N] [--metrics-out=PATH]
 //                 [--data-dir=DIR] --trace-dir=DIR
+//
+// Chaos scenarios (combinable; usually run with --no-storage-kill
+// --no-proxy-crash so one fault class is isolated per run):
+//   --partition   per-shard deployment; blackhole one shard's link
+//                 mid-epoch through a fault relay, hold, heal, recover
+//   --slow-disk   fsync-stall the storage node's WAL during retirement
+//   --clock-skew  jump the proxy's claimed-timestamp offset (order-
+//                 preserving, so audit_check must still pass)
+//
+// A progress watchdog (default 30 s, --progress-timeout-ms=0 to disable)
+// exits 3 and prints the scenario seed if any client thread stops finishing
+// attempts — a hung client must fail the run, not silently shrink it.
 //
 // With --heartbeat-ms a one-line progress report prints periodically (long
 // fault-injection runs otherwise look hung while recoveries stall commits).
@@ -28,6 +42,8 @@ int Usage() {
                "usage: audit_nemesis [--duration-ms=N] [--clients=N] [--shards=N] "
                "[--zipf=THETA]\n                     [--fault-period-ms=N] [--seed=N] "
                "[--no-storage-kill] [--no-proxy-crash]\n                     "
+               "[--partition] [--slow-disk] [--clock-skew] "
+               "[--progress-timeout-ms=N]\n                     "
                "[--heartbeat-ms=N] [--metrics-out=PATH]\n                     "
                "[--data-dir=DIR] --trace-dir=DIR\n");
   return 2;
@@ -46,6 +62,7 @@ bool ParseFlag(const std::string& arg, const char* name, std::string& out) {
 
 int main(int argc, char** argv) {
   obladi::NemesisOptions options;
+  options.progress_timeout_ms = 30000;  // hung-client watchdog on by default
   std::string value;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -69,10 +86,18 @@ int main(int argc, char** argv) {
       options.data_dir = value;
     } else if (ParseFlag(arg, "trace-dir", value)) {
       options.trace_dir = value;
+    } else if (ParseFlag(arg, "progress-timeout-ms", value)) {
+      options.progress_timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (arg == "--no-storage-kill") {
       options.kill_storage = false;
     } else if (arg == "--no-proxy-crash") {
       options.crash_proxy = false;
+    } else if (arg == "--partition") {
+      options.partition_shard = true;
+    } else if (arg == "--slow-disk") {
+      options.slow_disk = true;
+    } else if (arg == "--clock-skew") {
+      options.clock_skew = true;
     } else {
       return Usage();
     }
@@ -96,10 +121,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result->driver.retries),
       result->driver.aborts_per_committed_txn);
   std::printf(
-      "faults: %llu storage restarts, %llu proxy recoveries; traces: %llu bytes "
+      "faults: %llu storage restarts, %llu proxy recoveries, %llu partitions, "
+      "%llu WAL stalls, %llu skew jumps, %llu injected; traces: %llu bytes "
       "in %s (%llu txn records)\n",
       static_cast<unsigned long long>(result->storage_restarts),
       static_cast<unsigned long long>(result->proxy_recoveries),
+      static_cast<unsigned long long>(result->partitions),
+      static_cast<unsigned long long>(result->wal_stalls),
+      static_cast<unsigned long long>(result->skew_jumps),
+      static_cast<unsigned long long>(result->faults_injected),
       static_cast<unsigned long long>(result->driver.audit_trace_bytes),
       options.trace_dir.c_str(),
       static_cast<unsigned long long>(result->history.txns.size()));

@@ -121,13 +121,9 @@ int Run(uint32_t shards, double seconds, const std::string& out_path,
   }
   std::shared_ptr<RemoteBucketStore> rbuckets = std::move(*remote_buckets);
   std::shared_ptr<RemoteLogStore> rlog = std::move(*remote_log);
+  // The proxy wires the watchdog's wire-byte band to its remote stores'
+  // transport counters by default — no manual SetWireByteSource needed.
   ObladiStore proxy(config, rbuckets, rlog);
-  // Feed the watchdog's wire-byte band from the real transport counters.
-  proxy.watchdog()->SetWireByteSource([rbuckets, rlog] {
-    return std::make_pair(
-        rbuckets->stats().bytes_sent.load() + rlog->stats().bytes_sent.load(),
-        rbuckets->stats().bytes_received.load() + rlog->stats().bytes_received.load());
-  });
 
   std::vector<std::pair<Key, std::string>> records;
   for (int i = 0; i < 256; ++i) {
