@@ -17,6 +17,15 @@
 // proxy connecting through RemoteBucketStore/RemoteLogStore (async
 // multiplexed client). K ∈ {1, 4} shards.
 //
+// Depth sweep: the pipelined cells run at pipeline_depth D ∈ {1, 2, 3}.
+// Depth 1 admits one retiring epoch — the close stalls whenever the
+// retirement tail (write-back wave + checkpoint append/sync + truncate)
+// outlasts one epoch of paced batches. Depth 2 keeps a second epoch's tail
+// in flight behind the first, so the cadence stays R*Δ until the tail
+// exceeds TWO epochs; depth 3 shows the diminishing return past that. Δ is
+// sized so the tail genuinely overruns one epoch at this node latency —
+// otherwise every depth measures the same thing.
+//
 // Emits machine-readable BENCH_epoch_pipeline.json for the perf trajectory
 // (CI smoke-checks it). Honors OBLADI_BENCH_SECONDS / OBLADI_BENCH_FULL.
 #include <atomic>
@@ -38,14 +47,17 @@ constexpr uint64_t kServiceTimeUs = 1000;
 struct CellResult {
   uint32_t shards = 0;
   bool pipelined = false;
+  size_t depth = 1;
   double tps = 0;
   double epochs_per_sec = 0;
   double overlapped_frac = 0;
   double stall_ms = 0;
   uint64_t max_inflight_stash = 0;
+  uint64_t sched_overlapped = 0;
+  uint64_t stash_stalls = 0;
 };
 
-ObladiConfig MakeConfig(uint32_t shards, bool pipelined) {
+ObladiConfig MakeConfig(uint32_t shards, bool pipelined, size_t depth) {
   ObladiConfig config = ObladiConfig::ForCapacity(512, /*z=*/4, /*payload=*/128);
   config.num_shards = shards;
   config.read_batches_per_epoch = 2;
@@ -56,8 +68,12 @@ ObladiConfig MakeConfig(uint32_t shards, bool pipelined) {
   // pipeline hides behind the next epoch's paced execution.
   config.read_batch_size = 8;
   config.write_batch_size = 8;
-  config.batch_interval_us = 5500;
+  // Short enough that the retirement tail outlasts one epoch (R*Δ = 6 ms
+  // vs a ~4-8 ms tail at 1 ms/round-trip): depth 1's ordering gate then
+  // stalls the close, which is exactly the stall depth 2 removes.
+  config.batch_interval_us = 3000;
   config.timed_mode = true;
+  config.pipeline_depth = depth;
   // The serial baseline is the pre-pipelining proxy end to end: stop-the-
   // world retirement, the write batch's schedule movement (and its eviction
   // read wave) at the close, and the old log layout (one plan record per
@@ -71,12 +87,14 @@ ObladiConfig MakeConfig(uint32_t shards, bool pipelined) {
   return config;
 }
 
-CellResult RunCell(uint32_t shards, bool pipelined, double seconds, size_t num_clients) {
+CellResult RunCell(uint32_t shards, bool pipelined, size_t depth, double seconds,
+                   size_t num_clients) {
   CellResult cell;
   cell.shards = shards;
   cell.pipelined = pipelined;
+  cell.depth = depth;
 
-  ObladiConfig config = MakeConfig(shards, pipelined);
+  ObladiConfig config = MakeConfig(shards, pipelined, depth);
   LatencyProfile node{"node1ms", kServiceTimeUs, kServiceTimeUs, 0};
   auto buckets = std::make_shared<MemoryBucketStore>(
       config.StoreBuckets(), config.MakeLayout().shard_config.slots_per_bucket());
@@ -193,30 +211,39 @@ CellResult RunCell(uint32_t shards, bool pipelined, double seconds, size_t num_c
   cell.stall_ms =
       static_cast<double>(stats.retire_stall_us - warm.retire_stall_us) / 1000.0;
   cell.max_inflight_stash = stats.max_inflight_stash_blocks;
+  cell.sched_overlapped = stats.sched_overlapped_accesses - warm.sched_overlapped_accesses;
+  cell.stash_stalls = stats.stash_budget_stalls - warm.stash_budget_stalls;
   return cell;
 }
 
-void EmitJson(const std::vector<CellResult>& cells, double k1_speedup, double k4_speedup) {
+void EmitJson(const std::vector<CellResult>& cells, double k1_speedup, double k4_speedup,
+              double d2_vs_d1_k1, double d2_vs_d1_k4) {
   Json cell_array = Json::Array();
   for (const CellResult& c : cells) {
     cell_array.Push(Json::Object()
                         .Set("shards", Json::Int(c.shards))
                         .Set("pipelined", Json::Bool(c.pipelined))
+                        .Set("pipeline_depth", Json::Int(c.depth))
                         .Set("txn_per_sec", Json::Num(c.tps, 1))
                         .Set("epochs_per_sec", Json::Num(c.epochs_per_sec, 1))
                         .Set("overlapped_frac", Json::Num(c.overlapped_frac, 2))
                         .Set("retire_stall_ms", Json::Num(c.stall_ms, 1))
-                        .Set("max_inflight_stash_blocks", Json::Int(c.max_inflight_stash)));
+                        .Set("max_inflight_stash_blocks", Json::Int(c.max_inflight_stash))
+                        .Set("sched_overlapped_accesses", Json::Int(c.sched_overlapped))
+                        .Set("stash_budget_stalls", Json::Int(c.stash_stalls)));
   }
   Json root = Json::Object()
                   .Set("bench", Json::Str("epoch_pipeline"))
                   .Set("service_time_us", Json::Int(kServiceTimeUs))
                   .Set("cells", std::move(cell_array))
                   .Set("k1_speedup", Json::Num(k1_speedup, 2))
-                  .Set("k4_speedup", Json::Num(k4_speedup, 2));
+                  .Set("k4_speedup", Json::Num(k4_speedup, 2))
+                  .Set("depth2_vs_depth1_k1", Json::Num(d2_vs_d1_k1, 2))
+                  .Set("depth2_vs_depth1_k4", Json::Num(d2_vs_d1_k4, 2));
   if (WriteBenchJson("BENCH_epoch_pipeline.json", root)) {
-    std::printf("pipelined vs serial: %.2fx at K=1, %.2fx at K=4\n", k1_speedup,
-                k4_speedup);
+    std::printf("pipelined(d2) vs serial: %.2fx at K=1, %.2fx at K=4; "
+                "depth2 vs depth1: %.2fx at K=1, %.2fx at K=4\n",
+                k1_speedup, k4_speedup, d2_vs_d1_k1, d2_vs_d1_k4);
   }
 }
 
@@ -229,30 +256,37 @@ void Run() {
   // improves.
   size_t num_clients = 24;
 
-  Table table("Epoch pipelining — serial vs overlapped epoch changes "
-              "(remote async store, 1 ms node, Δ=5.5ms, R=2)");
-  table.Columns({"shards", "mode", "txn/s", "epochs/s", "ovl%", "stall_ms", "max_stash"});
+  Table table("Epoch pipelining — serial vs depth-D overlapped epoch changes "
+              "(remote async store, 1 ms node, Δ=3ms, R=2)");
+  table.Columns({"shards", "mode", "depth", "txn/s", "epochs/s", "ovl%", "stall_ms",
+                 "max_stash", "early"});
 
   std::vector<CellResult> cells;
-  double tps[2][5] = {{0}};  // [pipelined][shards]
+  // tps[shards][depth]; depth 0 holds the serial baseline.
+  double tps[5][4] = {{0}};
   for (uint32_t shards : {1u, 4u}) {
-    for (bool pipelined : {false, true}) {
-      CellResult c = RunCell(shards, pipelined, seconds, num_clients);
+    for (size_t depth : {size_t{0}, size_t{1}, size_t{2}, size_t{3}}) {
+      bool pipelined = depth != 0;
+      CellResult c = RunCell(shards, pipelined, pipelined ? depth : 1, seconds,
+                             num_clients);
       cells.push_back(c);
-      tps[pipelined ? 1 : 0][shards] = c.tps;
-      table.Row({FmtInt(shards), pipelined ? "pipelined" : "serial", FmtInt(
-                     static_cast<uint64_t>(c.tps)),
-                 Fmt(c.epochs_per_sec, 1), Fmt(100.0 * c.overlapped_frac, 0) + "%",
-                 Fmt(c.stall_ms, 1), FmtInt(c.max_inflight_stash)});
+      tps[shards][depth] = c.tps;
+      table.Row({FmtInt(shards), pipelined ? "pipelined" : "serial",
+                 pipelined ? FmtInt(depth) : "-",
+                 FmtInt(static_cast<uint64_t>(c.tps)), Fmt(c.epochs_per_sec, 1),
+                 Fmt(100.0 * c.overlapped_frac, 0) + "%", Fmt(c.stall_ms, 1),
+                 FmtInt(c.max_inflight_stash), FmtInt(c.sched_overlapped)});
     }
   }
   table.Print();
 
-  double k1 = tps[0][1] > 0 ? tps[1][1] / tps[0][1] : 0;
-  double k4 = tps[0][4] > 0 ? tps[1][4] / tps[0][4] : 0;
-  std::printf("pipelined epochs hide the flush+checkpoint tail behind the next epoch's "
-              "execution; the serial baseline pays it at every boundary.\n");
-  EmitJson(cells, k1, k4);
+  double k1 = tps[1][0] > 0 ? tps[1][2] / tps[1][0] : 0;
+  double k4 = tps[4][0] > 0 ? tps[4][2] / tps[4][0] : 0;
+  double d2d1_k1 = tps[1][1] > 0 ? tps[1][2] / tps[1][1] : 0;
+  double d2d1_k4 = tps[4][1] > 0 ? tps[4][2] / tps[4][1] : 0;
+  std::printf("depth 1 re-serializes on the retirement tail once it outlasts one epoch; "
+              "depth 2 keeps a second tail in flight so the cadence stays R*Δ.\n");
+  EmitJson(cells, k1, k4, d2d1_k1, d2d1_k4);
 }
 
 }  // namespace

@@ -58,6 +58,7 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
   config.batch_interval_us = 300;
   config.timed_mode = true;
   config.pipeline_epochs = true;
+  config.pipeline_depth = options.pipeline_depth;
   config.recovery.enabled = true;
   config.recovery.full_checkpoint_interval = 4;
   config.oram_options.io_threads = 8;

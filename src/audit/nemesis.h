@@ -72,6 +72,11 @@ struct NemesisOptions {
   // kill_storage is ignored in this mode (there is no single node to kill).
   bool partition_shard = false;
   uint64_t partition_hold_ms = 600;
+  // Epoch pipeline depth for the proxy under test (clamped to >= 1). At 2+
+  // a partition can land with multiple epochs' retirements in flight — the
+  // depth-D ordering gate and bounded-failure path are what the chaos
+  // scenario then exercises.
+  size_t pipeline_depth = 2;
   // fsync-stall the storage node's WAL (FaultyLogStore decorator), then
   // release after the stall window.
   bool slow_disk = false;

@@ -9,6 +9,16 @@
 
 namespace obladi {
 
+// Prometheus-style cumulative bucket counts: counts[i] is the number of
+// samples <= upper_bounds[i] (the "le" label); the implicit +Inf bucket is
+// `count`. Computed from one consistent cut of the sample set.
+struct HistogramBuckets {
+  std::vector<uint64_t> upper_bounds;  // ascending, exclusive of +Inf
+  std::vector<uint64_t> counts;        // cumulative, same length as upper_bounds
+  uint64_t count = 0;                  // total samples (the +Inf bucket)
+  uint64_t sum = 0;
+};
+
 // One consistent cut of a Histogram: every field computed from the same
 // sample set under one lock acquisition (per-accessor calls can interleave
 // with writers between them; Summary() cannot).
@@ -91,6 +101,40 @@ class Histogram {
     s.p99 = PickPercentile(sorted, 0.99);
     s.p999 = PickPercentile(sorted, 0.999);
     return s;
+  }
+
+  // Fixed exponential bounds shared by every scraped histogram family, so
+  // dashboards can aggregate across instances (values are microseconds for
+  // latency series; counts reuse the low end harmlessly).
+  static const std::vector<uint64_t>& DefaultBucketBounds() {
+    static const std::vector<uint64_t> kBounds = {
+        1,      2,      5,      10,      25,      50,      100,     250,
+        500,    1000,   2500,   5000,    10000,   25000,   50000,   100000,
+        250000, 500000, 1000000, 2500000, 5000000, 10000000};
+    return kBounds;
+  }
+
+  // Cumulative counts against `bounds` (must be ascending). One lock
+  // acquisition: the buckets, count, and sum describe the same sample set.
+  HistogramBuckets BucketCounts(
+      const std::vector<uint64_t>& bounds = DefaultBucketBounds()) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    HistogramBuckets b;
+    b.upper_bounds = bounds;
+    b.counts.assign(bounds.size(), 0);
+    for (uint64_t v : samples_) {
+      auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+      if (it != bounds.end()) {
+        b.counts[static_cast<size_t>(it - bounds.begin())]++;
+      }
+    }
+    // Make per-bound tallies cumulative (Prometheus "le" semantics).
+    for (size_t i = 1; i < b.counts.size(); ++i) {
+      b.counts[i] += b.counts[i - 1];
+    }
+    b.count = samples_.size();
+    b.sum = sum_;
+    return b;
   }
 
   uint64_t Max() const {

@@ -22,6 +22,12 @@ void ExportObladiStats(MetricsSink& sink, const ObladiStats& s,
   sink.Gauge("obladi_max_inflight_stash_blocks", labels,
              static_cast<double>(s.max_inflight_stash_blocks),
              "peak stash + retiring blocks");
+  sink.Counter("sched_overlapped_accesses_total", labels, s.sched_overlapped_accesses,
+               "reads answered by the scheduler's read stage before its batch finished");
+  sink.Counter("stash_budget_stalls_total", labels, s.stash_budget_stalls,
+               "batch dispatches stalled on the max_stash_blocks budget");
+  sink.Counter("stash_budget_stall_us_total", labels, s.stash_budget_stall_us,
+               "time spent in stash-budget stalls");
   sink.Counter("obladi_txn_begun_total", labels, s.txn_begun, "transactions begun");
   sink.Counter("obladi_txn_committed_total", labels, s.txn_committed,
                "transactions committed");
@@ -115,7 +121,7 @@ void ExportStorageServerStats(MetricsSink& sink, const StorageServerStats& s,
 
 void ExportHistogramAs(MetricsSink& sink, const std::string& name, const Histogram& h,
                        const MetricLabels& labels) {
-  sink.Summary(name, labels, h.Summary(), "");
+  sink.HistogramFamily(name, labels, h.BucketCounts(), h.Summary(), "");
 }
 
 }  // namespace obladi

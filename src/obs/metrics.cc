@@ -93,6 +93,21 @@ class PrometheusSink : public MetricsSink {
     out_ += n + "_sum" + LabelBlock(labels) + " " + std::to_string(s.sum) + "\n";
     out_ += n + "_count" + LabelBlock(labels) + " " + std::to_string(s.count) + "\n";
   }
+  void HistogramFamily(const std::string& name, const MetricLabels& labels,
+                       const HistogramBuckets& b, const HistogramSummary&,
+                       const std::string& help) override {
+    std::string n = SanitizeName(name);
+    Header(n, "histogram", help);
+    for (size_t i = 0; i < b.upper_bounds.size(); ++i) {
+      out_ += n + "_bucket" +
+              LabelBlock(labels, "le", std::to_string(b.upper_bounds[i]).c_str()) + " " +
+              std::to_string(b.counts[i]) + "\n";
+    }
+    out_ += n + "_bucket" + LabelBlock(labels, "le", "+Inf") + " " +
+            std::to_string(b.count) + "\n";
+    out_ += n + "_sum" + LabelBlock(labels) + " " + std::to_string(b.sum) + "\n";
+    out_ += n + "_count" + LabelBlock(labels) + " " + std::to_string(b.count) + "\n";
+  }
   std::string Take() { return std::move(out_); }
 
  private:
@@ -150,6 +165,23 @@ class JsonLinesSink : public MetricsSink {
     out_ += ",\"p90\":" + std::to_string(s.p90);
     out_ += ",\"p99\":" + std::to_string(s.p99);
     out_ += ",\"p999\":" + std::to_string(s.p999) + "}\n";
+  }
+  void HistogramFamily(const std::string& name, const MetricLabels& labels,
+                       const HistogramBuckets& b, const HistogramSummary& s,
+                       const std::string&) override {
+    Begin(name, labels, "histogram");
+    out_ += ",\"count\":" + std::to_string(b.count);
+    out_ += ",\"sum\":" + std::to_string(b.sum);
+    out_ += ",\"mean\":" + FormatDouble(s.mean);
+    out_ += ",\"p50\":" + std::to_string(s.p50);
+    out_ += ",\"p99\":" + std::to_string(s.p99);
+    out_ += ",\"buckets\":[";
+    for (size_t i = 0; i < b.upper_bounds.size(); ++i) {
+      if (i != 0) out_.push_back(',');
+      out_ += "{\"le\":" + std::to_string(b.upper_bounds[i]) +
+              ",\"count\":" + std::to_string(b.counts[i]) + "}";
+    }
+    out_ += "]}\n";
   }
   std::string Take() { return std::move(out_); }
 
@@ -249,7 +281,7 @@ void MetricsRegistry::CollectInto(MetricsSink& sink) const {
     sink.Gauge(name, labels, g->Value(), help);
   }
   for (const auto& [name, labels, help, h] : hs) {
-    sink.Summary(name, labels, h->Summary(), help);
+    sink.HistogramFamily(name, labels, h->BucketCounts(), h->Summary(), help);
   }
   for (const auto& source : sources) {
     source(sink);

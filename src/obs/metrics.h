@@ -67,6 +67,14 @@ class MetricsSink {
                      const std::string& help) = 0;
   virtual void Summary(const std::string& name, const MetricLabels& labels,
                        const HistogramSummary& summary, const std::string& help) = 0;
+  // Native histogram family (fixed cumulative buckets + sum + count). The
+  // default keeps third-party sinks working by degrading to the summary.
+  virtual void HistogramFamily(const std::string& name, const MetricLabels& labels,
+                               const HistogramBuckets& buckets,
+                               const HistogramSummary& summary, const std::string& help) {
+    (void)buckets;
+    Summary(name, labels, summary, help);
+  }
 };
 
 class MetricsRegistry {

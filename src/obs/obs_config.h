@@ -18,6 +18,13 @@ struct ObsConfig {
   bool trace = false;
   size_t trace_ring_capacity = 1u << 15;  // records per thread
 
+  // Non-empty: stream every span/instant/counter to this file as it is
+  // recorded (Chrome trace JSON array; the trailing "]" is optional for
+  // Perfetto, so the file is loadable even after a crash). The flight
+  // recorder's rings keep only the newest window; the stream keeps all of
+  // it, at the cost of a mutexed buffered write per record.
+  std::string trace_stream_path;
+
   // Metrics registry on the proxy: absorbs ObladiStats / RingOramStats /
   // the watchdog verdicts behind one scrapeable snapshot.
   bool metrics = false;

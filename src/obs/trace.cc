@@ -22,6 +22,49 @@ void AppendEscaped(std::string& out, const char* s) {
   }
 }
 
+// One Chrome trace-event object (no separators) — shared by the batch dump
+// and the continuous stream so both stay loadable by the same viewers.
+void AppendEventJson(std::string& out, const ObsEvent& ev) {
+  char buf[256];
+  double ts_us = static_cast<double>(ev.ts_ns) / 1e3;
+  switch (ev.kind) {
+    case ObsEvent::Kind::kSpan: {
+      double dur_us = static_cast<double>(ev.dur_ns) / 1e3;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                    ev.tid, ts_us, dur_us);
+      out += buf;
+      break;
+    }
+    case ObsEvent::Kind::kInstant:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                    ev.tid, ts_us);
+      out += buf;
+      break;
+    case ObsEvent::Kind::kCounter:
+      std::snprintf(buf, sizeof(buf), "{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                    ev.tid, ts_us);
+      out += buf;
+      break;
+  }
+  out += ",\"cat\":\"";
+  AppendEscaped(out, ev.category != nullptr ? ev.category : "obs");
+  out += "\",\"name\":\"";
+  AppendEscaped(out, ev.name != nullptr ? ev.name : "?");
+  out.push_back('"');
+  if (ev.kind == ObsEvent::Kind::kCounter) {
+    out += ",\"args\":{\"value\":";
+    out += std::to_string(ev.arg);
+    out += "}";
+  } else if (ev.has_arg) {
+    out += ",\"args\":{\"v\":";
+    out += std::to_string(ev.arg);
+    out += "}";
+  }
+  out.push_back('}');
+}
+
 }  // namespace
 
 Tracer& Tracer::Get() {
@@ -57,17 +100,35 @@ Tracer::Ring* Tracer::ThisThreadRing() {
 
 void Tracer::Push(const ObsEvent& ev) {
   Ring* ring = ThisThreadRing();
-  std::lock_guard<std::mutex> lk(ring->mu);
-  size_t cap = std::max(ring->events.capacity(), size_t{16});
   ObsEvent copy = ev;
   copy.tid = ring->tid;
-  if (ring->events.size() < cap) {
-    ring->events.push_back(copy);
-    ring->next = ring->events.size() % cap;
-  } else {
-    ring->events[ring->next] = copy;
-    ring->next = (ring->next + 1) % cap;
-    ring->wrapped = true;
+  {
+    std::lock_guard<std::mutex> lk(ring->mu);
+    size_t cap = std::max(ring->events.capacity(), size_t{16});
+    if (ring->events.size() < cap) {
+      ring->events.push_back(copy);
+      ring->next = ring->events.size() % cap;
+    } else {
+      ring->events[ring->next] = copy;
+      ring->next = (ring->next + 1) % cap;
+      ring->wrapped = true;
+    }
+  }
+  if (streaming_.load(std::memory_order_relaxed)) {
+    // Rendered outside stream_mu_ so concurrent pushers only serialize on
+    // the (stdio-buffered) write itself.
+    std::string line;
+    line.reserve(128);
+    AppendEventJson(line, copy);
+    line.push_back('\n');
+    std::lock_guard<std::mutex> slk(stream_mu_);
+    if (stream_ != nullptr) {
+      if (!stream_first_event_) {
+        std::fputc(',', stream_);
+      }
+      stream_first_event_ = false;
+      std::fwrite(line.data(), 1, line.size(), stream_);
+    }
   }
 }
 
@@ -191,7 +252,6 @@ std::string Tracer::ChromeTraceJson() const {
   out.reserve(events.size() * 96 + 256);
   out += "{\"traceEvents\":[";
   bool first = true;
-  char buf[256];
   for (const auto& [tid, name] : names) {
     if (!first) out.push_back(',');
     first = false;
@@ -204,46 +264,38 @@ std::string Tracer::ChromeTraceJson() const {
   for (const ObsEvent& ev : events) {
     if (!first) out.push_back(',');
     first = false;
-    double ts_us = static_cast<double>(ev.ts_ns) / 1e3;
-    switch (ev.kind) {
-      case ObsEvent::Kind::kSpan: {
-        double dur_us = static_cast<double>(ev.dur_ns) / 1e3;
-        std::snprintf(buf, sizeof(buf),
-                      "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
-                      ev.tid, ts_us, dur_us);
-        out += buf;
-        break;
-      }
-      case ObsEvent::Kind::kInstant:
-        std::snprintf(buf, sizeof(buf),
-                      "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
-                      ev.tid, ts_us);
-        out += buf;
-        break;
-      case ObsEvent::Kind::kCounter:
-        std::snprintf(buf, sizeof(buf), "{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
-                      ev.tid, ts_us);
-        out += buf;
-        break;
-    }
-    out += ",\"cat\":\"";
-    AppendEscaped(out, ev.category != nullptr ? ev.category : "obs");
-    out += "\",\"name\":\"";
-    AppendEscaped(out, ev.name != nullptr ? ev.name : "?");
-    out.push_back('"');
-    if (ev.kind == ObsEvent::Kind::kCounter) {
-      out += ",\"args\":{\"value\":";
-      out += std::to_string(ev.arg);
-      out += "}";
-    } else if (ev.has_arg) {
-      out += ",\"args\":{\"v\":";
-      out += std::to_string(ev.arg);
-      out += "}";
-    }
-    out.push_back('}');
+    AppendEventJson(out, ev);
   }
   out += "]}";
   return out;
+}
+
+Status Tracer::StartStreaming(const std::string& path) {
+  std::lock_guard<std::mutex> lk(stream_mu_);
+  if (stream_ != nullptr) {
+    return Status::Internal("trace streaming already active");
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace stream file: " + path);
+  }
+  std::fputs("[\n", f);
+  stream_ = f;
+  stream_first_event_ = true;
+  streaming_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void Tracer::StopStreaming() {
+  streaming_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(stream_mu_);
+  if (stream_ == nullptr) {
+    return;
+  }
+  // Close the array so strict JSON parsers accept the file too.
+  std::fputs("\n]\n", stream_);
+  std::fclose(stream_);
+  stream_ = nullptr;
 }
 
 Status Tracer::WriteChromeTrace(const std::string& path) const {

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,6 +77,15 @@ class Tracer {
   // Drops all buffered records (ring registrations survive).
   void Clear();
 
+  // Continuous streaming: every record pushed while streaming is armed is
+  // also appended to `path` as Chrome trace JSON (array form; the trailing
+  // "]" is left off so the file stays loadable after a crash — Perfetto
+  // accepts it). Streaming is independent of the rings: Clear() does not
+  // rewind the stream, and the ring capacity does not bound it.
+  Status StartStreaming(const std::string& path);
+  void StopStreaming();  // flushes and closes; idempotent
+  bool streaming() const { return streaming_.load(std::memory_order_relaxed); }
+
   static constexpr size_t kDefaultRingCapacity = 1u << 15;
 
  private:
@@ -97,6 +107,13 @@ class Tracer {
   std::atomic<uint32_t> next_tid_{1};
   mutable std::mutex registry_mu_;
   std::vector<std::shared_ptr<Ring>> rings_;
+
+  // Stream sink. streaming_ is the cheap gate checked in Push; stream_mu_
+  // serializes writers and guards stream_ against StopStreaming.
+  std::atomic<bool> streaming_{false};
+  std::mutex stream_mu_;
+  FILE* stream_ = nullptr;
+  bool stream_first_event_ = true;
 };
 
 // RAII span: stamps the start on construction, records on destruction.

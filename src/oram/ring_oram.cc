@@ -1,5 +1,6 @@
 #include "src/oram/ring_oram.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/common/clock.h"
@@ -57,6 +58,7 @@ RingOramStats RingOram::stats() const {
   RingOramStats out = stats_;
   // Encryption moved to the retirement stage still counts as materialization.
   out.materialize_us += bg_materialize_us_.load(std::memory_order_relaxed);
+  out.early_results += early_results_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -84,6 +86,7 @@ void RingOram::ResetStats() {
   std::lock_guard<std::mutex> lk(mu_);
   stats_ = RingOramStats{};
   bg_materialize_us_.store(0, std::memory_order_relaxed);
+  early_results_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<BucketIndex> RingOram::TakeDirtyBuckets() {
@@ -190,6 +193,8 @@ Status RingOram::RestoreState(PositionMap position_map, std::vector<BucketMeta> 
   batch_in_epoch_ = 0;
   buffered_.clear();
   retiring_.clear();
+  retiring_gens_.clear();
+  collected_floors_.reset();
   deferred_ops_.clear();
   pending_reads_.clear();
   dirty_buckets_.clear();
@@ -258,6 +263,7 @@ void RingOram::DepositPlaintext(const PendingRead& read, const Bytes& plaintext)
     RecordError(Status::IntegrityViolation("decoded block id mismatch"));
     return;
   }
+  bool deliver_early = false;
   {
     std::lock_guard<std::mutex> lk(deposit_mu_);
     if (read.entry != nullptr && read.entry->gen == read.entry_gen &&
@@ -267,7 +273,15 @@ void RingOram::DepositPlaintext(const PendingRead& read, const Bytes& plaintext)
     }
     if (read.results != nullptr) {
       (*read.results)[read.result_slot] = decoded.payload;
+      deliver_early = read.early != nullptr;
     }
+  }
+  if (deliver_early) {
+    // access_r early answer: the client's value is known as soon as its path
+    // group decrypts — hand it out before the rest of the batch lands. Fired
+    // outside deposit_mu_ so a slow callback cannot stall other deposits.
+    (*read.early)(read.result_slot, decoded.payload);
+    early_results_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -284,6 +298,7 @@ void RingOram::EmitRead(BucketIndex bucket, SlotIndex phys_slot, BlockId deposit
   read.result_slot = result_slot;
   read.entry_gen = entry_gen;
   read.path_group = path_group;
+  read.early = results != nullptr ? current_early_ : nullptr;
   trace_.Record(PhysicalOpType::kReadSlot, read.bucket, read.version, read.slot);
   stats_.physical_slot_reads++;
 
@@ -609,9 +624,18 @@ Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPl
     }
     path_leaf = position_map_.Get(id);
     if (forced_leaf.has_value() && *forced_leaf != path_leaf) {
-      return Status::Internal("replay leaf does not match restored position map");
+      // Multi-epoch replay: an earlier replayed epoch already re-accessed
+      // this block and remapped it, so the logged leaf no longer matches the
+      // position map. The original execution read the logged path, so this
+      // replay must touch the same slots — execute it as a pure dummy path
+      // read at the logged leaf and leave the block's current state alone
+      // (the earlier replay already deposited its value).
+      is_real = false;
+      path_leaf = *forced_leaf;
     }
+  }
 
+  if (is_real) {
     BlockLoc loc = loc_[id];
     if (loc.bucket == kLocStash) {
       entry = stash_.Find(id);
@@ -624,7 +648,9 @@ Status RingOram::PlanAccess(BlockId id, std::optional<Leaf> forced_leaf, BatchPl
         // The block sits in a bucket whose new version is still in flight:
         // serve the value from the retiring buffer (the physical read of the
         // in-flight version is skipped, like any retiring path level below).
-        for (const PlannedBlock& blk : rit->second) {
+        // Any live generation's buffer can serve — loc_ points here only
+        // while the buffered copy is the freshest.
+        for (const PlannedBlock& blk : rit->second.blocks) {
           if (blk.id == id) {
             retiring_value = blk.value;
             from_retiring = true;
@@ -821,7 +847,7 @@ bool RingOram::AbsorbRetiringBucket(BucketIndex bucket) {
   // in-flight version has never been read). Blocks that already moved out —
   // served to a logical access or overwritten — are skipped via loc_.
   BucketMeta& mb = meta_[bucket];
-  for (auto& blk : it->second) {
+  for (auto& blk : it->second.blocks) {
     if (loc_[blk.id].bucket != bucket) {
       continue;
     }
@@ -1128,13 +1154,14 @@ void RingOram::FlushPendingImages() {
   }
 }
 
-void RingOram::RetireChunkDone(Status st) {
+void RingOram::RetireChunkDone(const std::shared_ptr<RetireTicket>& ticket, Status st) {
   // Notify under the lock: AwaitRetireDurable's caller may destroy this
   // object as soon as the count hits zero.
   std::lock_guard<std::mutex> rlk(retire_mu_);
-  if (!st.ok() && retire_error_.ok()) {
-    retire_error_ = st;
+  if (!st.ok() && ticket->error.ok()) {
+    ticket->error = st;
   }
+  --ticket->outstanding;
   --retire_outstanding_;
   retire_cv_.notify_all();
 }
@@ -1144,7 +1171,8 @@ BucketImage RingOram::EncryptRetireImage(const RetireImagePlan& plan) {
                      EncryptBucketSlots(plan.bucket, plan.version, plan.perm, plan.blocks)};
 }
 
-void RingOram::SubmitImagesAsync(std::vector<BucketImage> images) {
+void RingOram::SubmitImagesAsync(std::vector<BucketImage> images,
+                                 std::shared_ptr<RetireTicket> ticket) {
   if (images.empty()) {
     return;
   }
@@ -1156,6 +1184,7 @@ void RingOram::SubmitImagesAsync(std::vector<BucketImage> images) {
     size_t num_chunks = (images.size() + chunk - 1) / chunk;
     {
       std::lock_guard<std::mutex> rlk(retire_mu_);
+      ticket->outstanding += num_chunks;
       retire_outstanding_ += num_chunks;
     }
     for (size_t c = 0; c < num_chunks; ++c) {
@@ -1164,8 +1193,9 @@ void RingOram::SubmitImagesAsync(std::vector<BucketImage> images) {
       std::vector<BucketImage> sub(
           std::make_move_iterator(images.begin() + static_cast<ptrdiff_t>(start)),
           std::make_move_iterator(images.begin() + static_cast<ptrdiff_t>(end)));
-      store_->WriteBucketsBatchAsync(std::move(sub),
-                                     [this](Status st) { RetireChunkDone(std::move(st)); });
+      store_->WriteBucketsBatchAsync(std::move(sub), [this, ticket](Status st) {
+        RetireChunkDone(ticket, std::move(st));
+      });
     }
     return;
   }
@@ -1174,10 +1204,11 @@ void RingOram::SubmitImagesAsync(std::vector<BucketImage> images) {
   // pipeline needs survives a synchronous backend.
   {
     std::lock_guard<std::mutex> rlk(retire_mu_);
+    ++ticket->outstanding;
     ++retire_outstanding_;
   }
-  pool_->Enqueue([this, images = std::move(images)]() mutable {
-    RetireChunkDone(store_->WriteBucketsBatch(std::move(images)));
+  pool_->Enqueue([this, ticket, images = std::move(images)]() mutable {
+    RetireChunkDone(ticket, store_->WriteBucketsBatch(std::move(images)));
   });
 }
 
@@ -1186,7 +1217,8 @@ void RingOram::SubmitImagesAsync(std::vector<BucketImage> images) {
 // ---------------------------------------------------------------------------
 
 StatusOr<std::vector<Bytes>> RingOram::RunReadBatch(const std::vector<BlockId>& ids,
-                                                    const BatchPlan* replay_plan) {
+                                                    const BatchPlan* replay_plan,
+                                                    const EarlyResultFn* early) {
   std::lock_guard<std::mutex> lk(mu_);
   SpanGuard obs_span("oram", "oram.read_batch", epoch_);
   std::vector<Bytes> results(ids.size());
@@ -1194,6 +1226,7 @@ StatusOr<std::vector<Bytes>> RingOram::RunReadBatch(const std::vector<BlockId>& 
   plan.epoch = epoch_;
   plan.batch_index = batch_in_epoch_++;
 
+  current_early_ = early;
   for (size_t i = 0; i < ids.size(); ++i) {
     std::optional<Leaf> forced;
     if (replay_plan != nullptr) {
@@ -1201,15 +1234,22 @@ StatusOr<std::vector<Bytes>> RingOram::RunReadBatch(const std::vector<BlockId>& 
     }
     Status st = PlanAccess(ids[i], forced, plan, &results, i);
     if (!st.ok()) {
+      current_early_ = nullptr;
       return st;
     }
   }
+  current_early_ = nullptr;
 
   if (planned_hook_ && replay_plan == nullptr) {
     OBLADI_RETURN_IF_ERROR(planned_hook_(plan));
   }
-  DispatchPendingReads();
-  WaitOutstandingReads();
+  {
+    // access_r stage: dispatch the batch's path reads and wait them out.
+    // Early answers fire from the I/O threads inside this window.
+    OBS_SPAN_ARG("sched", "sched.read_stage", ids.size());
+    DispatchPendingReads();
+    WaitOutstandingReads();
+  }
   ResolveLazyResults();
 
   {
@@ -1224,7 +1264,12 @@ StatusOr<std::vector<Bytes>> RingOram::RunReadBatch(const std::vector<BlockId>& 
 }
 
 StatusOr<std::vector<Bytes>> RingOram::ReadBatch(const std::vector<BlockId>& ids) {
-  return RunReadBatch(ids, nullptr);
+  return RunReadBatch(ids, nullptr, nullptr);
+}
+
+StatusOr<std::vector<Bytes>> RingOram::ReadBatch(const std::vector<BlockId>& ids,
+                                                 const EarlyResultFn& early) {
+  return RunReadBatch(ids, nullptr, early ? &early : nullptr);
 }
 
 StatusOr<std::vector<Bytes>> RingOram::ReplayReadBatch(const BatchPlan& plan) {
@@ -1233,17 +1278,28 @@ StatusOr<std::vector<Bytes>> RingOram::ReplayReadBatch(const BatchPlan& plan) {
   for (const auto& req : plan.requests) {
     ids.push_back(req.id);
   }
-  return RunReadBatch(ids, &plan);
+  return RunReadBatch(ids, &plan, nullptr);
 }
 
 void RingOram::AdvanceWriteSchedule(size_t bumps) {
   std::lock_guard<std::mutex> lk(mu_);
   // Pure schedule movement: exactly what the write batch's padding bumps
   // would do at the close, shifted into the epoch. Triggered eviction/
-  // reshuffle read phases land in pending_reads_ and dispatch with the next
-  // read batch's wave.
+  // reshuffle read phases land in pending_reads_ and — with the sub-epoch
+  // scheduler — dispatch immediately (the decoupled access_w read stage),
+  // overlapping the next batch's plan logging and answer delivery. These
+  // pulls are schedule-derived, never plan-logged, so dispatching them
+  // before the next batch's WAL append preserves §8's log-before-read
+  // discipline; replay re-derives them from the same schedule. Without the
+  // scheduler they park until the next batch's dispatch wave, as before.
   for (size_t i = 0; i < bumps; ++i) {
     BumpAccessCounter();
+  }
+  if (options_.eager_evict_dispatch && options_.parallel && options_.defer_writes &&
+      !pending_reads_.empty()) {
+    OBS_SPAN_ARG("sched", "sched.evict_stage", pending_reads_.size());
+    stats_.eager_evict_dispatches++;
+    DispatchPendingReads();
   }
 }
 
@@ -1335,11 +1391,16 @@ Status RingOram::WriteBatchInternal(const std::vector<std::pair<BlockId, Bytes>>
 Status RingOram::BeginRetire() {
   std::lock_guard<std::mutex> lk(mu_);
   SpanGuard obs_span("oram", "oram.begin_retire", epoch_);
-  if (!retiring_.empty()) {
-    return Status::FailedPrecondition("previous epoch retirement not collected");
+  size_t depth = std::max<size_t>(1, options_.retire_depth);
+  if (retiring_gens_.size() >= depth) {
+    return Status::FailedPrecondition("retirement window full: oldest epoch not collected");
   }
   DispatchPendingReads();
   WaitOutstandingReads();
+
+  RetiringGeneration gen;
+  gen.gen = next_retire_gen_++;
+  auto ticket = std::make_shared<RetireTicket>();
 
   if (options_.defer_writes) {
     // Replay the deferred write phases in order; repeated touches of a bucket
@@ -1388,17 +1449,18 @@ Status RingOram::BeginRetire() {
           // The encrypt+submit task itself holds one outstanding slot so
           // AwaitRetireDurable cannot observe zero before submission.
           std::lock_guard<std::mutex> rlk(retire_mu_);
+          ++ticket->outstanding;
           ++retire_outstanding_;
         }
-        pool_->Enqueue([this, plan] {
+        pool_->Enqueue([this, plan, ticket] {
           uint64_t start = NowMicros();
           std::vector<BucketImage> images(plan->size());
           crypto_pool_->ParallelFor(plan->size(), [&](size_t i) {
             images[i] = EncryptRetireImage((*plan)[i]);
           });
           bg_materialize_us_.fetch_add(NowMicros() - start, std::memory_order_relaxed);
-          SubmitImagesAsync(std::move(images));
-          RetireChunkDone(Status::Ok());
+          SubmitImagesAsync(std::move(images), ticket);
+          RetireChunkDone(ticket, Status::Ok());
         });
       }
     } else {
@@ -1409,13 +1471,30 @@ Status RingOram::BeginRetire() {
       stats_.materialize_us += NowMicros() - mat_start;
     }
     // Keep the rewritten buckets' plaintext contents to serve the next
-    // epoch's accesses while the flush is in flight.
+    // epoch's accesses while the flush is in flight. Each bucket is owned by
+    // this generation; a bucket re-rewritten by a later epoch is re-owned
+    // (CollectRetired erases only entries still carrying its generation id).
     for (auto& [bucket, bb] : buffered_) {
       if (bb.rewrite_planned) {
-        retiring_.emplace(bucket, std::move(bb.blocks));
+        gen.buckets.push_back(bucket);
+        retiring_[bucket] = RetiringBucket{gen.gen, std::move(bb.blocks)};
       }
     }
     buffered_.clear();
+  }
+
+  // Snapshot every bucket's version at this close: exactly the versions the
+  // epoch's checkpoint (captured right after BeginRetire) references, and
+  // therefore the truncation floor once that checkpoint is durable. Live
+  // counts at truncate time would include later, still-undurable epochs.
+  gen.version_floors.reserve(meta_.size());
+  for (const BucketMeta& mb : meta_) {
+    gen.version_floors.push_back(mb.write_count);
+  }
+  retiring_gens_.push_back(std::move(gen));
+  {
+    std::lock_guard<std::mutex> rlk(retire_mu_);
+    retire_tickets_.push_back(std::move(ticket));
   }
 
   stash_.ClearLogicalAccessFlags();
@@ -1440,15 +1519,36 @@ Status RingOram::AwaitRetireDurable() {
   // this returns — so taking mu_ here would deadlock.
   OBS_SPAN("oram", "oram.retire_wait");
   std::unique_lock<std::mutex> rlk(retire_mu_);
-  retire_cv_.wait(rlk, [&] { return retire_outstanding_ == 0; });
-  Status st = retire_error_;
-  retire_error_ = Status::Ok();
-  return st;
+  if (retire_tickets_.empty()) {
+    return Status::Ok();
+  }
+  std::shared_ptr<RetireTicket> ticket = retire_tickets_.front();
+  retire_cv_.wait(rlk, [&] { return ticket->outstanding == 0; });
+  retire_tickets_.pop_front();
+  return ticket->error;
 }
 
 void RingOram::CollectRetired() {
   std::lock_guard<std::mutex> lk(mu_);
-  retiring_.clear();
+  if (retiring_gens_.empty()) {
+    return;
+  }
+  RetiringGeneration gen = std::move(retiring_gens_.front());
+  retiring_gens_.pop_front();
+  for (BucketIndex b : gen.buckets) {
+    auto it = retiring_.find(b);
+    // Skip entries a later epoch re-owned (absorbed + re-rewritten while this
+    // generation was still in flight): their buffers are still needed.
+    if (it != retiring_.end() && it->second.gen == gen.gen) {
+      retiring_.erase(it);
+    }
+  }
+  collected_floors_ = std::move(gen.version_floors);
+}
+
+size_t RingOram::RetiringGenerations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retiring_gens_.size();
 }
 
 Status RingOram::FinishEpoch() {
@@ -1466,8 +1566,8 @@ Status RingOram::FinishEpoch() {
 size_t RingOram::InflightBlocks() const {
   std::lock_guard<std::mutex> lk(mu_);
   size_t n = stash_.size();
-  for (const auto& [bucket, blocks] : retiring_) {
-    n += blocks.size();
+  for (const auto& [bucket, rb] : retiring_) {
+    n += rb.blocks.size();
   }
   return n;
 }
@@ -1482,9 +1582,19 @@ Status RingOram::TruncateStaleVersions() {
   std::vector<TruncateRef> refs;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Prefer the floors banked by the last CollectRetired: they are the
+    // versions that generation's (now durable) checkpoint references. Live
+    // write counts may already include later, still-undurable epochs whose
+    // checkpoints still need the older versions (depth > 1). Without banked
+    // floors (truncate outside the retire cycle) live counts are safe: the
+    // caller guarantees the covering checkpoint is durable.
+    std::optional<std::vector<uint32_t>> floors = std::move(collected_floors_);
+    collected_floors_.reset();
     refs.reserve(meta_.size());
     for (BucketIndex b = 0; b < meta_.size(); ++b) {
-      refs.push_back(TruncateRef{b, meta_[b].write_count});
+      uint32_t v = floors.has_value() && b < floors->size() ? (*floors)[b]
+                                                            : meta_[b].write_count;
+      refs.push_back(TruncateRef{b, v});
     }
   }
   // One batched request: a whole shard's GC is one round trip.

@@ -63,6 +63,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -106,6 +107,19 @@ struct RingOramOptions {
   // XOR-reconstructed); eviction/reshuffle bucket reads (several real
   // blocks per bucket) stay slot-by-slot.
   bool xor_path_reads = true;
+  // Sub-epoch scheduler: dispatch eviction/early-reshuffle *read phases* as
+  // soon as the schedule emits them (AdvanceWriteSchedule) instead of
+  // parking them until the next batch's dispatch wave. The slots fetched
+  // and the recorded trace are identical — the pulls only move earlier in
+  // time, overlapping the next batch's plan logging (§8's WAL append) and
+  // answer delivery. Requires parallel + defer_writes; inert otherwise.
+  bool eager_evict_dispatch = true;
+  // Epoch retirements allowed in flight at once (pipeline depth D).
+  // BeginRetire fails when `retire_depth` epochs are already retiring and
+  // none has been collected; AwaitRetireDurable/CollectRetired operate on
+  // the oldest in-flight retirement (FIFO). 1 reproduces the depth-1
+  // pipeline exactly.
+  size_t retire_depth = 1;
   size_t io_threads = 32;
 };
 
@@ -120,6 +134,8 @@ struct RingOramStats {
   uint64_t retiring_bucket_skips = 0;  // path levels served from a retiring bucket
   uint64_t xor_path_reads = 0;         // path reads fetched via kReadPathsXor
   uint64_t stash_cache_skips = 0;      // accesses skipped by cache_all_stash (ablation)
+  uint64_t early_results = 0;          // batch answers delivered before batch completion
+  uint64_t eager_evict_dispatches = 0; // eviction read waves dispatched ahead of a batch
   uint64_t flush_plan_us = 0;          // FinishEpoch: planning deferred write phases
   uint64_t materialize_us = 0;         // FinishEpoch: encrypt + write buckets
   uint64_t write_drain_us = 0;         // FinishEpoch: waiting on handed-off writes
@@ -145,6 +161,17 @@ class RingOram {
   // padding requests (a full random-path dummy read). Returns payloads
   // aligned with ids (empty for padding). Blocks until all values arrived.
   StatusOr<std::vector<Bytes>> ReadBatch(const std::vector<BlockId>& ids);
+
+  // Early-answer form (the scheduler's access_r stage): `early` fires with
+  // (batch index, payload) as soon as that access's path group decrypts —
+  // before the rest of the batch completes — from an I/O pool thread. Every
+  // invocation happens-before ReadBatch returns; slots never fire twice,
+  // and slots resolved only at batch completion (stash-resident values,
+  // padding) do not fire at all — the returned vector remains the complete
+  // answer set either way. The callback must be thread-safe and cheap.
+  using EarlyResultFn = std::function<void(size_t, const Bytes&)>;
+  StatusOr<std::vector<Bytes>> ReadBatch(const std::vector<BlockId>& ids,
+                                         const EarlyResultFn& early);
 
   // Recovery replay (§8): re-executes a logged batch. Padding requests reuse
   // the logged leaves; real requests must match the restored position map.
@@ -175,16 +202,21 @@ class RingOram {
   // --- pipelined epoch retirement (see file comment) ---
   // Plan the epoch's deferred write-back, hand its encryption + submission
   // to the I/O pool, and advance to the next epoch. The rewritten buckets
-  // stay buffered as the "retiring" set so the next epoch's accesses can be
-  // served while the flush is in flight. Fails if the previous retirement
-  // has not been collected yet (pipeline depth 1).
+  // stay buffered as a retiring *generation* so the next epoch's accesses
+  // can be served while the flush is in flight. Up to `retire_depth`
+  // generations may be in flight at once (FIFO); BeginRetire fails when the
+  // window is full and nothing has been collected.
   Status BeginRetire();
-  // Wait until every submitted image is durable on the server; returns the
-  // first write-back error. Takes no ORAM metadata lock: safe to call while
-  // a next-epoch batch is executing.
+  // Wait until the *oldest* in-flight retirement's images are durable on
+  // the server; returns its first write-back error. Takes no ORAM metadata
+  // lock: safe to call while a next-epoch batch is executing.
   Status AwaitRetireDurable();
-  // Drop the retiring buffers (call only after AwaitRetireDurable).
+  // Drop the oldest retiring generation's buffers (call only after its
+  // AwaitRetireDurable) and bank its version floors for the next
+  // TruncateStaleVersions call.
   void CollectRetired();
+  // In-flight retiring generations (0..retire_depth).
+  size_t RetiringGenerations() const;
   // In-flight proxy memory: stash entries + blocks parked in retiring
   // buckets (the pipeline's working-set bound).
   size_t InflightBlocks() const;
@@ -269,6 +301,10 @@ class RingOram {
     size_t result_slot = 0;
     uint32_t entry_gen = 0;
     uint32_t path_group = kNoPathGroup;
+    // Early-answer callback for the batch this read answers (target reads
+    // only). Points at the caller's frame; valid because every deposit
+    // happens-before RunReadBatch returns.
+    const EarlyResultFn* early = nullptr;
   };
 
   // --- planning (all under mu_) ---
@@ -356,13 +392,16 @@ class RingOram {
                                         const std::vector<SlotIndex>& perm,
                                         const std::vector<PlannedBlock>& blocks);
   BucketImage EncryptRetireImage(const RetireImagePlan& plan);
+  struct RetireTicket;  // defined with the retirement state below
   // Submit encrypted images without waiting; completions land on
-  // RetireChunkDone.
-  void SubmitImagesAsync(std::vector<BucketImage> images);
-  void RetireChunkDone(Status st);
+  // RetireChunkDone against the generation's ticket.
+  void SubmitImagesAsync(std::vector<BucketImage> images,
+                         std::shared_ptr<RetireTicket> ticket);
+  void RetireChunkDone(const std::shared_ptr<RetireTicket>& ticket, Status st);
   void RecordError(const Status& status);
   StatusOr<std::vector<Bytes>> RunReadBatch(const std::vector<BlockId>& ids,
-                                            const BatchPlan* replay_plan);
+                                            const BatchPlan* replay_plan,
+                                            const EarlyResultFn* early);
   Status WriteBatchInternal(const std::vector<std::pair<BlockId, Bytes>>& writes,
                             size_t padded_size, bool bump_schedule);
   // Copy stash values into batch result slots registered for blocks whose
@@ -396,16 +435,41 @@ class RingOram {
 
   // Epoch-local state (parallel + deferred mode).
   std::unordered_map<BucketIndex, BufferedBucket> buffered_;
-  // Previous epoch's rewritten buckets whose images are still in flight:
+  // Rewritten buckets of earlier epochs whose images are still in flight:
   // plaintext contents kept to serve this epoch's accesses (see file
   // comment). Entries whose blocks have since moved (loc_ no longer points
-  // at the bucket) are stale and skipped at absorb time.
-  std::unordered_map<BucketIndex, std::vector<PlannedBlock>> retiring_;
+  // at the bucket) are stale and skipped at absorb time. Each entry is
+  // owned by one retiring generation (`gen`); a bucket re-rewritten in a
+  // later epoch is re-owned by the newer generation.
+  struct RetiringBucket {
+    uint64_t gen = 0;
+    std::vector<PlannedBlock> blocks;
+  };
+  std::unordered_map<BucketIndex, RetiringBucket> retiring_;
+  // FIFO of in-flight epoch retirements (at most options_.retire_depth).
+  // version_floors[b] is bucket b's write count at that epoch's close — the
+  // exact version its checkpoint references, and therefore the truncation
+  // floor once that checkpoint is durable. Snapshotting the floors here
+  // (instead of reading live counts at truncate time) keeps depth-D
+  // truncation from deleting versions a still-undurable later epoch bumped
+  // past.
+  struct RetiringGeneration {
+    uint64_t gen = 0;
+    std::vector<BucketIndex> buckets;
+    std::vector<uint32_t> version_floors;
+  };
+  std::deque<RetiringGeneration> retiring_gens_;
+  uint64_t next_retire_gen_ = 1;
+  // Floors banked by the most recent CollectRetired, consumed by the next
+  // TruncateStaleVersions call.
+  std::optional<std::vector<uint32_t>> collected_floors_;
   std::vector<DeferredOp> deferred_ops_;
   std::vector<PendingRead> pending_reads_;
+  // Early-answer callback of the batch currently planning (live only within
+  // RunReadBatch, under mu_); EmitRead attaches it to target reads.
+  const EarlyResultFn* current_early_ = nullptr;
   uint32_t next_path_group_ = 0;  // reset each dispatch; groups never span one
   std::unordered_set<BucketIndex> dirty_buckets_;
-  uint32_t committed_version_floor_ = 0;  // min version still needed (for truncation)
 
   struct LazyResult {
     BlockId id;
@@ -430,14 +494,23 @@ class RingOram {
 
   // Retirement completion tracking (never held together with mu_ by the
   // waiter side; completions only touch these, so AwaitRetireDurable cannot
-  // deadlock against a next-epoch batch that holds mu_).
+  // deadlock against a next-epoch batch that holds mu_). One ticket per
+  // in-flight generation, FIFO-aligned with retiring_gens_; the global
+  // outstanding count feeds the destructor's drain.
+  struct RetireTicket {
+    size_t outstanding = 0;
+    Status error;
+  };
   mutable std::mutex retire_mu_;
   std::condition_variable retire_cv_;
+  std::deque<std::shared_ptr<RetireTicket>> retire_tickets_;
   size_t retire_outstanding_ = 0;
-  Status retire_error_;
   // Encrypt time spent on the retirement stage (folded into materialize_us
   // by stats(); atomic because it is recorded outside mu_).
   std::atomic<uint64_t> bg_materialize_us_{0};
+  // Early answers delivered from I/O threads (folded into stats() like
+  // bg_materialize_us_; atomic because deposits run outside mu_).
+  std::atomic<uint64_t> early_results_{0};
 
   RingOramStats stats_;  // updated under mu_ at planning time
 };

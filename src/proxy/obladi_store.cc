@@ -65,6 +65,14 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
   if (cfg_.num_shards == 0) {
     cfg_.num_shards = 1;
   }
+  if (cfg_.pipeline_depth == 0 || !cfg_.pipeline_epochs) {
+    // The serial baseline drains each retirement inline — depth is
+    // meaningless there and must read as 1 everywhere it is exported.
+    cfg_.pipeline_depth = 1;
+  }
+  // The shards' retiring-buffer window moves in lockstep with the proxy's
+  // retirement queue: one retiring generation per in-flight epoch.
+  cfg_.oram_options.retire_depth = cfg_.pipeline_depth;
   encryptor_ = std::make_shared<Encryptor>(
       Encryptor::FromMasterKey(Bytes{'o', 'b', 'l', 'a', 'd', 'i'}, cfg_.oram.authenticated,
                                cfg_.seed ^ 0x9e3779b97f4a7c15ull));
@@ -75,6 +83,7 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
     cfg_.recovery.posmap_delta_pad_entries =
         cfg_.read_batches_per_epoch * cfg_.read_quota() + cfg_.write_quota();
     recovery_ = std::make_unique<RecoveryUnit>(cfg_.recovery, log_, encryptor_);
+    recovery_->SetPipelineWindow(cfg_.pipeline_depth);
     recovery_->SetMetadataProviders(
         [this] { return directory_.SerializeFull(); },
         [this] {
@@ -101,11 +110,20 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
 ObladiStore::~ObladiStore() {
   Stop();
   StopRetirer();
+  if (started_trace_stream_) {
+    Tracer::Get().StopStreaming();
+  }
 }
 
 void ObladiStore::SetupObservability() {
   if (cfg_.obs.trace) {
     Tracer::Get().Enable(cfg_.obs.trace_ring_capacity);
+    if (!cfg_.obs.trace_stream_path.empty()) {
+      // Best-effort: a failed open (bad path) leaves the flight recorder
+      // running; spans still land in the rings.
+      Status st = Tracer::Get().StartStreaming(cfg_.obs.trace_stream_path);
+      started_trace_stream_ = st.ok();
+    }
   }
   if (cfg_.obs.watchdog) {
     WatchdogSpec spec;
@@ -129,6 +147,16 @@ void ObladiStore::SetupObservability() {
         if (oram_ != nullptr) {
           ExportRingOramStats(sink, oram_->stats(), {});
         }
+      }
+      {
+        // Pipeline occupancy: epochs currently in the retirement stage
+        // (0..pipeline_depth) next to the configured ceiling.
+        std::lock_guard<std::mutex> rlk(retire_mu_);
+        sink.Gauge("pipeline_depth_live", {}, static_cast<double>(retire_inflight_),
+                   "epochs currently in the retirement pipeline");
+        sink.Gauge("pipeline_depth_configured", {},
+                   static_cast<double>(cfg_.pipeline_depth),
+                   "configured epoch pipeline depth");
       }
       if (watchdog_) {
         sink.Counter("obs_watchdog_violations_total", {}, watchdog_->violations(),
@@ -505,6 +533,9 @@ size_t ObladiStore::WriteAdvanceForBatch(size_t index) const {
 
 Status ObladiStore::DispatchBatch(EpochBatch batch, size_t index) {
   OBS_SPAN_ARG("epoch", "epoch.read_batch", index);
+  // Admission backpressure: the stash budget caps in-flight blocks across
+  // the retirement pipeline; dispatching more reads would grow it further.
+  WaitForStashBudget();
   // Pipelined epochs: advance the (workload-independent) write schedule
   // before planning, so the triggered eviction read phases join this
   // batch's dispatch wave instead of bunching into a storage wave at the
@@ -518,22 +549,78 @@ Status ObladiStore::DispatchBatch(EpochBatch batch, size_t index) {
   for (const PendingFetch& fetch : batch.fetches) {
     ids.push_back(fetch.id);
   }
+  // Sub-epoch read stage: answer each fetch as soon as its path group
+  // decrypts, from the shards' I/O threads. Distinct slots fire at most
+  // once and every fire happens-before ReadBatch returns, so the plain
+  // delivered[] handoff is race-free. InstallBase is engine-lock safe.
+  std::vector<char> delivered(batch.fetches.size(), 0);
+  std::atomic<uint64_t> early_count{0};
+  ShardedOramSet::EarlyResultFn early = [&](size_t i, const Bytes& payload) {
+    if (i >= batch.fetches.size()) {
+      return;  // padding slot
+    }
+    engine_.InstallBase(batch.fetches[i].key, DecodeValue(payload));
+    batch.fetches[i].done->set_value(Status::Ok());
+    delivered[i] = 1;
+    early_count.fetch_add(1, std::memory_order_relaxed);
+  };
   // The sharded set routes the ids and pads every shard's sub-batch to the
   // fixed per-shard quota, so the adversary-visible shape is constant.
-  auto results = oram_->ReadBatch(ids);
+  // Early answers only reorder completion in time — the serial baseline
+  // keeps strict batch-granularity completion.
+  auto results =
+      cfg_.pipeline_epochs ? oram_->ReadBatch(ids, early) : oram_->ReadBatch(ids);
   if (!results.ok()) {
-    for (auto& fetch : batch.fetches) {
-      fetch.done->set_value(results.status());
+    // Slots already answered early genuinely succeeded; only the rest see
+    // the batch failure.
+    for (size_t i = 0; i < batch.fetches.size(); ++i) {
+      if (!delivered[i]) {
+        batch.fetches[i].done->set_value(results.status());
+      }
     }
     return results.status();
   }
   for (size_t i = 0; i < batch.fetches.size(); ++i) {
+    if (delivered[i]) {
+      continue;
+    }
     engine_.InstallBase(batch.fetches[i].key, DecodeValue((*results)[i]));
     batch.fetches[i].done->set_value(Status::Ok());
   }
   std::lock_guard<std::mutex> lk(mu_);
   stats_.read_batches++;
+  stats_.sched_overlapped_accesses += early_count.load(std::memory_order_relaxed);
   return Status::Ok();
+}
+
+void ObladiStore::WaitForStashBudget() {
+  if (cfg_.max_stash_blocks == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> rlk(retire_mu_);
+  auto under_budget = [&] {
+    // With no retirement in flight nothing will shrink the stash — stalling
+    // would deadlock, so a budget smaller than one epoch's working set
+    // degrades to no backpressure rather than a hang.
+    return retire_inflight_ == 0 ||
+           oram_->InflightBlocks() <= cfg_.max_stash_blocks;
+  };
+  if (under_budget()) {
+    return;
+  }
+  OBS_SPAN("sched", "sched.stash_stall");
+  uint64_t start = NowMicros();
+  if (cfg_.retire_timeout_ms == 0) {
+    retire_cv_.wait(rlk, under_budget);
+  } else {
+    retire_cv_.wait_for(rlk, std::chrono::milliseconds(cfg_.retire_timeout_ms),
+                        under_budget);
+  }
+  uint64_t waited = NowMicros() - start;
+  rlk.unlock();
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.stash_budget_stalls++;
+  stats_.stash_budget_stall_us += waited;
 }
 
 Status ObladiStore::StepReadBatch() {
@@ -616,8 +703,9 @@ Status ObladiStore::CloseEpochNow() {
     OBLADI_RETURN_IF_ERROR(oram_->WriteBatch(writes));
   }
 
-  // Pipeline depth 1: the previous epoch must be fully retired before this
-  // one starts retiring, capping in-flight state at two epochs' worth.
+  // Depth-D pipeline: wait for a free retirement slot — at most
+  // pipeline_depth closed epochs may be in flight, capping live state at
+  // depth + 1 epochs' worth.
   uint64_t first_dispatch_us;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -633,8 +721,8 @@ Status ObladiStore::CloseEpochNow() {
   };
   uint64_t stall_us = 0;
   bool overlapped = false;
-  Status idle_st =
-      AwaitRetireIdle(first_dispatch_us, &stall_us, &overlapped, cfg_.retire_timeout_ms);
+  Status idle_st = AwaitRetireSlot(cfg_.pipeline_depth, first_dispatch_us, &stall_us,
+                                   &overlapped, cfg_.retire_timeout_ms);
   if (!idle_st.ok()) {
     return fail_epoch(idle_st);
   }
@@ -651,10 +739,19 @@ Status ObladiStore::CloseEpochNow() {
   if (recovery_) {
     auto cp = recovery_->CaptureEpochCommit(oram_->shard_ptrs());
     if (!cp.ok()) {
-      // BeginRetire already submitted the flush: reel it back in so the
-      // pipeline is not left wedged on an uncollected retirement.
-      (void)oram_->AwaitRetireDurable();
-      oram_->CollectRetired();
+      // BeginRetire already submitted the flush: hand the worker a
+      // collect-only job to reel it back in FIFO with any older in-flight
+      // retirements, so the pipeline is not left wedged on an uncollected
+      // generation.
+      RetireJob reel;
+      reel.collect_only = true;
+      reel.epoch = closing_epoch;
+      {
+        std::lock_guard<std::mutex> rlk(retire_mu_);
+        retire_queue_.push_back(std::move(reel));
+        ++retire_inflight_;
+        retire_cv_.notify_all();
+      }
       return fail_epoch(cp.status());
     }
     job.checkpoint = std::move(*cp);
@@ -680,27 +777,30 @@ Status ObladiStore::CloseEpochNow() {
   }
   {
     std::lock_guard<std::mutex> rlk(retire_mu_);
-    retire_job_.emplace(std::move(job));
-    retire_idle_ = false;
+    retire_queue_.push_back(std::move(job));
+    ++retire_inflight_;
     retire_cv_.notify_all();
   }
   return Status::Ok();
 }
 
-Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_us,
-                                    bool* overlapped, uint64_t timeout_ms) {
+Status ObladiStore::AwaitRetireSlot(size_t max_inflight, uint64_t first_dispatch_us,
+                                    uint64_t* stall_us, bool* overlapped,
+                                    uint64_t timeout_ms) {
   std::unique_lock<std::mutex> rlk(retire_mu_);
-  if (!retire_idle_) {
-    if (overlapped != nullptr) {
-      *overlapped = true;
-    }
+  if (retire_inflight_ > 0 && overlapped != nullptr) {
+    // An older epoch is still retiring while this one closes: real overlap
+    // whether or not the window is full enough to stall.
+    *overlapped = true;
+  }
+  if (retire_inflight_ >= max_inflight) {
     OBS_SPAN("epoch", "epoch.retire_stall");
     uint64_t start = NowMicros();
     if (timeout_ms == 0) {
-      retire_cv_.wait(rlk, [&] { return retire_idle_; });
+      retire_cv_.wait(rlk, [&] { return retire_inflight_ < max_inflight; });
     } else if (!retire_cv_.wait_for(rlk, std::chrono::milliseconds(timeout_ms),
-                                    [&] { return retire_idle_; })) {
-      // Retirement stall watchdog: the previous epoch's write-back or
+                                    [&] { return retire_inflight_ < max_inflight; })) {
+      // Retirement stall watchdog: the oldest epoch's write-back or
       // checkpoint is stuck (unreachable storage node, hung WAL fsync).
       // Give up on this close instead of hanging the epoch driver — the
       // caller fails blocked clients retriably, and the wedged retirement
@@ -708,7 +808,7 @@ Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_
       if (stall_us != nullptr) {
         *stall_us += NowMicros() - start;
       }
-      return Status::DeadlineExceeded("epoch retirement still not idle after " +
+      return Status::DeadlineExceeded("epoch retirement window still full after " +
                                       std::to_string(timeout_ms) + "ms");
     }
     if (stall_us != nullptr) {
@@ -716,7 +816,7 @@ Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_
     }
   } else if (overlapped != nullptr && first_dispatch_us != 0 &&
              last_retire_done_us_ > first_dispatch_us) {
-    // The previous retirement was still running when this epoch's first
+    // A previous retirement was still running when this epoch's first
     // batch went out: real overlap, even though no close-time stall.
     *overlapped = true;
   }
@@ -724,7 +824,7 @@ Status ObladiStore::AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_
 }
 
 Status ObladiStore::DrainRetirement() {
-  return AwaitRetireIdle(0, nullptr, nullptr, /*timeout_ms=*/0);
+  return AwaitRetireSlot(1, 0, nullptr, nullptr, /*timeout_ms=*/0);
 }
 
 Status ObladiStore::FinishEpochNow() {
@@ -739,23 +839,41 @@ void ObladiStore::SetRetireHookForTest(std::function<void()> hook) {
 
 void ObladiStore::RetireLoop() {
   Tracer::Get().SetThreadName("epoch-retirer");
+  // One job finishes (and frees its retirement slot) with this epilogue:
+  // decrement in-flight and wake slot/budget/drain waiters.
+  auto finish_job = [this] {
+    std::lock_guard<std::mutex> rlk(retire_mu_);
+    if (retire_inflight_ > 0) {
+      --retire_inflight_;
+    }
+    last_retire_done_us_ = NowMicros();
+    retire_cv_.notify_all();
+  };
   for (;;) {
     RetireJob job;
     bool abandon;
     {
       std::unique_lock<std::mutex> rlk(retire_mu_);
-      retire_cv_.wait(rlk, [&] { return retire_job_.has_value() || retire_stop_; });
-      if (!retire_job_.has_value()) {
+      retire_cv_.wait(rlk, [&] { return !retire_queue_.empty() || retire_stop_; });
+      if (retire_queue_.empty()) {
         return;  // stopping with nothing queued
       }
-      job = std::move(*retire_job_);
-      retire_job_.reset();
+      job = std::move(retire_queue_.front());
+      retire_queue_.pop_front();
       abandon = retire_abandon_;
     }
     SpanGuard retire_span("epoch", "epoch.retire", job.epoch);
-    // 1. Wait for the epoch's write-back to be durable on the server. Takes
-    //    no ORAM metadata lock, so the next epoch's batches run undisturbed.
+    // 1. Wait for the oldest epoch's write-back to be durable on the server
+    //    (the ORAM's retirement tickets are FIFO, aligned with this queue).
+    //    Takes no ORAM metadata lock, so in-flight batches run undisturbed.
     Status st = oram_->AwaitRetireDurable();
+    if (job.collect_only) {
+      // Failed close: nothing was captured and the close already failed the
+      // waiters — just reclaim the generation so the pipeline stays usable.
+      oram_->CollectRetired();
+      finish_job();
+      continue;
+    }
     {
       std::function<void()> hook;
       {
@@ -771,17 +889,16 @@ void ObladiStore::RetireLoop() {
     if (abandon) {
       // Simulated crash inside the retirement window: the checkpoint never
       // reaches the log (recovery sees this epoch as in flight) and every
-      // waiter observes the crash instead of a decision.
+      // waiter observes the crash instead of a decision. With depth > 1 every
+      // queued epoch drains through here, each abandoning its own pending
+      // checkpoint capture.
       if (recovery_) {
         recovery_->AbandonPendingCheckpoint(Status::Unavailable("proxy crashed"));
       }
       for (auto& [ts, waiter] : job.waiters) {
         waiter->set_value(Status::Aborted("proxy crashed"));
       }
-      std::lock_guard<std::mutex> rlk(retire_mu_);
-      retire_idle_ = true;
-      last_retire_done_us_ = NowMicros();
-      retire_cv_.notify_all();
+      finish_job();
       continue;
     }
     // 2. Only now may the checkpoint become durable — it references the new
@@ -818,10 +935,8 @@ void ObladiStore::RetireLoop() {
       if (!st.ok() && retire_status_.ok()) {
         retire_status_ = st;
       }
-      retire_idle_ = true;
-      last_retire_done_us_ = NowMicros();
-      retire_cv_.notify_all();
     }
+    finish_job();
   }
 }
 
@@ -1021,25 +1136,40 @@ Status ObladiStore::RecoverFromCrash(RecoveryBreakdown* breakdown) {
     directory_.ApplyDelta(delta);
   }
 
-  // Replay the aborted epoch's logged sub-batches so the adversary observes
-  // the same paths again (§8), then complete the crash-recovery epoch.
+  // Replay the unretired epochs' logged sub-batches so the adversary
+  // observes the same paths again (§8), then complete each as a crash
+  // epoch. With pipeline depth D the log can hold plans from up to D
+  // epochs past the last durable checkpoint (D-1 closed-but-undurable
+  // epochs plus the partial one); the plans carry their epoch, and each
+  // epoch's group is replayed and completed oldest-first — completing one
+  // advances the shards to the next logged epoch, exactly mirroring the
+  // pre-crash timeline. Their commit decisions were never released (epoch
+  // fate sharing), so dummy-completing them loses nothing acknowledged.
+  // With no logged plans at all, one all-dummy crash epoch still runs.
   Stopwatch replay;
+  const auto& plans = recovered->pending_plans;
   std::vector<size_t> replayed_per_shard(cfg_.num_shards, 0);
-  for (const RecoveryUnit::PendingPlan& pending : recovered->pending_plans) {
-    // Mirror dispatch: under pipelining the write schedule advanced with
-    // each batch, so the replayed physical trace matches the pre-crash one
-    // exactly.
-    if (cfg_.pipeline_epochs) {
-      oram_->AdvanceShardWriteSchedule(pending.shard,
-                                       WriteAdvanceForBatch(pending.plan.batch_index));
+  size_t i = 0;
+  do {
+    replayed_per_shard.assign(cfg_.num_shards, 0);
+    EpochId group_epoch = i < plans.size() ? plans[i].plan.epoch : 0;
+    for (; i < plans.size() && plans[i].plan.epoch == group_epoch; ++i) {
+      const RecoveryUnit::PendingPlan& pending = plans[i];
+      // Mirror dispatch: under pipelining the write schedule advanced with
+      // each batch, so the replayed physical trace matches the pre-crash
+      // one exactly.
+      if (cfg_.pipeline_epochs) {
+        oram_->AdvanceShardWriteSchedule(pending.shard,
+                                         WriteAdvanceForBatch(pending.plan.batch_index));
+      }
+      auto result = oram_->ReplayShardBatch(pending.shard, pending.plan);
+      if (!result.ok()) {
+        return result.status();
+      }
+      replayed_per_shard[pending.shard]++;
     }
-    auto result = oram_->ReplayShardBatch(pending.shard, pending.plan);
-    if (!result.ok()) {
-      return result.status();
-    }
-    replayed_per_shard[pending.shard]++;
-  }
-  OBLADI_RETURN_IF_ERROR(CompleteCrashEpoch(replayed_per_shard));
+    OBLADI_RETURN_IF_ERROR(CompleteCrashEpoch(replayed_per_shard));
+  } while (i < plans.size());
   InstallPlanHook(/*rendezvous=*/true);
   recovered->breakdown.path_replay_us = replay.ElapsedMicros();
   recovered->breakdown.total_us += recovered->breakdown.path_replay_us;

@@ -25,30 +25,46 @@
 // batches are capped per shard the same way via the MVTSO epoch-commit
 // admission. K = 1 reduces exactly to the single-ORAM pipeline above.
 //
-// Pipelined epochs (the two-stage epoch state machine): the epoch change is
+// Pipelined epochs (the depth-D epoch state machine): the epoch change is
 // split into a synchronous *close* step and a background *retirement* stage,
-// so epoch N's network-bound write-back overlaps epoch N+1's execution:
+// so a closed epoch's network-bound write-back overlaps later epochs'
+// execution. Up to `pipeline_depth` closed epochs may be retiring at once:
 //
 //   close (CloseEpochNow, serialized with batch dispatch):
 //     dispatch remaining read batches -> EndEpoch (commit admission; the
 //     final writes are re-installed as next-epoch base versions) ->
-//     ORAM WriteBatch -> wait for epoch N-1's retirement (pipeline depth 1,
-//     bounding stash growth) -> BeginRetire (submit the write-back without
-//     waiting) -> capture the delta checkpoint payload -> open epoch N+1.
+//     ORAM WriteBatch -> wait for a free retirement slot (fewer than
+//     pipeline_depth epochs in flight) -> BeginRetire (submit the write-back
+//     without waiting) -> capture the delta checkpoint payload -> open the
+//     next epoch.
 //
-//   retirement (background worker, riding the async storage completions):
-//     await write-back durability -> append + sync the captured checkpoint
-//     -> collect retired buckets -> truncate stale versions -> release
-//     commit decisions (epoch fate sharing: clients learn outcomes only once
-//     the epoch is durable — delayed visibility is preserved, decisions just
-//     arrive asynchronously).
+//   retirement (one background worker draining a FIFO of closed epochs):
+//     await write-back durability -> append + sync the captured checkpoint,
+//     strictly in close order -> release commit decisions (epoch fate
+//     sharing: clients learn outcomes only once the epoch is durable —
+//     delayed visibility is preserved, decisions just arrive asynchronously)
+//     -> collect retired buckets -> truncate stale versions.
 //
-// Epoch N+1's reads of blocks whose write-back is still in flight are served
-// from the version cache (committed bases) or the shards' retiring buffers,
-// so execution never waits on storage latency it can hide. The recovery
-// unit's ordering gate keeps N+1's log records out of the log until N's
-// checkpoint is durable, so crash recovery replays at most one in-flight
-// epoch.
+// Later epochs' reads of blocks whose write-back is still in flight are
+// served from the version cache (committed bases) or the shards' retiring
+// buffers (any live retiring generation), so execution never waits on
+// storage latency it can hide. In-flight state is bounded two ways: the
+// depth cap (at most pipeline_depth + 1 epochs' working sets live at once)
+// and the explicit `max_stash_blocks` budget — batch dispatch backpressures
+// while stash + retiring blocks exceed the budget and a retirement is still
+// in flight to shrink it. The recovery unit's ordering gate admits a read
+// batch's log record only while fewer than pipeline_depth checkpoints are
+// pending, so crash recovery replays at most that many unretired epochs'
+// plans, grouped by their logged epoch and completed oldest-first.
+//
+// Sub-epoch access scheduler: within a batch, the read stage answers each
+// real access as soon as its path group decrypts (access_r-style early
+// answers via the ORAM's early-result callback — the client unblocks without
+// waiting for the batch's slowest path), and the write-schedule advance
+// eagerly dispatches the eviction/reshuffle read phases it triggers so they
+// overlap the batch's plan logging. Both reorder work only in time: the wire
+// request multiset per epoch is unchanged (the trace-shape watchdog checks
+// this at every depth).
 //
 // Pacing: in timed mode a background thread dispatches the R read batches at
 // fixed *absolute deadlines* (cadence independent of flush duration) and
@@ -60,6 +76,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <future>
 #include <memory>
 #include <optional>
@@ -98,6 +115,19 @@ struct ObladiConfig {
   // serial-epoch baseline bench_epoch_pipeline measures against. Manual-mode
   // FinishEpochNow always drains, so tests see serial semantics either way.
   bool pipeline_epochs = true;
+  // Epoch pipeline depth D: how many closed epochs may be retiring
+  // concurrently (1 = the original close-waits-for-previous behavior; the
+  // compatibility baseline). Depth D bounds live state to D+1 epochs'
+  // working sets and lets the close step proceed while up to D write-backs
+  // ride the network. Clamped to 1 when pipeline_epochs is false (the serial
+  // baseline drains every retirement inline anyway).
+  size_t pipeline_depth = 2;
+  // Explicit stash budget for the pipeline: while the shards' stash +
+  // retiring blocks exceed this, batch dispatch stalls until an in-flight
+  // retirement collects (counted in stash_budget_stalls). 0 = unbounded
+  // (the depth cap alone bounds memory). Distinct from the per-shard
+  // RingOramConfig::max_stash_blocks serialization pad.
+  size_t max_stash_blocks = 0;
   // Log one combined plan record per global batch (K shard sub-plans, one
   // append + one sync) instead of K separate records. False reproduces the
   // pre-pipelining log layout, where K serialized log round trips sit on
@@ -147,6 +177,11 @@ struct ObladiStats {
   uint64_t retire_stall_us = 0;           // close-step time spent waiting on
                                           // the previous retirement (depth cap)
   uint64_t max_inflight_stash_blocks = 0; // peak stash + retiring blocks
+  // Sub-epoch scheduler observability.
+  uint64_t sched_overlapped_accesses = 0; // reads answered by the scheduler's
+                                          // read stage before its batch finished
+  uint64_t stash_budget_stalls = 0;       // dispatches stalled on max_stash_blocks
+  uint64_t stash_budget_stall_us = 0;     // time spent in those stalls
   // Transaction accounting (mirrored from the MVTSO engine so one stats()
   // call gives the whole abort/retry picture).
   uint64_t txn_begun = 0;
@@ -257,6 +292,11 @@ class ObladiStore : public TransactionalKv {
     std::unordered_map<Timestamp, std::shared_ptr<std::promise<Status>>> waiters;
     RecoveryUnit::PendingCheckpoint checkpoint;
     EpochId epoch = 0;  // the closed epoch, for the retirement trace span
+    // A failed close (checkpoint capture error) after BeginRetire already
+    // submitted the write-back: the worker only reels the generation back in
+    // (await durability + collect) to keep the retirement FIFO consistent —
+    // no checkpoint to append, no waiters to release.
+    bool collect_only = false;
   };
 
   std::unique_ptr<ShardedOramSet> MakeOramSet(uint64_t seed) const;
@@ -278,14 +318,22 @@ class ObladiStore : public TransactionalKv {
   // the proxy dead and fail every blocked client (nobody else will ever
   // close an epoch, so blocked waiters would hang forever).
   void FailPacerFatal();
-  // Wait until the retirement stage is idle; adds any wait to *stall_us and
-  // sets *overlapped if the previous retirement was still running when this
+  // Wait until fewer than max_inflight epochs are in the retirement stage
+  // (max_inflight = 1 waits for full idleness; = pipeline_depth is the close
+  // step's slot wait). Adds any wait to *stall_us and sets *overlapped if an
+  // older retirement was still in flight when called, or finished after this
   // epoch dispatched its first batch (first_dispatch_us; 0 = no dispatch
   // yet). Returns the sticky retirement status. timeout_ms bounds the wait
   // (0 = unbounded); on expiry returns DeadlineExceeded without consuming
   // the retirement (SimulateCrash still drains it unbounded).
-  Status AwaitRetireIdle(uint64_t first_dispatch_us, uint64_t* stall_us, bool* overlapped,
-                         uint64_t timeout_ms);
+  Status AwaitRetireSlot(size_t max_inflight, uint64_t first_dispatch_us,
+                         uint64_t* stall_us, bool* overlapped, uint64_t timeout_ms);
+  // Stash-budget backpressure (cfg_.max_stash_blocks): stall batch dispatch
+  // while the shards' in-flight blocks exceed the budget and a retirement is
+  // still in flight to shrink it. Bounded by retire_timeout_ms; on expiry it
+  // proceeds (degraded) rather than failing the batch — a wedged retirement
+  // is the close step's deadline to report.
+  void WaitForStashBudget();
   // Translate a client-visible (possibly skewed) timestamp back to the
   // internal one; identity when no claimed-timestamp hook is installed.
   Timestamp ResolveTxn(Timestamp txn) const;
@@ -310,6 +358,8 @@ class ObladiStore : public TransactionalKv {
   // raw watchdog pointer, and metrics sources capture `this`.
   std::unique_ptr<TraceShapeWatchdog> watchdog_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  // This proxy opened the global tracer's stream sink; close it on teardown.
+  bool started_trace_stream_ = false;
   std::unique_ptr<ShardedOramSet> oram_;
   std::unique_ptr<RecoveryUnit> recovery_;
   KeyDirectory directory_;
@@ -329,17 +379,19 @@ class ObladiStore : public TransactionalKv {
   std::thread pacer_;
   std::atomic<bool> pacer_running_{false};
 
-  // Retirement stage: one worker, queue depth 1 (bounds stash growth to two
-  // epochs' working sets). retire_mu_ is never held while calling into the
-  // ORAM or the recovery unit.
+  // Retirement stage: one worker draining a FIFO of up to pipeline_depth
+  // closed epochs (bounds live state to depth+1 epochs' working sets).
+  // retire_mu_ is never held while calling into the ORAM or the recovery
+  // unit — except the stash-budget wait's InflightBlocks sample, which is
+  // safe because no ORAM path ever takes retire_mu_.
   std::mutex retire_mu_;
   std::condition_variable retire_cv_;
   std::thread retirer_;
   bool retirer_started_ = false;
   bool retire_stop_ = false;
   bool retire_abandon_ = false;  // crash simulation: skip checkpoint append
-  bool retire_idle_ = true;      // no job queued and none executing
-  std::optional<RetireJob> retire_job_;
+  std::deque<RetireJob> retire_queue_;
+  size_t retire_inflight_ = 0;      // queued + executing retire jobs
   Status retire_status_;            // sticky first retirement failure
   uint64_t last_retire_done_us_ = 0;
   std::function<void()> retire_hook_;

@@ -66,12 +66,14 @@ Status RecoveryUnit::LogReadBatchPlans(
     return Status::Ok();
   }
   std::unique_lock<std::mutex> lk(mu_);
-  // Ordering rule (pipelined epochs): this plan belongs to epoch N+1, and it
-  // must not enter the log before epoch N's checkpoint — otherwise a crash
-  // could leave plans whose predecessor epoch never became durable, and
-  // recovery would have more than one in-flight epoch to reconcile. Wait for
-  // the retirement stage to land (or abandon) the pending checkpoint.
-  gate_cv_.wait(lk, [&] { return !checkpoint_pending_; });
+  // Ordering rule (pipelined epochs, depth-D form): this plan may enter the
+  // log only while fewer than pipeline_window_ checkpoints are pending, so a
+  // crash leaves at most D epochs of plans past the last durable checkpoint
+  // — exactly the window recovery replays. Wait for the retirement stage to
+  // land (or abandon) the oldest pending checkpoint.
+  gate_cv_.wait(lk, [&] {
+    return checkpoints_pending_ < pipeline_window_ || !gate_error_.ok();
+  });
   OBLADI_RETURN_IF_ERROR(gate_error_);
   BinaryWriter w;
   w.PutU32(static_cast<uint32_t>(plans.size()));
@@ -187,8 +189,8 @@ StatusOr<RecoveryUnit::PendingCheckpoint> RecoveryUnit::CaptureEpochCommit(
   // updating it at append time cannot interleave with another capture.
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (checkpoint_pending_) {
-      return Status::FailedPrecondition("previous epoch checkpoint still pending");
+    if (checkpoints_pending_ >= pipeline_window_) {
+      return Status::FailedPrecondition("checkpoint window full: oldest still pending");
     }
     OBLADI_RETURN_IF_ERROR(gate_error_);
     cp.full = epochs_since_full_ + 1 >= config_.full_checkpoint_interval;
@@ -196,7 +198,7 @@ StatusOr<RecoveryUnit::PendingCheckpoint> RecoveryUnit::CaptureEpochCommit(
   cp.payload = cp.full ? BuildFullPayload(shards) : BuildDeltaPayload(shards);
   cp.valid = true;
   std::lock_guard<std::mutex> lk(mu_);
-  checkpoint_pending_ = true;  // gate the next epoch's plan records
+  ++checkpoints_pending_;  // gate plan records once the window fills
   return cp;
 }
 
@@ -205,6 +207,16 @@ Status RecoveryUnit::AppendCaptured(PendingCheckpoint checkpoint) {
     return Status::Ok();
   }
   std::unique_lock<std::mutex> lk(mu_);
+  if (!gate_error_.ok()) {
+    // A pending checkpoint older than this one was abandoned: appending this
+    // one would put checkpoint N+1 in the log with N missing, corrupting the
+    // replay window. Count it off and refuse; only Recover() resets the gate.
+    if (checkpoints_pending_ > 0) {
+      --checkpoints_pending_;
+    }
+    gate_cv_.notify_all();
+    return gate_error_;
+  }
   uint64_t seq = 0;
   Status st;
   if (checkpoint.full) {
@@ -229,7 +241,9 @@ Status RecoveryUnit::AppendCaptured(PendingCheckpoint checkpoint) {
   // protects (append order survives a crash; the sync below only bounds the
   // loss window). Clients still learn nothing early — the retirement stage
   // releases commit decisions only after this returns, i.e. after the sync.
-  checkpoint_pending_ = false;
+  if (checkpoints_pending_ > 0) {
+    --checkpoints_pending_;
+  }
   gate_cv_.notify_all();
   lk.unlock();
   OBLADI_RETURN_IF_ERROR(st);
@@ -241,7 +255,15 @@ void RecoveryUnit::AbandonPendingCheckpoint(Status reason) {
   if (gate_error_.ok()) {
     gate_error_ = reason.ok() ? Status::Unavailable("epoch checkpoint abandoned") : reason;
   }
-  checkpoint_pending_ = false;
+  if (checkpoints_pending_ > 0) {
+    --checkpoints_pending_;
+  }
+  gate_cv_.notify_all();
+}
+
+void RecoveryUnit::SetPipelineWindow(size_t window) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pipeline_window_ = window == 0 ? 1 : window;
   gate_cv_.notify_all();
 }
 
@@ -255,9 +277,9 @@ Status RecoveryUnit::LogEpochCommit(const std::vector<RingOram*>& shards) {
 
 StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
   std::lock_guard<std::mutex> lk(mu_);
-  // A crash mid-retirement leaves a captured-but-unappended checkpoint and a
+  // A crash mid-retirement leaves captured-but-unappended checkpoints and a
   // broken gate; recovery starts the log ordering over.
-  checkpoint_pending_ = false;
+  checkpoints_pending_ = 0;
   gate_error_ = Status::Ok();
   gate_cv_.notify_all();
   RecoveredState state;

@@ -105,12 +105,17 @@ class RecoveryUnit {
   //   * The checkpoint *payload* must snapshot the shards' state at N's
   //     close, before N+1 mutates position maps / stashes / metadata —
   //     CaptureEpochCommit runs synchronously in the close step.
-  //   * Ordering rule: epoch N+1's log records must not become visible
-  //     unless N's checkpoint is durable, so crash recovery replays at most
-  //     one in-flight epoch. While a captured checkpoint is pending,
-  //     LogReadBatchPlan (always called for the *next* epoch's batches)
-  //     blocks until AppendCaptured lands it — or fails if the pending
-  //     checkpoint was abandoned (retirement failure or simulated crash).
+  //   * Ordering rule, depth-D form: with a pipeline of depth D (see
+  //     SetPipelineWindow) up to D captured checkpoints may be pending at
+  //     once, appended strictly in capture order by the retirement stage.
+  //     A read-batch plan may enter the log only while fewer than D
+  //     checkpoints are pending, so a crash leaves at most D epochs of
+  //     plans past the last durable checkpoint (D-1 closed-but-undurable
+  //     epochs plus the partial one) — recovery replays exactly that
+  //     window, grouping plans by their logged epoch. While the window is
+  //     full, LogReadBatchPlan blocks until the oldest checkpoint lands —
+  //     or fails if a pending checkpoint was abandoned (retirement failure
+  //     or simulated crash). D=1 reproduces the original single-slot gate.
   //
   // A snapshot of one epoch's checkpoint, not yet in the log.
   struct PendingCheckpoint {
@@ -123,10 +128,16 @@ class RecoveryUnit {
   // Call only after the epoch's bucket writes are durable (shadow paging:
   // the checkpoint references the new bucket versions).
   Status AppendCaptured(PendingCheckpoint checkpoint);
-  // Drop a pending capture without logging it (the epoch failed to retire or
-  // the proxy is crashing). Gated plan writers fail with `reason`; the gate
-  // stays broken until Recover() resets it.
+  // Drop ONE pending capture without logging it (the epoch failed to retire
+  // or the proxy is crashing); call once per abandoned checkpoint. Gated
+  // plan writers fail with `reason`; the gate stays broken until Recover()
+  // resets it (AppendCaptured also refuses once broken, so a later epoch's
+  // checkpoint can never land after an earlier one was dropped).
   void AbandonPendingCheckpoint(Status reason);
+
+  // Pipeline depth D: how many captured checkpoints may be pending at once
+  // (default 1). Set at proxy construction, before any capture.
+  void SetPipelineWindow(size_t window);
 
   // Force the next LogEpochCommit to be a full checkpoint (used right after
   // Initialize so recovery always has a base image).
@@ -210,8 +221,9 @@ class RecoveryUnit {
   std::function<Bytes()> metadata_delta_;
   std::mutex mu_;
   std::condition_variable gate_cv_;
-  bool checkpoint_pending_ = false;  // captured but not yet appended
-  Status gate_error_;                // sticky after an abandon; reset by Recover
+  size_t checkpoints_pending_ = 0;  // captured but not yet appended
+  size_t pipeline_window_ = 1;      // max pending checkpoints (depth D)
+  Status gate_error_;               // sticky after an abandon; reset by Recover
   size_t epochs_since_full_ = 0;
   uint64_t last_full_lsn_ = 0;
   uint64_t record_seq_ = 0;

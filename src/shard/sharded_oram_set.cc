@@ -118,6 +118,16 @@ Status ShardedOramSet::Initialize(const std::vector<Bytes>& values) {
 }
 
 StatusOr<std::vector<Bytes>> ShardedOramSet::ReadBatch(const std::vector<BlockId>& ids) {
+  return ReadBatchImpl(ids, nullptr);
+}
+
+StatusOr<std::vector<Bytes>> ShardedOramSet::ReadBatch(const std::vector<BlockId>& ids,
+                                                       const EarlyResultFn& early) {
+  return ReadBatchImpl(ids, early ? &early : nullptr);
+}
+
+StatusOr<std::vector<Bytes>> ShardedOramSet::ReadBatchImpl(const std::vector<BlockId>& ids,
+                                                           const EarlyResultFn* early) {
   const uint32_t k = layout_.num_shards;
   std::vector<std::vector<BlockId>> sub(k);
   std::vector<std::vector<size_t>> result_slot(k);
@@ -144,7 +154,19 @@ StatusOr<std::vector<Bytes>> ShardedOramSet::ReadBatch(const std::vector<BlockId
   std::vector<StatusOr<std::vector<Bytes>>> shard_results(
       k, StatusOr<std::vector<Bytes>>(Status::Internal("not run")));
   Status st = RunOnShards([&](uint32_t s) {
-    shard_results[s] = shards_[s]->ReadBatch(sub[s]);
+    if (early != nullptr) {
+      // Translate a shard-local early answer to the global batch index.
+      // Only real (non-padding) requests occupy the dense prefix of sub[s],
+      // so every fire's local index has a result_slot mapping.
+      RingOram::EarlyResultFn shard_early = [&, s](size_t j, const Bytes& value) {
+        if (j < result_slot[s].size()) {
+          (*early)(result_slot[s][j], value);
+        }
+      };
+      shard_results[s] = shards_[s]->ReadBatch(sub[s], shard_early);
+    } else {
+      shard_results[s] = shards_[s]->ReadBatch(sub[s]);
+    }
     return shard_results[s].ok() ? Status::Ok() : shard_results[s].status();
   });
   OBLADI_RETURN_IF_ERROR(st);
@@ -275,6 +297,14 @@ void ShardedOramSet::CollectRetired() {
   }
 }
 
+size_t ShardedOramSet::RetiringGenerations() const {
+  size_t depth = 0;
+  for (const auto& shard : shards_) {
+    depth = std::max(depth, shard->RetiringGenerations());
+  }
+  return depth;
+}
+
 size_t ShardedOramSet::InflightBlocks() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
@@ -387,6 +417,8 @@ RingOramStats ShardedOramSet::stats() const {
     agg.retiring_bucket_skips += st.retiring_bucket_skips;
     agg.xor_path_reads += st.xor_path_reads;
     agg.stash_cache_skips += st.stash_cache_skips;
+    agg.early_results += st.early_results;
+    agg.eager_evict_dispatches += st.eager_evict_dispatches;
     agg.flush_plan_us += st.flush_plan_us;
     agg.materialize_us += st.materialize_us;
     agg.write_drain_us += st.write_drain_us;

@@ -89,6 +89,16 @@ class ShardedOramSet {
   // read_quota real requests (admission control lives in the proxy).
   StatusOr<std::vector<Bytes>> ReadBatch(const std::vector<BlockId>& ids);
 
+  // Early-answer form (the scheduler's access_r stage fanned over shards):
+  // `early` fires with (global batch index, payload) from a shard's I/O
+  // thread as soon as that access's path group decrypts — concurrently
+  // across shards, so the callback must be thread-safe. Same contract as
+  // RingOram::ReadBatch(ids, early): every fire happens-before return,
+  // slots fire at most once, and the returned vector is always complete.
+  using EarlyResultFn = RingOram::EarlyResultFn;
+  StatusOr<std::vector<Bytes>> ReadBatch(const std::vector<BlockId>& ids,
+                                         const EarlyResultFn& early);
+
   // Recovery replay of one shard's logged sub-batch (§8). The plan carries
   // shard-local ids and leaves.
   StatusOr<std::vector<Bytes>> ReplayShardBatch(uint32_t shard, const BatchPlan& plan);
@@ -131,6 +141,9 @@ class ShardedOramSet {
   Status AwaitRetireDurable();
   // Drop all shards' retiring buffers (only after AwaitRetireDurable).
   void CollectRetired();
+  // In-flight retiring generations (shards move in lockstep; reports the
+  // maximum across shards).
+  size_t RetiringGenerations() const;
   // Stash + retiring blocks across shards (the pipeline's memory bound).
   size_t InflightBlocks() const;
 
@@ -186,6 +199,8 @@ class ShardedOramSet {
  private:
   void Construct(std::vector<std::shared_ptr<BucketStore>> shard_stores,
                  std::shared_ptr<Encryptor> encryptor, uint64_t seed);
+  StatusOr<std::vector<Bytes>> ReadBatchImpl(const std::vector<BlockId>& ids,
+                                             const EarlyResultFn* early);
   // Run fn(shard) for every shard, concurrently when K > 1; returns the
   // first error. Records each shard's outcome into the health snapshot.
   Status RunOnShards(const std::function<Status(uint32_t)>& fn);

@@ -142,6 +142,61 @@ TEST(TracerTest, ChromeTraceJsonShape) {
   std::remove(path.c_str());
 }
 
+namespace {
+std::string ReadFileOrDie(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  std::string body;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    body.append(buf, n);
+  }
+  std::fclose(f);
+  return body;
+}
+}  // namespace
+
+TEST(TracerTest, StreamingOutlivesRingWrapAndSurvivesClear) {
+  TracerCleanup cleanup;
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable(/*ring_capacity=*/16);
+  std::string path = ::testing::TempDir() + "obs_trace_stream_test.json";
+  ASSERT_TRUE(tracer.StartStreaming(path).ok());
+  EXPECT_TRUE(tracer.streaming());
+  // A second start must refuse rather than clobber the live stream.
+  EXPECT_FALSE(tracer.StartStreaming(path).ok());
+
+  std::thread([&] {
+    for (int i = 0; i < 50; ++i) {
+      tracer.RecordCounter("test", "stream.wrap", static_cast<uint64_t>(i));
+    }
+  }).join();
+  tracer.Clear();  // drops the rings, not the stream
+  tracer.RecordInstant("test", "stream.after_clear");
+  tracer.StopStreaming();
+  EXPECT_FALSE(tracer.streaming());
+  tracer.StopStreaming();  // idempotent
+  // Records after stop go to the rings only.
+  tracer.RecordInstant("test", "stream.after_stop");
+
+  std::string body = ReadFileOrDie(path);
+  std::remove(path.c_str());
+  // The ring kept 16; the stream kept all 50 wrap counters plus the
+  // post-Clear instant, and the array is closed for strict parsers.
+  size_t wraps = 0;
+  for (size_t pos = 0; (pos = body.find("stream.wrap", pos)) != std::string::npos; ++pos) {
+    ++wraps;
+  }
+  EXPECT_EQ(wraps, 50u);
+  EXPECT_NE(body.find("\"value\":49"), std::string::npos);
+  EXPECT_NE(body.find("stream.after_clear"), std::string::npos);
+  EXPECT_EQ(body.find("stream.after_stop"), std::string::npos);
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_EQ(body[body.size() - 2], ']');  // "...\n]\n"
+}
+
 TEST(MetricsTest, PrometheusTextExposition) {
   MetricsRegistry registry;
   registry.GetCounter("requests_total", {{"op", "read"}}, "requests served").Inc(3);
@@ -155,8 +210,56 @@ TEST(MetricsTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("requests_total{op=\"read\"} 3"), std::string::npos);
   EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
   EXPECT_NE(text.find("queue_depth 2.5"), std::string::npos);
+  // Registered histograms scrape as native Prometheus histogram families.
+  EXPECT_NE(text.find("# TYPE latency_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{op=\"read\",le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{op=\"read\",le=\"25\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{op=\"read\",le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_sum{op=\"read\"} 30"), std::string::npos);
   EXPECT_NE(text.find("latency_us_count{op=\"read\"} 2"), std::string::npos);
-  EXPECT_NE(text.find("latency_us{op=\"read\",quantile=\"0.5\"}"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramFamilyScrapeFormat) {
+  // The wire format Prometheus actually parses: every bucket of the fixed
+  // bound set appears exactly once, cumulative counts are monotone, the
+  // +Inf bucket equals _count, and bounds are shared across families.
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("flush_us", {{"stage", "close"}}, "flush time");
+  h.Record(3);       // le=5
+  h.Record(40);      // le=50
+  h.Record(40);      // le=50
+  h.Record(999999);  // le=1000000
+  std::string text = registry.PrometheusText();
+
+  const auto& bounds = Histogram::DefaultBucketBounds();
+  size_t bucket_lines = 0;
+  uint64_t prev = 0;
+  for (uint64_t bound : bounds) {
+    std::string needle =
+        "flush_us_bucket{stage=\"close\",le=\"" + std::to_string(bound) + "\"} ";
+    size_t pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos) << "missing bucket le=" << bound;
+    uint64_t count = std::stoull(text.substr(pos + needle.size()));
+    EXPECT_GE(count, prev) << "cumulative counts must be monotone at le=" << bound;
+    prev = count;
+    ++bucket_lines;
+  }
+  EXPECT_EQ(bucket_lines, bounds.size());
+  EXPECT_EQ(prev, 4u) << "largest finite bucket must hold every sample";
+  EXPECT_NE(text.find("flush_us_bucket{stage=\"close\",le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("flush_us_sum{stage=\"close\"} 1000082"), std::string::npos);
+  EXPECT_NE(text.find("flush_us_count{stage=\"close\"} 4"), std::string::npos);
+  // Spot-check the cumulative semantics at interior bounds.
+  EXPECT_NE(text.find("le=\"5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"50\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("le=\"500000\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("le=\"1000000\"} 4"), std::string::npos);
+
+  // The JSON rendering carries the same buckets.
+  std::string json = registry.JsonLines();
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[{\"le\":1,\"count\":0}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":50,\"count\":3}"), std::string::npos);
 }
 
 TEST(MetricsTest, InstrumentsAreStableAcrossLookups) {
@@ -561,6 +664,28 @@ TEST(ObladiStoreObsTest, PipelinedRunLeavesOverlappingEpochSpans) {
   std::string path = ::testing::TempDir() + "obs_overlap_trace.json";
   ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(ObladiStoreObsTest, TraceStreamPathCapturesWorkloadSpans) {
+  TracerCleanup cleanup;
+  std::string path = ::testing::TempDir() + "obs_proxy_stream.json";
+  auto env = MakeObsProxy(/*shards=*/1, /*trace=*/true, /*watchdog=*/false,
+                          /*metrics=*/false);
+  env.config.obs.trace_stream_path = path;
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, env.log);
+  ASSERT_TRUE(env.proxy->Load(SimpleRecords(16)).ok());
+
+  Rng rng(7);
+  DriveWorkload(*env.proxy, 4, [&] { return rng.Uniform(16); });
+  env.proxy.reset();  // teardown closes the stream
+
+  EXPECT_FALSE(Tracer::Get().streaming());
+  std::string body = ReadFileOrDie(path);
+  std::remove(path.c_str());
+  EXPECT_NE(body.find("epoch.close"), std::string::npos);
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_EQ(body[body.size() - 2], ']');
 }
 
 TEST(ObladiStoreObsTest, ConcurrentScrapesRaceFreeWithLiveTraffic) {

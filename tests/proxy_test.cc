@@ -318,6 +318,10 @@ TEST(ObladiStorePipelineTest, RetirementOverlapsNextEpochExecution) {
 
 TEST(ObladiStorePipelineTest, CloseWaitsForPreviousRetirementDepthOne) {
   auto env = MakeProxy(256, /*recovery=*/false);
+  // This test encodes the depth-1 compatibility baseline: the second close
+  // stalls until the first epoch's retirement completes.
+  env.config.pipeline_depth = 1;
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, env.log);
   ASSERT_TRUE(env.proxy->Load(SimpleRecords(20)).ok());
 
   std::promise<void> release;

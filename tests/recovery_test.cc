@@ -184,8 +184,12 @@ TEST(RecoveryTest, CrashDuringRetirementRecoversLastDurableEpoch) {
   // appended) while epoch N+1 is already executing and trying to dispatch
   // batches. Killing the proxy here must (a) fail N's commit waiters, (b)
   // keep N+1's records out of the log, and (c) recover to the last durable
-  // epoch, replaying exactly N's logged read batches.
+  // epoch, replaying exactly N's logged read batches. At depth > 1 the
+  // ordering gate admits N+1's plans while N retires, so pin depth 1: this
+  // test encodes the single-epoch replay window.
   auto env = MakeEnv();
+  env.config.pipeline_depth = 1;
+  env.proxy = std::make_unique<ObladiStore>(env.config, env.store, env.log);
   ASSERT_TRUE(env.proxy->Load(SimpleRecords(40)).ok());
   CommitWrite(*env.proxy, "key1", "durable-A");
 

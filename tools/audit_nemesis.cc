@@ -5,7 +5,7 @@
 //                 [--zipf=THETA] [--fault-period-ms=N] [--seed=N]
 //                 [--no-storage-kill] [--no-proxy-crash]
 //                 [--partition] [--slow-disk] [--clock-skew]
-//                 [--progress-timeout-ms=N]
+//                 [--progress-timeout-ms=N] [--pipeline-depth=N]
 //                 [--heartbeat-ms=N] [--metrics-out=PATH]
 //                 [--data-dir=DIR] --trace-dir=DIR
 //
@@ -44,6 +44,7 @@ int Usage() {
                "[--no-storage-kill] [--no-proxy-crash]\n                     "
                "[--partition] [--slow-disk] [--clock-skew] "
                "[--progress-timeout-ms=N]\n                     "
+               "[--pipeline-depth=N] "
                "[--heartbeat-ms=N] [--metrics-out=PATH]\n                     "
                "[--data-dir=DIR] --trace-dir=DIR\n");
   return 2;
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
       options.trace_dir = value;
     } else if (ParseFlag(arg, "progress-timeout-ms", value)) {
       options.progress_timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "pipeline-depth", value)) {
+      options.pipeline_depth = std::strtoull(value.c_str(), nullptr, 10);
     } else if (arg == "--no-storage-kill") {
       options.kill_storage = false;
     } else if (arg == "--no-proxy-crash") {
