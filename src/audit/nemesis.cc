@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include "src/fault/faulty_store.h"
 #include "src/fault/skew_clock.h"
 #include "src/net/remote_store.h"
+#include "src/net/replicated_store.h"
 #include "src/net/storage_server.h"
 #include "src/proxy/obladi_store.h"
 #include "src/storage/file_bucket_store.h"
@@ -42,9 +44,14 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
   std::remove(log_path.c_str());
 
   // The shard-partition scenario deploys one storage node per shard so a
-  // single shard's link can be cut; the classic deployment keeps all shards
-  // on one node so it can be killed and restarted whole.
-  const bool per_shard_mode = options.partition_shard;
+  // single shard's link can be cut; the replica-kill scenarios add R storage
+  // nodes per shard behind replicated stores; the classic deployment keeps
+  // all shards on one node so it can be killed and restarted whole.
+  const bool kill_replica_mode = options.kill_primary || options.kill_replica;
+  const uint32_t replicas =
+      std::max<uint32_t>(options.replicas, kill_replica_mode ? 2 : 1);
+  const bool replicated = replicas > 1;
+  const bool per_shard_mode = options.partition_shard || replicated;
   const bool kill_storage = options.kill_storage && !per_shard_mode;
 
   ObladiConfig config = ObladiConfig::ForCapacity(256, /*z=*/4, /*payload=*/128);
@@ -124,6 +131,11 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
   std::vector<std::shared_ptr<FileBucketStore>> shard_files;
   std::vector<std::unique_ptr<StorageServer>> servers;
   uint32_t victim_shard = 0;
+  // Replicated deployment state (kept so the run can read failover/resync
+  // stats after the driver stops):
+  std::vector<std::shared_ptr<ReplicatedBucketStore>> replicated_buckets;
+  std::shared_ptr<ReplicatedLogStore> replicated_log;
+  uint32_t victim_replica = 0;
 
   std::unique_ptr<ObladiStore> proxy;
   if (!per_shard_mode) {
@@ -142,7 +154,7 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
     OBLADI_RETURN_IF_ERROR(remote_log.status());
     proxy = std::make_unique<ObladiStore>(config, std::move(*remote_buckets),
                                           std::move(*remote_log));
-  } else {
+  } else if (!replicated) {
     // One storage node per shard; the WAL lives on node 0. Every server
     // shares the log object, but only node 0 receives log RPCs.
     const uint32_t num_shards = config.num_shards;
@@ -177,6 +189,75 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
     OBLADI_RETURN_IF_ERROR(remote_log.status());
     proxy = std::make_unique<ObladiStore>(config, std::move(shard_stores),
                                           std::move(*remote_log));
+  } else {
+    // Replicated tier: R storage nodes per shard (node (s, r) holds shard
+    // s's bucket replica r) plus R WAL columns riding on shard 0's row
+    // (node (0, r) also serves WAL replica r). The victim replica of shard
+    // 0 is fronted by the fault relay: killing replica 0 therefore cuts the
+    // bucket primary AND the WAL primary at once — the strongest loss —
+    // while kill_replica targets the last replica (a pure follower).
+    const uint32_t num_shards = config.num_shards;
+    victim_shard = 0;
+    victim_replica = options.kill_replica && !options.kill_primary ? replicas - 1 : 0;
+    std::vector<std::shared_ptr<LogStore>> log_columns;
+    for (uint32_t r = 0; r < replicas; ++r) {
+      std::string wal_path = options.data_dir + "/wal." + std::to_string(r) + ".dat";
+      std::remove(wal_path.c_str());
+      log_columns.push_back(std::make_shared<FileLogStore>(wal_path));
+    }
+    shard_files.reserve(static_cast<size_t>(num_shards) * replicas);
+    servers.reserve(static_cast<size_t>(num_shards) * replicas);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      for (uint32_t r = 0; r < replicas; ++r) {
+        std::string path = options.data_dir + "/buckets." + std::to_string(s) + "." +
+                           std::to_string(r) + ".dat";
+        std::remove(path.c_str());
+        shard_files.push_back(
+            std::make_shared<FileBucketStore>(path, shard_buckets, slots_per_bucket));
+        servers.push_back(
+            std::make_unique<StorageServer>(shard_files.back(), log_columns[r]));
+        OBLADI_RETURN_IF_ERROR(servers.back()->Start());
+      }
+    }
+    auto server_at = [&](uint32_t s, uint32_t r) -> StorageServer& {
+      return *servers[static_cast<size_t>(s) * replicas + r];
+    };
+    auto relay_or =
+        FaultRelay::Start("127.0.0.1", server_at(victim_shard, victim_replica).port());
+    OBLADI_RETURN_IF_ERROR(relay_or.status());
+    relay = std::move(*relay_or);
+
+    ReplicatedStoreOptions rep_opts;
+    rep_opts.write_quorum = options.write_quorum;
+    std::vector<std::shared_ptr<BucketStore>> shard_stores;
+    shard_stores.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      std::vector<std::shared_ptr<BucketStore>> reps;
+      reps.reserve(replicas);
+      for (uint32_t r = 0; r < replicas; ++r) {
+        RemoteStoreOptions so = remote_opts;
+        so.port = (s == victim_shard && r == victim_replica) ? relay->port()
+                                                             : server_at(s, r).port();
+        auto rb = RemoteBucketStore::Connect(so);
+        OBLADI_RETURN_IF_ERROR(rb.status());
+        reps.push_back(std::move(*rb));
+      }
+      auto rep_store = std::make_shared<ReplicatedBucketStore>(std::move(reps), rep_opts);
+      replicated_buckets.push_back(rep_store);
+      shard_stores.push_back(rep_store);
+    }
+    std::vector<std::shared_ptr<LogStore>> log_reps;
+    log_reps.reserve(replicas);
+    for (uint32_t r = 0; r < replicas; ++r) {
+      RemoteStoreOptions lo = remote_opts;
+      lo.port = (victim_shard == 0 && r == victim_replica) ? relay->port()
+                                                           : server_at(0, r).port();
+      auto rl = RemoteLogStore::Connect(lo);
+      OBLADI_RETURN_IF_ERROR(rl.status());
+      log_reps.push_back(std::move(*rl));
+    }
+    replicated_log = std::make_shared<ReplicatedLogStore>(std::move(log_reps), rep_opts);
+    proxy = std::make_unique<ObladiStore>(config, std::move(shard_stores), replicated_log);
   }
 
   if (options.clock_skew) {
@@ -299,6 +380,20 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
       return recover_proxy();
     });
   }
+  if (kill_replica_mode) {
+    palette.push_back([&]() -> Status {
+      // Blackhole the victim replica mid-epoch, hold past the deadline
+      // budget, heal — and deliberately do NOT crash the proxy: quorum
+      // writes plus automatic read failover must carry commits through the
+      // loss, and the retire loop's epoch-replay catch-up must resync the
+      // healed replica on its own.
+      relay->Partition();
+      nap(options.partition_hold_ms);
+      relay->Heal();
+      partitions.fetch_add(1);
+      return Status::Ok();
+    });
+  }
   if (options.slow_disk) {
     palette.push_back([&]() -> Status {
       std::shared_ptr<FaultyLogStore> wal;
@@ -415,6 +510,36 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
     });
   }
 
+  // Commit-stall monitor (replicated mode only): sample the committed
+  // counter and track the longest post-warmup gap between increments — the
+  // client-visible unavailability window the failover budget bounds.
+  std::atomic<uint64_t> max_commit_stall_us{0};
+  std::thread stall_monitor;
+  if (replicated) {
+    stall_monitor = std::thread([&] {
+      const uint64_t warmup_end_us = run_start_us + options.warmup_ms * 1000;
+      uint64_t last_committed = 0;
+      uint64_t last_change_us = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        const uint64_t now = NowMicros();
+        if (now < warmup_end_us) {
+          continue;
+        }
+        const uint64_t committed = proxy->stats().txn_committed;
+        if (last_change_us == 0 || committed != last_committed) {
+          last_committed = committed;
+          last_change_us = now;
+          continue;
+        }
+        const uint64_t stall = now - last_change_us;
+        if (stall > max_commit_stall_us.load(std::memory_order_relaxed)) {
+          max_commit_stall_us.store(stall, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
   DriverOptions driver_opts;
   driver_opts.num_threads = options.num_clients;
   driver_opts.duration_ms = options.duration_ms;
@@ -433,6 +558,9 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
   }
   if (progress_watchdog.joinable()) {
     progress_watchdog.join();
+  }
+  if (stall_monitor.joinable()) {
+    stall_monitor.join();
   }
   // Final metrics snapshot before teardown, next to the traces by default.
   std::string metrics_path = options.metrics_out;
@@ -463,6 +591,19 @@ StatusOr<NemesisResult> RunNemesis(const NemesisOptions& options) {
     if (faulty_log != nullptr) {
       result.faults_injected += faulty_log->faults_injected();
     }
+  }
+  result.max_commit_stall_ms = max_commit_stall_us.load() / 1000;
+  for (const auto& rb : replicated_buckets) {
+    ReplicationStats rs = rb->replication_stats();
+    result.failovers += rs.failovers;
+    result.replica_resyncs += rs.resyncs;
+    result.replica_resync_epochs += rs.resync_epochs;
+  }
+  if (replicated_log != nullptr) {
+    ReplicationStats rs = replicated_log->replication_stats();
+    result.failovers += rs.failovers;
+    result.replica_resyncs += rs.resyncs;
+    result.replica_resync_epochs += rs.resync_epochs;
   }
   proxy->Stop();
   proxy.reset();

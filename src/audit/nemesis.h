@@ -31,6 +31,16 @@
 //     through a SkewClock whose offset the fault thread jumps forwards and
 //     backwards. The mapping is order-preserving, so the audit must still
 //     pass — that is the property the scenario demonstrates.
+//   * replica kill (kill_primary / kill_replica) — the deployment becomes
+//     R replicas per shard behind ReplicatedBucketStore/ReplicatedLogStore,
+//     with one victim replica (the initial primary, or a follower) fronted
+//     by a FaultRelay. The fault thread blackholes the victim mid-epoch,
+//     holds, and heals — WITHOUT crashing the proxy: quorum writes and
+//     automatic read failover must carry commits through the loss, and the
+//     retire loop's catch-up must resync the healed node, all audited
+//     serializable. The run tracks the longest commit stall so the driver
+//     can assert the unavailability window stayed inside the failover
+//     deadline budget.
 #ifndef OBLADI_SRC_AUDIT_NEMESIS_H_
 #define OBLADI_SRC_AUDIT_NEMESIS_H_
 
@@ -85,6 +95,19 @@ struct NemesisOptions {
   // order-preserving SkewClock.
   bool clock_skew = false;
   int64_t skew_jump = 5000000;
+  // --- replicated storage tier (src/net/replicated_store) ---
+  // Replicas per shard (and WAL columns). > 1 forces the per-shard
+  // deployment with every shard's stores wrapped in a replicated store.
+  uint32_t replicas = 1;
+  // Replica successes a write needs before acknowledging.
+  uint32_t write_quorum = 1;
+  // Blackhole the victim replica mid-epoch (relay partition), hold, heal —
+  // with NO proxy crash. kill_primary fronts the initial primary (replica 0
+  // of shard 0, which also hosts WAL column 0, so both tiers fail over);
+  // kill_replica fronts the last replica (a follower). Either forces
+  // replicas >= 2.
+  bool kill_primary = false;
+  bool kill_replica = false;
   // Liveness watchdog: if ANY client thread finishes no attempt (commit,
   // abort, or failure) for this long, print the scenario seed to stderr and
   // _Exit(3) — a hung client is a bug the run must not mask. 0 = off.
@@ -100,6 +123,13 @@ struct NemesisResult {
   uint64_t wal_stalls = 0;       // fsync-stall windows opened on the WAL
   uint64_t skew_jumps = 0;       // claimed-timestamp offset jumps
   uint64_t faults_injected = 0;  // relay activations + store-level injections
+  // Replicated-tier accounting (zero unless replicas > 1).
+  uint64_t failovers = 0;             // automatic primary moves (all stores)
+  uint64_t replica_resyncs = 0;       // completed catch-up passes
+  uint64_t replica_resync_epochs = 0; // epochs of lag cleared by catch-up
+  // Longest observed gap between successful commits after warmup (only
+  // measured in replicated mode): the client-visible unavailability window.
+  uint64_t max_commit_stall_ms = 0;
   History history;  // merged client-observable history (pass to VerifyHistory)
 };
 

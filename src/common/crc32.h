@@ -1,0 +1,57 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+//
+// Used by the file-backed stores' record framing (format v2) so a scan can
+// tell a *corrupted* record (all bytes present, checksum wrong — fail
+// closed) apart from a *torn* record (bytes missing at EOF after a crash
+// mid-append — repairable). Table-driven, no dependencies; not a MAC — the
+// encryptor owns integrity against an adversary, this catches disk/fs bit
+// rot and half-written sectors.
+#ifndef OBLADI_SRC_COMMON_CRC32_H_
+#define OBLADI_SRC_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace obladi {
+
+namespace crc32_internal {
+inline const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace crc32_internal
+
+// CRC of [data, data+len). Chain blocks by passing the previous result as
+// `seed` (Crc32(b, Crc32(a)) == Crc32(a ++ b)).
+inline uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0) {
+  const auto& table = crc32_internal::Table();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+template <typename Container>
+  requires requires(const Container& c) {
+    c.size();
+    c.empty();
+  }
+inline uint32_t Crc32(const Container& bytes, uint32_t seed = 0) {
+  return Crc32(bytes.empty() ? nullptr : &bytes[0], bytes.size(), seed);
+}
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_COMMON_CRC32_H_

@@ -1,0 +1,1045 @@
+#include "src/net/replicated_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace obladi {
+
+namespace {
+
+// Bound on heal rounds per pass: each round either drains work or races a
+// concurrent writer; a live workload can keep re-dirtying forever, and the
+// retire loop will kick the next pass, so give up rather than spin.
+constexpr int kMaxHealRounds = 4096;
+
+}  // namespace
+
+// --- ReplicatedBucketStore --------------------------------------------------
+
+ReplicatedBucketStore::ReplicatedBucketStore(std::vector<std::shared_ptr<BucketStore>> replicas,
+                                             ReplicatedStoreOptions options)
+    : options_(options),
+      quorum_(std::clamp<uint32_t>(options.write_quorum, 1,
+                                   static_cast<uint32_t>(std::max<size_t>(replicas.size(), 1)))) {
+  replicas_.reserve(replicas.size());
+  for (auto& store : replicas) {
+    Replica r;
+    r.store = std::move(store);
+    replicas_.push_back(std::move(r));
+  }
+  live_.resize(replicas_.empty() ? 0 : replicas_[0].store->num_buckets());
+}
+
+int ReplicatedBucketStore::PrimaryIndexLocked() const {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].health == ReplicaHealth::kCurrent) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ReplicatedBucketStore::PrimaryIndexForTest() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return PrimaryIndexLocked();
+}
+
+bool ReplicatedBucketStore::DemoteLocked(size_t index, bool count_failover) {
+  if (replicas_[index].health != ReplicaHealth::kCurrent) {
+    // Someone demoted it concurrently; report whether a target remains.
+    return PrimaryIndexLocked() >= 0;
+  }
+  size_t current = 0;
+  for (const Replica& r : replicas_) {
+    current += r.health == ReplicaHealth::kCurrent;
+  }
+  if (current <= 1) {
+    // The last replica standing keeps serving; bucket state is idempotent,
+    // so there is nothing a demotion would protect.
+    return false;
+  }
+  const bool was_primary = PrimaryIndexLocked() == static_cast<int>(index);
+  Replica& r = replicas_[index];
+  r.health = ReplicaHealth::kLagging;
+  r.lag_start_epoch = epoch_;
+  generation_++;
+  // Demoting the primary is a failover no matter which path noticed the
+  // outage first — a quorum write fan-out demoting it moves reads exactly
+  // as a failed read would.
+  if (count_failover || was_primary) {
+    failovers_++;
+  }
+  return true;
+}
+
+void ReplicatedBucketStore::MarkLaggingDirtyLocked(size_t index, BucketIndex bucket) {
+  replicas_[index].dirty.insert(bucket);
+}
+
+void ReplicatedBucketStore::RecordWriteLocked(BucketIndex bucket, uint32_t version,
+                                              uint32_t slot_count) {
+  if (bucket < live_.size()) {
+    live_[bucket][version] = slot_count;
+  }
+}
+
+void ReplicatedBucketStore::RecordTruncateLocked(BucketIndex bucket, uint32_t keep_from_version) {
+  if (bucket < live_.size()) {
+    auto& versions = live_[bucket];
+    versions.erase(versions.begin(), versions.lower_bound(keep_from_version));
+  }
+}
+
+template <typename Result>
+std::vector<StatusOr<Result>> ReplicatedBucketStore::ReadWithFailover(
+    const std::function<std::vector<StatusOr<Result>>(BucketStore&)>& op, size_t n) {
+  for (size_t attempt = 0; attempt <= replicas_.size(); ++attempt) {
+    std::shared_ptr<BucketStore> primary;
+    int p = -1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      p = PrimaryIndexLocked();
+      if (p >= 0) {
+        primary = replicas_[static_cast<size_t>(p)].store;
+      }
+    }
+    if (p < 0) {
+      return std::vector<StatusOr<Result>>(n, Status::Unavailable("no current replica"));
+    }
+    std::vector<StatusOr<Result>> results = op(*primary);
+    bool retryable = false;
+    for (const StatusOr<Result>& r : results) {
+      if (!r.ok() && IsReplicaRetryable(r.status())) {
+        retryable = true;
+        break;
+      }
+    }
+    if (!retryable) {
+      return results;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!DemoteLocked(static_cast<size_t>(p), /*count_failover=*/true)) {
+      return results;
+    }
+  }
+  return std::vector<StatusOr<Result>>(n, Status::Unavailable("all replicas failed"));
+}
+
+StatusOr<Bytes> ReplicatedBucketStore::ReadSlot(BucketIndex bucket, uint32_t version,
+                                                SlotIndex slot) {
+  auto out = ReadWithFailover<Bytes>(
+      [&](BucketStore& store) {
+        std::vector<StatusOr<Bytes>> r;
+        r.push_back(store.ReadSlot(bucket, version, slot));
+        return r;
+      },
+      1);
+  return std::move(out[0]);
+}
+
+std::vector<StatusOr<Bytes>> ReplicatedBucketStore::ReadSlotsBatch(
+    const std::vector<SlotRef>& refs) {
+  return ReadWithFailover<Bytes>(
+      [&](BucketStore& store) { return store.ReadSlotsBatch(refs); }, refs.size());
+}
+
+std::vector<StatusOr<PathXorResult>> ReplicatedBucketStore::ReadPathsXor(
+    const std::vector<PathSlots>& paths, uint32_t header_bytes, uint32_t trailer_bytes) {
+  return ReadWithFailover<PathXorResult>(
+      [&](BucketStore& store) { return store.ReadPathsXor(paths, header_bytes, trailer_bytes); },
+      paths.size());
+}
+
+Status ReplicatedBucketStore::FinishWriteLocked(const std::vector<BucketImage>& images,
+                                                const std::vector<TruncateRef>& truncates,
+                                                uint32_t oks,
+                                                const std::vector<size_t>& retryable_failures,
+                                                Status first_error) {
+  for (size_t i : retryable_failures) {
+    // Demotion may be refused for the last current replica; either way the
+    // replica's copy of these buckets is now suspect, so if it did get
+    // demoted (now or concurrently) the marks below queue the rebuild.
+    DemoteLocked(i, /*count_failover=*/false);
+    if (replicas_[i].health == ReplicaHealth::kLagging) {
+      for (const BucketImage& image : images) {
+        MarkLaggingDirtyLocked(i, image.bucket);
+      }
+      for (const TruncateRef& ref : truncates) {
+        MarkLaggingDirtyLocked(i, ref.bucket);
+      }
+    }
+  }
+  if (oks >= quorum_) {
+    for (const BucketImage& image : images) {
+      RecordWriteLocked(image.bucket, image.version, static_cast<uint32_t>(image.slots.size()));
+    }
+    for (const TruncateRef& ref : truncates) {
+      RecordTruncateLocked(ref.bucket, ref.keep_from_version);
+    }
+    return Status::Ok();
+  }
+  return first_error.ok() ? Status::Unavailable("write quorum not reached") : first_error;
+}
+
+Status ReplicatedBucketStore::WriteBucketsBatch(std::vector<BucketImage> images) {
+  std::vector<size_t> targets;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].health == ReplicaHealth::kCurrent) {
+        targets.push_back(i);
+      } else if (replicas_[i].health == ReplicaHealth::kLagging) {
+        for (const BucketImage& image : images) {
+          MarkLaggingDirtyLocked(i, image.bucket);
+        }
+      }
+    }
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no current replica");
+  }
+  uint32_t oks = 0;
+  Status first_error = Status::Ok();
+  std::vector<size_t> failed;
+  for (size_t i : targets) {
+    std::vector<BucketImage> copy = images;
+    Status s = replicas_[i].store->WriteBucketsBatch(std::move(copy));
+    if (s.ok()) {
+      oks++;
+    } else {
+      if (first_error.ok()) {
+        first_error = s;
+      }
+      if (IsReplicaRetryable(s)) {
+        failed.push_back(i);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  return FinishWriteLocked(images, {}, oks, failed, std::move(first_error));
+}
+
+Status ReplicatedBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
+                                          std::vector<Bytes> slots) {
+  std::vector<BucketImage> images;
+  images.push_back(BucketImage{bucket, version, std::move(slots)});
+  return WriteBucketsBatch(std::move(images));
+}
+
+Status ReplicatedBucketStore::TruncateBucketsBatch(const std::vector<TruncateRef>& refs) {
+  std::vector<size_t> targets;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].health == ReplicaHealth::kCurrent) {
+        targets.push_back(i);
+      } else if (replicas_[i].health == ReplicaHealth::kLagging) {
+        for (const TruncateRef& ref : refs) {
+          MarkLaggingDirtyLocked(i, ref.bucket);
+        }
+      }
+    }
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no current replica");
+  }
+  uint32_t oks = 0;
+  Status first_error = Status::Ok();
+  std::vector<size_t> failed;
+  for (size_t i : targets) {
+    Status s = replicas_[i].store->TruncateBucketsBatch(refs);
+    if (s.ok()) {
+      oks++;
+    } else {
+      if (first_error.ok()) {
+        first_error = s;
+      }
+      if (IsReplicaRetryable(s)) {
+        failed.push_back(i);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  return FinishWriteLocked({}, refs, oks, failed, std::move(first_error));
+}
+
+Status ReplicatedBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) {
+  return TruncateBucketsBatch({TruncateRef{bucket, keep_from_version}});
+}
+
+bool ReplicatedBucketStore::SupportsAsyncBatches() const {
+  for (const Replica& r : replicas_) {
+    if (!r.store->SupportsAsyncBatches()) {
+      return false;
+    }
+  }
+  return !replicas_.empty();
+}
+
+struct ReplicatedBucketStore::AsyncReadCtx {
+  std::vector<SlotRef> refs;
+  ReadSlotsDone done;
+  size_t attempts = 0;
+};
+
+void ReplicatedBucketStore::SubmitReadSlots(std::shared_ptr<AsyncReadCtx> ctx) {
+  std::shared_ptr<BucketStore> primary;
+  int p = -1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    p = PrimaryIndexLocked();
+    if (p >= 0) {
+      primary = replicas_[static_cast<size_t>(p)].store;
+    }
+  }
+  if (p < 0) {
+    ctx->done(std::vector<StatusOr<Bytes>>(ctx->refs.size(),
+                                           Status::Unavailable("no current replica")));
+    return;
+  }
+  std::vector<SlotRef> refs = ctx->refs;
+  primary->ReadSlotsBatchAsync(
+      std::move(refs), [this, ctx, p](std::vector<StatusOr<Bytes>> results) {
+        bool retryable = false;
+        for (const StatusOr<Bytes>& r : results) {
+          if (!r.ok() && IsReplicaRetryable(r.status())) {
+            retryable = true;
+            break;
+          }
+        }
+        if (retryable && ctx->attempts < replicas_.size()) {
+          bool again = false;
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            again = DemoteLocked(static_cast<size_t>(p), /*count_failover=*/true);
+          }
+          if (again) {
+            ctx->attempts++;
+            SubmitReadSlots(ctx);
+            return;
+          }
+        }
+        ctx->done(std::move(results));
+      });
+}
+
+void ReplicatedBucketStore::ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) {
+  auto ctx = std::make_shared<AsyncReadCtx>();
+  ctx->refs = std::move(refs);
+  ctx->done = std::move(done);
+  SubmitReadSlots(std::move(ctx));
+}
+
+struct ReplicatedBucketStore::AsyncXorCtx {
+  std::vector<PathSlots> paths;
+  uint32_t header_bytes = 0;
+  uint32_t trailer_bytes = 0;
+  ReadPathsXorDone done;
+  size_t attempts = 0;
+};
+
+void ReplicatedBucketStore::SubmitReadPathsXor(std::shared_ptr<AsyncXorCtx> ctx) {
+  std::shared_ptr<BucketStore> primary;
+  int p = -1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    p = PrimaryIndexLocked();
+    if (p >= 0) {
+      primary = replicas_[static_cast<size_t>(p)].store;
+    }
+  }
+  if (p < 0) {
+    ctx->done(std::vector<StatusOr<PathXorResult>>(ctx->paths.size(),
+                                                   Status::Unavailable("no current replica")));
+    return;
+  }
+  std::vector<PathSlots> paths = ctx->paths;
+  primary->ReadPathsXorAsync(
+      std::move(paths), ctx->header_bytes, ctx->trailer_bytes,
+      [this, ctx, p](std::vector<StatusOr<PathXorResult>> results) {
+        bool retryable = false;
+        for (const StatusOr<PathXorResult>& r : results) {
+          if (!r.ok() && IsReplicaRetryable(r.status())) {
+            retryable = true;
+            break;
+          }
+        }
+        if (retryable && ctx->attempts < replicas_.size()) {
+          bool again = false;
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            again = DemoteLocked(static_cast<size_t>(p), /*count_failover=*/true);
+          }
+          if (again) {
+            ctx->attempts++;
+            SubmitReadPathsXor(ctx);
+            return;
+          }
+        }
+        ctx->done(std::move(results));
+      });
+}
+
+void ReplicatedBucketStore::ReadPathsXorAsync(std::vector<PathSlots> paths, uint32_t header_bytes,
+                                              uint32_t trailer_bytes, ReadPathsXorDone done) {
+  auto ctx = std::make_shared<AsyncXorCtx>();
+  ctx->paths = std::move(paths);
+  ctx->header_bytes = header_bytes;
+  ctx->trailer_bytes = trailer_bytes;
+  ctx->done = std::move(done);
+  SubmitReadPathsXor(std::move(ctx));
+}
+
+struct ReplicatedBucketStore::AsyncWriteCtx {
+  std::mutex mu;
+  size_t pending = 0;
+  uint32_t oks = 0;
+  Status first_error;
+  std::vector<size_t> failed;
+  std::vector<BucketImage> images;
+  WriteBucketsDone done;
+};
+
+void ReplicatedBucketStore::WriteBucketsBatchAsync(std::vector<BucketImage> images,
+                                                   WriteBucketsDone done) {
+  std::vector<size_t> targets;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].health == ReplicaHealth::kCurrent) {
+        targets.push_back(i);
+      } else if (replicas_[i].health == ReplicaHealth::kLagging) {
+        for (const BucketImage& image : images) {
+          MarkLaggingDirtyLocked(i, image.bucket);
+        }
+      }
+    }
+  }
+  if (targets.empty()) {
+    done(Status::Unavailable("no current replica"));
+    return;
+  }
+  auto ctx = std::make_shared<AsyncWriteCtx>();
+  ctx->pending = targets.size();
+  ctx->images = std::move(images);
+  ctx->done = std::move(done);
+  for (size_t i : targets) {
+    std::vector<BucketImage> copy = ctx->images;
+    replicas_[i].store->WriteBucketsBatchAsync(std::move(copy), [this, ctx, i](Status s) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lk(ctx->mu);
+        if (s.ok()) {
+          ctx->oks++;
+        } else {
+          if (ctx->first_error.ok()) {
+            ctx->first_error = s;
+          }
+          if (IsReplicaRetryable(s)) {
+            ctx->failed.push_back(i);
+          }
+        }
+        last = --ctx->pending == 0;
+      }
+      if (!last) {
+        return;
+      }
+      Status out;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        out = FinishWriteLocked(ctx->images, {}, ctx->oks, ctx->failed, ctx->first_error);
+      }
+      ctx->done(std::move(out));
+    });
+  }
+}
+
+size_t ReplicatedBucketStore::num_buckets() const {
+  return replicas_.empty() ? 0 : replicas_[0].store->num_buckets();
+}
+
+ReplicationStats ReplicatedBucketStore::replication_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ReplicationStats out;
+  out.failovers = failovers_;
+  out.resyncs = resyncs_;
+  out.resync_epochs = resync_epochs_;
+  out.generation = generation_;
+  int primary = PrimaryIndexLocked();
+  out.replicas.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    ReplicaInfo info;
+    info.index = static_cast<uint32_t>(i);
+    info.primary = static_cast<int>(i) == primary;
+    info.health = replicas_[i].health;
+    info.lag_epochs = replicas_[i].health == ReplicaHealth::kCurrent
+                          ? 0
+                          : (epoch_ > replicas_[i].lag_start_epoch
+                                 ? epoch_ - replicas_[i].lag_start_epoch
+                                 : 0);
+    info.stats = replicas_[i].store->network_stats();
+    out.replicas.push_back(info);
+  }
+  return out;
+}
+
+void ReplicatedBucketStore::NoteEpochRetired(EpochId epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  epoch_ = std::max<uint64_t>(epoch_, epoch);
+}
+
+Status ReplicatedBucketStore::TryHealReplicas() {
+  Status first = Status::Ok();
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    Status s = HealReplica(i);
+    if (!s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+Status ReplicatedBucketStore::HealReplica(size_t index) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Replica& r = replicas_[index];
+    if (r.health != ReplicaHealth::kLagging || r.healing) {
+      return Status::Ok();
+    }
+    r.healing = true;
+  }
+  Status s = HealReplicaImpl(index);
+  std::lock_guard<std::mutex> lk(mu_);
+  replicas_[index].healing = false;
+  return s;
+}
+
+Status ReplicatedBucketStore::HealReplicaImpl(size_t index) {
+  std::shared_ptr<BucketStore> healer = replicas_[index].store;
+  for (int round = 0; round < kMaxHealRounds; ++round) {
+    std::set<BucketIndex> batch;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      Replica& r = replicas_[index];
+      if (r.health != ReplicaHealth::kLagging) {
+        return Status::Ok();
+      }
+      batch.swap(r.dirty);
+    }
+    if (batch.empty()) {
+      // Nothing to replay; prove the replica is reachable with a no-op
+      // truncate (keep everything of bucket 0) before promoting, so a
+      // still-partitioned node can't re-enter the write set.
+      Status probe = healer->TruncateBucket(0, 0);
+      if (!probe.ok()) {
+        return probe;
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      Replica& r = replicas_[index];
+      if (r.health != ReplicaHealth::kLagging) {
+        return Status::Ok();
+      }
+      if (!r.dirty.empty()) {
+        continue;  // raced a concurrent write; another round
+      }
+      uint64_t lag = epoch_ > r.lag_start_epoch ? epoch_ - r.lag_start_epoch : 0;
+      r.health = ReplicaHealth::kCurrent;
+      resyncs_++;
+      resync_epochs_ += lag > 0 ? lag : 1;
+      generation_++;
+      return Status::Ok();
+    }
+    Status replay = Status::Ok();
+    for (BucketIndex bucket : batch) {
+      // Snapshot the bucket's live version set; shadow paging means
+      // replaying exactly these versions (plus the matching truncation
+      // floor) reproduces the committed state. Races with live traffic are
+      // fine: any concurrent write/truncate re-marks the bucket dirty.
+      std::map<uint32_t, uint32_t> versions;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (bucket < live_.size()) {
+          versions = live_[bucket];
+        }
+      }
+      uint32_t floor = versions.empty() ? UINT32_MAX : versions.begin()->first;
+      replay = healer->TruncateBucket(bucket, floor);
+      if (!replay.ok()) {
+        break;
+      }
+      for (const auto& [version, slot_count] : versions) {
+        std::vector<SlotRef> refs;
+        refs.reserve(slot_count);
+        for (uint32_t s = 0; s < slot_count; ++s) {
+          refs.push_back(SlotRef{bucket, version, static_cast<SlotIndex>(s)});
+        }
+        std::vector<StatusOr<Bytes>> slots = ReadSlotsBatch(refs);  // primary, with failover
+        std::vector<Bytes> image;
+        image.reserve(slot_count);
+        bool version_gone = false;
+        for (StatusOr<Bytes>& slot : slots) {
+          if (!slot.ok()) {
+            if (slot.status().code() == StatusCode::kNotFound) {
+              version_gone = true;  // retired meanwhile; the truncate re-dirtied us
+              break;
+            }
+            replay = slot.status();
+            break;
+          }
+          image.push_back(std::move(*slot));
+        }
+        if (!replay.ok()) {
+          break;
+        }
+        if (version_gone) {
+          continue;
+        }
+        replay = healer->WriteBucket(bucket, version, std::move(image));
+        if (!replay.ok()) {
+          break;
+        }
+      }
+      if (!replay.ok()) {
+        break;
+      }
+    }
+    if (!replay.ok()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (BucketIndex bucket : batch) {
+        replicas_[index].dirty.insert(bucket);
+      }
+      return replay;
+    }
+  }
+  return Status::Internal("bucket replica catch-up did not converge");
+}
+
+// --- ReplicatedLogStore -----------------------------------------------------
+
+ReplicatedLogStore::ReplicatedLogStore(std::vector<std::shared_ptr<LogStore>> replicas,
+                                       ReplicatedStoreOptions options)
+    : options_(options),
+      quorum_(std::clamp<uint32_t>(options.write_quorum, 1,
+                                   static_cast<uint32_t>(std::max<size_t>(replicas.size(), 1)))) {
+  replicas_.reserve(replicas.size());
+  for (auto& store : replicas) {
+    Replica r;
+    r.store = std::move(store);
+    next_lsn_ = std::max(next_lsn_, r.store->NextLsn());
+    replicas_.push_back(std::move(r));
+  }
+}
+
+int ReplicatedLogStore::PrimaryIndexLocked() const {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].health == ReplicaHealth::kCurrent) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ReplicatedLogStore::PrimaryIndexForTest() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return PrimaryIndexLocked();
+}
+
+bool ReplicatedLogStore::DemoteLocked(size_t index, bool ambiguous, bool count_failover,
+                                      bool demote_last) {
+  if (replicas_[index].health != ReplicaHealth::kCurrent) {
+    return PrimaryIndexLocked() >= 0;
+  }
+  if (!demote_last) {
+    size_t current = 0;
+    for (const Replica& r : replicas_) {
+      current += r.health == ReplicaHealth::kCurrent;
+    }
+    if (current <= 1) {
+      return false;
+    }
+  }
+  const bool was_primary = PrimaryIndexLocked() == static_cast<int>(index);
+  Replica& r = replicas_[index];
+  r.health = ReplicaHealth::kLagging;
+  r.lag_start_epoch = epoch_;
+  r.ambiguous = ambiguous;
+  generation_++;
+  if (count_failover || was_primary) {
+    failovers_++;
+  }
+  return PrimaryIndexLocked() >= 0;
+}
+
+void ReplicatedLogStore::TrimOpsLocked() {
+  auto min_live_cursor = [&] {
+    uint64_t min_cursor = ops_base_ + ops_.size();
+    for (const Replica& r : replicas_) {
+      if (r.health != ReplicaHealth::kDead) {
+        min_cursor = std::min(min_cursor, r.next_op);
+      }
+    }
+    return min_cursor;
+  };
+  auto trim_to = [&](uint64_t cursor) {
+    while (ops_base_ < cursor && !ops_.empty()) {
+      ops_bytes_ -= ops_.front().record.size();
+      ops_.pop_front();
+      ops_base_++;
+    }
+  };
+  trim_to(min_live_cursor());
+  // A replica too far behind would pin the buffer forever; past the byte
+  // cap it is unsalvageable by replay and gets excluded instead.
+  while (ops_bytes_ > options_.max_pending_log_bytes) {
+    size_t victim = replicas_.size();
+    uint64_t lowest = UINT64_MAX;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].health == ReplicaHealth::kLagging && replicas_[i].next_op < lowest) {
+        lowest = replicas_[i].next_op;
+        victim = i;
+      }
+    }
+    if (victim == replicas_.size()) {
+      break;
+    }
+    replicas_[victim].health = ReplicaHealth::kDead;
+    generation_++;
+    trim_to(min_live_cursor());
+  }
+}
+
+StatusOr<uint64_t> ReplicatedLogStore::AppendImpl(Bytes record, bool fused_sync) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].health == ReplicaHealth::kCurrent) {
+      targets.push_back(i);
+    }
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no current log replica");
+  }
+  uint64_t lsn = next_lsn_++;
+  ops_bytes_ += record.size();
+  ops_.push_back(Op{false, lsn, record});
+  const uint64_t end = ops_base_ + ops_.size();
+  uint32_t oks = 0;
+  Status first_error = Status::Ok();
+  for (size_t i : targets) {
+    Replica& r = replicas_[i];
+    StatusOr<uint64_t> got =
+        fused_sync ? r.store->AppendSync(record) : r.store->Append(record);
+    if (got.ok()) {
+      if (*got != lsn) {
+        // The replica assigned a different LSN: it lost or gained records
+        // relative to the acknowledged history and cannot be replay-healed.
+        r.health = ReplicaHealth::kDead;
+        generation_++;
+        if (first_error.ok()) {
+          first_error = Status::DataLoss("log replica LSN divergence");
+        }
+      } else {
+        r.next_op = end;
+        oks++;
+      }
+    } else {
+      if (first_error.ok()) {
+        first_error = got.status();
+      }
+      if (IsReplicaRetryable(got.status())) {
+        // Fate of the send is unknown (at-most-once): demote with the
+        // ambiguous flag so catch-up probes NextLsn() before replaying.
+        DemoteLocked(i, /*ambiguous=*/true, /*count_failover=*/false, /*demote_last=*/true);
+      }
+    }
+  }
+  TrimOpsLocked();
+  if (oks >= quorum_) {
+    return lsn;
+  }
+  return first_error.ok() ? Status::Unavailable("log append quorum not reached")
+                          : std::move(first_error);
+}
+
+StatusOr<uint64_t> ReplicatedLogStore::Append(Bytes record) {
+  return AppendImpl(std::move(record), /*fused_sync=*/false);
+}
+
+StatusOr<uint64_t> ReplicatedLogStore::AppendSync(Bytes record) {
+  return AppendImpl(std::move(record), /*fused_sync=*/true);
+}
+
+Status ReplicatedLogStore::Sync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint32_t oks = 0;
+  bool any = false;
+  Status first_error = Status::Ok();
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].health != ReplicaHealth::kCurrent) {
+      continue;
+    }
+    any = true;
+    Status s = replicas_[i].store->Sync();
+    if (s.ok()) {
+      oks++;
+    } else {
+      if (first_error.ok()) {
+        first_error = s;
+      }
+      if (IsReplicaRetryable(s)) {
+        // Not ambiguous: Sync carries no record, the cursor stays exact.
+        // Catch-up re-Syncs before promoting, restoring durability.
+        DemoteLocked(i, /*ambiguous=*/false, /*count_failover=*/false, /*demote_last=*/false);
+      }
+    }
+  }
+  if (!any) {
+    return Status::Unavailable("no current log replica");
+  }
+  if (oks >= quorum_) {
+    return Status::Ok();
+  }
+  return first_error.ok() ? Status::Unavailable("log sync quorum not reached")
+                          : std::move(first_error);
+}
+
+Status ReplicatedLogStore::Truncate(uint64_t upto_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].health == ReplicaHealth::kCurrent) {
+      targets.push_back(i);
+    }
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no current log replica");
+  }
+  ops_.push_back(Op{true, upto_lsn, {}});
+  const uint64_t end = ops_base_ + ops_.size();
+  uint32_t oks = 0;
+  Status first_error = Status::Ok();
+  for (size_t i : targets) {
+    Status s = replicas_[i].store->Truncate(upto_lsn);
+    if (s.ok()) {
+      replicas_[i].next_op = end;
+      oks++;
+    } else {
+      if (first_error.ok()) {
+        first_error = s;
+      }
+      if (IsReplicaRetryable(s)) {
+        // Truncation is idempotent, so no ambiguity: replay just reissues.
+        DemoteLocked(i, /*ambiguous=*/false, /*count_failover=*/false, /*demote_last=*/true);
+      }
+    }
+  }
+  TrimOpsLocked();
+  if (oks >= quorum_) {
+    return Status::Ok();
+  }
+  return first_error.ok() ? Status::Unavailable("log truncate quorum not reached")
+                          : std::move(first_error);
+}
+
+StatusOr<std::vector<Bytes>> ReplicatedLogStore::ReadAll() {
+  for (size_t attempt = 0; attempt <= replicas_.size(); ++attempt) {
+    std::shared_ptr<LogStore> primary;
+    int p = -1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      p = PrimaryIndexLocked();
+      if (p >= 0) {
+        primary = replicas_[static_cast<size_t>(p)].store;
+      }
+    }
+    if (p < 0) {
+      return Status::Unavailable("no current log replica");
+    }
+    StatusOr<std::vector<Bytes>> result = primary->ReadAll();
+    if (result.ok() || !IsReplicaRetryable(result.status())) {
+      return result;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!DemoteLocked(static_cast<size_t>(p), /*ambiguous=*/false, /*count_failover=*/true,
+                      /*demote_last=*/false)) {
+      return result;
+    }
+  }
+  return Status::Unavailable("all log replicas failed");
+}
+
+uint64_t ReplicatedLogStore::NextLsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_lsn_;
+}
+
+ReplicationStats ReplicatedLogStore::replication_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ReplicationStats out;
+  out.failovers = failovers_;
+  out.resyncs = resyncs_;
+  out.resync_epochs = resync_epochs_;
+  out.generation = generation_;
+  int primary = PrimaryIndexLocked();
+  out.replicas.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    ReplicaInfo info;
+    info.index = static_cast<uint32_t>(i);
+    info.primary = static_cast<int>(i) == primary;
+    info.health = replicas_[i].health;
+    info.lag_epochs = replicas_[i].health == ReplicaHealth::kCurrent
+                          ? 0
+                          : (epoch_ > replicas_[i].lag_start_epoch
+                                 ? epoch_ - replicas_[i].lag_start_epoch
+                                 : 0);
+    info.stats = replicas_[i].store->network_stats();
+    out.replicas.push_back(info);
+  }
+  return out;
+}
+
+void ReplicatedLogStore::NoteEpochRetired(EpochId epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  epoch_ = std::max<uint64_t>(epoch_, epoch);
+}
+
+Status ReplicatedLogStore::TryHealReplicas() {
+  Status first = Status::Ok();
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    Status s = HealReplica(i);
+    if (!s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+Status ReplicatedLogStore::HealReplica(size_t index) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Replica& r = replicas_[index];
+    if (r.health != ReplicaHealth::kLagging || r.healing) {
+      return Status::Ok();
+    }
+    r.healing = true;
+  }
+  Status s = HealReplicaImpl(index);
+  std::lock_guard<std::mutex> lk(mu_);
+  replicas_[index].healing = false;
+  return s;
+}
+
+Status ReplicatedLogStore::HealReplicaImpl(size_t index) {
+  std::shared_ptr<LogStore> store = replicas_[index].store;
+  for (int round = 0; round < kMaxHealRounds; ++round) {
+    std::vector<Op> chunk;
+    bool ambiguous = false;
+    uint64_t cursor = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      Replica& r = replicas_[index];
+      if (r.health != ReplicaHealth::kLagging) {
+        return Status::Ok();
+      }
+      cursor = r.next_op;
+      ambiguous = r.ambiguous;
+      const uint64_t end = ops_base_ + ops_.size();
+      size_t take = static_cast<size_t>(std::min<uint64_t>(
+          end - cursor, ambiguous ? 1 : options_.log_replay_chunk));
+      chunk.reserve(take);
+      for (size_t k = 0; k < take; ++k) {
+        chunk.push_back(ops_[static_cast<size_t>(cursor - ops_base_) + k]);
+      }
+    }
+    if (ambiguous) {
+      // The op at the cursor is an append whose fate is unknown. Probe the
+      // replica's next LSN to decide whether it landed. Sync() first: it is
+      // the cheap reachability check, and RemoteLogStore::NextLsn() answers
+      // 0 when unreachable, which must not read as "did not land".
+      OBLADI_RETURN_IF_ERROR(store->Sync());
+      uint64_t next = store->NextLsn();
+      std::lock_guard<std::mutex> lk(mu_);
+      Replica& r = replicas_[index];
+      if (r.health != ReplicaHealth::kLagging) {
+        return Status::Ok();
+      }
+      if (chunk.empty() || chunk[0].truncate) {
+        r.ambiguous = false;  // the in-doubt op was already trimmed/resolved
+        continue;
+      }
+      const uint64_t lsn = chunk[0].lsn_or_upto;
+      if (next > lsn) {
+        if (r.next_op == cursor) {
+          r.next_op = cursor + 1;  // it landed
+        }
+        r.ambiguous = false;
+        TrimOpsLocked();
+      } else if (next == lsn) {
+        r.ambiguous = false;  // it did not land; replay will reissue it
+      } else {
+        r.health = ReplicaHealth::kDead;
+        generation_++;
+        return Status::DataLoss("log replica lost acknowledged records");
+      }
+      continue;
+    }
+    if (chunk.empty()) {
+      // Caught up. Make everything durable, then promote — unless new ops
+      // raced in, in which case another round replays them first.
+      OBLADI_RETURN_IF_ERROR(store->Sync());
+      std::lock_guard<std::mutex> lk(mu_);
+      Replica& r = replicas_[index];
+      if (r.health != ReplicaHealth::kLagging) {
+        return Status::Ok();
+      }
+      if (r.next_op != ops_base_ + ops_.size() || r.ambiguous) {
+        continue;
+      }
+      uint64_t lag = epoch_ > r.lag_start_epoch ? epoch_ - r.lag_start_epoch : 0;
+      r.health = ReplicaHealth::kCurrent;
+      resyncs_++;
+      resync_epochs_ += lag > 0 ? lag : 1;
+      generation_++;
+      TrimOpsLocked();
+      return Status::Ok();
+    }
+    size_t applied = 0;
+    Status err = Status::Ok();
+    for (const Op& op : chunk) {
+      if (op.truncate) {
+        err = store->Truncate(op.lsn_or_upto);
+        if (!err.ok()) {
+          break;
+        }
+      } else {
+        StatusOr<uint64_t> got = store->Append(op.record);
+        if (!got.ok()) {
+          err = got.status();
+          std::lock_guard<std::mutex> lk(mu_);
+          Replica& r = replicas_[index];
+          r.next_op = cursor + applied;
+          r.ambiguous = true;  // this replayed append is now the in-doubt op
+          return err;
+        }
+        if (*got != op.lsn_or_upto) {
+          std::lock_guard<std::mutex> lk(mu_);
+          replicas_[index].health = ReplicaHealth::kDead;
+          generation_++;
+          return Status::DataLoss("log replica LSN divergence during catch-up");
+        }
+      }
+      applied++;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      replicas_[index].next_op = cursor + applied;
+      TrimOpsLocked();
+    }
+    if (!err.ok()) {
+      return err;
+    }
+  }
+  return Status::Internal("log replica catch-up did not converge");
+}
+
+}  // namespace obladi

@@ -1,0 +1,224 @@
+// Replicated storage tier: fan one shard's traffic out to R replicas with
+// quorum writes, automatic read failover, and epoch-consistent catch-up.
+//
+// ReplicatedBucketStore / ReplicatedLogStore wrap R same-shaped stores
+// (usually RemoteBucketStore/RemoteLogStore clients over AsyncNetClient,
+// in-memory stores in tests). Writes fan to every *current* replica and
+// acknowledge once `write_quorum` of them succeed; reads go to the current
+// primary (the first current replica) and fail over automatically when it
+// answers with a retryable transport error (kUnavailable — which is also how
+// an open circuit breaker surfaces — or kDeadlineExceeded). A replica that
+// fails a write or a read is demoted to *lagging*: it stops receiving
+// traffic and accumulates a catch-up obligation instead.
+//
+// Catch-up is epoch replay, not op shipping. For buckets, shadow paging
+// makes the live state fully described by "which versions of which buckets
+// exist" — the store tracks that index for every acknowledged write, marks
+// the buckets a lagging replica missed dirty, and TryHealReplicas() rebuilds
+// exactly those buckets on the healing replica by reading the live versions
+// from the primary and truncating to the same floor. For the WAL, appends
+// are at-most-once over the network, so the store keeps an ordered buffer of
+// recent ops plus a per-replica cursor; a failed append leaves the cursor
+// *ambiguous* and catch-up first probes the replica's NextLsn() to decide
+// whether the in-doubt record landed before replaying the tail. A replica
+// whose LSNs cannot be reconciled (it lost acknowledged records) is marked
+// dead rather than silently resynced.
+//
+// Demotion only ever happens on retryable transport errors: a semantic
+// error (InvalidArgument, NotFound) is the caller's problem and returns
+// identically from every replica, so treating it as replica failure would
+// shrink the healthy set on perfectly healthy deployments.
+#ifndef OBLADI_SRC_NET_REPLICATED_STORE_H_
+#define OBLADI_SRC_NET_REPLICATED_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/storage/bucket_store.h"
+
+namespace obladi {
+
+struct ReplicatedStoreOptions {
+  // Writes acknowledge after this many replica successes (clamped to
+  // [1, R]). With quorum < R a write can succeed while a minority replica
+  // is down — the down replica is demoted and caught up later.
+  uint32_t write_quorum = 1;
+  // WAL catch-up buffer cap: once the ordered op tail a lagging replica
+  // still needs exceeds this many bytes, that replica is marked dead
+  // instead of stalling trim forever.
+  size_t max_pending_log_bytes = 64ull << 20;
+  // Max ops replayed per locked-snapshot round during WAL catch-up.
+  size_t log_replay_chunk = 256;
+};
+
+// True for the transport-level failures that justify demoting a replica.
+inline bool IsReplicaRetryable(const Status& s) {
+  return s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kDeadlineExceeded;
+}
+
+class ReplicatedBucketStore : public BucketStore {
+ public:
+  ReplicatedBucketStore(std::vector<std::shared_ptr<BucketStore>> replicas,
+                        ReplicatedStoreOptions options = {});
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override;
+  std::vector<StatusOr<Bytes>> ReadSlotsBatch(const std::vector<SlotRef>& refs) override;
+  std::vector<StatusOr<PathXorResult>> ReadPathsXor(const std::vector<PathSlots>& paths,
+                                                    uint32_t header_bytes,
+                                                    uint32_t trailer_bytes) override;
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override;
+  Status WriteBucketsBatch(std::vector<BucketImage> images) override;
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override;
+  Status TruncateBucketsBatch(const std::vector<TruncateRef>& refs) override;
+
+  bool SupportsAsyncBatches() const override;
+  void ReadSlotsBatchAsync(std::vector<SlotRef> refs, ReadSlotsDone done) override;
+  void WriteBucketsBatchAsync(std::vector<BucketImage> images, WriteBucketsDone done) override;
+  void ReadPathsXorAsync(std::vector<PathSlots> paths, uint32_t header_bytes,
+                         uint32_t trailer_bytes, ReadPathsXorDone done) override;
+
+  size_t num_buckets() const override;
+  // nullptr: one aggregate counter would double-charge fanned-out traffic.
+  // Per-replica transport stats are exposed via replication_stats().
+  NetworkStats* network_stats() override { return nullptr; }
+
+  ReplicationStats replication_stats() override;
+  void NoteEpochRetired(EpochId epoch) override;
+  Status TryHealReplicas() override;
+
+  // Test hook: index of the replica reads currently go to (-1 if none).
+  int PrimaryIndexForTest();
+
+ private:
+  struct Replica {
+    std::shared_ptr<BucketStore> store;
+    ReplicaHealth health = ReplicaHealth::kCurrent;
+    uint64_t lag_start_epoch = 0;
+    // A heal pass is in flight for this replica (K shard views share one
+    // replica set and may all kick TryHealReplicas; only one pass runs).
+    bool healing = false;
+    // Buckets whose state on this replica is stale (missed writes/truncates
+    // while lagging). Epoch replay rebuilds exactly these.
+    std::set<BucketIndex> dirty;
+  };
+
+  int PrimaryIndexLocked() const;
+  // Demote `index` after a retryable failure; never demotes the last
+  // current replica (someone has to keep serving — errors then propagate).
+  // Returns true if another current replica remains to fail over to.
+  bool DemoteLocked(size_t index, bool count_failover);
+  void MarkLaggingDirtyLocked(size_t index, BucketIndex bucket);
+  // Applies a quorum-acknowledged write/truncate to the live version index.
+  void RecordWriteLocked(BucketIndex bucket, uint32_t version, uint32_t slot_count);
+  void RecordTruncateLocked(BucketIndex bucket, uint32_t keep_from_version);
+  Status FinishWriteLocked(const std::vector<BucketImage>& images,
+                           const std::vector<TruncateRef>& truncates, uint32_t oks,
+                           const std::vector<size_t>& retryable_failures, Status first_error);
+  // One full catch-up attempt for one lagging replica. HealReplica guards
+  // with the healing flag; HealReplicaImpl does the replay rounds.
+  Status HealReplica(size_t index);
+  Status HealReplicaImpl(size_t index);
+
+  template <typename Result>
+  std::vector<StatusOr<Result>> ReadWithFailover(
+      const std::function<std::vector<StatusOr<Result>>(BucketStore&)>& op, size_t n);
+
+  struct AsyncReadCtx;
+  struct AsyncXorCtx;
+  struct AsyncWriteCtx;
+  void SubmitReadSlots(std::shared_ptr<AsyncReadCtx> ctx);
+  void SubmitReadPathsXor(std::shared_ptr<AsyncXorCtx> ctx);
+
+  const ReplicatedStoreOptions options_;
+  const uint32_t quorum_;
+
+  mutable std::mutex mu_;
+  std::vector<Replica> replicas_;
+  // Live version index per bucket: version -> slot count. This is the whole
+  // replicated state under shadow paging, and the replay plan for catch-up.
+  std::vector<std::map<uint32_t, uint32_t>> live_;
+  uint64_t epoch_ = 0;
+  uint64_t failovers_ = 0;
+  uint64_t resyncs_ = 0;
+  uint64_t resync_epochs_ = 0;
+  uint64_t generation_ = 0;
+};
+
+class ReplicatedLogStore : public LogStore {
+ public:
+  ReplicatedLogStore(std::vector<std::shared_ptr<LogStore>> replicas,
+                     ReplicatedStoreOptions options = {});
+
+  StatusOr<uint64_t> Append(Bytes record) override;
+  StatusOr<uint64_t> AppendSync(Bytes record) override;
+  Status Sync() override;
+  StatusOr<std::vector<Bytes>> ReadAll() override;
+  Status Truncate(uint64_t upto_lsn) override;
+  uint64_t NextLsn() const override;
+  NetworkStats* network_stats() override { return nullptr; }
+
+  ReplicationStats replication_stats() override;
+  void NoteEpochRetired(EpochId epoch) override;
+  Status TryHealReplicas() override;
+
+  int PrimaryIndexForTest();
+
+ private:
+  // One buffered op a lagging replica may still need to replay. Appends
+  // carry their assigned LSN so replay can verify the replica assigns the
+  // same one (LSN divergence means lost acknowledged data -> dead).
+  struct Op {
+    bool truncate = false;
+    uint64_t lsn_or_upto = 0;
+    Bytes record;
+  };
+  struct Replica {
+    std::shared_ptr<LogStore> store;
+    ReplicaHealth health = ReplicaHealth::kCurrent;
+    uint64_t lag_start_epoch = 0;
+    bool healing = false;
+    // Global index (ops_base_-relative deque offsetting) of the next op this
+    // replica needs. Current replicas always sit at the buffer end.
+    uint64_t next_op = 0;
+    // The op at next_op is an append whose fate is unknown (the transport
+    // failed after send). Catch-up probes NextLsn() before replaying.
+    bool ambiguous = false;
+  };
+
+  int PrimaryIndexLocked() const;
+  // `demote_last`: appends must demote even the last current replica (the
+  // LSN bookkeeping cannot keep serving past a missed record); read
+  // failover keeps the last replica serving instead.
+  bool DemoteLocked(size_t index, bool ambiguous, bool count_failover, bool demote_last);
+  // Drop buffered ops every non-dead replica has applied; kill laggards
+  // whose tail exceeds the byte cap.
+  void TrimOpsLocked();
+  StatusOr<uint64_t> AppendImpl(Bytes record, bool fused_sync);
+  Status HealReplica(size_t index);
+  Status HealReplicaImpl(size_t index);
+
+  const ReplicatedStoreOptions options_;
+  const uint32_t quorum_;
+
+  mutable std::mutex mu_;
+  std::vector<Replica> replicas_;
+  std::deque<Op> ops_;
+  uint64_t ops_base_ = 0;   // global index of ops_.front()
+  size_t ops_bytes_ = 0;    // payload bytes buffered in ops_
+  uint64_t next_lsn_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t failovers_ = 0;
+  uint64_t resyncs_ = 0;
+  uint64_t resync_epochs_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace obladi
+
+#endif  // OBLADI_SRC_NET_REPLICATED_STORE_H_

@@ -114,6 +114,15 @@ void AdminServer::ServeOne(TcpSocket sock) {
     return;
   }
   std::string path = ParseRequestPath(head);
+  // Registered handlers win over the built-in endpoints, so a server can
+  // enrich /healthz (the proxy adds per-replica health) without losing the
+  // default for processes that never register one.
+  for (const Handler& h : handlers_) {
+    if (h.path == path) {
+      SendHttp(sock, 200, "OK", h.content_type, h.producer());
+      return;
+    }
+  }
   if (path == "/healthz") {
     SendHttp(sock, 200, "OK", "text/plain", "ok\n");
     return;
@@ -121,12 +130,6 @@ void AdminServer::ServeOne(TcpSocket sock) {
   if (path == "/metrics" && registry_ != nullptr) {
     SendHttp(sock, 200, "OK", "text/plain; version=0.0.4", registry_->PrometheusText());
     return;
-  }
-  for (const Handler& h : handlers_) {
-    if (h.path == path) {
-      SendHttp(sock, 200, "OK", h.content_type, h.producer());
-      return;
-    }
   }
   SendHttp(sock, 404, "Not Found", "text/plain", "not found\n");
 }

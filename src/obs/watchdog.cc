@@ -9,6 +9,10 @@ namespace obladi {
 
 namespace {
 constexpr size_t kMaxRecentViolations = 32;
+// Below this per-epoch reference, a labeled source is idle (a demoted
+// replica seeing only heartbeats/probes): relative bands over noise that
+// small flag nothing but jitter, so the check waits for real traffic.
+constexpr uint64_t kMinLabeledReferenceBytes = 4096;
 }
 
 TraceShapeWatchdog::TraceShapeWatchdog(WatchdogSpec spec)
@@ -21,6 +25,15 @@ void TraceShapeWatchdog::SetWireByteSource(
   std::lock_guard<std::mutex> lk(mu_);
   byte_source_ = std::move(source);
   have_byte_sample_ = false;
+}
+
+void TraceShapeWatchdog::AddWireByteSource(std::string label,
+                                           std::function<WireByteSample()> source) {
+  std::lock_guard<std::mutex> lk(mu_);
+  LabeledByteSource s;
+  s.label = std::move(label);
+  s.source = std::move(source);
+  labeled_sources_.push_back(std::move(s));
 }
 
 void TraceShapeWatchdog::SetOnViolation(std::function<void(const std::string&)> cb) {
@@ -71,6 +84,8 @@ void TraceShapeWatchdog::ObserveEpochClose() {
     bumps_this_epoch_[s] = 0;
   }
 
+  CheckLabeledSourcesLocked();
+
   if (!byte_source_ || spec_.wire_byte_tolerance <= 0) {
     return;
   }
@@ -109,6 +124,57 @@ void TraceShapeWatchdog::ObserveEpochClose() {
   check("received", delta.second, reference_delta_.second);
 }
 
+void TraceShapeWatchdog::CheckLabeledSourcesLocked() {
+  if (spec_.wire_byte_tolerance <= 0) {
+    return;
+  }
+  for (LabeledByteSource& src : labeled_sources_) {
+    WireByteSample sample = src.source();
+    if (!src.have_sample || sample.generation != src.last.generation) {
+      // First boundary, a post-recovery reset, or the replica topology
+      // changed underneath this source: traffic legitimately moved, so
+      // re-warm and re-reference rather than flag the shift.
+      src.have_sample = true;
+      src.last = sample;
+      src.have_reference = false;
+      src.epochs_seen = 0;
+      continue;
+    }
+    std::pair<uint64_t, uint64_t> delta{sample.sent - src.last.sent,
+                                        sample.received - src.last.received};
+    src.last = sample;
+    ++src.epochs_seen;
+    if (src.epochs_seen <= spec_.byte_warmup_epochs) {
+      continue;
+    }
+    if (!src.have_reference) {
+      src.have_reference = true;
+      src.reference = delta;
+      continue;
+    }
+    if (src.reference.first < kMinLabeledReferenceBytes &&
+        src.reference.second < kMinLabeledReferenceBytes) {
+      // Idle source (e.g. a lagging replica receiving only probes). Pick up
+      // a fresh reference so the band is meaningful once traffic arrives.
+      src.reference = delta;
+      continue;
+    }
+    auto check = [&](const char* direction, uint64_t got, uint64_t ref) {
+      double lo = static_cast<double>(ref) * (1.0 - spec_.wire_byte_tolerance);
+      double hi = static_cast<double>(ref) * (1.0 + spec_.wire_byte_tolerance);
+      if (static_cast<double>(got) < lo || static_cast<double>(got) > hi) {
+        ViolationLocked("per-epoch wire bytes " + std::string(direction) + " for " + src.label +
+                        " = " + std::to_string(got) + " outside the shaped band [" +
+                        std::to_string(static_cast<uint64_t>(lo)) + ", " +
+                        std::to_string(static_cast<uint64_t>(hi)) + "] around reference " +
+                        std::to_string(ref));
+      }
+    };
+    check("sent", delta.first, src.reference.first);
+    check("received", delta.second, src.reference.second);
+  }
+}
+
 void TraceShapeWatchdog::ResetEpoch() {
   std::lock_guard<std::mutex> lk(mu_);
   for (uint32_t s = 0; s < spec_.num_shards; ++s) {
@@ -116,9 +182,12 @@ void TraceShapeWatchdog::ResetEpoch() {
     bumps_this_epoch_[s] = 0;
   }
   // Recovery traffic (bucket restores, WAL replay) is legitimately
-  // unshaped: invalidate the running byte sample so the next boundary only
-  // re-seeds it.
+  // unshaped: invalidate the running byte samples so the next boundary only
+  // re-seeds them.
   have_byte_sample_ = false;
+  for (LabeledByteSource& src : labeled_sources_) {
+    src.have_sample = false;
+  }
 }
 
 uint64_t TraceShapeWatchdog::violations() const {

@@ -62,6 +62,19 @@ class TraceShapeWatchdog {
   // Optional cumulative (bytes_sent, bytes_received) sampler, read at each
   // epoch close. Attach before traffic starts.
   void SetWireByteSource(std::function<std::pair<uint64_t, uint64_t>()> source);
+
+  // Per-replica byte sampler. Each labeled source gets its own reference
+  // band, so the oblivious-shape invariant extends to every replica's view
+  // of the traffic (a primary and its replicas each see shaped streams).
+  // `generation` is the replica topology generation: when it changes
+  // (failover, demotion, promotion) the traffic legitimately moves between
+  // replicas, so the source re-seeds its reference instead of flagging.
+  struct WireByteSample {
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    uint64_t generation = 0;
+  };
+  void AddWireByteSource(std::string label, std::function<WireByteSample()> source);
   // Fires under the watchdog lock: keep it cheap and do not call back into
   // this watchdog from inside it.
   void SetOnViolation(std::function<void(const std::string&)> cb);
@@ -76,13 +89,25 @@ class TraceShapeWatchdog {
   std::vector<std::string> recent_violations() const;
 
  private:
+  struct LabeledByteSource {
+    std::string label;
+    std::function<WireByteSample()> source;
+    bool have_sample = false;
+    WireByteSample last;
+    bool have_reference = false;
+    std::pair<uint64_t, uint64_t> reference{0, 0};
+    uint64_t epochs_seen = 0;  // re-warms after every topology change
+  };
+
   void ViolationLocked(const std::string& message);
+  void CheckLabeledSourcesLocked();
 
   WatchdogSpec spec_;
   mutable std::mutex mu_;
   std::vector<size_t> batches_this_epoch_;  // per shard
   std::vector<size_t> bumps_this_epoch_;    // per shard
   std::function<std::pair<uint64_t, uint64_t>()> byte_source_;
+  std::vector<LabeledByteSource> labeled_sources_;
   std::function<void(const std::string&)> on_violation_;
   bool have_byte_sample_ = false;
   std::pair<uint64_t, uint64_t> last_byte_sample_{0, 0};

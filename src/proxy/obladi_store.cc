@@ -54,6 +54,7 @@ ObladiStore::ObladiStore(ObladiConfig cfg,
   shard_stores_ = std::move(shard_stores);
   oram_ = MakeOramSet(cfg_.seed);
   AttachWatchdog();
+  RegisterReplicaByteSources();
 }
 
 ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
@@ -99,6 +100,7 @@ ObladiStore::ObladiStore(ObladiConfig cfg, std::shared_ptr<BucketStore> store,
     InstallPlanHook(/*rendezvous=*/true);
   }
   SetupObservability();
+  RegisterReplicaByteSources();
   epoch_batches_.resize(cfg_.read_batches_per_epoch);
   ResetEpochBatchesLocked();
   // The retirement worker exists in every mode: manual-mode FinishEpochNow
@@ -183,6 +185,39 @@ void ObladiStore::SetupObservability() {
                    "circuit-breaker open transitions (all tiers)");
       sink.Counter("net_retries_total", {}, retries_sum,
                    "retry-policy resubmissions (all tiers)");
+      // Replication tier: failover/resync counters per replicated store,
+      // per-replica health and lag gauges, and each replica's own transport
+      // counters (the replicated wrapper deliberately exposes no aggregate).
+      uint64_t failover_sum = 0;
+      uint64_t resync_epoch_sum = 0;
+      for (const auto& [labels, rs] : CollectReplicationStats()) {
+        failover_sum += rs.failovers;
+        resync_epoch_sum += rs.resync_epochs;
+        sink.Counter("failover_total", labels, rs.failovers,
+                     "automatic primary failovers on read-path failures");
+        sink.Counter("replica_resyncs_total", labels, rs.resyncs,
+                     "completed replica catch-up passes");
+        sink.Counter("replica_resync_epochs_total", labels, rs.resync_epochs,
+                     "cumulative epochs of lag cleared by replica resyncs");
+        for (const ReplicaInfo& rep : rs.replicas) {
+          MetricLabels rl = labels;
+          rl.emplace_back("replica", std::to_string(rep.index));
+          sink.Gauge("replica_lag_epochs", rl, static_cast<double>(rep.lag_epochs),
+                     "epochs this replica is behind the acknowledged state");
+          sink.Gauge("replica_healthy", rl,
+                     rep.health == ReplicaHealth::kCurrent ? 1.0 : 0.0,
+                     "1 = replica is current and serving");
+          sink.Gauge("replica_primary", rl, rep.primary ? 1.0 : 0.0,
+                     "1 = reads currently target this replica");
+          if (rep.stats != nullptr) {
+            ExportNetworkStats(sink, *rep.stats, rl);
+          }
+        }
+      }
+      sink.Counter("failover_all_total", {}, failover_sum,
+                   "automatic primary failovers (all replicated stores)");
+      sink.Counter("replica_resync_epochs_all_total", {}, resync_epoch_sum,
+                   "epochs of replica lag cleared (all replicated stores)");
       {
         // Shard health: which storage node a degradation/abort came from.
         std::lock_guard<std::mutex> lk(mu_);
@@ -222,6 +257,7 @@ void ObladiStore::SetupObservability() {
     admin_ = std::make_unique<AdminServer>(opts, metrics_.get());
     admin_->AddHandler("/trace", "application/json",
                        [] { return Tracer::Get().ChromeTraceJson(); });
+    admin_->AddHandler("/healthz", "text/plain", [this] { return HealthzText(); });
     Status st = admin_->Start();
     if (!st.ok()) {
       // A busy port should not take the proxy down with it.
@@ -252,6 +288,115 @@ std::vector<std::pair<MetricLabels, NetworkStats*>> ObladiStore::CollectNetworkS
   }
   if (log_ != nullptr && log_->network_stats() != nullptr) {
     out.emplace_back(MetricLabels{{"tier", "log"}}, log_->network_stats());
+  }
+  return out;
+}
+
+std::vector<std::pair<MetricLabels, ReplicationStats>> ObladiStore::CollectReplicationStats()
+    const {
+  std::vector<std::pair<MetricLabels, ReplicationStats>> out;
+  auto add = [&](MetricLabels labels, ReplicationStats rs) {
+    if (!rs.replicas.empty()) {
+      out.emplace_back(std::move(labels), std::move(rs));
+    }
+  };
+  if (store_ != nullptr) {
+    add(MetricLabels{{"tier", "bucket"}}, store_->replication_stats());
+  }
+  for (size_t s = 0; s < shard_stores_.size(); ++s) {
+    if (shard_stores_[s] != nullptr) {
+      add(MetricLabels{{"tier", "bucket"}, {"shard", std::to_string(s)}},
+          shard_stores_[s]->replication_stats());
+    }
+  }
+  if (log_ != nullptr) {
+    add(MetricLabels{{"tier", "log"}}, log_->replication_stats());
+  }
+  return out;
+}
+
+void ObladiStore::RegisterReplicaByteSources() {
+  if (!watchdog_) {
+    return;
+  }
+  auto sample_of = [](const ReplicationStats& rs,
+                      size_t index) -> TraceShapeWatchdog::WireByteSample {
+    TraceShapeWatchdog::WireByteSample out;
+    out.generation = rs.generation;
+    if (index < rs.replicas.size() && rs.replicas[index].stats != nullptr) {
+      out.sent = rs.replicas[index].stats->bytes_sent.load(std::memory_order_relaxed);
+      out.received = rs.replicas[index].stats->bytes_received.load(std::memory_order_relaxed);
+    }
+    return out;
+  };
+  auto add_bucket = [&](const std::string& label, const std::shared_ptr<BucketStore>& store) {
+    if (store == nullptr) {
+      return;
+    }
+    ReplicationStats rs = store->replication_stats();
+    for (size_t r = 0; r < rs.replicas.size(); ++r) {
+      if (rs.replicas[r].stats == nullptr) {
+        continue;  // replica without transport counters: nothing to band-check
+      }
+      std::string name = label + "/replica" + std::to_string(r);
+      if (!replica_byte_sources_registered_.insert(name).second) {
+        continue;
+      }
+      watchdog_->AddWireByteSource(
+          name, [store, r, sample_of] { return sample_of(store->replication_stats(), r); });
+    }
+  };
+  add_bucket("bucket", store_);
+  for (size_t s = 0; s < shard_stores_.size(); ++s) {
+    add_bucket("bucket/shard" + std::to_string(s), shard_stores_[s]);
+  }
+  if (log_ != nullptr) {
+    ReplicationStats rs = log_->replication_stats();
+    for (size_t r = 0; r < rs.replicas.size(); ++r) {
+      if (rs.replicas[r].stats == nullptr) {
+        continue;
+      }
+      std::string name = "log/replica" + std::to_string(r);
+      if (!replica_byte_sources_registered_.insert(name).second) {
+        continue;
+      }
+      std::shared_ptr<LogStore> log = log_;
+      watchdog_->AddWireByteSource(
+          name, [log, r, sample_of] { return sample_of(log->replication_stats(), r); });
+    }
+  }
+}
+
+void ObladiStore::DriveReplicaHealing(EpochId epoch) {
+  auto drive = [&](BucketStore* store) {
+    if (store != nullptr) {
+      store->NoteEpochRetired(epoch);
+      (void)store->TryHealReplicas();  // failure: replica stays lagging, retried next epoch
+    }
+  };
+  drive(store_.get());
+  for (const auto& store : shard_stores_) {
+    drive(store.get());
+  }
+  if (log_ != nullptr) {
+    log_->NoteEpochRetired(epoch);
+    (void)log_->TryHealReplicas();
+  }
+}
+
+std::string ObladiStore::HealthzText() const {
+  std::string out = "ok\n";
+  for (const auto& [labels, rs] : CollectReplicationStats()) {
+    std::string where;
+    for (const auto& [k, v] : labels) {
+      where += (where.empty() ? "" : ",") + k + "=" + v;
+    }
+    for (const ReplicaInfo& rep : rs.replicas) {
+      out += "replica{" + where + ",replica=" + std::to_string(rep.index) +
+             "} health=" + ReplicaHealthName(rep.health) +
+             (rep.primary ? " primary" : "") +
+             " lag_epochs=" + std::to_string(rep.lag_epochs) + "\n";
+    }
   }
   return out;
 }
@@ -930,6 +1075,11 @@ void ObladiStore::RetireLoop() {
     if (st.ok() && recovery_) {
       st = oram_->TruncateStaleVersions();
     }
+    // 6. Replica upkeep: report the retired epoch (lag is counted in
+    //    epochs) and drive one catch-up pass over any lagging replicas —
+    //    off the commit critical path, so clients keep committing while a
+    //    healed node resyncs. No-ops on unreplicated deployments.
+    DriveReplicaHealing(job.epoch);
     {
       std::lock_guard<std::mutex> rlk(retire_mu_);
       if (!st.ok() && retire_status_.ok()) {

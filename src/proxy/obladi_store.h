@@ -80,6 +80,8 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <set>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -348,6 +350,22 @@ class ObladiStore : public TransactionalKv {
   // Every backing store (shared or per-shard, plus the log) that exposes
   // transport counters, labeled for metric export.
   std::vector<std::pair<MetricLabels, NetworkStats*>> CollectNetworkStats() const;
+  // Replica-set health/counters of every replicated backing store, labeled
+  // like CollectNetworkStats (empty for unreplicated deployments).
+  std::vector<std::pair<MetricLabels, ReplicationStats>> CollectReplicationStats() const;
+  // Per-replica wire-byte sources for the trace-shape watchdog. Called at
+  // the end of BOTH constructors: the per-shard form installs its stores
+  // after the delegated constructor already ran SetupObservability.
+  void RegisterReplicaByteSources();
+  // Retire-loop hook: report the retired epoch to every replicated store
+  // (lag is measured in epochs) and drive one catch-up pass.
+  void DriveReplicaHealing(EpochId epoch);
+  // Body for the admin server's /healthz: overall status plus one line per
+  // replica of every replicated store.
+  std::string HealthzText() const;
+  // Labels already wired into the watchdog (the delegating constructor runs
+  // RegisterReplicaByteSources twice; the log's sources must not double up).
+  std::set<std::string> replica_byte_sources_registered_;
 
   ObladiConfig cfg_;
   std::shared_ptr<BucketStore> store_;  // shared-store form (empty shard_stores_)

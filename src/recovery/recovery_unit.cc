@@ -286,6 +286,11 @@ StatusOr<RecoveryUnit::RecoveredState> RecoveryUnit::Recover() {
   Stopwatch total;
 
   Stopwatch fetch;
+  // With a replicated WAL, recovery must not replay a lagging replica's
+  // shortened history: drive catch-up first so the read below sees every
+  // acknowledged record (no-op on unreplicated logs). Failure is fine —
+  // ReadAll fails over to a replica holding the full acknowledged prefix.
+  (void)log_->TryHealReplicas();
   auto records = log_->ReadAll();
   if (!records.ok()) {
     return records.status();

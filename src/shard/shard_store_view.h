@@ -129,6 +129,14 @@ class ShardStoreView : public BucketStore {
 
   size_t num_buckets() const override { return num_buckets_; }
 
+  // Replication hooks forward untranslated: K views share ONE replica set,
+  // and the hooks are idempotent (reporting the same retired epoch or
+  // kicking the same heal pass K times is harmless), so the proxy may call
+  // them through any or all views.
+  ReplicationStats replication_stats() override { return base_->replication_stats(); }
+  void NoteEpochRetired(EpochId epoch) override { base_->NoteEpochRetired(epoch); }
+  Status TryHealReplicas() override { return base_->TryHealReplicas(); }
+
  private:
   Status CheckRange(BucketIndex bucket) const {
     if (bucket >= num_buckets_) {

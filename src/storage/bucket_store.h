@@ -22,6 +22,44 @@ namespace obladi {
 
 struct NetworkStats;  // src/storage/latency_store.h
 
+// --- replication ------------------------------------------------------------
+// Health of one replica behind a replicated store (src/net/replicated_store).
+enum class ReplicaHealth : uint8_t {
+  kCurrent = 0,  // serving; holds every acknowledged write
+  kLagging = 1,  // fell behind (unreachable or failed a write); resync pending
+  kDead = 2,     // excluded: cannot be caught up (LSN misalignment / overflow)
+};
+
+inline const char* ReplicaHealthName(ReplicaHealth h) {
+  switch (h) {
+    case ReplicaHealth::kCurrent: return "current";
+    case ReplicaHealth::kLagging: return "lagging";
+    case ReplicaHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+struct ReplicaInfo {
+  uint32_t index = 0;
+  bool primary = false;
+  ReplicaHealth health = ReplicaHealth::kCurrent;
+  // Epochs retired since this replica fell behind (0 when current).
+  uint64_t lag_epochs = 0;
+  // Transport counters of the replica's own store, when it has any.
+  NetworkStats* stats = nullptr;
+};
+
+struct ReplicationStats {
+  uint64_t failovers = 0;      // primary moves forced by read-path failures
+  uint64_t resyncs = 0;        // completed catch-up passes
+  uint64_t resync_epochs = 0;  // cumulative epochs of lag cleared by resyncs
+  // Bumps on every topology change (failover, demote, promote): consumers
+  // whose per-replica baselines become stale across a change (the trace
+  // watchdog's wire-byte bands) key re-referencing off this.
+  uint64_t generation = 0;
+  std::vector<ReplicaInfo> replicas;  // empty for unreplicated stores
+};
+
 struct SlotAddress {
   BucketIndex bucket = 0;
   SlotIndex slot = 0;
@@ -202,6 +240,17 @@ class BucketStore {
   // metrics without knowing which concrete store it was built over.
   // In-memory stores return nullptr.
   virtual NetworkStats* network_stats() { return nullptr; }
+
+  // --- replication hooks ----------------------------------------------------
+  // No-ops on unreplicated stores; ReplicatedBucketStore overrides all three.
+  // Replica-set health and counters (empty `replicas` when unreplicated).
+  virtual ReplicationStats replication_stats() { return {}; }
+  // The proxy's retire loop reports each retired epoch so lag is measured in
+  // epochs (the unit catch-up replays in), not wall time.
+  virtual void NoteEpochRetired(EpochId epoch) { (void)epoch; }
+  // Attempt one catch-up pass over lagging replicas (epoch-replay resync).
+  // Safe to call when nothing lags; returns the first replay error.
+  virtual Status TryHealReplicas() { return Status::Ok(); }
 };
 
 // Append-only durable log used by the recovery unit (§8).
@@ -240,6 +289,11 @@ class LogStore {
 
   // See BucketStore::network_stats().
   virtual NetworkStats* network_stats() { return nullptr; }
+
+  // See the BucketStore replication hooks; ReplicatedLogStore overrides.
+  virtual ReplicationStats replication_stats() { return {}; }
+  virtual void NoteEpochRetired(EpochId epoch) { (void)epoch; }
+  virtual Status TryHealReplicas() { return Status::Ok(); }
 };
 
 }  // namespace obladi

@@ -5,12 +5,24 @@
 
 #include <cstring>
 
+#include "src/common/crc32.h"
+
 namespace obladi {
 
 namespace {
 
 constexpr uint8_t kRecordWrite = 1;
 constexpr uint8_t kRecordTruncate = 2;
+
+// Format v2 header: magic + version, then records each followed by a CRC32
+// of the record bytes. Headerless files are v1 (the pre-checksum layout):
+// their first byte is a record type (1 or 2), never 'O', so the formats are
+// distinguishable and old files stay readable (and are appended to in v1
+// framing, keeping one file internally consistent).
+constexpr uint8_t kMagic[4] = {'O', 'B', 'K', 'T'};
+constexpr uint32_t kFormatV2 = 2;
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kCrcBytes = 4;
 
 void PutU32(std::vector<uint8_t>& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v));
@@ -60,7 +72,32 @@ Status FileBucketStore::ScanFile() {
     }
   }
   size_t pos = 0;
-  uint64_t good_end = 0;
+  if (data.empty()) {
+    // Fresh file: stamp the v2 header so every record it ever holds is
+    // checksummed.
+    file_version_ = kFormatV2;
+    std::vector<uint8_t> header(kMagic, kMagic + 4);
+    PutU32(header, kFormatV2);
+    if (::pwrite(fd_, header.data(), header.size(), 0) !=
+        static_cast<ssize_t>(header.size())) {
+      return Status::Unavailable("cannot write header of " + path_);
+    }
+    end_offset_ = kHeaderBytes;
+    return Status::Ok();
+  }
+  if (data.size() >= kHeaderBytes && std::memcmp(data.data(), kMagic, 4) == 0) {
+    uint32_t version = GetU32(&data[4]);
+    if (version != kFormatV2) {
+      return Status::DataLoss("unsupported bucket store format version " +
+                              std::to_string(version) + " in " + path_);
+    }
+    file_version_ = kFormatV2;
+    pos = kHeaderBytes;
+  } else {
+    file_version_ = 1;  // legacy headerless file: records carry no CRC
+  }
+  const size_t trailer = file_version_ >= kFormatV2 ? kCrcBytes : 0;
+  uint64_t good_end = pos;
   while (pos < data.size()) {
     const size_t start = pos;
     uint8_t type = data[pos++];
@@ -92,19 +129,44 @@ Status FileBucketStore::ScanFile() {
         slots.push_back({static_cast<uint64_t>(pos), len});
         pos += len;
       }
+      if (!torn && pos + trailer > data.size()) {
+        torn = true;
+      }
       if (torn) {
         pos = start;
         break;
       }
+      if (trailer > 0) {
+        uint32_t want = GetU32(&data[pos]);
+        uint32_t got = Crc32(&data[start], pos - start);
+        pos += kCrcBytes;
+        if (want != got) {
+          // Every byte of the record is present but the checksum disagrees:
+          // this is corruption, not a crash-torn append — refuse the store.
+          return Status::DataLoss(
+              "bucket store record CRC mismatch at offset " + std::to_string(start) +
+              " in " + path_ + " (corrupted record, not a torn tail)");
+        }
+      }
       buckets_[bucket][version] = std::move(slots);
       good_end = pos;
     } else if (type == kRecordTruncate) {
-      if (pos + 8 > data.size()) {
+      if (pos + 8 + trailer > data.size()) {
         break;  // torn tail
       }
       uint32_t bucket = GetU32(&data[pos]);
       uint32_t keep_from = GetU32(&data[pos + 4]);
       pos += 8;
+      if (trailer > 0) {
+        uint32_t want = GetU32(&data[pos]);
+        uint32_t got = Crc32(&data[start], pos - start);
+        pos += kCrcBytes;
+        if (want != got) {
+          return Status::DataLoss(
+              "bucket store record CRC mismatch at offset " + std::to_string(start) +
+              " in " + path_ + " (corrupted record, not a torn tail)");
+        }
+      }
       if (bucket >= num_buckets_) {
         return Status::DataLoss("corrupt bucket store record in " + path_);
       }
@@ -124,7 +186,10 @@ Status FileBucketStore::ScanFile() {
   return Status::Ok();
 }
 
-Status FileBucketStore::AppendRecord(const std::vector<uint8_t>& record) {
+Status FileBucketStore::AppendRecord(std::vector<uint8_t>& record) {
+  if (file_version_ >= kFormatV2) {
+    PutU32(record, Crc32(record.data(), record.size()));
+  }
   ssize_t put = ::pwrite(fd_, record.data(), record.size(),
                          static_cast<off_t>(end_offset_));
   if (put != static_cast<ssize_t>(record.size())) {
@@ -180,7 +245,7 @@ Status FileBucketStore::WriteBucket(BucketIndex bucket, uint32_t version,
   for (const Bytes& s : slots) {
     payload += 4 + s.size();
   }
-  record.reserve(13 + payload);
+  record.reserve(13 + payload + kCrcBytes);
   record.push_back(kRecordWrite);
   PutU32(record, bucket);
   PutU32(record, version);
@@ -207,7 +272,7 @@ Status FileBucketStore::TruncateBucket(BucketIndex bucket, uint32_t keep_from_ve
     return Status::InvalidArgument("bucket out of range");
   }
   std::vector<uint8_t> record;
-  record.reserve(9);
+  record.reserve(9 + kCrcBytes);
   record.push_back(kRecordTruncate);
   PutU32(record, bucket);
   PutU32(record, keep_from_version);
@@ -233,6 +298,11 @@ size_t FileBucketStore::TotalVersions() const {
 uint64_t FileBucketStore::FileBytes() const {
   std::lock_guard<std::mutex> lk(mu_);
   return end_offset_;
+}
+
+uint32_t FileBucketStore::FileFormatVersion() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return file_version_;
 }
 
 }  // namespace obladi

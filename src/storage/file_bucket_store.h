@@ -9,6 +9,13 @@
 // TruncateBucket drops versions from the index and logs a truncate record so
 // the drop survives reopen; file space is not reclaimed (the nemesis and
 // conformance workloads are bounded, and compaction is a non-goal here).
+//
+// File format v2 stamps a magic+version header on fresh files and appends a
+// CRC32 after every record, so the open-time scan can distinguish a *torn*
+// tail (crash mid-append; cut off and repaired, as before) from a
+// *corrupted* record (all bytes present, checksum wrong; the store fails
+// closed with DataLoss). Headerless v1 files remain readable and keep v1
+// framing for their own appends.
 #ifndef OBLADI_SRC_STORAGE_FILE_BUCKET_STORE_H_
 #define OBLADI_SRC_STORAGE_FILE_BUCKET_STORE_H_
 
@@ -40,6 +47,8 @@ class FileBucketStore : public BucketStore {
   // Test hooks.
   size_t TotalVersions() const;
   uint64_t FileBytes() const;
+  // 1 = legacy headerless/no-CRC layout, 2 = current checksummed layout.
+  uint32_t FileFormatVersion() const;
 
  private:
   struct SlotLocation {
@@ -50,7 +59,8 @@ class FileBucketStore : public BucketStore {
   using VersionIndex = std::map<uint32_t, std::vector<SlotLocation>>;
 
   Status ScanFile();
-  Status AppendRecord(const std::vector<uint8_t>& record);
+  // Appends the record's CRC trailer (v2 files) and writes it out.
+  Status AppendRecord(std::vector<uint8_t>& record);
 
   const std::string path_;
   const size_t num_buckets_;
@@ -61,6 +71,7 @@ class FileBucketStore : public BucketStore {
   int fd_ = -1;
   Status open_status_;        // non-OK when the file could not be opened/scanned
   uint64_t end_offset_ = 0;   // append position (file size after tail repair)
+  uint32_t file_version_ = 2;
   std::vector<VersionIndex> buckets_;
 };
 

@@ -4,16 +4,61 @@
 
 #include <cstring>
 
+#include "src/common/crc32.h"
 #include "src/common/serde.h"
 
 namespace obladi {
 
+namespace {
+
+// Format v2 header: magic + version; each record is then
+// u64 lsn | u32 len | payload | u32 crc(header + payload). Headerless files
+// are v1 (no CRC): their first 8 bytes are a little-endian LSN of the first
+// record (always small), never the magic, so the formats are
+// distinguishable and old WALs stay readable.
+constexpr uint8_t kMagic[4] = {'O', 'B', 'L', 'G'};
+constexpr uint32_t kFormatV2 = 2;
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kCrcBytes = 4;
+
+}  // namespace
+
 FileLogStore::FileLogStore(std::string path) : path_(std::move(path)) {
   file_ = std::fopen(path_.c_str(), "ab+");
-  auto existing = ScanAll();
-  if (existing.ok() && !existing->empty()) {
-    next_lsn_ = existing->back().first + 1;
+  if (file_ == nullptr) {
+    return;
   }
+  std::fseek(file_, 0, SEEK_END);
+  if (std::ftell(file_) == 0) {
+    // Fresh file: stamp the v2 header so every record is checksummed.
+    BinaryWriter header;
+    header.PutRaw(kMagic, 4);
+    header.PutU32(kFormatV2);
+    std::fwrite(header.bytes().data(), 1, header.size(), file_);
+    std::fflush(file_);
+    file_version_ = kFormatV2;
+    return;
+  }
+  uint64_t good_end = 0;
+  auto existing = ScanAll(&good_end);
+  if (existing.ok()) {
+    if (!existing->empty()) {
+      next_lsn_ = existing->back().first + 1;
+    }
+    // Repair a torn tail left by a crash mid-append, so "ab+" appends land
+    // right after the last intact record instead of behind unparseable
+    // bytes that would shadow them from every future scan.
+    std::fseek(file_, 0, SEEK_END);
+    long size = std::ftell(file_);
+    if (size > 0 && good_end < static_cast<uint64_t>(size)) {
+      std::fflush(file_);
+      if (::ftruncate(fileno(file_), static_cast<off_t>(good_end)) == 0) {
+        std::fseek(file_, 0, SEEK_END);
+      }
+    }
+  }
+  // A CRC-corrupt log is left untouched: ReadAll (recovery's entry point)
+  // keeps failing closed with the DataLoss diagnostic.
 }
 
 FileLogStore::~FileLogStore() {
@@ -28,12 +73,15 @@ StatusOr<uint64_t> FileLogStore::Append(Bytes record) {
     return Status::Unavailable("log file not open");
   }
   uint64_t lsn = next_lsn_++;
-  BinaryWriter header;
-  header.PutU64(lsn);
-  header.PutU32(static_cast<uint32_t>(record.size()));
+  BinaryWriter framed;
+  framed.PutU64(lsn);
+  framed.PutU32(static_cast<uint32_t>(record.size()));
+  framed.PutRaw(record.data(), record.size());
+  if (file_version_ >= kFormatV2) {
+    framed.PutU32(Crc32(framed.bytes()));
+  }
   std::fseek(file_, 0, SEEK_END);
-  if (std::fwrite(header.bytes().data(), 1, header.size(), file_) != header.size() ||
-      std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+  if (std::fwrite(framed.bytes().data(), 1, framed.size(), file_) != framed.size()) {
     return Status::Unavailable("log append failed");
   }
   return lsn;
@@ -50,7 +98,8 @@ Status FileLogStore::Sync() {
   return Status::Ok();
 }
 
-StatusOr<std::vector<std::pair<uint64_t, Bytes>>> FileLogStore::ScanAll() {
+StatusOr<std::vector<std::pair<uint64_t, Bytes>>> FileLogStore::ScanAll(
+    uint64_t* good_end_out) {
   if (file_ == nullptr) {
     return Status::Unavailable("log file not open");
   }
@@ -63,18 +112,50 @@ StatusOr<std::vector<std::pair<uint64_t, Bytes>>> FileLogStore::ScanAll() {
     return Status::DataLoss("log read failed");
   }
 
-  std::vector<std::pair<uint64_t, Bytes>> records;
   size_t pos = 0;
+  if (contents.size() >= kHeaderBytes && std::memcmp(contents.data(), kMagic, 4) == 0) {
+    BinaryReader version(contents.data() + 4, 4);
+    uint32_t v = version.GetU32();
+    if (v != kFormatV2) {
+      return Status::DataLoss("unsupported WAL format version " + std::to_string(v) +
+                              " in " + path_);
+    }
+    file_version_ = kFormatV2;
+    pos = kHeaderBytes;
+  } else if (!contents.empty()) {
+    file_version_ = 1;  // legacy headerless file: records carry no CRC
+  }
+  const size_t trailer = file_version_ >= kFormatV2 ? kCrcBytes : 0;
+
+  std::vector<std::pair<uint64_t, Bytes>> records;
+  if (good_end_out != nullptr) {
+    *good_end_out = pos;
+  }
   while (pos + 12 <= contents.size()) {
     BinaryReader header(contents.data() + pos, 12);
     uint64_t lsn = header.GetU64();
     uint32_t len = header.GetU32();
-    if (pos + 12 + len > contents.size()) {
-      break;  // torn tail record from a crash mid-append: ignore it
+    if (pos + 12 + len + trailer > contents.size()) {
+      break;  // torn tail record from a crash mid-append: repairable
+    }
+    if (trailer > 0) {
+      BinaryReader crc_reader(contents.data() + pos + 12 + len, kCrcBytes);
+      uint32_t want = crc_reader.GetU32();
+      uint32_t got = Crc32(contents.data() + pos, 12 + len);
+      if (want != got) {
+        // The record is fully present but its checksum disagrees: corruption
+        // rather than a torn append — recovery must fail closed, not
+        // silently replay a shortened log.
+        return Status::DataLoss("WAL record CRC mismatch at lsn " + std::to_string(lsn) +
+                                " in " + path_ + " (corrupted record, not a torn tail)");
+      }
     }
     records.emplace_back(lsn, Bytes(contents.begin() + static_cast<ptrdiff_t>(pos + 12),
                                     contents.begin() + static_cast<ptrdiff_t>(pos + 12 + len)));
-    pos += 12 + len;
+    pos += 12 + len + trailer;
+    if (good_end_out != nullptr) {
+      *good_end_out = pos;
+    }
   }
   return records;
 }
@@ -99,12 +180,20 @@ Status FileLogStore::RewriteFromRecords(const std::vector<std::pair<uint64_t, By
   if (file_ == nullptr) {
     return Status::Unavailable("log reopen failed");
   }
+  // Rewrites always emit the current checksummed layout — a truncation is
+  // the natural upgrade point for a legacy file.
+  file_version_ = kFormatV2;
+  BinaryWriter file_header;
+  file_header.PutRaw(kMagic, 4);
+  file_header.PutU32(kFormatV2);
+  std::fwrite(file_header.bytes().data(), 1, file_header.size(), file_);
   for (const auto& [lsn, rec] : records) {
-    BinaryWriter header;
-    header.PutU64(lsn);
-    header.PutU32(static_cast<uint32_t>(rec.size()));
-    std::fwrite(header.bytes().data(), 1, header.size(), file_);
-    std::fwrite(rec.data(), 1, rec.size(), file_);
+    BinaryWriter framed;
+    framed.PutU64(lsn);
+    framed.PutU32(static_cast<uint32_t>(rec.size()));
+    framed.PutRaw(rec.data(), rec.size());
+    framed.PutU32(Crc32(framed.bytes()));
+    std::fwrite(framed.bytes().data(), 1, framed.size(), file_);
   }
   std::fflush(file_);
   fsync(fileno(file_));
@@ -129,6 +218,11 @@ Status FileLogStore::Truncate(uint64_t upto_lsn) {
 uint64_t FileLogStore::NextLsn() const {
   std::lock_guard<std::mutex> lk(mu_);
   return next_lsn_;
+}
+
+uint32_t FileLogStore::FileFormatVersion() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return file_version_;
 }
 
 }  // namespace obladi

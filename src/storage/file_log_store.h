@@ -1,6 +1,13 @@
 // File-backed LogStore: length-prefixed records appended to a single file,
 // fsync'd on Sync(). Used by the durability examples and crash tests that
 // survive process boundaries; the in-memory variant is used elsewhere.
+//
+// File format v2 stamps a magic+version header on fresh files and a CRC32
+// after every record, letting the scan distinguish a *torn* tail (crash
+// mid-append; truncated away on open) from a *corrupted* record (checksum
+// mismatch; ReadAll fails closed with DataLoss so recovery never replays a
+// silently shortened log). Headerless v1 files remain readable; a
+// Truncate() rewrite upgrades them to v2.
 #ifndef OBLADI_SRC_STORAGE_FILE_LOG_STORE_H_
 #define OBLADI_SRC_STORAGE_FILE_LOG_STORE_H_
 
@@ -25,14 +32,20 @@ class FileLogStore : public LogStore {
   Status Truncate(uint64_t upto_lsn) override;
   uint64_t NextLsn() const override;
 
+  // Test hook: 1 = legacy no-CRC layout, 2 = current checksummed layout.
+  uint32_t FileFormatVersion() const;
+
  private:
   Status RewriteFromRecords(const std::vector<std::pair<uint64_t, Bytes>>& records);
-  StatusOr<std::vector<std::pair<uint64_t, Bytes>>> ScanAll();
+  // Parses every intact record; `good_end_out` (optional) receives the file
+  // offset just past the last intact record (the torn-tail repair point).
+  StatusOr<std::vector<std::pair<uint64_t, Bytes>>> ScanAll(uint64_t* good_end_out = nullptr);
 
   std::string path_;
   mutable std::mutex mu_;
   FILE* file_ = nullptr;
   uint64_t next_lsn_ = 0;
+  uint32_t file_version_ = 2;
 };
 
 }  // namespace obladi

@@ -14,6 +14,7 @@
 
 #include "src/fault/fault_relay.h"
 #include "src/net/async_client.h"
+#include "src/net/replicated_store.h"
 #include "src/net/event_loop.h"
 #include "src/net/remote_store.h"
 #include "src/net/storage_server.h"
@@ -1068,6 +1069,112 @@ TEST(RemoteConformanceTest, RemoteLogStoreMatchesLocalSemantics) {
   auto log = RemoteLogStore::Connect(env.ClientOptions());
   ASSERT_TRUE(log.ok());
   RunLogStoreConformance(**log);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated tier over the wire
+// ---------------------------------------------------------------------------
+
+TEST(RemoteConformanceTest, ReplicatedRemoteStoresMatchLocalSemantics) {
+  auto env0 = StartLoopback(16, 3);
+  auto env1 = StartLoopback(16, 3);
+  auto r0 = RemoteBucketStore::Connect(env0.ClientOptions());
+  auto r1 = RemoteBucketStore::Connect(env1.ClientOptions());
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  ReplicatedStoreOptions opts;
+  opts.write_quorum = 2;
+  std::vector<std::shared_ptr<BucketStore>> bucket_reps;
+  bucket_reps.push_back(std::move(*r0));
+  bucket_reps.push_back(std::move(*r1));
+  ReplicatedBucketStore store(std::move(bucket_reps), opts);
+  RunBucketStoreConformance(store, 3);
+
+  auto l0 = RemoteLogStore::Connect(env0.ClientOptions());
+  auto l1 = RemoteLogStore::Connect(env1.ClientOptions());
+  ASSERT_TRUE(l0.ok() && l1.ok());
+  std::vector<std::shared_ptr<LogStore>> log_reps;
+  log_reps.push_back(std::move(*l0));
+  log_reps.push_back(std::move(*l1));
+  ReplicatedLogStore log(std::move(log_reps), opts);
+  RunLogStoreConformance(log);
+}
+
+// Failover racing the circuit breaker's half-open probe: the primary's node
+// dies (deadline failures trip the breaker, whose open state surfaces as
+// kUnavailable), reads fail over to the follower, the node comes back on
+// the same port, and heal attempts — some of which land while the breaker
+// is open or half-open and fail retriably — must eventually promote the
+// replica without ever surfacing an error to readers.
+TEST(ReplicatedRemoteTest, FailoverRacesBreakerHalfOpenProbe) {
+  auto env0 = StartLoopback(16, 4);
+  auto env1 = StartLoopback(16, 4);
+  uint16_t port0 = env0.server->port();
+
+  auto client_opts = [&](uint16_t port) {
+    RemoteStoreOptions opts;
+    opts.port = port;
+    opts.default_deadline_ms = 200;
+    opts.retry.max_attempts = 1;
+    opts.retry.breaker_failure_threshold = 2;
+    opts.retry.breaker_open_ms = 100;
+    return opts;
+  };
+  auto r0 = RemoteBucketStore::Connect(client_opts(port0));
+  auto r1 = RemoteBucketStore::Connect(client_opts(env1.server->port()));
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  std::vector<std::shared_ptr<BucketStore>> reps;
+  reps.push_back(std::move(*r0));
+  reps.push_back(std::move(*r1));
+  ReplicatedBucketStore store(std::move(reps));
+
+  std::vector<Bytes> image(4, Bytes(16, 0x5A));
+  ASSERT_TRUE(store.WriteBucket(2, 1, image).ok());
+  ASSERT_EQ(store.PrimaryIndexForTest(), 0);
+
+  // Kill the primary's node. The next read must fail over, not error out.
+  env0.server->Stop();
+  env0.server.reset();
+  auto slot = store.ReadSlot(2, 1, 0);
+  ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+  EXPECT_EQ((*slot)[0], 0x5A);
+  EXPECT_EQ(store.PrimaryIndexForTest(), 1);
+
+  // Write while the replica is down so catch-up has real work.
+  ASSERT_TRUE(store.WriteBucket(5, 2, image).ok());
+
+  // Drive the dead client until its breaker opens, so heal attempts race
+  // the half-open probe cycle instead of only clean connections.
+  for (int i = 0; i < 3; ++i) {
+    (void)store.TryHealReplicas();
+  }
+
+  // Node restarts on the same port; heal until the breaker's half-open
+  // probe lets a catch-up pass complete and the replica is promoted.
+  StorageServerOptions server_opts;
+  server_opts.port = port0;
+  env0.server =
+      std::make_unique<StorageServer>(env0.buckets, env0.log, server_opts);
+  ASSERT_TRUE(env0.server->Start().ok());
+
+  bool promoted = false;
+  for (int attempt = 0; attempt < 100 && !promoted; ++attempt) {
+    (void)store.TryHealReplicas();
+    ReplicationStats stats = store.replication_stats();
+    promoted = stats.replicas[0].health == ReplicaHealth::kCurrent;
+    if (!promoted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(promoted);
+  ReplicationStats stats = store.replication_stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.resyncs, 1u);
+
+  // The resynced replica holds the write it missed, straight from its
+  // backing store — epoch replay rebuilt the live version.
+  auto healed = env0.buckets->ReadSlot(5, 2, 0);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ((*healed)[0], 0x5A);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,334 @@
+// Replicated store tier: conformance at R in {1,2,3}, quorum semantics,
+// automatic failover/demotion, and epoch-replay catch-up — all over memory
+// stores so every replica's state can be inspected directly. The remote
+// (wire) variant, including failover racing the circuit breaker's half-open
+// probe, lives in net_test.cc.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/fault/faulty_store.h"
+#include "src/net/replicated_store.h"
+#include "src/storage/memory_store.h"
+#include "tests/store_conformance.h"
+
+namespace obladi {
+namespace {
+
+constexpr size_t kBuckets = 16;
+constexpr size_t kSlots = 4;
+
+std::vector<Bytes> Image(uint8_t fill) {
+  return std::vector<Bytes>(kSlots, Bytes(16, fill));
+}
+
+std::vector<std::shared_ptr<BucketStore>> MemoryReplicas(uint32_t r) {
+  std::vector<std::shared_ptr<BucketStore>> out;
+  for (uint32_t i = 0; i < r; ++i) {
+    out.push_back(std::make_shared<MemoryBucketStore>(kBuckets, kSlots));
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<LogStore>> MemoryLogReplicas(uint32_t r) {
+  std::vector<std::shared_ptr<LogStore>> out;
+  for (uint32_t i = 0; i < r; ++i) {
+    out.push_back(std::make_shared<MemoryLogStore>());
+  }
+  return out;
+}
+
+TEST(ReplicatedBucketStoreConformance, SingleReplica) {
+  ReplicatedBucketStore store(MemoryReplicas(1));
+  RunBucketStoreConformance(store, kSlots);
+}
+
+TEST(ReplicatedBucketStoreConformance, TwoReplicasFullQuorum) {
+  ReplicatedStoreOptions opts;
+  opts.write_quorum = 2;
+  ReplicatedBucketStore store(MemoryReplicas(2), opts);
+  RunBucketStoreConformance(store, kSlots);
+  // A healthy run demotes nobody: semantic errors (missing versions, bad
+  // slots) must not shrink the replica set.
+  ReplicationStats stats = store.replication_stats();
+  EXPECT_EQ(stats.failovers, 0u);
+  for (const ReplicaInfo& r : stats.replicas) {
+    EXPECT_EQ(r.health, ReplicaHealth::kCurrent);
+  }
+}
+
+TEST(ReplicatedBucketStoreConformance, ThreeReplicasMajorityQuorum) {
+  ReplicatedStoreOptions opts;
+  opts.write_quorum = 2;
+  ReplicatedBucketStore store(MemoryReplicas(3), opts);
+  RunBucketStoreConformance(store, kSlots);
+}
+
+// R=3 / quorum=2 with a hard-down minority replica: the suite must pass
+// unchanged — the faulty replica is demoted on first contact and the
+// majority carries every operation.
+TEST(ReplicatedBucketStoreConformance, FaultyMinorityReplica) {
+  auto replicas = MemoryReplicas(3);
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  replicas[2] = std::make_shared<FaultyBucketStore>(replicas[2], down);
+  ReplicatedStoreOptions opts;
+  opts.write_quorum = 2;
+  ReplicatedBucketStore store(replicas, opts);
+  RunBucketStoreConformance(store, kSlots);
+  ReplicationStats stats = store.replication_stats();
+  EXPECT_EQ(stats.replicas[2].health, ReplicaHealth::kLagging);
+  EXPECT_EQ(stats.replicas[0].health, ReplicaHealth::kCurrent);
+  EXPECT_EQ(stats.replicas[1].health, ReplicaHealth::kCurrent);
+}
+
+TEST(ReplicatedLogStoreConformance, VariousReplicaCounts) {
+  for (uint32_t r : {1u, 2u, 3u}) {
+    SCOPED_TRACE(r);
+    ReplicatedStoreOptions opts;
+    opts.write_quorum = r;
+    ReplicatedLogStore log(MemoryLogReplicas(r), opts);
+    RunLogStoreConformance(log);
+    ReplicationStats stats = log.replication_stats();
+    for (const ReplicaInfo& info : stats.replicas) {
+      EXPECT_EQ(info.health, ReplicaHealth::kCurrent);
+    }
+  }
+}
+
+// Read failover: the primary starts failing retriably, reads move to the
+// follower without surfacing an error, and the demoted primary is healed
+// back by epoch replay once it recovers.
+TEST(ReplicatedBucketStore, ReadFailoverThenResync) {
+  auto base0 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto base1 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto faulty0 = std::make_shared<FaultyBucketStore>(base0);
+  ReplicatedStoreOptions opts;
+  opts.write_quorum = 1;
+  ReplicatedBucketStore store({faulty0, base1}, opts);
+
+  ASSERT_TRUE(store.WriteBucket(3, 7, Image(0xAB)).ok());
+  EXPECT_EQ(store.PrimaryIndexForTest(), 0);
+
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty0->SetPlan(down);
+  auto slot = store.ReadSlot(3, 7, 0);
+  ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+  EXPECT_EQ((*slot)[0], 0xAB);
+  EXPECT_EQ(store.PrimaryIndexForTest(), 1);
+  ReplicationStats stats = store.replication_stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_EQ(stats.replicas[0].health, ReplicaHealth::kLagging);
+
+  // Writes while replica 0 is down accumulate its catch-up obligation.
+  ASSERT_TRUE(store.WriteBucket(4, 9, Image(0xCD)).ok());
+  ASSERT_TRUE(store.TruncateBucket(3, 7).ok());
+  store.NoteEpochRetired(5);
+
+  faulty0->SetPlan(FaultPlan{});
+  ASSERT_TRUE(store.TryHealReplicas().ok());
+  stats = store.replication_stats();
+  EXPECT_EQ(stats.replicas[0].health, ReplicaHealth::kCurrent);
+  EXPECT_GE(stats.resyncs, 1u);
+  EXPECT_GE(stats.resync_epochs, 1u);
+
+  // The healed replica holds exactly the live state (epoch replay, not op
+  // shipping): the missed write landed, direct from the base store.
+  auto healed = base0->ReadSlot(4, 9, 0);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ((*healed)[0], 0xCD);
+}
+
+// A write that cannot reach quorum fails the call (and demotes the broken
+// replica) instead of acking below the caller's durability requirement.
+TEST(ReplicatedBucketStore, WriteQuorumNotReachedFails) {
+  auto base0 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto base1 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto faulty1 = std::make_shared<FaultyBucketStore>(base1);
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty1->SetPlan(down);
+  ReplicatedStoreOptions opts;
+  opts.write_quorum = 2;
+  ReplicatedBucketStore store({base0, faulty1}, opts);
+
+  Status st = store.WriteBucket(0, 0, Image(0x11));
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(IsReplicaRetryable(st)) << st.ToString();
+  EXPECT_EQ(store.replication_stats().replicas[1].health, ReplicaHealth::kLagging);
+
+  // Quorum 1 over the same topology succeeds: the surviving replica acks.
+  ReplicatedStoreOptions relaxed;
+  relaxed.write_quorum = 1;
+  ReplicatedBucketStore store1({base0, faulty1}, relaxed);
+  EXPECT_TRUE(store1.WriteBucket(0, 0, Image(0x11)).ok());
+}
+
+// The last current replica is never demoted on the bucket tier — bucket
+// state is idempotent, so it keeps serving and errors simply propagate.
+TEST(ReplicatedBucketStore, LastReplicaKeepsServing) {
+  auto base = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto faulty = std::make_shared<FaultyBucketStore>(base);
+  ReplicatedBucketStore store({std::static_pointer_cast<BucketStore>(faulty)});
+  ASSERT_TRUE(store.WriteBucket(1, 1, Image(0x22)).ok());
+
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty->SetPlan(down);
+  EXPECT_FALSE(store.ReadSlot(1, 1, 0).ok());
+  EXPECT_EQ(store.PrimaryIndexForTest(), 0);
+
+  faulty->SetPlan(FaultPlan{});
+  auto slot = store.ReadSlot(1, 1, 0);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ((*slot)[0], 0x22);
+}
+
+// Lag accounting: a demoted replica's lag grows with each retired epoch and
+// resync_epochs credits the replay that cleared it.
+TEST(ReplicatedBucketStore, LagEpochsTrackRetirement) {
+  auto base0 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto base1 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto faulty0 = std::make_shared<FaultyBucketStore>(base0);
+  ReplicatedBucketStore store({faulty0, base1});
+  store.NoteEpochRetired(10);
+
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty0->SetPlan(down);
+  ASSERT_TRUE(store.ReadSlotsBatch({{0, 0, 0}}).size() == 1);  // demotes 0
+  ASSERT_EQ(store.replication_stats().replicas[0].health, ReplicaHealth::kLagging);
+
+  store.NoteEpochRetired(13);
+  ReplicationStats stats = store.replication_stats();
+  EXPECT_EQ(stats.replicas[0].lag_epochs, 3u);
+
+  faulty0->SetPlan(FaultPlan{});
+  ASSERT_TRUE(store.TryHealReplicas().ok());
+  stats = store.replication_stats();
+  EXPECT_EQ(stats.replicas[0].lag_epochs, 0u);
+  EXPECT_GE(stats.resync_epochs, 3u);
+}
+
+// WAL ambiguous-append catch-up, case 1: the in-doubt record never landed.
+// The NextLsn probe sees the replica exactly at the in-doubt LSN, clears the
+// ambiguity, and replay reissues the record.
+TEST(ReplicatedLogStore, AmbiguousAppendReplayed) {
+  auto base0 = std::make_shared<MemoryLogStore>();
+  auto base1 = std::make_shared<MemoryLogStore>();
+  auto faulty1 = std::make_shared<FaultyLogStore>(base1);
+  ReplicatedLogStore log({std::static_pointer_cast<LogStore>(base0), faulty1});
+
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty1->SetPlan(down);
+  auto lsn = log.Append(BytesFromString("in-doubt"));
+  ASSERT_TRUE(lsn.ok());  // quorum 1: the healthy replica acked
+  EXPECT_EQ(*lsn, 0u);
+  EXPECT_EQ(log.replication_stats().replicas[1].health, ReplicaHealth::kLagging);
+
+  auto lsn2 = log.Append(BytesFromString("next"));
+  ASSERT_TRUE(lsn2.ok());
+  EXPECT_EQ(*lsn2, 1u);
+
+  faulty1->SetPlan(FaultPlan{});
+  ASSERT_TRUE(log.TryHealReplicas().ok());
+  EXPECT_EQ(log.replication_stats().replicas[1].health, ReplicaHealth::kCurrent);
+  auto replayed = base1->ReadAll();
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->size(), 2u);
+  EXPECT_EQ(StringFromBytes((*replayed)[0]), "in-doubt");
+  EXPECT_EQ(StringFromBytes((*replayed)[1]), "next");
+}
+
+// Case 2: the in-doubt record DID land (the failure hit the ack, not the
+// write). The probe sees the replica past the in-doubt LSN and advances the
+// cursor without re-appending — at-most-once is preserved.
+TEST(ReplicatedLogStore, AmbiguousAppendNotDuplicated) {
+  auto base0 = std::make_shared<MemoryLogStore>();
+  auto base1 = std::make_shared<MemoryLogStore>();
+  auto faulty1 = std::make_shared<FaultyLogStore>(base1);
+  ReplicatedLogStore log({std::static_pointer_cast<LogStore>(base0), faulty1});
+
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty1->SetPlan(down);
+  auto lsn = log.Append(BytesFromString("landed"));
+  ASSERT_TRUE(lsn.ok());
+  // Simulate "the record reached the replica but the ack was lost".
+  ASSERT_TRUE(base1->Append(BytesFromString("landed")).ok());
+
+  faulty1->SetPlan(FaultPlan{});
+  ASSERT_TRUE(log.TryHealReplicas().ok());
+  EXPECT_EQ(log.replication_stats().replicas[1].health, ReplicaHealth::kCurrent);
+  auto records = base1->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);  // probe prevented the duplicate
+}
+
+// A replica whose LSN sequence diverged from the acknowledged history (it
+// lost data) is marked dead, never silently resynced.
+TEST(ReplicatedLogStore, DivergentReplicaMarkedDead) {
+  auto base0 = std::make_shared<MemoryLogStore>();
+  auto base1 = std::make_shared<MemoryLogStore>();
+  ReplicatedLogStore log(
+      {std::static_pointer_cast<LogStore>(base0), std::static_pointer_cast<LogStore>(base1)});
+  ASSERT_TRUE(log.Append(BytesFromString("rec0")).ok());
+
+  // base1 grows a record the replicated log never assigned: its next LSN no
+  // longer matches the acknowledged sequence.
+  ASSERT_TRUE(base1->Append(BytesFromString("phantom")).ok());
+  auto lsn = log.Append(BytesFromString("rec1"));
+  ASSERT_TRUE(lsn.ok());  // quorum 1 via the consistent replica
+
+  ReplicationStats stats = log.replication_stats();
+  EXPECT_EQ(stats.replicas[1].health, ReplicaHealth::kDead);
+  // Heal passes do not resurrect dead replicas.
+  ASSERT_TRUE(log.TryHealReplicas().ok());
+  EXPECT_EQ(log.replication_stats().replicas[1].health, ReplicaHealth::kDead);
+}
+
+// Log read failover mirrors the bucket tier: ReadAll moves to a follower
+// when the primary fails retriably.
+TEST(ReplicatedLogStore, ReadAllFailsOver) {
+  auto base0 = std::make_shared<MemoryLogStore>();
+  auto base1 = std::make_shared<MemoryLogStore>();
+  auto faulty0 = std::make_shared<FaultyLogStore>(base0);
+  ReplicatedLogStore log({faulty0, std::static_pointer_cast<LogStore>(base1)});
+  ASSERT_TRUE(log.Append(BytesFromString("rec0")).ok());
+  ASSERT_TRUE(log.Sync().ok());
+
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty0->SetPlan(down);
+  auto all = log.ReadAll();
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ(StringFromBytes((*all)[0]), "rec0");
+}
+
+// Generation bumps on every topology change so watchdog byte-sources can
+// re-reference their baselines across demote/promote cycles.
+TEST(ReplicatedBucketStore, GenerationTracksTopologyChanges) {
+  auto base0 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto base1 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto faulty0 = std::make_shared<FaultyBucketStore>(base0);
+  ReplicatedBucketStore store({faulty0, base1});
+  const uint64_t g0 = store.replication_stats().generation;
+
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty0->SetPlan(down);
+  (void)store.ReadSlot(0, 0, 0);
+  const uint64_t g1 = store.replication_stats().generation;
+  EXPECT_GT(g1, g0);
+
+  faulty0->SetPlan(FaultPlan{});
+  ASSERT_TRUE(store.TryHealReplicas().ok());
+  EXPECT_GT(store.replication_stats().generation, g1);
+}
+
+}  // namespace
+}  // namespace obladi

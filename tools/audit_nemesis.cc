@@ -16,6 +16,14 @@
 //   --slow-disk   fsync-stall the storage node's WAL during retirement
 //   --clock-skew  jump the proxy's claimed-timestamp offset (order-
 //                 preserving, so audit_check must still pass)
+//   --kill-primary / --kill-replica
+//                 replicated deployment (--replicas, default 2 in these
+//                 modes; --write-quorum): blackhole the initial primary /
+//                 a follower mid-epoch, hold, heal — NO proxy crash.
+//                 Commits must keep flowing through automatic failover
+//                 and the healed replica must resync; these runs assert
+//                 failovers > 0, resyncs > 0, and that the longest commit
+//                 stall stays within --stall-budget-ms (default 1500).
 //
 // A progress watchdog (default 30 s, --progress-timeout-ms=0 to disable)
 // exits 3 and prints the scenario seed if any client thread stops finishing
@@ -46,7 +54,9 @@ int Usage() {
                "[--progress-timeout-ms=N]\n                     "
                "[--pipeline-depth=N] "
                "[--heartbeat-ms=N] [--metrics-out=PATH]\n                     "
-               "[--data-dir=DIR] --trace-dir=DIR\n");
+               "[--replicas=N] [--write-quorum=N] [--kill-primary] "
+               "[--kill-replica]\n                     "
+               "[--stall-budget-ms=N] [--data-dir=DIR] --trace-dir=DIR\n");
   return 2;
 }
 
@@ -64,6 +74,7 @@ bool ParseFlag(const std::string& arg, const char* name, std::string& out) {
 int main(int argc, char** argv) {
   obladi::NemesisOptions options;
   options.progress_timeout_ms = 30000;  // hung-client watchdog on by default
+  uint64_t stall_budget_ms = 1500;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -95,6 +106,17 @@ int main(int argc, char** argv) {
       options.kill_storage = false;
     } else if (arg == "--no-proxy-crash") {
       options.crash_proxy = false;
+    } else if (ParseFlag(arg, "replicas", value)) {
+      options.replicas = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "write-quorum", value)) {
+      options.write_quorum =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "stall-budget-ms", value)) {
+      stall_budget_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--kill-primary") {
+      options.kill_primary = true;
+    } else if (arg == "--kill-replica") {
+      options.kill_replica = true;
     } else if (arg == "--partition") {
       options.partition_shard = true;
     } else if (arg == "--slow-disk") {
@@ -107,6 +129,14 @@ int main(int argc, char** argv) {
   }
   if (options.trace_dir.empty()) {
     return Usage();
+  }
+  const bool replica_kill = options.kill_primary || options.kill_replica;
+  if (replica_kill) {
+    // Replica loss must be carried by quorum writes + automatic failover
+    // alone; a concurrent proxy crash or storage kill would make the
+    // commit-stall assertion below unfair.
+    options.kill_storage = false;
+    options.crash_proxy = false;
   }
 
   auto result = obladi::RunNemesis(options);
@@ -136,5 +166,39 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result->driver.audit_trace_bytes),
       options.trace_dir.c_str(),
       static_cast<unsigned long long>(result->history.txns.size()));
+  if (replica_kill || options.replicas > 1) {
+    std::printf(
+        "replication: %llu failovers, %llu resyncs (%llu epochs replayed), "
+        "max commit stall %llu ms (budget %llu ms)\n",
+        static_cast<unsigned long long>(result->failovers),
+        static_cast<unsigned long long>(result->replica_resyncs),
+        static_cast<unsigned long long>(result->replica_resync_epochs),
+        static_cast<unsigned long long>(result->max_commit_stall_ms),
+        static_cast<unsigned long long>(stall_budget_ms));
+  }
+  if (replica_kill) {
+    // Killing the primary must move reads (failovers); killing a follower
+    // must not — there the proof is the demote/resync cycle alone.
+    const bool exercised =
+        result->replica_resyncs > 0 && (!options.kill_primary || result->failovers > 0);
+    if (!exercised) {
+      std::fprintf(stderr,
+                   "audit_nemesis: replica-kill run injected %llu partitions but "
+                   "saw %llu failovers / %llu resyncs — replication never "
+                   "exercised\n",
+                   static_cast<unsigned long long>(result->partitions),
+                   static_cast<unsigned long long>(result->failovers),
+                   static_cast<unsigned long long>(result->replica_resyncs));
+      return 4;
+    }
+    if (result->max_commit_stall_ms > stall_budget_ms) {
+      std::fprintf(stderr,
+                   "audit_nemesis: commits stalled %llu ms, over the %llu ms "
+                   "failover budget\n",
+                   static_cast<unsigned long long>(result->max_commit_stall_ms),
+                   static_cast<unsigned long long>(stall_budget_ms));
+      return 4;
+    }
+  }
   return 0;
 }
