@@ -155,18 +155,30 @@ Status ReplicatedBucketStore::FinishWriteLocked(const std::vector<BucketImage>& 
                                                 uint32_t oks,
                                                 const std::vector<size_t>& retryable_failures,
                                                 Status first_error) {
+  if (--writes_in_flight_ == 0) {
+    writes_cv_.notify_all();
+  }
   for (size_t i : retryable_failures) {
     // Demotion may be refused for the last current replica; either way the
     // replica's copy of these buckets is now suspect, so if it did get
     // demoted (now or concurrently) the marks below queue the rebuild.
     DemoteLocked(i, /*count_failover=*/false);
-    if (replicas_[i].health == ReplicaHealth::kLagging) {
-      for (const BucketImage& image : images) {
-        MarkLaggingDirtyLocked(i, image.bucket);
-      }
-      for (const TruncateRef& ref : truncates) {
-        MarkLaggingDirtyLocked(i, ref.bucket);
-      }
+  }
+  // Mark the touched buckets dirty on every still-lagging replica AFTER the
+  // wire writes have landed, never before they are issued: a heal pass that
+  // overlapped this write either sees writes_in_flight_ > 0 and defers
+  // promotion, or runs after this point and finds the bucket dirty — either
+  // way it must replay the bucket against the post-write live_ index before
+  // the replica can rejoin the write set.
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].health != ReplicaHealth::kLagging) {
+      continue;
+    }
+    for (const BucketImage& image : images) {
+      MarkLaggingDirtyLocked(i, image.bucket);
+    }
+    for (const TruncateRef& ref : truncates) {
+      MarkLaggingDirtyLocked(i, ref.bucket);
     }
   }
   if (oks >= quorum_) {
@@ -188,15 +200,12 @@ Status ReplicatedBucketStore::WriteBucketsBatch(std::vector<BucketImage> images)
     for (size_t i = 0; i < replicas_.size(); ++i) {
       if (replicas_[i].health == ReplicaHealth::kCurrent) {
         targets.push_back(i);
-      } else if (replicas_[i].health == ReplicaHealth::kLagging) {
-        for (const BucketImage& image : images) {
-          MarkLaggingDirtyLocked(i, image.bucket);
-        }
       }
     }
-  }
-  if (targets.empty()) {
-    return Status::Unavailable("no current replica");
+    if (targets.empty()) {
+      return Status::Unavailable("no current replica");
+    }
+    writes_in_flight_++;
   }
   uint32_t oks = 0;
   Status first_error = Status::Ok();
@@ -233,15 +242,12 @@ Status ReplicatedBucketStore::TruncateBucketsBatch(const std::vector<TruncateRef
     for (size_t i = 0; i < replicas_.size(); ++i) {
       if (replicas_[i].health == ReplicaHealth::kCurrent) {
         targets.push_back(i);
-      } else if (replicas_[i].health == ReplicaHealth::kLagging) {
-        for (const TruncateRef& ref : refs) {
-          MarkLaggingDirtyLocked(i, ref.bucket);
-        }
       }
     }
-  }
-  if (targets.empty()) {
-    return Status::Unavailable("no current replica");
+    if (targets.empty()) {
+      return Status::Unavailable("no current replica");
+    }
+    writes_in_flight_++;
   }
   uint32_t oks = 0;
   Status first_error = Status::Ok();
@@ -408,11 +414,10 @@ void ReplicatedBucketStore::WriteBucketsBatchAsync(std::vector<BucketImage> imag
     for (size_t i = 0; i < replicas_.size(); ++i) {
       if (replicas_[i].health == ReplicaHealth::kCurrent) {
         targets.push_back(i);
-      } else if (replicas_[i].health == ReplicaHealth::kLagging) {
-        for (const BucketImage& image : images) {
-          MarkLaggingDirtyLocked(i, image.bucket);
-        }
       }
+    }
+    if (!targets.empty()) {
+      writes_in_flight_++;
     }
   }
   if (targets.empty()) {
@@ -527,15 +532,40 @@ Status ReplicatedBucketStore::HealReplicaImpl(size_t index) {
       batch.swap(r.dirty);
     }
     if (batch.empty()) {
-      // Nothing to replay; prove the replica is reachable with a no-op
-      // truncate (keep everything of bucket 0) before promoting, so a
-      // still-partitioned node can't re-enter the write set.
-      Status probe = healer->TruncateBucket(0, 0);
-      if (!probe.ok()) {
-        return probe;
+      // Nothing to replay; prove the replica is reachable before promoting,
+      // so a still-partitioned node can't re-enter the write set. The probe
+      // is a READ — a mutating probe would grow file-backed replicas on
+      // every promotion attempt and fail outright on an empty store. Any
+      // definitive answer (including NotFound when no version is live yet)
+      // is the replica speaking; only transport-level failures keep it
+      // lagging. Prefer a known-live slot so the common case exercises the
+      // real read path.
+      SlotRef probe_ref{0, 0, 0};
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (size_t b = 0; b < live_.size(); ++b) {
+          if (!live_[b].empty()) {
+            probe_ref = SlotRef{static_cast<BucketIndex>(b), live_[b].begin()->first, 0};
+            break;
+          }
+        }
       }
-      std::lock_guard<std::mutex> lk(mu_);
+      StatusOr<Bytes> probe = healer->ReadSlot(probe_ref.bucket, probe_ref.version,
+                                               probe_ref.slot);
+      if (!probe.ok() && IsReplicaRetryable(probe.status())) {
+        return probe.status();
+      }
+      std::unique_lock<std::mutex> lk(mu_);
       Replica& r = replicas_[index];
+      if (r.health != ReplicaHealth::kLagging) {
+        return Status::Ok();
+      }
+      // A write whose wire phase is still in flight may yet re-dirty this
+      // replica (dirty marks land only in FinishWriteLocked, after the
+      // replica stores have the data) — wait it out before judging the
+      // dirty set, or a write that raced this heal pass would be stranded
+      // on a freshly promoted primary.
+      writes_cv_.wait(lk, [this] { return writes_in_flight_ == 0; });
       if (r.health != ReplicaHealth::kLagging) {
         return Status::Ok();
       }
@@ -709,37 +739,47 @@ void ReplicatedLogStore::TrimOpsLocked() {
 }
 
 StatusOr<uint64_t> ReplicatedLogStore::AppendImpl(Bytes record, bool fused_sync) {
-  std::lock_guard<std::mutex> lk(mu_);
-  std::vector<size_t> targets;
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (replicas_[i].health == ReplicaHealth::kCurrent) {
-      targets.push_back(i);
+  // io_mu_ (not mu_) is held across the wire phase: see the member comment.
+  // Appends therefore still fully serialize with each other — the LSN each
+  // replica assigns must match the send order — but observers (NextLsn,
+  // replication_stats) and heal bookkeeping no longer stall behind a slow
+  // replica's transport deadline.
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::vector<std::pair<size_t, std::shared_ptr<LogStore>>> targets;
+  uint64_t lsn = 0;
+  uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].health == ReplicaHealth::kCurrent) {
+        targets.emplace_back(i, replicas_[i].store);
+      }
     }
+    if (targets.empty()) {
+      return Status::Unavailable("no current log replica");
+    }
+    lsn = next_lsn_++;
+    ops_bytes_ += record.size();
+    ops_.push_back(Op{false, lsn, record});
+    end = ops_base_ + ops_.size();
   }
-  if (targets.empty()) {
-    return Status::Unavailable("no current log replica");
-  }
-  uint64_t lsn = next_lsn_++;
-  ops_bytes_ += record.size();
-  ops_.push_back(Op{false, lsn, record});
-  const uint64_t end = ops_base_ + ops_.size();
   uint32_t oks = 0;
   Status first_error = Status::Ok();
-  for (size_t i : targets) {
-    Replica& r = replicas_[i];
-    StatusOr<uint64_t> got =
-        fused_sync ? r.store->AppendSync(record) : r.store->Append(record);
+  std::vector<size_t> acked;
+  std::vector<size_t> diverged;
+  std::vector<size_t> failed;
+  for (auto& [i, store] : targets) {
+    StatusOr<uint64_t> got = fused_sync ? store->AppendSync(record) : store->Append(record);
     if (got.ok()) {
       if (*got != lsn) {
         // The replica assigned a different LSN: it lost or gained records
         // relative to the acknowledged history and cannot be replay-healed.
-        r.health = ReplicaHealth::kDead;
-        generation_++;
+        diverged.push_back(i);
         if (first_error.ok()) {
           first_error = Status::DataLoss("log replica LSN divergence");
         }
       } else {
-        r.next_op = end;
+        acked.push_back(i);
         oks++;
       }
     } else {
@@ -747,13 +787,36 @@ StatusOr<uint64_t> ReplicatedLogStore::AppendImpl(Bytes record, bool fused_sync)
         first_error = got.status();
       }
       if (IsReplicaRetryable(got.status())) {
-        // Fate of the send is unknown (at-most-once): demote with the
-        // ambiguous flag so catch-up probes NextLsn() before replaying.
-        DemoteLocked(i, /*ambiguous=*/true, /*count_failover=*/false, /*demote_last=*/true);
+        failed.push_back(i);
       }
     }
   }
-  TrimOpsLocked();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i : acked) {
+      replicas_[i].next_op = end;
+    }
+    for (size_t i : diverged) {
+      if (replicas_[i].health != ReplicaHealth::kDead) {
+        replicas_[i].health = ReplicaHealth::kDead;
+        generation_++;
+      }
+    }
+    for (size_t i : failed) {
+      // Fate of the send is unknown (at-most-once): flag the cursor as
+      // ambiguous so catch-up probes NextLsn() before replaying. A read
+      // path may have demoted the replica while our send was in flight —
+      // the in-doubt op still sits at its cursor, so the flag must be set
+      // even when DemoteLocked short-circuits on an already-lagging one.
+      Replica& r = replicas_[i];
+      if (r.health == ReplicaHealth::kCurrent) {
+        DemoteLocked(i, /*ambiguous=*/true, /*count_failover=*/false, /*demote_last=*/true);
+      } else if (r.health == ReplicaHealth::kLagging) {
+        r.ambiguous = true;
+      }
+    }
+    TrimOpsLocked();
+  }
   if (oks >= quorum_) {
     return lsn;
   }
@@ -770,16 +833,24 @@ StatusOr<uint64_t> ReplicatedLogStore::AppendSync(Bytes record) {
 }
 
 Status ReplicatedLogStore::Sync() {
-  std::lock_guard<std::mutex> lk(mu_);
-  uint32_t oks = 0;
-  bool any = false;
-  Status first_error = Status::Ok();
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (replicas_[i].health != ReplicaHealth::kCurrent) {
-      continue;
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::vector<std::pair<size_t, std::shared_ptr<LogStore>>> targets;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].health == ReplicaHealth::kCurrent) {
+        targets.emplace_back(i, replicas_[i].store);
+      }
     }
-    any = true;
-    Status s = replicas_[i].store->Sync();
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no current log replica");
+  }
+  uint32_t oks = 0;
+  Status first_error = Status::Ok();
+  std::vector<size_t> failed;
+  for (auto& [i, store] : targets) {
+    Status s = store->Sync();
     if (s.ok()) {
       oks++;
     } else {
@@ -787,14 +858,17 @@ Status ReplicatedLogStore::Sync() {
         first_error = s;
       }
       if (IsReplicaRetryable(s)) {
-        // Not ambiguous: Sync carries no record, the cursor stays exact.
-        // Catch-up re-Syncs before promoting, restoring durability.
-        DemoteLocked(i, /*ambiguous=*/false, /*count_failover=*/false, /*demote_last=*/false);
+        failed.push_back(i);
       }
     }
   }
-  if (!any) {
-    return Status::Unavailable("no current log replica");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i : failed) {
+      // Not ambiguous: Sync carries no record, the cursor stays exact.
+      // Catch-up re-Syncs before promoting, restoring durability.
+      DemoteLocked(i, /*ambiguous=*/false, /*count_failover=*/false, /*demote_last=*/false);
+    }
   }
   if (oks >= quorum_) {
     return Status::Ok();
@@ -804,36 +878,51 @@ Status ReplicatedLogStore::Sync() {
 }
 
 Status ReplicatedLogStore::Truncate(uint64_t upto_lsn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  std::vector<size_t> targets;
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (replicas_[i].health == ReplicaHealth::kCurrent) {
-      targets.push_back(i);
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::vector<std::pair<size_t, std::shared_ptr<LogStore>>> targets;
+  uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].health == ReplicaHealth::kCurrent) {
+        targets.emplace_back(i, replicas_[i].store);
+      }
     }
+    if (targets.empty()) {
+      return Status::Unavailable("no current log replica");
+    }
+    ops_.push_back(Op{true, upto_lsn, {}});
+    end = ops_base_ + ops_.size();
   }
-  if (targets.empty()) {
-    return Status::Unavailable("no current log replica");
-  }
-  ops_.push_back(Op{true, upto_lsn, {}});
-  const uint64_t end = ops_base_ + ops_.size();
   uint32_t oks = 0;
   Status first_error = Status::Ok();
-  for (size_t i : targets) {
-    Status s = replicas_[i].store->Truncate(upto_lsn);
+  std::vector<size_t> acked;
+  std::vector<size_t> failed;
+  for (auto& [i, store] : targets) {
+    Status s = store->Truncate(upto_lsn);
     if (s.ok()) {
-      replicas_[i].next_op = end;
+      acked.push_back(i);
       oks++;
     } else {
       if (first_error.ok()) {
         first_error = s;
       }
       if (IsReplicaRetryable(s)) {
-        // Truncation is idempotent, so no ambiguity: replay just reissues.
-        DemoteLocked(i, /*ambiguous=*/false, /*count_failover=*/false, /*demote_last=*/true);
+        failed.push_back(i);
       }
     }
   }
-  TrimOpsLocked();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i : acked) {
+      replicas_[i].next_op = end;
+    }
+    for (size_t i : failed) {
+      // Truncation is idempotent, so no ambiguity: replay just reissues.
+      DemoteLocked(i, /*ambiguous=*/false, /*count_failover=*/false, /*demote_last=*/true);
+    }
+    TrimOpsLocked();
+  }
   if (oks >= quorum_) {
     return Status::Ok();
   }
@@ -936,6 +1025,15 @@ Status ReplicatedLogStore::HealReplicaImpl(size_t index) {
     bool ambiguous = false;
     uint64_t cursor = 0;
     {
+      // Taking io_mu_ first is a barrier against the wire phase of a
+      // concurrent append/truncate: by the time we snapshot, any op this
+      // replica was sent directly (before a mid-flight demotion) has been
+      // fully applied to its cursor/ambiguous state, so replay can never
+      // deliver an op a stale direct send also carries (a duplicate would
+      // read as LSN divergence and falsely kill the replica). Released
+      // before the replay RPCs — while the replica lags, replay is the only
+      // sender, so appends continue unblocked.
+      std::lock_guard<std::mutex> io(io_mu_);
       std::lock_guard<std::mutex> lk(mu_);
       Replica& r = replicas_[index];
       if (r.health != ReplicaHealth::kLagging) {

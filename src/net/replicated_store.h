@@ -31,6 +31,7 @@
 #ifndef OBLADI_SRC_NET_REPLICATED_STORE_H_
 #define OBLADI_SRC_NET_REPLICATED_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -143,6 +144,14 @@ class ReplicatedBucketStore : public BucketStore {
   // Live version index per bucket: version -> slot count. This is the whole
   // replicated state under shadow paging, and the replay plan for catch-up.
   std::vector<std::map<uint32_t, uint32_t>> live_;
+  // Writes/truncates whose wire phase has started but whose outcome has not
+  // yet been applied by FinishWriteLocked. The dirty marks that keep a
+  // lagging replica honest land only when a write *finishes* (after the
+  // replica stores have it), so heal promotion waits for this to drain —
+  // promoting mid-write would strand an acknowledged write on the
+  // about-to-be-primary. writes_cv_ fires when the count hits zero.
+  uint32_t writes_in_flight_ = 0;
+  std::condition_variable writes_cv_;
   uint64_t epoch_ = 0;
   uint64_t failovers_ = 0;
   uint64_t resyncs_ = 0;
@@ -206,6 +215,17 @@ class ReplicatedLogStore : public LogStore {
   const ReplicatedStoreOptions options_;
   const uint32_t quorum_;
 
+  // WAL order lock, acquired BEFORE mu_ (never the other way around). It
+  // serializes the wire phase of Append/Truncate/Sync so every replica
+  // receives ops in exactly the order ops_ records them — at-most-once
+  // appends cannot be reordered or raced per replica — and it is the
+  // barrier heal snapshots take so replay never re-delivers an op a stale
+  // direct send is still carrying. mu_ alone guards bookkeeping (ops_,
+  // cursors, health, next_lsn_), so NextLsn(), replication_stats(), and
+  // heal bookkeeping never stall behind a slow replica's transport
+  // deadline; appends themselves still serialize (the LSN a replica assigns
+  // must match the send order, which a concurrent wire phase would break).
+  std::mutex io_mu_;
   mutable std::mutex mu_;
   std::vector<Replica> replicas_;
   std::deque<Op> ops_;

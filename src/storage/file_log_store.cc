@@ -56,9 +56,14 @@ FileLogStore::FileLogStore(std::string path) : path_(std::move(path)) {
         std::fseek(file_, 0, SEEK_END);
       }
     }
+  } else {
+    // A CRC-corrupt log is left untouched on disk, and the store latches
+    // the diagnostic: the scan could not establish next_lsn_, so an append
+    // would write duplicate/low LSNs behind the corrupt region. Append and
+    // Sync fail with the same DataLoss that ReadAll (recovery's entry
+    // point) reports, until an operator repairs or replaces the file.
+    open_error_ = existing.status();
   }
-  // A CRC-corrupt log is left untouched: ReadAll (recovery's entry point)
-  // keeps failing closed with the DataLoss diagnostic.
 }
 
 FileLogStore::~FileLogStore() {
@@ -71,6 +76,9 @@ StatusOr<uint64_t> FileLogStore::Append(Bytes record) {
   std::lock_guard<std::mutex> lk(mu_);
   if (file_ == nullptr) {
     return Status::Unavailable("log file not open");
+  }
+  if (!open_error_.ok()) {
+    return open_error_;
   }
   uint64_t lsn = next_lsn_++;
   BinaryWriter framed;
@@ -91,6 +99,9 @@ Status FileLogStore::Sync() {
   std::lock_guard<std::mutex> lk(mu_);
   if (file_ == nullptr) {
     return Status::Unavailable("log file not open");
+  }
+  if (!open_error_.ok()) {
+    return open_error_;
   }
   if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
     return Status::Unavailable("log sync failed");

@@ -6,8 +6,9 @@
 // after every record, letting the scan distinguish a *torn* tail (crash
 // mid-append; truncated away on open) from a *corrupted* record (checksum
 // mismatch; ReadAll fails closed with DataLoss so recovery never replays a
-// silently shortened log). Headerless v1 files remain readable; a
-// Truncate() rewrite upgrades them to v2.
+// silently shortened log, and the open latches the error so Append/Sync
+// refuse to write behind the corrupt region). Headerless v1 files remain
+// readable; a Truncate() rewrite upgrades them to v2.
 #ifndef OBLADI_SRC_STORAGE_FILE_LOG_STORE_H_
 #define OBLADI_SRC_STORAGE_FILE_LOG_STORE_H_
 
@@ -44,6 +45,10 @@ class FileLogStore : public LogStore {
   std::string path_;
   mutable std::mutex mu_;
   FILE* file_ = nullptr;
+  // Latched when the open-time scan fails (CRC-corrupt record, unsupported
+  // version): next_lsn_ is unknown, so Append/Sync fail closed with this
+  // status instead of writing duplicate LSNs behind the corrupt region.
+  Status open_error_ = Status::Ok();
   uint64_t next_lsn_ = 0;
   uint32_t file_version_ = 2;
 };

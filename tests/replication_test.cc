@@ -5,7 +5,11 @@
 // probe, lives in net_test.cc.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/fault/faulty_store.h"
@@ -30,6 +34,109 @@ std::vector<std::shared_ptr<BucketStore>> MemoryReplicas(uint32_t r) {
   }
   return out;
 }
+
+// Parks a thread at a closed gate and reports it parked; shared by the
+// wrappers below that hold one operation's wire phase open mid-flight.
+class Gate {
+ public:
+  void Close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_ = false;
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void AwaitParked() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return parked_ > 0; });
+  }
+  void Pass() {
+    std::unique_lock<std::mutex> lk(mu_);
+    parked_++;
+    cv_.notify_all();
+    cv_.wait(lk, [this] { return open_; });
+    parked_--;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  int parked_ = 0;
+};
+
+// Delegating bucket store whose writes park at the gate: lets a test hold a
+// replicated write's wire phase open while heal/observer paths run.
+class GatedBucketStore : public BucketStore {
+ public:
+  explicit GatedBucketStore(std::shared_ptr<BucketStore> base) : base_(std::move(base)) {}
+  Gate& gate() { return gate_; }
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override {
+    return base_->ReadSlot(bucket, version, slot);
+  }
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override {
+    gate_.Pass();
+    return base_->WriteBucket(bucket, version, std::move(slots));
+  }
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override {
+    return base_->TruncateBucket(bucket, keep_from_version);
+  }
+  size_t num_buckets() const override { return base_->num_buckets(); }
+
+ private:
+  std::shared_ptr<BucketStore> base_;
+  Gate gate_;
+};
+
+// Delegating log store whose appends park at the gate.
+class GatedLogStore : public LogStore {
+ public:
+  explicit GatedLogStore(std::shared_ptr<LogStore> base) : base_(std::move(base)) {}
+  Gate& gate() { return gate_; }
+
+  StatusOr<uint64_t> Append(Bytes record) override {
+    gate_.Pass();
+    return base_->Append(std::move(record));
+  }
+  Status Sync() override { return base_->Sync(); }
+  StatusOr<std::vector<Bytes>> ReadAll() override { return base_->ReadAll(); }
+  Status Truncate(uint64_t upto_lsn) override { return base_->Truncate(upto_lsn); }
+  uint64_t NextLsn() const override { return base_->NextLsn(); }
+
+ private:
+  std::shared_ptr<LogStore> base_;
+  Gate gate_;
+};
+
+// Delegating bucket store that rejects every truncate with a semantic error
+// — stands in for a replica with nothing truncatable (e.g. zero buckets),
+// which a mutating reachability probe could never promote.
+class TruncateRejectingStore : public BucketStore {
+ public:
+  explicit TruncateRejectingStore(std::shared_ptr<BucketStore> base)
+      : base_(std::move(base)) {}
+
+  StatusOr<Bytes> ReadSlot(BucketIndex bucket, uint32_t version, SlotIndex slot) override {
+    return base_->ReadSlot(bucket, version, slot);
+  }
+  Status WriteBucket(BucketIndex bucket, uint32_t version, std::vector<Bytes> slots) override {
+    return base_->WriteBucket(bucket, version, std::move(slots));
+  }
+  Status TruncateBucket(BucketIndex bucket, uint32_t keep_from_version) override {
+    (void)bucket;
+    (void)keep_from_version;
+    return Status::InvalidArgument("store holds no truncatable state");
+  }
+  size_t num_buckets() const override { return base_->num_buckets(); }
+
+ private:
+  std::shared_ptr<BucketStore> base_;
+};
 
 std::vector<std::shared_ptr<LogStore>> MemoryLogReplicas(uint32_t r) {
   std::vector<std::shared_ptr<LogStore>> out;
@@ -328,6 +435,103 @@ TEST(ReplicatedBucketStore, GenerationTracksTopologyChanges) {
   faulty0->SetPlan(FaultPlan{});
   ASSERT_TRUE(store.TryHealReplicas().ok());
   EXPECT_GT(store.replication_stats().generation, g1);
+}
+
+// Regression (heal/write race): a heal pass overlapping a write's wire
+// phase must not promote the healing replica past that write. Dirty marks
+// land only after the replica stores have the data, so promotion has to
+// wait out writes in flight — the failure mode was a promoted replica
+// silently missing an acknowledged version (NotFound after the next
+// failover).
+TEST(ReplicatedBucketStore, HealDoesNotPromotePastInFlightWrite) {
+  auto base0 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto base1 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto gated0 = std::make_shared<GatedBucketStore>(base0);
+  auto faulty1 = std::make_shared<FaultyBucketStore>(base1);
+  ReplicatedStoreOptions opts;
+  opts.write_quorum = 1;
+  ReplicatedBucketStore store({gated0, faulty1}, opts);
+
+  ASSERT_TRUE(store.WriteBucket(2, 1, Image(0x01)).ok());
+
+  // Replica 1 misses v2 of bucket 2 and is demoted with that bucket dirty.
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty1->SetPlan(down);
+  ASSERT_TRUE(store.WriteBucket(2, 2, Image(0x02)).ok());
+  faulty1->SetPlan(FaultPlan{});
+  ASSERT_EQ(store.replication_stats().replicas[1].health, ReplicaHealth::kLagging);
+
+  // Hold v3's wire phase open on the primary while a heal pass replays the
+  // stale dirty set and reaches its promotion decision.
+  gated0->gate().Close();
+  std::thread writer([&] { EXPECT_TRUE(store.WriteBucket(2, 3, Image(0x03)).ok()); });
+  gated0->gate().AwaitParked();
+  std::thread healer([&] { EXPECT_TRUE(store.TryHealReplicas().ok()); });
+  // Widen the race window; correctness must not depend on this sleep — the
+  // in-flight write is registered before its wire phase starts, so the heal
+  // pass can never observe a promotable state mid-write.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gated0->gate().Open();
+  writer.join();
+  healer.join();
+
+  ReplicationStats stats = store.replication_stats();
+  ASSERT_EQ(stats.replicas[1].health, ReplicaHealth::kCurrent);
+  // The promoted replica must hold the acknowledged v3, whichever way the
+  // interleaving resolved.
+  auto healed = base1->ReadSlot(2, 3, 0);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ((*healed)[0], 0x03);
+}
+
+// Regression: the pre-promotion reachability probe is a READ. A mutating
+// probe appended a truncate record to file-backed replicas on every
+// promotion attempt and failed outright on a replica with no truncatable
+// state, leaving it permanently lagging.
+TEST(ReplicatedBucketStore, PromotionProbeIsARead) {
+  auto base0 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto base1 = std::make_shared<MemoryBucketStore>(kBuckets, kSlots);
+  auto reject0 = std::make_shared<TruncateRejectingStore>(base0);
+  auto faulty0 = std::make_shared<FaultyBucketStore>(reject0);
+  ReplicatedBucketStore store({faulty0, base1});
+
+  // Demote the primary on a read failure: it lags with an EMPTY dirty set,
+  // so heal goes straight to the reachability probe.
+  FaultPlan down;
+  down.unavailable_every_n = 1;
+  faulty0->SetPlan(down);
+  (void)store.ReadSlot(0, 0, 0);
+  ASSERT_EQ(store.replication_stats().replicas[0].health, ReplicaHealth::kLagging);
+
+  faulty0->SetPlan(FaultPlan{});
+  // Nothing was ever written: the probe must also cope with a store holding
+  // no live version (NotFound is still the replica speaking).
+  ASSERT_TRUE(store.TryHealReplicas().ok());
+  EXPECT_EQ(store.replication_stats().replicas[0].health, ReplicaHealth::kCurrent);
+}
+
+// Regression: the WAL's wire phase must not hold the bookkeeping lock —
+// NextLsn() and replication_stats() answer while an append is stuck on a
+// slow replica (previously they blocked for up to the transport deadline,
+// hiding replica health exactly when it mattered). A hang here IS the
+// failure: the test deadlocks against its timeout.
+TEST(ReplicatedLogStore, ObserversNotBlockedByInFlightAppend) {
+  auto base0 = std::make_shared<MemoryLogStore>();
+  auto gated0 = std::make_shared<GatedLogStore>(base0);
+  ReplicatedLogStore log({std::static_pointer_cast<LogStore>(gated0)});
+  ASSERT_TRUE(log.Append(BytesFromString("first")).ok());
+
+  gated0->gate().Close();
+  std::thread appender([&] { EXPECT_TRUE(log.Append(BytesFromString("second")).ok()); });
+  gated0->gate().AwaitParked();
+  EXPECT_EQ(log.NextLsn(), 2u);  // the in-flight record's LSN is assigned
+  ReplicationStats stats = log.replication_stats();
+  ASSERT_EQ(stats.replicas.size(), 1u);
+  EXPECT_EQ(stats.replicas[0].health, ReplicaHealth::kCurrent);
+  gated0->gate().Open();
+  appender.join();
+  EXPECT_EQ(log.NextLsn(), 2u);
 }
 
 }  // namespace

@@ -175,6 +175,40 @@ TEST(FileLogStoreTest, CorruptRecordFailsClosedNotTorn) {
   std::remove(path.c_str());
 }
 
+// A store opened over a corrupt log refuses writes, not just reads: the
+// scan could not establish next_lsn_, so an append would stack duplicate
+// LSNs behind the corrupt region (and shadow the diagnostic for any caller
+// that never reads). The file itself stays untouched for forensics.
+TEST(FileLogStoreTest, CorruptLogRefusesAppendAndSync) {
+  std::string path = testing::TempDir() + "/obladi_log_corrupt_latch.wal";
+  std::remove(path.c_str());
+  {
+    FileLogStore log(path);
+    ASSERT_TRUE(log.Append(BytesFromString("whole")).ok());
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  {
+    FILE* f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 8 + 12, SEEK_SET);  // file header + lsn/len framing
+    uint8_t b = 0;
+    ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+    b ^= 0xFF;
+    std::fseek(f, 8 + 12, SEEK_SET);
+    std::fwrite(&b, 1, 1, f);
+    std::fclose(f);
+  }
+  FileLogStore log(path);
+  auto lsn = log.Append(BytesFromString("late"));
+  ASSERT_FALSE(lsn.ok());
+  EXPECT_EQ(lsn.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(log.Sync().code(), StatusCode::kDataLoss);
+  // Nothing was written past the corruption: a reopen still fails closed
+  // with the original diagnostic.
+  FileLogStore again(path);
+  EXPECT_EQ(again.ReadAll().status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
 TEST(FileLogStoreTest, ReadsLegacyHeaderlessV1File) {
   std::string path = testing::TempDir() + "/obladi_log_v1.wal";
   std::remove(path.c_str());
